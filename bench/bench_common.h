@@ -1,0 +1,94 @@
+#ifndef CNPROBASE_BENCH_BENCH_COMMON_H_
+#define CNPROBASE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "eval/precision.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "text/segmenter.h"
+
+namespace cnpb::bench {
+
+// Everything a table/figure bench needs, built once. Heap members keep
+// internal pointers (segmenter -> lexicon) stable.
+struct BenchWorld {
+  std::unique_ptr<synth::WorldModel> world;
+  std::unique_ptr<synth::EncyclopediaGenerator::Output> output;
+  std::unique_ptr<text::Segmenter> segmenter;
+  std::unique_ptr<synth::Corpus> corpus;
+  std::vector<std::vector<std::string>> corpus_words;
+
+  eval::Oracle Oracle() const {
+    const synth::GoldTruth* gold = &output->gold;
+    return [gold](const std::string& hypo, const std::string& hyper) {
+      return gold->IsCorrect(hypo, hyper);
+    };
+  }
+};
+
+// Scale comes from CNPB_BENCH_ENTITIES (default 12000): the benches report
+// the paper's *shape*, not its 15M-entity magnitude.
+inline size_t BenchScale(size_t default_entities = 12000) {
+  const char* env = std::getenv("CNPB_BENCH_ENTITIES");
+  if (env != nullptr) {
+    const long value = std::atol(env);
+    if (value > 0) return static_cast<size_t>(value);
+  }
+  return default_entities;
+}
+
+inline std::unique_ptr<BenchWorld> MakeBenchWorld(size_t num_entities,
+                                                  uint64_t seed = 42) {
+  auto bench = std::make_unique<BenchWorld>();
+  synth::WorldModel::Config wc;
+  wc.num_entities = num_entities;
+  wc.seed = seed;
+  bench->world =
+      std::make_unique<synth::WorldModel>(synth::WorldModel::Generate(wc));
+  synth::EncyclopediaGenerator::Config gc;
+  gc.seed = seed + 1;
+  bench->output = std::make_unique<synth::EncyclopediaGenerator::Output>(
+      synth::EncyclopediaGenerator::Generate(*bench->world, gc));
+  bench->segmenter =
+      std::make_unique<text::Segmenter>(&bench->world->lexicon());
+  synth::CorpusGenerator::Config cc;
+  cc.seed = seed + 2;
+  bench->corpus = std::make_unique<synth::Corpus>(synth::CorpusGenerator::Generate(
+      *bench->world, bench->output->dump, *bench->segmenter, cc));
+  bench->corpus_words.reserve(bench->corpus->sentences.size());
+  for (const auto& sentence : bench->corpus->sentences) {
+    std::vector<std::string> words;
+    words.reserve(sentence.size());
+    for (const auto& token : sentence) words.push_back(token.word);
+    bench->corpus_words.push_back(std::move(words));
+  }
+  return bench;
+}
+
+// Default CN-Probase builder configuration for benches.
+inline core::CnProbaseBuilder::Config DefaultBuilderConfig() {
+  core::CnProbaseBuilder::Config config;
+  config.neural.epochs = 2;
+  config.neural.max_train_samples = 3000;
+  for (const char* word : synth::ThematicWords()) {
+    config.verification.syntax.thematic_lexicon.emplace_back(word);
+  }
+  return config;
+}
+
+inline void PrintHeader(const char* id, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace cnpb::bench
+
+#endif  // CNPROBASE_BENCH_BENCH_COMMON_H_

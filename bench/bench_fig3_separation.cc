@@ -1,0 +1,92 @@
+// Reproduces Figure 3 (the separation-algorithm walkthrough on
+// 蚂蚁金服首席战略官) and the §II in-text bracket-source result (~2M isA at
+// 96.2% precision), plus an ablation against a naive "rightmost word"
+// baseline (A2).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "generation/separation.h"
+#include "text/ngram.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace cnpb {
+namespace {
+
+void PrintTree(const generation::SeparationAlgorithm::TreeNode* node,
+               int depth) {
+  if (node == nullptr) return;
+  std::printf("%*s%s\n", 2 * depth, "", node->text.c_str());
+  PrintTree(node->left, depth + 1);
+  PrintTree(node->right, depth + 1);
+}
+
+void RunWalkthrough() {
+  std::printf("-- Fig. 3 walkthrough: 蚂蚁金服首席战略官 --\n");
+  text::NgramCounter ngrams;
+  for (int i = 0; i < 40; ++i) ngrams.AddSentence({"蚂蚁", "金服"});
+  for (int i = 0; i < 40; ++i) {
+    ngrams.AddSentence({"他", "担任", "首席", "战略官"});
+  }
+  generation::SeparationAlgorithm separation(&ngrams);
+  const auto parse =
+      separation.ParseWords({"蚂蚁", "金服", "首席", "战略官"});
+  std::printf("binary tree:\n");
+  PrintTree(parse.root, 1);
+  std::printf("hypernyms (rightmost path): ");
+  for (const auto& h : parse.hypernyms) std::printf("%s ", h.c_str());
+  std::printf("\nexpected (paper): 首席战略官 战略官\n\n");
+}
+
+void RunBracketSource() {
+  std::printf("-- bracket source: volume, precision, throughput --\n");
+  auto world = bench::MakeBenchWorld(bench::BenchScale());
+  text::NgramCounter ngrams;
+  for (const auto& sentence : world->corpus_words) ngrams.AddSentence(sentence);
+  generation::BracketExtractor extractor(world->segmenter.get(), &ngrams);
+
+  util::WallTimer timer;
+  const auto candidates = extractor.Extract(world->output->dump);
+  const double seconds = timer.ElapsedSeconds();
+
+  const auto precision = eval::CandidatePrecision(candidates, world->Oracle());
+  size_t brackets = 0;
+  for (const auto& page : world->output->dump.pages()) {
+    if (!page.bracket.empty()) ++brackets;
+  }
+  std::printf("brackets parsed:      %zu\n", brackets);
+  std::printf("isA extracted:        %zu\n", candidates.size());
+  std::printf("precision:            %.1f%%   (paper: 96.2%%)\n",
+              100.0 * precision.precision());
+  std::printf("throughput:           %.0f brackets/s\n\n", brackets / seconds);
+
+  // Ablation A2: naive baseline takes the rightmost segmented word only.
+  size_t naive_total = 0, naive_correct = 0;
+  for (const auto& page : world->output->dump.pages()) {
+    if (page.bracket.empty()) continue;
+    for (const std::string& part : util::SplitBy(page.bracket, "、")) {
+      const auto words = world->segmenter->Segment(part);
+      if (words.empty()) continue;
+      ++naive_total;
+      if (world->output->gold.IsCorrect(page.name, words.back())) {
+        ++naive_correct;
+      }
+    }
+  }
+  std::printf("-- ablation A2: separation algorithm vs rightmost-word --\n");
+  std::printf("separation:           %zu isA @ %.1f%%\n", candidates.size(),
+              100.0 * precision.precision());
+  std::printf("rightmost word only:  %zu isA @ %.1f%%\n", naive_total,
+              100.0 * naive_correct / std::max<size_t>(naive_total, 1));
+  std::printf("shape check: separation recovers MORE hypernyms per bracket "
+              "(suffix heads like 战略官)\nat comparable precision.\n");
+}
+
+}  // namespace
+}  // namespace cnpb
+
+int main() {
+  cnpb::bench::PrintHeader("Figure 3 + §II", "separation algorithm");
+  cnpb::RunWalkthrough();
+  cnpb::RunBracketSource();
+}

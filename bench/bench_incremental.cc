@@ -1,0 +1,72 @@
+// Never-ending maintenance (deployment angle, §V): per-batch update cost of
+// the incremental updater vs. full rebuilds, at stable precision. CN-Probase
+// sits on CN-DBpedia, a never-ending extraction system — batches of new
+// pages arrive continuously.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/incremental.h"
+#include "util/timer.h"
+
+namespace cnpb {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Incremental", "never-ending taxonomy maintenance");
+  auto world = bench::MakeBenchWorld(bench::BenchScale());
+  const eval::Oracle oracle = world->Oracle();
+  const auto config = bench::DefaultBuilderConfig();
+
+  // Base = 70% of pages; the rest arrives in 3 equal batches.
+  kb::EncyclopediaDump base;
+  std::vector<std::vector<kb::EncyclopediaPage>> batches(3);
+  const size_t n = world->output->dump.size();
+  for (size_t i = 0; i < n; ++i) {
+    kb::EncyclopediaPage page = world->output->dump.page(i);
+    page.page_id = 0;
+    if (i < n * 7 / 10) {
+      base.AddPage(std::move(page));
+    } else {
+      batches[(i - n * 7 / 10) % 3].push_back(std::move(page));
+    }
+  }
+
+  util::WallTimer timer;
+  core::IncrementalUpdater updater(base, &world->world->lexicon(),
+                                   world->corpus_words, config);
+  const double base_seconds = timer.ElapsedSeconds();
+  std::printf("\nbase build: %zu pages -> %zu isA in %.1fs (precision %.1f%%)\n",
+              base.size(), updater.taxonomy().num_edges(), base_seconds,
+              100.0 * eval::ExactPrecision(updater.taxonomy(), oracle)
+                          .precision());
+
+  std::printf("\n%8s %8s %12s %10s %10s %10s\n", "batch", "pages",
+              "candidates", "accepted", "secs", "precision");
+  for (size_t b = 0; b < batches.size(); ++b) {
+    const auto report = updater.ApplyBatch(batches[b]);
+    std::printf("%8zu %8zu %12zu %10zu %10.2f %9.1f%%\n", b + 1,
+                report.pages_added, report.candidates, report.accepted,
+                report.seconds,
+                100.0 * eval::ExactPrecision(updater.taxonomy(), oracle)
+                            .precision());
+  }
+
+  timer.Restart();
+  core::CnProbaseBuilder::Report full_report;
+  const auto full = core::CnProbaseBuilder::Build(
+      world->output->dump, world->world->lexicon(), world->corpus_words,
+      config, &full_report);
+  const double full_seconds = timer.ElapsedSeconds();
+  std::printf("\nfull rebuild of all %zu pages: %zu isA in %.1fs "
+              "(precision %.1f%%)\n",
+              world->output->dump.size(), full.num_edges(), full_seconds,
+              100.0 * eval::ExactPrecision(full, oracle).precision());
+  std::printf("\nshape check: batches cost a small fraction of a rebuild "
+              "(no CopyNet retraining,\nno re-extraction of old pages) at "
+              "matching precision and coverage.\n");
+}
+
+}  // namespace
+}  // namespace cnpb
+
+int main() { cnpb::Run(); }

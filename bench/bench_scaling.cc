@@ -1,0 +1,41 @@
+// Scaling sweep (system angle, §V): construction cost and output size as
+// the dump grows. The paper's deployment processes a 16M-page dump; this
+// bench shows the pipeline's empirical scaling so the laptop-scale results
+// can be extrapolated.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/timer.h"
+
+namespace cnpb {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Scaling", "construction cost vs dump size");
+  std::printf("\n%10s %8s %10s %10s %10s %10s %10s\n", "entities", "pages",
+              "gen (s)", "verify (s)", "isA", "precision", "pages/s");
+  for (const size_t scale : {2000, 4000, 8000, 16000}) {
+    auto world = bench::MakeBenchWorld(scale);
+    util::WallTimer timer;
+    core::CnProbaseBuilder::Report report;
+    const auto candidates = core::CnProbaseBuilder::BuildCandidates(
+        world->output->dump, world->world->lexicon(), world->corpus_words,
+        bench::DefaultBuilderConfig(), &report);
+    const double total = timer.ElapsedSeconds();
+    const auto precision =
+        eval::CandidatePrecision(candidates, world->Oracle());
+    std::printf("%10zu %8zu %10.1f %10.1f %10zu %9.1f%% %10.0f\n", scale,
+                world->output->dump.size(), report.seconds_generation,
+                report.seconds_verification, candidates.size(),
+                100.0 * precision.precision(),
+                world->output->dump.size() / total);
+  }
+  std::printf("\nshape check: near-linear construction (neural training is "
+              "the fixed-cost\ncomponent); precision is scale-stable — the "
+              "property that let the paper push to 15M entities.\n");
+}
+
+}  // namespace
+}  // namespace cnpb
+
+int main() { cnpb::Run(); }

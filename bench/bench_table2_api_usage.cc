@@ -1,0 +1,93 @@
+// Reproduces Table II: the three deployed APIs (men2ent / getConcept /
+// getEntity) and their call mix. The paper reports six months of Aliyun
+// traffic (82M calls); we replay a scaled-down workload with the same mix
+// (men2ent-heavy: mention disambiguation is the entry point of most text-
+// understanding clients, then getEntity for concept expansion).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "taxonomy/api_service.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace cnpb {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Table II", "APIs and their usage");
+  auto world = bench::MakeBenchWorld(bench::BenchScale());
+
+  core::CnProbaseBuilder::Report report;
+  const auto taxonomy = core::CnProbaseBuilder::Build(
+      world->output->dump, world->world->lexicon(), world->corpus_words,
+      bench::DefaultBuilderConfig(), &report);
+  taxonomy::ApiService api(&taxonomy);
+  core::CnProbaseBuilder::RegisterMentions(world->output->dump, taxonomy, &api);
+
+  // Workload: the paper's observed mix (43.9M / 13.8M / 25.8M out of 83.5M),
+  // over Zipf-distributed mentions/entities/concepts.
+  const size_t total_calls = 834'000;  // 1:100 scale of the paper's traffic
+  const double p_men2ent = 43'896'044.0 / 83'504'492.0;
+  const double p_get_concept = 13'815'076.0 / 83'504'492.0;
+
+  std::vector<std::string> mentions;
+  std::vector<std::string> entity_names;
+  for (const auto& page : world->output->dump.pages()) {
+    if (taxonomy.Find(page.name) == taxonomy::kInvalidNode) continue;
+    mentions.push_back(page.mention);
+    entity_names.push_back(page.name);
+  }
+  std::vector<std::string> concept_names;
+  for (taxonomy::NodeId id = 0; id < taxonomy.num_nodes(); ++id) {
+    if (taxonomy.Kind(id) == taxonomy::NodeKind::kConcept) {
+      concept_names.push_back(taxonomy.Name(id));
+    }
+  }
+
+  util::Rng rng(2018);
+  util::ZipfSampler mention_zipf(mentions.size(), 1.0);
+  util::ZipfSampler entity_zipf(entity_names.size(), 1.0);
+  util::ZipfSampler concept_zipf(concept_names.size(), 1.0);
+
+  util::WallTimer timer;
+  size_t hits = 0;
+  for (size_t i = 0; i < total_calls; ++i) {
+    const double u = rng.UniformDouble();
+    if (u < p_men2ent) {
+      hits += api.Men2Ent(mentions[mention_zipf.Sample(rng)]).empty() ? 0 : 1;
+    } else if (u < p_men2ent + p_get_concept) {
+      hits +=
+          api.GetConcept(entity_names[entity_zipf.Sample(rng)]).empty() ? 0 : 1;
+    } else {
+      hits +=
+          api.GetEntity(concept_names[concept_zipf.Sample(rng)]).empty() ? 0 : 1;
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  const auto& usage = api.usage();
+  std::printf("\n%-12s %-28s %-22s %14s\n", "API name", "Given", "Return",
+              "Count");
+  std::printf("%-12s %-28s %-22s %14s\n", "men2ent", "mention", "entity",
+              util::CommaSeparated(usage.men2ent_calls).c_str());
+  std::printf("%-12s %-28s %-22s %14s\n", "getConcept", "entity",
+              "hypernym list",
+              util::CommaSeparated(usage.get_concept_calls).c_str());
+  std::printf("%-12s %-28s %-22s %14s\n", "getEntity", "concept",
+              "hyponym list",
+              util::CommaSeparated(usage.get_entity_calls).c_str());
+  std::printf("\ntotal %s calls in %.2fs (%.0f calls/s), %.1f%% non-empty\n",
+              util::CommaSeparated(usage.total()).c_str(), seconds,
+              usage.total() / seconds, 100.0 * hits / total_calls);
+  std::printf("\npaper reference (Mar-Sep 2018 on Aliyun):\n");
+  std::printf("  men2ent    43,896,044\n  getConcept 13,815,076\n"
+              "  getEntity  25,793,372\n");
+  std::printf("shape check: men2ent > getEntity > getConcept mix is "
+              "preserved at 1:100 scale.\n");
+}
+
+}  // namespace
+}  // namespace cnpb
+
+int main() { cnpb::Run(); }

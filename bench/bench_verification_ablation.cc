@@ -1,0 +1,76 @@
+// Ablation A1: contribution of each verification strategy. The paper argues
+// Bigcilin's lower precision comes from lacking a verification module; this
+// bench quantifies each strategy's share on the same candidate pool.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "verification/pipeline.h"
+
+namespace cnpb {
+namespace {
+
+struct AblationRow {
+  const char* name;
+  bool syntax;
+  bool ner;
+  bool incompatible;
+};
+
+void Run() {
+  bench::PrintHeader("Ablation A1", "verification strategies");
+  auto world = bench::MakeBenchWorld(bench::BenchScale());
+  const eval::Oracle oracle = world->Oracle();
+
+  // Generate once (verification off), then verify under each setting.
+  auto gen_config = bench::DefaultBuilderConfig();
+  gen_config.enable_verification = false;
+  core::CnProbaseBuilder::Report report;
+  const auto raw = core::CnProbaseBuilder::BuildCandidates(
+      world->output->dump, world->world->lexicon(), world->corpus_words,
+      gen_config, &report);
+  const auto raw_precision = eval::CandidatePrecision(raw, oracle);
+
+  const AblationRow rows[] = {
+      {"none (= Bigcilin)", false, false, false},
+      {"syntax only", true, false, false},
+      {"NER only", false, true, false},
+      {"incompatible only", false, false, true},
+      {"syntax + NER", true, true, false},
+      {"all three (= CN-Probase)", true, true, true},
+  };
+
+  std::printf("\nraw candidate pool: %zu relations @ %.1f%%\n\n", raw.size(),
+              100.0 * raw_precision.precision());
+  std::printf("%-26s %10s %10s %10s %11s %10s\n", "strategies", "kept",
+              "rej.syn", "rej.ner", "rej.incomp", "precision");
+  for (const AblationRow& row : rows) {
+    verification::VerificationPipeline::Config config;
+    config.use_syntax = row.syntax;
+    config.use_ner = row.ner;
+    config.use_incompatible = row.incompatible;
+    for (const char* word : synth::ThematicWords()) {
+      config.syntax.thematic_lexicon.emplace_back(word);
+    }
+    verification::VerificationPipeline pipeline(&world->output->dump,
+                                                &world->world->lexicon(),
+                                                config);
+    for (const auto& sentence : world->corpus_words) {
+      pipeline.AddCorpusSentence(sentence);
+    }
+    verification::VerificationPipeline::Report vreport;
+    const auto verified = pipeline.Verify(raw, &vreport);
+    const auto precision = eval::CandidatePrecision(verified, oracle);
+    std::printf("%-26s %10zu %10zu %10zu %11zu %9.1f%%\n", row.name,
+                verified.size(), vreport.rejected_syntax, vreport.rejected_ner,
+                vreport.rejected_incompatible, 100.0 * precision.precision());
+  }
+  std::printf("\nshape check: each strategy removes a distinct error family "
+              "(thematic tags /\nNE hypernyms / cross-domain concepts); "
+              "combined they lift raw precision to ~95%%,\nthe Bigcilin -> "
+              "CN-Probase gap of Table I.\n");
+}
+
+}  // namespace
+}  // namespace cnpb
+
+int main() { cnpb::Run(); }

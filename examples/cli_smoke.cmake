@@ -1,0 +1,8 @@
+# Drives the CLI through generate -> build -> stats -> query.
+file(MAKE_DIRECTORY ${DIR})
+foreach(args "generate;${DIR};800" "build;${DIR}" "stats;${DIR}" "query;${DIR};歌手")
+  execute_process(COMMAND ${CLI} ${args} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cnprobase_cli ${args} failed with ${rc}")
+  endif()
+endforeach()

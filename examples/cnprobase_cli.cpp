@@ -1,0 +1,152 @@
+// Command-line front end over the library's persistence APIs:
+//
+//   cnprobase_cli generate <dir> [entities]   synthesise dump+corpus+lexicon
+//   cnprobase_cli build    <dir>              build taxonomy from <dir>
+//   cnprobase_cli stats    <dir>              structural report
+//   cnprobase_cli query    <dir> <term>...    hypernyms/hyponyms of terms
+//
+// `generate` then `build` then `query` reproduces the whole pipeline from
+// files on disk, the way a deployment would run it stage by stage.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/builder.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "taxonomy/serialize.h"
+#include "taxonomy/stats.h"
+#include "text/segmenter.h"
+#include "util/strings.h"
+#include "util/tsv.h"
+
+namespace {
+
+using namespace cnpb;
+
+std::string DumpPath(const std::string& dir) { return dir + "/dump.tsv"; }
+std::string CorpusPath(const std::string& dir) { return dir + "/corpus.tsv"; }
+std::string LexiconPath(const std::string& dir) { return dir + "/lexicon.tsv"; }
+std::string TaxonomyPath(const std::string& dir) {
+  return dir + "/taxonomy.tsv";
+}
+
+int Generate(const std::string& dir, size_t entities) {
+  synth::WorldModel::Config wc;
+  wc.num_entities = entities;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  const auto output = synth::EncyclopediaGenerator::Generate(world, {});
+  text::Segmenter segmenter(&world.lexicon());
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, output.dump, segmenter, {});
+
+  CNPB_CHECK_OK(output.dump.Save(DumpPath(dir)));
+  CNPB_CHECK_OK(world.lexicon().Save(LexiconPath(dir)));
+  util::TsvWriter writer(CorpusPath(dir));
+  for (const auto& sentence : corpus.sentences) {
+    std::vector<std::string> words;
+    for (const auto& token : sentence) words.push_back(token.word);
+    writer.WriteRow(words);
+  }
+  CNPB_CHECK_OK(writer.Close());
+  std::printf("wrote %zu pages, %zu corpus sentences, %zu lexicon words to %s\n",
+              output.dump.size(), corpus.sentences.size(),
+              world.lexicon().size(), dir.c_str());
+  return 0;
+}
+
+int Build(const std::string& dir) {
+  auto dump = kb::EncyclopediaDump::Load(DumpPath(dir));
+  if (!dump.ok()) {
+    std::fprintf(stderr, "load dump: %s\n", dump.status().ToString().c_str());
+    return 1;
+  }
+  auto lexicon = text::Lexicon::Load(LexiconPath(dir));
+  if (!lexicon.ok()) {
+    std::fprintf(stderr, "load lexicon: %s\n",
+                 lexicon.status().ToString().c_str());
+    return 1;
+  }
+  auto corpus_rows = util::ReadTsvFile(CorpusPath(dir));
+  if (!corpus_rows.ok()) {
+    std::fprintf(stderr, "load corpus: %s\n",
+                 corpus_rows.status().ToString().c_str());
+    return 1;
+  }
+
+  core::CnProbaseBuilder::Config config;
+  for (const char* word : synth::ThematicWords()) {
+    config.verification.syntax.thematic_lexicon.emplace_back(word);
+  }
+  core::CnProbaseBuilder::Report report;
+  const auto taxonomy = core::CnProbaseBuilder::Build(
+      *dump, *lexicon, *corpus_rows, config, &report);
+  CNPB_CHECK_OK(taxonomy::SaveTaxonomy(taxonomy, TaxonomyPath(dir)));
+  std::printf(
+      "built %s isA relations (%zu rejected by verification) -> %s\n",
+      util::CommaSeparated(taxonomy.num_edges()).c_str(),
+      report.verification.rejected_total(), TaxonomyPath(dir).c_str());
+  return 0;
+}
+
+int Stats(const std::string& dir) {
+  auto taxonomy = taxonomy::LoadTaxonomy(TaxonomyPath(dir));
+  if (!taxonomy.ok()) {
+    std::fprintf(stderr, "load taxonomy: %s\n",
+                 taxonomy.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", taxonomy::FormatStats(taxonomy::ComputeStats(*taxonomy))
+                        .c_str());
+  return 0;
+}
+
+int Query(const std::string& dir, int argc, char** argv, int first) {
+  auto loaded = taxonomy::LoadTaxonomy(TaxonomyPath(dir));
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load taxonomy: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  for (int i = first; i < argc; ++i) {
+    const taxonomy::NodeId id = loaded->Find(argv[i]);
+    if (id == taxonomy::kInvalidNode) {
+      std::printf("%s: not found\n", argv[i]);
+      continue;
+    }
+    std::printf("%s:\n  hypernyms:", argv[i]);
+    for (const auto& edge : loaded->Hypernyms(id)) {
+      std::printf(" %s", loaded->Name(edge.hyper).c_str());
+    }
+    std::printf("\n  hyponyms (%zu):", loaded->Hyponyms(id).size());
+    size_t shown = 0;
+    for (const auto& edge : loaded->Hyponyms(id)) {
+      if (++shown > 6) break;
+      std::printf(" %s", loaded->Name(edge.hypo).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s generate|build|stats|query <dir> [args]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string command = argv[1];
+  const std::string dir = argv[2];
+  if (command == "generate") {
+    return Generate(dir, argc > 3 ? std::atol(argv[3]) : 8000);
+  }
+  if (command == "build") return Build(dir);
+  if (command == "stats") return Stats(dir);
+  if (command == "query") return Query(dir, argc, argv, 3);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,83 @@
+// CN-DBpedia-style construction: three partial source encyclopedias (think
+// Baidu Baike / Hudong Baike / Chinese Wikipedia) are merged into one dump,
+// and the taxonomy built from the union beats any single site — the reason
+// the paper's pipeline starts from a merged encyclopedia.
+//
+//   ./multi_site_merge [num_entities]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/builder.h"
+#include "eval/precision.h"
+#include "kb/merge.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/site_split.h"
+#include "synth/world.h"
+#include "text/segmenter.h"
+
+namespace {
+
+cnpb::taxonomy::Taxonomy BuildFrom(
+    const cnpb::kb::EncyclopediaDump& dump,
+    const cnpb::synth::WorldModel& world,
+    const std::vector<std::vector<std::string>>& corpus,
+    cnpb::core::CnProbaseBuilder::Report* report) {
+  cnpb::core::CnProbaseBuilder::Config config;
+  config.neural.epochs = 2;
+  config.neural.max_train_samples = 1000;
+  for (const char* word : cnpb::synth::ThematicWords()) {
+    config.verification.syntax.thematic_lexicon.emplace_back(word);
+  }
+  return cnpb::core::CnProbaseBuilder::Build(dump, world.lexicon(), corpus,
+                                             config, report);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cnpb;
+  const size_t num_entities = argc > 1 ? std::atol(argv[1]) : 4000;
+
+  synth::WorldModel::Config wc;
+  wc.num_entities = num_entities;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  const auto master = synth::EncyclopediaGenerator::Generate(world, {});
+  const auto sites = synth::SplitIntoSites(master.dump, {});
+  const auto merged = kb::MergeDumps({&sites[0], &sites[1], &sites[2]});
+
+  text::Segmenter segmenter(&world.lexicon());
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, merged, segmenter, {});
+  std::vector<std::vector<std::string>> corpus_words;
+  for (const auto& sentence : corpus.sentences) {
+    std::vector<std::string> words;
+    for (const auto& token : sentence) words.push_back(token.word);
+    corpus_words.push_back(std::move(words));
+  }
+
+  const eval::Oracle oracle = [&](const std::string& hypo,
+                                  const std::string& hyper) {
+    return master.gold.IsCorrect(hypo, hyper);
+  };
+
+  std::printf("%-22s %8s %8s %8s %10s\n", "input encyclopedia", "pages",
+              "isA", "entities", "precision");
+  for (size_t i = 0; i < sites.size(); ++i) {
+    core::CnProbaseBuilder::Report report;
+    const auto taxonomy = BuildFrom(sites[i], world, corpus_words, &report);
+    const auto precision = eval::ExactPrecision(taxonomy, oracle);
+    std::printf("site %zu alone           %8zu %8zu %8zu %9.1f%%\n", i + 1,
+                sites[i].size(), taxonomy.num_edges(), taxonomy.NumEntities(),
+                100.0 * precision.precision());
+  }
+  core::CnProbaseBuilder::Report report;
+  const auto taxonomy = BuildFrom(merged, world, corpus_words, &report);
+  const auto precision = eval::ExactPrecision(taxonomy, oracle);
+  std::printf("merged (CN-DBpedia)    %8zu %8zu %8zu %9.1f%%\n", merged.size(),
+              taxonomy.num_edges(), taxonomy.NumEntities(),
+              100.0 * precision.precision());
+  std::printf("\nthe union covers more entities at the same precision — the "
+              "coverage argument\nfor building on a merged encyclopedia.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Loads a taxonomy saved by build_taxonomy and serves ad-hoc queries —
+// demonstrates the persistence layer and offline reuse of a built taxonomy.
+//
+//   ./query_taxonomy <taxonomy.tsv> [term ...]
+// With no terms, prints summary statistics and a few sample concepts.
+#include <cstdio>
+
+#include "taxonomy/serialize.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace cnpb;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <taxonomy.tsv> [term ...]\n"
+                 "hint: run build_taxonomy first; it writes "
+                 "/tmp/cnprobase_taxonomy.tsv\n",
+                 argv[0]);
+    return 2;
+  }
+  auto loaded = taxonomy::LoadTaxonomy(argv[1]);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "failed to load %s: %s\n", argv[1],
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const taxonomy::Taxonomy& taxonomy = *loaded;
+  std::printf("loaded %s entities, %s concepts, %s isA relations\n",
+              util::CommaSeparated(taxonomy.NumEntities()).c_str(),
+              util::CommaSeparated(taxonomy.NumConcepts()).c_str(),
+              util::CommaSeparated(taxonomy.num_edges()).c_str());
+
+  if (argc == 2) {
+    // No query terms: show the largest concepts.
+    std::printf("\nlargest concepts by hyponym count:\n");
+    std::vector<std::pair<size_t, taxonomy::NodeId>> sized;
+    for (taxonomy::NodeId id = 0; id < taxonomy.num_nodes(); ++id) {
+      if (taxonomy.Kind(id) == taxonomy::NodeKind::kConcept) {
+        sized.emplace_back(taxonomy.Hyponyms(id).size(), id);
+      }
+    }
+    std::sort(sized.rbegin(), sized.rend());
+    for (size_t i = 0; i < std::min<size_t>(10, sized.size()); ++i) {
+      std::printf("  %-12s %zu hyponyms\n",
+                  taxonomy.Name(sized[i].second).c_str(), sized[i].first);
+    }
+    return 0;
+  }
+
+  for (int i = 2; i < argc; ++i) {
+    const taxonomy::NodeId id = taxonomy.Find(argv[i]);
+    std::printf("\n\"%s\": ", argv[i]);
+    if (id == taxonomy::kInvalidNode) {
+      std::printf("not in taxonomy\n");
+      continue;
+    }
+    std::printf("%s\n",
+                taxonomy.Kind(id) == taxonomy::NodeKind::kConcept ? "concept"
+                                                                  : "entity");
+    std::printf("  hypernyms: ");
+    for (const auto& edge : taxonomy.Hypernyms(id)) {
+      std::printf("%s(%s) ", taxonomy.Name(edge.hyper).c_str(),
+                  taxonomy::SourceName(edge.source));
+    }
+    std::printf("\n  transitive hypernyms: ");
+    for (taxonomy::NodeId up : taxonomy.TransitiveHypernyms(id)) {
+      std::printf("%s ", taxonomy.Name(up).c_str());
+    }
+    const auto& hyponyms = taxonomy.Hyponyms(id);
+    std::printf("\n  hyponyms (%zu): ", hyponyms.size());
+    for (size_t k = 0; k < std::min<size_t>(8, hyponyms.size()); ++k) {
+      std::printf("%s ", taxonomy.Name(hyponyms[k].hypo).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

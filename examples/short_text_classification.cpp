@@ -1,0 +1,175 @@
+// Short-text classification with taxonomy knowledge — the application the
+// paper cites as a consumer of CN-Probase (Chen et al., AAAI 2019, "Deep
+// Short Text Classification with Knowledge Powered Attention"). Short texts
+// are sparse; lifting detected entities to their taxonomy concepts supplies
+// the missing evidence. This demo classifies synthetic short texts into
+// domains with (a) a no-knowledge keyword baseline and (b) taxonomy
+// conceptualisation, and reports the accuracy gap.
+//
+//   ./short_text_classification [num_entities]
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "core/builder.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "text/trie_matcher.h"
+#include "text/segmenter.h"
+#include "util/rng.h"
+
+namespace {
+
+using cnpb::synth::Domain;
+
+const char* DomainName(Domain domain) {
+  switch (domain) {
+    case Domain::kPerson:
+      return "人物";
+    case Domain::kPlace:
+      return "地点";
+    case Domain::kWork:
+      return "作品";
+    case Domain::kOrg:
+      return "组织";
+    case Domain::kBio:
+      return "生物";
+    case Domain::kFood:
+      return "食物";
+    case Domain::kProduct:
+      return "产品";
+    case Domain::kEvent:
+      return "事件";
+    case Domain::kOther:
+      return "其他";
+  }
+  return "其他";
+}
+
+struct LabeledText {
+  std::string text;
+  Domain label;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cnpb;
+  const size_t num_entities = argc > 1 ? std::atol(argv[1]) : 4000;
+
+  synth::WorldModel::Config wc;
+  wc.num_entities = num_entities;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  const auto output = synth::EncyclopediaGenerator::Generate(world, {});
+  text::Segmenter segmenter(&world.lexicon());
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, output.dump, segmenter, {});
+  std::vector<std::vector<std::string>> corpus_words;
+  for (const auto& sentence : corpus.sentences) {
+    std::vector<std::string> words;
+    for (const auto& token : sentence) words.push_back(token.word);
+    corpus_words.push_back(std::move(words));
+  }
+  core::CnProbaseBuilder::Config config;
+  config.neural.epochs = 2;
+  config.neural.max_train_samples = 1000;
+  for (const char* word : synth::ThematicWords()) {
+    config.verification.syntax.thematic_lexicon.emplace_back(word);
+  }
+  core::CnProbaseBuilder::Report report;
+  const auto taxonomy = core::CnProbaseBuilder::Build(
+      output.dump, world.lexicon(), corpus_words, config, &report);
+
+  // Mention detector over taxonomy entities.
+  text::TrieMatcher matcher;
+  for (const auto& page : output.dump.pages()) {
+    const taxonomy::NodeId id = taxonomy.Find(page.name);
+    if (id == taxonomy::kInvalidNode) continue;
+    matcher.Add(page.mention, static_cast<uint64_t>(id) + 1);
+    for (const std::string& alias : page.aliases) {
+      matcher.Add(alias, static_cast<uint64_t>(id) + 1);
+    }
+  }
+
+  // Domain roots by name -> Domain.
+  const std::unordered_map<std::string, Domain> roots = {
+      {"人物", Domain::kPerson}, {"地点", Domain::kPlace},
+      {"作品", Domain::kWork},   {"组织", Domain::kOrg},
+      {"生物", Domain::kBio},    {"食物", Domain::kFood},
+      {"产品", Domain::kProduct}, {"事件", Domain::kEvent},
+  };
+
+  // Labeled short texts: each mentions one entity; the label is the
+  // entity's true domain. Texts give almost no surface signal on their own.
+  util::Rng rng(321);
+  std::vector<LabeledText> texts;
+  const char* templates[] = {"我很喜欢%s", "%s怎么样", "帮我查一下%s",
+                             "%s真不错", "聊聊%s吧"};
+  for (const synth::WorldEntity& entity : world.entities()) {
+    if (!rng.Bernoulli(0.2)) continue;
+    LabeledText item;
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer), templates[rng.Uniform(5)],
+                  entity.mention.c_str());
+    item.text = buffer;
+    item.label = entity.domain;
+    texts.push_back(std::move(item));
+    if (texts.size() >= 3000) break;
+  }
+
+  // Baseline: keyword heuristics only (《》 -> work; suffix cues; else the
+  // majority class 人物).
+  size_t baseline_correct = 0;
+  for (const LabeledText& item : texts) {
+    Domain guess = Domain::kPerson;
+    if (item.text.find("《") != std::string::npos) guess = Domain::kWork;
+    if (item.text.find("公司") != std::string::npos ||
+        item.text.find("大学") != std::string::npos) {
+      guess = Domain::kOrg;
+    }
+    if (guess == item.label) ++baseline_correct;
+  }
+
+  // Taxonomy classifier: detect the entity, walk its transitive hypernyms
+  // to a domain root.
+  size_t taxonomy_correct = 0, matched = 0;
+  for (const LabeledText& item : texts) {
+    const auto matches = matcher.FindAll(item.text);
+    Domain guess = Domain::kPerson;
+    if (!matches.empty()) {
+      ++matched;
+      const auto id =
+          static_cast<taxonomy::NodeId>(matches[0].payload - 1);
+      for (const taxonomy::NodeId up : taxonomy.TransitiveHypernyms(id)) {
+        auto it = roots.find(taxonomy.Name(up));
+        if (it != roots.end()) {
+          guess = it->second;
+          break;
+        }
+      }
+    }
+    if (guess == item.label) ++taxonomy_correct;
+  }
+
+  std::printf("short texts:                 %zu (8 domain labels)\n",
+              texts.size());
+  std::printf("keyword baseline accuracy:   %.1f%%\n",
+              100.0 * baseline_correct / texts.size());
+  std::printf("taxonomy accuracy:           %.1f%%  (%.1f%% texts matched an "
+              "entity)\n",
+              100.0 * taxonomy_correct / texts.size(),
+              100.0 * matched / texts.size());
+  std::printf("\nexample classifications:\n");
+  for (size_t i = 0; i < texts.size() && i < 5; ++i) {
+    const auto matches = matcher.FindAll(texts[i].text);
+    std::printf("  \"%s\" -> gold %s", texts[i].text.c_str(),
+                DomainName(texts[i].label));
+    if (!matches.empty()) {
+      const auto id = static_cast<taxonomy::NodeId>(matches[0].payload - 1);
+      std::printf("  (entity: %s)", taxonomy.Name(id).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

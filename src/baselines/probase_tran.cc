@@ -1,0 +1,105 @@
+#include "baselines/probase_tran.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace cnpb::baselines {
+
+namespace {
+
+// One pair of the synthetic English Probase.
+struct EnglishPair {
+  std::string hypo;   // romanised entity or english concept gloss
+  std::string hyper;  // english concept gloss
+  bool hypo_is_entity = true;
+  bool gold = true;  // whether the English pair itself is correct
+};
+
+}  // namespace
+
+ProbaseTran::Result ProbaseTran::Build(const synth::WorldModel& world,
+                                       const Config& config) {
+  Result result;
+  util::Rng rng(config.seed);
+  const synth::Ontology& onto = world.ontology();
+  const synth::BilingualDictionary dict =
+      synth::BilingualDictionary::Build(world, config.dictionary);
+
+  // ---- synthesise the English Probase --------------------------------------
+  std::vector<EnglishPair> english;
+  for (const synth::WorldEntity& entity : world.entities()) {
+    const std::string romanised =
+        synth::BilingualDictionary::Romanize(entity.mention);
+    for (int concept_id : entity.concepts) {
+      EnglishPair pair;
+      pair.hypo = romanised;
+      pair.hypo_is_entity = true;
+      if (rng.Bernoulli(config.probase_noise_rate)) {
+        // Probase's own extraction noise: a random unrelated concept.
+        const int wrong = static_cast<int>(rng.Uniform(onto.size()));
+        pair.hyper = dict.EnglishConcept(wrong);
+        pair.gold = onto.IsAncestor(wrong, concept_id) || wrong == concept_id;
+      } else {
+        pair.hyper = dict.EnglishConcept(concept_id);
+        pair.gold = true;
+      }
+      english.push_back(std::move(pair));
+    }
+  }
+  for (const auto& [child, parent] : onto.AllEdges()) {
+    EnglishPair pair;
+    pair.hypo = dict.EnglishConcept(child);
+    pair.hyper = dict.EnglishConcept(parent);
+    pair.hypo_is_entity = false;
+    pair.gold = true;
+    english.push_back(std::move(pair));
+  }
+  result.english_pairs = english.size();
+
+  // ---- translate and filter -------------------------------------------------
+  for (const EnglishPair& pair : english) {
+    const synth::BilingualDictionary::Translation& hyper_t =
+        dict.TranslateConcept(pair.hyper);
+    const synth::BilingualDictionary::Translation& hypo_t =
+        pair.hypo_is_entity ? dict.TranslateEntity(pair.hypo)
+                            : dict.TranslateConcept(pair.hypo);
+    if (hyper_t.chinese.empty() || hypo_t.chinese.empty()) continue;
+    if (hypo_t.chinese == hyper_t.chinese) continue;
+    ++result.translated_pairs;
+
+    if (config.filter_meaning &&
+        std::min(hypo_t.confidence, hyper_t.confidence) <
+            config.min_confidence) {
+      ++result.filtered_meaning;
+      continue;
+    }
+    if (config.filter_pos && hyper_t.pos != text::Pos::kNoun) {
+      ++result.filtered_pos;
+      continue;
+    }
+
+    const taxonomy::NodeId hypo_id = result.taxonomy.AddNode(
+        hypo_t.chinese, pair.hypo_is_entity ? taxonomy::NodeKind::kEntity
+                                            : taxonomy::NodeKind::kConcept);
+    const taxonomy::NodeId hyper_id =
+        result.taxonomy.AddNode(hyper_t.chinese, taxonomy::NodeKind::kConcept);
+    if (config.filter_transitivity &&
+        result.taxonomy.WouldCreateCycle(hypo_id, hyper_id)) {
+      ++result.filtered_transitivity;
+      continue;
+    }
+    if (result.taxonomy.AddIsa(hypo_id, hyper_id,
+                               taxonomy::Source::kTranslation)) {
+      ++result.total_edges;
+      // The translated pair is correct only when the English pair was gold
+      // and both translations kept their meaning.
+      if (pair.gold && hypo_t.correct && hyper_t.correct) {
+        ++result.correct_edges;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace cnpb::baselines

@@ -1,0 +1,60 @@
+#ifndef CNPROBASE_BASELINES_PROBASE_TRAN_H_
+#define CNPROBASE_BASELINES_PROBASE_TRAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "synth/bilingual.h"
+#include "synth/world.h"
+#include "taxonomy/taxonomy.h"
+
+namespace cnpb::baselines {
+
+// Probase-Tran baseline (paper §IV-A): take an English Probase and machine-
+// translate it into Chinese, then apply three heuristic filters (meaning,
+// transitivity, POS). The paper builds this to show that cross-language
+// translation cannot produce a high-quality Chinese taxonomy (54.5%
+// precision in Table I).
+//
+// The English Probase here is synthesised from the world model (with its
+// own intrinsic noise, as the real Probase has), and the "Google Translate"
+// step is the deterministic noisy dictionary in synth::BilingualDictionary.
+class ProbaseTran {
+ public:
+  struct Config {
+    synth::BilingualDictionary::Config dictionary;
+    // The real Probase is itself ~92% precise.
+    double probase_noise_rate = 0.08;
+    uint64_t seed = 61;
+    // The paper's three translation-error filters.
+    bool filter_meaning = true;       // translator confidence floor
+    double min_confidence = 0.35;
+    bool filter_pos = true;           // hypernym must come back a noun
+    bool filter_transitivity = true;  // drop edges that break the DAG
+  };
+
+  struct Result {
+    taxonomy::Taxonomy taxonomy;
+    size_t english_pairs = 0;
+    size_t translated_pairs = 0;
+    size_t filtered_meaning = 0;
+    size_t filtered_pos = 0;
+    size_t filtered_transitivity = 0;
+    // Correctness bookkeeping from the generator side (substitutes the
+    // paper's manual labeling of this baseline).
+    size_t correct_edges = 0;
+    size_t total_edges = 0;
+    double precision() const {
+      return total_edges == 0
+                 ? 0.0
+                 : static_cast<double>(correct_edges) / total_edges;
+    }
+  };
+
+  static Result Build(const synth::WorldModel& world, const Config& config);
+};
+
+}  // namespace cnpb::baselines
+
+#endif  // CNPROBASE_BASELINES_PROBASE_TRAN_H_

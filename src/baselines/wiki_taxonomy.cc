@@ -1,0 +1,53 @@
+#include "baselines/wiki_taxonomy.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/builder.h"
+#include "generation/direct_extraction.h"
+
+namespace cnpb::baselines {
+
+taxonomy::Taxonomy ChineseWikiTaxonomy::Build(const kb::EncyclopediaDump& dump,
+                                              const text::Lexicon& lexicon,
+                                              const Config& config) {
+  const std::unordered_set<std::string> thematic(
+      config.thematic_lexicon.begin(), config.thematic_lexicon.end());
+
+  // Pass 1: how many pages carry each tag.
+  std::unordered_map<std::string, size_t> tag_pages;
+  for (const kb::EncyclopediaPage& page : dump.pages()) {
+    std::unordered_set<std::string> unique(page.tags.begin(), page.tags.end());
+    for (const std::string& tag : unique) ++tag_pages[tag];
+  }
+
+  // Pass 2: keep only relations with trusted tags. The frequency floor drops
+  // tail noise; thematic and proper-noun tags are rejected outright.
+  generation::CandidateList kept;
+  for (generation::Candidate& candidate :
+       generation::ExtractFromTags(dump)) {
+    if (thematic.count(candidate.hyper) > 0) continue;
+    if (lexicon.PosOf(candidate.hyper) == text::Pos::kProperNoun) continue;
+    auto it = tag_pages.find(candidate.hyper);
+    if (it == tag_pages.end() || it->second < config.min_tag_pages) continue;
+    candidate.source = taxonomy::Source::kImported;
+    kept.push_back(std::move(candidate));
+  }
+  return core::CnProbaseBuilder::Materialise(kept);
+}
+
+taxonomy::Taxonomy Bigcilin::Build(
+    const kb::EncyclopediaDump& dump, const text::Lexicon& lexicon,
+    const std::vector<std::vector<std::string>>& corpus,
+    const Config& config) {
+  // Multi-source generation identical to CN-Probase but with the
+  // verification module disabled — the comparison Table I isolates.
+  core::CnProbaseBuilder::Config builder_config;
+  builder_config.enable_verification = false;
+  builder_config.neural.seed = config.seed;
+  core::CnProbaseBuilder::Report report;
+  return core::CnProbaseBuilder::Build(dump, lexicon, corpus, builder_config,
+                                       &report);
+}
+
+}  // namespace cnpb::baselines

@@ -1,0 +1,48 @@
+#ifndef CNPROBASE_BASELINES_WIKI_TAXONOMY_H_
+#define CNPROBASE_BASELINES_WIKI_TAXONOMY_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/dump.h"
+#include "taxonomy/taxonomy.h"
+#include "text/lexicon.h"
+
+namespace cnpb::baselines {
+
+// Chinese WikiTaxonomy baseline (Li et al. 2015): built from a single source
+// — the tag field — with aggressive conservative filtering. High precision,
+// low coverage: exactly the trade-off Table I shows (97.6% precision but 25x
+// fewer isA relations than CN-Probase).
+class ChineseWikiTaxonomy {
+ public:
+  struct Config {
+    // A tag must label at least this many pages to be trusted as a class.
+    size_t min_tag_pages = 8;
+    // External resources also used by the original system.
+    std::vector<std::string> thematic_lexicon;
+  };
+
+  static taxonomy::Taxonomy Build(const kb::EncyclopediaDump& dump,
+                                  const text::Lexicon& lexicon,
+                                  const Config& config);
+};
+
+// Bigcilin baseline (Fu et al. 2013): open-domain hypernym discovery from
+// multiple sources, but without CN-Probase's verification module. Large but
+// noisier (~90% in Table I).
+class Bigcilin {
+ public:
+  struct Config {
+    uint64_t seed = 51;
+  };
+
+  static taxonomy::Taxonomy Build(
+      const kb::EncyclopediaDump& dump, const text::Lexicon& lexicon,
+      const std::vector<std::vector<std::string>>& corpus,
+      const Config& config);
+};
+
+}  // namespace cnpb::baselines
+
+#endif  // CNPROBASE_BASELINES_WIKI_TAXONOMY_H_

@@ -1,0 +1,138 @@
+#include "core/builder.h"
+
+#include <unordered_set>
+
+#include "generation/direct_extraction.h"
+#include "generation/separation.h"
+#include "text/ngram.h"
+#include "text/segmenter.h"
+#include "util/timer.h"
+
+namespace cnpb::core {
+
+generation::CandidateList CnProbaseBuilder::BuildCandidates(
+    const kb::EncyclopediaDump& dump, const text::Lexicon& lexicon,
+    const std::vector<std::vector<std::string>>& corpus, const Config& config,
+    Report* report) {
+  Report local;
+  util::WallTimer timer;
+
+  text::Segmenter segmenter(&lexicon);
+  text::NgramCounter ngrams;
+  for (const auto& sentence : corpus) ngrams.AddSentence(sentence);
+
+  // --- generation module ---------------------------------------------------
+  generation::CandidateList bracket;
+  if (config.enable_bracket || config.enable_abstract ||
+      config.enable_infobox) {
+    // Bracket extraction also powers distant supervision for the abstract
+    // and infobox extractors, so it runs whenever either needs a prior.
+    generation::BracketExtractor extractor(&segmenter, &ngrams);
+    bracket = extractor.Extract(dump);
+  }
+
+  generation::CandidateList abstract_candidates;
+  generation::NeuralGeneration neural(config.neural);
+  if (config.enable_abstract) {
+    neural.BuildDataset(dump, bracket, segmenter);
+    local.neural_stats = neural.Train();
+    abstract_candidates = neural.ExtractAll(dump, segmenter);
+  }
+
+  generation::CandidateList infobox_candidates;
+  if (config.enable_infobox) {
+    generation::PredicateDiscovery discovery(config.predicates);
+    local.discovery = discovery.Discover(dump, bracket);
+    infobox_candidates =
+        generation::PredicateDiscovery::Extract(dump, local.discovery.selected);
+  }
+
+  generation::CandidateList tag_candidates;
+  if (config.enable_tag) {
+    tag_candidates = generation::ExtractFromTags(dump);
+  }
+
+  if (!config.enable_bracket) bracket.clear();
+  for (auto& candidate : bracket) candidate.score = config.bracket_prior;
+  for (auto& candidate : infobox_candidates) {
+    candidate.score = config.infobox_prior;
+  }
+  for (auto& candidate : tag_candidates) candidate.score = config.tag_prior;
+  for (auto& candidate : abstract_candidates) {
+    candidate.score = config.abstract_prior;
+  }
+  local.bracket_candidates = bracket.size();
+  local.abstract_candidates = abstract_candidates.size();
+  local.infobox_candidates = infobox_candidates.size();
+  local.tag_candidates = tag_candidates.size();
+
+  // Merge in decreasing-precision order so provenance reflects the most
+  // trustworthy source of each pair.
+  generation::CandidateList merged = generation::MergeCandidates(
+      {&bracket, &infobox_candidates, &tag_candidates, &abstract_candidates});
+  local.merged_candidates = merged.size();
+  local.seconds_generation = timer.ElapsedSeconds();
+
+  // --- verification module -------------------------------------------------
+  timer.Restart();
+  generation::CandidateList verified;
+  if (config.enable_verification) {
+    verification::VerificationPipeline pipeline(&dump, &lexicon,
+                                                config.verification);
+    for (const auto& sentence : corpus) pipeline.AddCorpusSentence(sentence);
+    verified = pipeline.Verify(merged, &local.verification);
+  } else {
+    verified = std::move(merged);
+    local.verification.input = local.merged_candidates;
+    local.verification.output = verified.size();
+  }
+  local.seconds_verification = timer.ElapsedSeconds();
+
+  if (report != nullptr) *report = std::move(local);
+  return verified;
+}
+
+taxonomy::Taxonomy CnProbaseBuilder::Materialise(
+    const generation::CandidateList& candidates) {
+  taxonomy::Taxonomy taxonomy;
+  // Concepts first so a term that is both a page and a hypernym gets the
+  // concept kind (subconcept relations).
+  std::unordered_set<std::string_view> concepts;
+  for (const generation::Candidate& candidate : candidates) {
+    concepts.insert(candidate.hyper);
+  }
+  for (const generation::Candidate& candidate : candidates) {
+    taxonomy.AddNode(candidate.hyper, taxonomy::NodeKind::kConcept);
+  }
+  for (const generation::Candidate& candidate : candidates) {
+    const taxonomy::NodeKind kind = concepts.count(candidate.hypo) > 0
+                                        ? taxonomy::NodeKind::kConcept
+                                        : taxonomy::NodeKind::kEntity;
+    taxonomy.AddIsa(candidate.hypo, candidate.hyper, candidate.source,
+                    candidate.score, kind);
+  }
+  return taxonomy;
+}
+
+taxonomy::Taxonomy CnProbaseBuilder::Build(
+    const kb::EncyclopediaDump& dump, const text::Lexicon& lexicon,
+    const std::vector<std::vector<std::string>>& corpus, const Config& config,
+    Report* report) {
+  return Materialise(BuildCandidates(dump, lexicon, corpus, config, report));
+}
+
+void CnProbaseBuilder::RegisterMentions(const kb::EncyclopediaDump& dump,
+                                        const taxonomy::Taxonomy& taxonomy,
+                                        taxonomy::ApiService* service) {
+  for (const kb::EncyclopediaPage& page : dump.pages()) {
+    const taxonomy::NodeId id = taxonomy.Find(page.name);
+    if (id != taxonomy::kInvalidNode) {
+      service->RegisterMention(page.mention, id);
+      for (const std::string& alias : page.aliases) {
+        service->RegisterMention(alias, id);
+      }
+    }
+  }
+}
+
+}  // namespace cnpb::core

@@ -1,0 +1,84 @@
+#ifndef CNPROBASE_CORE_BUILDER_H_
+#define CNPROBASE_CORE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "generation/candidate.h"
+#include "generation/neural_generation.h"
+#include "generation/predicate_discovery.h"
+#include "kb/dump.h"
+#include "taxonomy/api_service.h"
+#include "taxonomy/taxonomy.h"
+#include "text/lexicon.h"
+#include "verification/pipeline.h"
+
+namespace cnpb::core {
+
+// The CN-Probase construction pipeline (paper Figure 2): four generation
+// extractors over the encyclopedia dump, candidate merging, and the
+// three-strategy verification module, producing the final taxonomy.
+class CnProbaseBuilder {
+ public:
+  struct Config {
+    // Generation toggles (ablations / single-source baselines).
+    bool enable_bracket = true;
+    bool enable_abstract = true;
+    bool enable_infobox = true;
+    bool enable_tag = true;
+    bool enable_verification = true;
+
+    generation::NeuralGeneration::Config neural;
+    generation::PredicateDiscovery::Config predicates;
+    verification::VerificationPipeline::Config verification;
+
+    // Per-source confidence priors, recorded as edge scores. Set from each
+    // source's measured precision; ApiService ranks hypernyms by them.
+    float bracket_prior = 0.96f;
+    float infobox_prior = 0.92f;
+    float tag_prior = 0.90f;
+    float abstract_prior = 0.85f;
+  };
+
+  struct Report {
+    size_t bracket_candidates = 0;
+    size_t abstract_candidates = 0;
+    size_t infobox_candidates = 0;
+    size_t tag_candidates = 0;
+    size_t merged_candidates = 0;
+    generation::PredicateDiscovery::Discovery discovery;
+    generation::NeuralGeneration::TrainStats neural_stats;
+    verification::VerificationPipeline::Report verification;
+    double seconds_generation = 0.0;
+    double seconds_verification = 0.0;
+  };
+
+  // `corpus` is the segmented text corpus backing PMI and NER supports.
+  // All inputs must outlive the call.
+  static taxonomy::Taxonomy Build(
+      const kb::EncyclopediaDump& dump, const text::Lexicon& lexicon,
+      const std::vector<std::vector<std::string>>& corpus,
+      const Config& config, Report* report);
+
+  // Builds the verified candidate list without materialising the taxonomy
+  // (used by evaluation to score individual sources).
+  static generation::CandidateList BuildCandidates(
+      const kb::EncyclopediaDump& dump, const text::Lexicon& lexicon,
+      const std::vector<std::vector<std::string>>& corpus,
+      const Config& config, Report* report);
+
+  // Materialises a taxonomy from verified candidates: every hypernym string
+  // becomes a concept node; hyponyms that never appear as hypernyms become
+  // entity nodes.
+  static taxonomy::Taxonomy Materialise(
+      const generation::CandidateList& candidates);
+
+  // Wires an ApiService mention index from the dump's pages.
+  static void RegisterMentions(const kb::EncyclopediaDump& dump,
+                               const taxonomy::Taxonomy& taxonomy,
+                               taxonomy::ApiService* service);
+};
+
+}  // namespace cnpb::core
+
+#endif  // CNPROBASE_CORE_BUILDER_H_

@@ -1,0 +1,178 @@
+#include "core/incremental.h"
+
+#include <unordered_set>
+
+#include "generation/direct_extraction.h"
+#include "generation/predicate_discovery.h"
+#include "generation/separation.h"
+#include "util/timer.h"
+#include "verification/pipeline.h"
+
+namespace cnpb::core {
+
+namespace {
+
+std::string PairKey(const std::string& hypo, const std::string& hyper) {
+  std::string key = hypo;
+  key.push_back('\x01');
+  key.append(hyper);
+  return key;
+}
+
+kb::EncyclopediaDump CopyPages(const kb::EncyclopediaDump& source,
+                               size_t first_page) {
+  kb::EncyclopediaDump out;
+  for (size_t i = first_page; i < source.size(); ++i) {
+    kb::EncyclopediaPage page = source.page(i);
+    page.page_id = 0;
+    out.AddPage(std::move(page));
+  }
+  return out;
+}
+
+}  // namespace
+
+IncrementalUpdater::IncrementalUpdater(
+    const kb::EncyclopediaDump& base, const text::Lexicon* lexicon,
+    const std::vector<std::vector<std::string>>& corpus,
+    const CnProbaseBuilder::Config& config)
+    : config_(config),
+      lexicon_(lexicon),
+      dump_(CopyPages(base, 0)),
+      corpus_(corpus),
+      segmenter_(lexicon),
+      neural_(config.neural) {
+  for (const auto& sentence : corpus_) ngrams_.AddSentence(sentence);
+
+  // One-time expensive preparation on the base dump: bracket prior, CopyNet
+  // training, predicate selection.
+  generation::BracketExtractor extractor(&segmenter_, &ngrams_);
+  const generation::CandidateList prior = extractor.Extract(dump_);
+  neural_.BuildDataset(dump_, prior, segmenter_);
+  base_report_.neural_stats = neural_.Train();
+  generation::PredicateDiscovery discovery(config_.predicates);
+  base_report_.discovery = discovery.Discover(dump_, prior);
+  selected_predicates_ = base_report_.discovery.selected;
+
+  // Base build (reuses what was just prepared).
+  generation::CandidateList abstract_candidates =
+      neural_.ExtractAll(dump_, segmenter_);
+  generation::CandidateList infobox_candidates =
+      generation::PredicateDiscovery::Extract(dump_, selected_predicates_);
+  generation::CandidateList tag_candidates =
+      generation::ExtractFromTags(dump_);
+  generation::CandidateList bracket = prior;
+  for (auto& c : bracket) c.score = config_.bracket_prior;
+  for (auto& c : infobox_candidates) c.score = config_.infobox_prior;
+  for (auto& c : tag_candidates) c.score = config_.tag_prior;
+  for (auto& c : abstract_candidates) c.score = config_.abstract_prior;
+  base_report_.bracket_candidates = bracket.size();
+  base_report_.abstract_candidates = abstract_candidates.size();
+  base_report_.infobox_candidates = infobox_candidates.size();
+  base_report_.tag_candidates = tag_candidates.size();
+
+  generation::CandidateList merged = generation::MergeCandidates(
+      {&bracket, &infobox_candidates, &tag_candidates, &abstract_candidates});
+  base_report_.merged_candidates = merged.size();
+
+  generation::CandidateList verified;
+  if (config_.enable_verification) {
+    verification::VerificationPipeline pipeline(&dump_, lexicon_,
+                                                config_.verification);
+    for (const auto& sentence : corpus_) pipeline.AddCorpusSentence(sentence);
+    verified = pipeline.Verify(merged, &base_report_.verification);
+  } else {
+    verified = std::move(merged);
+  }
+  taxonomy_ = CnProbaseBuilder::Materialise(verified);
+}
+
+generation::CandidateList IncrementalUpdater::ExtractFrom(size_t first_page) {
+  const kb::EncyclopediaDump delta = CopyPages(dump_, first_page);
+  generation::BracketExtractor extractor(&segmenter_, &ngrams_);
+  generation::CandidateList bracket = extractor.Extract(delta);
+  generation::CandidateList abstract_candidates =
+      neural_.ExtractAll(delta, segmenter_);
+  generation::CandidateList infobox_candidates =
+      generation::PredicateDiscovery::Extract(delta, selected_predicates_);
+  generation::CandidateList tag_candidates =
+      generation::ExtractFromTags(delta);
+  for (auto& c : bracket) c.score = config_.bracket_prior;
+  for (auto& c : infobox_candidates) c.score = config_.infobox_prior;
+  for (auto& c : tag_candidates) c.score = config_.tag_prior;
+  for (auto& c : abstract_candidates) c.score = config_.abstract_prior;
+  return generation::MergeCandidates(
+      {&bracket, &infobox_candidates, &tag_candidates, &abstract_candidates});
+}
+
+IncrementalUpdater::BatchReport IncrementalUpdater::ApplyBatch(
+    const std::vector<kb::EncyclopediaPage>& pages,
+    const std::vector<std::vector<std::string>>& new_corpus) {
+  BatchReport report;
+  util::WallTimer timer;
+
+  const size_t first_new = dump_.size();
+  for (const kb::EncyclopediaPage& page : pages) {
+    if (dump_.FindByName(page.name) != nullptr) continue;  // already known
+    kb::EncyclopediaPage copy = page;
+    copy.page_id = 0;
+    dump_.AddPage(std::move(copy));
+    ++report.pages_added;
+  }
+  for (const auto& sentence : new_corpus) {
+    ngrams_.AddSentence(sentence);
+    corpus_.push_back(sentence);
+  }
+  if (report.pages_added == 0) {
+    report.seconds = timer.ElapsedSeconds();
+    return report;
+  }
+
+  const generation::CandidateList fresh = ExtractFrom(first_new);
+  report.candidates = fresh.size();
+
+  // Existing relations join the pool so the verification statistics (NER s2,
+  // concept hyponym sets, attribute distributions) see the whole taxonomy —
+  // and so accumulating evidence can also revoke old relations.
+  generation::CandidateList pool;
+  pool.reserve(taxonomy_.num_edges() + fresh.size());
+  taxonomy_.ForEachEdge([&](const taxonomy::IsaEdge& edge) {
+    generation::Candidate candidate;
+    candidate.hypo = taxonomy_.Name(edge.hypo);
+    candidate.hyper = taxonomy_.Name(edge.hyper);
+    candidate.source = edge.source;
+    candidate.score = edge.score;
+    pool.push_back(std::move(candidate));
+  });
+  std::unordered_set<std::string> existing;
+  existing.reserve(pool.size());
+  for (const auto& candidate : pool) {
+    existing.insert(PairKey(candidate.hypo, candidate.hyper));
+  }
+  for (const auto& candidate : fresh) {
+    if (existing.count(PairKey(candidate.hypo, candidate.hyper)) == 0) {
+      pool.push_back(candidate);
+    }
+  }
+
+  generation::CandidateList verified;
+  if (config_.enable_verification) {
+    verification::VerificationPipeline pipeline(&dump_, lexicon_,
+                                                config_.verification);
+    for (const auto& sentence : corpus_) pipeline.AddCorpusSentence(sentence);
+    verified = pipeline.Verify(pool, nullptr);
+  } else {
+    verified = std::move(pool);
+  }
+  const size_t before = taxonomy_.num_edges();
+  taxonomy_ = CnProbaseBuilder::Materialise(verified);
+  const size_t after = taxonomy_.num_edges();
+  report.accepted = after > before ? after - before : 0;
+  report.rejected = report.candidates > report.accepted
+                        ? report.candidates - report.accepted
+                        : 0;
+  report.seconds = timer.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace cnpb::core

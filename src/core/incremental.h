@@ -1,0 +1,72 @@
+#ifndef CNPROBASE_CORE_INCREMENTAL_H_
+#define CNPROBASE_CORE_INCREMENTAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "generation/neural_generation.h"
+#include "kb/dump.h"
+#include "taxonomy/taxonomy.h"
+#include "text/lexicon.h"
+#include "text/ngram.h"
+#include "text/segmenter.h"
+
+namespace cnpb::core {
+
+// Incremental taxonomy maintenance. CN-Probase is deployed on top of
+// CN-DBpedia, a never-ending extraction system (Xu et al. 2017): new pages
+// arrive continuously, and rebuilding 15M entities per batch is not an
+// option. The updater trains the expensive components once on the base dump
+// (CopyNet, predicate selection) and then processes page batches by
+// extracting candidates from the delta only, while verification statistics
+// (NER supports, concept attribute distributions) are maintained over the
+// union.
+class IncrementalUpdater {
+ public:
+  struct BatchReport {
+    size_t pages_added = 0;
+    size_t candidates = 0;
+    size_t accepted = 0;
+    size_t rejected = 0;
+    double seconds = 0.0;
+  };
+
+  // Builds the base taxonomy from `base` and prepares the reusable
+  // components. `lexicon` must outlive the updater; the corpus seeds the
+  // PMI table and NER supports.
+  IncrementalUpdater(const kb::EncyclopediaDump& base,
+                     const text::Lexicon* lexicon,
+                     const std::vector<std::vector<std::string>>& corpus,
+                     const CnProbaseBuilder::Config& config);
+
+  // Applies one batch of new pages (and optional new corpus sentences);
+  // returns what happened. Pages whose names already exist are skipped.
+  BatchReport ApplyBatch(
+      const std::vector<kb::EncyclopediaPage>& pages,
+      const std::vector<std::vector<std::string>>& new_corpus = {});
+
+  const taxonomy::Taxonomy& taxonomy() const { return taxonomy_; }
+  const kb::EncyclopediaDump& dump() const { return dump_; }
+  const CnProbaseBuilder::Report& base_report() const { return base_report_; }
+
+ private:
+  // Extracts candidates from pages [first_page, dump_.size()).
+  generation::CandidateList ExtractFrom(size_t first_page);
+
+  CnProbaseBuilder::Config config_;
+  const text::Lexicon* lexicon_;
+  kb::EncyclopediaDump dump_;  // union of base + applied batches
+  std::vector<std::vector<std::string>> corpus_;
+  text::Segmenter segmenter_;
+  text::NgramCounter ngrams_;
+  generation::NeuralGeneration neural_;
+  std::vector<std::string> selected_predicates_;
+  CnProbaseBuilder::Report base_report_;
+  taxonomy::Taxonomy taxonomy_;
+};
+
+}  // namespace cnpb::core
+
+#endif  // CNPROBASE_CORE_INCREMENTAL_H_

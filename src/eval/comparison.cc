@@ -1,0 +1,35 @@
+#include "eval/comparison.h"
+
+#include "util/strings.h"
+
+namespace cnpb::eval {
+
+ComparisonRow MakeRow(const std::string& name,
+                      const taxonomy::Taxonomy& taxonomy, const Oracle& oracle,
+                      size_t sample_size, uint64_t seed) {
+  ComparisonRow row;
+  row.name = name;
+  row.num_entities = taxonomy.NumEntities();
+  row.num_concepts = taxonomy.NumConcepts();
+  row.num_isa = taxonomy.num_edges();
+  row.precision =
+      SampledPrecision(taxonomy, oracle, sample_size, seed).precision();
+  return row;
+}
+
+std::string FormatTable(const std::vector<ComparisonRow>& rows) {
+  std::string out;
+  out += util::StrFormat("%-24s %14s %14s %14s %10s\n", "Taxonomy",
+                         "# of entities", "# of concepts", "# of isA",
+                         "precision");
+  for (const ComparisonRow& row : rows) {
+    out += util::StrFormat(
+        "%-24s %14s %14s %14s %9.1f%%\n", row.name.c_str(),
+        util::CommaSeparated(row.num_entities).c_str(),
+        util::CommaSeparated(row.num_concepts).c_str(),
+        util::CommaSeparated(row.num_isa).c_str(), row.precision * 100.0);
+  }
+  return out;
+}
+
+}  // namespace cnpb::eval

@@ -1,0 +1,31 @@
+#ifndef CNPROBASE_EVAL_COMPARISON_H_
+#define CNPROBASE_EVAL_COMPARISON_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/precision.h"
+#include "taxonomy/taxonomy.h"
+
+namespace cnpb::eval {
+
+// One row of Table I: a taxonomy's size and precision.
+struct ComparisonRow {
+  std::string name;
+  size_t num_entities = 0;
+  size_t num_concepts = 0;
+  size_t num_isa = 0;
+  double precision = 0.0;
+};
+
+// Builds a row from a materialised taxonomy using the 2000-sample protocol.
+ComparisonRow MakeRow(const std::string& name,
+                      const taxonomy::Taxonomy& taxonomy, const Oracle& oracle,
+                      size_t sample_size = 2000, uint64_t seed = 1);
+
+// Formats rows as an aligned ASCII table matching Table I's columns.
+std::string FormatTable(const std::vector<ComparisonRow>& rows);
+
+}  // namespace cnpb::eval
+
+#endif  // CNPROBASE_EVAL_COMPARISON_H_

@@ -1,0 +1,63 @@
+#include "eval/coverage.h"
+
+#include "text/trie_matcher.h"
+
+namespace cnpb::eval {
+
+namespace {
+// Payload encoding: entity node ids are offset by 1 (payload 0 = "concept
+// only" marker is avoided by always adding 1 and flagging kind in bit 0).
+uint64_t EncodeEntity(taxonomy::NodeId id) {
+  return (static_cast<uint64_t>(id) << 1) | 1;
+}
+uint64_t EncodeConcept(taxonomy::NodeId id) {
+  return (static_cast<uint64_t>(id) << 1);
+}
+}  // namespace
+
+CoverageResult QaCoverage(const taxonomy::Taxonomy& taxonomy,
+                          const kb::EncyclopediaDump& dump,
+                          const std::vector<std::string>& questions) {
+  text::TrieMatcher matcher;
+  // Entity mentions (from pages that made it into the taxonomy). Entity
+  // matches win over concept matches for the same surface because they are
+  // added later (last registration wins in the trie).
+  for (taxonomy::NodeId id = 0; id < taxonomy.num_nodes(); ++id) {
+    if (taxonomy.Kind(id) == taxonomy::NodeKind::kConcept) {
+      matcher.Add(taxonomy.Name(id), EncodeConcept(id));
+    }
+  }
+  for (const kb::EncyclopediaPage& page : dump.pages()) {
+    const taxonomy::NodeId id = taxonomy.Find(page.name);
+    if (id != taxonomy::kInvalidNode &&
+        taxonomy.Kind(id) == taxonomy::NodeKind::kEntity) {
+      matcher.Add(page.mention, EncodeEntity(id));
+      for (const std::string& alias : page.aliases) {
+        matcher.Add(alias, EncodeEntity(id));
+      }
+    }
+  }
+
+  CoverageResult result;
+  result.total_questions = questions.size();
+  for (const std::string& question : questions) {
+    const auto matches = matcher.FindAll(question);
+    if (matches.empty()) continue;
+    ++result.covered_questions;
+    bool has_entity = false;
+    for (const auto& match : matches) {
+      if ((match.payload & 1) == 1) {
+        has_entity = true;
+        const taxonomy::NodeId id =
+            static_cast<taxonomy::NodeId>(match.payload >> 1);
+        result.sum_entity_concepts +=
+            static_cast<double>(taxonomy.Hypernyms(id).size());
+        ++result.matched_entities;
+      }
+    }
+    if (has_entity) ++result.covered_with_entity;
+  }
+  return result;
+}
+
+}  // namespace cnpb::eval

@@ -1,0 +1,68 @@
+#include "eval/precision.h"
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace cnpb::eval {
+
+PrecisionResult ExactPrecision(const taxonomy::Taxonomy& taxonomy,
+                               const Oracle& oracle) {
+  PrecisionResult result;
+  taxonomy.ForEachEdge([&](const taxonomy::IsaEdge& edge) {
+    ++result.evaluated;
+    if (oracle(taxonomy.Name(edge.hypo), taxonomy.Name(edge.hyper))) {
+      ++result.correct;
+    }
+  });
+  return result;
+}
+
+PrecisionResult SampledPrecision(const taxonomy::Taxonomy& taxonomy,
+                                 const Oracle& oracle, size_t sample_size,
+                                 uint64_t seed) {
+  std::vector<std::pair<taxonomy::NodeId, taxonomy::NodeId>> edges;
+  edges.reserve(taxonomy.num_edges());
+  taxonomy.ForEachEdge([&](const taxonomy::IsaEdge& edge) {
+    edges.emplace_back(edge.hypo, edge.hyper);
+  });
+  util::Rng rng(seed);
+  PrecisionResult result;
+  if (edges.empty()) return result;
+  const size_t n = std::min(sample_size, edges.size());
+  // Partial Fisher-Yates gives a uniform sample without replacement.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t j = i + rng.Uniform(edges.size() - i);
+    std::swap(edges[i], edges[j]);
+    ++result.evaluated;
+    if (oracle(taxonomy.Name(edges[i].first), taxonomy.Name(edges[i].second))) {
+      ++result.correct;
+    }
+  }
+  return result;
+}
+
+PrecisionResult CandidatePrecision(const generation::CandidateList& candidates,
+                                   const Oracle& oracle) {
+  PrecisionResult result;
+  for (const generation::Candidate& candidate : candidates) {
+    ++result.evaluated;
+    if (oracle(candidate.hypo, candidate.hyper)) ++result.correct;
+  }
+  return result;
+}
+
+std::map<taxonomy::Source, PrecisionResult> PrecisionBySource(
+    const taxonomy::Taxonomy& taxonomy, const Oracle& oracle) {
+  std::map<taxonomy::Source, PrecisionResult> by_source;
+  taxonomy.ForEachEdge([&](const taxonomy::IsaEdge& edge) {
+    PrecisionResult& result = by_source[edge.source];
+    ++result.evaluated;
+    if (oracle(taxonomy.Name(edge.hypo), taxonomy.Name(edge.hyper))) {
+      ++result.correct;
+    }
+  });
+  return by_source;
+}
+
+}  // namespace cnpb::eval

@@ -1,0 +1,50 @@
+#ifndef CNPROBASE_EVAL_PRECISION_H_
+#define CNPROBASE_EVAL_PRECISION_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "generation/candidate.h"
+#include "taxonomy/taxonomy.h"
+
+namespace cnpb::eval {
+
+// Judges whether isA(hypo, hyper) is correct. Backed by synth::GoldTruth in
+// experiments; the indirection keeps eval free of generator types.
+using Oracle = std::function<bool(const std::string& hypo,
+                                  const std::string& hyper)>;
+
+struct PrecisionResult {
+  size_t evaluated = 0;
+  size_t correct = 0;
+  double precision() const {
+    return evaluated == 0 ? 0.0 : static_cast<double>(correct) / evaluated;
+  }
+};
+
+// Exact precision over every edge of the taxonomy.
+PrecisionResult ExactPrecision(const taxonomy::Taxonomy& taxonomy,
+                               const Oracle& oracle);
+
+// The paper's protocol: uniformly sample `sample_size` relations (default
+// 2000) and label them — here by the oracle instead of human annotators.
+PrecisionResult SampledPrecision(const taxonomy::Taxonomy& taxonomy,
+                                 const Oracle& oracle,
+                                 size_t sample_size = 2000,
+                                 uint64_t seed = 1
+
+);
+
+// Precision of a candidate list (pre- or post-verification).
+PrecisionResult CandidatePrecision(const generation::CandidateList& candidates,
+                                   const Oracle& oracle);
+
+// Exact precision per provenance source (the in-text 96.2% bracket / 97.4%
+// tag numbers).
+std::map<taxonomy::Source, PrecisionResult> PrecisionBySource(
+    const taxonomy::Taxonomy& taxonomy, const Oracle& oracle);
+
+}  // namespace cnpb::eval
+
+#endif  // CNPROBASE_EVAL_PRECISION_H_

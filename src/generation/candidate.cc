@@ -1,0 +1,23 @@
+#include "generation/candidate.h"
+
+#include <unordered_set>
+
+namespace cnpb::generation {
+
+CandidateList MergeCandidates(const std::vector<const CandidateList*>& lists) {
+  CandidateList merged;
+  std::unordered_set<std::string> seen;
+  for (const CandidateList* list : lists) {
+    for (const Candidate& candidate : *list) {
+      std::string key = candidate.hypo;
+      key.push_back('\x01');
+      key.append(candidate.hyper);
+      if (seen.insert(std::move(key)).second) {
+        merged.push_back(candidate);
+      }
+    }
+  }
+  return merged;
+}
+
+}  // namespace cnpb::generation

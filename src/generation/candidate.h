@@ -1,0 +1,30 @@
+#ifndef CNPROBASE_GENERATION_CANDIDATE_H_
+#define CNPROBASE_GENERATION_CANDIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "taxonomy/taxonomy.h"
+
+namespace cnpb::generation {
+
+// One candidate isA relation produced by the generation module, before
+// verification. `hypo` is a disambiguated page name (entity) or a concept
+// word; `hyper` is a concept word.
+struct Candidate {
+  std::string hypo;
+  std::string hyper;
+  taxonomy::Source source = taxonomy::Source::kImported;
+  float score = 1.0f;
+};
+
+using CandidateList = std::vector<Candidate>;
+
+// Merges candidate lists, deduplicating exact (hypo, hyper) pairs. The first
+// occurrence wins (callers pass higher-precision sources first, so
+// provenance reflects the most trustworthy origin).
+CandidateList MergeCandidates(const std::vector<const CandidateList*>& lists);
+
+}  // namespace cnpb::generation
+
+#endif  // CNPROBASE_GENERATION_CANDIDATE_H_

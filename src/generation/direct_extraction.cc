@@ -1,0 +1,20 @@
+#include "generation/direct_extraction.h"
+
+namespace cnpb::generation {
+
+CandidateList ExtractFromTags(const kb::EncyclopediaDump& dump) {
+  CandidateList candidates;
+  for (const kb::EncyclopediaPage& page : dump.pages()) {
+    for (const std::string& tag : page.tags) {
+      if (tag.empty() || tag == page.mention) continue;
+      Candidate candidate;
+      candidate.hypo = page.name;
+      candidate.hyper = tag;
+      candidate.source = taxonomy::Source::kTag;
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace cnpb::generation

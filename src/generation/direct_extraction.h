@@ -1,0 +1,17 @@
+#ifndef CNPROBASE_GENERATION_DIRECT_EXTRACTION_H_
+#define CNPROBASE_GENERATION_DIRECT_EXTRACTION_H_
+
+#include "generation/candidate.h"
+#include "kb/dump.h"
+
+namespace cnpb::generation {
+
+// Direct extraction from tags (paper §II): every tag of a page is taken as a
+// hypernym of the page's entity. Tags equal to the mention itself are
+// skipped. This is deliberately credulous — the verification module is what
+// makes the tag source precise.
+CandidateList ExtractFromTags(const kb::EncyclopediaDump& dump);
+
+}  // namespace cnpb::generation
+
+#endif  // CNPROBASE_GENERATION_DIRECT_EXTRACTION_H_

@@ -1,0 +1,77 @@
+#include "generation/predicate_discovery.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cnpb::generation {
+
+namespace {
+std::string PairKey(const std::string& hypo, const std::string& hyper) {
+  std::string key = hypo;
+  key.push_back('\x01');
+  key.append(hyper);
+  return key;
+}
+}  // namespace
+
+PredicateDiscovery::Discovery PredicateDiscovery::Discover(
+    const kb::EncyclopediaDump& dump, const CandidateList& prior) const {
+  std::unordered_set<std::string> prior_pairs;
+  prior_pairs.reserve(prior.size());
+  for (const Candidate& candidate : prior) {
+    prior_pairs.insert(PairKey(candidate.hypo, candidate.hyper));
+  }
+
+  std::unordered_map<std::string, PredicateStats> stats;
+  for (const kb::EncyclopediaPage& page : dump.pages()) {
+    for (const kb::SpoTriple& triple : page.infobox) {
+      PredicateStats& s = stats[triple.predicate];
+      s.predicate = triple.predicate;
+      ++s.total;
+      if (prior_pairs.count(PairKey(page.name, triple.object)) > 0) {
+        ++s.aligned;
+      }
+    }
+  }
+
+  Discovery discovery;
+  for (auto& [predicate, s] : stats) {
+    if (s.aligned > 0) discovery.candidates.push_back(s);
+  }
+  std::sort(discovery.candidates.begin(), discovery.candidates.end(),
+            [](const PredicateStats& a, const PredicateStats& b) {
+              if (a.precision() != b.precision()) {
+                return a.precision() > b.precision();
+              }
+              return a.predicate < b.predicate;
+            });
+  for (const PredicateStats& s : discovery.candidates) {
+    if (discovery.selected.size() >= config_.max_selected) break;
+    if (s.total < config_.min_support) continue;
+    if (s.precision() < config_.min_precision) continue;
+    discovery.selected.push_back(s.predicate);
+  }
+  return discovery;
+}
+
+CandidateList PredicateDiscovery::Extract(
+    const kb::EncyclopediaDump& dump,
+    const std::vector<std::string>& selected) {
+  std::unordered_set<std::string> selected_set(selected.begin(),
+                                               selected.end());
+  CandidateList candidates;
+  for (const kb::EncyclopediaPage& page : dump.pages()) {
+    for (const kb::SpoTriple& triple : page.infobox) {
+      if (selected_set.count(triple.predicate) == 0) continue;
+      if (triple.object.empty() || triple.object == page.mention) continue;
+      Candidate candidate;
+      candidate.hypo = page.name;
+      candidate.hyper = triple.object;
+      candidate.source = taxonomy::Source::kInfobox;
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace cnpb::generation

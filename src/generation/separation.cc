@@ -1,0 +1,136 @@
+#include "generation/separation.h"
+
+#include "text/utf8.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+
+namespace cnpb::generation {
+
+SeparationAlgorithm::SeparationAlgorithm(const text::NgramCounter* pmi)
+    : pmi_(pmi) {
+  CNPB_CHECK(pmi != nullptr);
+}
+
+SeparationAlgorithm::Parse SeparationAlgorithm::ParseWords(
+    const std::vector<std::string>& words) const {
+  Parse parse;
+  if (words.empty()) return parse;
+
+  auto make_leaf = [&parse](const std::string& text) {
+    parse.arena.push_back(std::make_unique<TreeNode>());
+    parse.arena.back()->text = text;
+    return parse.arena.back().get();
+  };
+  auto make_join = [&parse](const TreeNode* left, const TreeNode* right) {
+    parse.arena.push_back(std::make_unique<TreeNode>());
+    TreeNode* node = parse.arena.back().get();
+    node->text = left->text + right->text;
+    node->left = left;
+    node->right = right;
+    return node;
+  };
+
+  std::vector<const TreeNode*> seq;
+  seq.reserve(words.size());
+  for (const std::string& word : words) seq.push_back(make_leaf(word));
+
+  // Sliding window over (seq[center-1], seq[center], seq[center+1]),
+  // starting at the rightmost three elements (paper steps 1-4).
+  size_t center = seq.size() >= 3 ? seq.size() - 2 : 1;
+  size_t fuel = 4 * words.size() * words.size() + 16;
+  while (seq.size() > 2) {
+    CNPB_CHECK(fuel-- > 0) << "separation failed to converge";
+    if (center < 1) center = 1;
+    if (center > seq.size() - 2) center = seq.size() - 2;
+    const size_t left = center - 1;
+    const size_t right = center + 1;
+    const double pmi_left = pmi_->Pmi(seq[left]->text, seq[center]->text);
+    const double pmi_right = pmi_->Pmi(seq[center]->text, seq[right]->text);
+    if (pmi_left < pmi_right) {
+      // Step 2: bind the right pair, slide left.
+      seq[center] = make_join(seq[center], seq[right]);
+      seq.erase(seq.begin() + static_cast<ptrdiff_t>(right));
+      if (center >= 1) --center;
+    } else if (left == 0) {
+      // Step 4: the leftmost element is in the window and the left pair
+      // binds tighter: join it and move the window right.
+      seq[0] = make_join(seq[0], seq[1]);
+      seq.erase(seq.begin() + 1);
+      center = 1;
+    } else {
+      // Step 3: slide the window left.
+      --center;
+    }
+  }
+  parse.root =
+      seq.size() == 1 ? seq[0] : make_join(seq[0], seq[1]);
+
+  // Hypernyms: every node on the rightmost path below the root (the paper's
+  // "leaf nodes along with the rightmost path"). For 蚂蚁金服(首席(战略官))
+  // this yields {首席战略官, 战略官}.
+  const TreeNode* node = parse.root;
+  while (node->right != nullptr) {
+    node = node->right;
+    parse.hypernyms.push_back(node->text);
+  }
+  if (parse.hypernyms.empty()) {
+    parse.hypernyms.push_back(parse.root->text);  // single-word compound
+  }
+  return parse;
+}
+
+SeparationAlgorithm::Parse SeparationAlgorithm::ParseCompound(
+    std::string_view compound, const text::Segmenter& segmenter) const {
+  return ParseWords(segmenter.Segment(compound));
+}
+
+BracketExtractor::BracketExtractor(const text::Segmenter* segmenter,
+                                   const text::NgramCounter* pmi)
+    : segmenter_(segmenter), separation_(pmi) {
+  CNPB_CHECK(segmenter != nullptr);
+}
+
+std::vector<std::string> BracketExtractor::HypernymsOf(
+    std::string_view bracket) const {
+  std::vector<std::string> hypernyms;
+  for (const std::string& part : util::SplitBy(bracket, "、")) {
+    if (part.empty()) continue;
+    SeparationAlgorithm::Parse parse =
+        separation_.ParseCompound(part, *segmenter_);
+    for (std::string& hyper : parse.hypernyms) {
+      // Bare numbers and single ASCII tokens are segmentation debris, never
+      // hypernyms.
+      if (hyper.empty()) continue;
+      if (hyper.find_first_not_of("0123456789") == std::string::npos) continue;
+      hypernyms.push_back(std::move(hyper));
+    }
+  }
+  return hypernyms;
+}
+
+CandidateList BracketExtractor::Extract(
+    const kb::EncyclopediaDump& dump) const {
+  // Per-page slots keep the output deterministic under parallel execution.
+  std::vector<std::vector<std::string>> per_page(dump.size());
+  util::ParallelFor(dump.size(), [&](size_t i) {
+    const kb::EncyclopediaPage& page = dump.page(i);
+    if (!page.bracket.empty()) per_page[i] = HypernymsOf(page.bracket);
+  });
+
+  CandidateList candidates;
+  for (size_t i = 0; i < dump.size(); ++i) {
+    const kb::EncyclopediaPage& page = dump.page(i);
+    for (std::string& hyper : per_page[i]) {
+      if (hyper == page.mention) continue;
+      Candidate candidate;
+      candidate.hypo = page.name;
+      candidate.hyper = std::move(hyper);
+      candidate.source = taxonomy::Source::kBracket;
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+}  // namespace cnpb::generation

@@ -1,0 +1,70 @@
+#ifndef CNPROBASE_GENERATION_SEPARATION_H_
+#define CNPROBASE_GENERATION_SEPARATION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "generation/candidate.h"
+#include "kb/dump.h"
+#include "text/ngram.h"
+#include "text/segmenter.h"
+
+namespace cnpb::generation {
+
+// The paper's separation algorithm (§II, Fig. 3): parses the word sequence
+// of a disambiguation bracket into a binary tree by comparing the PMI of
+// adjacent pairs inside a right-to-left sliding window, then reads the
+// hypernyms off the rightmost path of the tree.
+class SeparationAlgorithm {
+ public:
+  struct TreeNode {
+    std::string text;
+    const TreeNode* left = nullptr;   // null for leaves
+    const TreeNode* right = nullptr;
+    bool IsLeaf() const { return left == nullptr; }
+  };
+
+  // Parse result; owns the tree arena.
+  struct Parse {
+    const TreeNode* root = nullptr;
+    std::vector<std::string> hypernyms;  // rightmost-path node texts
+    std::vector<std::unique_ptr<TreeNode>> arena;
+  };
+
+  // `pmi` must outlive the algorithm.
+  explicit SeparationAlgorithm(const text::NgramCounter* pmi);
+
+  // Parses a pre-segmented noun compound. Empty input gives a null root.
+  Parse ParseWords(const std::vector<std::string>& words) const;
+
+  // Convenience: segments `compound` first.
+  Parse ParseCompound(std::string_view compound,
+                      const text::Segmenter& segmenter) const;
+
+ private:
+  const text::NgramCounter* pmi_;
+};
+
+// Runs the separation algorithm over every bracketed page in the dump and
+// emits bracket-source candidates. Brackets are split on the Chinese
+// enumeration comma 、 first (刘德华（中国香港男演员、歌手）yields both
+// isA(…, 男演员) and isA(…, 歌手)).
+class BracketExtractor {
+ public:
+  BracketExtractor(const text::Segmenter* segmenter,
+                   const text::NgramCounter* pmi);
+
+  CandidateList Extract(const kb::EncyclopediaDump& dump) const;
+
+  // Hypernyms for one bracket string (exposed for tests/benches).
+  std::vector<std::string> HypernymsOf(std::string_view bracket) const;
+
+ private:
+  const text::Segmenter* segmenter_;
+  SeparationAlgorithm separation_;
+};
+
+}  // namespace cnpb::generation
+
+#endif  // CNPROBASE_GENERATION_SEPARATION_H_

@@ -1,0 +1,102 @@
+#include "kb/dump.h"
+
+#include "util/strings.h"
+#include "util/tsv.h"
+
+namespace cnpb::kb {
+
+uint64_t EncyclopediaDump::AddPage(EncyclopediaPage page) {
+  if (page.page_id == 0) page.page_id = pages_.size() + 1;
+  const uint64_t id = page.page_id;
+  by_name_.emplace(page.name, pages_.size());
+  pages_.push_back(std::move(page));
+  return id;
+}
+
+const EncyclopediaPage* EncyclopediaDump::FindByName(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &pages_[it->second];
+}
+
+DumpStats EncyclopediaDump::Stats() const {
+  DumpStats stats;
+  stats.num_pages = pages_.size();
+  for (const EncyclopediaPage& page : pages_) {
+    if (!page.abstract.empty()) ++stats.num_abstracts;
+    if (!page.bracket.empty()) ++stats.num_brackets;
+    stats.num_triples += page.infobox.size();
+    stats.num_tags += page.tags.size();
+  }
+  return stats;
+}
+
+namespace {
+// Sub-field separators; '\x02'..'\x03' cannot appear in UTF-8 text.
+constexpr char kPairSep = '\x02';
+constexpr char kKvSep = '\x03';
+}  // namespace
+
+util::Status EncyclopediaDump::Save(const std::string& path) const {
+  util::TsvWriter writer(path);
+  if (!writer.status().ok()) return writer.status();
+  for (const EncyclopediaPage& page : pages_) {
+    std::string infobox;
+    for (const SpoTriple& t : page.infobox) {
+      if (!infobox.empty()) infobox += kPairSep;
+      infobox += t.predicate;
+      infobox += kKvSep;
+      infobox += t.object;
+    }
+    std::string tags;
+    for (const std::string& tag : page.tags) {
+      if (!tags.empty()) tags += kPairSep;
+      tags += tag;
+    }
+    std::string aliases;
+    for (const std::string& alias : page.aliases) {
+      if (!aliases.empty()) aliases += kPairSep;
+      aliases += alias;
+    }
+    writer.WriteRow({std::to_string(page.page_id), page.name, page.mention,
+                     page.bracket, page.abstract, infobox, tags, aliases});
+  }
+  return writer.Close();
+}
+
+util::Result<EncyclopediaDump> EncyclopediaDump::Load(const std::string& path) {
+  auto rows = util::ReadTsvFile(path);
+  if (!rows.ok()) return rows.status();
+  EncyclopediaDump dump;
+  for (const auto& row : *rows) {
+    if (row.size() != 8) {
+      return util::InvalidArgumentError(
+          util::StrFormat("dump row has %zu fields, want 8", row.size()));
+    }
+    EncyclopediaPage page;
+    page.page_id = std::strtoull(row[0].c_str(), nullptr, 10);
+    page.name = row[1];
+    page.mention = row[2];
+    page.bracket = row[3];
+    page.abstract = row[4];
+    if (!row[5].empty()) {
+      for (const std::string& pair : util::Split(row[5], kPairSep)) {
+        const std::vector<std::string> kv = util::Split(pair, kKvSep);
+        if (kv.size() != 2) {
+          return util::InvalidArgumentError("malformed infobox cell");
+        }
+        page.infobox.push_back({page.name, kv[0], kv[1]});
+      }
+    }
+    if (!row[6].empty()) {
+      page.tags = util::Split(row[6], kPairSep);
+    }
+    if (!row[7].empty()) {
+      page.aliases = util::Split(row[7], kPairSep);
+    }
+    dump.AddPage(std::move(page));
+  }
+  return dump;
+}
+
+}  // namespace cnpb::kb

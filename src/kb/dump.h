@@ -1,0 +1,51 @@
+#ifndef CNPROBASE_KB_DUMP_H_
+#define CNPROBASE_KB_DUMP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/page.h"
+#include "util/status.h"
+
+namespace cnpb::kb {
+
+// Aggregate counts in the style of the paper's dataset description
+// (15,990,349 entities, 8,096,835 abstracts, 132,435,632 SPO triples,
+// 19,929,407 tags for the May 2017 CN-DBpedia dump).
+struct DumpStats {
+  size_t num_pages = 0;
+  size_t num_abstracts = 0;
+  size_t num_triples = 0;
+  size_t num_tags = 0;
+  size_t num_brackets = 0;
+};
+
+// An in-memory encyclopedia dump: the input of the whole framework.
+class EncyclopediaDump {
+ public:
+  // Appends a page; assigns page_id if zero. Returns the stored id.
+  uint64_t AddPage(EncyclopediaPage page);
+
+  const std::vector<EncyclopediaPage>& pages() const { return pages_; }
+  size_t size() const { return pages_.size(); }
+  const EncyclopediaPage& page(size_t i) const { return pages_[i]; }
+
+  // Finds a page by its disambiguated name; nullptr if absent.
+  const EncyclopediaPage* FindByName(const std::string& name) const;
+
+  DumpStats Stats() const;
+
+  // TSV persistence. Format (one page per row):
+  // name, mention, bracket, abstract, infobox("p=o;p=o"), tags("t;t").
+  util::Status Save(const std::string& path) const;
+  static util::Result<EncyclopediaDump> Load(const std::string& path);
+
+ private:
+  std::vector<EncyclopediaPage> pages_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace cnpb::kb
+
+#endif  // CNPROBASE_KB_DUMP_H_

@@ -1,0 +1,54 @@
+#include "kb/merge.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cnpb::kb {
+
+EncyclopediaDump MergeDumps(
+    const std::vector<const EncyclopediaDump*>& dumps) {
+  EncyclopediaDump merged;
+  std::unordered_map<std::string, size_t> index;  // name -> merged position
+  std::vector<EncyclopediaPage> pages;
+
+  for (const EncyclopediaDump* dump : dumps) {
+    for (const EncyclopediaPage& page : dump->pages()) {
+      auto it = index.find(page.name);
+      if (it == index.end()) {
+        index.emplace(page.name, pages.size());
+        EncyclopediaPage copy = page;
+        copy.page_id = 0;  // reassigned on insertion below
+        pages.push_back(std::move(copy));
+        continue;
+      }
+      EncyclopediaPage& target = pages[it->second];
+      if (target.bracket.empty()) target.bracket = page.bracket;
+      if (target.abstract.empty()) target.abstract = page.abstract;
+      for (const SpoTriple& triple : page.infobox) {
+        SpoTriple renamed = triple;
+        renamed.subject = target.name;
+        if (std::find(target.infobox.begin(), target.infobox.end(), renamed) ==
+            target.infobox.end()) {
+          target.infobox.push_back(std::move(renamed));
+        }
+      }
+      for (const std::string& tag : page.tags) {
+        if (std::find(target.tags.begin(), target.tags.end(), tag) ==
+            target.tags.end()) {
+          target.tags.push_back(tag);
+        }
+      }
+      for (const std::string& alias : page.aliases) {
+        if (std::find(target.aliases.begin(), target.aliases.end(), alias) ==
+            target.aliases.end()) {
+          target.aliases.push_back(alias);
+        }
+      }
+    }
+  }
+  for (EncyclopediaPage& page : pages) merged.AddPage(std::move(page));
+  return merged;
+}
+
+}  // namespace cnpb::kb

@@ -1,0 +1,21 @@
+#ifndef CNPROBASE_KB_MERGE_H_
+#define CNPROBASE_KB_MERGE_H_
+
+#include <vector>
+
+#include "kb/dump.h"
+
+namespace cnpb::kb {
+
+// Merges several encyclopedia dumps into one, the step that produces
+// CN-DBpedia from Baidu Baike, Hudong Baike and Chinese Wikipedia (paper
+// §IV-A). Pages are keyed by their disambiguated name:
+//   - the first non-empty bracket/abstract wins (earlier dumps take
+//     priority — pass the richest site first),
+//   - infobox triples are unioned with exact-duplicate removal,
+//   - tags are unioned with duplicate removal.
+EncyclopediaDump MergeDumps(const std::vector<const EncyclopediaDump*>& dumps);
+
+}  // namespace cnpb::kb
+
+#endif  // CNPROBASE_KB_MERGE_H_

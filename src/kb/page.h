@@ -1,0 +1,43 @@
+#ifndef CNPROBASE_KB_PAGE_H_
+#define CNPROBASE_KB_PAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cnpb::kb {
+
+// One infobox row: <subject, predicate, object>. The subject is implicit
+// (the page entity); we keep it explicit for SPO-triple alignment in
+// predicate discovery.
+struct SpoTriple {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+
+  bool operator==(const SpoTriple& other) const = default;
+};
+
+// One encyclopedia page, mirroring the five regions of Figure 1:
+//   (a) entity name with disambiguation bracket,
+//   (b) abstract paragraph,
+//   (c) infobox SPO triples,
+//   (d) tags.
+// `name` is the disambiguated entity identifier: mention + optional bracket,
+// e.g. "刘德华（中国香港男演员、歌手）". `mention` is the bare surface form.
+struct EncyclopediaPage {
+  uint64_t page_id = 0;
+  std::string name;      // disambiguated entity name (mention + bracket)
+  std::string mention;   // surface form without the bracket
+  std::string bracket;   // disambiguation noun compound; may be empty
+  std::string abstract;  // free-text abstract; may be empty
+  std::vector<SpoTriple> infobox;
+  std::vector<std::string> tags;
+  // Alternative surface forms (nicknames, abbreviations, former names) that
+  // should also resolve to this entity via men2ent.
+  std::vector<std::string> aliases;
+};
+
+}  // namespace cnpb::kb
+
+#endif  // CNPROBASE_KB_PAGE_H_

@@ -1,0 +1,61 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace cnpb::nn {
+
+Adam::Adam(std::vector<Var> params, const Config& config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Var& p : params_) {
+    m_.push_back(Tensor::Zeros(p->value.rows(), p->value.cols()));
+    v_.push_back(Tensor::Zeros(p->value.rows(), p->value.cols()));
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  // Global-norm clipping across all accumulated gradients.
+  float scale = 1.0f;
+  if (config_.clip > 0.0f) {
+    double norm_sq = 0.0;
+    for (const Var& p : params_) {
+      if (!p->grad_ready) continue;
+      for (size_t i = 0; i < p->grad.size(); ++i) {
+        norm_sq += static_cast<double>(p->grad[i]) * p->grad[i];
+      }
+    }
+    const float norm = static_cast<float>(std::sqrt(norm_sq));
+    if (norm > config_.clip) scale = config_.clip / norm;
+  }
+  const float bias1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+  const float bias2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Var& p = params_[k];
+    if (!p->grad_ready) continue;
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const float g = p->grad[i] * scale;
+      m_[k][i] = config_.beta1 * m_[k][i] + (1.0f - config_.beta1) * g;
+      v_[k][i] = config_.beta2 * v_[k][i] + (1.0f - config_.beta2) * g * g;
+      const float m_hat = m_[k][i] / bias1;
+      const float v_hat = v_[k][i] / bias2;
+      p->value[i] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (Var& p : params_) {
+    if (p->grad_ready) p->grad.Fill(0.0f);
+  }
+}
+
+size_t Adam::NumParams() const {
+  size_t n = 0;
+  for (const Var& p : params_) n += p->value.size();
+  return n;
+}
+
+}  // namespace cnpb::nn

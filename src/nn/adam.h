@@ -1,0 +1,39 @@
+#ifndef CNPROBASE_NN_ADAM_H_
+#define CNPROBASE_NN_ADAM_H_
+
+#include <vector>
+
+#include "nn/autograd.h"
+
+namespace cnpb::nn {
+
+// Adam optimizer over a fixed parameter list. Gradients accumulate across a
+// minibatch of Backward() calls; Step() applies the update and zeroes grads.
+class Adam {
+ public:
+  struct Config {
+    float lr = 1e-2f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float clip = 5.0f;  // global-norm gradient clipping; 0 disables
+  };
+
+  Adam(std::vector<Var> params, const Config& config);
+
+  // Applies one update from the accumulated gradients; clears them.
+  void Step();
+  void ZeroGrad();
+  size_t NumParams() const;  // total scalar parameter count
+
+ private:
+  std::vector<Var> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  Config config_;
+  int t_ = 0;
+};
+
+}  // namespace cnpb::nn
+
+#endif  // CNPROBASE_NN_ADAM_H_

@@ -1,0 +1,424 @@
+#include "nn/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace cnpb::nn {
+
+Var MakeVar(Tensor value, bool requires_grad) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return node;
+}
+
+namespace {
+
+// Creates a result node wired to its parents.
+Var MakeOp(Tensor value, std::vector<Var> parents) {
+  auto node = std::make_shared<Node>();
+  node->value = std::move(value);
+  for (const Var& p : parents) {
+    if (p->requires_grad) {
+      node->requires_grad = true;
+      break;
+    }
+  }
+  node->parents = std::move(parents);
+  return node;
+}
+
+void CheckSameShape(const Var& a, const Var& b) {
+  CNPB_CHECK(a->value.SameShape(b->value));
+}
+
+}  // namespace
+
+void Backward(const Var& loss) {
+  CNPB_CHECK(loss->value.size() == 1) << "Backward needs a scalar loss";
+  // Topological order via iterative DFS.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(loss.get(), 0);
+  visited.insert(loss.get());
+  while (!stack.empty()) {
+    auto& [node, next_parent] = stack.back();
+    if (next_parent < node->parents.size()) {
+      Node* parent = node->parents[next_parent].get();
+      ++next_parent;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  loss->EnsureGrad();
+  loss->grad[0] = 1.0f;
+  // order is children-after-parents reversed; iterate from the back.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->grad_ready) node->backward_fn();
+  }
+}
+
+Var Add(const Var& a, const Var& b) {
+  CheckSameShape(a, b);
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] += b->value[i];
+  Var node = MakeOp(std::move(out), {a, b});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a, b]() {
+    for (const Var& p : {a, b}) {
+      if (!p->requires_grad) continue;
+      p->EnsureGrad();
+      for (size_t i = 0; i < raw->grad.size(); ++i) p->grad[i] += raw->grad[i];
+    }
+  };
+  return node;
+}
+
+Var Sub(const Var& a, const Var& b) {
+  CheckSameShape(a, b);
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] -= b->value[i];
+  Var node = MakeOp(std::move(out), {a, b});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a, b]() {
+    if (a->requires_grad) {
+      a->EnsureGrad();
+      for (size_t i = 0; i < raw->grad.size(); ++i) a->grad[i] += raw->grad[i];
+    }
+    if (b->requires_grad) {
+      b->EnsureGrad();
+      for (size_t i = 0; i < raw->grad.size(); ++i) b->grad[i] -= raw->grad[i];
+    }
+  };
+  return node;
+}
+
+Var Mul(const Var& a, const Var& b) {
+  CheckSameShape(a, b);
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= b->value[i];
+  Var node = MakeOp(std::move(out), {a, b});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a, b]() {
+    if (a->requires_grad) {
+      a->EnsureGrad();
+      for (size_t i = 0; i < raw->grad.size(); ++i) {
+        a->grad[i] += raw->grad[i] * b->value[i];
+      }
+    }
+    if (b->requires_grad) {
+      b->EnsureGrad();
+      for (size_t i = 0; i < raw->grad.size(); ++i) {
+        b->grad[i] += raw->grad[i] * a->value[i];
+      }
+    }
+  };
+  return node;
+}
+
+Var ScalarMul(const Var& a, float c) {
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= c;
+  Var node = MakeOp(std::move(out), {a});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a, c]() {
+    if (!a->requires_grad) return;
+    a->EnsureGrad();
+    for (size_t i = 0; i < raw->grad.size(); ++i) {
+      a->grad[i] += raw->grad[i] * c;
+    }
+  };
+  return node;
+}
+
+Var Tanh(const Var& a) {
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  Var node = MakeOp(std::move(out), {a});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a]() {
+    if (!a->requires_grad) return;
+    a->EnsureGrad();
+    for (size_t i = 0; i < raw->grad.size(); ++i) {
+      const float y = raw->value[i];
+      a->grad[i] += raw->grad[i] * (1.0f - y * y);
+    }
+  };
+  return node;
+}
+
+Var Sigmoid(const Var& a) {
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  Var node = MakeOp(std::move(out), {a});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a]() {
+    if (!a->requires_grad) return;
+    a->EnsureGrad();
+    for (size_t i = 0; i < raw->grad.size(); ++i) {
+      const float y = raw->value[i];
+      a->grad[i] += raw->grad[i] * y * (1.0f - y);
+    }
+  };
+  return node;
+}
+
+Var OneMinus(const Var& a) {
+  Tensor out = a->value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = 1.0f - out[i];
+  Var node = MakeOp(std::move(out), {a});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a]() {
+    if (!a->requires_grad) return;
+    a->EnsureGrad();
+    for (size_t i = 0; i < raw->grad.size(); ++i) {
+      a->grad[i] -= raw->grad[i];
+    }
+  };
+  return node;
+}
+
+Var MatVec(const Var& w, const Var& x) {
+  const int m = w->value.rows();
+  const int n = w->value.cols();
+  CNPB_CHECK(x->value.rows() == n && x->value.cols() == 1);
+  Tensor out(m);
+  for (int i = 0; i < m; ++i) {
+    float acc = 0.0f;
+    const float* row = w->value.data() + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) acc += row[j] * x->value[j];
+    out[i] = acc;
+  }
+  Var node = MakeOp(std::move(out), {w, x});
+  Node* raw = node.get();
+  node->backward_fn = [raw, w, x, m, n]() {
+    if (w->requires_grad) {
+      w->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        const float g = raw->grad[i];
+        if (g == 0.0f) continue;
+        float* grow = w->grad.data() + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) grow[j] += g * x->value[j];
+      }
+    }
+    if (x->requires_grad) {
+      x->EnsureGrad();
+      for (int i = 0; i < m; ++i) {
+        const float g = raw->grad[i];
+        if (g == 0.0f) continue;
+        const float* row = w->value.data() + static_cast<size_t>(i) * n;
+        for (int j = 0; j < n; ++j) x->grad[j] += g * row[j];
+      }
+    }
+  };
+  return node;
+}
+
+Var Dot(const Var& a, const Var& b) {
+  CheckSameShape(a, b);
+  float acc = 0.0f;
+  for (size_t i = 0; i < a->value.size(); ++i) acc += a->value[i] * b->value[i];
+  Tensor out(1);
+  out[0] = acc;
+  Var node = MakeOp(std::move(out), {a, b});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a, b]() {
+    const float g = raw->grad[0];
+    if (a->requires_grad) {
+      a->EnsureGrad();
+      for (size_t i = 0; i < a->value.size(); ++i) {
+        a->grad[i] += g * b->value[i];
+      }
+    }
+    if (b->requires_grad) {
+      b->EnsureGrad();
+      for (size_t i = 0; i < b->value.size(); ++i) {
+        b->grad[i] += g * a->value[i];
+      }
+    }
+  };
+  return node;
+}
+
+Var Concat(const Var& a, const Var& b) {
+  CNPB_CHECK(a->value.cols() == 1 && b->value.cols() == 1);
+  const int na = a->value.rows();
+  const int nb = b->value.rows();
+  Tensor out(na + nb);
+  for (int i = 0; i < na; ++i) out[i] = a->value[i];
+  for (int i = 0; i < nb; ++i) out[na + i] = b->value[i];
+  Var node = MakeOp(std::move(out), {a, b});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a, b, na, nb]() {
+    if (a->requires_grad) {
+      a->EnsureGrad();
+      for (int i = 0; i < na; ++i) a->grad[i] += raw->grad[i];
+    }
+    if (b->requires_grad) {
+      b->EnsureGrad();
+      for (int i = 0; i < nb; ++i) b->grad[i] += raw->grad[na + i];
+    }
+  };
+  return node;
+}
+
+Var Softmax(const Var& a) {
+  const size_t n = a->value.size();
+  Tensor out(a->value.rows(), a->value.cols());
+  float max_val = a->value[0];
+  for (size_t i = 1; i < n; ++i) max_val = std::max(max_val, a->value[i]);
+  float total = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = std::exp(a->value[i] - max_val);
+    total += out[i];
+  }
+  for (size_t i = 0; i < n; ++i) out[i] /= total;
+  Var node = MakeOp(std::move(out), {a});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a, n]() {
+    if (!a->requires_grad) return;
+    a->EnsureGrad();
+    // dL/dx_i = y_i * (g_i - sum_j g_j y_j)
+    float dot = 0.0f;
+    for (size_t i = 0; i < n; ++i) dot += raw->grad[i] * raw->value[i];
+    for (size_t i = 0; i < n; ++i) {
+      a->grad[i] += raw->value[i] * (raw->grad[i] - dot);
+    }
+  };
+  return node;
+}
+
+Var NegLog(const Var& a) {
+  CNPB_CHECK(a->value.size() == 1);
+  Tensor out(1);
+  const float x = std::max(a->value[0], 1e-12f);
+  out[0] = -std::log(x);
+  Var node = MakeOp(std::move(out), {a});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a]() {
+    if (!a->requires_grad) return;
+    a->EnsureGrad();
+    const float x = std::max(a->value[0], 1e-12f);
+    a->grad[0] += raw->grad[0] * (-1.0f / x);
+  };
+  return node;
+}
+
+Var Gather(const Var& a, int index) {
+  CNPB_CHECK(index >= 0 && static_cast<size_t>(index) < a->value.size());
+  Tensor out(1);
+  out[0] = a->value[index];
+  Var node = MakeOp(std::move(out), {a});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a, index]() {
+    if (!a->requires_grad) return;
+    a->EnsureGrad();
+    a->grad[index] += raw->grad[0];
+  };
+  return node;
+}
+
+Var GatherSum(const Var& a, const std::vector<int>& indices) {
+  Tensor out(1);
+  float acc = 0.0f;
+  for (int index : indices) {
+    CNPB_CHECK(index >= 0 && static_cast<size_t>(index) < a->value.size());
+    acc += a->value[index];
+  }
+  out[0] = acc;
+  Var node = MakeOp(std::move(out), {a});
+  Node* raw = node.get();
+  node->backward_fn = [raw, a, indices]() {
+    if (!a->requires_grad) return;
+    a->EnsureGrad();
+    for (int index : indices) a->grad[index] += raw->grad[0];
+  };
+  return node;
+}
+
+Var Row(const Var& table, int index) {
+  const int d = table->value.cols();
+  CNPB_CHECK(index >= 0 && index < table->value.rows());
+  Tensor out(d);
+  const float* src = table->value.data() + static_cast<size_t>(index) * d;
+  for (int j = 0; j < d; ++j) out[j] = src[j];
+  Var node = MakeOp(std::move(out), {table});
+  Node* raw = node.get();
+  node->backward_fn = [raw, table, index, d]() {
+    if (!table->requires_grad) return;
+    table->EnsureGrad();
+    float* dst = table->grad.data() + static_cast<size_t>(index) * d;
+    for (int j = 0; j < d; ++j) dst[j] += raw->grad[j];
+  };
+  return node;
+}
+
+Var StackRows(const std::vector<Var>& rows) {
+  CNPB_CHECK(!rows.empty());
+  const int h = rows[0]->value.rows();
+  const int t = static_cast<int>(rows.size());
+  Tensor out(t, h);
+  for (int i = 0; i < t; ++i) {
+    CNPB_CHECK(rows[i]->value.rows() == h && rows[i]->value.cols() == 1);
+    for (int j = 0; j < h; ++j) out.at(i, j) = rows[i]->value[j];
+  }
+  Var node = MakeOp(std::move(out), std::vector<Var>(rows));
+  Node* raw = node.get();
+  node->backward_fn = [raw, rows, t, h]() {
+    for (int i = 0; i < t; ++i) {
+      if (!rows[i]->requires_grad) continue;
+      rows[i]->EnsureGrad();
+      for (int j = 0; j < h; ++j) {
+        rows[i]->grad[j] += raw->grad.at(i, j);
+      }
+    }
+  };
+  return node;
+}
+
+Var MatTVec(const Var& h, const Var& a) {
+  const int t = h->value.rows();
+  const int dim = h->value.cols();
+  CNPB_CHECK(a->value.rows() == t && a->value.cols() == 1);
+  Tensor out(dim);
+  for (int i = 0; i < t; ++i) {
+    const float w = a->value[i];
+    if (w == 0.0f) continue;
+    const float* row = h->value.data() + static_cast<size_t>(i) * dim;
+    for (int j = 0; j < dim; ++j) out[j] += w * row[j];
+  }
+  Var node = MakeOp(std::move(out), {h, a});
+  Node* raw = node.get();
+  node->backward_fn = [raw, h, a, t, dim]() {
+    if (h->requires_grad) {
+      h->EnsureGrad();
+      for (int i = 0; i < t; ++i) {
+        const float w = a->value[i];
+        if (w == 0.0f) continue;
+        float* grow = h->grad.data() + static_cast<size_t>(i) * dim;
+        for (int j = 0; j < dim; ++j) grow[j] += w * raw->grad[j];
+      }
+    }
+    if (a->requires_grad) {
+      a->EnsureGrad();
+      for (int i = 0; i < t; ++i) {
+        const float* row = h->value.data() + static_cast<size_t>(i) * dim;
+        float acc = 0.0f;
+        for (int j = 0; j < dim; ++j) acc += row[j] * raw->grad[j];
+        a->grad[i] += acc;
+      }
+    }
+  };
+  return node;
+}
+
+}  // namespace cnpb::nn

@@ -1,0 +1,68 @@
+#ifndef CNPROBASE_NN_AUTOGRAD_H_
+#define CNPROBASE_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace cnpb::nn {
+
+// Reverse-mode autodiff over a dynamically built graph. A Var is a
+// shared-ownership node holding a value, a lazily-allocated gradient, and a
+// closure that pushes its gradient into its parents. Graphs are built per
+// training sample and discarded after Backward().
+struct Node {
+  Tensor value;
+  Tensor grad;              // allocated on demand, same shape as value
+  bool requires_grad = false;
+  bool grad_ready = false;  // grad tensor allocated & zeroed
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void()> backward_fn;  // reads this->grad, accumulates parents
+
+  void EnsureGrad() {
+    if (!grad_ready) {
+      grad = Tensor::Zeros(value.rows(), value.cols());
+      grad_ready = true;
+    }
+  }
+};
+
+using Var = std::shared_ptr<Node>;
+
+// Creates a leaf. Parameters pass requires_grad = true; constants false.
+Var MakeVar(Tensor value, bool requires_grad = false);
+
+// Runs backpropagation from `loss` (must be a scalar, shape [1]). Gradients
+// accumulate into every reachable node with requires_grad.
+void Backward(const Var& loss);
+
+// ---- ops -----------------------------------------------------------------
+// All ops propagate requires_grad and register backward closures.
+
+Var Add(const Var& a, const Var& b);             // same shape
+Var Sub(const Var& a, const Var& b);             // same shape
+Var Mul(const Var& a, const Var& b);             // elementwise, same shape
+Var ScalarMul(const Var& a, float c);
+Var Tanh(const Var& a);
+Var Sigmoid(const Var& a);
+Var OneMinus(const Var& a);                      // 1 - a
+Var MatVec(const Var& w, const Var& x);          // [m,n] x [n] -> [m]
+Var Dot(const Var& a, const Var& b);             // [n]·[n] -> [1]
+Var Concat(const Var& a, const Var& b);          // [n]+[m] -> [n+m]
+Var Softmax(const Var& a);                       // [n] -> [n]
+Var NegLog(const Var& a);                        // scalar -> scalar, -log(a)
+Var Gather(const Var& a, int index);             // [n] -> [1]
+// Sum of a[j] over the given indices (the copy-mass op): [n] -> [1].
+Var GatherSum(const Var& a, const std::vector<int>& indices);
+// Row `index` of matrix [V,d] -> [d]; backward scatter-adds (embeddings).
+Var Row(const Var& table, int index);
+// Stacks T vectors [h] into [T,h]; backward scatters rows.
+Var StackRows(const std::vector<Var>& rows);
+// H^T a with H [T,h], a [T] -> [h] (attention context).
+Var MatTVec(const Var& h, const Var& a);
+
+}  // namespace cnpb::nn
+
+#endif  // CNPROBASE_NN_AUTOGRAD_H_

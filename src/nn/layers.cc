@@ -1,0 +1,61 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace cnpb::nn {
+
+Linear::Linear(int in_dim, int out_dim, util::Rng& rng) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(in_dim));
+  w_ = MakeVar(Tensor::RandomUniform(out_dim, in_dim, scale, rng),
+               /*requires_grad=*/true);
+  b_ = MakeVar(Tensor::Zeros(out_dim), /*requires_grad=*/true);
+}
+
+Var Linear::operator()(const Var& x) const { return Add(MatVec(w_, x), b_); }
+
+void Linear::CollectParams(std::vector<Var>* params) const {
+  params->push_back(w_);
+  params->push_back(b_);
+}
+
+Embedding::Embedding(int vocab, int dim, util::Rng& rng) {
+  table_ = MakeVar(Tensor::RandomUniform(vocab, dim, 0.1f, rng),
+                   /*requires_grad=*/true);
+}
+
+Var Embedding::Lookup(int id) const { return Row(table_, id); }
+
+void Embedding::CollectParams(std::vector<Var>* params) const {
+  params->push_back(table_);
+}
+
+GruCell::GruCell(int input_dim, int hidden_dim, util::Rng& rng)
+    : hidden_dim_(hidden_dim),
+      wz_(input_dim, hidden_dim, rng),
+      uz_(hidden_dim, hidden_dim, rng),
+      wr_(input_dim, hidden_dim, rng),
+      ur_(hidden_dim, hidden_dim, rng),
+      wn_(input_dim, hidden_dim, rng),
+      un_(hidden_dim, hidden_dim, rng) {}
+
+Var GruCell::Step(const Var& x, const Var& h) const {
+  const Var z = Sigmoid(Add(wz_(x), uz_(h)));
+  const Var r = Sigmoid(Add(wr_(x), ur_(h)));
+  const Var n = Tanh(Add(wn_(x), un_(Mul(r, h))));
+  return Add(Mul(OneMinus(z), n), Mul(z, h));
+}
+
+Var GruCell::InitialState() const {
+  return MakeVar(Tensor::Zeros(hidden_dim_), /*requires_grad=*/false);
+}
+
+void GruCell::CollectParams(std::vector<Var>* params) const {
+  wz_.CollectParams(params);
+  uz_.CollectParams(params);
+  wr_.CollectParams(params);
+  ur_.CollectParams(params);
+  wn_.CollectParams(params);
+  un_.CollectParams(params);
+}
+
+}  // namespace cnpb::nn

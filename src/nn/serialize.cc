@@ -1,0 +1,98 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/strings.h"
+#include "util/tsv.h"
+
+namespace cnpb::nn {
+
+namespace {
+constexpr char kMagic[8] = {'C', 'N', 'P', 'B', 'N', 'N', '0', '1'};
+}  // namespace
+
+util::Status SaveParameters(const std::vector<Var>& params,
+                            const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return util::IoError("cannot open " + path);
+  std::fwrite(kMagic, 1, sizeof(kMagic), f);
+  const uint32_t count = static_cast<uint32_t>(params.size());
+  std::fwrite(&count, sizeof(count), 1, f);
+  for (const Var& p : params) {
+    const int32_t rows = p->value.rows();
+    const int32_t cols = p->value.cols();
+    std::fwrite(&rows, sizeof(rows), 1, f);
+    std::fwrite(&cols, sizeof(cols), 1, f);
+    std::fwrite(p->value.data(), sizeof(float), p->value.size(), f);
+  }
+  if (std::fclose(f) != 0) return util::IoError("fclose failed: " + path);
+  return util::Status::Ok();
+}
+
+util::Status LoadParameters(const std::vector<Var>& params,
+                            const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return util::IoError("cannot open " + path);
+  char magic[sizeof(kMagic)];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    std::fclose(f);
+    return util::InvalidArgumentError("bad checkpoint magic: " + path);
+  }
+  uint32_t count = 0;
+  if (std::fread(&count, sizeof(count), 1, f) != 1 ||
+      count != params.size()) {
+    std::fclose(f);
+    return util::InvalidArgumentError(util::StrFormat(
+        "checkpoint has %u parameters, model has %zu", count, params.size()));
+  }
+  for (const Var& p : params) {
+    int32_t rows = 0, cols = 0;
+    if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
+        std::fread(&cols, sizeof(cols), 1, f) != 1 ||
+        rows != p->value.rows() || cols != p->value.cols()) {
+      std::fclose(f);
+      return util::InvalidArgumentError("checkpoint shape mismatch");
+    }
+    if (std::fread(p->value.data(), sizeof(float), p->value.size(), f) !=
+        p->value.size()) {
+      std::fclose(f);
+      return util::IoError("truncated checkpoint: " + path);
+    }
+  }
+  std::fclose(f);
+  return util::Status::Ok();
+}
+
+util::Status SaveVocab(const Vocab& vocab, const std::string& path) {
+  util::TsvWriter writer(path);
+  if (!writer.status().ok()) return writer.status();
+  for (int id = 0; id < vocab.size(); ++id) {
+    writer.WriteRow({vocab.Word(id)});
+  }
+  return writer.Close();
+}
+
+util::Result<Vocab> LoadVocab(const std::string& path) {
+  auto rows = util::ReadTsvFile(path);
+  if (!rows.ok()) return rows.status();
+  Vocab vocab;
+  for (size_t i = 0; i < rows->size(); ++i) {
+    const auto& row = (*rows)[i];
+    if (row.size() != 1) {
+      return util::InvalidArgumentError("vocab row needs exactly 1 field");
+    }
+    if (i < 3) {
+      // Reserved tokens must match the fixed layout.
+      if (row[0] != vocab.Word(static_cast<int>(i))) {
+        return util::InvalidArgumentError("vocab reserved tokens corrupted");
+      }
+      continue;
+    }
+    vocab.Add(row[0]);
+  }
+  return vocab;
+}
+
+}  // namespace cnpb::nn

@@ -1,0 +1,29 @@
+#ifndef CNPROBASE_NN_SERIALIZE_H_
+#define CNPROBASE_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/autograd.h"
+#include "nn/vocab.h"
+#include "util/status.h"
+
+namespace cnpb::nn {
+
+// Binary parameter persistence. The file stores, per parameter, its shape
+// and raw float32 payload; loading requires an identically-shaped parameter
+// list (the caller reconstructs the model architecture first, then fills
+// the weights — the usual checkpoint contract).
+util::Status SaveParameters(const std::vector<Var>& params,
+                            const std::string& path);
+util::Status LoadParameters(const std::vector<Var>& params,
+                            const std::string& path);
+
+// Vocab persistence (one word per line, TSV-escaped, reserved tokens
+// included so ids are stable).
+util::Status SaveVocab(const Vocab& vocab, const std::string& path);
+util::Result<Vocab> LoadVocab(const std::string& path);
+
+}  // namespace cnpb::nn
+
+#endif  // CNPROBASE_NN_SERIALIZE_H_

@@ -1,0 +1,64 @@
+#ifndef CNPROBASE_NN_TENSOR_H_
+#define CNPROBASE_NN_TENSOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cnpb::nn {
+
+// Dense float tensor, row-major, rank 1 or 2. Sized for the small CopyNet
+// model (hidden dims of tens, vocab of thousands); no SIMD heroics.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(int n) : rows_(n), cols_(1), data_(n, 0.0f) {}
+  Tensor(int rows, int cols) : rows_(rows), cols_(cols) {
+    CNPB_CHECK(rows >= 0 && cols >= 0);
+    data_.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  }
+
+  static Tensor Zeros(int rows, int cols = 1) { return Tensor(rows, cols); }
+
+  // Uniform(-scale, scale) initialisation.
+  static Tensor RandomUniform(int rows, int cols, float scale,
+                              util::Rng& rng) {
+    Tensor t(rows, cols);
+    for (float& v : t.data_) {
+      v = scale * (2.0f * static_cast<float>(rng.UniformDouble()) - 1.0f);
+    }
+    return t;
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& at(int r, int c = 0) { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  float at(int r, int c = 0) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  float& operator[](size_t i) { return data_[i]; }
+  float operator[](size_t i) const { return data_[i]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float v) {
+    for (float& x : data_) x = v;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace cnpb::nn
+
+#endif  // CNPROBASE_NN_TENSOR_H_

@@ -1,0 +1,43 @@
+#include "nn/vocab.h"
+
+#include "util/logging.h"
+
+namespace cnpb::nn {
+
+Vocab::Vocab() {
+  Add("<pad>");
+  Add("<unk>");
+  Add("<eos>");
+}
+
+int Vocab::Add(std::string_view word) {
+  auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  const int id = static_cast<int>(words_.size());
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+int Vocab::Id(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? kUnk : it->second;
+}
+
+bool Vocab::Contains(std::string_view word) const {
+  return index_.count(std::string(word)) > 0;
+}
+
+const std::string& Vocab::Word(int id) const {
+  CNPB_CHECK(id >= 0 && static_cast<size_t>(id) < words_.size());
+  return words_[id];
+}
+
+std::vector<int> Vocab::Encode(const std::vector<std::string>& tokens) const {
+  std::vector<int> ids;
+  ids.reserve(tokens.size());
+  for (const std::string& token : tokens) ids.push_back(Id(token));
+  return ids;
+}
+
+}  // namespace cnpb::nn

@@ -1,0 +1,131 @@
+#include "synth/bilingual.h"
+
+#include "text/utf8.h"
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace cnpb::synth {
+
+namespace {
+// Pinyin-like syllable pool for deterministic romanisation.
+const char* kSyllables[] = {
+    "zhang", "li",   "wang", "liu",  "chen", "yang", "zhao", "huang",
+    "zhou",  "wu",   "xu",   "sun",  "ma",   "zhu",  "hu",   "guo",
+    "he",    "gao",  "lin",  "luo",  "mei",  "lan",  "xin",  "yu",
+    "feng",  "yun",  "hai",  "jiang", "shan", "he",  "hu",   "shi",
+    "sha",   "xing", "yong", "ping", "luo",  "jia",  "xiang", "gui",
+    "an",    "chang", "ning", "lin", "de",   "fu",   "ji",   "tai",
+    "hua",   "jin",  "yin",  "qing", "bai",  "hei",  "long", "bo",
+    "wei",   "rui",  "heng", "da",   "teng", "du",   "dong", "yi"};
+constexpr size_t kNumSyllables = sizeof(kSyllables) / sizeof(kSyllables[0]);
+}  // namespace
+
+std::string BilingualDictionary::Romanize(const std::string& mention) {
+  std::string out;
+  size_t pos = 0;
+  bool first = true;
+  while (pos < mention.size()) {
+    const char32_t cp = text::DecodeCodepointAt(mention, pos);
+    if (!first) out += ' ';
+    first = false;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else {
+      out += kSyllables[static_cast<size_t>(cp) % kNumSyllables];
+    }
+  }
+  return out;
+}
+
+BilingualDictionary BilingualDictionary::Build(const WorldModel& world,
+                                               const Config& config) {
+  BilingualDictionary dict;
+  util::Rng rng(config.seed);
+  const Ontology& onto = world.ontology();
+  const std::vector<const char*>& confusion = ConfusionWords();
+
+  dict.unknown_.chinese = "";
+  dict.unknown_.correct = false;
+  dict.unknown_.confidence = 0.0;
+
+  dict.concept_english_.resize(onto.size());
+  for (size_t c = 0; c < onto.size(); ++c) {
+    const auto& info = onto.ConceptAt(c);
+    dict.concept_english_[c] = info.english;
+    Translation t;
+    if (rng.Bernoulli(config.concept_error_rate)) {
+      t.correct = false;
+      t.chinese = confusion[rng.Uniform(confusion.size())];
+      t.pos = rng.Bernoulli(config.error_non_noun_rate) ? text::Pos::kVerb
+                                                        : text::Pos::kNoun;
+      t.confidence = 0.3 + 0.5 * rng.UniformDouble();
+    } else {
+      t.correct = true;
+      t.chinese = info.name;
+      t.pos = text::Pos::kNoun;
+      t.confidence = 0.6 + 0.4 * rng.UniformDouble();
+    }
+    // Several concepts can share a gloss (actor appears twice); first wins,
+    // which itself is a realistic translation-collision error source.
+    dict.concept_translations_.emplace(info.english, std::move(t));
+  }
+
+  std::vector<std::string> mentions;
+  mentions.reserve(world.entities().size());
+  for (const WorldEntity& entity : world.entities()) {
+    mentions.push_back(entity.mention);
+  }
+  for (const std::string& mention : mentions) {
+    const std::string english = Romanize(mention);
+    if (dict.entity_translations_.count(english) > 0) continue;
+    Translation t;
+    if (rng.Bernoulli(config.entity_error_rate) && mentions.size() > 1) {
+      t.correct = false;
+      // Wrong entity or transliteration junk.
+      if (rng.Bernoulli(0.6)) {
+        const std::string& other = mentions[rng.Uniform(mentions.size())];
+        t.chinese = other == mention ? other + "氏" : other;
+      } else {
+        t.chinese = mention + "尔";
+      }
+      t.pos = text::Pos::kProperNoun;
+      t.confidence = 0.2 + 0.5 * rng.UniformDouble();
+    } else {
+      t.correct = true;
+      t.chinese = mention;
+      t.pos = text::Pos::kProperNoun;
+      t.confidence = 0.5 + 0.5 * rng.UniformDouble();
+    }
+    dict.entity_translations_.emplace(english, std::move(t));
+  }
+  return dict;
+}
+
+const std::string& BilingualDictionary::EnglishConcept(int concept_id) const {
+  CNPB_CHECK(concept_id >= 0 &&
+             static_cast<size_t>(concept_id) < concept_english_.size());
+  return concept_english_[concept_id];
+}
+
+const BilingualDictionary::Translation& BilingualDictionary::TranslateConcept(
+    const std::string& english) const {
+  auto it = concept_translations_.find(english);
+  return it == concept_translations_.end() ? unknown_ : it->second;
+}
+
+const BilingualDictionary::Translation& BilingualDictionary::TranslateEntity(
+    const std::string& english) const {
+  auto it = entity_translations_.find(english);
+  return it == entity_translations_.end() ? unknown_ : it->second;
+}
+
+bool BilingualDictionary::KnowsConcept(const std::string& english) const {
+  return concept_translations_.count(english) > 0;
+}
+
+bool BilingualDictionary::KnowsEntity(const std::string& english) const {
+  return entity_translations_.count(english) > 0;
+}
+
+}  // namespace cnpb::synth

@@ -1,0 +1,65 @@
+#ifndef CNPROBASE_SYNTH_BILINGUAL_H_
+#define CNPROBASE_SYNTH_BILINGUAL_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "synth/world.h"
+#include "text/lexicon.h"
+
+namespace cnpb::synth {
+
+// Bilingual resources for the Probase-Tran baseline: English forms of world
+// concepts/entities plus a noisy EN->ZH dictionary that models what a
+// general-purpose machine translator does to taxonomy terms (wrong sense for
+// polysemous words, transliteration drift for names, occasional non-noun
+// output). Error assignments are deterministic per term.
+class BilingualDictionary {
+ public:
+  struct Config {
+    uint64_t seed = 31;
+    // Fraction of concept glosses whose back-translation picks a wrong sense.
+    double concept_error_rate = 0.30;
+    // Fraction of entity names that mistranslate (wrong entity or junk).
+    double entity_error_rate = 0.25;
+    // Among erroneous concept translations, fraction that come back as a
+    // non-noun (caught by the POS filter).
+    double error_non_noun_rate = 0.35;
+  };
+
+  static BilingualDictionary Build(const WorldModel& world,
+                                   const Config& config);
+
+  // English gloss of a concept (e.g. 演员 -> "actor").
+  const std::string& EnglishConcept(int concept_id) const;
+
+  // Deterministic romanisation of a Chinese mention (e.g. 刘德华 -> "Liu
+  // Dehua"-like syllables).
+  static std::string Romanize(const std::string& mention);
+
+  struct Translation {
+    std::string chinese;
+    text::Pos pos = text::Pos::kNoun;
+    double confidence = 1.0;  // translator-reported confidence
+    bool correct = true;      // generator-side truth (evaluation only)
+  };
+
+  // Translates an English concept gloss back to Chinese.
+  const Translation& TranslateConcept(const std::string& english) const;
+  // Translates a romanised entity name back to Chinese.
+  const Translation& TranslateEntity(const std::string& english) const;
+
+  bool KnowsConcept(const std::string& english) const;
+  bool KnowsEntity(const std::string& english) const;
+
+ private:
+  std::vector<std::string> concept_english_;
+  std::unordered_map<std::string, Translation> concept_translations_;
+  std::unordered_map<std::string, Translation> entity_translations_;
+  Translation unknown_;
+};
+
+}  // namespace cnpb::synth
+
+#endif  // CNPROBASE_SYNTH_BILINGUAL_H_

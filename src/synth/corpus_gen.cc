@@ -1,0 +1,136 @@
+#include "synth/corpus_gen.h"
+
+#include "text/utf8.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cnpb::synth {
+
+size_t Corpus::NumTokens() const {
+  size_t n = 0;
+  for (const auto& sentence : sentences) n += sentence.size();
+  return n;
+}
+
+void Corpus::FillNgrams(text::NgramCounter* counter) const {
+  std::vector<std::string> words;
+  for (const auto& sentence : sentences) {
+    words.clear();
+    words.reserve(sentence.size());
+    for (const CorpusToken& token : sentence) words.push_back(token.word);
+    counter->AddSentence(words);
+  }
+}
+
+namespace {
+
+// Marks tokens that are proper nouns in the lexicon as gold named entities.
+std::vector<CorpusToken> ToTokens(const std::vector<std::string>& words,
+                                  const text::Lexicon& lexicon) {
+  std::vector<CorpusToken> tokens;
+  tokens.reserve(words.size());
+  for (const std::string& word : words) {
+    CorpusToken token;
+    token.word = word;
+    token.gold_ne = lexicon.PosOf(word) == text::Pos::kProperNoun;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+std::vector<CorpusToken> PatternSentence(
+    std::initializer_list<std::pair<const char*, bool>> parts) {
+  std::vector<CorpusToken> tokens;
+  for (const auto& [word, ne] : parts) tokens.push_back({word, ne});
+  return tokens;
+}
+
+}  // namespace
+
+Corpus CorpusGenerator::Generate(const WorldModel& world,
+                                 const kb::EncyclopediaDump& dump,
+                                 const text::Segmenter& segmenter,
+                                 const Config& config) {
+  Corpus corpus;
+  util::Rng rng(config.seed);
+  const Ontology& onto = world.ontology();
+  const text::Lexicon& lexicon = world.lexicon();
+
+  // 1. Segmented abstracts: the bulk of the corpus.
+  for (const kb::EncyclopediaPage& page : dump.pages()) {
+    if (page.abstract.empty()) continue;
+    corpus.sentences.push_back(
+        ToTokens(segmenter.Segment(page.abstract), lexicon));
+  }
+
+  // 2. Title-compound patterns: 他 担任 首席 战略官 。
+  for (size_t c = 0; c < onto.size(); ++c) {
+    const auto& info = onto.ConceptAt(c);
+    if (!info.title_like || !util::StartsWith(info.name, "首席")) continue;
+    const std::string suffix = info.name.substr(std::string("首席").size());
+    const std::vector<size_t>& holders = world.EntitiesOfConcept(static_cast<int>(c));
+    const int reps = config.title_patterns *
+                     std::max(1, static_cast<int>(holders.size()));
+    for (int i = 0; i < reps; ++i) {
+      corpus.sentences.push_back(PatternSentence(
+          {{rng.Bernoulli(0.5) ? "他" : "她", false},
+           {"担任", false},
+           {"首席", false},
+           {suffix.c_str(), false},
+           {"。", false}}));
+    }
+  }
+
+  // 3. Organisations in diverse contexts so PMI(org, 首席) stays modest and
+  //    the NER supports see org mentions outside NE slots rarely.
+  for (size_t idx : world.Companies()) {
+    const WorldEntity& org = world.entities()[idx];
+    for (int i = 0; i < config.org_context_sentences; ++i) {
+      std::vector<CorpusToken> sentence;
+      sentence.push_back({org.mention, true});
+      switch (rng.Uniform(3)) {
+        case 0:
+          sentence.push_back({"成立", false});
+          sentence.push_back({"于", false});
+          sentence.push_back(
+              {util::StrFormat("%d", (int)rng.UniformInt(1950, 2015)), false});
+          sentence.push_back({"年", false});
+          break;
+        case 1:
+          sentence.push_back({"是", false});
+          sentence.push_back({"一家", false});
+          sentence.push_back({onto.ConceptAt(org.primary).name, false});
+          break;
+        default:
+          sentence.push_back({"发布", false});
+          sentence.push_back({"了", false});
+          sentence.push_back({"新品", false});
+          break;
+      }
+      sentence.push_back({"。", false});
+      corpus.sentences.push_back(std::move(sentence));
+    }
+  }
+
+  // 4. NE-after-preposition sentences: {person} 出生 于 {place} 。
+  const std::vector<size_t>& persons = world.EntitiesOfDomain(Domain::kPerson);
+  const std::vector<size_t>& places = world.EntitiesOfDomain(Domain::kPlace);
+  if (!persons.empty() && !places.empty()) {
+    const size_t reps = persons.size() / 2;
+    for (size_t i = 0; i < reps; ++i) {
+      const WorldEntity& person =
+          world.entities()[persons[rng.Uniform(persons.size())]];
+      const WorldEntity& place =
+          world.entities()[places[rng.Uniform(places.size())]];
+      corpus.sentences.push_back({{person.mention, true},
+                                  {"出生", false},
+                                  {"于", false},
+                                  {place.mention, true},
+                                  {"。", false}});
+    }
+  }
+
+  return corpus;
+}
+
+}  // namespace cnpb::synth

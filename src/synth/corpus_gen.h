@@ -1,0 +1,51 @@
+#ifndef CNPROBASE_SYNTH_CORPUS_GEN_H_
+#define CNPROBASE_SYNTH_CORPUS_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/dump.h"
+#include "synth/world.h"
+#include "text/ngram.h"
+#include "text/segmenter.h"
+
+namespace cnpb::synth {
+
+// One corpus token. `gold_ne` is generator-side truth used only to evaluate
+// the NER substrate itself; the verification module never reads it.
+struct CorpusToken {
+  std::string word;
+  bool gold_ne = false;
+};
+
+// The Chinese text corpus substitute: segmented encyclopedia abstracts plus
+// patterned sentences that give the PMI table realistic collocation
+// statistics (title compounds, NE-after-preposition contexts, company
+// mentions in diverse contexts).
+struct Corpus {
+  std::vector<std::vector<CorpusToken>> sentences;
+
+  size_t NumTokens() const;
+  // Feeds every sentence into the n-gram counter.
+  void FillNgrams(text::NgramCounter* counter) const;
+};
+
+class CorpusGenerator {
+ public:
+  struct Config {
+    uint64_t seed = 11;
+    // Pattern sentences per title-like entity reinforcing 首席+X官 bigrams.
+    int title_patterns = 3;
+    // Extra diverse-context sentences per organisation.
+    int org_context_sentences = 4;
+  };
+
+  static Corpus Generate(const WorldModel& world,
+                         const kb::EncyclopediaDump& dump,
+                         const text::Segmenter& segmenter,
+                         const Config& config);
+};
+
+}  // namespace cnpb::synth
+
+#endif  // CNPROBASE_SYNTH_CORPUS_GEN_H_

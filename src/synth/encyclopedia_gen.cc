@@ -1,0 +1,425 @@
+#include "synth/encyclopedia_gen.h"
+
+#include <algorithm>
+
+#include "text/utf8.h"
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace cnpb::synth {
+
+void GoldTruth::AddEntity(const std::string& page_name,
+                          std::unordered_set<std::string> hypernyms) {
+  entity_hypernyms_[page_name] = std::move(hypernyms);
+}
+
+void GoldTruth::AddConcept(const std::string& concept_name,
+                           std::unordered_set<std::string> supers) {
+  concept_hypernyms_[concept_name] = std::move(supers);
+}
+
+bool GoldTruth::IsCorrect(const std::string& hypo,
+                          const std::string& hyper) const {
+  auto it = entity_hypernyms_.find(hypo);
+  if (it != entity_hypernyms_.end()) return it->second.count(hyper) > 0;
+  auto jt = concept_hypernyms_.find(hypo);
+  if (jt != concept_hypernyms_.end()) return jt->second.count(hyper) > 0;
+  return false;
+}
+
+bool GoldTruth::KnowsHyponym(const std::string& hypo) const {
+  return entity_hypernyms_.count(hypo) > 0 ||
+         concept_hypernyms_.count(hypo) > 0;
+}
+
+namespace {
+
+// Context used while generating one page.
+struct PageContext {
+  const WorldModel* world;
+  const EncyclopediaGenerator::Config* config;
+  util::Rng* rng;
+};
+
+// A plausible-but-wrong concept: same domain as the entity, entity-bearing,
+// and neither a gold concept nor related to one by ancestry. Returns -1 if
+// none can be found.
+int SameDomainWrongConcept(const WorldEntity& entity, const Ontology& onto,
+                           util::Rng& rng) {
+  const std::vector<int>& bearing = onto.EntityBearingConcepts();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const int other = bearing[rng.Uniform(bearing.size())];
+    if (onto.ConceptAt(other).domain != entity.domain) continue;
+    bool related = false;
+    for (int gold : entity.concepts) {
+      if (other == gold || onto.IsAncestor(other, gold) ||
+          onto.IsAncestor(gold, other)) {
+        related = true;
+        break;
+      }
+    }
+    if (!related) return other;
+  }
+  return -1;
+}
+
+std::string RandomMentionOf(const WorldModel& world,
+                            const std::vector<size_t>& pool, util::Rng& rng,
+                            const char* fallback) {
+  if (pool.empty()) return fallback;
+  return world.entities()[pool[rng.Uniform(pool.size())]].mention;
+}
+
+// Builds the disambiguation bracket for an entity. Returns an empty string
+// when the entity should have no bracket. `noisy` is set when the bracket is
+// deliberately not a hypernym compound.
+std::string MakeBracket(const WorldEntity& entity, const PageContext& ctx,
+                        bool force, bool* noisy) {
+  util::Rng& rng = *ctx.rng;
+  const WorldModel& world = *ctx.world;
+  const Ontology& onto = world.ontology();
+  *noisy = false;
+  if (!force && !rng.Bernoulli(ctx.config->bracket_rate)) return "";
+
+  if (rng.Bernoulli(ctx.config->bracket_noise_rate)) {
+    *noisy = true;
+    // Two flavours of non-hypernym brackets seen in real encyclopedias:
+    // a topic word (音乐) or a pure place phrase (中国北京).
+    if (rng.Bernoulli(0.5)) return rng.Choice(ThematicWords());
+    std::string out = rng.Choice(Countries());
+    out += rng.Choice(MajorCities());
+    return out;
+  }
+
+  // Title-like concepts take an employer modifier: 蚂蚁金服首席战略官.
+  for (int concept_id : entity.concepts) {
+    if (onto.ConceptAt(concept_id).title_like) {
+      std::string out = RandomMentionOf(world, world.Companies(), rng, "华辰科技");
+      out += onto.ConceptAt(concept_id).name;
+      return out;
+    }
+  }
+
+  std::string primary = onto.ConceptAt(entity.primary).name;
+  if (rng.Bernoulli(ctx.config->bracket_wrong_concept_rate)) {
+    const int wrong = SameDomainWrongConcept(entity, onto, rng);
+    if (wrong >= 0) {
+      *noisy = true;
+      primary = onto.ConceptAt(wrong).name;
+    }
+  }
+  std::string out;
+  switch (entity.domain) {
+    case Domain::kPerson:
+      out = rng.Choice(Regions());
+      out += primary;
+      // Sometimes list a second concept_name: 中国香港男演员、歌手.
+      if (entity.concepts.size() > 1 && rng.Bernoulli(0.5)) {
+        out += "、";
+        out += onto.ConceptAt(entity.concepts[1]).name;
+      }
+      break;
+    case Domain::kPlace:
+    case Domain::kBio:
+      out = rng.Choice(Countries());
+      out += primary;
+      break;
+    case Domain::kWork:
+      if (rng.Bernoulli(0.5)) out = rng.Choice(Regions());
+      out += primary;
+      break;
+    case Domain::kOrg:
+      out = RandomMentionOf(world, world.EntitiesOfDomain(Domain::kPlace), rng,
+                            "北京");
+      out += primary;
+      break;
+    default:
+      out = primary;  // bracket that is just the concept_name itself
+      break;
+  }
+  return out;
+}
+
+// Builds the abstract. The primary concept_name word is embedded in the text,
+// which is what makes the CopyNet distant-supervision task learnable.
+std::string MakeAbstract(const WorldEntity& entity, const PageContext& ctx) {
+  util::Rng& rng = *ctx.rng;
+  const WorldModel& world = *ctx.world;
+  const Ontology& onto = world.ontology();
+  const std::string& concept_name = onto.ConceptAt(entity.primary).name;
+  const int year = static_cast<int>(rng.UniformInt(1930, 2015));
+
+  std::string out = entity.mention;
+  switch (entity.domain) {
+    case Domain::kPerson: {
+      out += util::StrFormat("，%d年%d月%d日出生于", year,
+                             static_cast<int>(rng.UniformInt(1, 12)),
+                             static_cast<int>(rng.UniformInt(1, 28)));
+      out += RandomMentionOf(world, world.EntitiesOfDomain(Domain::kPlace),
+                             rng, "北京");
+      out += "，";
+      out += rng.Choice(Regions());
+      out += concept_name;
+      if (entity.concepts.size() > 1) {
+        out += "、";
+        out += onto.ConceptAt(entity.concepts[1]).name;
+      }
+      out += "。";
+      if (onto.ConceptAt(entity.primary).title_like) {
+        out += "现任";
+        out += RandomMentionOf(world, world.Companies(), rng, "华辰科技");
+        out += concept_name;
+        out += "。";
+      } else if (rng.Bernoulli(0.6)) {
+        out += util::StrFormat("%d年", year + 20);
+        out += "主演电影《";
+        out += RandomMentionOf(world, world.EntitiesOfDomain(Domain::kWork),
+                               rng, "忘情水");
+        out += "》。";
+      }
+      break;
+    }
+    case Domain::kPlace:
+      out += "，位于";
+      out += rng.Choice(Countries());
+      out += "，是著名";
+      out += concept_name;
+      out += "。";
+      break;
+    case Domain::kWork:
+      out = "《" + entity.mention + "》";
+      out += "是一部";
+      out += concept_name;
+      out += "，由";
+      out += RandomMentionOf(world, world.EntitiesOfDomain(Domain::kPerson),
+                             rng, "王伟");
+      out += "执导。";
+      out += util::StrFormat("%d年发行。", year);
+      break;
+    case Domain::kOrg:
+      out += util::StrFormat("成立于%d年，总部位于", year);
+      out += RandomMentionOf(world, world.EntitiesOfDomain(Domain::kPlace),
+                             rng, "上海");
+      out += "，是一家";
+      out += concept_name;
+      out += "。";
+      break;
+    case Domain::kBio:
+      out += "是一种";
+      out += concept_name;
+      out += "，分布于";
+      out += RandomMentionOf(world, world.EntitiesOfDomain(Domain::kPlace),
+                             rng, "云南");
+      out += "等地。";
+      break;
+    case Domain::kFood:
+      out += "是一种";
+      out += concept_name;
+      out += "，发源于";
+      out += RandomMentionOf(world, world.EntitiesOfDomain(Domain::kPlace),
+                             rng, "成都");
+      out += "。";
+      break;
+    case Domain::kProduct:
+      out += "是";
+      out += RandomMentionOf(world, world.Companies(), rng, "星辰科技");
+      out += util::StrFormat("%d年发布的", year);
+      out += concept_name;
+      out += "。";
+      break;
+    case Domain::kEvent:
+      out += util::StrFormat("发生于%d年，是一次", year);
+      out += concept_name;
+      out += "。";
+      break;
+    case Domain::kOther:
+      out += "是";
+      out += concept_name;
+      out += "。";
+      break;
+  }
+  return out;
+}
+
+std::vector<std::string> MakeTags(const WorldEntity& entity,
+                                  const PageContext& ctx) {
+  util::Rng& rng = *ctx.rng;
+  const Ontology& onto = ctx.world->ontology();
+  const EncyclopediaGenerator::Config& config = *ctx.config;
+  std::vector<std::string> tags;
+  for (int concept_id : entity.concepts) {
+    if (rng.Bernoulli(config.tag_concept_keep)) {
+      tags.push_back(onto.ConceptAt(concept_id).name);
+    }
+  }
+  // One ancestor tag (e.g. 人物 on an actor page).
+  const std::vector<int>& ancestors = onto.Ancestors(entity.primary);
+  if (!ancestors.empty() && rng.Bernoulli(config.tag_ancestor_rate)) {
+    tags.push_back(onto.ConceptAt(rng.Choice(ancestors)).name);
+  }
+  if (rng.Bernoulli(config.tag_thematic_rate)) {
+    tags.push_back(rng.Choice(ThematicWords()));
+  }
+  if (rng.Bernoulli(config.tag_ne_rate)) {
+    tags.push_back(rng.Bernoulli(0.5)
+                       ? std::string(rng.Choice(Countries()))
+                       : std::string(rng.Choice(MajorCities())));
+  }
+  if (rng.Bernoulli(config.tag_wrong_concept_rate)) {
+    // A concept_name from a different domain — definitely wrong.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int other = static_cast<int>(rng.Uniform(onto.size()));
+      if (onto.ConceptAt(other).domain != entity.domain) {
+        tags.push_back(onto.ConceptAt(other).name);
+        break;
+      }
+    }
+  }
+  if (rng.Bernoulli(config.tag_same_domain_wrong_rate)) {
+    const int wrong = SameDomainWrongConcept(entity, onto, rng);
+    if (wrong >= 0) tags.push_back(onto.ConceptAt(wrong).name);
+  }
+  // Dedup while keeping order.
+  std::vector<std::string> unique;
+  for (std::string& tag : tags) {
+    if (std::find(unique.begin(), unique.end(), tag) == unique.end()) {
+      unique.push_back(std::move(tag));
+    }
+  }
+  return unique;
+}
+
+}  // namespace
+
+EncyclopediaGenerator::Output EncyclopediaGenerator::Generate(
+    const WorldModel& world, const Config& config) {
+  Output output;
+  util::Rng rng(config.seed);
+  PageContext ctx{&world, &config, &rng};
+  const Ontology& onto = world.ontology();
+
+  // Mentions that occur more than once need a bracket to disambiguate.
+  std::unordered_map<std::string, int> mention_count;
+  for (const WorldEntity& entity : world.entities()) {
+    ++mention_count[entity.mention];
+  }
+
+  std::unordered_set<std::string> used_names;
+  for (size_t i = 0; i < world.entities().size(); ++i) {
+    const WorldEntity& entity = world.entities()[i];
+    const bool force_bracket = mention_count[entity.mention] > 1;
+
+    kb::EncyclopediaPage page;
+    page.mention = entity.mention;
+    bool placed = false;
+    for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+      bool noisy = false;
+      page.bracket = MakeBracket(entity, ctx, force_bracket, &noisy);
+      page.name = page.bracket.empty()
+                      ? page.mention
+                      : page.mention + "（" + page.bracket + "）";
+      if (used_names.insert(page.name).second) placed = true;
+    }
+    if (!placed) continue;  // unresolvable name collision: drop the page
+
+    if (rng.Bernoulli(config.abstract_rate)) {
+      page.abstract = MakeAbstract(entity, ctx);
+    }
+
+    for (const auto& [predicate, value] : entity.attributes) {
+      std::string object = value;
+      // Noise on the implicit-isA predicates only.
+      const bool isa_bearing = onto.Contains(value) &&
+                               (predicate == "职业" || predicate == "类型" ||
+                                predicate == "机构类别" || predicate == "分类" ||
+                                predicate == "产品类型" ||
+                                predicate == "事件类型" ||
+                                predicate == "地理类别");
+      if (isa_bearing && rng.Bernoulli(config.infobox_wrong_concept_rate)) {
+        const int wrong = SameDomainWrongConcept(entity, onto, rng);
+        if (wrong >= 0) object = onto.ConceptAt(wrong).name;
+      }
+      page.infobox.push_back({page.name, predicate, object});
+    }
+
+    if (rng.Bernoulli(config.tag_page_rate)) {
+      page.tags = MakeTags(entity, ctx);
+    }
+
+    // Aliases: nickname patterns for persons, abbreviations for orgs.
+    if (entity.domain == Domain::kPerson &&
+        rng.Bernoulli(config.person_alias_rate)) {
+      const auto cps = text::CodepointStrings(page.mention);
+      if (cps.size() >= 2) {
+        std::string alias = rng.Bernoulli(0.5) ? "阿" : "小";
+        alias += cps.back();
+        page.aliases.push_back(std::move(alias));
+      }
+    } else if (entity.domain == Domain::kOrg &&
+               rng.Bernoulli(config.org_alias_rate)) {
+      const auto cps = text::CodepointStrings(page.mention);
+      if (cps.size() >= 4) {
+        // Strip the two-codepoint industry/type suffix: 华辰科技 -> 华辰.
+        std::string alias;
+        for (size_t k = 0; k + 2 < cps.size(); ++k) alias += cps[k];
+        if (alias != page.mention) page.aliases.push_back(std::move(alias));
+      }
+    }
+
+    // Gold hypernyms: direct concepts plus all ancestors.
+    std::unordered_set<std::string> gold;
+    for (int concept_id : entity.concepts) {
+      gold.insert(onto.ConceptAt(concept_id).name);
+      for (int ancestor : onto.Ancestors(concept_id)) {
+        gold.insert(onto.ConceptAt(ancestor).name);
+      }
+    }
+    output.gold.AddEntity(page.name, std::move(gold));
+
+    output.page_entity.push_back(i);
+    output.dump.AddPage(std::move(page));
+  }
+
+  // Concept pages: the page of 演员 carries tags 娱乐人物 etc. Tag
+  // extraction over these pages yields the subconcept-concept relations.
+  if (config.concept_pages) {
+    for (size_t c = 0; c < onto.size(); ++c) {
+      const auto& info = onto.ConceptAt(static_cast<int>(c));
+      if (info.parents.empty()) continue;  // domain roots have no hypernym
+      kb::EncyclopediaPage page;
+      page.mention = info.name;
+      page.name = info.name;
+      if (!used_names.insert(page.name).second) continue;
+      const std::string& parent_name = onto.ConceptAt(info.parents[0]).name;
+      page.abstract = info.name + "是一种" + parent_name + "。";
+      for (int parent : info.parents) {
+        if (rng.Bernoulli(0.95)) {
+          page.tags.push_back(onto.ConceptAt(parent).name);
+        }
+      }
+      if (rng.Bernoulli(config.tag_thematic_rate / 2)) {
+        page.tags.push_back(rng.Choice(ThematicWords()));
+      }
+      std::unordered_set<std::string> gold;
+      for (int ancestor : onto.Ancestors(static_cast<int>(c))) {
+        gold.insert(onto.ConceptAt(ancestor).name);
+      }
+      output.gold.AddEntity(page.name, std::move(gold));
+      output.page_entity.push_back(SIZE_MAX);
+      output.dump.AddPage(std::move(page));
+    }
+  }
+
+  // Concept-level gold: every concept_name's ancestor set.
+  for (size_t c = 0; c < onto.size(); ++c) {
+    std::unordered_set<std::string> supers;
+    for (int ancestor : onto.Ancestors(static_cast<int>(c))) {
+      supers.insert(onto.ConceptAt(ancestor).name);
+    }
+    output.gold.AddConcept(onto.ConceptAt(c).name, std::move(supers));
+  }
+  return output;
+}
+
+}  // namespace cnpb::synth

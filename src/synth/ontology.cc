@@ -1,0 +1,179 @@
+#include "synth/ontology.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cnpb::synth {
+
+const std::vector<AttributeSpec>& SchemaFor(Domain domain) {
+  static const auto* person = new std::vector<AttributeSpec>{
+      {"中文名", ValueKind::kText, 1.0},
+      {"国籍", ValueKind::kCountryRef, 0.9},
+      {"出生日期", ValueKind::kDate, 0.9},
+      {"出生地", ValueKind::kCityRef, 0.8},
+      {"职业", ValueKind::kConceptIsa, 0.95},
+      {"代表作品", ValueKind::kWorkRef, 0.6},
+      {"毕业院校", ValueKind::kOrgRef, 0.5},
+      {"身高", ValueKind::kNumber, 0.4},
+      {"体重", ValueKind::kNumber, 0.3},
+      {"经纪公司", ValueKind::kOrgRef, 0.3},
+  };
+  static const auto* place = new std::vector<AttributeSpec>{
+      {"中文名称", ValueKind::kText, 1.0},
+      {"所属国家", ValueKind::kCountryRef, 0.9},
+      {"面积", ValueKind::kNumber, 0.8},
+      {"人口", ValueKind::kNumber, 0.7},
+      {"地理类别", ValueKind::kConceptIsa, 0.7},
+      {"著名景点", ValueKind::kText, 0.3},
+  };
+  static const auto* work = new std::vector<AttributeSpec>{
+      {"中文名", ValueKind::kText, 1.0},
+      {"导演", ValueKind::kPersonRef, 0.7},
+      {"主演", ValueKind::kPersonRef, 0.5},
+      {"类型", ValueKind::kConceptIsa, 0.9},
+      {"发行时间", ValueKind::kDate, 0.8},
+      {"出品公司", ValueKind::kOrgRef, 0.4},
+  };
+  static const auto* org = new std::vector<AttributeSpec>{
+      {"中文名", ValueKind::kText, 1.0},
+      {"成立时间", ValueKind::kDate, 0.9},
+      {"总部地点", ValueKind::kCityRef, 0.8},
+      {"创始人", ValueKind::kPersonRef, 0.5},
+      {"经营范围", ValueKind::kIndustry, 0.6},
+      {"机构类别", ValueKind::kConceptIsa, 0.8},
+  };
+  static const auto* bio = new std::vector<AttributeSpec>{
+      {"中文学名", ValueKind::kText, 1.0},
+      {"界", ValueKind::kText, 0.9},
+      {"分布区域", ValueKind::kCityRef, 0.7},
+      {"分类", ValueKind::kConceptIsa, 0.8},
+      {"保护级别", ValueKind::kText, 0.4},
+  };
+  static const auto* food = new std::vector<AttributeSpec>{
+      {"中文名", ValueKind::kText, 1.0},
+      {"主要食材", ValueKind::kText, 0.7},
+      {"口味", ValueKind::kText, 0.6},
+      {"分类", ValueKind::kConceptIsa, 0.85},
+      {"发源地", ValueKind::kCityRef, 0.4},
+  };
+  static const auto* product = new std::vector<AttributeSpec>{
+      {"中文名", ValueKind::kText, 1.0},
+      {"品牌", ValueKind::kOrgRef, 0.7},
+      {"产品类型", ValueKind::kConceptIsa, 0.85},
+      {"发布时间", ValueKind::kDate, 0.8},
+      {"售价", ValueKind::kNumber, 0.5},
+  };
+  static const auto* event = new std::vector<AttributeSpec>{
+      {"中文名", ValueKind::kText, 1.0},
+      {"发生时间", ValueKind::kDate, 0.8},
+      {"发生地点", ValueKind::kCityRef, 0.6},
+      {"事件类型", ValueKind::kConceptIsa, 0.7},
+  };
+  static const auto* other = new std::vector<AttributeSpec>{};
+  switch (domain) {
+    case Domain::kPerson:
+      return *person;
+    case Domain::kPlace:
+      return *place;
+    case Domain::kWork:
+      return *work;
+    case Domain::kOrg:
+      return *org;
+    case Domain::kBio:
+      return *bio;
+    case Domain::kFood:
+      return *food;
+    case Domain::kProduct:
+      return *product;
+    case Domain::kEvent:
+      return *event;
+    case Domain::kOther:
+      return *other;
+  }
+  return *other;
+}
+
+Ontology Ontology::Build() {
+  Ontology onto;
+  const std::vector<ConceptRow>& rows = OntologyRows();
+  onto.concepts_.reserve(rows.size());
+  for (const ConceptRow& row : rows) {
+    ConceptInfo info;
+    info.name = row.name;
+    info.domain = row.domain;
+    info.style = row.style;
+    info.entity_weight = row.entity_weight;
+    info.english = row.english;
+    info.pool = row.pool;
+    info.title_like = row.title_like;
+    const int id = static_cast<int>(onto.concepts_.size());
+    const bool inserted = onto.index_.emplace(info.name, id).second;
+    CNPB_CHECK(inserted) << "duplicate concept " << info.name;
+    onto.concepts_.push_back(std::move(info));
+  }
+  // Wire parents after all names are registered (rows may forward-reference).
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (const char* parent_name : {rows[i].parent1, rows[i].parent2}) {
+      if (parent_name[0] == '\0') continue;
+      const int parent = onto.Find(parent_name);
+      CNPB_CHECK(parent >= 0) << "dangling parent " << parent_name << " of "
+                              << rows[i].name;
+      onto.concepts_[i].parents.push_back(parent);
+      onto.concepts_[parent].children.push_back(static_cast<int>(i));
+    }
+  }
+  // Precompute ancestor sets (the DAG is tiny).
+  onto.ancestors_.resize(onto.concepts_.size());
+  for (size_t i = 0; i < onto.concepts_.size(); ++i) {
+    std::vector<int> frontier = onto.concepts_[i].parents;
+    std::unordered_set<int> seen(frontier.begin(), frontier.end());
+    while (!frontier.empty()) {
+      const int current = frontier.back();
+      frontier.pop_back();
+      onto.ancestors_[i].push_back(current);
+      for (int parent : onto.concepts_[current].parents) {
+        if (seen.insert(parent).second) frontier.push_back(parent);
+      }
+    }
+    std::sort(onto.ancestors_[i].begin(), onto.ancestors_[i].end());
+  }
+  for (size_t i = 0; i < onto.concepts_.size(); ++i) {
+    if (onto.concepts_[i].entity_weight > 0) {
+      onto.entity_bearing_.push_back(static_cast<int>(i));
+    }
+  }
+  for (const char* word : ThematicWords()) onto.thematic_.insert(word);
+  return onto;
+}
+
+int Ontology::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? -1 : it->second;
+}
+
+const std::vector<int>& Ontology::Ancestors(int id) const {
+  CNPB_CHECK(id >= 0 && static_cast<size_t>(id) < ancestors_.size());
+  return ancestors_[id];
+}
+
+bool Ontology::IsAncestor(int maybe_ancestor, int id) const {
+  const std::vector<int>& anc = Ancestors(id);
+  return std::binary_search(anc.begin(), anc.end(), maybe_ancestor);
+}
+
+std::vector<std::pair<int, int>> Ontology::AllEdges() const {
+  std::vector<std::pair<int, int>> edges;
+  for (size_t i = 0; i < concepts_.size(); ++i) {
+    for (int parent : concepts_[i].parents) {
+      edges.emplace_back(static_cast<int>(i), parent);
+    }
+  }
+  return edges;
+}
+
+bool Ontology::IsThematic(std::string_view word) const {
+  return thematic_.count(std::string(word)) > 0;
+}
+
+}  // namespace cnpb::synth

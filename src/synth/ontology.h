@@ -1,0 +1,90 @@
+#ifndef CNPROBASE_SYNTH_ONTOLOGY_H_
+#define CNPROBASE_SYNTH_ONTOLOGY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "synth/world_data.h"
+
+namespace cnpb::synth {
+
+// Kinds of infobox values; select how the generator fills them in.
+enum class ValueKind : uint8_t {
+  kDate = 0,     // 1987年3月12日
+  kNumber,       // plain quantity with a unit
+  kCityRef,      // name of a place entity
+  kCountryRef,   // name of a country entity
+  kWorkRef,      // name of a work entity
+  kOrgRef,       // name of an organisation entity
+  kPersonRef,    // name of a person entity
+  kConceptIsa,   // a gold concept of the entity (implicit isA predicate!)
+  kIndustry,     // industry word (经营范围)
+  kText,         // free literal
+};
+
+// One infobox column of a domain schema.
+struct AttributeSpec {
+  const char* predicate;
+  ValueKind kind;
+  double presence;  // probability the column is present on a page
+};
+
+// Infobox schema of a domain (Figure 1(c) analogue).
+const std::vector<AttributeSpec>& SchemaFor(Domain domain);
+
+// The ground-truth concept DAG built from OntologyRows(). This is what the
+// paper does NOT have (they must infer it); our generator uses it to emit
+// pages and our evaluation uses it to score extraction.
+class Ontology {
+ public:
+  struct ConceptInfo {
+    std::string name;
+    std::vector<int> parents;
+    std::vector<int> children;
+    Domain domain = Domain::kOther;
+    NameStyle style = NameStyle::kNone;
+    double entity_weight = 0.0;
+    std::string english;
+    int pool = -1;
+    bool title_like = false;
+  };
+
+  // Builds from the static table; check-fails on dangling parent names.
+  static Ontology Build();
+
+  int Find(std::string_view name) const;  // -1 if absent
+  bool Contains(std::string_view name) const { return Find(name) >= 0; }
+  const ConceptInfo& ConceptAt(int id) const { return concepts_[id]; }
+  size_t size() const { return concepts_.size(); }
+
+  // All strict ancestors of `id` (transitive parents).
+  const std::vector<int>& Ancestors(int id) const;
+  bool IsAncestor(int maybe_ancestor, int id) const;
+
+  // Concept ids that carry entities (entity_weight > 0).
+  const std::vector<int>& EntityBearingConcepts() const {
+    return entity_bearing_;
+  }
+
+  // Every (child, parent) edge — the gold subconcept-concept relations.
+  std::vector<std::pair<int, int>> AllEdges() const;
+
+  bool IsThematic(std::string_view word) const;
+  const std::unordered_set<std::string>& thematic_set() const {
+    return thematic_;
+  }
+
+ private:
+  std::vector<ConceptInfo> concepts_;
+  std::unordered_map<std::string, int> index_;
+  std::vector<std::vector<int>> ancestors_;
+  std::vector<int> entity_bearing_;
+  std::unordered_set<std::string> thematic_;
+};
+
+}  // namespace cnpb::synth
+
+#endif  // CNPROBASE_SYNTH_ONTOLOGY_H_

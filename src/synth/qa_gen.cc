@@ -1,0 +1,67 @@
+#include "synth/qa_gen.h"
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace cnpb::synth {
+
+namespace {
+
+// Out-of-KB chit-chat fragments: none of these words are entities or
+// concepts of the world (verified by tests).
+const std::vector<const char*>& ChitChat() {
+  static const auto* v = new std::vector<const char*>{
+      "今天天气怎么样",       "你叫什么名字",       "给我讲个笑话",
+      "现在几点了",           "明天会下雨吗",       "帮我定个闹钟",
+      "你觉得我说得对吗",     "这句话怎么翻译",     "我该穿什么衣服",
+      "晚饭吃什么好呢",       "怎么才能睡得更好",   "这道题怎么解",
+  };
+  return *v;
+}
+
+}  // namespace
+
+std::vector<QaQuestion> QaGenerator::Generate(const WorldModel& world,
+                                              const Config& config) {
+  util::Rng rng(config.seed);
+  const Ontology& onto = world.ontology();
+  const std::vector<WorldEntity>& entities = world.entities();
+
+  std::vector<QaQuestion> questions;
+  questions.reserve(config.num_questions);
+  for (size_t i = 0; i < config.num_questions; ++i) {
+    QaQuestion q;
+    if (rng.Bernoulli(config.out_of_kb_rate) || entities.empty()) {
+      q.text = ChitChat()[rng.Uniform(ChitChat().size())];
+      q.text += "？";
+      q.mentions_kb = false;
+      questions.push_back(std::move(q));
+      continue;
+    }
+    const WorldEntity& entity = entities[rng.Uniform(entities.size())];
+    const std::string& concept_name = onto.ConceptAt(entity.primary).name;
+    switch (rng.Uniform(5)) {
+      case 0:
+        q.text = entity.mention + "的代表作品有哪些？";
+        break;
+      case 1:
+        q.text = entity.mention + "是谁？";
+        break;
+      case 2:
+        q.text = "有哪些著名的" + concept_name + "？";
+        break;
+      case 3:
+        q.text = entity.mention + "出生在哪里？";
+        break;
+      default:
+        q.text = util::StrFormat("%s和%s是什么关系？", entity.mention.c_str(),
+                                 concept_name.c_str());
+        break;
+    }
+    q.mentions_kb = true;
+    questions.push_back(std::move(q));
+  }
+  return questions;
+}
+
+}  // namespace cnpb::synth

@@ -1,0 +1,38 @@
+#ifndef CNPROBASE_SYNTH_QA_GEN_H_
+#define CNPROBASE_SYNTH_QA_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/world.h"
+
+namespace cnpb::synth {
+
+// One generated question. `mentions_kb` records whether the question text
+// actually contains a taxonomy entity or concept (generator-side truth used
+// to sanity-check the coverage measurement, never by the measurement itself).
+struct QaQuestion {
+  std::string text;
+  bool mentions_kb = false;
+};
+
+// NLPCC-2016-style QA set substitute: templated Chinese questions, most of
+// which reference an in-world entity or concept, a fraction of which are
+// fully out-of-knowledge-base chit-chat.
+class QaGenerator {
+ public:
+  struct Config {
+    uint64_t seed = 23;
+    size_t num_questions = 23472;  // same size as NLPCC 2016 QA
+    // Fraction of questions with no KB entity/concept at all; calibrates the
+    // ~91.7% coverage ceiling.
+    double out_of_kb_rate = 0.08;
+  };
+
+  static std::vector<QaQuestion> Generate(const WorldModel& world,
+                                          const Config& config);
+};
+
+}  // namespace cnpb::synth
+
+#endif  // CNPROBASE_SYNTH_QA_GEN_H_

@@ -1,0 +1,37 @@
+#include "synth/site_split.h"
+
+#include "util/rng.h"
+
+namespace cnpb::synth {
+
+std::vector<kb::EncyclopediaDump> SplitIntoSites(
+    const kb::EncyclopediaDump& master, const SiteSplitConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<kb::EncyclopediaDump> sites(
+      static_cast<size_t>(config.num_sites));
+  for (const kb::EncyclopediaPage& page : master.pages()) {
+    bool placed = false;
+    for (int attempt = 0; !placed; ++attempt) {
+      for (kb::EncyclopediaDump& site : sites) {
+        // Every page must exist somewhere; after the first pass force the
+        // last site to take strays.
+        const bool covered =
+            rng.Bernoulli(config.page_coverage) || (attempt > 0 && !placed);
+        if (!covered) continue;
+        kb::EncyclopediaPage copy;
+        copy.name = page.name;
+        copy.mention = page.mention;
+        if (rng.Bernoulli(config.keep_bracket)) copy.bracket = page.bracket;
+        if (rng.Bernoulli(config.keep_abstract)) copy.abstract = page.abstract;
+        if (rng.Bernoulli(config.keep_infobox)) copy.infobox = page.infobox;
+        if (rng.Bernoulli(config.keep_tags)) copy.tags = page.tags;
+        copy.aliases = page.aliases;
+        site.AddPage(std::move(copy));
+        placed = true;
+      }
+    }
+  }
+  return sites;
+}
+
+}  // namespace cnpb::synth

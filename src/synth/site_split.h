@@ -1,0 +1,33 @@
+#ifndef CNPROBASE_SYNTH_SITE_SPLIT_H_
+#define CNPROBASE_SYNTH_SITE_SPLIT_H_
+
+#include <vector>
+
+#include "kb/dump.h"
+
+namespace cnpb::synth {
+
+// Splits a master dump into overlapping per-site views, simulating the
+// three source encyclopedias CN-DBpedia is built from: each site covers a
+// random subset of the pages, and a covered page keeps each content region
+// (bracket / abstract / infobox / tags) with its own probability — no site
+// alone has everything, which is what makes the merge step (kb::MergeDumps)
+// worthwhile.
+struct SiteSplitConfig {
+  int num_sites = 3;
+  uint64_t seed = 77;
+  // Probability a page exists on a given site.
+  double page_coverage = 0.6;
+  // Per-region retention probabilities for a covered page.
+  double keep_bracket = 0.8;
+  double keep_abstract = 0.7;
+  double keep_infobox = 0.7;
+  double keep_tags = 0.6;
+};
+
+std::vector<kb::EncyclopediaDump> SplitIntoSites(
+    const kb::EncyclopediaDump& master, const SiteSplitConfig& config);
+
+}  // namespace cnpb::synth
+
+#endif  // CNPROBASE_SYNTH_SITE_SPLIT_H_

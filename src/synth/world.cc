@@ -1,0 +1,338 @@
+#include "synth/world.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace cnpb::synth {
+
+namespace {
+
+// Picks an index from cumulative weights.
+size_t WeightedPick(const std::vector<double>& cumulative, util::Rng& rng) {
+  const double u = rng.UniformDouble() * cumulative.back();
+  const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+  return static_cast<size_t>(it - cumulative.begin());
+}
+
+}  // namespace
+
+const std::vector<size_t>& WorldModel::EmptyIndex() {
+  static const auto* empty = new std::vector<size_t>();
+  return *empty;
+}
+
+const std::vector<size_t>& WorldModel::EntitiesOfDomain(Domain domain) const {
+  auto it = by_domain_.find(static_cast<int>(domain));
+  return it == by_domain_.end() ? EmptyIndex() : it->second;
+}
+
+const std::vector<size_t>& WorldModel::EntitiesOfConcept(int concept_id) const {
+  auto it = by_concept_.find(concept_id);
+  return it == by_concept_.end() ? EmptyIndex() : it->second;
+}
+
+WorldModel WorldModel::Generate(const Config& config) {
+  WorldModel world;
+  world.ontology_ = Ontology::Build();
+  util::Rng rng(config.seed);
+  world.GenerateEntities(config.num_entities, config.ambiguity_rate,
+                         config.second_concept_rate, rng);
+  world.FillAttributes(rng);
+  world.BuildLexicon();
+  return world;
+}
+
+std::string WorldModel::MakeName(int concept_id, util::Rng& rng) const {
+  const Ontology::ConceptInfo& info = ontology_.ConceptAt(concept_id);
+  switch (info.style) {
+    case NameStyle::kPerson: {
+      std::string name = rng.Choice(Surnames());
+      name += rng.Choice(GivenNameChars());
+      if (rng.Bernoulli(0.7)) name += rng.Choice(GivenNameChars());
+      return name;
+    }
+    case NameStyle::kPlaceSynth: {
+      std::string name = rng.Choice(PlaceMorphemes());
+      if (info.name == "省份") {
+        name += rng.Choice(PlaceMorphemes());
+        name += "省";
+        return name;
+      }
+      name += rng.Choice(PlaceMorphemes());
+      name += rng.Choice(PlaceSuffixes());
+      return name;
+    }
+    case NameStyle::kCityList: {
+      // Real cities first, synthesised overflow after.
+      if (rng.Bernoulli(0.5)) return rng.Choice(MajorCities());
+      std::string name = rng.Choice(PlaceMorphemes());
+      name += rng.Choice(PlaceMorphemes());
+      name += "市";
+      return name;
+    }
+    case NameStyle::kCountryList:
+      return rng.Choice(Countries());
+    case NameStyle::kWorkTitle: {
+      std::string name;
+      const int len = static_cast<int>(rng.UniformInt(2, 4));
+      for (int i = 0; i < len; ++i) name += rng.Choice(WorkTitleChars());
+      return name;
+    }
+    case NameStyle::kOrgName: {
+      std::string name = rng.Choice(OrgPrefixes());
+      name += rng.Choice(OrgMiddles());
+      if (info.name == "大学" || info.name == "综合性大学") {
+        name += "大学";
+      } else if (info.name == "中学") {
+        name += "中学";
+      } else if (info.name == "医院") {
+        name += "医院";
+      } else if (info.name == "银行") {
+        name += "银行";
+      } else if (info.name == "乐队") {
+        name += "乐队";
+      } else if (info.name == "研究所") {
+        name += "研究所";
+      } else if (info.name == "博物馆") {
+        name += "博物馆";
+      } else if (info.name == "足球俱乐部" || info.name == "篮球俱乐部") {
+        name += "队";
+      } else {
+        name += rng.Choice(OrgIndustries());
+      }
+      return name;
+    }
+    case NameStyle::kAnimal: {
+      std::string name;
+      if (rng.Bernoulli(0.75)) name = rng.Choice(AnimalPrefixes());
+      name += rng.Choice(AnimalBases(std::max(info.pool, 0)));
+      return name;
+    }
+    case NameStyle::kPlant: {
+      std::string name;
+      if (rng.Bernoulli(0.7)) name = rng.Choice(PlantPrefixes());
+      name += rng.Choice(PlantBases(std::max(info.pool, 0)));
+      return name;
+    }
+    case NameStyle::kDish: {
+      std::string name = rng.Choice(DishPrefixes());
+      name += rng.Choice(DishBases(std::max(info.pool, 0)));
+      return name;
+    }
+    case NameStyle::kFoodList: {
+      switch (info.pool) {
+        case 0:
+          return rng.Choice(Fruits());
+        case 1:
+          return rng.Choice(Vegetables());
+        case 2:
+          return rng.Choice(Drinks());
+        default:
+          return rng.Choice(Desserts());
+      }
+    }
+    case NameStyle::kProduct: {
+      std::string name = rng.Choice(ProductBrandChars());
+      name += rng.Choice(ProductBrandChars());
+      name += static_cast<char>('A' + rng.Uniform(26));
+      name += std::to_string(rng.UniformInt(1, 30));
+      return name;
+    }
+    case NameStyle::kEventName: {
+      std::string name = rng.Choice(PlaceMorphemes());
+      name += rng.Choice(PlaceMorphemes());
+      const auto& cores = EventCores();
+      const int pool = std::max(info.pool, 0);
+      // Two core words per pool, laid out flat.
+      const size_t core = static_cast<size_t>(pool) * 2 + rng.Uniform(2);
+      name += cores[std::min(core, cores.size() - 1)];
+      return name;
+    }
+    case NameStyle::kNone:
+      break;
+  }
+  CNPB_CHECK(false) << "concept " << info.name << " carries no entities";
+  return "";
+}
+
+void WorldModel::GenerateEntities(size_t count, double ambiguity_rate,
+                                  double second_concept_rate,
+                                  util::Rng& rng) {
+  const std::vector<int>& bearing = ontology_.EntityBearingConcepts();
+  CNPB_CHECK(!bearing.empty());
+  std::vector<double> cumulative;
+  cumulative.reserve(bearing.size());
+  double total = 0.0;
+  for (int concept_id : bearing) {
+    total += ontology_.ConceptAt(concept_id).entity_weight;
+    cumulative.push_back(total);
+  }
+
+  // Mentions generated so far, per primary concept, for ambiguity reuse.
+  std::vector<std::string> reusable_mentions;
+
+  entities_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const int concept_id = bearing[WeightedPick(cumulative, rng)];
+    const Ontology::ConceptInfo& info = ontology_.ConceptAt(concept_id);
+
+    WorldEntity entity;
+    entity.domain = info.domain;
+    entity.primary = concept_id;
+    entity.concepts.push_back(concept_id);
+
+    // A second, compatible concept from the same domain. Person entities
+    // model the actor+singer pattern; others pick an entity-bearing sibling.
+    if (rng.Bernoulli(second_concept_rate)) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const int other = bearing[WeightedPick(cumulative, rng)];
+        if (other == concept_id) continue;
+        if (ontology_.ConceptAt(other).domain != info.domain) continue;
+        if (ontology_.IsAncestor(other, concept_id) ||
+            ontology_.IsAncestor(concept_id, other)) {
+          continue;
+        }
+        entity.concepts.push_back(other);
+        break;
+      }
+    }
+
+    if (!reusable_mentions.empty() && rng.Bernoulli(ambiguity_rate)) {
+      entity.mention = rng.Choice(reusable_mentions);
+    } else {
+      entity.mention = MakeName(concept_id, rng);
+      if (info.style == NameStyle::kPerson && reusable_mentions.size() < 4096) {
+        reusable_mentions.push_back(entity.mention);
+      }
+    }
+
+    by_domain_[static_cast<int>(entity.domain)].push_back(entities_.size());
+    for (int c : entity.concepts) by_concept_[c].push_back(entities_.size());
+    const std::string& cname = info.name;
+    if (cname == "大学" || cname == "综合性大学" || cname == "中学") {
+      schools_.push_back(entities_.size());
+    }
+    if (info.domain == Domain::kOrg && cname != "大学" &&
+        cname != "综合性大学" && cname != "中学" && cname != "医院" &&
+        cname != "政府机构" && cname != "协会" && cname != "研究所") {
+      companies_.push_back(entities_.size());
+    }
+    entities_.push_back(std::move(entity));
+  }
+}
+
+void WorldModel::FillAttributes(util::Rng& rng) {
+  auto ref_name = [&](const std::vector<size_t>& pool) -> std::string {
+    if (pool.empty()) return "";
+    return entities_[pool[rng.Uniform(pool.size())]].mention;
+  };
+  const std::vector<size_t>& places = EntitiesOfDomain(Domain::kPlace);
+  const std::vector<size_t>& works = EntitiesOfDomain(Domain::kWork);
+  const std::vector<size_t>& persons = EntitiesOfDomain(Domain::kPerson);
+
+  for (WorldEntity& entity : entities_) {
+    const std::vector<AttributeSpec>& schema = SchemaFor(entity.domain);
+    for (const AttributeSpec& spec : schema) {
+      if (!rng.Bernoulli(spec.presence)) continue;
+      std::string value;
+      switch (spec.kind) {
+        case ValueKind::kDate:
+          value = util::StrFormat("%d年%d月%d日",
+                                  static_cast<int>(rng.UniformInt(1930, 2015)),
+                                  static_cast<int>(rng.UniformInt(1, 12)),
+                                  static_cast<int>(rng.UniformInt(1, 28)));
+          break;
+        case ValueKind::kNumber:
+          value = std::to_string(rng.UniformInt(10, 9999));
+          break;
+        case ValueKind::kCityRef:
+          value = places.empty() ? std::string(rng.Choice(MajorCities()))
+                                 : ref_name(places);
+          break;
+        case ValueKind::kCountryRef:
+          value = rng.Choice(Countries());
+          break;
+        case ValueKind::kWorkRef:
+          value = ref_name(works);
+          break;
+        case ValueKind::kOrgRef:
+          if (spec.predicate == std::string("毕业院校")) {
+            value = ref_name(schools_);
+          } else {
+            value = ref_name(companies_);
+          }
+          break;
+        case ValueKind::kPersonRef:
+          value = ref_name(persons);
+          break;
+        case ValueKind::kConceptIsa: {
+          // One triple per gold concept; occasionally (noise) a wrong one.
+          for (int concept_id : entity.concepts) {
+            std::string v = ontology_.ConceptAt(concept_id).name;
+            entity.attributes.emplace_back(spec.predicate, std::move(v));
+          }
+          continue;
+        }
+        case ValueKind::kIndustry:
+          value = rng.Choice(OrgIndustries());
+          break;
+        case ValueKind::kText:
+          if (spec.predicate == std::string("中文名") ||
+              spec.predicate == std::string("中文名称") ||
+              spec.predicate == std::string("中文学名")) {
+            value = entity.mention;
+          } else if (spec.predicate == std::string("界")) {
+            value = entity.domain == Domain::kBio ? "动物界" : "其他";
+          } else {
+            value = "无";
+          }
+          break;
+      }
+      if (!value.empty()) {
+        entity.attributes.emplace_back(spec.predicate, std::move(value));
+      }
+    }
+  }
+}
+
+void WorldModel::BuildLexicon() {
+  // Concept words: frequent nouns. Excluding the 首席X官 compounds keeps the
+  // segmenter splitting them, which is what exercises the separation
+  // algorithm's deep trees (Fig. 3).
+  for (size_t i = 0; i < ontology_.size(); ++i) {
+    const std::string& name = ontology_.ConceptAt(i).name;
+    if (util::StartsWith(name, "首席")) continue;
+    lexicon_.Add(name, 200, text::Pos::kNoun);
+  }
+  for (const char* word : ThematicWords()) {
+    lexicon_.Add(word, 150, text::Pos::kNoun);
+  }
+  for (const char* word : CommonWords()) {
+    lexicon_.Add(word, 1000, text::Pos::kOther);
+  }
+  for (const char* word : Countries()) {
+    lexicon_.Add(word, 300, text::Pos::kProperNoun);
+  }
+  for (const char* word : Regions()) {
+    lexicon_.Add(word, 250, text::Pos::kProperNoun);
+  }
+  for (const char* word : MajorCities()) {
+    lexicon_.Add(word, 200, text::Pos::kProperNoun);
+  }
+  for (const char* word : Surnames()) {
+    lexicon_.Add(word, 80, text::Pos::kProperNoun);
+  }
+  for (const char* word : OrgIndustries()) {
+    lexicon_.Add(word, 120, text::Pos::kNoun);
+  }
+  // Entity mentions: lower frequency proper nouns. Person and org mentions
+  // matter most (brackets and abstracts reference them).
+  for (const WorldEntity& entity : entities_) {
+    text::Pos pos = text::Pos::kProperNoun;
+    lexicon_.Add(entity.mention, 20, pos);
+  }
+}
+
+}  // namespace cnpb::synth

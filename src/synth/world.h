@@ -1,0 +1,80 @@
+#ifndef CNPROBASE_SYNTH_WORLD_H_
+#define CNPROBASE_SYNTH_WORLD_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "synth/ontology.h"
+#include "text/lexicon.h"
+#include "util/rng.h"
+
+namespace cnpb::synth {
+
+// A ground-truth entity: surface mention plus the gold direct concepts it
+// belongs to. Attributes are filled in a second pass so references (e.g. a
+// film's 导演) can point at other entities.
+struct WorldEntity {
+  std::string mention;
+  std::vector<int> concepts;  // direct gold concepts (ontology ids)
+  int primary = -1;           // concepts[0]
+  Domain domain = Domain::kOther;
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+// The synthetic universe that substitutes for CN-DBpedia's underlying
+// reality: a concept ontology, a population of entities with attributes,
+// and the word lexicon the segmenter/PMI substrate runs on.
+class WorldModel {
+ public:
+  struct Config {
+    size_t num_entities = 10000;
+    uint64_t seed = 42;
+    // Probability of deliberately reusing an existing mention, creating the
+    // ambiguity men2ent must resolve.
+    double ambiguity_rate = 0.03;
+    // Probability an entity carries a second compatible concept (e.g.
+    // 男演员 + 歌手), giving multi-concept entities.
+    double second_concept_rate = 0.45;
+  };
+
+  static WorldModel Generate(const Config& config);
+
+  const Ontology& ontology() const { return ontology_; }
+  const std::vector<WorldEntity>& entities() const { return entities_; }
+  const text::Lexicon& lexicon() const { return lexicon_; }
+
+  // Entity indices grouped by domain (for cross-references).
+  const std::vector<size_t>& EntitiesOfDomain(Domain domain) const;
+
+  // Entity indices whose primary concept is `concept_id`.
+  const std::vector<size_t>& EntitiesOfConcept(int concept_id) const;
+
+  // Indices of school-like organisations (大学/中学; for 毕业院校).
+  const std::vector<size_t>& Schools() const { return schools_; }
+  // Indices of company-like organisations (for 经纪公司/品牌/title brackets).
+  const std::vector<size_t>& Companies() const { return companies_; }
+
+ private:
+  WorldModel() = default;
+
+  void GenerateEntities(size_t count, double ambiguity_rate,
+                        double second_concept_rate, util::Rng& rng);
+  void FillAttributes(util::Rng& rng);
+  void BuildLexicon();
+  std::string MakeName(int concept_id, util::Rng& rng) const;
+
+  Ontology ontology_;
+  std::vector<WorldEntity> entities_;
+  text::Lexicon lexicon_;
+  std::unordered_map<int, std::vector<size_t>> by_domain_;
+  std::unordered_map<int, std::vector<size_t>> by_concept_;
+  std::vector<size_t> schools_;
+  std::vector<size_t> companies_;
+  static const std::vector<size_t>& EmptyIndex();
+};
+
+}  // namespace cnpb::synth
+
+#endif  // CNPROBASE_SYNTH_WORLD_H_

@@ -1,0 +1,531 @@
+#include "synth/world_data.h"
+
+namespace cnpb::synth {
+
+namespace {
+// Shorthand to keep the ontology table readable.
+constexpr Domain P = Domain::kPerson;
+constexpr Domain L = Domain::kPlace;
+constexpr Domain W = Domain::kWork;
+constexpr Domain O = Domain::kOrg;
+constexpr Domain B = Domain::kBio;
+constexpr Domain F = Domain::kFood;
+constexpr Domain R = Domain::kProduct;
+constexpr Domain E = Domain::kEvent;
+
+constexpr NameStyle SP = NameStyle::kPerson;
+constexpr NameStyle SL = NameStyle::kPlaceSynth;
+constexpr NameStyle SC = NameStyle::kCityList;
+constexpr NameStyle SN = NameStyle::kCountryList;
+constexpr NameStyle SW = NameStyle::kWorkTitle;
+constexpr NameStyle SO = NameStyle::kOrgName;
+constexpr NameStyle SA = NameStyle::kAnimal;
+constexpr NameStyle SV = NameStyle::kPlant;
+constexpr NameStyle SD = NameStyle::kDish;
+constexpr NameStyle SF = NameStyle::kFoodList;
+constexpr NameStyle SR = NameStyle::kProduct;
+constexpr NameStyle SE = NameStyle::kEventName;
+constexpr NameStyle S0 = NameStyle::kNone;
+}  // namespace
+
+const std::vector<ConceptRow>& OntologyRows() {
+  static const auto* rows = new std::vector<ConceptRow>{
+      // ---- person domain -------------------------------------------------
+      {"人物", "", "", P, S0, 0, "person"},
+      {"娱乐人物", "人物", "", P, S0, 0, "entertainer"},
+      {"演员", "娱乐人物", "", P, SP, 0.5, "actor"},
+      {"男演员", "演员", "", P, SP, 2.0, "actor"},
+      {"女演员", "演员", "", P, SP, 2.0, "actress"},
+      {"喜剧演员", "演员", "", P, SP, 0.8, "comedian"},
+      {"艺术家", "人物", "", P, S0, 0, "artist"},
+      {"音乐家", "艺术家", "", P, SP, 0.3, "musician"},
+      {"歌手", "音乐家", "娱乐人物", P, SP, 1.0, "singer"},
+      {"流行歌手", "歌手", "", P, SP, 1.2, "pop singer"},
+      {"民谣歌手", "歌手", "", P, SP, 0.5, "folk singer"},
+      {"作曲家", "音乐家", "", P, SP, 0.5, "composer"},
+      {"作词人", "音乐家", "", P, SP, 0.4, "lyricist"},
+      {"钢琴家", "音乐家", "", P, SP, 0.4, "pianist"},
+      {"小提琴家", "音乐家", "", P, SP, 0.3, "violinist"},
+      {"画家", "艺术家", "", P, SP, 0.6, "painter"},
+      {"书法家", "艺术家", "", P, SP, 0.4, "calligrapher"},
+      {"雕塑家", "艺术家", "", P, SP, 0.2, "sculptor"},
+      {"导演", "娱乐人物", "", P, SP, 0.4, "director"},
+      {"电影导演", "导演", "", P, SP, 0.8, "film director"},
+      {"编剧", "娱乐人物", "", P, SP, 0.5, "screenwriter"},
+      {"制片人", "娱乐人物", "", P, SP, 0.4, "producer"},
+      {"主持人", "娱乐人物", "", P, SP, 0.5, "host"},
+      {"模特", "娱乐人物", "", P, SP, 0.4, "model"},
+      {"作家", "人物", "", P, SP, 0.5, "writer"},
+      {"小说家", "作家", "", P, SP, 0.8, "novelist"},
+      {"诗人", "作家", "", P, SP, 0.6, "poet"},
+      {"散文家", "作家", "", P, SP, 0.3, "essayist"},
+      {"科学家", "人物", "", P, SP, 0.3, "scientist"},
+      {"物理学家", "科学家", "", P, SP, 0.5, "physicist"},
+      {"化学家", "科学家", "", P, SP, 0.4, "chemist"},
+      {"数学家", "科学家", "", P, SP, 0.4, "mathematician"},
+      {"生物学家", "科学家", "", P, SP, 0.4, "biologist"},
+      {"计算机科学家", "科学家", "", P, SP, 0.3, "computer scientist"},
+      {"工程师", "人物", "", P, SP, 0.5, "engineer"},
+      {"软件工程师", "工程师", "", P, SP, 0.6, "software engineer"},
+      {"建筑师", "人物", "", P, SP, 0.3, "architect"},
+      {"医生", "人物", "", P, SP, 0.5, "doctor"},
+      {"外科医生", "医生", "", P, SP, 0.4, "surgeon"},
+      {"教师", "人物", "", P, SP, 0.5, "teacher"},
+      {"教授", "教师", "", P, SP, 0.6, "professor"},
+      {"运动员", "人物", "", P, SP, 0.3, "athlete"},
+      {"篮球运动员", "运动员", "", P, SP, 0.7, "basketball player"},
+      {"足球运动员", "运动员", "", P, SP, 0.8, "football player"},
+      {"乒乓球运动员", "运动员", "", P, SP, 0.5, "table tennis player"},
+      {"游泳运动员", "运动员", "", P, SP, 0.4, "swimmer"},
+      {"田径运动员", "运动员", "", P, SP, 0.3, "track athlete"},
+      {"政治家", "人物", "", P, SP, 0.4, "politician"},
+      {"外交官", "人物", "", P, SP, 0.3, "diplomat"},
+      {"企业家", "人物", "", P, SP, 0.6, "entrepreneur"},
+      {"商人", "人物", "", P, SP, 0.4, "businessman"},
+      {"投资人", "人物", "", P, SP, 0.3, "investor"},
+      {"摄影师", "人物", "", P, SP, 0.3, "photographer"},
+      {"记者", "人物", "", P, SP, 0.4, "journalist"},
+      {"律师", "人物", "", P, SP, 0.4, "lawyer"},
+      {"厨师", "人物", "", P, SP, 0.3, "chef"},
+      {"飞行员", "人物", "", P, SP, 0.2, "pilot"},
+      {"军人", "人物", "", P, SP, 0.3, "soldier"},
+      {"将军", "军人", "", P, SP, 0.3, "general"},
+      {"历史人物", "人物", "", P, SP, 0.4, "historical figure"},
+      {"配音演员", "演员", "", P, SP, 0.3, "voice actor"},
+      {"舞蹈家", "艺术家", "", P, SP, 0.3, "dancer"},
+      {"漫画家", "艺术家", "", P, SP, 0.3, "comic artist"},
+      {"设计师", "人物", "", P, SP, 0.3, "designer"},
+      {"服装设计师", "设计师", "", P, SP, 0.2, "fashion designer"},
+      {"心理学家", "科学家", "", P, SP, 0.3, "psychologist"},
+      {"经济学家", "科学家", "", P, SP, 0.3, "economist"},
+      {"翻译家", "作家", "", P, SP, 0.2, "translator"},
+      {"指挥家", "音乐家", "", P, SP, 0.2, "conductor"},
+      {"排球运动员", "运动员", "", P, SP, 0.3, "volleyball player"},
+      {"网球运动员", "运动员", "", P, SP, 0.3, "tennis player"},
+      {"拳击运动员", "运动员", "", P, SP, 0.2, "boxer"},
+      {"赛车手", "运动员", "", P, SP, 0.2, "racing driver"},
+      {"教练", "人物", "", P, SP, 0.3, "coach"},
+      {"护士", "人物", "", P, SP, 0.2, "nurse"},
+      {"经理人", "人物", "", P, S0, 0, "manager"},
+      // Suffix heads of the 首席X官 titles; the separation algorithm's
+      // rightmost-path extraction yields them as additional hypernyms.
+      {"执行官", "经理人", "", P, S0, 0, "executive officer"},
+      {"战略官", "经理人", "", P, S0, 0, "strategy officer"},
+      {"技术官", "经理人", "", P, S0, 0, "technology officer"},
+      {"首席执行官", "执行官", "企业家", P, SP, 0.4,
+       "chief executive officer", -1, true},
+      {"首席战略官", "战略官", "", P, SP, 0.2, "chief strategy officer", -1,
+       true},
+      {"首席技术官", "技术官", "", P, SP, 0.3, "chief technology officer", -1,
+       true},
+      {"董事长", "经理人", "企业家", P, SP, 0.4, "chairman", -1, true},
+      {"总经理", "经理人", "", P, SP, 0.3, "general manager", -1, true},
+      // ---- place domain --------------------------------------------------
+      {"地点", "", "", L, S0, 0, "place"},
+      {"国家", "地点", "", L, SN, 0.3, "country"},
+      {"城市", "地点", "", L, SC, 1.2, "city"},
+      {"省会城市", "城市", "", L, SC, 0.3, "provincial capital"},
+      {"沿海城市", "城市", "", L, SC, 0.3, "coastal city"},
+      {"历史文化名城", "城市", "", L, SC, 0.3, "historic city"},
+      {"省份", "地点", "", L, SL, 0.2, "province"},
+      {"县", "地点", "", L, SL, 1.0, "county"},
+      {"乡镇", "地点", "", L, SL, 0.8, "town"},
+      {"山脉", "地点", "", L, SL, 0.5, "mountain range"},
+      {"河流", "地点", "", L, SL, 0.6, "river"},
+      {"湖泊", "地点", "", L, SL, 0.4, "lake"},
+      {"岛屿", "地点", "", L, SL, 0.3, "island"},
+      {"景点", "地点", "", L, S0, 0, "scenic spot"},
+      {"公园", "景点", "", L, SL, 0.5, "park"},
+      {"博物馆", "景点", "", L, SO, 0.4, "museum"},
+      {"建筑", "地点", "", L, S0, 0, "building"},
+      {"桥梁", "建筑", "", L, SL, 0.3, "bridge"},
+      {"寺庙", "建筑", "景点", L, SL, 0.4, "temple"},
+      {"宫殿", "建筑", "景点", L, SL, 0.2, "palace"},
+      {"水库", "地点", "", L, SL, 0.2, "reservoir"},
+      {"峡谷", "地点", "", L, SL, 0.2, "canyon"},
+      {"沙漠", "地点", "", L, SL, 0.15, "desert"},
+      {"草原", "地点", "", L, SL, 0.15, "grassland"},
+      {"森林公园", "公园", "", L, SL, 0.2, "forest park"},
+      // ---- work domain ---------------------------------------------------
+      {"作品", "", "", W, S0, 0, "work"},
+      {"电影", "作品", "", W, SW, 0.6, "film"},
+      {"动作电影", "电影", "", W, SW, 0.8, "action film"},
+      {"喜剧电影", "电影", "", W, SW, 0.8, "comedy film"},
+      {"爱情电影", "电影", "", W, SW, 0.7, "romance film"},
+      {"科幻电影", "电影", "", W, SW, 0.6, "science fiction film"},
+      {"纪录片", "电影", "", W, SW, 0.4, "documentary"},
+      {"电视剧", "作品", "", W, SW, 0.5, "television series"},
+      {"武侠剧", "电视剧", "", W, SW, 0.5, "wuxia series"},
+      {"古装剧", "电视剧", "", W, SW, 0.6, "costume drama"},
+      {"都市剧", "电视剧", "", W, SW, 0.5, "urban drama"},
+      {"书籍", "作品", "", W, S0, 0, "book"},
+      {"小说", "书籍", "", W, SW, 0.5, "novel"},
+      {"武侠小说", "小说", "", W, SW, 0.6, "wuxia novel"},
+      {"言情小说", "小说", "", W, SW, 0.6, "romance novel"},
+      {"科幻小说", "小说", "", W, SW, 0.5, "science fiction novel"},
+      {"历史小说", "小说", "", W, SW, 0.4, "historical novel"},
+      {"教材", "书籍", "", W, SW, 0.3, "textbook"},
+      {"诗歌", "作品", "", W, SW, 0.5, "poem"},
+      {"歌曲", "作品", "", W, SW, 0.8, "song"},
+      {"流行歌曲", "歌曲", "", W, SW, 0.9, "pop song"},
+      {"民谣", "歌曲", "", W, SW, 0.4, "folk song"},
+      {"专辑", "作品", "", W, SW, 0.6, "album"},
+      {"游戏", "作品", "", W, SW, 0.4, "game"},
+      {"网络游戏", "游戏", "", W, SW, 0.5, "online game"},
+      {"手机游戏", "游戏", "", W, SW, 0.5, "mobile game"},
+      {"动画", "作品", "", W, SW, 0.4, "animation"},
+      {"漫画", "作品", "", W, SW, 0.4, "comic"},
+      {"杂志", "作品", "", W, SW, 0.3, "magazine"},
+      {"悬疑小说", "小说", "", W, SW, 0.4, "mystery novel"},
+      {"动画电影", "电影", "动画", W, SW, 0.4, "animated film"},
+      {"恐怖电影", "电影", "", W, SW, 0.3, "horror film"},
+      {"传记电影", "电影", "", W, SW, 0.3, "biographical film"},
+      {"电视节目", "作品", "", W, S0, 0, "television program"},
+      {"综艺节目", "电视节目", "", W, SW, 0.4, "variety show"},
+      // ---- organisation domain -------------------------------------------
+      {"组织", "", "", O, S0, 0, "organization"},
+      {"公司", "组织", "", O, SO, 0.5, "company"},
+      {"科技公司", "公司", "", O, SO, 0.8, "technology company"},
+      {"互联网公司", "科技公司", "", O, SO, 0.7, "internet company"},
+      {"游戏公司", "科技公司", "", O, SO, 0.4, "game company"},
+      {"电影公司", "公司", "", O, SO, 0.4, "film company"},
+      {"唱片公司", "公司", "", O, SO, 0.3, "record company"},
+      {"房地产公司", "公司", "", O, SO, 0.3, "real estate company"},
+      {"银行", "公司", "", O, SO, 0.4, "bank"},
+      {"出版社", "公司", "", O, SO, 0.3, "publisher"},
+      {"大学", "组织", "", O, SO, 0.6, "university"},
+      {"综合性大学", "大学", "", O, SO, 0.3, "comprehensive university"},
+      {"中学", "组织", "", O, SO, 0.4, "high school"},
+      {"医院", "组织", "", O, SO, 0.4, "hospital"},
+      {"乐队", "组织", "娱乐人物", O, SO, 0.3, "band"},
+      {"球队", "组织", "", O, S0, 0, "sports team"},
+      {"足球俱乐部", "球队", "", O, SO, 0.4, "football club"},
+      {"篮球俱乐部", "球队", "", O, SO, 0.3, "basketball club"},
+      {"研究所", "组织", "", O, SO, 0.3, "research institute"},
+      {"政府机构", "组织", "", O, SO, 0.2, "government agency"},
+      {"协会", "组织", "", O, SO, 0.3, "association"},
+      {"航空公司", "公司", "", O, SO, 0.2, "airline"},
+      {"律师事务所", "组织", "", O, SO, 0.2, "law firm"},
+      {"基金会", "组织", "", O, SO, 0.2, "foundation"},
+      {"艺术团", "组织", "", O, SO, 0.2, "art troupe"},
+      // ---- biology domain ------------------------------------------------
+      {"生物", "", "", B, S0, 0, "organism"},
+      {"动物", "生物", "", B, S0, 0, "animal"},
+      {"哺乳动物", "动物", "", B, SA, 0.6, "mammal", 0},
+      {"鸟类", "动物", "", B, SA, 0.5, "bird", 1},
+      {"鱼类", "动物", "", B, SA, 0.4, "fish", 2},
+      {"昆虫", "动物", "", B, SA, 0.4, "insect", 3},
+      {"爬行动物", "动物", "", B, SA, 0.3, "reptile", 4},
+      {"猫科动物", "哺乳动物", "", B, SA, 0.3, "felid", 5},
+      {"犬科动物", "哺乳动物", "", B, SA, 0.3, "canid", 6},
+      {"植物", "生物", "", B, S0, 0, "plant"},
+      {"花卉", "植物", "", B, SV, 0.5, "flower", 0},
+      {"树木", "植物", "", B, SV, 0.5, "tree", 1},
+      {"草本植物", "植物", "", B, SV, 0.4, "herb", 2},
+      {"药用植物", "植物", "", B, SV, 0.3, "medicinal plant", 2},
+      {"两栖动物", "动物", "", B, SA, 0.2, "amphibian", 4},
+      {"水生植物", "植物", "", B, SV, 0.2, "aquatic plant", 2},
+      // ---- food domain ---------------------------------------------------
+      {"食物", "", "", F, S0, 0, "food"},
+      {"菜品", "食物", "", F, S0, 0, "dish"},
+      {"川菜", "菜品", "", F, SD, 0.5, "sichuan dish", 0},
+      {"粤菜", "菜品", "", F, SD, 0.4, "cantonese dish", 1},
+      {"面食", "食物", "", F, SD, 0.4, "noodle dish", 2},
+      {"小吃", "食物", "", F, SD, 0.4, "snack", 3},
+      {"水果", "食物", "", F, SF, 0.3, "fruit", 0},
+      {"蔬菜", "食物", "", F, SF, 0.3, "vegetable", 1},
+      {"饮料", "食物", "", F, SF, 0.3, "drink", 2},
+      {"甜点", "食物", "", F, SF, 0.3, "dessert", 3},
+      // ---- product domain ------------------------------------------------
+      {"产品", "", "", R, S0, 0, "product"},
+      {"电子产品", "产品", "", R, S0, 0, "electronic product"},
+      {"手机", "电子产品", "", R, SR, 0.6, "mobile phone"},
+      {"相机", "电子产品", "", R, SR, 0.3, "camera"},
+      {"电脑", "电子产品", "", R, S0, 0, "computer"},
+      {"笔记本电脑", "电脑", "", R, SR, 0.4, "laptop"},
+      {"汽车", "产品", "", R, SR, 0.5, "car"},
+      {"跑车", "汽车", "", R, SR, 0.3, "sports car"},
+      {"软件", "产品", "", R, S0, 0, "software"},
+      {"操作系统", "软件", "", R, SR, 0.2, "operating system"},
+      {"应用软件", "软件", "", R, SR, 0.4, "application"},
+      {"平板电脑", "电脑", "", R, SR, 0.2, "tablet computer"},
+      {"智能手表", "电子产品", "", R, SR, 0.2, "smart watch"},
+      {"电动汽车", "汽车", "", R, SR, 0.2, "electric car"},
+      // ---- event domain --------------------------------------------------
+      {"事件", "", "", E, S0, 0, "event"},
+      {"战争", "事件", "", E, SE, 0.3, "war", 0},
+      {"战役", "事件", "", E, SE, 0.4, "battle", 1},
+      {"比赛", "事件", "", E, S0, 0, "competition"},
+      {"体育赛事", "比赛", "", E, SE, 0.4, "sports event", 2},
+      {"节日", "事件", "", E, SE, 0.3, "festival", 3},
+      {"传统节日", "节日", "", E, SE, 0.2, "traditional festival", 3},
+      {"会议", "事件", "", E, SE, 0.3, "conference", 4},
+      {"奖项", "事件", "", E, S0, 0, "award"},
+      {"电影奖", "奖项", "", E, SE, 0.3, "film award", 5},
+      {"音乐奖", "奖项", "", E, SE, 0.3, "music award", 5},
+      {"文学奖", "奖项", "", E, SE, 0.2, "literary award", 5},
+  };
+  return *rows;
+}
+
+const std::vector<const char*>& Surnames() {
+  static const auto* v = new std::vector<const char*>{
+      "王", "李", "张", "刘", "陈", "杨", "黄", "赵", "吴", "周",
+      "徐", "孙", "马", "朱", "胡", "郭", "何", "高", "林", "罗",
+      "郑", "梁", "谢", "宋", "唐", "许", "韩", "冯", "邓", "曹",
+      "彭", "曾", "萧", "田", "董", "袁", "潘", "蒋", "蔡", "余"};
+  return *v;
+}
+
+const std::vector<const char*>& GivenNameChars() {
+  static const auto* v = new std::vector<const char*>{
+      "伟", "芳", "娜", "敏", "静", "丽", "强", "磊", "军", "洋",
+      "勇", "艳", "杰", "娟", "涛", "明", "超", "秀", "兰", "霞",
+      "平", "刚", "桂", "英", "华", "文", "辉", "建", "国", "玉",
+      "萍", "红", "飞", "龙", "云", "宇", "晨", "欣", "怡", "浩",
+      "天", "志", "海", "春", "峰", "晓", "雪", "琳", "佳", "嘉",
+      "俊", "彬", "鹏", "琪", "睿", "思", "雨", "婷", "慧", "岚"};
+  return *v;
+}
+
+const std::vector<const char*>& PlaceMorphemes() {
+  static const auto* v = new std::vector<const char*>{
+      "安", "长", "宁", "临", "武", "汉", "广", "德", "福", "吉",
+      "泰", "华", "金", "银", "青", "白", "黑", "龙", "凤", "云",
+      "海", "江", "山", "河", "湖", "石", "沙", "新", "兴", "永",
+      "平", "洛", "漳", "潍", "绍", "嘉", "湘", "赣", "桂", "庆"};
+  return *v;
+}
+
+const std::vector<const char*>& PlaceSuffixes() {
+  static const auto* v = new std::vector<const char*>{
+      "州", "阳", "城", "山", "江", "河", "湖", "岛", "县", "镇",
+      "村", "关", "口", "湾", "滩", "岭", "峰", "溪", "泉", "林"};
+  return *v;
+}
+
+const std::vector<const char*>& MajorCities() {
+  static const auto* v = new std::vector<const char*>{
+      "北京", "上海", "广州", "深圳", "成都", "杭州", "南京", "武汉",
+      "西安", "重庆", "天津", "苏州", "长沙", "沈阳", "青岛", "郑州",
+      "大连", "厦门", "福州", "昆明", "哈尔滨", "济南", "合肥", "南昌",
+      "贵阳", "兰州", "太原", "石家庄", "南宁", "乌鲁木齐"};
+  return *v;
+}
+
+const std::vector<const char*>& Countries() {
+  static const auto* v = new std::vector<const char*>{
+      "中国", "美国", "日本", "法国", "英国", "德国", "俄罗斯",
+      "意大利", "西班牙", "加拿大", "澳大利亚", "韩国", "印度",
+      "巴西", "荷兰", "瑞士", "瑞典", "挪威", "埃及", "墨西哥"};
+  return *v;
+}
+
+const std::vector<const char*>& Regions() {
+  static const auto* v = new std::vector<const char*>{
+      "中国内地", "中国香港", "中国台湾", "美国",  "日本",
+      "韩国",     "英国",     "法国",     "新加坡"};
+  return *v;
+}
+
+const std::vector<const char*>& OrgPrefixes() {
+  static const auto* v = new std::vector<const char*>{
+      "华", "中", "天", "金", "银", "创", "新", "联", "博", "宏",
+      "伟", "瑞", "安", "泰", "恒", "嘉", "海", "星", "光", "达",
+      "蚂", "腾", "百", "京", "网", "微", "迅", "奇", "乐", "优"};
+  return *v;
+}
+
+const std::vector<const char*>& OrgMiddles() {
+  static const auto* v = new std::vector<const char*>{
+      "科", "信", "讯", "辰", "源", "丰", "立", "成", "威", "胜",
+      "蚁", "鹅", "度", "东", "易", "软", "捷", "虎", "视", "酷"};
+  return *v;
+}
+
+const std::vector<const char*>& OrgIndustries() {
+  static const auto* v = new std::vector<const char*>{
+      "科技", "集团", "控股", "传媒", "网络", "电子", "软件",
+      "生物", "能源", "地产", "金服", "影业", "唱片", "证券"};
+  return *v;
+}
+
+const std::vector<const char*>& WorkTitleChars() {
+  static const auto* v = new std::vector<const char*>{
+      "爱", "情", "梦", "天", "地", "风", "云", "雨", "雪", "花",
+      "月", "星", "光", "影", "夜", "城", "海", "山", "江", "湖",
+      "剑", "刀", "侠", "缘", "恋", "歌", "传", "记", "春", "秋",
+      "红", "蓝", "青", "白", "黑", "金", "心", "泪", "笑", "魂"};
+  return *v;
+}
+
+const std::vector<const char*>& AnimalPrefixes() {
+  static const auto* v = new std::vector<const char*>{
+      "东北", "华南", "金丝", "梅花", "雪地", "红冠", "蓝尾",
+      "黑背", "白头", "长尾", "斑点", "丛林", "草原", "高山"};
+  return *v;
+}
+
+const std::vector<const char*>& AnimalBases(int pool) {
+  static const auto* mammal = new std::vector<const char*>{
+      "虎", "豹", "猴", "鹿", "熊", "狼", "兔", "象", "貂", "羚"};
+  static const auto* bird = new std::vector<const char*>{
+      "雀", "鹤", "鹰", "燕", "鸥", "鹦鹉", "画眉", "杜鹃", "孔雀", "雉"};
+  static const auto* fish = new std::vector<const char*>{
+      "鲤", "鲈", "鲨", "鳗", "鲑", "鳜", "鲟", "鲷", "鲫", "鲢"};
+  static const auto* insect = new std::vector<const char*>{
+      "蝶", "蜂", "蚁", "蝉", "螳螂", "甲虫", "蜻蜓", "蟋蟀"};
+  static const auto* reptile = new std::vector<const char*>{
+      "蛇", "龟", "蜥蜴", "鳄", "壁虎"};
+  static const auto* cat = new std::vector<const char*>{
+      "虎", "豹", "猫", "狮", "猞猁"};
+  static const auto* dog = new std::vector<const char*>{
+      "狼", "狐", "犬", "豺", "貉"};
+  switch (pool) {
+    case 0:
+      return *mammal;
+    case 1:
+      return *bird;
+    case 2:
+      return *fish;
+    case 3:
+      return *insect;
+    case 4:
+      return *reptile;
+    case 5:
+      return *cat;
+    default:
+      return *dog;
+  }
+}
+
+const std::vector<const char*>& PlantPrefixes() {
+  static const auto* v = new std::vector<const char*>{
+      "野", "山", "金", "银", "紫", "红", "白", "香", "寒", "南"};
+  return *v;
+}
+
+const std::vector<const char*>& PlantBases(int pool) {
+  static const auto* flower = new std::vector<const char*>{
+      "兰", "菊", "莲", "梅", "桂", "茶花", "牡丹", "芍药", "杜鹃花", "蔷薇"};
+  static const auto* tree = new std::vector<const char*>{
+      "松", "柏", "杨", "柳", "樟", "桦", "槐", "榕", "杉", "枫"};
+  static const auto* herb = new std::vector<const char*>{
+      "草", "蒿", "芝", "参", "芩", "薄荷", "艾", "蕨"};
+  switch (pool) {
+    case 0:
+      return *flower;
+    case 1:
+      return *tree;
+    default:
+      return *herb;
+  }
+}
+
+const std::vector<const char*>& DishPrefixes() {
+  static const auto* v = new std::vector<const char*>{
+      "麻辣", "宫保", "鱼香", "水煮", "回锅", "清蒸", "红烧",
+      "白切", "干煸", "糖醋", "椒盐", "蒜蓉"};
+  return *v;
+}
+
+const std::vector<const char*>& DishBases(int pool) {
+  static const auto* sichuan = new std::vector<const char*>{
+      "鸡丁", "肉片", "豆腐", "牛肉", "鱼", "肥肠", "兔丁"};
+  static const auto* canton = new std::vector<const char*>{
+      "鸡", "乳鸽", "烧鹅", "虾饺", "叉烧", "排骨"};
+  static const auto* noodle = new std::vector<const char*>{
+      "面", "刀削面", "拉面", "米线", "粉丝", "饺子"};
+  static const auto* snack = new std::vector<const char*>{
+      "豆花", "锅盔", "凉粉", "汤圆", "烧饼", "糍粑"};
+  switch (pool) {
+    case 0:
+      return *sichuan;
+    case 1:
+      return *canton;
+    case 2:
+      return *noodle;
+    default:
+      return *snack;
+  }
+}
+
+const std::vector<const char*>& Fruits() {
+  static const auto* v = new std::vector<const char*>{
+      "苹果", "香蕉", "橘子", "葡萄", "西瓜", "荔枝", "龙眼",
+      "芒果", "樱桃", "草莓", "柚子", "桃子", "枇杷", "杨梅"};
+  return *v;
+}
+
+const std::vector<const char*>& Vegetables() {
+  static const auto* v = new std::vector<const char*>{
+      "白菜", "萝卜", "芹菜", "菠菜", "茄子", "黄瓜", "南瓜",
+      "土豆", "青椒", "西红柿", "豆角", "莴笋"};
+  return *v;
+}
+
+const std::vector<const char*>& Drinks() {
+  static const auto* v = new std::vector<const char*>{
+      "绿茶", "红茶", "乌龙茶", "豆浆", "酸梅汤", "米酒", "咖啡", "果汁"};
+  return *v;
+}
+
+const std::vector<const char*>& Desserts() {
+  static const auto* v = new std::vector<const char*>{
+      "月饼", "绿豆糕", "桂花糕", "蛋挞", "双皮奶", "杏仁豆腐", "芝麻糊"};
+  return *v;
+}
+
+const std::vector<const char*>& ProductBrandChars() {
+  static const auto* v = new std::vector<const char*>{
+      "星", "辰", "光", "速", "锐", "捷", "酷", "炫", "智", "云",
+      "雷", "风", "火", "影", "翼", "界", "域", "元", "极", "灵"};
+  return *v;
+}
+
+const std::vector<const char*>& EventCores() {
+  // pool indices: 0 war, 1 battle, 2 sports event, 3 festival, 4 conference,
+  // 5 award. Kept in one flat list; the generator offsets by pool.
+  static const auto* v = new std::vector<const char*>{
+      "战争", "之战", "战役", "会战", "运动会", "锦标赛",
+      "文化节", "艺术节", "博览会", "论坛",   "电影节", "颁奖礼"};
+  return *v;
+}
+
+const std::vector<const char*>& ThematicWords() {
+  // Representative subset of the 184-word non-taxonomic thematic lexicon the
+  // paper borrows from Li et al. (2015). These describe topics, not classes.
+  static const auto* v = new std::vector<const char*>{
+      "音乐", "政治", "军事", "体育", "娱乐", "科学", "历史", "文化",
+      "教育", "经济", "艺术", "文学", "宗教", "哲学", "旅游", "美食",
+      "时尚", "健康", "医学", "法律", "金融", "科技", "自然", "地理",
+      "社会", "生活", "影视", "动漫", "电竞", "汽车圈", "财经", "军迷",
+      "国学", "民俗", "天文", "气象", "环保", "公益", "摄影", "收藏",
+      "养生", "体坛", "乐坛", "文坛", "影坛", "学术", "传媒", "互联网"};
+  return *v;
+}
+
+const std::vector<const char*>& CommonWords() {
+  static const auto* v = new std::vector<const char*>{
+      "的",   "是",   "在",   "于",   "年",   "月",   "日",   "出生",
+      "毕业", "担任", "获得", "创办", "位于", "一部", "一名", "著名",
+      "知名", "主演", "执导", "发行", "出版", "成立", "等",   "和",
+      "与",   "其",   "代表作", "包括", "曾",  "现任", "首席", "战略官",
+      "执行官", "技术官", "先生", "女士", "职业", "工作", "生涯", "活跃",
+      "一家", "一种", "一座", "一次", "分布", "发布", "发生", "他",
+      "她",   "凭借", "被誉为", "总部", "是一位"};
+  return *v;
+}
+
+const std::vector<const char*>& ConfusionWords() {
+  // Wrong-sense translations for the Probase-Tran polysemy model; none of
+  // these are ontology concepts, so picking one is always an error.
+  static const auto* v = new std::vector<const char*>{
+      "行动者", "随声附和者", "指挥者", "作品集", "放映机", "乐器",
+      "跑步者", "飞行物",   "建造者", "治疗",   "讲台",   "比喻",
+      "潮流",   "资本",     "窗口",   "平台",   "桥段",   "符号",
+      "容器",   "载体",     "象征",   "典范",   "风向标", "代名词"};
+  return *v;
+}
+
+}  // namespace cnpb::synth

@@ -1,0 +1,101 @@
+#ifndef CNPROBASE_SYNTH_WORLD_DATA_H_
+#define CNPROBASE_SYNTH_WORLD_DATA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cnpb::synth {
+
+// How entities directly under a concept are named by the generator.
+enum class NameStyle : uint8_t {
+  kPerson = 0,   // surname + given name
+  kPlaceSynth,   // morpheme + place suffix (synthesised towns/rivers/...)
+  kCityList,     // real major-city list (bounded, then synthesised overflow)
+  kCountryList,  // real country list (bounded)
+  kWorkTitle,    // 2-4 char lyrical title
+  kOrgName,      // company / school / org compound names
+  kAnimal,       // prefix + animal base per subtype
+  kPlant,        // prefix + plant base per subtype
+  kDish,         // flavour prefix + dish base
+  kFoodList,     // bounded food lists (fruit, drink, ...)
+  kProduct,      // brand-like prefix + model
+  kEventName,    // event compounds (XX战争, XX比赛, ...)
+  kNone,         // concept never carries entities directly
+};
+
+// Broad domain; selects the infobox schema and abstract template.
+enum class Domain : uint8_t {
+  kPerson = 0,
+  kPlace,
+  kWork,
+  kOrg,
+  kBio,
+  kFood,
+  kProduct,
+  kEvent,
+  kOther,
+};
+
+// One row of the hand-built ground-truth ontology.
+struct ConceptRow {
+  const char* name;      // Chinese concept word (also a lexicon word)
+  const char* parent1;   // "" for domain roots
+  const char* parent2;   // "" if single-parent
+  Domain domain;
+  NameStyle style;       // how entities attached here are named
+  double entity_weight;  // relative share of generated entities (0 = none)
+  const char* english;   // gloss used by the Probase-Tran simulator
+  // Sub-pool selector for kAnimal/kPlant/kDish styles (index into the
+  // corresponding base-word pool group); -1 if unused.
+  int pool = -1;
+  // True for role/title concepts that show up in person brackets behind an
+  // organisation or region modifier (首席战略官, 董事长, ...).
+  bool title_like = false;
+};
+
+const std::vector<ConceptRow>& OntologyRows();
+
+// ---- word pools ----------------------------------------------------------
+
+const std::vector<const char*>& Surnames();
+const std::vector<const char*>& GivenNameChars();
+const std::vector<const char*>& PlaceMorphemes();
+const std::vector<const char*>& PlaceSuffixes();   // 州/阳/城/山/...
+const std::vector<const char*>& MajorCities();
+const std::vector<const char*>& Countries();
+const std::vector<const char*>& Regions();         // bracket modifiers: 中国内地/香港/...
+const std::vector<const char*>& OrgPrefixes();
+const std::vector<const char*>& OrgMiddles();
+const std::vector<const char*>& OrgIndustries();   // 科技/传媒/... (also used by 经营范围)
+const std::vector<const char*>& WorkTitleChars();
+const std::vector<const char*>& AnimalPrefixes();
+// pool: 0 mammal, 1 bird, 2 fish, 3 insect, 4 reptile, 5 cat, 6 dog.
+const std::vector<const char*>& AnimalBases(int pool);
+const std::vector<const char*>& PlantPrefixes();
+// pool: 0 flower, 1 tree, 2 herb.
+const std::vector<const char*>& PlantBases(int pool);
+const std::vector<const char*>& DishPrefixes();
+// pool: 0 sichuan, 1 canton, 2 noodle, 3 snack.
+const std::vector<const char*>& DishBases(int pool);
+const std::vector<const char*>& Fruits();
+const std::vector<const char*>& Vegetables();
+const std::vector<const char*>& Drinks();
+const std::vector<const char*>& Desserts();
+const std::vector<const char*>& ProductBrandChars();
+const std::vector<const char*>& EventCores();      // 战争/战役/比赛/...
+
+// The 184-word style non-taxonomic thematic lexicon (paper cites Li et al.;
+// we ship a representative subset used both as tag noise and as the
+// syntax-rule filter list).
+const std::vector<const char*>& ThematicWords();
+
+// Common function/content words for abstracts and the corpus language model.
+const std::vector<const char*>& CommonWords();
+
+// Wrong-sense Chinese words for the translation simulator's polysemy model
+// (none of these are ontology concepts).
+const std::vector<const char*>& ConfusionWords();
+
+}  // namespace cnpb::synth
+
+#endif  // CNPROBASE_SYNTH_WORLD_DATA_H_

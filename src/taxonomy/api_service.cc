@@ -1,0 +1,74 @@
+#include "taxonomy/api_service.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cnpb::taxonomy {
+
+ApiService::ApiService(const Taxonomy* taxonomy) : taxonomy_(taxonomy) {
+  CNPB_CHECK(taxonomy != nullptr);
+}
+
+void ApiService::RegisterMention(std::string_view mention, NodeId entity) {
+  auto& candidates = mention_index_[std::string(mention)];
+  if (std::find(candidates.begin(), candidates.end(), entity) ==
+      candidates.end()) {
+    candidates.push_back(entity);
+  }
+}
+
+std::vector<NodeId> ApiService::Men2Ent(std::string_view mention) {
+  ++usage_.men2ent_calls;
+  auto it = mention_index_.find(std::string(mention));
+  if (it == mention_index_.end()) return {};
+  std::vector<NodeId> out = it->second;
+  std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+    return taxonomy_->Hypernyms(a).size() > taxonomy_->Hypernyms(b).size();
+  });
+  return out;
+}
+
+std::vector<std::string> ApiService::GetConcept(std::string_view entity_name,
+                                                bool transitive) {
+  ++usage_.get_concept_calls;
+  const NodeId id = taxonomy_->Find(entity_name);
+  if (id == kInvalidNode) return {};
+  // Rank by edge confidence (source prior), most trustworthy first.
+  std::vector<IsaEdge> edges = taxonomy_->Hypernyms(id);
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const IsaEdge& a, const IsaEdge& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<std::string> out;
+  out.reserve(edges.size());
+  std::unordered_set<NodeId> direct;
+  for (const IsaEdge& edge : edges) {
+    out.push_back(taxonomy_->Name(edge.hyper));
+    direct.insert(edge.hyper);
+  }
+  if (transitive) {
+    for (const NodeId ancestor : taxonomy_->TransitiveHypernyms(id)) {
+      if (direct.count(ancestor) == 0) {
+        out.push_back(taxonomy_->Name(ancestor));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ApiService::GetEntity(std::string_view concept_name,
+                                               size_t limit) {
+  ++usage_.get_entity_calls;
+  const NodeId id = taxonomy_->Find(concept_name);
+  if (id == kInvalidNode) return {};
+  std::vector<std::string> out;
+  for (const IsaEdge& edge : taxonomy_->Hyponyms(id)) {
+    if (out.size() >= limit) break;
+    out.push_back(taxonomy_->Name(edge.hypo));
+  }
+  return out;
+}
+
+}  // namespace cnpb::taxonomy

@@ -1,0 +1,66 @@
+#ifndef CNPROBASE_TAXONOMY_API_SERVICE_H_
+#define CNPROBASE_TAXONOMY_API_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "taxonomy/taxonomy.h"
+
+namespace cnpb::taxonomy {
+
+// In-process equivalent of the three web APIs the paper deploys on Aliyun
+// (Table II):
+//   men2ent    — mention  -> disambiguated entities
+//   getConcept — entity   -> hypernym (concept) list
+//   getEntity  — concept  -> hyponym (entity) list
+// Every call is counted so the Table II workload bench can report the mix.
+class ApiService {
+ public:
+  struct UsageStats {
+    uint64_t men2ent_calls = 0;
+    uint64_t get_concept_calls = 0;
+    uint64_t get_entity_calls = 0;
+    uint64_t total() const {
+      return men2ent_calls + get_concept_calls + get_entity_calls;
+    }
+  };
+
+  // The taxonomy must outlive the service.
+  explicit ApiService(const Taxonomy* taxonomy);
+
+  // Registers `mention` as a surface form of entity node `entity`.
+  // (Built by the pipeline from page mentions; entities keep their
+  // disambiguated names as node names.)
+  void RegisterMention(std::string_view mention, NodeId entity);
+
+  // men2ent: candidate entities for a mention, most-popular first
+  // (popularity = number of hypernyms, a proxy for page richness).
+  std::vector<NodeId> Men2Ent(std::string_view mention);
+
+  // getConcept: hypernym names of an entity (or concept) name, ranked by
+  // edge confidence. With `transitive`, inherited hypernyms (ancestors of
+  // the direct ones) are appended after the direct list.
+  std::vector<std::string> GetConcept(std::string_view entity_name,
+                                      bool transitive = false);
+
+  // getEntity: direct hyponym names of a concept, capped at `limit`.
+  std::vector<std::string> GetEntity(std::string_view concept_name,
+                                     size_t limit = 100);
+
+  const UsageStats& usage() const { return usage_; }
+  void ResetUsage() { usage_ = UsageStats(); }
+
+  size_t num_mentions() const { return mention_index_.size(); }
+
+ private:
+  const Taxonomy* taxonomy_;
+  std::unordered_map<std::string, std::vector<NodeId>> mention_index_;
+  UsageStats usage_;
+};
+
+}  // namespace cnpb::taxonomy
+
+#endif  // CNPROBASE_TAXONOMY_API_SERVICE_H_

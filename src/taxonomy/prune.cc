@@ -1,0 +1,65 @@
+#include "taxonomy/prune.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace cnpb::taxonomy {
+
+size_t TransitiveReduceConcepts(Taxonomy* taxonomy) {
+  // An edge u->v is redundant iff v is reachable from u via a path of
+  // length >= 2 through concept nodes. The concept layer is small, so a
+  // per-node BFS over the other parents is affordable.
+  std::vector<std::pair<NodeId, NodeId>> redundant;
+  for (NodeId u = 0; u < taxonomy->num_nodes(); ++u) {
+    if (taxonomy->Kind(u) != NodeKind::kConcept) continue;
+    const std::vector<IsaEdge> edges = taxonomy->Hypernyms(u);
+    if (edges.size() < 2 && edges.size() < 1) continue;
+    for (const IsaEdge& edge : edges) {
+      // Reachable from u without using the direct edge u->target?
+      const NodeId target = edge.hyper;
+      std::unordered_set<NodeId> seen = {u};
+      std::vector<NodeId> frontier;
+      for (const IsaEdge& other : edges) {
+        if (other.hyper != target && seen.insert(other.hyper).second) {
+          frontier.push_back(other.hyper);
+        }
+      }
+      bool reachable = false;
+      while (!frontier.empty() && !reachable) {
+        const NodeId current = frontier.back();
+        frontier.pop_back();
+        for (const IsaEdge& up : taxonomy->Hypernyms(current)) {
+          if (up.hyper == target) {
+            reachable = true;
+            break;
+          }
+          if (seen.insert(up.hyper).second) frontier.push_back(up.hyper);
+        }
+      }
+      if (reachable) redundant.emplace_back(u, target);
+    }
+  }
+  for (const auto& [u, v] : redundant) taxonomy->RemoveIsa(u, v);
+  return redundant.size();
+}
+
+size_t PruneRareConcepts(Taxonomy* taxonomy, size_t min_hyponyms) {
+  std::vector<std::pair<NodeId, NodeId>> to_remove;
+  for (NodeId c = 0; c < taxonomy->num_nodes(); ++c) {
+    if (taxonomy->Kind(c) != NodeKind::kConcept) continue;
+    if (taxonomy->Hyponyms(c).size() >= min_hyponyms) continue;
+    for (const IsaEdge& in : taxonomy->Hyponyms(c)) {
+      to_remove.emplace_back(in.hypo, c);
+    }
+    for (const IsaEdge& out : taxonomy->Hypernyms(c)) {
+      to_remove.emplace_back(c, out.hyper);
+    }
+  }
+  size_t removed = 0;
+  for (const auto& [hypo, hyper] : to_remove) {
+    if (taxonomy->RemoveIsa(hypo, hyper)) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace cnpb::taxonomy

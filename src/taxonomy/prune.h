@@ -1,0 +1,26 @@
+#ifndef CNPROBASE_TAXONOMY_PRUNE_H_
+#define CNPROBASE_TAXONOMY_PRUNE_H_
+
+#include <cstddef>
+
+#include "taxonomy/taxonomy.h"
+
+namespace cnpb::taxonomy {
+
+// Post-processing passes over a built taxonomy.
+
+// Removes concept-concept edges that are implied by a longer path
+// (transitive reduction of the concept layer): if 男演员→演员→人物 exist,
+// a direct 男演员→人物 edge is redundant. Entity→concept edges are left
+// untouched — an entity's direct concept list is the API payload.
+// Returns the number of edges removed. Requires an acyclic concept layer.
+size_t TransitiveReduceConcepts(Taxonomy* taxonomy);
+
+// Removes concepts whose hyponym count is below `min_hyponyms` (dropping
+// their edges in both directions). Long-tail junk concepts extracted once
+// are usually noise. Returns the number of edges removed.
+size_t PruneRareConcepts(Taxonomy* taxonomy, size_t min_hyponyms);
+
+}  // namespace cnpb::taxonomy
+
+#endif  // CNPROBASE_TAXONOMY_PRUNE_H_

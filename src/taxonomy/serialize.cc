@@ -1,0 +1,57 @@
+#include "taxonomy/serialize.h"
+
+#include <cstdlib>
+
+#include "util/strings.h"
+#include "util/tsv.h"
+
+namespace cnpb::taxonomy {
+
+util::Status SaveTaxonomy(const Taxonomy& taxonomy, const std::string& path) {
+  util::TsvWriter writer(path);
+  if (!writer.status().ok()) return writer.status();
+  for (NodeId id = 0; id < taxonomy.num_nodes(); ++id) {
+    writer.WriteRow({"N", taxonomy.Name(id),
+                     taxonomy.Kind(id) == NodeKind::kEntity ? "e" : "c"});
+  }
+  taxonomy.ForEachEdge([&](const IsaEdge& edge) {
+    writer.WriteRow({"E", std::to_string(edge.hypo), std::to_string(edge.hyper),
+                     std::to_string(static_cast<int>(edge.source)),
+                     util::StrFormat("%.6f", edge.score)});
+  });
+  return writer.Close();
+}
+
+util::Result<Taxonomy> LoadTaxonomy(const std::string& path) {
+  auto rows = util::ReadTsvFile(path);
+  if (!rows.ok()) return rows.status();
+  Taxonomy taxonomy;
+  for (const auto& row : *rows) {
+    if (row.empty()) continue;
+    if (row[0] == "N") {
+      if (row.size() != 3) {
+        return util::InvalidArgumentError("node row needs 3 fields");
+      }
+      taxonomy.AddNode(row[1],
+                       row[2] == "e" ? NodeKind::kEntity : NodeKind::kConcept);
+    } else if (row[0] == "E") {
+      if (row.size() != 5) {
+        return util::InvalidArgumentError("edge row needs 5 fields");
+      }
+      const NodeId hypo = static_cast<NodeId>(std::strtoul(row[1].c_str(), nullptr, 10));
+      const NodeId hyper = static_cast<NodeId>(std::strtoul(row[2].c_str(), nullptr, 10));
+      const int source = std::atoi(row[3].c_str());
+      if (hypo >= taxonomy.num_nodes() || hyper >= taxonomy.num_nodes() ||
+          source < 0 || source >= kNumSources) {
+        return util::InvalidArgumentError("edge row references unknown node");
+      }
+      taxonomy.AddIsa(hypo, hyper, static_cast<Source>(source),
+                      static_cast<float>(std::atof(row[4].c_str())));
+    } else {
+      return util::InvalidArgumentError("unknown row tag: " + row[0]);
+    }
+  }
+  return taxonomy;
+}
+
+}  // namespace cnpb::taxonomy

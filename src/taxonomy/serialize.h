@@ -1,0 +1,20 @@
+#ifndef CNPROBASE_TAXONOMY_SERIALIZE_H_
+#define CNPROBASE_TAXONOMY_SERIALIZE_H_
+
+#include <string>
+
+#include "taxonomy/taxonomy.h"
+#include "util/status.h"
+
+namespace cnpb::taxonomy {
+
+// Saves the taxonomy as two TSV sections in one file:
+//   N <name> <kind>
+//   E <hypo_id> <hyper_id> <source> <score>
+util::Status SaveTaxonomy(const Taxonomy& taxonomy, const std::string& path);
+
+util::Result<Taxonomy> LoadTaxonomy(const std::string& path);
+
+}  // namespace cnpb::taxonomy
+
+#endif  // CNPROBASE_TAXONOMY_SERIALIZE_H_

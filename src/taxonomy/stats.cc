@@ -1,0 +1,124 @@
+#include "taxonomy/stats.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace cnpb::taxonomy {
+
+TaxonomyStats ComputeStats(const Taxonomy& taxonomy) {
+  TaxonomyStats stats;
+  stats.num_entities = taxonomy.NumEntities();
+  stats.num_concepts = taxonomy.NumConcepts();
+  stats.num_entity_concept_edges = taxonomy.NumEntityConceptEdges();
+  stats.num_subconcept_edges = taxonomy.NumSubconceptEdges();
+  for (int s = 0; s < kNumSources; ++s) {
+    stats.edges_by_source[s] =
+        taxonomy.NumEdgesFromSource(static_cast<Source>(s));
+  }
+
+  size_t entity_hypernym_sum = 0;
+  size_t concept_hyponym_sum = 0;
+  for (NodeId id = 0; id < taxonomy.num_nodes(); ++id) {
+    const size_t out_degree = taxonomy.Hypernyms(id).size();
+    const size_t in_degree = taxonomy.Hyponyms(id).size();
+    if (taxonomy.Kind(id) == NodeKind::kEntity) {
+      entity_hypernym_sum += out_degree;
+    } else {
+      concept_hyponym_sum += in_degree;
+      if (out_degree == 0) ++stats.num_root_concepts;
+      if (in_degree == 0) ++stats.num_leaf_concepts;
+      if (in_degree > stats.max_concept_fanout) {
+        stats.max_concept_fanout = in_degree;
+        stats.max_fanout_concept = taxonomy.Name(id);
+      }
+    }
+  }
+  if (stats.num_entities > 0) {
+    stats.avg_hypernyms_per_entity =
+        static_cast<double>(entity_hypernym_sum) / stats.num_entities;
+  }
+  if (stats.num_concepts > 0) {
+    stats.avg_hyponyms_per_concept =
+        static_cast<double>(concept_hyponym_sum) / stats.num_concepts;
+  }
+
+  // Depth via memoised DFS over the hypernym edges. The visiting mark caps
+  // depth on (unexpected) cycles instead of recursing forever.
+  constexpr int kUnvisited = -1;
+  constexpr int kVisiting = -2;
+  std::vector<int> depth(taxonomy.num_nodes(), kUnvisited);
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (NodeId start = 0; start < taxonomy.num_nodes(); ++start) {
+    if (depth[start] != kUnvisited) continue;
+    stack.emplace_back(start, 0);
+    depth[start] = kVisiting;
+    while (!stack.empty()) {
+      auto& [node, edge_index] = stack.back();
+      const auto& edges = taxonomy.Hypernyms(node);
+      if (edge_index < edges.size()) {
+        const NodeId parent = edges[edge_index].hyper;
+        ++edge_index;
+        if (depth[parent] == kUnvisited) {
+          depth[parent] = kVisiting;
+          stack.emplace_back(parent, 0);
+        }
+      } else {
+        int best = 0;
+        for (const IsaEdge& edge : edges) {
+          if (depth[edge.hyper] >= 0) {
+            best = std::max(best, depth[edge.hyper] + 1);
+          }
+        }
+        depth[node] = best;
+        stack.pop_back();
+      }
+    }
+  }
+  for (NodeId id = 0; id < taxonomy.num_nodes(); ++id) {
+    const size_t d = depth[id] < 0 ? 0 : static_cast<size_t>(depth[id]);
+    if (d >= stats.depth_histogram.size()) {
+      stats.depth_histogram.resize(d + 1, 0);
+    }
+    ++stats.depth_histogram[d];
+    stats.max_depth = std::max(stats.max_depth, d);
+  }
+  return stats;
+}
+
+std::string FormatStats(const TaxonomyStats& stats) {
+  std::string out;
+  out += util::StrFormat("entities:               %s\n",
+                         util::CommaSeparated(stats.num_entities).c_str());
+  out += util::StrFormat("concepts:               %s (%zu roots, %zu leaves)\n",
+                         util::CommaSeparated(stats.num_concepts).c_str(),
+                         stats.num_root_concepts, stats.num_leaf_concepts);
+  out += util::StrFormat(
+      "entity-concept edges:   %s\n",
+      util::CommaSeparated(stats.num_entity_concept_edges).c_str());
+  out += util::StrFormat(
+      "subconcept edges:       %s\n",
+      util::CommaSeparated(stats.num_subconcept_edges).c_str());
+  out += util::StrFormat("avg hypernyms/entity:   %.2f\n",
+                         stats.avg_hypernyms_per_entity);
+  out += util::StrFormat("avg hyponyms/concept:   %.2f\n",
+                         stats.avg_hyponyms_per_concept);
+  out += util::StrFormat("largest concept:        %s (%zu hyponyms)\n",
+                         stats.max_fanout_concept.c_str(),
+                         stats.max_concept_fanout);
+  out += util::StrFormat("max hypernym depth:     %zu\n", stats.max_depth);
+  out += "depth histogram:        ";
+  for (size_t d = 0; d < stats.depth_histogram.size(); ++d) {
+    out += util::StrFormat("%zu:%zu ", d, stats.depth_histogram[d]);
+  }
+  out += "\nedges by source:        ";
+  for (int s = 0; s < kNumSources; ++s) {
+    if (stats.edges_by_source[s] == 0) continue;
+    out += util::StrFormat("%s:%zu ", SourceName(static_cast<Source>(s)),
+                           stats.edges_by_source[s]);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace cnpb::taxonomy

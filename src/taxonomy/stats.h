@@ -1,0 +1,48 @@
+#ifndef CNPROBASE_TAXONOMY_STATS_H_
+#define CNPROBASE_TAXONOMY_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "taxonomy/taxonomy.h"
+
+namespace cnpb::taxonomy {
+
+// Structural summary of a taxonomy: the numbers a release notes / dataset
+// card would report alongside Table I.
+struct TaxonomyStats {
+  size_t num_entities = 0;
+  size_t num_concepts = 0;
+  size_t num_entity_concept_edges = 0;
+  size_t num_subconcept_edges = 0;
+
+  // Concepts with no hypernym edge (taxonomy roots).
+  size_t num_root_concepts = 0;
+  // Concepts with no hyponyms (leaves of the concept layer).
+  size_t num_leaf_concepts = 0;
+
+  double avg_hypernyms_per_entity = 0.0;
+  double avg_hyponyms_per_concept = 0.0;
+  size_t max_concept_fanout = 0;          // largest hyponym set
+  std::string max_fanout_concept;
+
+  // Depth = longest hypernym chain from a node to a root; histogram indexed
+  // by depth (entities included).
+  std::vector<size_t> depth_histogram;
+  size_t max_depth = 0;
+
+  // Edge counts per provenance source, indexed by Source.
+  size_t edges_by_source[kNumSources] = {0, 0, 0, 0, 0, 0};
+};
+
+// Computes the summary. Depth computation requires an acyclic concept layer
+// (cyclic inputs get depth capped instead of hanging).
+TaxonomyStats ComputeStats(const Taxonomy& taxonomy);
+
+// Multi-line human-readable report.
+std::string FormatStats(const TaxonomyStats& stats);
+
+}  // namespace cnpb::taxonomy
+
+#endif  // CNPROBASE_TAXONOMY_STATS_H_

@@ -1,0 +1,106 @@
+#include "text/lexicon.h"
+
+#include "text/utf8.h"
+#include "util/tsv.h"
+
+namespace cnpb::text {
+
+const char* PosName(Pos pos) {
+  switch (pos) {
+    case Pos::kNoun:
+      return "n";
+    case Pos::kVerb:
+      return "v";
+    case Pos::kAdjective:
+      return "a";
+    case Pos::kProperNoun:
+      return "nr";
+    case Pos::kNumeral:
+      return "m";
+    case Pos::kParticle:
+      return "u";
+    case Pos::kOther:
+      return "x";
+  }
+  return "x";
+}
+
+namespace {
+Pos PosFromName(std::string_view name) {
+  if (name == "n") return Pos::kNoun;
+  if (name == "v") return Pos::kVerb;
+  if (name == "a") return Pos::kAdjective;
+  if (name == "nr") return Pos::kProperNoun;
+  if (name == "m") return Pos::kNumeral;
+  if (name == "u") return Pos::kParticle;
+  return Pos::kOther;
+}
+}  // namespace
+
+void Lexicon::Add(std::string_view word, uint64_t count, Pos pos) {
+  if (word.empty() || count == 0) {
+    total_freq_ += count;
+    return;
+  }
+  auto it = index_.find(std::string(word));
+  if (it == index_.end()) {
+    Entry entry;
+    entry.word = std::string(word);
+    entry.freq = count;
+    entry.pos = pos;
+    index_.emplace(entry.word, entries_.size());
+    const size_t cps = NumCodepoints(word);
+    if (cps > max_word_codepoints_) max_word_codepoints_ = cps;
+    entries_.push_back(std::move(entry));
+  } else {
+    entries_[it->second].freq += count;
+  }
+  total_freq_ += count;
+}
+
+bool Lexicon::Contains(std::string_view word) const {
+  return index_.find(std::string(word)) != index_.end();
+}
+
+uint64_t Lexicon::Freq(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? 0 : entries_[it->second].freq;
+}
+
+Pos Lexicon::PosOf(std::string_view word) const {
+  auto it = index_.find(std::string(word));
+  return it == index_.end() ? Pos::kOther : entries_[it->second].pos;
+}
+
+double Lexicon::Probability(std::string_view word) const {
+  const double numer = static_cast<double>(Freq(word)) + 1.0;
+  const double denom =
+      static_cast<double>(total_freq_) + static_cast<double>(entries_.size()) + 1.0;
+  return numer / denom;
+}
+
+util::Status Lexicon::Save(const std::string& path) const {
+  util::TsvWriter writer(path);
+  if (!writer.status().ok()) return writer.status();
+  for (const Entry& entry : entries_) {
+    writer.WriteRow({entry.word, std::to_string(entry.freq), PosName(entry.pos)});
+  }
+  return writer.Close();
+}
+
+util::Result<Lexicon> Lexicon::Load(const std::string& path) {
+  auto rows = util::ReadTsvFile(path);
+  if (!rows.ok()) return rows.status();
+  Lexicon lex;
+  for (const auto& row : *rows) {
+    if (row.size() < 2) {
+      return util::InvalidArgumentError("lexicon row needs >= 2 fields");
+    }
+    const uint64_t freq = std::strtoull(row[1].c_str(), nullptr, 10);
+    const Pos pos = row.size() >= 3 ? PosFromName(row[2]) : Pos::kNoun;
+    lex.Add(row[0], freq, pos);
+  }
+  return lex;
+}
+
+}  // namespace cnpb::text

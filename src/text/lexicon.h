@@ -1,0 +1,74 @@
+#ifndef CNPROBASE_TEXT_LEXICON_H_
+#define CNPROBASE_TEXT_LEXICON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cnpb::text {
+
+// Coarse part-of-speech tags; enough for the syntax-based verification rules
+// and the Probase-Tran POS filter.
+enum class Pos : uint8_t {
+  kNoun = 0,
+  kVerb,
+  kAdjective,
+  kProperNoun,  // named entities (people/places/orgs)
+  kNumeral,
+  kParticle,
+  kOther,
+};
+
+const char* PosName(Pos pos);
+
+// Word dictionary with corpus frequencies and a coarse POS. The segmenter
+// consumes the frequencies as a unigram language model; the verification
+// module consults the POS.
+class Lexicon {
+ public:
+  struct Entry {
+    std::string word;
+    uint64_t freq = 1;
+    Pos pos = Pos::kNoun;
+  };
+
+  // Adds `count` observations of `word` (inserting it if new). The POS of an
+  // existing word is kept; for a new word `pos` is recorded.
+  void Add(std::string_view word, uint64_t count = 1, Pos pos = Pos::kNoun);
+
+  bool Contains(std::string_view word) const;
+  // Frequency of word (0 if absent).
+  uint64_t Freq(std::string_view word) const;
+  // POS of word; kOther if absent.
+  Pos PosOf(std::string_view word) const;
+
+  uint64_t total_freq() const { return total_freq_; }
+  size_t size() const { return entries_.size(); }
+
+  // Unigram probability with add-one smoothing over the vocabulary.
+  double Probability(std::string_view word) const;
+
+  // Max codepoint length of any word; bounds the segmenter's window.
+  size_t max_word_codepoints() const { return max_word_codepoints_; }
+
+  // Iterates all entries in insertion order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  // TSV persistence: word<TAB>freq<TAB>pos.
+  util::Status Save(const std::string& path) const;
+  static util::Result<Lexicon> Load(const std::string& path);
+
+ private:
+  std::vector<Entry> entries_;
+  std::unordered_map<std::string, size_t> index_;
+  uint64_t total_freq_ = 0;
+  size_t max_word_codepoints_ = 1;
+};
+
+}  // namespace cnpb::text
+
+#endif  // CNPROBASE_TEXT_LEXICON_H_

@@ -1,0 +1,52 @@
+#include "text/ngram.h"
+
+#include <cmath>
+
+namespace cnpb::text {
+
+std::string NgramCounter::BigramKey(std::string_view left,
+                                    std::string_view right) {
+  std::string key;
+  key.reserve(left.size() + right.size() + 1);
+  key.append(left);
+  key.push_back('\x01');  // cannot occur inside UTF-8 text
+  key.append(right);
+  return key;
+}
+
+void NgramCounter::AddSentence(const std::vector<std::string>& words) {
+  for (size_t i = 0; i < words.size(); ++i) {
+    ++unigrams_[words[i]];
+    ++total_unigrams_;
+    if (i + 1 < words.size()) {
+      ++bigrams_[BigramKey(words[i], words[i + 1])];
+      ++total_bigrams_;
+    }
+  }
+}
+
+uint64_t NgramCounter::UnigramCount(std::string_view word) const {
+  auto it = unigrams_.find(std::string(word));
+  return it == unigrams_.end() ? 0 : it->second;
+}
+
+uint64_t NgramCounter::BigramCount(std::string_view left,
+                                   std::string_view right) const {
+  auto it = bigrams_.find(BigramKey(left, right));
+  return it == bigrams_.end() ? 0 : it->second;
+}
+
+double NgramCounter::Pmi(std::string_view left, std::string_view right) const {
+  // Add-epsilon smoothing keeps PMI finite for unseen pairs while preserving
+  // the ordering among seen pairs.
+  const double eps = 0.1;
+  const double n1 = static_cast<double>(total_unigrams_) + eps;
+  const double n2 = static_cast<double>(total_bigrams_) + eps;
+  const double p_left = (static_cast<double>(UnigramCount(left)) + eps) / n1;
+  const double p_right = (static_cast<double>(UnigramCount(right)) + eps) / n1;
+  const double p_pair =
+      (static_cast<double>(BigramCount(left, right)) + eps * eps) / n2;
+  return std::log(p_pair / (p_left * p_right));
+}
+
+}  // namespace cnpb::text

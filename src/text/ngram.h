@@ -1,0 +1,43 @@
+#ifndef CNPROBASE_TEXT_NGRAM_H_
+#define CNPROBASE_TEXT_NGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cnpb::text {
+
+// Unigram + adjacent-bigram counts over word-segmented sentences, and the
+// PMI lookups the separation algorithm (paper §II, Fig. 3) consumes.
+//
+// PMI(a, b) = log( P(a, b) / (P(a) * P(b)) ), where P(a, b) is the adjacent
+// co-occurrence probability. Unseen bigrams get a strong negative value via
+// add-epsilon smoothing rather than -inf, so comparisons stay total.
+class NgramCounter {
+ public:
+  // Adds one segmented sentence.
+  void AddSentence(const std::vector<std::string>& words);
+
+  uint64_t UnigramCount(std::string_view word) const;
+  uint64_t BigramCount(std::string_view left, std::string_view right) const;
+  uint64_t total_unigrams() const { return total_unigrams_; }
+  uint64_t total_bigrams() const { return total_bigrams_; }
+  size_t vocabulary_size() const { return unigrams_.size(); }
+
+  // Pointwise mutual information of the adjacent pair (left, right).
+  double Pmi(std::string_view left, std::string_view right) const;
+
+ private:
+  static std::string BigramKey(std::string_view left, std::string_view right);
+
+  std::unordered_map<std::string, uint64_t> unigrams_;
+  std::unordered_map<std::string, uint64_t> bigrams_;
+  uint64_t total_unigrams_ = 0;
+  uint64_t total_bigrams_ = 0;
+};
+
+}  // namespace cnpb::text
+
+#endif  // CNPROBASE_TEXT_NGRAM_H_

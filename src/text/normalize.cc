@@ -1,0 +1,28 @@
+#include "text/normalize.h"
+
+#include "text/utf8.h"
+
+namespace cnpb::text {
+
+std::string NormalizeText(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  while (pos < s.size()) {
+    char32_t cp = DecodeCodepointAt(s, pos);
+    if (cp == 0x3000) {
+      cp = ' ';  // ideographic space
+    } else if ((cp >= 0xFF10 && cp <= 0xFF19) ||   // fullwidth digits
+               (cp >= 0xFF21 && cp <= 0xFF3A) ||   // fullwidth A-Z
+               (cp >= 0xFF41 && cp <= 0xFF5A)) {   // fullwidth a-z
+      // Fold fullwidth alphanumerics only; fullwidth punctuation (（）、，)
+      // is meaningful to the extractors and stays as-is.
+      cp = cp - 0xFF00 + 0x20;
+    }
+    if (cp >= 'A' && cp <= 'Z') cp = cp - 'A' + 'a';
+    AppendCodepoint(cp, out);
+  }
+  return out;
+}
+
+}  // namespace cnpb::text

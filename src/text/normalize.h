@@ -1,0 +1,20 @@
+#ifndef CNPROBASE_TEXT_NORMALIZE_H_
+#define CNPROBASE_TEXT_NORMALIZE_H_
+
+#include <string>
+#include <string_view>
+
+namespace cnpb::text {
+
+// Surface normalisation applied before segmentation/matching, the standard
+// first step of a Chinese text pipeline:
+//  - fullwidth ASCII (ＡＢＣ０１２) folds to halfwidth,
+//  - the ideographic space U+3000 folds to an ASCII space,
+//  - ASCII letters lowercase.
+// Chinese punctuation (，。《》（）) is preserved — the generators emit it
+// and the extractors key on it.
+std::string NormalizeText(std::string_view s);
+
+}  // namespace cnpb::text
+
+#endif  // CNPROBASE_TEXT_NORMALIZE_H_

@@ -1,0 +1,115 @@
+#include "text/segmenter.h"
+
+#include <cmath>
+#include <limits>
+
+#include "text/utf8.h"
+#include "util/logging.h"
+
+namespace cnpb::text {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+bool IsAsciiAlnum(char32_t cp) {
+  return (cp >= '0' && cp <= '9') || (cp >= 'a' && cp <= 'z') ||
+         (cp >= 'A' && cp <= 'Z');
+}
+}  // namespace
+
+Segmenter::Segmenter(const Lexicon* lexicon) : lexicon_(lexicon) {
+  CNPB_CHECK(lexicon != nullptr);
+  // An unknown codepoint is penalised below any in-vocabulary word but kept
+  // finite so segmentation always succeeds.
+  oov_log_prob_ =
+      std::log(1.0 / (static_cast<double>(lexicon->total_freq()) + 2.0)) - 4.0;
+}
+
+void Segmenter::SegmentHanRun(const std::vector<std::string>& cps,
+                              size_t begin, size_t end,
+                              std::vector<std::string>& out) const {
+  const size_t n = end - begin;
+  if (n == 0) return;
+  const size_t max_len = lexicon_->max_word_codepoints();
+
+  // best[i]: best log-prob of segmenting cps[begin, begin+i).
+  std::vector<double> best(n + 1, kNegInf);
+  std::vector<size_t> back(n + 1, 0);
+  best[0] = 0.0;
+  std::string candidate;
+  for (size_t i = 0; i < n; ++i) {
+    if (best[i] == kNegInf) continue;
+    candidate.clear();
+    for (size_t len = 1; len <= max_len && i + len <= n; ++len) {
+      candidate += cps[begin + i + len - 1];
+      double word_score;
+      if (lexicon_->Contains(candidate)) {
+        word_score = std::log(lexicon_->Probability(candidate));
+      } else if (len == 1) {
+        word_score = oov_log_prob_;
+      } else {
+        continue;  // multi-codepoint OOV words are not hypothesised
+      }
+      const double score = best[i] + word_score;
+      if (score > best[i + len]) {
+        best[i + len] = score;
+        back[i + len] = i;
+      }
+    }
+  }
+
+  // Recover the path.
+  std::vector<std::pair<size_t, size_t>> spans;
+  size_t pos = n;
+  while (pos > 0) {
+    const size_t prev = back[pos];
+    spans.emplace_back(prev, pos);
+    pos = prev;
+  }
+  for (auto it = spans.rbegin(); it != spans.rend(); ++it) {
+    std::string word;
+    for (size_t k = it->first; k < it->second; ++k) word += cps[begin + k];
+    out.push_back(std::move(word));
+  }
+}
+
+std::vector<std::string> Segmenter::Segment(std::string_view sentence) const {
+  const std::vector<std::string> cps = CodepointStrings(sentence);
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < cps.size()) {
+    size_t pos0 = 0;
+    const char32_t cp = DecodeCodepointAt(cps[i], pos0);
+    if (IsHanCodepoint(cp)) {
+      size_t j = i;
+      while (j < cps.size()) {
+        size_t p = 0;
+        if (!IsHanCodepoint(DecodeCodepointAt(cps[j], p))) break;
+        ++j;
+      }
+      SegmentHanRun(cps, i, j, out);
+      i = j;
+    } else if (IsAsciiAlnum(cp) || IsDigitCodepoint(cp)) {
+      // Keep runs of latin/digit as one token (years, English names).
+      std::string token;
+      size_t j = i;
+      while (j < cps.size()) {
+        size_t p = 0;
+        const char32_t c = DecodeCodepointAt(cps[j], p);
+        if (!IsAsciiAlnum(c) && !IsDigitCodepoint(c)) break;
+        token += cps[j];
+        ++j;
+      }
+      out.push_back(std::move(token));
+      i = j;
+    } else if (cp == ' ' || cp == '\t' || cp == '\n' || cp == '\r') {
+      ++i;  // drop whitespace
+    } else {
+      out.push_back(cps[i]);  // punctuation / other symbol
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace cnpb::text

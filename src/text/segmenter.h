@@ -1,0 +1,44 @@
+#ifndef CNPROBASE_TEXT_SEGMENTER_H_
+#define CNPROBASE_TEXT_SEGMENTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/lexicon.h"
+
+namespace cnpb::text {
+
+// Unigram Viterbi word segmenter. Chinese has no word spaces; the separation
+// algorithm (paper §II) assumes a word-segmented noun compound, so this is a
+// required substrate.
+//
+// Dynamic programming over codepoints: best[i] = max over j<i of
+// best[j] + log P(word(j..i)), where in-vocabulary words score their unigram
+// log-probability and an unknown single codepoint scores a fixed OOV penalty.
+// Multi-codepoint OOV words are never hypothesised (they fall apart into
+// single codepoints), matching the behaviour of classic dictionary
+// segmenters.
+class Segmenter {
+ public:
+  // The lexicon must outlive the segmenter.
+  explicit Segmenter(const Lexicon* lexicon);
+
+  // Segments `sentence` into words. Runs of ASCII alnum and runs of digits
+  // are kept as single tokens; punctuation becomes its own token.
+  std::vector<std::string> Segment(std::string_view sentence) const;
+
+  const Lexicon& lexicon() const { return *lexicon_; }
+
+ private:
+  // Segments a run of Han codepoints with the Viterbi DP.
+  void SegmentHanRun(const std::vector<std::string>& cps, size_t begin,
+                     size_t end, std::vector<std::string>& out) const;
+
+  const Lexicon* lexicon_;
+  double oov_log_prob_;
+};
+
+}  // namespace cnpb::text
+
+#endif  // CNPROBASE_TEXT_SEGMENTER_H_

@@ -1,0 +1,84 @@
+#include "text/trie_matcher.h"
+
+#include "text/utf8.h"
+
+namespace cnpb::text {
+
+TrieMatcher::TrieMatcher() { nodes_.emplace_back(); }
+
+void TrieMatcher::Add(std::string_view phrase, uint64_t payload) {
+  if (phrase.empty()) return;
+  uint32_t node = 0;
+  for (unsigned char c : phrase) {
+    auto it = nodes_[node].children.find(c);
+    if (it == nodes_[node].children.end()) {
+      const uint32_t next = static_cast<uint32_t>(nodes_.size());
+      nodes_[node].children.emplace(c, next);
+      nodes_.emplace_back();
+      node = next;
+    } else {
+      node = it->second;
+    }
+  }
+  if (!nodes_[node].terminal) ++num_phrases_;
+  nodes_[node].terminal = true;
+  nodes_[node].payload = payload;
+}
+
+uint32_t TrieMatcher::Walk(std::string_view phrase) const {
+  uint32_t node = 0;
+  for (unsigned char c : phrase) {
+    auto it = nodes_[node].children.find(c);
+    if (it == nodes_[node].children.end()) return UINT32_MAX;
+    node = it->second;
+  }
+  return node;
+}
+
+bool TrieMatcher::ContainsExact(std::string_view phrase) const {
+  const uint32_t node = Walk(phrase);
+  return node != UINT32_MAX && nodes_[node].terminal;
+}
+
+uint64_t TrieMatcher::PayloadOf(std::string_view phrase) const {
+  const uint32_t node = Walk(phrase);
+  return (node != UINT32_MAX && nodes_[node].terminal) ? nodes_[node].payload
+                                                       : 0;
+}
+
+std::vector<TrieMatcher::Match> TrieMatcher::FindAll(std::string_view s) const {
+  std::vector<Match> matches;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    // Longest match starting at pos.
+    uint32_t node = 0;
+    size_t best_end = 0;
+    uint64_t best_payload = 0;
+    size_t scan = pos;
+    while (scan < s.size()) {
+      auto it = nodes_[node].children.find(static_cast<unsigned char>(s[scan]));
+      if (it == nodes_[node].children.end()) break;
+      node = it->second;
+      ++scan;
+      if (nodes_[node].terminal) {
+        best_end = scan;
+        best_payload = nodes_[node].payload;
+      }
+    }
+    if (best_end > pos) {
+      Match m;
+      m.byte_begin = pos;
+      m.byte_end = best_end;
+      m.payload = best_payload;
+      m.text = s.substr(pos, best_end - pos);
+      matches.push_back(m);
+      pos = best_end;
+    } else {
+      // Advance one full codepoint so we never split a UTF-8 sequence.
+      DecodeCodepointAt(s, pos);
+    }
+  }
+  return matches;
+}
+
+}  // namespace cnpb::text

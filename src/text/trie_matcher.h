@@ -1,0 +1,61 @@
+#ifndef CNPROBASE_TEXT_TRIE_MATCHER_H_
+#define CNPROBASE_TEXT_TRIE_MATCHER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cnpb::text {
+
+// Byte-level trie for longest-match mention detection. Used by the QA
+// coverage experiment ("question contains at least one concept or entity")
+// and by the men2ent API's mention detection.
+//
+// Matching is greedy longest-match, scanning left to right at codepoint
+// boundaries; matched spans do not overlap.
+class TrieMatcher {
+ public:
+  struct Match {
+    size_t byte_begin = 0;
+    size_t byte_end = 0;     // one past the last byte
+    uint64_t payload = 0;    // value registered with the phrase
+    std::string_view text;   // view into the scanned string
+  };
+
+  TrieMatcher();
+
+  // Registers `phrase` with an arbitrary payload (e.g. an entity id). The
+  // last registration for a phrase wins. Empty phrases are ignored.
+  void Add(std::string_view phrase, uint64_t payload);
+
+  size_t size() const { return num_phrases_; }
+
+  // True if `phrase` was registered exactly.
+  bool ContainsExact(std::string_view phrase) const;
+
+  // Payload of an exact phrase; 0 if absent (register non-zero payloads to
+  // distinguish).
+  uint64_t PayloadOf(std::string_view phrase) const;
+
+  // Finds non-overlapping longest matches in `s`.
+  std::vector<Match> FindAll(std::string_view s) const;
+
+ private:
+  struct Node {
+    std::unordered_map<unsigned char, uint32_t> children;
+    bool terminal = false;
+    uint64_t payload = 0;
+  };
+
+  // Returns node index for phrase end, or UINT32_MAX.
+  uint32_t Walk(std::string_view phrase) const;
+
+  std::vector<Node> nodes_;
+  size_t num_phrases_ = 0;
+};
+
+}  // namespace cnpb::text
+
+#endif  // CNPROBASE_TEXT_TRIE_MATCHER_H_

@@ -1,0 +1,136 @@
+#include "text/utf8.h"
+
+namespace cnpb::text {
+
+char32_t DecodeCodepointAt(std::string_view s, size_t& pos) {
+  if (pos >= s.size()) return kReplacementChar;
+  const unsigned char b0 = static_cast<unsigned char>(s[pos]);
+  if (b0 < 0x80) {
+    ++pos;
+    return b0;
+  }
+  int len;
+  char32_t cp;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    cp = b0 & 0x1F;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    cp = b0 & 0x0F;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    cp = b0 & 0x07;
+  } else {
+    ++pos;
+    return kReplacementChar;
+  }
+  if (pos + static_cast<size_t>(len) > s.size()) {
+    ++pos;
+    return kReplacementChar;
+  }
+  for (int i = 1; i < len; ++i) {
+    const unsigned char b = static_cast<unsigned char>(s[pos + i]);
+    if ((b & 0xC0) != 0x80) {
+      ++pos;
+      return kReplacementChar;
+    }
+    cp = (cp << 6) | (b & 0x3F);
+  }
+  pos += static_cast<size_t>(len);
+  // Reject overlong encodings and surrogates.
+  if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+      (len == 4 && cp < 0x10000) || (cp >= 0xD800 && cp <= 0xDFFF) ||
+      cp > 0x10FFFF) {
+    return kReplacementChar;
+  }
+  return cp;
+}
+
+void AppendCodepoint(char32_t cp, std::string& out) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+std::string EncodeCodepoint(char32_t cp) {
+  std::string out;
+  AppendCodepoint(cp, out);
+  return out;
+}
+
+std::vector<std::string> CodepointStrings(std::string_view s) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t start = pos;
+    DecodeCodepointAt(s, pos);
+    out.emplace_back(s.substr(start, pos - start));
+  }
+  return out;
+}
+
+std::vector<char32_t> DecodeString(std::string_view s) {
+  std::vector<char32_t> out;
+  size_t pos = 0;
+  while (pos < s.size()) out.push_back(DecodeCodepointAt(s, pos));
+  return out;
+}
+
+size_t NumCodepoints(std::string_view s) {
+  size_t n = 0;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    DecodeCodepointAt(s, pos);
+    ++n;
+  }
+  return n;
+}
+
+std::string SubstrByCodepoint(std::string_view s, size_t cp_index,
+                              size_t cp_count) {
+  size_t pos = 0;
+  size_t idx = 0;
+  while (pos < s.size() && idx < cp_index) {
+    DecodeCodepointAt(s, pos);
+    ++idx;
+  }
+  const size_t start = pos;
+  size_t taken = 0;
+  while (pos < s.size() && taken < cp_count) {
+    DecodeCodepointAt(s, pos);
+    ++taken;
+  }
+  return std::string(s.substr(start, pos - start));
+}
+
+bool IsHanCodepoint(char32_t cp) {
+  return (cp >= 0x4E00 && cp <= 0x9FFF) ||  // CJK Unified Ideographs
+         (cp >= 0x3400 && cp <= 0x4DBF);    // Extension A
+}
+
+bool IsAllHan(std::string_view s) {
+  if (s.empty()) return false;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    if (!IsHanCodepoint(DecodeCodepointAt(s, pos))) return false;
+  }
+  return true;
+}
+
+bool IsDigitCodepoint(char32_t cp) {
+  return (cp >= '0' && cp <= '9') || (cp >= 0xFF10 && cp <= 0xFF19);
+}
+
+}  // namespace cnpb::text

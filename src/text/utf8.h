@@ -1,0 +1,48 @@
+#ifndef CNPROBASE_TEXT_UTF8_H_
+#define CNPROBASE_TEXT_UTF8_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cnpb::text {
+
+// All Chinese text in the project is UTF-8. These helpers give codepoint-level
+// views over byte strings without pulling in ICU.
+
+inline constexpr char32_t kReplacementChar = 0xFFFD;
+
+// Decodes the codepoint starting at s[pos]; advances pos past it. Invalid
+// sequences decode to kReplacementChar and advance one byte.
+char32_t DecodeCodepointAt(std::string_view s, size_t& pos);
+
+// Appends the UTF-8 encoding of cp to out.
+void AppendCodepoint(char32_t cp, std::string& out);
+std::string EncodeCodepoint(char32_t cp);
+
+// Splits a string into per-codepoint substrings ("汉字ab" -> {"汉","字","a","b"}).
+std::vector<std::string> CodepointStrings(std::string_view s);
+
+// Decodes the whole string to codepoints.
+std::vector<char32_t> DecodeString(std::string_view s);
+
+// Number of codepoints in s.
+size_t NumCodepoints(std::string_view s);
+
+// Substring by codepoint index/count (count may exceed the remainder).
+std::string SubstrByCodepoint(std::string_view s, size_t cp_index,
+                              size_t cp_count);
+
+// True for CJK Unified Ideographs (base block + extension A).
+bool IsHanCodepoint(char32_t cp);
+
+// True if every codepoint in s is a Han ideograph (and s is non-empty).
+bool IsAllHan(std::string_view s);
+
+// True for ASCII digits and fullwidth digits.
+bool IsDigitCodepoint(char32_t cp);
+
+}  // namespace cnpb::text
+
+#endif  // CNPROBASE_TEXT_UTF8_H_

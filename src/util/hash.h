@@ -1,0 +1,28 @@
+#ifndef CNPROBASE_UTIL_HASH_H_
+#define CNPROBASE_UTIL_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cnpb::util {
+
+// FNV-1a 64-bit hash; stable across platforms (used for deterministic
+// bucketing and for hashing interned strings).
+inline uint64_t Fnv1a64(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Combines two 64-bit hashes (boost-style mix).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  a ^= b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4);
+  return a;
+}
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_HASH_H_

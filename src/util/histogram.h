@@ -1,0 +1,39 @@
+#ifndef CNPROBASE_UTIL_HISTOGRAM_H_
+#define CNPROBASE_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cnpb::util {
+
+// Streaming summary statistics plus percentile estimation (exact — keeps
+// all samples; intended for bench-scale sample counts).
+class Histogram {
+ public:
+  void Add(double value);
+
+  size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+  // p in [0, 100]; linear interpolation between closest ranks.
+  double Percentile(double p) const;
+
+  // One-line summary "count=.. mean=.. p50=.. p99=.. max=..".
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_HISTOGRAM_H_

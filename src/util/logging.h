@@ -1,0 +1,69 @@
+#ifndef CNPROBASE_UTIL_LOGGING_H_
+#define CNPROBASE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cnpb::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Minimum level that is actually emitted; defaults to kInfo.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+namespace internal_logging {
+
+// Stream-style log sink; emits on destruction. `fatal` aborts the process
+// after emitting (used by CNPB_CHECK).
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+// Swallows the stream when the log level is disabled.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace cnpb::util
+
+#define CNPB_LOG(level)                                               \
+  ::cnpb::util::internal_logging::LogMessage(                         \
+      ::cnpb::util::LogLevel::k##level, __FILE__, __LINE__)           \
+      .stream()
+
+// Check macros abort on failure; use for programmer errors / invariants,
+// not for data errors (those return Status).
+#define CNPB_CHECK(cond)                                                   \
+  if (cond) {                                                              \
+  } else                                                                   \
+    ::cnpb::util::internal_logging::LogMessage(                            \
+        ::cnpb::util::LogLevel::kError, __FILE__, __LINE__, /*fatal=*/true) \
+            .stream()                                                      \
+        << "Check failed: " #cond " "
+
+#define CNPB_CHECK_OK(expr)                          \
+  do {                                               \
+    const ::cnpb::util::Status s_ = (expr);          \
+    CNPB_CHECK(s_.ok()) << s_.ToString();            \
+  } while (0)
+
+#endif  // CNPROBASE_UTIL_LOGGING_H_

@@ -1,0 +1,53 @@
+#ifndef CNPROBASE_UTIL_PARALLEL_H_
+#define CNPROBASE_UTIL_PARALLEL_H_
+
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace cnpb::util {
+
+// Number of worker threads: CNPB_THREADS env var, else hardware concurrency
+// (at least 1).
+inline int DefaultThreads() {
+  const char* env = std::getenv("CNPB_THREADS");
+  if (env != nullptr) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Runs fn(i) for every i in [0, n), fanned out over up to DefaultThreads()
+// threads with contiguous index ranges. Determinism contract: fn must write
+// only to per-index state (e.g. slot i of a pre-sized output vector); the
+// caller then reads slots in order, so results are independent of thread
+// scheduling. fn must not throw (the project does not use exceptions).
+inline void ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const int threads = DefaultThreads();
+  if (threads <= 1 || n < 64) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const size_t num_workers =
+      std::min(static_cast<size_t>(threads), n);
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  const size_t chunk = (n + num_workers - 1) / num_workers;
+  for (size_t w = 0; w < num_workers; ++w) {
+    const size_t begin = w * chunk;
+    const size_t end = std::min(begin + chunk, n);
+    if (begin >= end) break;
+    workers.emplace_back([begin, end, &fn]() {
+      for (size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_PARALLEL_H_

@@ -1,0 +1,143 @@
+#ifndef CNPROBASE_UTIL_RNG_H_
+#define CNPROBASE_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cnpb::util {
+
+// Deterministic xoshiro256++ PRNG. Every random decision in the project
+// flows from an Rng seeded explicitly, so full pipeline runs are
+// reproducible bit-for-bit across machines.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t Uniform(uint64_t n) {
+    CNPB_CHECK(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = -n % n;
+    for (;;) {
+      const uint64_t r = Next();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    CNPB_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Gaussian via Box-Muller.
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    double u1 = UniformDouble();
+    double u2 = UniformDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Index in [0, n) with Zipf-like weights 1/(i+1)^s. Precomputes nothing;
+  // for hot loops build a ZipfSampler instead.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    CNPB_CHECK(!items.empty());
+    return items[Uniform(items.size())];
+  }
+
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = Uniform(i);
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Forks a child generator whose stream is independent of this one.
+  Rng Fork(uint64_t stream_id) {
+    return Rng(Next() ^ (stream_id * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+// Samples ranks from a Zipf distribution with exponent `s` over [0, n).
+// Used to model skewed API workloads and mention popularity.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s) : cdf_(n) {
+    CNPB_CHECK(n > 0);
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      cdf_[i] = total;
+    }
+    for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+  }
+
+  size_t Sample(Rng& rng) const {
+    const double u = rng.UniformDouble();
+    // Binary search the CDF.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_RNG_H_

@@ -1,0 +1,92 @@
+#ifndef CNPROBASE_UTIL_STATUS_H_
+#define CNPROBASE_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace cnpb::util {
+
+// Error codes for fallible operations. The project does not use exceptions;
+// every operation that can fail returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+};
+
+// Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status IoError(std::string message);
+
+// Holds either a value of type T or an error Status. Modeled after
+// absl::StatusOr but minimal: check ok() before calling value().
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cnpb::util
+
+// Evaluates `expr` (a Status expression) and returns it from the enclosing
+// function if it is not OK.
+#define CNPB_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::cnpb::util::Status cnpb_status_ = (expr);   \
+    if (!cnpb_status_.ok()) return cnpb_status_;  \
+  } while (0)
+
+#endif  // CNPROBASE_UTIL_STATUS_H_

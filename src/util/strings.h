@@ -1,0 +1,35 @@
+#ifndef CNPROBASE_UTIL_STRINGS_H_
+#define CNPROBASE_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cnpb::util {
+
+// Splits `s` on `sep`; keeps empty pieces. Split("a,,b", ',') -> {a,"",b}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits on a multi-byte separator string (needed for UTF-8 separators such
+// as the Chinese enumeration comma "、"). `sep` must be non-empty.
+std::vector<std::string> SplitBy(std::string_view s, std::string_view sep);
+
+// Joins the pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+// Removes ASCII whitespace from both ends.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view s, std::string_view needle);
+
+// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Human-readable count, e.g. 1234567 -> "1,234,567".
+std::string CommaSeparated(uint64_t n);
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_STRINGS_H_

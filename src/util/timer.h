@@ -1,0 +1,28 @@
+#ifndef CNPROBASE_UTIL_TIMER_H_
+#define CNPROBASE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace cnpb::util {
+
+// Wall-clock stopwatch for coarse pipeline-stage timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_TIMER_H_

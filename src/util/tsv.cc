@@ -1,0 +1,122 @@
+#include "util/tsv.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace cnpb::util {
+
+std::string TsvEscape(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    switch (c) {
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string TsvUnescape(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == '\\' && i + 1 < field.size()) {
+      ++i;
+      switch (field[i]) {
+        case 't':
+          out += '\t';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        default:
+          out += field[i];
+      }
+    } else {
+      out += field[i];
+    }
+  }
+  return out;
+}
+
+TsvWriter::TsvWriter(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    status_ = IoError("cannot open for writing: " + path);
+  } else {
+    file_ = f;
+  }
+}
+
+TsvWriter::~TsvWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<FILE*>(file_));
+}
+
+void TsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  if (!status_.ok() || file_ == nullptr) return;
+  FILE* f = static_cast<FILE*>(file_);
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) std::fputc('\t', f);
+    const std::string escaped = TsvEscape(fields[i]);
+    std::fwrite(escaped.data(), 1, escaped.size(), f);
+  }
+  std::fputc('\n', f);
+}
+
+Status TsvWriter::Close() {
+  if (file_ != nullptr) {
+    if (std::fclose(static_cast<FILE*>(file_)) != 0 && status_.ok()) {
+      status_ = IoError("fclose failed");
+    }
+    file_ = nullptr;
+  }
+  return status_;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadTsvFile(
+    const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("cannot open for reading: " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+
+  std::vector<std::vector<std::string>> rows;
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) end = content.size();
+    std::string_view line(content.data() + start, end - start);
+    // Every line is a row — including an empty line, which is a row holding
+    // one empty field (needed for exact round-trips).
+    std::vector<std::string> raw = Split(line, '\t');
+    std::vector<std::string> fields;
+    fields.reserve(raw.size());
+    for (const std::string& field : raw) {
+      fields.push_back(TsvUnescape(field));
+    }
+    rows.push_back(std::move(fields));
+    start = end + 1;
+  }
+  return rows;
+}
+
+}  // namespace cnpb::util

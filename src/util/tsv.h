@@ -1,0 +1,41 @@
+#ifndef CNPROBASE_UTIL_TSV_H_
+#define CNPROBASE_UTIL_TSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cnpb::util {
+
+// Escapes tabs/newlines/backslashes so a field can be stored in one TSV cell.
+std::string TsvEscape(std::string_view field);
+std::string TsvUnescape(std::string_view field);
+
+// Minimal TSV file writer. Fields are escaped; rows end with '\n'.
+class TsvWriter {
+ public:
+  // Opens `path` for writing (truncates). Check status() before use.
+  explicit TsvWriter(const std::string& path);
+  ~TsvWriter();
+
+  TsvWriter(const TsvWriter&) = delete;
+  TsvWriter& operator=(const TsvWriter&) = delete;
+
+  const Status& status() const { return status_; }
+  void WriteRow(const std::vector<std::string>& fields);
+  Status Close();
+
+ private:
+  void* file_ = nullptr;  // FILE*
+  Status status_;
+};
+
+// Reads a whole TSV file into rows of unescaped fields.
+Result<std::vector<std::vector<std::string>>> ReadTsvFile(
+    const std::string& path);
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_TSV_H_

@@ -1,0 +1,153 @@
+#include "verification/incompatible.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace cnpb::verification {
+
+namespace {
+
+// Normalises a count map into a distribution in place.
+void Normalise(std::unordered_map<std::string, double>& dist) {
+  double total = 0.0;
+  for (const auto& [key, value] : dist) total += value;
+  if (total <= 0.0) return;
+  for (auto& [key, value] : dist) value /= total;
+}
+
+}  // namespace
+
+IncompatibleConcepts::IncompatibleConcepts(const kb::EncyclopediaDump* dump,
+                                           const Config& config)
+    : dump_(dump), config_(config) {
+  for (const kb::EncyclopediaPage& page : dump->pages()) {
+    if (page.infobox.empty()) continue;
+    Dist dist;
+    for (const kb::SpoTriple& triple : page.infobox) {
+      dist[triple.predicate] += 1.0;
+    }
+    Normalise(dist);
+    entity_attrs_.emplace(page.name, std::move(dist));
+  }
+}
+
+double IncompatibleConcepts::Jaccard(const std::vector<std::string>& a,
+                                     const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  std::unordered_set<std::string> set_a(a.begin(), a.end());
+  size_t intersection = 0;
+  std::unordered_set<std::string> set_b(b.begin(), b.end());
+  for (const std::string& x : set_b) {
+    if (set_a.count(x) > 0) ++intersection;
+  }
+  const size_t uni = set_a.size() + set_b.size() - intersection;
+  return uni == 0 ? 0.0 : static_cast<double>(intersection) / uni;
+}
+
+double IncompatibleConcepts::Cosine(
+    const std::unordered_map<std::string, double>& a,
+    const std::unordered_map<std::string, double>& b) {
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (const auto& [key, value] : a) {
+    norm_a += value * value;
+    auto it = b.find(key);
+    if (it != b.end()) dot += value * it->second;
+  }
+  for (const auto& [key, value] : b) norm_b += value * value;
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+double IncompatibleConcepts::KlDivergence(
+    const std::unordered_map<std::string, double>& entity_dist,
+    const std::unordered_map<std::string, double>& concept_dist) {
+  // D_KL(e || c) = -sum_x e(x) log(c(x)/e(x)); c is epsilon-smoothed so the
+  // divergence stays finite when the concept never saw an attribute.
+  const double eps = 1e-6;
+  double kl = 0.0;
+  for (const auto& [key, pe] : entity_dist) {
+    if (pe <= 0.0) continue;
+    double pc = eps;
+    auto it = concept_dist.find(key);
+    if (it != concept_dist.end()) pc = std::max(it->second, eps);
+    kl -= pe * std::log(pc / pe);
+  }
+  return kl;
+}
+
+size_t IncompatibleConcepts::MarkRejections(
+    const generation::CandidateList& candidates,
+    std::vector<uint8_t>* rejected) const {
+  // Hyponym sets and attribute distributions per concept, from the
+  // not-yet-rejected entity candidates.
+  std::unordered_map<std::string, std::vector<std::string>> hyponyms_of;
+  std::unordered_map<std::string, Dist> concept_attrs;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if ((*rejected)[i]) continue;
+    const generation::Candidate& c = candidates[i];
+    auto it = entity_attrs_.find(c.hypo);
+    if (it == entity_attrs_.end()) continue;  // concept-level or no infobox
+    hyponyms_of[c.hyper].push_back(c.hypo);
+    Dist& agg = concept_attrs[c.hyper];
+    for (const auto& [predicate, weight] : it->second) {
+      agg[predicate] += weight;
+    }
+  }
+  for (auto& [concept_word, dist] : concept_attrs) Normalise(dist);
+
+  // Candidate concept pairs: those co-occurring on at least one entity.
+  std::unordered_map<std::string, std::vector<size_t>> entity_candidates;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if ((*rejected)[i]) continue;
+    if (entity_attrs_.count(candidates[i].hypo) == 0) continue;
+    entity_candidates[candidates[i].hypo].push_back(i);
+  }
+
+  // Cache pair verdicts.
+  std::unordered_map<std::string, bool> incompatible_cache;
+  auto incompatible = [&](const std::string& c1,
+                          const std::string& c2) -> bool {
+    const std::string key = c1 < c2 ? c1 + "\x01" + c2 : c2 + "\x01" + c1;
+    auto it = incompatible_cache.find(key);
+    if (it != incompatible_cache.end()) return it->second;
+    bool result = false;
+    const auto& h1 = hyponyms_of[c1];
+    const auto& h2 = hyponyms_of[c2];
+    if (h1.size() >= config_.min_hyponyms && h2.size() >= config_.min_hyponyms) {
+      if (Jaccard(h1, h2) < config_.jaccard_threshold &&
+          Cosine(concept_attrs[c1], concept_attrs[c2]) <
+              config_.cosine_threshold) {
+        result = true;
+      }
+    }
+    incompatible_cache.emplace(key, result);
+    return result;
+  };
+
+  size_t num_rejected = 0;
+  for (const auto& [entity, indices] : entity_candidates) {
+    if (indices.size() < 2) continue;
+    const Dist& entity_dist = entity_attrs_.at(entity);
+    for (size_t a = 0; a < indices.size(); ++a) {
+      for (size_t b = a + 1; b < indices.size(); ++b) {
+        const size_t ia = indices[a];
+        const size_t ib = indices[b];
+        if ((*rejected)[ia] || (*rejected)[ib]) continue;
+        const std::string& c1 = candidates[ia].hyper;
+        const std::string& c2 = candidates[ib].hyper;
+        if (c1 == c2 || !incompatible(c1, c2)) continue;
+        const double kl1 = KlDivergence(entity_dist, concept_attrs[c1]);
+        const double kl2 = KlDivergence(entity_dist, concept_attrs[c2]);
+        const size_t loser = kl1 > kl2 ? ia : ib;
+        if (!(*rejected)[loser]) {
+          (*rejected)[loser] = 1;
+          ++num_rejected;
+        }
+      }
+    }
+  }
+  return num_rejected;
+}
+
+}  // namespace cnpb::verification

@@ -1,0 +1,62 @@
+#ifndef CNPROBASE_VERIFICATION_INCOMPATIBLE_H_
+#define CNPROBASE_VERIFICATION_INCOMPATIBLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "generation/candidate.h"
+#include "kb/dump.h"
+
+namespace cnpb::verification {
+
+// Incompatible-concepts strategy (paper §III-A).
+//
+// Step 1 — incompatible pair construction: two concepts are incompatible
+// when BOTH the Jaccard similarity of their hyponym sets and the cosine
+// similarity of their attribute distributions fall below thresholds
+// (singer/actor share entities and attributes; person/book share neither).
+//
+// Step 2 — wrong-relation detection: when an entity carries two incompatible
+// concepts, compute D_KL(v_att(e) || v_att(c)) (Eq. 1) for both and reject
+// the relation to the concept with the larger divergence.
+class IncompatibleConcepts {
+ public:
+  struct Config {
+    double jaccard_threshold = 0.05;
+    double cosine_threshold = 0.30;
+    // Concepts with fewer hyponyms than this are too sparse to judge.
+    size_t min_hyponyms = 5;
+  };
+
+  // `dump` provides the infobox attribute distributions; must outlive this.
+  IncompatibleConcepts(const kb::EncyclopediaDump* dump, const Config& config);
+
+  // Marks rejected[i] = 1 for candidates vetoed by this strategy. Only
+  // entity->concept candidates are judged. Returns the number of newly
+  // rejected candidates; already-rejected entries are skipped.
+  size_t MarkRejections(const generation::CandidateList& candidates,
+                        std::vector<uint8_t>* rejected) const;
+
+  // Exposed for tests: pairwise checks on explicit sets/distributions.
+  static double Jaccard(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+  static double Cosine(const std::unordered_map<std::string, double>& a,
+                       const std::unordered_map<std::string, double>& b);
+  static double KlDivergence(
+      const std::unordered_map<std::string, double>& entity_dist,
+      const std::unordered_map<std::string, double>& concept_dist);
+
+ private:
+  using Dist = std::unordered_map<std::string, double>;
+
+  const kb::EncyclopediaDump* dump_;
+  Config config_;
+  // page name -> normalised predicate distribution (v_att(e)).
+  std::unordered_map<std::string, Dist> entity_attrs_;
+};
+
+}  // namespace cnpb::verification
+
+#endif  // CNPROBASE_VERIFICATION_INCOMPATIBLE_H_

@@ -1,0 +1,76 @@
+#include "verification/ner_filter.h"
+
+#include "util/logging.h"
+
+namespace cnpb::verification {
+
+NerFilter::NerFilter(const text::Lexicon* lexicon, const Config& config)
+    : lexicon_(lexicon), config_(config) {
+  CNPB_CHECK(lexicon != nullptr);
+}
+
+bool NerFilter::IsNamedEntity(const std::string& word,
+                              const std::string& prev) const {
+  if (lexicon_->PosOf(word) == text::Pos::kProperNoun) return true;
+  return prev == "于" || prev == "位于";
+}
+
+void NerFilter::AddCorpusSentence(const std::vector<std::string>& words) {
+  std::string prev;
+  for (const std::string& word : words) {
+    Counts& counts = corpus_counts_[word];
+    ++counts.total;
+    if (IsNamedEntity(word, prev)) ++counts.ne;
+    prev = word;
+  }
+}
+
+void NerFilter::Prepare(
+    const generation::CandidateList& candidates,
+    const std::unordered_map<std::string, std::string>& mention_of_page) {
+  taxonomy_counts_.clear();
+  for (const generation::Candidate& candidate : candidates) {
+    // H as hypernym: class-role evidence.
+    ++taxonomy_counts_[candidate.hyper].total;
+    // H as the mention of a hyponym page: entity-role evidence.
+    auto it = mention_of_page.find(candidate.hypo);
+    const std::string& mention =
+        it == mention_of_page.end() ? candidate.hypo : it->second;
+    Counts& counts = taxonomy_counts_[mention];
+    ++counts.total;
+    ++counts.ne;
+  }
+}
+
+double NerFilter::S1(const std::string& hyper) const {
+  auto it = corpus_counts_.find(hyper);
+  if (it == corpus_counts_.end() || it->second.total == 0) return 0.0;
+  return static_cast<double>(it->second.ne) / it->second.total;
+}
+
+double NerFilter::S2(const std::string& hyper) const {
+  auto it = taxonomy_counts_.find(hyper);
+  if (it == taxonomy_counts_.end() || it->second.total == 0) return 0.0;
+  return static_cast<double>(it->second.ne) / it->second.total;
+}
+
+double NerFilter::Support(const std::string& hyper) const {
+  const double s1 = S1(hyper);
+  const double s2 = S2(hyper);
+  return 1.0 - (1.0 - s1) * (1.0 - s2);
+}
+
+size_t NerFilter::MarkRejections(const generation::CandidateList& candidates,
+                                 std::vector<uint8_t>* rejected) const {
+  size_t num_rejected = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if ((*rejected)[i]) continue;
+    if (Support(candidates[i].hyper) > config_.threshold) {
+      (*rejected)[i] = 1;
+      ++num_rejected;
+    }
+  }
+  return num_rejected;
+}
+
+}  // namespace cnpb::verification

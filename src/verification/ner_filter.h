@@ -1,0 +1,70 @@
+#ifndef CNPROBASE_VERIFICATION_NER_FILTER_H_
+#define CNPROBASE_VERIFICATION_NER_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "generation/candidate.h"
+#include "text/lexicon.h"
+
+namespace cnpb::verification {
+
+// Named-entity filter (paper §III-B): a hypernym that is itself a named
+// entity (America, 北京) is almost never a valid class, so isA relations
+// whose hypernym looks like a NE are rejected.
+//
+// Two supports are combined with a noisy-or (Eq. 2):
+//   s1(H) = NE(H) / total(H) over the text corpus, where our recogniser
+//           tags a token as NE when it is a proper noun in the lexicon or
+//           directly follows a locative preposition (于 / 位于);
+//   s2(H) = taxonomy-internal support: among H's appearances in the
+//           candidate set, the fraction where H plays the entity role
+//           (as a hyponym mention) rather than the hypernym role.
+//   s(H)  = 1 - (1 - s1)(1 - s2);  reject when s(H) > threshold.
+class NerFilter {
+ public:
+  struct Config {
+    double threshold = 0.5;
+  };
+
+  // `lexicon` backs the proper-noun recogniser; must outlive the filter.
+  NerFilter(const text::Lexicon* lexicon, const Config& config);
+
+  // Feeds one corpus sentence into the s1 statistics.
+  void AddCorpusSentence(const std::vector<std::string>& words);
+
+  // Builds s2 from the candidate set. `mention_of_page` maps disambiguated
+  // page names to their bare mentions.
+  void Prepare(const generation::CandidateList& candidates,
+               const std::unordered_map<std::string, std::string>&
+                   mention_of_page);
+
+  // The recogniser itself (exposed for tests). `prev` is the previous token
+  // or empty at sentence start.
+  bool IsNamedEntity(const std::string& word, const std::string& prev) const;
+
+  double S1(const std::string& hyper) const;
+  double S2(const std::string& hyper) const;
+  double Support(const std::string& hyper) const;  // noisy-or of s1, s2
+
+  // Marks rejections; returns the number newly rejected.
+  size_t MarkRejections(const generation::CandidateList& candidates,
+                        std::vector<uint8_t>* rejected) const;
+
+ private:
+  struct Counts {
+    uint64_t ne = 0;
+    uint64_t total = 0;
+  };
+
+  const text::Lexicon* lexicon_;
+  Config config_;
+  std::unordered_map<std::string, Counts> corpus_counts_;   // s1
+  std::unordered_map<std::string, Counts> taxonomy_counts_; // s2
+};
+
+}  // namespace cnpb::verification
+
+#endif  // CNPROBASE_VERIFICATION_NER_FILTER_H_

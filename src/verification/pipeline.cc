@@ -1,0 +1,51 @@
+#include "verification/pipeline.h"
+
+namespace cnpb::verification {
+
+VerificationPipeline::VerificationPipeline(const kb::EncyclopediaDump* dump,
+                                           const text::Lexicon* lexicon,
+                                           const Config& config)
+    : config_(config),
+      syntax_(config.syntax),
+      ner_(lexicon, config.ner),
+      incompatible_(dump, config.incompatible) {
+  for (const kb::EncyclopediaPage& page : dump->pages()) {
+    mention_of_page_.emplace(page.name, page.mention);
+  }
+}
+
+void VerificationPipeline::AddCorpusSentence(
+    const std::vector<std::string>& words) {
+  ner_.AddCorpusSentence(words);
+}
+
+generation::CandidateList VerificationPipeline::Verify(
+    const generation::CandidateList& candidates, Report* report) {
+  std::vector<uint8_t> rejected(candidates.size(), 0);
+  Report local;
+  local.input = candidates.size();
+
+  if (config_.use_syntax) {
+    local.rejected_syntax =
+        syntax_.MarkRejections(candidates, mention_of_page_, &rejected);
+  }
+  if (config_.use_ner) {
+    ner_.Prepare(candidates, mention_of_page_);
+    local.rejected_ner = ner_.MarkRejections(candidates, &rejected);
+  }
+  if (config_.use_incompatible) {
+    local.rejected_incompatible =
+        incompatible_.MarkRejections(candidates, &rejected);
+  }
+
+  generation::CandidateList verified;
+  verified.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!rejected[i]) verified.push_back(candidates[i]);
+  }
+  local.output = verified.size();
+  if (report != nullptr) *report = local;
+  return verified;
+}
+
+}  // namespace cnpb::verification

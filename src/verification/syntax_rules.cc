@@ -1,0 +1,80 @@
+#include "verification/syntax_rules.h"
+
+#include "text/utf8.h"
+#include "util/strings.h"
+
+namespace cnpb::verification {
+
+namespace {
+
+// True for 1994, 1994年, 9月, 28日 and similar date/number fragments.
+bool IsNumericOrDate(const std::string& word) {
+  if (word.empty()) return false;
+  size_t pos = 0;
+  bool saw_digit = false;
+  while (pos < word.size()) {
+    const size_t start = pos;
+    const char32_t cp = text::DecodeCodepointAt(word, pos);
+    if (text::IsDigitCodepoint(cp)) {
+      saw_digit = true;
+      continue;
+    }
+    // A single trailing date unit after digits is still a date fragment.
+    if (saw_digit && pos >= word.size() &&
+        (cp == U'年' || cp == U'月' || cp == U'日')) {
+      return true;
+    }
+    (void)start;
+    return false;
+  }
+  return saw_digit;
+}
+
+}  // namespace
+
+SyntaxRules::SyntaxRules(const Config& config)
+    : thematic_(config.thematic_lexicon.begin(),
+                config.thematic_lexicon.end()),
+      extended_rules_(config.extended_rules) {}
+
+bool SyntaxRules::Rejects(const std::string& hypo_surface,
+                          const std::string& hyper) const {
+  // Rule 1: thematic words are topics, not classes.
+  if (thematic_.count(hyper) > 0) return true;
+  // Degenerate case: a term is not its own hypernym.
+  if (hypo_surface == hyper) return true;
+  if (extended_rules_) {
+    if (IsNumericOrDate(hyper)) return true;
+    if (util::EndsWith(hyper, "的")) return true;
+  }
+  // Rule 2: the hypernym head-stem must not sit in a non-head position of
+  // the hyponym. The head of a Chinese noun compound is its suffix, so an
+  // occurrence of `hyper` inside `hypo` is only legitimate when the hyponym
+  // ends with it.
+  const size_t pos = hypo_surface.find(hyper);
+  if (pos != std::string::npos && !util::EndsWith(hypo_surface, hyper)) {
+    return true;
+  }
+  return false;
+}
+
+size_t SyntaxRules::MarkRejections(
+    const generation::CandidateList& candidates,
+    const std::unordered_map<std::string, std::string>& mention_of_page,
+    std::vector<uint8_t>* rejected) const {
+  size_t num_rejected = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if ((*rejected)[i]) continue;
+    const generation::Candidate& candidate = candidates[i];
+    auto it = mention_of_page.find(candidate.hypo);
+    const std::string& surface =
+        it == mention_of_page.end() ? candidate.hypo : it->second;
+    if (Rejects(surface, candidate.hyper)) {
+      (*rejected)[i] = 1;
+      ++num_rejected;
+    }
+  }
+  return num_rejected;
+}
+
+}  // namespace cnpb::verification

@@ -1,0 +1,51 @@
+#ifndef CNPROBASE_VERIFICATION_SYNTAX_RULES_H_
+#define CNPROBASE_VERIFICATION_SYNTAX_RULES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "generation/candidate.h"
+
+namespace cnpb::verification {
+
+// Syntax-based rules (paper §III-C):
+//  (1) a valid hypernym is never a thematic (topic) word — 政治, 军事, 音乐
+//      — checked against a non-taxonomic lexicon (Li et al. 2015);
+//  (2) the stem of the hypernym's lexical head must not occur in a non-head
+//      position of the hyponym — kills isA(教育机构, 教育) while keeping
+//      isA(男演员, 演员), where the hypernym is the hyponym's head suffix.
+class SyntaxRules {
+ public:
+  struct Config {
+    std::vector<std::string> thematic_lexicon;
+    // Additional typical rules beyond the paper's two examples (§III-C says
+    // "we describe the most typical rules"): reject hypernyms that are pure
+    // numbers, date expressions (1994年/9月), or attributive fragments
+    // ending in 的.
+    bool extended_rules = true;
+  };
+
+  explicit SyntaxRules(const Config& config);
+
+  // True if the candidate violates a rule. `hypo_surface` is the bare
+  // mention of the hyponym (page names carry brackets that rule 2 must not
+  // see).
+  bool Rejects(const std::string& hypo_surface, const std::string& hyper) const;
+
+  // Marks rejections; returns the number newly rejected.
+  size_t MarkRejections(const generation::CandidateList& candidates,
+                        const std::unordered_map<std::string, std::string>&
+                            mention_of_page,
+                        std::vector<uint8_t>* rejected) const;
+
+ private:
+  std::unordered_set<std::string> thematic_;
+  bool extended_rules_;
+};
+
+}  // namespace cnpb::verification
+
+#endif  // CNPROBASE_VERIFICATION_SYNTAX_RULES_H_

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "baselines/probase_tran.h"
+#include "baselines/wiki_taxonomy.h"
+#include "core/builder.h"
+#include "eval/comparison.h"
+#include "eval/coverage.h"
+#include "eval/precision.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "text/segmenter.h"
+
+namespace cnpb {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::WorldModel::Config wc;
+    wc.num_entities = 3000;
+    world_ = new synth::WorldModel(synth::WorldModel::Generate(wc));
+    synth::EncyclopediaGenerator::Config gc;
+    output_ = new synth::EncyclopediaGenerator::Output(
+        synth::EncyclopediaGenerator::Generate(*world_, gc));
+  }
+  static void TearDownTestSuite() {
+    delete output_;
+    delete world_;
+  }
+  static eval::Oracle Oracle() {
+    return [](const std::string& hypo, const std::string& hyper) {
+      return output_->gold.IsCorrect(hypo, hyper);
+    };
+  }
+  static std::vector<std::string> Thematic() {
+    std::vector<std::string> words;
+    for (const char* w : synth::ThematicWords()) words.emplace_back(w);
+    return words;
+  }
+
+  static synth::WorldModel* world_;
+  static synth::EncyclopediaGenerator::Output* output_;
+};
+
+synth::WorldModel* BaselinesTest::world_ = nullptr;
+synth::EncyclopediaGenerator::Output* BaselinesTest::output_ = nullptr;
+
+TEST_F(BaselinesTest, WikiTaxonomyIsPreciseButSmall) {
+  baselines::ChineseWikiTaxonomy::Config config;
+  config.thematic_lexicon = Thematic();
+  const auto wiki = baselines::ChineseWikiTaxonomy::Build(
+      output_->dump, world_->lexicon(), config);
+  ASSERT_GT(wiki.num_edges(), 500u);
+  const auto precision = eval::ExactPrecision(wiki, Oracle());
+  EXPECT_GT(precision.precision(), 0.95);  // paper: 97.6%
+}
+
+TEST_F(BaselinesTest, ProbaseTranIsLargeButNoisy) {
+  baselines::ProbaseTran::Config config;
+  const auto result = baselines::ProbaseTran::Build(*world_, config);
+  EXPECT_GT(result.english_pairs, 3000u);
+  EXPECT_GT(result.total_edges, 500u);
+  // Paper: 54.5% — simple cross-language translation cannot produce a
+  // high-quality taxonomy.
+  EXPECT_GT(result.precision(), 0.35);
+  EXPECT_LT(result.precision(), 0.75);
+  // The filters must actually fire.
+  EXPECT_GT(result.filtered_meaning, 0u);
+  EXPECT_GT(result.filtered_pos, 0u);
+}
+
+TEST_F(BaselinesTest, ProbaseTranFiltersImprovePrecision) {
+  baselines::ProbaseTran::Config raw;
+  raw.filter_meaning = false;
+  raw.filter_pos = false;
+  raw.filter_transitivity = false;
+  const auto unfiltered = baselines::ProbaseTran::Build(*world_, raw);
+  const auto filtered =
+      baselines::ProbaseTran::Build(*world_, baselines::ProbaseTran::Config{});
+  EXPECT_GT(filtered.precision(), unfiltered.precision());
+}
+
+TEST_F(BaselinesTest, TransitivityFilterKeepsDag) {
+  const auto result =
+      baselines::ProbaseTran::Build(*world_, baselines::ProbaseTran::Config{});
+  EXPECT_TRUE(result.taxonomy.IsAcyclic());
+}
+
+TEST_F(BaselinesTest, ComparisonRowAndTableFormat) {
+  baselines::ChineseWikiTaxonomy::Config config;
+  config.thematic_lexicon = Thematic();
+  const auto wiki = baselines::ChineseWikiTaxonomy::Build(
+      output_->dump, world_->lexicon(), config);
+  const auto row = eval::MakeRow("Chinese WikiTaxonomy", wiki, Oracle(), 500);
+  EXPECT_EQ(row.num_isa, wiki.num_edges());
+  EXPECT_GT(row.precision, 0.9);
+  const std::string table = eval::FormatTable({row});
+  EXPECT_NE(table.find("Chinese WikiTaxonomy"), std::string::npos);
+  EXPECT_NE(table.find("precision"), std::string::npos);
+}
+
+TEST(EvalUnitTest, PrecisionHelpers) {
+  taxonomy::Taxonomy t;
+  t.AddIsa("a", "good", taxonomy::Source::kTag);
+  t.AddIsa("a", "bad", taxonomy::Source::kBracket);
+  const eval::Oracle oracle = [](const std::string&, const std::string& hyper) {
+    return hyper == "good";
+  };
+  const auto exact = eval::ExactPrecision(t, oracle);
+  EXPECT_EQ(exact.evaluated, 2u);
+  EXPECT_EQ(exact.correct, 1u);
+  EXPECT_DOUBLE_EQ(exact.precision(), 0.5);
+
+  const auto by_source = eval::PrecisionBySource(t, oracle);
+  EXPECT_DOUBLE_EQ(by_source.at(taxonomy::Source::kTag).precision(), 1.0);
+  EXPECT_DOUBLE_EQ(by_source.at(taxonomy::Source::kBracket).precision(), 0.0);
+
+  // Sampling more than the population evaluates everything exactly once.
+  const auto sampled = eval::SampledPrecision(t, oracle, 100, 7);
+  EXPECT_EQ(sampled.evaluated, 2u);
+  EXPECT_EQ(sampled.correct, 1u);
+}
+
+TEST(EvalUnitTest, CoverageMatchesMentionsAndConcepts) {
+  taxonomy::Taxonomy t;
+  t.AddIsa("刘德华（演员）", "演员", taxonomy::Source::kTag);
+  t.AddIsa("刘德华（演员）", "歌手", taxonomy::Source::kTag);
+  kb::EncyclopediaDump dump;
+  kb::EncyclopediaPage page;
+  page.name = "刘德华（演员）";
+  page.mention = "刘德华";
+  dump.AddPage(page);
+
+  const std::vector<std::string> questions = {
+      "刘德华的代表作品有哪些？",  // entity match
+      "有哪些著名的演员？",        // concept match
+      "今天天气怎么样？",          // no match
+  };
+  const auto result = eval::QaCoverage(t, dump, questions);
+  EXPECT_EQ(result.total_questions, 3u);
+  EXPECT_EQ(result.covered_questions, 2u);
+  EXPECT_EQ(result.covered_with_entity, 1u);
+  EXPECT_DOUBLE_EQ(result.avg_concepts_per_entity(), 2.0);
+  EXPECT_NEAR(result.coverage(), 2.0 / 3.0, 1e-9);
+}
+
+TEST(EvalUnitTest, EmptyInputsAreSafe) {
+  taxonomy::Taxonomy t;
+  const eval::Oracle oracle = [](const std::string&, const std::string&) {
+    return true;
+  };
+  EXPECT_EQ(eval::ExactPrecision(t, oracle).evaluated, 0u);
+  EXPECT_EQ(eval::SampledPrecision(t, oracle).evaluated, 0u);
+  kb::EncyclopediaDump dump;
+  EXPECT_EQ(eval::QaCoverage(t, dump, {}).coverage(), 0.0);
+}
+
+}  // namespace
+}  // namespace cnpb

@@ -1,0 +1,80 @@
+// Determinism guarantees: the whole pipeline — world synthesis, extraction,
+// neural training, verification — is a pure function of its seeds.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/builder.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "text/segmenter.h"
+
+namespace cnpb {
+namespace {
+
+// Serialises a taxonomy's full edge set into a canonical string.
+std::string Fingerprint(const taxonomy::Taxonomy& taxonomy) {
+  std::ostringstream out;
+  taxonomy.ForEachEdge([&](const taxonomy::IsaEdge& edge) {
+    out << taxonomy.Name(edge.hypo) << '\t' << taxonomy.Name(edge.hyper)
+        << '\t' << static_cast<int>(edge.source) << '\n';
+  });
+  return out.str();
+}
+
+std::string BuildFingerprint(uint64_t seed) {
+  synth::WorldModel::Config wc;
+  wc.num_entities = 1000;
+  wc.seed = seed;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  synth::EncyclopediaGenerator::Config gc;
+  gc.seed = seed + 1;
+  const auto output = synth::EncyclopediaGenerator::Generate(world, gc);
+  text::Segmenter segmenter(&world.lexicon());
+  synth::CorpusGenerator::Config cc;
+  cc.seed = seed + 2;
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, output.dump, segmenter, cc);
+  std::vector<std::vector<std::string>> corpus_words;
+  for (const auto& sentence : corpus.sentences) {
+    std::vector<std::string> words;
+    for (const auto& token : sentence) words.push_back(token.word);
+    corpus_words.push_back(std::move(words));
+  }
+  core::CnProbaseBuilder::Config config;
+  config.neural.epochs = 1;
+  config.neural.max_train_samples = 300;
+  for (const char* word : synth::ThematicWords()) {
+    config.verification.syntax.thematic_lexicon.emplace_back(word);
+  }
+  core::CnProbaseBuilder::Report report;
+  const auto taxonomy = core::CnProbaseBuilder::Build(
+      output.dump, world.lexicon(), corpus_words, config, &report);
+  return Fingerprint(taxonomy);
+}
+
+TEST(DeterminismTest, SameSeedSameTaxonomy) {
+  EXPECT_EQ(BuildFingerprint(7), BuildFingerprint(7));
+}
+
+TEST(DeterminismTest, DifferentSeedDifferentTaxonomy) {
+  EXPECT_NE(BuildFingerprint(7), BuildFingerprint(8));
+}
+
+TEST(DeterminismTest, WorldGenerationIsPure) {
+  synth::WorldModel::Config wc;
+  wc.num_entities = 500;
+  wc.seed = 99;
+  const auto a = synth::WorldModel::Generate(wc);
+  const auto b = synth::WorldModel::Generate(wc);
+  ASSERT_EQ(a.entities().size(), b.entities().size());
+  for (size_t i = 0; i < a.entities().size(); ++i) {
+    EXPECT_EQ(a.entities()[i].mention, b.entities()[i].mention);
+    EXPECT_EQ(a.entities()[i].attributes, b.entities()[i].attributes);
+  }
+  EXPECT_EQ(a.lexicon().size(), b.lexicon().size());
+}
+
+}  // namespace
+}  // namespace cnpb

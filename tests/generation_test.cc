@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "generation/candidate.h"
+#include "generation/direct_extraction.h"
+#include "generation/neural_generation.h"
+#include "generation/predicate_discovery.h"
+#include "generation/separation.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "text/ngram.h"
+#include "text/segmenter.h"
+
+namespace cnpb::generation {
+namespace {
+
+// ---- separation algorithm ----------------------------------------------------
+
+// Replays Figure 3: 蚂蚁金服首席战略官 with 蚂蚁/金服 split in the lexicon.
+class SeparationFig3Test : public ::testing::Test {
+ protected:
+  SeparationFig3Test() {
+    lex_.Add("蚂蚁", 40);
+    lex_.Add("金服", 40);
+    lex_.Add("首席", 100);
+    lex_.Add("战略官", 80);
+    lex_.Add("担任", 60);
+    lex_.Add("他", 100);
+    for (int i = 0; i < 40; ++i) ngrams_.AddSentence({"蚂蚁", "金服"});
+    for (int i = 0; i < 40; ++i) {
+      ngrams_.AddSentence({"他", "担任", "首席", "战略官"});
+    }
+  }
+  text::Lexicon lex_;
+  text::NgramCounter ngrams_;
+};
+
+TEST_F(SeparationFig3Test, ReproducesPaperExample) {
+  SeparationAlgorithm separation(&ngrams_);
+  const auto parse =
+      separation.ParseWords({"蚂蚁", "金服", "首席", "战略官"});
+  ASSERT_NE(parse.root, nullptr);
+  EXPECT_EQ(parse.root->text, "蚂蚁金服首席战略官");
+  // Left subtree is the modifier 蚂蚁金服, right subtree the head compound.
+  ASSERT_NE(parse.root->left, nullptr);
+  EXPECT_EQ(parse.root->left->text, "蚂蚁金服");
+  ASSERT_NE(parse.root->right, nullptr);
+  EXPECT_EQ(parse.root->right->text, "首席战略官");
+  // Hypernyms are read off the rightmost path (Fig. 3's blue phrases).
+  EXPECT_EQ(parse.hypernyms,
+            (std::vector<std::string>{"首席战略官", "战略官"}));
+}
+
+TEST_F(SeparationFig3Test, SegmentsThenParses) {
+  text::Segmenter segmenter(&lex_);
+  SeparationAlgorithm separation(&ngrams_);
+  const auto parse =
+      separation.ParseCompound("蚂蚁金服首席战略官", segmenter);
+  EXPECT_EQ(parse.hypernyms,
+            (std::vector<std::string>{"首席战略官", "战略官"}));
+}
+
+TEST_F(SeparationFig3Test, TwoWordCompound) {
+  SeparationAlgorithm separation(&ngrams_);
+  const auto parse = separation.ParseWords({"蚂蚁", "金服"});
+  EXPECT_EQ(parse.hypernyms, (std::vector<std::string>{"金服"}));
+}
+
+TEST_F(SeparationFig3Test, SingleWordIsItsOwnHypernym) {
+  SeparationAlgorithm separation(&ngrams_);
+  const auto parse = separation.ParseWords({"战略官"});
+  EXPECT_EQ(parse.hypernyms, (std::vector<std::string>{"战略官"}));
+}
+
+TEST_F(SeparationFig3Test, EmptyInputGivesNullRoot) {
+  SeparationAlgorithm separation(&ngrams_);
+  const auto parse = separation.ParseWords({});
+  EXPECT_EQ(parse.root, nullptr);
+  EXPECT_TRUE(parse.hypernyms.empty());
+}
+
+TEST_F(SeparationFig3Test, LongCompoundTerminates) {
+  SeparationAlgorithm separation(&ngrams_);
+  // Ten arbitrary words: no PMI signal, must still terminate with a tree
+  // covering the whole string.
+  std::vector<std::string> words;
+  for (int i = 0; i < 10; ++i) words.push_back("w" + std::to_string(i));
+  const auto parse = separation.ParseWords(words);
+  ASSERT_NE(parse.root, nullptr);
+  std::string all;
+  for (const auto& w : words) all += w;
+  EXPECT_EQ(parse.root->text, all);
+  EXPECT_FALSE(parse.hypernyms.empty());
+}
+
+TEST_F(SeparationFig3Test, BracketExtractorSplitsEnumeration) {
+  text::Segmenter segmenter(&lex_);
+  BracketExtractor extractor(&segmenter, &ngrams_);
+  const auto hypernyms = extractor.HypernymsOf("首席战略官、金服");
+  // First part yields 首席战略官 (+ 战略官 via rightmost path), second 金服.
+  EXPECT_NE(std::find(hypernyms.begin(), hypernyms.end(), "战略官"),
+            hypernyms.end());
+  EXPECT_NE(std::find(hypernyms.begin(), hypernyms.end(), "金服"),
+            hypernyms.end());
+}
+
+TEST_F(SeparationFig3Test, NumericDebrisDropped) {
+  text::Segmenter segmenter(&lex_);
+  BracketExtractor extractor(&segmenter, &ngrams_);
+  for (const std::string& hyper : extractor.HypernymsOf("1994战略官")) {
+    EXPECT_NE(hyper, "1994");
+  }
+}
+
+// ---- candidate merging --------------------------------------------------------
+
+TEST(MergeCandidatesTest, FirstSourceWinsAndDeduplicates) {
+  CandidateList a = {{"e1", "c1", taxonomy::Source::kBracket, 1.0f}};
+  CandidateList b = {{"e1", "c1", taxonomy::Source::kTag, 1.0f},
+                     {"e1", "c2", taxonomy::Source::kTag, 1.0f}};
+  const CandidateList merged = MergeCandidates({&a, &b});
+  ASSERT_EQ(merged.size(), 2u);
+  EXPECT_EQ(merged[0].source, taxonomy::Source::kBracket);
+  EXPECT_EQ(merged[1].hyper, "c2");
+}
+
+TEST(MergeCandidatesTest, EmptyListsAreFine) {
+  CandidateList empty;
+  EXPECT_TRUE(MergeCandidates({&empty, &empty}).empty());
+}
+
+// ---- direct extraction ----------------------------------------------------------
+
+TEST(DirectExtractionTest, TagsBecomeCandidates) {
+  kb::EncyclopediaDump dump;
+  kb::EncyclopediaPage page;
+  page.name = "刘德华（演员）";
+  page.mention = "刘德华";
+  page.tags = {"演员", "刘德华", ""};  // self-tag and empty tag dropped
+  dump.AddPage(page);
+  const CandidateList candidates = ExtractFromTags(dump);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].hypo, "刘德华（演员）");
+  EXPECT_EQ(candidates[0].hyper, "演员");
+  EXPECT_EQ(candidates[0].source, taxonomy::Source::kTag);
+}
+
+// ---- predicate discovery ---------------------------------------------------------
+
+class PredicateDiscoveryTest : public ::testing::Test {
+ protected:
+  PredicateDiscoveryTest() {
+    for (int i = 0; i < 50; ++i) {
+      kb::EncyclopediaPage page;
+      page.name = "person" + std::to_string(i);
+      page.mention = page.name;
+      page.infobox.push_back({page.name, "职业", "演员"});
+      page.infobox.push_back({page.name, "出生地", "北京"});
+      page.infobox.push_back({page.name, "身高", "180"});
+      dump_.AddPage(page);
+      // Bracket prior confirms 职业 objects as hypernyms.
+      prior_.push_back(
+          {page.name, "演员", taxonomy::Source::kBracket, 1.0f});
+    }
+  }
+  kb::EncyclopediaDump dump_;
+  CandidateList prior_;
+};
+
+TEST_F(PredicateDiscoveryTest, SelectsAlignedPredicateOnly) {
+  PredicateDiscovery::Config config;
+  config.min_support = 10;
+  PredicateDiscovery discovery(config);
+  const auto result = discovery.Discover(dump_, prior_);
+  ASSERT_EQ(result.selected.size(), 1u);
+  EXPECT_EQ(result.selected[0], "职业");
+  // 出生地 never aligns, so it is not even a candidate.
+  for (const auto& stats : result.candidates) {
+    EXPECT_NE(stats.predicate, "出生地");
+  }
+}
+
+TEST_F(PredicateDiscoveryTest, MinSupportGate) {
+  PredicateDiscovery::Config config;
+  config.min_support = 100;  // more than the 50 triples available
+  PredicateDiscovery discovery(config);
+  EXPECT_TRUE(discovery.Discover(dump_, prior_).selected.empty());
+}
+
+TEST_F(PredicateDiscoveryTest, ExtractUsesSelectedPredicates) {
+  const CandidateList candidates =
+      PredicateDiscovery::Extract(dump_, {"职业"});
+  EXPECT_EQ(candidates.size(), 50u);
+  for (const Candidate& candidate : candidates) {
+    EXPECT_EQ(candidate.hyper, "演员");
+    EXPECT_EQ(candidate.source, taxonomy::Source::kInfobox);
+  }
+  EXPECT_TRUE(PredicateDiscovery::Extract(dump_, {}).empty());
+}
+
+TEST_F(PredicateDiscoveryTest, PrecisionMath) {
+  PredicateDiscovery::PredicateStats stats;
+  stats.total = 40;
+  stats.aligned = 30;
+  EXPECT_DOUBLE_EQ(stats.precision(), 0.75);
+  stats.total = 0;
+  EXPECT_DOUBLE_EQ(stats.precision(), 0.0);
+}
+
+// ---- neural generation (distant supervision, end to end but small) ------------------
+
+TEST(NeuralGenerationTest, TrainsAndExtractsOnSyntheticWorld) {
+  synth::WorldModel::Config wc;
+  wc.num_entities = 1200;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  synth::EncyclopediaGenerator::Config gc;
+  const auto output = synth::EncyclopediaGenerator::Generate(world, gc);
+  text::Segmenter segmenter(&world.lexicon());
+  synth::CorpusGenerator::Config cc;
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, output.dump, segmenter, cc);
+  text::NgramCounter ngrams;
+  corpus.FillNgrams(&ngrams);
+  BracketExtractor extractor(&segmenter, &ngrams);
+  const CandidateList prior = extractor.Extract(output.dump);
+  ASSERT_GT(prior.size(), 100u);
+
+  NeuralGeneration::Config config;
+  config.epochs = 2;
+  config.max_train_samples = 400;
+  NeuralGeneration neural(config);
+  const size_t n = neural.BuildDataset(output.dump, prior, segmenter);
+  ASSERT_GT(n, 100u);
+  const auto stats = neural.Train();
+  ASSERT_EQ(stats.epoch_loss.size(), 2u);
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+
+  const CandidateList candidates = neural.ExtractAll(output.dump, segmenter);
+  EXPECT_GT(candidates.size(), 500u);
+  size_t correct = 0;
+  for (const Candidate& candidate : candidates) {
+    EXPECT_EQ(candidate.source, taxonomy::Source::kAbstract);
+    if (output.gold.IsCorrect(candidate.hypo, candidate.hyper)) ++correct;
+  }
+  // The abstracts embed the concept; even a briefly trained model should
+  // beat a coin flip comfortably.
+  EXPECT_GT(static_cast<double>(correct) / candidates.size(), 0.6);
+}
+
+}  // namespace
+}  // namespace cnpb::generation

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/incremental.h"
+#include "eval/precision.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+
+namespace cnpb {
+namespace {
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::WorldModel::Config wc;
+    wc.num_entities = 3000;
+    world_ = new synth::WorldModel(synth::WorldModel::Generate(wc));
+    output_ = new synth::EncyclopediaGenerator::Output(
+        synth::EncyclopediaGenerator::Generate(*world_, {}));
+    text::Segmenter segmenter(&world_->lexicon());
+    const auto corpus = synth::CorpusGenerator::Generate(
+        *world_, output_->dump, segmenter, {});
+    corpus_words_ = new std::vector<std::vector<std::string>>();
+    for (const auto& sentence : corpus.sentences) {
+      std::vector<std::string> words;
+      for (const auto& token : sentence) words.push_back(token.word);
+      corpus_words_->push_back(std::move(words));
+    }
+    // Base = first 70% of pages; the rest arrives in two batches.
+    base_ = new kb::EncyclopediaDump();
+    batch1_ = new std::vector<kb::EncyclopediaPage>();
+    batch2_ = new std::vector<kb::EncyclopediaPage>();
+    const size_t n = output_->dump.size();
+    for (size_t i = 0; i < n; ++i) {
+      kb::EncyclopediaPage page = output_->dump.page(i);
+      page.page_id = 0;
+      if (i < n * 7 / 10) {
+        base_->AddPage(std::move(page));
+      } else if (i < n * 85 / 100) {
+        batch1_->push_back(std::move(page));
+      } else {
+        batch2_->push_back(std::move(page));
+      }
+    }
+  }
+  static void TearDownTestSuite() {
+    delete batch2_;
+    delete batch1_;
+    delete base_;
+    delete corpus_words_;
+    delete output_;
+    delete world_;
+  }
+
+  static core::CnProbaseBuilder::Config Config() {
+    core::CnProbaseBuilder::Config config;
+    config.neural.epochs = 1;
+    config.neural.max_train_samples = 500;
+    for (const char* word : synth::ThematicWords()) {
+      config.verification.syntax.thematic_lexicon.emplace_back(word);
+    }
+    return config;
+  }
+
+  static eval::Oracle Oracle() {
+    return [](const std::string& hypo, const std::string& hyper) {
+      return output_->gold.IsCorrect(hypo, hyper);
+    };
+  }
+
+  static synth::WorldModel* world_;
+  static synth::EncyclopediaGenerator::Output* output_;
+  static std::vector<std::vector<std::string>>* corpus_words_;
+  static kb::EncyclopediaDump* base_;
+  static std::vector<kb::EncyclopediaPage>* batch1_;
+  static std::vector<kb::EncyclopediaPage>* batch2_;
+};
+
+synth::WorldModel* IncrementalTest::world_ = nullptr;
+synth::EncyclopediaGenerator::Output* IncrementalTest::output_ = nullptr;
+std::vector<std::vector<std::string>>* IncrementalTest::corpus_words_ = nullptr;
+kb::EncyclopediaDump* IncrementalTest::base_ = nullptr;
+std::vector<kb::EncyclopediaPage>* IncrementalTest::batch1_ = nullptr;
+std::vector<kb::EncyclopediaPage>* IncrementalTest::batch2_ = nullptr;
+
+TEST_F(IncrementalTest, BatchesGrowTheTaxonomyAtStablePrecision) {
+  core::IncrementalUpdater updater(*base_, &world_->lexicon(), *corpus_words_,
+                                   Config());
+  const size_t base_edges = updater.taxonomy().num_edges();
+  const double base_precision =
+      eval::ExactPrecision(updater.taxonomy(), Oracle()).precision();
+  EXPECT_GT(base_edges, 1000u);
+  EXPECT_GT(base_precision, 0.92);
+
+  const auto report1 = updater.ApplyBatch(*batch1_);
+  EXPECT_EQ(report1.pages_added, batch1_->size());
+  EXPECT_GT(report1.candidates, 100u);
+  EXPECT_GT(updater.taxonomy().num_edges(), base_edges);
+
+  const auto report2 = updater.ApplyBatch(*batch2_);
+  EXPECT_EQ(report2.pages_added, batch2_->size());
+  const double final_precision =
+      eval::ExactPrecision(updater.taxonomy(), Oracle()).precision();
+  EXPECT_GT(final_precision, 0.92);
+
+  // New entities from the batches are now queryable.
+  size_t found = 0;
+  for (const auto& page : *batch2_) {
+    if (updater.taxonomy().Find(page.name) != taxonomy::kInvalidNode) ++found;
+  }
+  EXPECT_GT(found, batch2_->size() / 2);
+}
+
+TEST_F(IncrementalTest, DuplicatePagesAreSkipped) {
+  core::IncrementalUpdater updater(*base_, &world_->lexicon(), *corpus_words_,
+                                   Config());
+  // Re-applying base pages is a no-op.
+  std::vector<kb::EncyclopediaPage> dupes(base_->pages().begin(),
+                                          base_->pages().begin() + 50);
+  const auto report = updater.ApplyBatch(dupes);
+  EXPECT_EQ(report.pages_added, 0u);
+  EXPECT_EQ(report.candidates, 0u);
+}
+
+TEST_F(IncrementalTest, EmptyBatchIsCheap) {
+  core::IncrementalUpdater updater(*base_, &world_->lexicon(), *corpus_words_,
+                                   Config());
+  const auto report = updater.ApplyBatch({});
+  EXPECT_EQ(report.pages_added, 0u);
+  EXPECT_EQ(report.accepted, 0u);
+}
+
+TEST_F(IncrementalTest, ComparableToFullRebuild) {
+  core::IncrementalUpdater updater(*base_, &world_->lexicon(), *corpus_words_,
+                                   Config());
+  updater.ApplyBatch(*batch1_);
+  updater.ApplyBatch(*batch2_);
+
+  core::CnProbaseBuilder::Report full_report;
+  const auto full = core::CnProbaseBuilder::Build(
+      output_->dump, world_->lexicon(), *corpus_words_, Config(),
+      &full_report);
+
+  // The incremental result covers a comparable number of relations (within
+  // 15%) at comparable precision (within 2 points).
+  const double ratio = static_cast<double>(updater.taxonomy().num_edges()) /
+                       static_cast<double>(full.num_edges());
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.15);
+  const double incremental_precision =
+      eval::ExactPrecision(updater.taxonomy(), Oracle()).precision();
+  const double full_precision =
+      eval::ExactPrecision(full, Oracle()).precision();
+  EXPECT_NEAR(incremental_precision, full_precision, 0.02);
+}
+
+}  // namespace
+}  // namespace cnpb

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/builder.h"
+#include "kb/dump.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "text/segmenter.h"
+
+namespace cnpb {
+namespace {
+
+// ---- kb::EncyclopediaDump edge cases ---------------------------------------------
+
+TEST(DumpTest, AddPageAssignsIdsAndIndexes) {
+  kb::EncyclopediaDump dump;
+  kb::EncyclopediaPage page;
+  page.name = "a";
+  page.mention = "a";
+  const uint64_t id1 = dump.AddPage(page);
+  page.name = "b";
+  const uint64_t id2 = dump.AddPage(page);
+  EXPECT_NE(id1, 0u);
+  EXPECT_NE(id1, id2);
+  EXPECT_NE(dump.FindByName("a"), nullptr);
+  EXPECT_NE(dump.FindByName("b"), nullptr);
+  EXPECT_EQ(dump.FindByName("c"), nullptr);
+}
+
+TEST(DumpTest, ExplicitIdPreserved) {
+  kb::EncyclopediaDump dump;
+  kb::EncyclopediaPage page;
+  page.page_id = 99;
+  page.name = "x";
+  page.mention = "x";
+  EXPECT_EQ(dump.AddPage(page), 99u);
+  EXPECT_EQ(dump.page(0).page_id, 99u);
+}
+
+TEST(DumpTest, StatsCountsRegions) {
+  kb::EncyclopediaDump dump;
+  kb::EncyclopediaPage page;
+  page.name = "x";
+  page.mention = "x";
+  page.bracket = "演员";
+  page.abstract = "abc";
+  page.infobox = {{"x", "p", "o"}, {"x", "q", "o"}};
+  page.tags = {"t1", "t2", "t3"};
+  dump.AddPage(page);
+  kb::EncyclopediaPage empty;
+  empty.name = "y";
+  empty.mention = "y";
+  dump.AddPage(empty);
+  const kb::DumpStats stats = dump.Stats();
+  EXPECT_EQ(stats.num_pages, 2u);
+  EXPECT_EQ(stats.num_brackets, 1u);
+  EXPECT_EQ(stats.num_abstracts, 1u);
+  EXPECT_EQ(stats.num_triples, 2u);
+  EXPECT_EQ(stats.num_tags, 3u);
+}
+
+TEST(DumpTest, LoadRejectsWrongFieldCount) {
+  const std::string path = ::testing::TempDir() + "/bad_dump.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("1\tname\tmention\n", f);  // 3 fields, want 8
+  fclose(f);
+  EXPECT_FALSE(kb::EncyclopediaDump::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+// ---- builder source toggles --------------------------------------------------------
+
+class BuilderToggleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::WorldModel::Config wc;
+    wc.num_entities = 1200;
+    world_ = new synth::WorldModel(synth::WorldModel::Generate(wc));
+    output_ = new synth::EncyclopediaGenerator::Output(
+        synth::EncyclopediaGenerator::Generate(*world_, {}));
+    text::Segmenter segmenter(&world_->lexicon());
+    const auto corpus = synth::CorpusGenerator::Generate(
+        *world_, output_->dump, segmenter, {});
+    corpus_words_ = new std::vector<std::vector<std::string>>();
+    for (const auto& sentence : corpus.sentences) {
+      std::vector<std::string> words;
+      for (const auto& token : sentence) words.push_back(token.word);
+      corpus_words_->push_back(std::move(words));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete corpus_words_;
+    delete output_;
+    delete world_;
+  }
+
+  static core::CnProbaseBuilder::Report BuildWith(
+      bool bracket, bool abstract_on, bool infobox, bool tag) {
+    core::CnProbaseBuilder::Config config;
+    config.enable_bracket = bracket;
+    config.enable_abstract = abstract_on;
+    config.enable_infobox = infobox;
+    config.enable_tag = tag;
+    config.neural.epochs = 1;
+    config.neural.max_train_samples = 200;
+    core::CnProbaseBuilder::Report report;
+    core::CnProbaseBuilder::BuildCandidates(output_->dump, world_->lexicon(),
+                                            *corpus_words_, config, &report);
+    return report;
+  }
+
+  static synth::WorldModel* world_;
+  static synth::EncyclopediaGenerator::Output* output_;
+  static std::vector<std::vector<std::string>>* corpus_words_;
+};
+
+synth::WorldModel* BuilderToggleTest::world_ = nullptr;
+synth::EncyclopediaGenerator::Output* BuilderToggleTest::output_ = nullptr;
+std::vector<std::vector<std::string>>* BuilderToggleTest::corpus_words_ =
+    nullptr;
+
+TEST_F(BuilderToggleTest, TagOnly) {
+  const auto report = BuildWith(false, false, false, true);
+  EXPECT_EQ(report.bracket_candidates, 0u);
+  EXPECT_EQ(report.abstract_candidates, 0u);
+  EXPECT_EQ(report.infobox_candidates, 0u);
+  EXPECT_GT(report.tag_candidates, 100u);
+  EXPECT_EQ(report.merged_candidates, report.tag_candidates);
+}
+
+TEST_F(BuilderToggleTest, BracketOnly) {
+  const auto report = BuildWith(true, false, false, false);
+  EXPECT_GT(report.bracket_candidates, 100u);
+  EXPECT_EQ(report.tag_candidates, 0u);
+  EXPECT_EQ(report.merged_candidates, report.bracket_candidates);
+}
+
+TEST_F(BuilderToggleTest, InfoboxStillWorksWithoutBracketOutput) {
+  // Infobox discovery needs the bracket prior internally even when bracket
+  // candidates are not emitted.
+  const auto report = BuildWith(false, false, true, false);
+  EXPECT_EQ(report.bracket_candidates, 0u);
+  EXPECT_GT(report.infobox_candidates, 100u);
+  EXPECT_FALSE(report.discovery.selected.empty());
+}
+
+TEST_F(BuilderToggleTest, MergedIsAtMostSumOfSources) {
+  const auto report = BuildWith(true, true, true, true);
+  EXPECT_LE(report.merged_candidates,
+            report.bracket_candidates + report.abstract_candidates +
+                report.infobox_candidates + report.tag_candidates);
+  EXPECT_GT(report.merged_candidates, report.bracket_candidates);
+}
+
+// ---- provenance of merged candidates -------------------------------------------------
+
+TEST_F(BuilderToggleTest, ScoresFollowSourcePriors) {
+  core::CnProbaseBuilder::Config config;
+  config.neural.epochs = 1;
+  config.neural.max_train_samples = 200;
+  config.bracket_prior = 0.9f;
+  config.tag_prior = 0.5f;
+  core::CnProbaseBuilder::Report report;
+  const auto candidates = core::CnProbaseBuilder::BuildCandidates(
+      output_->dump, world_->lexicon(), *corpus_words_, config, &report);
+  for (const auto& candidate : candidates) {
+    if (candidate.source == taxonomy::Source::kBracket) {
+      EXPECT_FLOAT_EQ(candidate.score, 0.9f);
+    } else if (candidate.source == taxonomy::Source::kTag) {
+      EXPECT_FLOAT_EQ(candidate.score, 0.5f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cnpb

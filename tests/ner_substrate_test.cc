@@ -1,0 +1,113 @@
+// Evaluates the NER recogniser substrate itself against the corpus
+// generator's gold labels — the recogniser feeds s1(H) in Eq. 2, so its
+// quality bounds the NER filter's usefulness.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "text/segmenter.h"
+#include "verification/ner_filter.h"
+
+namespace cnpb {
+namespace {
+
+TEST(NerSubstrateTest, RecogniserBeatsBaselineOnGoldLabels) {
+  synth::WorldModel::Config wc;
+  wc.num_entities = 2000;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  const auto output = synth::EncyclopediaGenerator::Generate(world, {});
+  text::Segmenter segmenter(&world.lexicon());
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, output.dump, segmenter, {});
+
+  verification::NerFilter filter(&world.lexicon(), {});
+  size_t tp = 0, fp = 0, fn = 0, tn = 0;
+  for (const auto& sentence : corpus.sentences) {
+    std::string prev;
+    for (const auto& token : sentence) {
+      const bool predicted = filter.IsNamedEntity(token.word, prev);
+      if (predicted && token.gold_ne) ++tp;
+      if (predicted && !token.gold_ne) ++fp;
+      if (!predicted && token.gold_ne) ++fn;
+      if (!predicted && !token.gold_ne) ++tn;
+      prev = token.word;
+    }
+  }
+  ASSERT_GT(tp + fn, 1000u);  // corpus actually contains NEs
+  const double precision = static_cast<double>(tp) / (tp + fp);
+  const double recall = static_cast<double>(tp) / (tp + fn);
+  // Lexicon + context recognition is strong on this corpus; what matters
+  // for Eq. 2 is that s1 separates NEs from concepts decisively.
+  EXPECT_GT(precision, 0.9);
+  EXPECT_GT(recall, 0.9);
+}
+
+TEST(NerSubstrateTest, ConceptWordsGetLowSupport) {
+  synth::WorldModel::Config wc;
+  wc.num_entities = 1500;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  const auto output = synth::EncyclopediaGenerator::Generate(world, {});
+  text::Segmenter segmenter(&world.lexicon());
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, output.dump, segmenter, {});
+  verification::NerFilter filter(&world.lexicon(), {});
+  for (const auto& sentence : corpus.sentences) {
+    std::vector<std::string> words;
+    for (const auto& token : sentence) words.push_back(token.word);
+    filter.AddCorpusSentence(words);
+  }
+  // Concepts: low s1. Countries/cities that occur in the corpus: s1 = 1
+  // (proper nouns).
+  EXPECT_LT(filter.S1("演员"), 0.2);
+  EXPECT_LT(filter.S1("歌手"), 0.2);
+  size_t checked = 0;
+  for (const char* place : synth::MajorCities()) {
+    bool seen = false;
+    for (const auto& sentence : corpus.sentences) {
+      for (const auto& token : sentence) {
+        if (token.word == place) seen = true;
+      }
+      if (seen) break;
+    }
+    if (!seen) continue;
+    EXPECT_DOUBLE_EQ(filter.S1(place), 1.0) << place;
+    if (++checked >= 3) break;
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(WorldDataSanityTest, PoolsAndGlosses) {
+  EXPECT_GE(synth::Surnames().size(), 30u);
+  EXPECT_GE(synth::GivenNameChars().size(), 50u);
+  EXPECT_GE(synth::ThematicWords().size(), 40u);
+  EXPECT_GE(synth::Countries().size(), 15u);
+  for (const auto& row : synth::OntologyRows()) {
+    EXPECT_NE(row.name[0], '\0');
+    EXPECT_NE(row.english[0], '\0') << row.name;
+  }
+}
+
+TEST(WorldDataSanityTest, OntologyIsAcyclic) {
+  const synth::Ontology onto = synth::Ontology::Build();
+  // Ancestors() would have looped forever during Build on a cycle; assert
+  // no concept is its own ancestor as an explicit check.
+  for (size_t c = 0; c < onto.size(); ++c) {
+    EXPECT_FALSE(onto.IsAncestor(static_cast<int>(c), static_cast<int>(c)))
+        << onto.ConceptAt(static_cast<int>(c)).name;
+  }
+}
+
+TEST(WorldDataSanityTest, EveryDomainHasEntityBearingConcepts) {
+  const synth::Ontology onto = synth::Ontology::Build();
+  std::set<synth::Domain> covered;
+  for (int c : onto.EntityBearingConcepts()) {
+    covered.insert(onto.ConceptAt(c).domain);
+  }
+  EXPECT_GE(covered.size(), 8u);
+}
+
+}  // namespace
+}  // namespace cnpb

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "generation/neural_generation.h"
+#include "generation/separation.h"
+#include "nn/serialize.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "text/ngram.h"
+#include "text/segmenter.h"
+#include "util/rng.h"
+
+namespace cnpb::nn {
+namespace {
+
+TEST(ParamSerializeTest, RoundTrip) {
+  util::Rng rng(5);
+  std::vector<Var> params = {
+      MakeVar(Tensor::RandomUniform(3, 4, 1.0f, rng), true),
+      MakeVar(Tensor::RandomUniform(7, 1, 1.0f, rng), true),
+  };
+  const std::string path = ::testing::TempDir() + "/params_test.bin";
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+
+  std::vector<Var> fresh = {
+      MakeVar(Tensor::Zeros(3, 4), true),
+      MakeVar(Tensor::Zeros(7, 1), true),
+  };
+  ASSERT_TRUE(LoadParameters(fresh, path).ok());
+  for (size_t k = 0; k < params.size(); ++k) {
+    for (size_t i = 0; i < params[k]->value.size(); ++i) {
+      EXPECT_EQ(fresh[k]->value[i], params[k]->value[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ParamSerializeTest, ShapeMismatchRejected) {
+  util::Rng rng(6);
+  std::vector<Var> params = {MakeVar(Tensor::RandomUniform(3, 4, 1.0f, rng), true)};
+  const std::string path = ::testing::TempDir() + "/params_mismatch.bin";
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+  std::vector<Var> wrong_shape = {MakeVar(Tensor::Zeros(4, 3), true)};
+  EXPECT_FALSE(LoadParameters(wrong_shape, path).ok());
+  std::vector<Var> wrong_count = {MakeVar(Tensor::Zeros(3, 4), true),
+                                  MakeVar(Tensor::Zeros(1, 1), true)};
+  EXPECT_FALSE(LoadParameters(wrong_count, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(ParamSerializeTest, GarbageFileRejected) {
+  const std::string path = ::testing::TempDir() + "/params_garbage.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("not a checkpoint", f);
+  fclose(f);
+  std::vector<Var> params = {MakeVar(Tensor::Zeros(1, 1), true)};
+  EXPECT_FALSE(LoadParameters(params, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(VocabSerializeTest, RoundTripPreservesIds) {
+  Vocab vocab;
+  vocab.Add("演员");
+  vocab.Add("歌手");
+  const std::string path = ::testing::TempDir() + "/vocab_test.tsv";
+  ASSERT_TRUE(SaveVocab(vocab, path).ok());
+  auto loaded = LoadVocab(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), vocab.size());
+  EXPECT_EQ(loaded->Id("演员"), vocab.Id("演员"));
+  EXPECT_EQ(loaded->Id("歌手"), vocab.Id("歌手"));
+  std::remove(path.c_str());
+}
+
+TEST(NeuralCheckpointTest, LoadedModelGeneratesIdentically) {
+  synth::WorldModel::Config wc;
+  wc.num_entities = 800;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  const auto output = synth::EncyclopediaGenerator::Generate(world, {});
+  text::Segmenter segmenter(&world.lexicon());
+  text::NgramCounter ngrams;
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, output.dump, segmenter, {});
+  corpus.FillNgrams(&ngrams);
+  generation::BracketExtractor extractor(&segmenter, &ngrams);
+  const auto prior = extractor.Extract(output.dump);
+
+  generation::NeuralGeneration::Config config;
+  config.epochs = 1;
+  config.max_train_samples = 300;
+  generation::NeuralGeneration trained(config);
+  ASSERT_GT(trained.BuildDataset(output.dump, prior, segmenter), 50u);
+  trained.Train();
+  const auto before = trained.ExtractAll(output.dump, segmenter);
+
+  const std::string prefix = ::testing::TempDir() + "/copynet_ckpt";
+  ASSERT_TRUE(trained.Save(prefix).ok());
+
+  generation::NeuralGeneration restored(config);
+  ASSERT_TRUE(restored.Load(prefix).ok());
+  const auto after = restored.ExtractAll(output.dump, segmenter);
+
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].hypo, after[i].hypo);
+    EXPECT_EQ(before[i].hyper, after[i].hyper);
+  }
+  for (const char* suffix : {".params", ".in.vocab", ".out.vocab"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(NeuralCheckpointTest, SaveWithoutTrainFails) {
+  generation::NeuralGeneration neural(generation::NeuralGeneration::Config{});
+  EXPECT_FALSE(neural.Save("/tmp/should_not_exist").ok());
+}
+
+}  // namespace
+}  // namespace cnpb::nn

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+
+#include "util/parallel.h"
+
+namespace cnpb::util {
+namespace {
+
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetThreads(const char* n) { setenv("CNPB_THREADS", n, 1); }
+  void TearDown() override { unsetenv("CNPB_THREADS"); }
+};
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  SetThreads("4");
+  for (const size_t n : {0ul, 1ul, 63ul, 64ul, 100ul, 1000ul}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h = 0;
+    ParallelFor(n, [&](size_t i) { ++hits[i]; });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(ParallelTest, SlotWritesAreDeterministic) {
+  SetThreads("8");
+  std::vector<size_t> out_parallel(5000);
+  ParallelFor(out_parallel.size(),
+              [&](size_t i) { out_parallel[i] = i * i % 97; });
+  SetThreads("1");
+  std::vector<size_t> out_serial(5000);
+  ParallelFor(out_serial.size(),
+              [&](size_t i) { out_serial[i] = i * i % 97; });
+  EXPECT_EQ(out_parallel, out_serial);
+}
+
+TEST_F(ParallelTest, MoreThreadsThanWork) {
+  SetThreads("16");
+  std::atomic<size_t> total{0};
+  ParallelFor(70, [&](size_t i) { total += i; });
+  EXPECT_EQ(total.load(), 70u * 69u / 2);
+}
+
+TEST_F(ParallelTest, DefaultThreadsPositive) {
+  unsetenv("CNPB_THREADS");
+  EXPECT_GE(DefaultThreads(), 1);
+  SetThreads("3");
+  EXPECT_EQ(DefaultThreads(), 3);
+}
+
+}  // namespace
+}  // namespace cnpb::util

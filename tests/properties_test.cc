@@ -1,0 +1,352 @@
+// Property-based tests: invariants checked over parameterized sweeps of
+// seeds and sizes rather than hand-picked cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "generation/separation.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "taxonomy/taxonomy.h"
+#include "text/ngram.h"
+#include "text/segmenter.h"
+#include "text/trie_matcher.h"
+#include "text/utf8.h"
+#include "util/rng.h"
+#include "util/tsv.h"
+
+namespace cnpb {
+namespace {
+
+// ---- UTF-8 decoder: total, progressing, round-tripping ------------------------
+
+class Utf8FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Utf8FuzzTest, RandomBytesNeverStall) {
+  util::Rng rng(GetParam());
+  std::string bytes;
+  const size_t len = 1 + rng.Uniform(256);
+  for (size_t i = 0; i < len; ++i) {
+    bytes += static_cast<char>(rng.Uniform(256));
+  }
+  size_t pos = 0;
+  size_t decoded = 0;
+  while (pos < bytes.size()) {
+    const size_t before = pos;
+    text::DecodeCodepointAt(bytes, pos);
+    ASSERT_GT(pos, before) << "decoder must always advance";
+    ASSERT_LE(pos, bytes.size());
+    ++decoded;
+  }
+  EXPECT_LE(decoded, bytes.size());
+  // CodepointStrings partitions the byte string exactly.
+  std::string rebuilt;
+  for (const std::string& cp : text::CodepointStrings(bytes)) rebuilt += cp;
+  EXPECT_EQ(rebuilt, bytes);
+}
+
+TEST_P(Utf8FuzzTest, ValidCodepointsRoundTrip) {
+  util::Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 200; ++i) {
+    char32_t cp;
+    do {
+      cp = static_cast<char32_t>(rng.Uniform(0x10FFFF + 1));
+    } while (cp >= 0xD800 && cp <= 0xDFFF);
+    const std::string encoded = text::EncodeCodepoint(cp);
+    size_t pos = 0;
+    EXPECT_EQ(text::DecodeCodepointAt(encoded, pos), cp);
+    EXPECT_EQ(pos, encoded.size());
+    EXPECT_EQ(text::NumCodepoints(encoded), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Utf8FuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---- segmenter: partition property over generated worlds ----------------------
+
+class SegmenterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmenterPropertyTest, SegmentationIsAPartition) {
+  synth::WorldModel::Config wc;
+  wc.num_entities = 400;
+  wc.seed = GetParam();
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  const auto output = synth::EncyclopediaGenerator::Generate(world, {});
+  text::Segmenter segmenter(&world.lexicon());
+  size_t checked = 0;
+  for (const auto& page : output.dump.pages()) {
+    if (page.abstract.empty()) continue;
+    std::string rebuilt;
+    for (const std::string& word : segmenter.Segment(page.abstract)) {
+      EXPECT_FALSE(word.empty());
+      rebuilt += word;
+    }
+    // Whitespace is dropped by design; abstracts contain none.
+    EXPECT_EQ(rebuilt, page.abstract);
+    if (++checked >= 100) break;
+  }
+  EXPECT_GT(checked, 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmenterPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// ---- separation algorithm: structural invariants -------------------------------
+
+class SeparationPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, int>> {};
+
+TEST_P(SeparationPropertyTest, TreeCoversInputAndHypernymsAreSuffixes) {
+  const auto [seed, length] = GetParam();
+  util::Rng rng(seed);
+  text::NgramCounter ngrams;
+  // Random corpus over a small vocabulary to create arbitrary PMI terrain.
+  std::vector<std::string> vocab;
+  for (int i = 0; i < 12; ++i) vocab.push_back("w" + std::to_string(i));
+  for (int s = 0; s < 300; ++s) {
+    std::vector<std::string> sentence;
+    const size_t n = 2 + rng.Uniform(6);
+    for (size_t i = 0; i < n; ++i) sentence.push_back(rng.Choice(vocab));
+    ngrams.AddSentence(sentence);
+  }
+  generation::SeparationAlgorithm separation(&ngrams);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::string> words;
+    for (int i = 0; i < length; ++i) words.push_back(rng.Choice(vocab));
+    const auto parse = separation.ParseWords(words);
+    ASSERT_NE(parse.root, nullptr);
+    // Root text is the concatenation of the input.
+    std::string all;
+    for (const auto& w : words) all += w;
+    EXPECT_EQ(parse.root->text, all);
+    // Every hypernym is a proper suffix of the compound (or the whole
+    // single word).
+    ASSERT_FALSE(parse.hypernyms.empty());
+    for (const std::string& hyper : parse.hypernyms) {
+      EXPECT_TRUE(all.size() == hyper.size() ||
+                  all.compare(all.size() - hyper.size(), hyper.size(), hyper) ==
+                      0)
+          << hyper << " not a suffix of " << all;
+    }
+    // Hypernyms strictly shrink along the rightmost path.
+    for (size_t i = 1; i < parse.hypernyms.size(); ++i) {
+      EXPECT_LT(parse.hypernyms[i].size(), parse.hypernyms[i - 1].size());
+    }
+    // Binary-tree structure: every internal node's text is the
+    // concatenation of its children.
+    for (const auto& node : parse.arena) {
+      if (node->left != nullptr) {
+        EXPECT_EQ(node->text, node->left->text + node->right->text);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SeparationPropertyTest,
+    ::testing::Combine(::testing::Values(7, 17, 27),
+                       ::testing::Values(1, 2, 3, 4, 6, 9, 14)));
+
+// ---- trie matcher vs. a naive reference implementation --------------------------
+
+class TrieMatcherPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Reference: greedy longest match, scanning codepoint by codepoint.
+std::vector<std::string> NaiveFindAll(const std::vector<std::string>& dict,
+                                      const std::string& s) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t best = 0;
+    for (const std::string& word : dict) {
+      if (word.size() > best && s.compare(pos, word.size(), word) == 0) {
+        best = word.size();
+      }
+    }
+    if (best > 0) {
+      out.push_back(s.substr(pos, best));
+      pos += best;
+    } else {
+      text::DecodeCodepointAt(s, pos);
+    }
+  }
+  return out;
+}
+
+TEST_P(TrieMatcherPropertyTest, MatchesNaiveLongestMatch) {
+  util::Rng rng(GetParam());
+  const std::vector<std::string> alphabet = {"刘", "德", "华", "演",
+                                             "员", "歌", "手", "a"};
+  std::vector<std::string> dict;
+  text::TrieMatcher trie;
+  for (int i = 0; i < 20; ++i) {
+    std::string word;
+    const size_t len = 1 + rng.Uniform(4);
+    for (size_t k = 0; k < len; ++k) word += rng.Choice(alphabet);
+    if (std::find(dict.begin(), dict.end(), word) == dict.end()) {
+      dict.push_back(word);
+      trie.Add(word, 1);
+    }
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string s;
+    const size_t len = rng.Uniform(30);
+    for (size_t k = 0; k < len; ++k) s += rng.Choice(alphabet);
+    const auto expected = NaiveFindAll(dict, s);
+    const auto actual = trie.FindAll(s);
+    ASSERT_EQ(actual.size(), expected.size()) << "text: " << s;
+    for (size_t k = 0; k < actual.size(); ++k) {
+      EXPECT_EQ(std::string(actual[k].text), expected[k]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieMatcherPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ---- taxonomy: adjacency/counter consistency under random operations -----------
+
+class TaxonomyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TaxonomyPropertyTest, CountersMatchAdjacencyUnderRandomOps) {
+  util::Rng rng(GetParam());
+  taxonomy::Taxonomy t;
+  std::vector<std::pair<taxonomy::NodeId, taxonomy::NodeId>> live_edges;
+  const int num_nodes = 30;
+  for (int i = 0; i < num_nodes; ++i) {
+    t.AddNode("n" + std::to_string(i),
+              rng.Bernoulli(0.5) ? taxonomy::NodeKind::kEntity
+                                 : taxonomy::NodeKind::kConcept);
+  }
+  for (int op = 0; op < 500; ++op) {
+    const auto a = static_cast<taxonomy::NodeId>(rng.Uniform(num_nodes));
+    const auto b = static_cast<taxonomy::NodeId>(rng.Uniform(num_nodes));
+    if (rng.Bernoulli(0.7)) {
+      const auto source = static_cast<taxonomy::Source>(rng.Uniform(4));
+      if (t.AddIsa(a, b, source)) live_edges.emplace_back(a, b);
+    } else if (!live_edges.empty()) {
+      const size_t pick = rng.Uniform(live_edges.size());
+      const auto [x, y] = live_edges[pick];
+      EXPECT_TRUE(t.RemoveIsa(x, y));
+      live_edges.erase(live_edges.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+  EXPECT_EQ(t.num_edges(), live_edges.size());
+  // Out-degree and in-degree sums both equal the edge count.
+  size_t out_sum = 0, in_sum = 0, source_sum = 0;
+  for (taxonomy::NodeId id = 0; id < t.num_nodes(); ++id) {
+    out_sum += t.Hypernyms(id).size();
+    in_sum += t.Hyponyms(id).size();
+  }
+  for (int s = 0; s < taxonomy::kNumSources; ++s) {
+    source_sum += t.NumEdgesFromSource(static_cast<taxonomy::Source>(s));
+  }
+  EXPECT_EQ(out_sum, live_edges.size());
+  EXPECT_EQ(in_sum, live_edges.size());
+  EXPECT_EQ(source_sum, live_edges.size());
+  // Every live edge is queryable both ways.
+  for (const auto& [x, y] : live_edges) {
+    EXPECT_TRUE(t.HasIsa(x, y));
+  }
+  // Entity/subconcept split partitions the edges.
+  EXPECT_EQ(t.NumEntityConceptEdges() + t.NumSubconceptEdges(),
+            live_edges.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TaxonomyPropertyTest,
+                         ::testing::Values(3, 14, 159, 2653, 58979));
+
+// ---- TSV escaping round trip -----------------------------------------------------
+
+class TsvPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TsvPropertyTest, ArbitraryFieldsRoundTripThroughFiles) {
+  util::Rng rng(GetParam());
+  const std::string path = ::testing::TempDir() + "/tsv_prop_" +
+                           std::to_string(GetParam()) + ".tsv";
+  std::vector<std::vector<std::string>> rows;
+  for (int r = 0; r < 20; ++r) {
+    std::vector<std::string> row;
+    const size_t cols = 1 + rng.Uniform(5);
+    for (size_t c = 0; c < cols; ++c) {
+      std::string field;
+      const size_t len = rng.Uniform(12);
+      for (size_t k = 0; k < len; ++k) {
+        // Mix of nasty characters and CJK.
+        switch (rng.Uniform(6)) {
+          case 0:
+            field += '\t';
+            break;
+          case 1:
+            field += '\n';
+            break;
+          case 2:
+            field += '\\';
+            break;
+          case 3:
+            field += "汉";
+            break;
+          default:
+            field += static_cast<char>('a' + rng.Uniform(26));
+        }
+      }
+      row.push_back(std::move(field));
+    }
+    rows.push_back(std::move(row));
+  }
+  {
+    util::TsvWriter writer(path);
+    ASSERT_TRUE(writer.status().ok());
+    for (const auto& row : rows) writer.WriteRow(row);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto loaded = util::ReadTsvFile(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), rows.size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    EXPECT_EQ((*loaded)[r], rows[r]) << "row " << r;
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TsvPropertyTest,
+                         ::testing::Values(71, 72, 73, 74));
+
+// ---- PMI monotonicity -------------------------------------------------------------
+
+TEST(PmiPropertyTest, PmiGrowsWithCooccurrence) {
+  text::NgramCounter counter;
+  for (int i = 0; i < 100; ++i) counter.AddSentence({"a", "b"});
+  for (int i = 0; i < 100; ++i) counter.AddSentence({"c", "d"});
+  for (int i = 0; i < 10; ++i) counter.AddSentence({"a", "d"});
+  for (int i = 0; i < 100; ++i) counter.AddSentence({"a", "x"});
+  // (a,b) co-occurs 100/210 of a's uses; (a,d) only 10/210.
+  EXPECT_GT(counter.Pmi("a", "b"), counter.Pmi("a", "d"));
+  // A never-seen pair scores below both.
+  EXPECT_GT(counter.Pmi("a", "d"), counter.Pmi("b", "c"));
+}
+
+// ---- Zipf sampler shape -------------------------------------------------------------
+
+class ZipfPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfPropertyTest, FrequenciesDecreaseWithRank) {
+  const double s = GetParam();
+  util::Rng rng(99);
+  util::ZipfSampler zipf(50, s);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Sample(rng)];
+  // Head beats mid beats tail (allowing sampling noise via wide margins).
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[5], counts[40]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfPropertyTest,
+                         ::testing::Values(0.6, 0.8, 1.0, 1.3));
+
+}  // namespace
+}  // namespace cnpb

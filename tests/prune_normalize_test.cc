@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "taxonomy/prune.h"
+#include "text/normalize.h"
+
+namespace cnpb {
+namespace {
+
+// ---- text normalisation -------------------------------------------------------
+
+TEST(NormalizeTest, FullwidthFoldsToHalfwidth) {
+  EXPECT_EQ(text::NormalizeText("ＡＢＣ０１２"), "abc012");
+  EXPECT_EQ(text::NormalizeText("ｉＰｈｏｎｅ　１２"), "iphone 12");
+}
+
+TEST(NormalizeTest, ChinesePreserved) {
+  EXPECT_EQ(text::NormalizeText("刘德华（中国香港男演员、歌手）"),
+            "刘德华（中国香港男演员、歌手）");
+  EXPECT_EQ(text::NormalizeText("《忘情水》，1994年。"),
+            "《忘情水》，1994年。");
+}
+
+TEST(NormalizeTest, AsciiLowercased) {
+  EXPECT_EQ(text::NormalizeText("CPU和GPU"), "cpu和gpu");
+  EXPECT_EQ(text::NormalizeText(""), "");
+}
+
+TEST(NormalizeTest, Idempotent) {
+  const std::string once = text::NormalizeText("ＡＢＣ　ＤＥＦ刘德华XY");
+  EXPECT_EQ(text::NormalizeText(once), once);
+}
+
+// ---- transitive reduction -------------------------------------------------------
+
+TEST(TransitiveReduceTest, RemovesImpliedConceptEdges) {
+  taxonomy::Taxonomy t;
+  t.AddIsa("男演员", "演员", taxonomy::Source::kTag, 1.0f,
+           taxonomy::NodeKind::kConcept);
+  t.AddIsa("演员", "人物", taxonomy::Source::kTag, 1.0f,
+           taxonomy::NodeKind::kConcept);
+  t.AddIsa("男演员", "人物", taxonomy::Source::kTag, 1.0f,
+           taxonomy::NodeKind::kConcept);  // implied
+  EXPECT_EQ(taxonomy::TransitiveReduceConcepts(&t), 1u);
+  EXPECT_TRUE(t.HasIsa(t.Find("男演员"), t.Find("演员")));
+  EXPECT_TRUE(t.HasIsa(t.Find("演员"), t.Find("人物")));
+  EXPECT_FALSE(t.HasIsa(t.Find("男演员"), t.Find("人物")));
+  // Idempotent.
+  EXPECT_EQ(taxonomy::TransitiveReduceConcepts(&t), 0u);
+}
+
+TEST(TransitiveReduceTest, EntityEdgesUntouched) {
+  taxonomy::Taxonomy t;
+  t.AddIsa("刘德华", "男演员", taxonomy::Source::kTag);
+  t.AddIsa("刘德华", "人物", taxonomy::Source::kTag);  // redundant but entity
+  t.AddIsa("男演员", "人物", taxonomy::Source::kTag, 1.0f,
+           taxonomy::NodeKind::kConcept);
+  EXPECT_EQ(taxonomy::TransitiveReduceConcepts(&t), 0u);
+  EXPECT_EQ(t.num_edges(), 3u);
+}
+
+TEST(TransitiveReduceTest, DiamondKeepsBothDirectEdges) {
+  taxonomy::Taxonomy t;
+  // a->b->d, a->c->d: no edge is redundant.
+  for (const char* n : {"a", "b", "c", "d"}) {
+    t.AddNode(n, taxonomy::NodeKind::kConcept);
+  }
+  t.AddIsa(t.Find("a"), t.Find("b"), taxonomy::Source::kTag);
+  t.AddIsa(t.Find("a"), t.Find("c"), taxonomy::Source::kTag);
+  t.AddIsa(t.Find("b"), t.Find("d"), taxonomy::Source::kTag);
+  t.AddIsa(t.Find("c"), t.Find("d"), taxonomy::Source::kTag);
+  EXPECT_EQ(taxonomy::TransitiveReduceConcepts(&t), 0u);
+  // But a direct a->d shortcut is removed.
+  t.AddIsa(t.Find("a"), t.Find("d"), taxonomy::Source::kTag);
+  EXPECT_EQ(taxonomy::TransitiveReduceConcepts(&t), 1u);
+}
+
+// ---- rare-concept pruning ---------------------------------------------------------
+
+TEST(PruneRareTest, DropsLongTailConcepts) {
+  taxonomy::Taxonomy t;
+  for (int i = 0; i < 10; ++i) {
+    t.AddIsa("e" + std::to_string(i), "大概念", taxonomy::Source::kTag);
+  }
+  t.AddIsa("e0", "孤概念", taxonomy::Source::kTag);
+  t.AddIsa("孤概念", "大概念", taxonomy::Source::kTag, 1.0f,
+           taxonomy::NodeKind::kConcept);
+  const size_t removed = taxonomy::PruneRareConcepts(&t, 3);
+  EXPECT_EQ(removed, 2u);  // e0->孤概念 and 孤概念->大概念
+  EXPECT_TRUE(t.Hyponyms(t.Find("孤概念")).empty());
+  EXPECT_EQ(t.Hyponyms(t.Find("大概念")).size(), 10u);
+}
+
+TEST(PruneRareTest, ZeroThresholdIsNoop) {
+  taxonomy::Taxonomy t;
+  t.AddIsa("e", "c", taxonomy::Source::kTag);
+  EXPECT_EQ(taxonomy::PruneRareConcepts(&t, 0), 0u);
+  EXPECT_EQ(t.num_edges(), 1u);
+}
+
+}  // namespace
+}  // namespace cnpb

@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "synth/bilingual.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/ontology.h"
+#include "synth/qa_gen.h"
+#include "synth/world.h"
+#include "text/segmenter.h"
+#include "text/utf8.h"
+
+namespace cnpb::synth {
+namespace {
+
+TEST(OntologyTest, BuildsWithoutDanglingParents) {
+  const Ontology onto = Ontology::Build();
+  EXPECT_GT(onto.size(), 120u);
+  const int actor = onto.Find("男演员");
+  ASSERT_GE(actor, 0);
+  const int person = onto.Find("人物");
+  ASSERT_GE(person, 0);
+  EXPECT_TRUE(onto.IsAncestor(person, actor));
+  EXPECT_FALSE(onto.IsAncestor(actor, person));
+}
+
+TEST(OntologyTest, AncestorsAreTransitive) {
+  const Ontology onto = Ontology::Build();
+  const int cso = onto.Find("首席战略官");
+  ASSERT_GE(cso, 0);
+  std::unordered_set<int> ancestors;
+  for (int a : onto.Ancestors(cso)) ancestors.insert(a);
+  EXPECT_TRUE(ancestors.count(onto.Find("战略官")) > 0);
+  EXPECT_TRUE(ancestors.count(onto.Find("经理人")) > 0);
+  EXPECT_TRUE(ancestors.count(onto.Find("人物")) > 0);
+}
+
+TEST(OntologyTest, ThematicWordsAreNotConcepts) {
+  const Ontology onto = Ontology::Build();
+  for (const char* word : ThematicWords()) {
+    EXPECT_LT(onto.Find(word), 0) << word << " is both thematic and concept";
+    EXPECT_TRUE(onto.IsThematic(word));
+  }
+  EXPECT_FALSE(onto.IsThematic("演员"));
+}
+
+TEST(OntologyTest, ConfusionWordsAreNotConcepts) {
+  const Ontology onto = Ontology::Build();
+  for (const char* word : ConfusionWords()) {
+    EXPECT_LT(onto.Find(word), 0) << word;
+  }
+}
+
+TEST(OntologyTest, EntityBearingConceptsHaveStyles) {
+  const Ontology onto = Ontology::Build();
+  for (int c : onto.EntityBearingConcepts()) {
+    EXPECT_NE(onto.ConceptAt(c).style, NameStyle::kNone)
+        << onto.ConceptAt(c).name;
+  }
+}
+
+TEST(OntologyTest, SchemasHaveIsaBearingPredicate) {
+  for (Domain domain :
+       {Domain::kPerson, Domain::kPlace, Domain::kWork, Domain::kOrg,
+        Domain::kBio, Domain::kFood, Domain::kProduct, Domain::kEvent}) {
+    bool has_isa = false;
+    for (const AttributeSpec& spec : SchemaFor(domain)) {
+      if (spec.kind == ValueKind::kConceptIsa) has_isa = true;
+    }
+    EXPECT_TRUE(has_isa) << "domain " << static_cast<int>(domain);
+  }
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static WorldModel MakeWorld(size_t n = 2000, uint64_t seed = 42) {
+    WorldModel::Config config;
+    config.num_entities = n;
+    config.seed = seed;
+    return WorldModel::Generate(config);
+  }
+};
+
+TEST_F(WorldTest, GeneratesRequestedEntities) {
+  const WorldModel world = MakeWorld();
+  EXPECT_EQ(world.entities().size(), 2000u);
+  // All domains populated at this size.
+  EXPECT_FALSE(world.EntitiesOfDomain(Domain::kPerson).empty());
+  EXPECT_FALSE(world.EntitiesOfDomain(Domain::kPlace).empty());
+  EXPECT_FALSE(world.EntitiesOfDomain(Domain::kWork).empty());
+  EXPECT_FALSE(world.EntitiesOfDomain(Domain::kOrg).empty());
+  EXPECT_FALSE(world.Schools().empty());
+  EXPECT_FALSE(world.Companies().empty());
+}
+
+TEST_F(WorldTest, DeterministicAcrossRuns) {
+  const WorldModel a = MakeWorld(500, 7);
+  const WorldModel b = MakeWorld(500, 7);
+  ASSERT_EQ(a.entities().size(), b.entities().size());
+  for (size_t i = 0; i < a.entities().size(); ++i) {
+    EXPECT_EQ(a.entities()[i].mention, b.entities()[i].mention);
+    EXPECT_EQ(a.entities()[i].concepts, b.entities()[i].concepts);
+  }
+}
+
+TEST_F(WorldTest, EntitiesHaveValidConcepts) {
+  const WorldModel world = MakeWorld(1000);
+  for (const WorldEntity& entity : world.entities()) {
+    ASSERT_FALSE(entity.concepts.empty());
+    EXPECT_EQ(entity.concepts[0], entity.primary);
+    for (int c : entity.concepts) {
+      ASSERT_GE(c, 0);
+      ASSERT_LT(static_cast<size_t>(c), world.ontology().size());
+    }
+    EXPECT_FALSE(entity.mention.empty());
+  }
+}
+
+TEST_F(WorldTest, LexiconCoversConceptsAndMentions) {
+  const WorldModel world = MakeWorld(500);
+  const text::Lexicon& lex = world.lexicon();
+  EXPECT_TRUE(lex.Contains("演员"));
+  EXPECT_TRUE(lex.Contains("首席"));
+  EXPECT_TRUE(lex.Contains("战略官"));
+  EXPECT_FALSE(lex.Contains("首席战略官"));  // kept split for separation
+  for (const WorldEntity& entity : world.entities()) {
+    EXPECT_TRUE(lex.Contains(entity.mention)) << entity.mention;
+  }
+}
+
+TEST_F(WorldTest, SecondConceptsAreCompatible) {
+  const WorldModel world = MakeWorld(3000);
+  size_t multi = 0;
+  for (const WorldEntity& entity : world.entities()) {
+    if (entity.concepts.size() < 2) continue;
+    ++multi;
+    const auto& onto = world.ontology();
+    EXPECT_EQ(onto.ConceptAt(entity.concepts[0]).domain,
+              onto.ConceptAt(entity.concepts[1]).domain);
+  }
+  EXPECT_GT(multi, 300u);  // second_concept_rate = 0.35 nominal
+}
+
+class EncyclopediaTest : public ::testing::Test {
+ protected:
+  EncyclopediaTest() {
+    WorldModel::Config wc;
+    wc.num_entities = 2000;
+    world_ = std::make_unique<WorldModel>(WorldModel::Generate(wc));
+    EncyclopediaGenerator::Config gc;
+    output_ = std::make_unique<EncyclopediaGenerator::Output>(
+        EncyclopediaGenerator::Generate(*world_, gc));
+  }
+  std::unique_ptr<WorldModel> world_;
+  std::unique_ptr<EncyclopediaGenerator::Output> output_;
+};
+
+TEST_F(EncyclopediaTest, PageNamesAreUnique) {
+  std::unordered_set<std::string> names;
+  for (const auto& page : output_->dump.pages()) {
+    EXPECT_TRUE(names.insert(page.name).second) << page.name;
+  }
+}
+
+TEST_F(EncyclopediaTest, AmbiguousMentionsCarryBrackets) {
+  std::unordered_map<std::string, int> mention_count;
+  for (const auto& page : output_->dump.pages()) ++mention_count[page.mention];
+  for (const auto& page : output_->dump.pages()) {
+    if (mention_count[page.mention] > 1) {
+      EXPECT_FALSE(page.bracket.empty()) << page.mention;
+    }
+  }
+}
+
+TEST_F(EncyclopediaTest, StatsInShape) {
+  const kb::DumpStats stats = output_->dump.Stats();
+  EXPECT_GT(stats.num_pages, 1500u);
+  EXPECT_GT(stats.num_abstracts, stats.num_pages / 2);
+  EXPECT_GT(stats.num_triples, stats.num_pages);  // several per page
+  EXPECT_GT(stats.num_tags, stats.num_pages / 2);
+  EXPECT_GT(stats.num_brackets, stats.num_pages / 3);
+}
+
+TEST_F(EncyclopediaTest, GoldAcceptsDirectConceptAndAncestors) {
+  const auto& onto = world_->ontology();
+  bool checked = false;
+  for (size_t p = 0; p < output_->dump.size(); ++p) {
+    const size_t entity_index = output_->page_entity[p];
+    if (entity_index == SIZE_MAX) continue;
+    const WorldEntity& entity = world_->entities()[entity_index];
+    const auto& page = output_->dump.page(p);
+    const std::string& direct = onto.ConceptAt(entity.primary).name;
+    EXPECT_TRUE(output_->gold.IsCorrect(page.name, direct));
+    for (int a : onto.Ancestors(entity.primary)) {
+      EXPECT_TRUE(output_->gold.IsCorrect(page.name, onto.ConceptAt(a).name));
+    }
+    EXPECT_FALSE(output_->gold.IsCorrect(page.name, "随声附和者"));
+    checked = true;
+    if (p > 50) break;
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(EncyclopediaTest, ConceptPagesPresent) {
+  const auto* page = output_->dump.FindByName("男演员");
+  ASSERT_NE(page, nullptr);
+  EXPECT_FALSE(page->tags.empty());
+  // Its tag should (almost surely) include the parent 演员.
+  EXPECT_TRUE(output_->gold.IsCorrect("男演员", "演员"));
+  EXPECT_FALSE(output_->gold.IsCorrect("演员", "男演员"));
+}
+
+TEST_F(EncyclopediaTest, DumpSaveLoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/dump_test.tsv";
+  ASSERT_TRUE(output_->dump.Save(path).ok());
+  auto loaded = kb::EncyclopediaDump::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), output_->dump.size());
+  for (size_t i = 0; i < loaded->size(); i += 97) {
+    EXPECT_EQ(loaded->page(i).name, output_->dump.page(i).name);
+    EXPECT_EQ(loaded->page(i).infobox, output_->dump.page(i).infobox);
+    EXPECT_EQ(loaded->page(i).tags, output_->dump.page(i).tags);
+    EXPECT_EQ(loaded->page(i).abstract, output_->dump.page(i).abstract);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(EncyclopediaTest, CorpusFeedsPmi) {
+  text::Segmenter segmenter(&world_->lexicon());
+  CorpusGenerator::Config cc;
+  const Corpus corpus =
+      CorpusGenerator::Generate(*world_, output_->dump, segmenter, cc);
+  EXPECT_GT(corpus.sentences.size(), output_->dump.Stats().num_abstracts);
+  text::NgramCounter ngrams;
+  corpus.FillNgrams(&ngrams);
+  EXPECT_GT(ngrams.total_bigrams(), 0u);
+  // The load-bearing collocation for the separation algorithm.
+  EXPECT_GT(ngrams.Pmi("首席", "战略官"), 0.0);
+}
+
+TEST(QaGeneratorTest, SizesAndKbShare) {
+  WorldModel::Config wc;
+  wc.num_entities = 500;
+  const WorldModel world = WorldModel::Generate(wc);
+  QaGenerator::Config qc;
+  qc.num_questions = 2000;
+  const auto questions = QaGenerator::Generate(world, qc);
+  EXPECT_EQ(questions.size(), 2000u);
+  size_t in_kb = 0;
+  for (const auto& q : questions) {
+    EXPECT_FALSE(q.text.empty());
+    if (q.mentions_kb) ++in_kb;
+  }
+  EXPECT_NEAR(static_cast<double>(in_kb) / questions.size(), 0.92, 0.03);
+}
+
+TEST(BilingualTest, RomanizeDeterministicNonEmpty) {
+  EXPECT_EQ(BilingualDictionary::Romanize("刘德华"),
+            BilingualDictionary::Romanize("刘德华"));
+  EXPECT_FALSE(BilingualDictionary::Romanize("刘德华").empty());
+  EXPECT_NE(BilingualDictionary::Romanize("刘德华"),
+            BilingualDictionary::Romanize("张学友"));
+}
+
+TEST(BilingualTest, ErrorRatesRoughlyCalibrated) {
+  WorldModel::Config wc;
+  wc.num_entities = 1000;
+  const WorldModel world = WorldModel::Generate(wc);
+  BilingualDictionary::Config bc;
+  const BilingualDictionary dict = BilingualDictionary::Build(world, bc);
+  size_t correct = 0, total = 0;
+  for (size_t c = 0; c < world.ontology().size(); ++c) {
+    const auto& t = dict.TranslateConcept(dict.EnglishConcept(static_cast<int>(c)));
+    if (t.chinese.empty()) continue;
+    ++total;
+    if (t.correct) ++correct;
+  }
+  ASSERT_GT(total, 0u);
+  const double rate = static_cast<double>(correct) / total;
+  EXPECT_GT(rate, 0.5);
+  EXPECT_LT(rate, 0.9);
+}
+
+}  // namespace
+}  // namespace cnpb::synth

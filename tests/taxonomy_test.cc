@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "taxonomy/api_service.h"
+#include "taxonomy/serialize.h"
+#include "taxonomy/taxonomy.h"
+
+namespace cnpb::taxonomy {
+namespace {
+
+TEST(TaxonomyTest, AddNodeInterns) {
+  Taxonomy t;
+  const NodeId a = t.AddNode("演员", NodeKind::kConcept);
+  const NodeId b = t.AddNode("演员", NodeKind::kEntity);  // kind kept
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.Kind(a), NodeKind::kConcept);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_EQ(t.Find("演员"), a);
+  EXPECT_EQ(t.Find("missing"), kInvalidNode);
+}
+
+TEST(TaxonomyTest, AddIsaDeduplicatesAndRejectsSelfLoop) {
+  Taxonomy t;
+  const NodeId e = t.AddNode("刘德华", NodeKind::kEntity);
+  const NodeId c = t.AddNode("演员", NodeKind::kConcept);
+  EXPECT_TRUE(t.AddIsa(e, c, Source::kTag));
+  EXPECT_FALSE(t.AddIsa(e, c, Source::kBracket));  // duplicate
+  EXPECT_FALSE(t.AddIsa(e, e, Source::kTag));      // self loop
+  EXPECT_EQ(t.num_edges(), 1u);
+  EXPECT_TRUE(t.HasIsa(e, c));
+  EXPECT_FALSE(t.HasIsa(c, e));
+}
+
+TEST(TaxonomyTest, AdjacencyIndexes) {
+  Taxonomy t;
+  t.AddIsa("刘德华", "演员", Source::kTag);
+  t.AddIsa("刘德华", "歌手", Source::kBracket);
+  t.AddIsa("张学友", "歌手", Source::kTag);
+  const NodeId liu = t.Find("刘德华");
+  const NodeId singer = t.Find("歌手");
+  EXPECT_EQ(t.Hypernyms(liu).size(), 2u);
+  EXPECT_EQ(t.Hyponyms(singer).size(), 2u);
+  EXPECT_TRUE(t.Hypernyms(singer).empty());
+}
+
+TEST(TaxonomyTest, KindsAndCounts) {
+  Taxonomy t;
+  t.AddIsa("刘德华", "演员", Source::kTag);                       // entity->concept
+  t.AddIsa("演员", "人物", Source::kTag, 1.0f, NodeKind::kConcept);  // sub->concept
+  EXPECT_EQ(t.NumEntities(), 1u);
+  EXPECT_EQ(t.NumConcepts(), 2u);
+  EXPECT_EQ(t.NumEntityConceptEdges(), 1u);
+  EXPECT_EQ(t.NumSubconceptEdges(), 1u);
+  EXPECT_EQ(t.NumEdgesFromSource(Source::kTag), 2u);
+  EXPECT_EQ(t.NumEdgesFromSource(Source::kBracket), 0u);
+}
+
+TEST(TaxonomyTest, RemoveIsa) {
+  Taxonomy t;
+  t.AddIsa("a", "b", Source::kTag);
+  const NodeId a = t.Find("a"), b = t.Find("b");
+  EXPECT_TRUE(t.RemoveIsa(a, b));
+  EXPECT_FALSE(t.RemoveIsa(a, b));
+  EXPECT_EQ(t.num_edges(), 0u);
+  EXPECT_EQ(t.NumEdgesFromSource(Source::kTag), 0u);
+  EXPECT_TRUE(t.Hypernyms(a).empty());
+  EXPECT_TRUE(t.Hyponyms(b).empty());
+}
+
+TEST(TaxonomyTest, TransitiveHypernyms) {
+  Taxonomy t;
+  t.AddIsa("男演员", "演员", Source::kTag, 1.0f, NodeKind::kConcept);
+  t.AddIsa("演员", "娱乐人物", Source::kTag, 1.0f, NodeKind::kConcept);
+  t.AddIsa("娱乐人物", "人物", Source::kTag, 1.0f, NodeKind::kConcept);
+  const auto ancestors = t.TransitiveHypernyms(t.Find("男演员"));
+  EXPECT_EQ(ancestors.size(), 3u);
+}
+
+TEST(TaxonomyTest, CycleDetection) {
+  Taxonomy t;
+  t.AddIsa("a", "b", Source::kTag, 1.0f, NodeKind::kConcept);
+  t.AddIsa("b", "c", Source::kTag, 1.0f, NodeKind::kConcept);
+  EXPECT_TRUE(t.IsAcyclic());
+  EXPECT_TRUE(t.WouldCreateCycle(t.Find("c"), t.Find("a")));
+  EXPECT_FALSE(t.WouldCreateCycle(t.Find("a"), t.Find("c")));
+  t.AddIsa(t.Find("c"), t.Find("a"), Source::kTag);
+  EXPECT_FALSE(t.IsAcyclic());
+}
+
+TEST(TaxonomyTest, ForEachEdgeVisitsAll) {
+  Taxonomy t;
+  t.AddIsa("x", "y", Source::kTag);
+  t.AddIsa("x", "z", Source::kInfobox);
+  size_t count = 0;
+  t.ForEachEdge([&](const IsaEdge&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(SerializeTest, RoundTrip) {
+  Taxonomy t;
+  t.AddIsa("刘德华（演员）", "演员", Source::kBracket, 0.9f);
+  t.AddIsa("演员", "人物", Source::kTag, 1.0f, NodeKind::kConcept);
+  const std::string path = ::testing::TempDir() + "/taxonomy_test.tsv";
+  ASSERT_TRUE(SaveTaxonomy(t, path).ok());
+  auto loaded = LoadTaxonomy(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), t.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), t.num_edges());
+  const NodeId liu = loaded->Find("刘德华（演员）");
+  ASSERT_NE(liu, kInvalidNode);
+  EXPECT_EQ(loaded->Kind(liu), NodeKind::kEntity);
+  EXPECT_EQ(loaded->Hypernyms(liu).size(), 1u);
+  EXPECT_EQ(loaded->Hypernyms(liu)[0].source, Source::kBracket);
+  EXPECT_NEAR(loaded->Hypernyms(liu)[0].score, 0.9f, 1e-5);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, RejectsMalformedRows) {
+  const std::string path = ::testing::TempDir() + "/taxonomy_bad.tsv";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("E\t0\t1\t0\t1.0\n", f);  // edge referencing unknown nodes
+  fclose(f);
+  auto loaded = LoadTaxonomy(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ApiServiceTest, Men2EntRankingAndCounts) {
+  Taxonomy t;
+  t.AddIsa("刘德华（演员）", "演员", Source::kTag);
+  t.AddIsa("刘德华（演员）", "歌手", Source::kTag);
+  t.AddIsa("刘德华（作家）", "作家", Source::kTag);
+  ApiService api(&t);
+  api.RegisterMention("刘德华", t.Find("刘德华（演员）"));
+  api.RegisterMention("刘德华", t.Find("刘德华（作家）"));
+  api.RegisterMention("刘德华", t.Find("刘德华（演员）"));  // dedup
+
+  const auto entities = api.Men2Ent("刘德华");
+  ASSERT_EQ(entities.size(), 2u);
+  // The richer page (2 hypernyms) ranks first.
+  EXPECT_EQ(t.Name(entities[0]), "刘德华（演员）");
+  EXPECT_TRUE(api.Men2Ent("无名氏").empty());
+
+  const auto concepts = api.GetConcept("刘德华（演员）");
+  EXPECT_EQ(concepts.size(), 2u);
+  const auto hyponyms = api.GetEntity("演员");
+  ASSERT_EQ(hyponyms.size(), 1u);
+  EXPECT_EQ(hyponyms[0], "刘德华（演员）");
+
+  EXPECT_EQ(api.usage().men2ent_calls, 2u);
+  EXPECT_EQ(api.usage().get_concept_calls, 1u);
+  EXPECT_EQ(api.usage().get_entity_calls, 1u);
+  EXPECT_EQ(api.usage().total(), 4u);
+}
+
+TEST(ApiServiceTest, GetConceptTransitiveAppendsAncestors) {
+  Taxonomy t;
+  t.AddIsa("刘德华", "男演员", Source::kBracket, 0.96f);
+  t.AddIsa("男演员", "演员", Source::kTag, 0.9f, NodeKind::kConcept);
+  t.AddIsa("演员", "人物", Source::kTag, 0.9f, NodeKind::kConcept);
+  ApiService api(&t);
+  const auto direct = api.GetConcept("刘德华");
+  EXPECT_EQ(direct, (std::vector<std::string>{"男演员"}));
+  const auto all = api.GetConcept("刘德华", /*transitive=*/true);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0], "男演员");
+  // Ancestors follow, each exactly once.
+  EXPECT_NE(std::find(all.begin(), all.end(), "演员"), all.end());
+  EXPECT_NE(std::find(all.begin(), all.end(), "人物"), all.end());
+}
+
+TEST(ApiServiceTest, GetEntityHonoursLimit) {
+  Taxonomy t;
+  for (int i = 0; i < 20; ++i) {
+    t.AddIsa("e" + std::to_string(i), "c", Source::kTag);
+  }
+  ApiService api(&t);
+  EXPECT_EQ(api.GetEntity("c", 5).size(), 5u);
+  EXPECT_EQ(api.GetEntity("c", 100).size(), 20u);
+}
+
+}  // namespace
+}  // namespace cnpb::taxonomy

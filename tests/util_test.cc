@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "util/hash.h"
+#include "util/histogram.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/tsv.h"
+
+namespace cnpb::util {
+namespace {
+
+// ---- Status ---------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("missing page");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing page");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgumentError("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExistsError("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(OutOfRangeError("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(InvalidArgumentError("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- strings ----------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StringsTest, SplitByMultiByteSeparator) {
+  EXPECT_EQ(SplitBy("男演员、歌手", "、"),
+            (std::vector<std::string>{"男演员", "歌手"}));
+  EXPECT_EQ(SplitBy("无分隔", "、"), (std::vector<std::string>{"无分隔"}));
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> pieces = {"a", "b", "c"};
+  EXPECT_EQ(Split(Join(pieces, ","), ','), pieces);
+}
+
+TEST(StringsTest, StripAsciiWhitespace) {
+  EXPECT_EQ(StripAsciiWhitespace("  x \t\n"), "x");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+  EXPECT_EQ(StripAsciiWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, StartsEndsContains) {
+  EXPECT_TRUE(StartsWith("首席战略官", "首席"));
+  EXPECT_FALSE(StartsWith("首席", "首席战略官"));
+  EXPECT_TRUE(EndsWith("男演员", "演员"));
+  EXPECT_FALSE(EndsWith("演员表", "演员"));
+  EXPECT_TRUE(Contains("教育机构", "教育"));
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 0.5), "0.50");
+}
+
+TEST(StringsTest, CommaSeparated) {
+  EXPECT_EQ(CommaSeparated(0), "0");
+  EXPECT_EQ(CommaSeparated(999), "999");
+  EXPECT_EQ(CommaSeparated(1000), "1,000");
+  EXPECT_EQ(CommaSeparated(15066667), "15,066,667");
+}
+
+// ---- rng ------------------------------------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(13), 13u);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, UniformCoversAllValues) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.Uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(5);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(v.begin(), v.end()), b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(42);
+  Rng child1 = parent.Fork(1);
+  Rng child2 = parent.Fork(2);
+  EXPECT_NE(child1.Next(), child2.Next());
+}
+
+TEST(ZipfSamplerTest, SkewTowardsHead) {
+  Rng rng(3);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[50] * 5);
+  EXPECT_GT(counts[0], 0);
+}
+
+TEST(ZipfSamplerTest, AllIndicesInRange) {
+  Rng rng(4);
+  ZipfSampler zipf(10, 0.8);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.Sample(rng), 10u);
+}
+
+// ---- hash -------------------------------------------------------------------
+
+TEST(HashTest, Fnv1aStableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(Fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_NE(Fnv1a64("a"), Fnv1a64("b"));
+}
+
+TEST(HashTest, CombineOrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+// ---- tsv --------------------------------------------------------------------
+
+TEST(TsvTest, EscapeRoundTrip) {
+  const std::string nasty = "a\tb\nc\\d";
+  EXPECT_EQ(TsvUnescape(TsvEscape(nasty)), nasty);
+  EXPECT_EQ(TsvEscape("a\tb"), "a\\tb");
+}
+
+TEST(TsvTest, WriteAndReadFile) {
+  const std::string path = ::testing::TempDir() + "/tsv_test.tsv";
+  {
+    TsvWriter writer(path);
+    ASSERT_TRUE(writer.status().ok());
+    writer.WriteRow({"刘德华", "演员\t歌手", "1"});
+    writer.WriteRow({"", "x"});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto rows = ReadTsvFile(path);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0][0], "刘德华");
+  EXPECT_EQ((*rows)[0][1], "演员\t歌手");
+  EXPECT_EQ((*rows)[1].size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TsvTest, MissingFileIsIoError) {
+  auto rows = ReadTsvFile("/nonexistent/definitely/missing.tsv");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
+}
+
+// ---- histogram ----------------------------------------------------------------
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.0);
+  EXPECT_NEAR(h.Stddev(), 1.5811, 1e-3);
+}
+
+TEST(HistogramTest, PercentileInterpolates) {
+  Histogram h;
+  h.Add(0.0);
+  h.Add(10.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 10.0);
+}
+
+TEST(HistogramTest, EmptyIsSafe) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
+}
+
+}  // namespace
+}  // namespace cnpb::util

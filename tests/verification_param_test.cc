@@ -1,0 +1,182 @@
+// Parameterized threshold sweeps over the verification strategies:
+// monotonicity properties that must hold for any calibration.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/builder.h"
+#include "eval/precision.h"
+#include "kb/merge.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/site_split.h"
+#include "synth/world.h"
+#include "text/segmenter.h"
+#include "verification/pipeline.h"
+
+namespace cnpb {
+namespace {
+
+// Shared candidate pool (generation once, verification under many configs).
+class VerificationSweepTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::WorldModel::Config wc;
+    wc.num_entities = 2500;
+    world_ = new synth::WorldModel(synth::WorldModel::Generate(wc));
+    output_ = new synth::EncyclopediaGenerator::Output(
+        synth::EncyclopediaGenerator::Generate(*world_, {}));
+    segmenter_ = new text::Segmenter(&world_->lexicon());
+    const auto corpus = synth::CorpusGenerator::Generate(
+        *world_, output_->dump, *segmenter_, {});
+    corpus_words_ = new std::vector<std::vector<std::string>>();
+    for (const auto& sentence : corpus.sentences) {
+      std::vector<std::string> words;
+      for (const auto& token : sentence) words.push_back(token.word);
+      corpus_words_->push_back(std::move(words));
+    }
+    core::CnProbaseBuilder::Config config;
+    config.enable_verification = false;
+    config.enable_abstract = false;  // keep the sweep fast
+    core::CnProbaseBuilder::Report report;
+    raw_ = new generation::CandidateList(core::CnProbaseBuilder::BuildCandidates(
+        output_->dump, world_->lexicon(), *corpus_words_, config, &report));
+  }
+  static void TearDownTestSuite() {
+    delete raw_;
+    delete corpus_words_;
+    delete segmenter_;
+    delete output_;
+    delete world_;
+  }
+
+  static verification::VerificationPipeline::Report VerifyWith(
+      const verification::VerificationPipeline::Config& config) {
+    verification::VerificationPipeline pipeline(&output_->dump,
+                                                &world_->lexicon(), config);
+    for (const auto& sentence : *corpus_words_) {
+      pipeline.AddCorpusSentence(sentence);
+    }
+    verification::VerificationPipeline::Report report;
+    pipeline.Verify(*raw_, &report);
+    return report;
+  }
+
+  static verification::VerificationPipeline::Config BaseConfig() {
+    verification::VerificationPipeline::Config config;
+    for (const char* word : synth::ThematicWords()) {
+      config.syntax.thematic_lexicon.emplace_back(word);
+    }
+    return config;
+  }
+
+  static synth::WorldModel* world_;
+  static synth::EncyclopediaGenerator::Output* output_;
+  static text::Segmenter* segmenter_;
+  static std::vector<std::vector<std::string>>* corpus_words_;
+  static generation::CandidateList* raw_;
+};
+
+synth::WorldModel* VerificationSweepTest::world_ = nullptr;
+synth::EncyclopediaGenerator::Output* VerificationSweepTest::output_ = nullptr;
+text::Segmenter* VerificationSweepTest::segmenter_ = nullptr;
+std::vector<std::vector<std::string>>* VerificationSweepTest::corpus_words_ =
+    nullptr;
+generation::CandidateList* VerificationSweepTest::raw_ = nullptr;
+
+TEST_F(VerificationSweepTest, NerThresholdIsMonotone) {
+  size_t previous_rejections = SIZE_MAX;
+  for (const double threshold : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    auto config = BaseConfig();
+    config.use_syntax = false;
+    config.use_incompatible = false;
+    config.ner.threshold = threshold;
+    const auto report = VerifyWith(config);
+    EXPECT_LE(report.rejected_ner, previous_rejections)
+        << "threshold " << threshold;
+    previous_rejections = report.rejected_ner;
+  }
+}
+
+TEST_F(VerificationSweepTest, JaccardThresholdIsMonotone) {
+  size_t previous_rejections = 0;
+  for (const double threshold : {0.0, 0.02, 0.05, 0.15, 0.5}) {
+    auto config = BaseConfig();
+    config.use_syntax = false;
+    config.use_ner = false;
+    config.incompatible.jaccard_threshold = threshold;
+    const auto report = VerifyWith(config);
+    EXPECT_GE(report.rejected_incompatible, previous_rejections)
+        << "threshold " << threshold;
+    previous_rejections = report.rejected_incompatible;
+  }
+  // Jaccard 0 means nothing is incompatible at all.
+  auto config = BaseConfig();
+  config.use_syntax = false;
+  config.use_ner = false;
+  config.incompatible.jaccard_threshold = 0.0;
+  EXPECT_EQ(VerifyWith(config).rejected_incompatible, 0u);
+}
+
+TEST_F(VerificationSweepTest, EachStrategyOnlyImprovesPrecision) {
+  const eval::Oracle oracle = [&](const std::string& hypo,
+                                  const std::string& hyper) {
+    return output_->gold.IsCorrect(hypo, hyper);
+  };
+  const double raw_precision =
+      eval::CandidatePrecision(*raw_, oracle).precision();
+  for (int mask = 1; mask < 8; ++mask) {
+    auto config = BaseConfig();
+    config.use_syntax = (mask & 1) != 0;
+    config.use_ner = (mask & 2) != 0;
+    config.use_incompatible = (mask & 4) != 0;
+    verification::VerificationPipeline pipeline(&output_->dump,
+                                                &world_->lexicon(), config);
+    for (const auto& sentence : *corpus_words_) {
+      pipeline.AddCorpusSentence(sentence);
+    }
+    verification::VerificationPipeline::Report report;
+    const auto verified = pipeline.Verify(*raw_, &report);
+    const double precision =
+        eval::CandidatePrecision(verified, oracle).precision();
+    EXPECT_GE(precision + 1e-9, raw_precision) << "mask " << mask;
+  }
+}
+
+// Full pipeline over a merged multi-site dump keeps the precision band.
+TEST(MultiSitePipelineTest, MergedSitesReachPrecisionBand) {
+  synth::WorldModel::Config wc;
+  wc.num_entities = 2500;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  const auto master = synth::EncyclopediaGenerator::Generate(world, {});
+  const auto sites = synth::SplitIntoSites(master.dump, {});
+  const auto merged = kb::MergeDumps({&sites[0], &sites[1], &sites[2]});
+
+  text::Segmenter segmenter(&world.lexicon());
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, merged, segmenter, {});
+  std::vector<std::vector<std::string>> corpus_words;
+  for (const auto& sentence : corpus.sentences) {
+    std::vector<std::string> words;
+    for (const auto& token : sentence) words.push_back(token.word);
+    corpus_words.push_back(std::move(words));
+  }
+  core::CnProbaseBuilder::Config config;
+  config.neural.epochs = 1;
+  config.neural.max_train_samples = 500;
+  for (const char* word : synth::ThematicWords()) {
+    config.verification.syntax.thematic_lexicon.emplace_back(word);
+  }
+  core::CnProbaseBuilder::Report report;
+  const auto taxonomy = core::CnProbaseBuilder::Build(
+      merged, world.lexicon(), corpus_words, config, &report);
+  const eval::Oracle oracle = [&](const std::string& hypo,
+                                  const std::string& hyper) {
+    return master.gold.IsCorrect(hypo, hyper);
+  };
+  EXPECT_GT(taxonomy.num_edges(), 2000u);
+  EXPECT_GT(eval::ExactPrecision(taxonomy, oracle).precision(), 0.9);
+}
+
+}  // namespace
+}  // namespace cnpb

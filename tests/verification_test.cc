@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include "verification/incompatible.h"
+#include "verification/ner_filter.h"
+#include "verification/pipeline.h"
+#include "verification/syntax_rules.h"
+
+namespace cnpb::verification {
+namespace {
+
+// ---- syntax rules ------------------------------------------------------------
+
+TEST(SyntaxRulesTest, ThematicWordsRejected) {
+  SyntaxRules::Config config;
+  config.thematic_lexicon = {"政治", "军事", "音乐"};
+  SyntaxRules rules(config);
+  EXPECT_TRUE(rules.Rejects("某人", "音乐"));
+  EXPECT_FALSE(rules.Rejects("某人", "音乐家"));
+}
+
+TEST(SyntaxRulesTest, HeadStemRule) {
+  SyntaxRules rules(SyntaxRules::Config{});
+  // The paper's example: isA(教育机构, 教育) is wrong — 教育 occurs in a
+  // non-head (non-suffix) position of the hyponym.
+  EXPECT_TRUE(rules.Rejects("教育机构", "教育"));
+  // isA(男演员, 演员) is fine — the hypernym is the hyponym's head suffix.
+  EXPECT_FALSE(rules.Rejects("男演员", "演员"));
+  // Unrelated strings pass.
+  EXPECT_FALSE(rules.Rejects("刘德华", "演员"));
+  // A term is not its own hypernym.
+  EXPECT_TRUE(rules.Rejects("演员", "演员"));
+}
+
+TEST(SyntaxRulesTest, MarkRejectionsUsesBareMention) {
+  SyntaxRules rules(SyntaxRules::Config{});
+  generation::CandidateList candidates = {
+      {"教育机构（中国组织）", "教育", taxonomy::Source::kTag, 1.0f},
+      {"教育机构（中国组织）", "机构", taxonomy::Source::kTag, 1.0f},
+  };
+  std::unordered_map<std::string, std::string> mentions = {
+      {"教育机构（中国组织）", "教育机构"}};
+  std::vector<uint8_t> rejected(2, 0);
+  EXPECT_EQ(rules.MarkRejections(candidates, mentions, &rejected), 1u);
+  EXPECT_TRUE(rejected[0]);   // 教育 in non-head position
+  EXPECT_FALSE(rejected[1]);  // 机构 is the head suffix
+}
+
+// ---- NER filter ----------------------------------------------------------------
+
+class NerFilterTest : public ::testing::Test {
+ protected:
+  NerFilterTest() {
+    lexicon_.Add("北京", 100, text::Pos::kProperNoun);
+    lexicon_.Add("演员", 100, text::Pos::kNoun);
+    lexicon_.Add("出生", 100, text::Pos::kOther);
+    lexicon_.Add("于", 100, text::Pos::kOther);
+  }
+  text::Lexicon lexicon_;
+};
+
+TEST_F(NerFilterTest, RecogniserUsesLexiconAndContext) {
+  NerFilter filter(&lexicon_, NerFilter::Config{});
+  EXPECT_TRUE(filter.IsNamedEntity("北京", ""));
+  EXPECT_FALSE(filter.IsNamedEntity("演员", ""));
+  EXPECT_TRUE(filter.IsNamedEntity("某地", "于"));
+  EXPECT_TRUE(filter.IsNamedEntity("某地", "位于"));
+  EXPECT_FALSE(filter.IsNamedEntity("某地", "是"));
+}
+
+TEST_F(NerFilterTest, S1FromCorpus) {
+  NerFilter filter(&lexicon_, NerFilter::Config{});
+  filter.AddCorpusSentence({"北京", "演员", "出生", "于", "北京"});
+  EXPECT_DOUBLE_EQ(filter.S1("北京"), 1.0);
+  EXPECT_DOUBLE_EQ(filter.S1("演员"), 0.0);
+  EXPECT_DOUBLE_EQ(filter.S1("没见过"), 0.0);
+}
+
+TEST_F(NerFilterTest, S2FromCandidateRoles) {
+  NerFilter filter(&lexicon_, NerFilter::Config{});
+  generation::CandidateList candidates = {
+      {"北京（城市）", "城市", taxonomy::Source::kTag, 1.0f},
+      {"某人（演员）", "北京", taxonomy::Source::kTag, 1.0f},
+  };
+  std::unordered_map<std::string, std::string> mentions = {
+      {"北京（城市）", "北京"}, {"某人（演员）", "某人"}};
+  filter.Prepare(candidates, mentions);
+  // 北京: once as an entity mention (NE role), once as a hypernym.
+  EXPECT_DOUBLE_EQ(filter.S2("北京"), 0.5);
+  // 城市 only ever plays the class role.
+  EXPECT_DOUBLE_EQ(filter.S2("城市"), 0.0);
+}
+
+TEST_F(NerFilterTest, NoisyOrCombination) {
+  NerFilter filter(&lexicon_, NerFilter::Config{});
+  filter.AddCorpusSentence({"出生", "于", "北京"});
+  // s1(北京)=1 -> s=1 regardless of s2.
+  EXPECT_DOUBLE_EQ(filter.Support("北京"), 1.0);
+  EXPECT_DOUBLE_EQ(filter.Support("演员"), 0.0);
+}
+
+TEST_F(NerFilterTest, MarkRejectionsThreshold) {
+  NerFilter::Config config;
+  config.threshold = 0.5;
+  NerFilter filter(&lexicon_, config);
+  filter.AddCorpusSentence({"北京", "演员"});
+  generation::CandidateList candidates = {
+      {"iPhone（手机）", "北京", taxonomy::Source::kTag, 1.0f},
+      {"某人（演员）", "演员", taxonomy::Source::kTag, 1.0f},
+  };
+  std::vector<uint8_t> rejected(2, 0);
+  EXPECT_EQ(filter.MarkRejections(candidates, &rejected), 1u);
+  EXPECT_TRUE(rejected[0]);
+  EXPECT_FALSE(rejected[1]);
+}
+
+// ---- incompatible concepts --------------------------------------------------------
+
+TEST(IncompatibleMathTest, Jaccard) {
+  EXPECT_DOUBLE_EQ(IncompatibleConcepts::Jaccard({"a", "b"}, {"b", "c"}),
+                   1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(IncompatibleConcepts::Jaccard({"a"}, {"b"}), 0.0);
+  EXPECT_DOUBLE_EQ(IncompatibleConcepts::Jaccard({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(IncompatibleConcepts::Jaccard({"a", "a"}, {"a"}), 1.0);
+}
+
+TEST(IncompatibleMathTest, Cosine) {
+  std::unordered_map<std::string, double> a = {{"x", 1.0}};
+  std::unordered_map<std::string, double> b = {{"x", 2.0}};
+  std::unordered_map<std::string, double> c = {{"y", 1.0}};
+  EXPECT_NEAR(IncompatibleConcepts::Cosine(a, b), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(IncompatibleConcepts::Cosine(a, c), 0.0);
+  EXPECT_DOUBLE_EQ(IncompatibleConcepts::Cosine({}, a), 0.0);
+}
+
+TEST(IncompatibleMathTest, KlDivergence) {
+  std::unordered_map<std::string, double> e = {{"x", 0.5}, {"y", 0.5}};
+  std::unordered_map<std::string, double> same = e;
+  std::unordered_map<std::string, double> far = {{"z", 1.0}};
+  EXPECT_NEAR(IncompatibleConcepts::KlDivergence(e, same), 0.0, 1e-9);
+  EXPECT_GT(IncompatibleConcepts::KlDivergence(e, far), 5.0);
+}
+
+class IncompatibleConceptsTest : public ::testing::Test {
+ protected:
+  // 20 persons (职业/出生地 attributes) and 20 books (作者/出版社).
+  // person i=0 wrongly also carries the concept 书籍.
+  IncompatibleConceptsTest() {
+    for (int i = 0; i < 20; ++i) {
+      kb::EncyclopediaPage page;
+      page.name = "人" + std::to_string(i);
+      page.mention = page.name;
+      page.infobox.push_back({page.name, "职业", "演员"});
+      page.infobox.push_back({page.name, "出生地", "北京"});
+      dump_.AddPage(page);
+      candidates_.push_back({page.name, "人物", taxonomy::Source::kTag, 1.0f});
+      if (i % 2 == 0) {
+        candidates_.push_back(
+            {page.name, "演员", taxonomy::Source::kTag, 1.0f});
+      }
+    }
+    for (int i = 0; i < 20; ++i) {
+      kb::EncyclopediaPage page;
+      page.name = "书" + std::to_string(i);
+      page.mention = page.name;
+      page.infobox.push_back({page.name, "作者", "某人"});
+      page.infobox.push_back({page.name, "出版社", "某社"});
+      dump_.AddPage(page);
+      candidates_.push_back({page.name, "书籍", taxonomy::Source::kTag, 1.0f});
+    }
+    // The wrong relation: person 0 tagged 书籍.
+    candidates_.push_back({"人0", "书籍", taxonomy::Source::kTag, 1.0f});
+    wrong_index_ = candidates_.size() - 1;
+  }
+
+  kb::EncyclopediaDump dump_;
+  generation::CandidateList candidates_;
+  size_t wrong_index_ = 0;
+};
+
+TEST_F(IncompatibleConceptsTest, RejectsCrossDomainConcept) {
+  IncompatibleConcepts::Config config;
+  config.min_hyponyms = 5;
+  IncompatibleConcepts strategy(&dump_, config);
+  std::vector<uint8_t> rejected(candidates_.size(), 0);
+  const size_t n = strategy.MarkRejections(candidates_, &rejected);
+  EXPECT_GE(n, 1u);
+  EXPECT_TRUE(rejected[wrong_index_]);
+}
+
+TEST_F(IncompatibleConceptsTest, KeepsCompatiblePair) {
+  IncompatibleConcepts::Config config;
+  config.min_hyponyms = 5;
+  IncompatibleConcepts strategy(&dump_, config);
+  std::vector<uint8_t> rejected(candidates_.size(), 0);
+  strategy.MarkRejections(candidates_, &rejected);
+  // 人物 and 演员 share hyponyms and attributes: never incompatible.
+  for (size_t i = 0; i + 1 < candidates_.size(); ++i) {
+    if (candidates_[i].hyper == "人物" || candidates_[i].hyper == "演员") {
+      EXPECT_FALSE(rejected[i]) << candidates_[i].hypo << " -> "
+                                << candidates_[i].hyper;
+    }
+  }
+}
+
+TEST_F(IncompatibleConceptsTest, SparseConceptsNotJudged) {
+  IncompatibleConcepts::Config config;
+  config.min_hyponyms = 100;  // nothing has 100 hyponyms
+  IncompatibleConcepts strategy(&dump_, config);
+  std::vector<uint8_t> rejected(candidates_.size(), 0);
+  EXPECT_EQ(strategy.MarkRejections(candidates_, &rejected), 0u);
+}
+
+// ---- pipeline -------------------------------------------------------------------
+
+TEST(PipelineUnitTest, StrategiesComposeAndReportAttribution) {
+  kb::EncyclopediaDump dump;
+  kb::EncyclopediaPage page;
+  page.name = "某人（演员）";
+  page.mention = "某人";
+  page.infobox.push_back({page.name, "职业", "演员"});
+  dump.AddPage(page);
+
+  text::Lexicon lexicon;
+  lexicon.Add("北京", 100, text::Pos::kProperNoun);
+  lexicon.Add("演员", 100, text::Pos::kNoun);
+
+  VerificationPipeline::Config config;
+  config.syntax.thematic_lexicon = {"音乐"};
+  VerificationPipeline pipeline(&dump, &lexicon, config);
+  pipeline.AddCorpusSentence({"北京", "演员"});
+
+  generation::CandidateList candidates = {
+      {"某人（演员）", "演员", taxonomy::Source::kTag, 1.0f},  // keep
+      {"某人（演员）", "音乐", taxonomy::Source::kTag, 1.0f},  // syntax
+      {"某人（演员）", "北京", taxonomy::Source::kTag, 1.0f},  // NER
+  };
+  VerificationPipeline::Report report;
+  const auto verified = pipeline.Verify(candidates, &report);
+  ASSERT_EQ(verified.size(), 1u);
+  EXPECT_EQ(verified[0].hyper, "演员");
+  EXPECT_EQ(report.input, 3u);
+  EXPECT_EQ(report.output, 1u);
+  EXPECT_EQ(report.rejected_syntax, 1u);
+  EXPECT_EQ(report.rejected_ner, 1u);
+  EXPECT_EQ(report.rejected_incompatible, 0u);
+}
+
+TEST(PipelineUnitTest, DisabledStrategiesRejectNothing) {
+  kb::EncyclopediaDump dump;
+  text::Lexicon lexicon;
+  lexicon.Add("北京", 100, text::Pos::kProperNoun);
+  VerificationPipeline::Config config;
+  config.use_syntax = false;
+  config.use_ner = false;
+  config.use_incompatible = false;
+  config.syntax.thematic_lexicon = {"音乐"};
+  VerificationPipeline pipeline(&dump, &lexicon, config);
+  generation::CandidateList candidates = {
+      {"x", "音乐", taxonomy::Source::kTag, 1.0f},
+      {"y", "北京", taxonomy::Source::kTag, 1.0f},
+  };
+  VerificationPipeline::Report report;
+  EXPECT_EQ(pipeline.Verify(candidates, &report).size(), 2u);
+  EXPECT_EQ(report.rejected_total(), 0u);
+}
+
+}  // namespace
+}  // namespace cnpb::verification
