@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_copynet.dir/bench_copynet.cc.o"
+  "CMakeFiles/bench_copynet.dir/bench_copynet.cc.o.d"
+  "bench_copynet"
+  "bench_copynet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_copynet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

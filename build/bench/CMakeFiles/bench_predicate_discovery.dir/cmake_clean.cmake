@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predicate_discovery.dir/bench_predicate_discovery.cc.o"
+  "CMakeFiles/bench_predicate_discovery.dir/bench_predicate_discovery.cc.o.d"
+  "bench_predicate_discovery"
+  "bench_predicate_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predicate_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_qa_coverage.dir/bench_qa_coverage.cc.o"
+  "CMakeFiles/bench_qa_coverage.dir/bench_qa_coverage.cc.o.d"
+  "bench_qa_coverage"
+  "bench_qa_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_qa_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_source_precision.dir/bench_source_precision.cc.o"
+  "CMakeFiles/bench_source_precision.dir/bench_source_precision.cc.o.d"
+  "bench_source_precision"
+  "bench_source_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_source_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_api_usage.dir/bench_table2_api_usage.cc.o"
+  "CMakeFiles/bench_table2_api_usage.dir/bench_table2_api_usage.cc.o.d"
+  "bench_table2_api_usage"
+  "bench_table2_api_usage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_api_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/build_taxonomy.dir/build_taxonomy.cpp.o"
+  "CMakeFiles/build_taxonomy.dir/build_taxonomy.cpp.o.d"
+  "build_taxonomy"
+  "build_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/build_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

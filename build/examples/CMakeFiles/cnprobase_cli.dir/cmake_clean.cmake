@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnprobase_cli.dir/cnprobase_cli.cpp.o"
+  "CMakeFiles/cnprobase_cli.dir/cnprobase_cli.cpp.o.d"
+  "cnprobase_cli"
+  "cnprobase_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnprobase_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conceptualization.dir/conceptualization.cpp.o"
+  "CMakeFiles/conceptualization.dir/conceptualization.cpp.o.d"
+  "conceptualization"
+  "conceptualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conceptualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

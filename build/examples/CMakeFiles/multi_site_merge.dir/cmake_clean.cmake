@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_site_merge.dir/multi_site_merge.cpp.o"
+  "CMakeFiles/multi_site_merge.dir/multi_site_merge.cpp.o.d"
+  "multi_site_merge"
+  "multi_site_merge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_site_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_taxonomy.dir/query_taxonomy.cpp.o"
+  "CMakeFiles/query_taxonomy.dir/query_taxonomy.cpp.o.d"
+  "query_taxonomy"
+  "query_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/short_text_classification.dir/short_text_classification.cpp.o"
+  "CMakeFiles/short_text_classification.dir/short_text_classification.cpp.o.d"
+  "short_text_classification"
+  "short_text_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/short_text_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "600")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_build_taxonomy "/root/repo/build/examples/build_taxonomy" "800" "/root/repo/build/examples")
+set_tests_properties(example_build_taxonomy PROPERTIES  FIXTURES_SETUP "built_taxonomy" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_query_taxonomy "/root/repo/build/examples/query_taxonomy" "/root/repo/build/examples/cnprobase_taxonomy.tsv" "演员")
+set_tests_properties(example_query_taxonomy PROPERTIES  FIXTURES_REQUIRED "built_taxonomy" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_conceptualization "/root/repo/build/examples/conceptualization" "800")
+set_tests_properties(example_conceptualization PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multi_site_merge "/root/repo/build/examples/multi_site_merge" "800")
+set_tests_properties(example_multi_site_merge PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_short_text_classification "/root/repo/build/examples/short_text_classification" "800")
+set_tests_properties(example_short_text_classification PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_pipeline "/usr/bin/cmake" "-DCLI=/root/repo/build/examples/cnprobase_cli" "-DDIR=/root/repo/build/examples/cli_smoke" "-P" "/root/repo/examples/cli_smoke.cmake")
+set_tests_properties(example_cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")

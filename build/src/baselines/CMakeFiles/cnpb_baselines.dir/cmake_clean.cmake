@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_baselines.dir/probase_tran.cc.o"
+  "CMakeFiles/cnpb_baselines.dir/probase_tran.cc.o.d"
+  "CMakeFiles/cnpb_baselines.dir/wiki_taxonomy.cc.o"
+  "CMakeFiles/cnpb_baselines.dir/wiki_taxonomy.cc.o.d"
+  "libcnpb_baselines.a"
+  "libcnpb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

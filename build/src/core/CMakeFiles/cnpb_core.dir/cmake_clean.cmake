@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_core.dir/builder.cc.o"
+  "CMakeFiles/cnpb_core.dir/builder.cc.o.d"
+  "CMakeFiles/cnpb_core.dir/incremental.cc.o"
+  "CMakeFiles/cnpb_core.dir/incremental.cc.o.d"
+  "libcnpb_core.a"
+  "libcnpb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_eval.dir/comparison.cc.o"
+  "CMakeFiles/cnpb_eval.dir/comparison.cc.o.d"
+  "CMakeFiles/cnpb_eval.dir/coverage.cc.o"
+  "CMakeFiles/cnpb_eval.dir/coverage.cc.o.d"
+  "CMakeFiles/cnpb_eval.dir/precision.cc.o"
+  "CMakeFiles/cnpb_eval.dir/precision.cc.o.d"
+  "libcnpb_eval.a"
+  "libcnpb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/generation/candidate.cc" "src/generation/CMakeFiles/cnpb_generation.dir/candidate.cc.o" "gcc" "src/generation/CMakeFiles/cnpb_generation.dir/candidate.cc.o.d"
+  "/root/repo/src/generation/direct_extraction.cc" "src/generation/CMakeFiles/cnpb_generation.dir/direct_extraction.cc.o" "gcc" "src/generation/CMakeFiles/cnpb_generation.dir/direct_extraction.cc.o.d"
+  "/root/repo/src/generation/neural_generation.cc" "src/generation/CMakeFiles/cnpb_generation.dir/neural_generation.cc.o" "gcc" "src/generation/CMakeFiles/cnpb_generation.dir/neural_generation.cc.o.d"
+  "/root/repo/src/generation/predicate_discovery.cc" "src/generation/CMakeFiles/cnpb_generation.dir/predicate_discovery.cc.o" "gcc" "src/generation/CMakeFiles/cnpb_generation.dir/predicate_discovery.cc.o.d"
+  "/root/repo/src/generation/separation.cc" "src/generation/CMakeFiles/cnpb_generation.dir/separation.cc.o" "gcc" "src/generation/CMakeFiles/cnpb_generation.dir/separation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cnpb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cnpb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/cnpb_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cnpb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_generation.dir/candidate.cc.o"
+  "CMakeFiles/cnpb_generation.dir/candidate.cc.o.d"
+  "CMakeFiles/cnpb_generation.dir/direct_extraction.cc.o"
+  "CMakeFiles/cnpb_generation.dir/direct_extraction.cc.o.d"
+  "CMakeFiles/cnpb_generation.dir/neural_generation.cc.o"
+  "CMakeFiles/cnpb_generation.dir/neural_generation.cc.o.d"
+  "CMakeFiles/cnpb_generation.dir/predicate_discovery.cc.o"
+  "CMakeFiles/cnpb_generation.dir/predicate_discovery.cc.o.d"
+  "CMakeFiles/cnpb_generation.dir/separation.cc.o"
+  "CMakeFiles/cnpb_generation.dir/separation.cc.o.d"
+  "libcnpb_generation.a"
+  "libcnpb_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

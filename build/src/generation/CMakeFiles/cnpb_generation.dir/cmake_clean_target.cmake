@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcnpb_generation.a"
+)

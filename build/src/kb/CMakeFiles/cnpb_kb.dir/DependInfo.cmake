@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kb/dump.cc" "src/kb/CMakeFiles/cnpb_kb.dir/dump.cc.o" "gcc" "src/kb/CMakeFiles/cnpb_kb.dir/dump.cc.o.d"
+  "/root/repo/src/kb/merge.cc" "src/kb/CMakeFiles/cnpb_kb.dir/merge.cc.o" "gcc" "src/kb/CMakeFiles/cnpb_kb.dir/merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cnpb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

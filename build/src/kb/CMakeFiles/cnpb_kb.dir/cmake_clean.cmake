@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_kb.dir/dump.cc.o"
+  "CMakeFiles/cnpb_kb.dir/dump.cc.o.d"
+  "CMakeFiles/cnpb_kb.dir/merge.cc.o"
+  "CMakeFiles/cnpb_kb.dir/merge.cc.o.d"
+  "libcnpb_kb.a"
+  "libcnpb_kb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_kb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_nn.dir/adam.cc.o"
+  "CMakeFiles/cnpb_nn.dir/adam.cc.o.d"
+  "CMakeFiles/cnpb_nn.dir/autograd.cc.o"
+  "CMakeFiles/cnpb_nn.dir/autograd.cc.o.d"
+  "CMakeFiles/cnpb_nn.dir/copynet.cc.o"
+  "CMakeFiles/cnpb_nn.dir/copynet.cc.o.d"
+  "CMakeFiles/cnpb_nn.dir/layers.cc.o"
+  "CMakeFiles/cnpb_nn.dir/layers.cc.o.d"
+  "CMakeFiles/cnpb_nn.dir/serialize.cc.o"
+  "CMakeFiles/cnpb_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/cnpb_nn.dir/vocab.cc.o"
+  "CMakeFiles/cnpb_nn.dir/vocab.cc.o.d"
+  "libcnpb_nn.a"
+  "libcnpb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/bilingual.cc" "src/synth/CMakeFiles/cnpb_synth.dir/bilingual.cc.o" "gcc" "src/synth/CMakeFiles/cnpb_synth.dir/bilingual.cc.o.d"
+  "/root/repo/src/synth/corpus_gen.cc" "src/synth/CMakeFiles/cnpb_synth.dir/corpus_gen.cc.o" "gcc" "src/synth/CMakeFiles/cnpb_synth.dir/corpus_gen.cc.o.d"
+  "/root/repo/src/synth/encyclopedia_gen.cc" "src/synth/CMakeFiles/cnpb_synth.dir/encyclopedia_gen.cc.o" "gcc" "src/synth/CMakeFiles/cnpb_synth.dir/encyclopedia_gen.cc.o.d"
+  "/root/repo/src/synth/ontology.cc" "src/synth/CMakeFiles/cnpb_synth.dir/ontology.cc.o" "gcc" "src/synth/CMakeFiles/cnpb_synth.dir/ontology.cc.o.d"
+  "/root/repo/src/synth/qa_gen.cc" "src/synth/CMakeFiles/cnpb_synth.dir/qa_gen.cc.o" "gcc" "src/synth/CMakeFiles/cnpb_synth.dir/qa_gen.cc.o.d"
+  "/root/repo/src/synth/site_split.cc" "src/synth/CMakeFiles/cnpb_synth.dir/site_split.cc.o" "gcc" "src/synth/CMakeFiles/cnpb_synth.dir/site_split.cc.o.d"
+  "/root/repo/src/synth/world.cc" "src/synth/CMakeFiles/cnpb_synth.dir/world.cc.o" "gcc" "src/synth/CMakeFiles/cnpb_synth.dir/world.cc.o.d"
+  "/root/repo/src/synth/world_data.cc" "src/synth/CMakeFiles/cnpb_synth.dir/world_data.cc.o" "gcc" "src/synth/CMakeFiles/cnpb_synth.dir/world_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cnpb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cnpb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/cnpb_kb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_synth.dir/bilingual.cc.o"
+  "CMakeFiles/cnpb_synth.dir/bilingual.cc.o.d"
+  "CMakeFiles/cnpb_synth.dir/corpus_gen.cc.o"
+  "CMakeFiles/cnpb_synth.dir/corpus_gen.cc.o.d"
+  "CMakeFiles/cnpb_synth.dir/encyclopedia_gen.cc.o"
+  "CMakeFiles/cnpb_synth.dir/encyclopedia_gen.cc.o.d"
+  "CMakeFiles/cnpb_synth.dir/ontology.cc.o"
+  "CMakeFiles/cnpb_synth.dir/ontology.cc.o.d"
+  "CMakeFiles/cnpb_synth.dir/qa_gen.cc.o"
+  "CMakeFiles/cnpb_synth.dir/qa_gen.cc.o.d"
+  "CMakeFiles/cnpb_synth.dir/site_split.cc.o"
+  "CMakeFiles/cnpb_synth.dir/site_split.cc.o.d"
+  "CMakeFiles/cnpb_synth.dir/world.cc.o"
+  "CMakeFiles/cnpb_synth.dir/world.cc.o.d"
+  "CMakeFiles/cnpb_synth.dir/world_data.cc.o"
+  "CMakeFiles/cnpb_synth.dir/world_data.cc.o.d"
+  "libcnpb_synth.a"
+  "libcnpb_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxonomy/api_service.cc" "src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/api_service.cc.o" "gcc" "src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/api_service.cc.o.d"
+  "/root/repo/src/taxonomy/prune.cc" "src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/prune.cc.o" "gcc" "src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/prune.cc.o.d"
+  "/root/repo/src/taxonomy/serialize.cc" "src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/serialize.cc.o" "gcc" "src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/serialize.cc.o.d"
+  "/root/repo/src/taxonomy/stats.cc" "src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/stats.cc.o" "gcc" "src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/stats.cc.o.d"
+  "/root/repo/src/taxonomy/taxonomy.cc" "src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/taxonomy.cc.o" "gcc" "src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/taxonomy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cnpb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cnpb_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_taxonomy.dir/api_service.cc.o"
+  "CMakeFiles/cnpb_taxonomy.dir/api_service.cc.o.d"
+  "CMakeFiles/cnpb_taxonomy.dir/prune.cc.o"
+  "CMakeFiles/cnpb_taxonomy.dir/prune.cc.o.d"
+  "CMakeFiles/cnpb_taxonomy.dir/serialize.cc.o"
+  "CMakeFiles/cnpb_taxonomy.dir/serialize.cc.o.d"
+  "CMakeFiles/cnpb_taxonomy.dir/stats.cc.o"
+  "CMakeFiles/cnpb_taxonomy.dir/stats.cc.o.d"
+  "CMakeFiles/cnpb_taxonomy.dir/taxonomy.cc.o"
+  "CMakeFiles/cnpb_taxonomy.dir/taxonomy.cc.o.d"
+  "libcnpb_taxonomy.a"
+  "libcnpb_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

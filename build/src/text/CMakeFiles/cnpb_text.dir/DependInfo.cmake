@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/lexicon.cc" "src/text/CMakeFiles/cnpb_text.dir/lexicon.cc.o" "gcc" "src/text/CMakeFiles/cnpb_text.dir/lexicon.cc.o.d"
+  "/root/repo/src/text/ngram.cc" "src/text/CMakeFiles/cnpb_text.dir/ngram.cc.o" "gcc" "src/text/CMakeFiles/cnpb_text.dir/ngram.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/text/CMakeFiles/cnpb_text.dir/normalize.cc.o" "gcc" "src/text/CMakeFiles/cnpb_text.dir/normalize.cc.o.d"
+  "/root/repo/src/text/segmenter.cc" "src/text/CMakeFiles/cnpb_text.dir/segmenter.cc.o" "gcc" "src/text/CMakeFiles/cnpb_text.dir/segmenter.cc.o.d"
+  "/root/repo/src/text/trie_matcher.cc" "src/text/CMakeFiles/cnpb_text.dir/trie_matcher.cc.o" "gcc" "src/text/CMakeFiles/cnpb_text.dir/trie_matcher.cc.o.d"
+  "/root/repo/src/text/utf8.cc" "src/text/CMakeFiles/cnpb_text.dir/utf8.cc.o" "gcc" "src/text/CMakeFiles/cnpb_text.dir/utf8.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cnpb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_text.dir/lexicon.cc.o"
+  "CMakeFiles/cnpb_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/cnpb_text.dir/ngram.cc.o"
+  "CMakeFiles/cnpb_text.dir/ngram.cc.o.d"
+  "CMakeFiles/cnpb_text.dir/normalize.cc.o"
+  "CMakeFiles/cnpb_text.dir/normalize.cc.o.d"
+  "CMakeFiles/cnpb_text.dir/segmenter.cc.o"
+  "CMakeFiles/cnpb_text.dir/segmenter.cc.o.d"
+  "CMakeFiles/cnpb_text.dir/trie_matcher.cc.o"
+  "CMakeFiles/cnpb_text.dir/trie_matcher.cc.o.d"
+  "CMakeFiles/cnpb_text.dir/utf8.cc.o"
+  "CMakeFiles/cnpb_text.dir/utf8.cc.o.d"
+  "libcnpb_text.a"
+  "libcnpb_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_util.dir/histogram.cc.o"
+  "CMakeFiles/cnpb_util.dir/histogram.cc.o.d"
+  "CMakeFiles/cnpb_util.dir/logging.cc.o"
+  "CMakeFiles/cnpb_util.dir/logging.cc.o.d"
+  "CMakeFiles/cnpb_util.dir/status.cc.o"
+  "CMakeFiles/cnpb_util.dir/status.cc.o.d"
+  "CMakeFiles/cnpb_util.dir/strings.cc.o"
+  "CMakeFiles/cnpb_util.dir/strings.cc.o.d"
+  "CMakeFiles/cnpb_util.dir/tsv.cc.o"
+  "CMakeFiles/cnpb_util.dir/tsv.cc.o.d"
+  "libcnpb_util.a"
+  "libcnpb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

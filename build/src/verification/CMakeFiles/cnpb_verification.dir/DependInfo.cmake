@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/verification/incompatible.cc" "src/verification/CMakeFiles/cnpb_verification.dir/incompatible.cc.o" "gcc" "src/verification/CMakeFiles/cnpb_verification.dir/incompatible.cc.o.d"
+  "/root/repo/src/verification/ner_filter.cc" "src/verification/CMakeFiles/cnpb_verification.dir/ner_filter.cc.o" "gcc" "src/verification/CMakeFiles/cnpb_verification.dir/ner_filter.cc.o.d"
+  "/root/repo/src/verification/pipeline.cc" "src/verification/CMakeFiles/cnpb_verification.dir/pipeline.cc.o" "gcc" "src/verification/CMakeFiles/cnpb_verification.dir/pipeline.cc.o.d"
+  "/root/repo/src/verification/syntax_rules.cc" "src/verification/CMakeFiles/cnpb_verification.dir/syntax_rules.cc.o" "gcc" "src/verification/CMakeFiles/cnpb_verification.dir/syntax_rules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cnpb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cnpb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/cnpb_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/generation/CMakeFiles/cnpb_generation.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cnpb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnpb_verification.dir/incompatible.cc.o"
+  "CMakeFiles/cnpb_verification.dir/incompatible.cc.o.d"
+  "CMakeFiles/cnpb_verification.dir/ner_filter.cc.o"
+  "CMakeFiles/cnpb_verification.dir/ner_filter.cc.o.d"
+  "CMakeFiles/cnpb_verification.dir/pipeline.cc.o"
+  "CMakeFiles/cnpb_verification.dir/pipeline.cc.o.d"
+  "CMakeFiles/cnpb_verification.dir/syntax_rules.cc.o"
+  "CMakeFiles/cnpb_verification.dir/syntax_rules.cc.o.d"
+  "libcnpb_verification.a"
+  "libcnpb_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnpb_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

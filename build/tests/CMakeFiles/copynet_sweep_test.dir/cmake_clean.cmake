@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copynet_sweep_test.dir/copynet_sweep_test.cc.o"
+  "CMakeFiles/copynet_sweep_test.dir/copynet_sweep_test.cc.o.d"
+  "copynet_sweep_test"
+  "copynet_sweep_test.pdb"
+  "copynet_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copynet_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

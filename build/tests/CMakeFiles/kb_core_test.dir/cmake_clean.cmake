@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kb_core_test.dir/kb_core_test.cc.o"
+  "CMakeFiles/kb_core_test.dir/kb_core_test.cc.o.d"
+  "kb_core_test"
+  "kb_core_test.pdb"
+  "kb_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kb_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

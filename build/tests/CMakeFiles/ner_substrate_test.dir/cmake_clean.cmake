@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ner_substrate_test.dir/ner_substrate_test.cc.o"
+  "CMakeFiles/ner_substrate_test.dir/ner_substrate_test.cc.o.d"
+  "ner_substrate_test"
+  "ner_substrate_test.pdb"
+  "ner_substrate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ner_substrate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/properties_test.cc" "tests/CMakeFiles/properties_test.dir/properties_test.cc.o" "gcc" "tests/CMakeFiles/properties_test.dir/properties_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cnpb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cnpb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/cnpb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/cnpb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/verification/CMakeFiles/cnpb_verification.dir/DependInfo.cmake"
+  "/root/repo/build/src/generation/CMakeFiles/cnpb_generation.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/cnpb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/cnpb_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/kb/CMakeFiles/cnpb_kb.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/cnpb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cnpb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

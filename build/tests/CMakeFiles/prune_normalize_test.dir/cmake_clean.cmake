@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prune_normalize_test.dir/prune_normalize_test.cc.o"
+  "CMakeFiles/prune_normalize_test.dir/prune_normalize_test.cc.o.d"
+  "prune_normalize_test"
+  "prune_normalize_test.pdb"
+  "prune_normalize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prune_normalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

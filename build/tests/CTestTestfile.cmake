@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/taxonomy_test[1]_include.cmake")
+include("/root/repo/build/tests/synth_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/generation_test[1]_include.cmake")
+include("/root/repo/build/tests/verification_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/merge_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_serialize_test[1]_include.cmake")
+include("/root/repo/build/tests/verification_param_test[1]_include.cmake")
+include("/root/repo/build/tests/incremental_test[1]_include.cmake")
+include("/root/repo/build/tests/alias_test[1]_include.cmake")
+include("/root/repo/build/tests/kb_core_test[1]_include.cmake")
+include("/root/repo/build/tests/ner_substrate_test[1]_include.cmake")
+include("/root/repo/build/tests/parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/copynet_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/prune_normalize_test[1]_include.cmake")
