@@ -1,14 +1,38 @@
 #include "core/builder.h"
 
+#include <iterator>
 #include <unordered_set>
 
 #include "generation/direct_extraction.h"
 #include "generation/separation.h"
 #include "text/ngram.h"
 #include "text/segmenter.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace cnpb::core {
+
+namespace {
+
+// Moves the contents of per-shard candidate lists into one list, in shard
+// order. Because shards are contiguous page ranges in index order, the
+// concatenation equals what a serial full-dump pass would produce — the
+// order-stable merge that makes the build byte-identical for any
+// CNPB_THREADS value.
+generation::CandidateList ConcatShards(
+    std::vector<generation::CandidateList>& parts) {
+  size_t total = 0;
+  for (const generation::CandidateList& part : parts) total += part.size();
+  generation::CandidateList out;
+  out.reserve(total);
+  for (generation::CandidateList& part : parts) {
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+}  // namespace
 
 generation::CandidateList CnProbaseBuilder::BuildCandidates(
     const kb::EncyclopediaDump& dump, const text::Lexicon& lexicon,
@@ -21,35 +45,79 @@ generation::CandidateList CnProbaseBuilder::BuildCandidates(
   text::NgramCounter ngrams;
   for (const auto& sentence : corpus) ngrams.AddSentence(sentence);
 
+  // Deterministic shard plan over dump pages: a pure function of the page
+  // count, never of the thread count. Both generation passes below fan out
+  // over these shards and concatenate the per-shard outputs in shard order.
+  const std::vector<util::IndexRange> shards = util::MakeShards(dump.size());
+
   // --- generation module ---------------------------------------------------
+  // Pass 1 (sharded): bracket extraction. It runs first and alone because
+  // its output is also the distant-supervision prior for the abstract and
+  // infobox extractors.
   generation::CandidateList bracket;
   if (config.enable_bracket || config.enable_abstract ||
       config.enable_infobox) {
-    // Bracket extraction also powers distant supervision for the abstract
-    // and infobox extractors, so it runs whenever either needs a prior.
     generation::BracketExtractor extractor(&segmenter, &ngrams);
-    bracket = extractor.Extract(dump);
+    std::vector<generation::CandidateList> parts =
+        util::ParallelMap(shards.size(), [&](size_t s) {
+          return extractor.ExtractRange(dump, shards[s].first,
+                                        shards[s].second);
+        });
+    bracket = ConcatShards(parts);
   }
 
-  generation::CandidateList abstract_candidates;
+  // Global stages: neural training and predicate discovery consume the whole
+  // bracket prior / dump at once (corpus-level statistics), so they cannot
+  // be sharded without changing results.
   generation::NeuralGeneration neural(config.neural);
   if (config.enable_abstract) {
     neural.BuildDataset(dump, bracket, segmenter);
     local.neural_stats = neural.Train();
-    abstract_candidates = neural.ExtractAll(dump, segmenter);
   }
-
-  generation::CandidateList infobox_candidates;
+  generation::PredicateDiscovery discovery(config.predicates);
   if (config.enable_infobox) {
-    generation::PredicateDiscovery discovery(config.predicates);
     local.discovery = discovery.Discover(dump, bracket);
-    infobox_candidates =
-        generation::PredicateDiscovery::Extract(dump, local.discovery.selected);
   }
 
+  // Pass 2 (sharded): the three remaining extractors run per shard on the
+  // frozen model / selected predicates, writing per-shard slots.
+  struct ShardOutput {
+    generation::CandidateList abstracts;
+    generation::CandidateList infobox;
+    generation::CandidateList tags;
+  };
+  std::vector<ShardOutput> shard_outputs(shards.size());
+  util::ParallelFor(shards.size(), [&](size_t s) {
+    const auto [begin, end] = shards[s];
+    ShardOutput& out = shard_outputs[s];
+    if (config.enable_abstract) {
+      out.abstracts = neural.ExtractRange(dump, segmenter, begin, end);
+    }
+    if (config.enable_infobox) {
+      out.infobox = generation::PredicateDiscovery::Extract(
+          dump, local.discovery.selected, begin, end);
+    }
+    if (config.enable_tag) {
+      out.tags = generation::ExtractFromTags(dump, begin, end);
+    }
+  });
+
+  generation::CandidateList abstract_candidates;
+  generation::CandidateList infobox_candidates;
   generation::CandidateList tag_candidates;
-  if (config.enable_tag) {
-    tag_candidates = generation::ExtractFromTags(dump);
+  {
+    std::vector<generation::CandidateList> abstracts, infoboxes, tags;
+    abstracts.reserve(shards.size());
+    infoboxes.reserve(shards.size());
+    tags.reserve(shards.size());
+    for (ShardOutput& out : shard_outputs) {
+      abstracts.push_back(std::move(out.abstracts));
+      infoboxes.push_back(std::move(out.infobox));
+      tags.push_back(std::move(out.tags));
+    }
+    abstract_candidates = ConcatShards(abstracts);
+    infobox_candidates = ConcatShards(infoboxes);
+    tag_candidates = ConcatShards(tags);
   }
 
   if (!config.enable_bracket) bracket.clear();

@@ -1,10 +1,14 @@
 #include "generation/direct_extraction.h"
 
+#include "util/parallel.h"
+
 namespace cnpb::generation {
 
-CandidateList ExtractFromTags(const kb::EncyclopediaDump& dump) {
+CandidateList ExtractFromTags(const kb::EncyclopediaDump& dump, size_t begin,
+                              size_t end) {
   CandidateList candidates;
-  for (const kb::EncyclopediaPage& page : dump.pages()) {
+  for (size_t i = begin; i < end; ++i) {
+    const kb::EncyclopediaPage& page = dump.page(i);
     for (const std::string& tag : page.tags) {
       if (tag.empty() || tag == page.mention) continue;
       Candidate candidate;
@@ -15,6 +19,12 @@ CandidateList ExtractFromTags(const kb::EncyclopediaDump& dump) {
     }
   }
   return candidates;
+}
+
+CandidateList ExtractFromTags(const kb::EncyclopediaDump& dump) {
+  return util::ShardedConcat(dump.size(), [&dump](size_t begin, size_t end) {
+    return ExtractFromTags(dump, begin, end);
+  });
 }
 
 }  // namespace cnpb::generation

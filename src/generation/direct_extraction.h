@@ -12,6 +12,12 @@ namespace cnpb::generation {
 // makes the tag source precise.
 CandidateList ExtractFromTags(const kb::EncyclopediaDump& dump);
 
+// Shard form: extracts only from pages [begin, end). Candidates appear in
+// page order, so concatenating shard outputs in shard order reproduces the
+// full-dump extraction exactly.
+CandidateList ExtractFromTags(const kb::EncyclopediaDump& dump, size_t begin,
+                              size_t end);
+
 }  // namespace cnpb::generation
 
 #endif  // CNPROBASE_GENERATION_DIRECT_EXTRACTION_H_

@@ -161,24 +161,17 @@ util::Status NeuralGeneration::Load(const std::string& prefix) {
   return nn::LoadParameters(model_->Params(), prefix + ".params");
 }
 
-CandidateList NeuralGeneration::ExtractAll(
-    const kb::EncyclopediaDump& dump, const text::Segmenter& segmenter) const {
-  CNPB_CHECK(model_ != nullptr) << "Train() before ExtractAll()";
-  // Inference is read-only on the model; per-page slots keep the candidate
-  // order deterministic under parallel decoding.
-  std::vector<std::vector<std::string>> generated_per_page(dump.size());
-  util::ParallelFor(dump.size(), [&](size_t i) {
-    const kb::EncyclopediaPage& page = dump.page(i);
-    if (page.abstract.empty()) return;
-    const nn::CopyNet::Example source = MakeSource(page.abstract, segmenter);
-    generated_per_page[i] =
-        model_->Generate(source.source_ids, source.source_words);
-  });
-
+CandidateList NeuralGeneration::ExtractRange(const kb::EncyclopediaDump& dump,
+                                             const text::Segmenter& segmenter,
+                                             size_t begin, size_t end) const {
+  CNPB_CHECK(model_ != nullptr) << "Train() before ExtractRange()";
   CandidateList candidates;
-  for (size_t i = 0; i < dump.size(); ++i) {
+  for (size_t i = begin; i < end; ++i) {
     const kb::EncyclopediaPage& page = dump.page(i);
-    const std::vector<std::string>& generated = generated_per_page[i];
+    if (page.abstract.empty()) continue;
+    const nn::CopyNet::Example source = MakeSource(page.abstract, segmenter);
+    const std::vector<std::string> generated =
+        model_->Generate(source.source_ids, source.source_words);
     if (generated.empty()) continue;
     const std::string& hyper = generated[0];
     if (hyper.empty() || hyper == page.mention) continue;
@@ -196,6 +189,14 @@ CandidateList NeuralGeneration::ExtractAll(
     candidates.push_back(std::move(candidate));
   }
   return candidates;
+}
+
+CandidateList NeuralGeneration::ExtractAll(
+    const kb::EncyclopediaDump& dump, const text::Segmenter& segmenter) const {
+  CNPB_CHECK(model_ != nullptr) << "Train() before ExtractAll()";
+  return util::ShardedConcat(dump.size(), [&](size_t begin, size_t end) {
+    return ExtractRange(dump, segmenter, begin, end);
+  });
 }
 
 }  // namespace cnpb::generation

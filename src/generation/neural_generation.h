@@ -62,6 +62,14 @@ class NeuralGeneration {
   CandidateList ExtractAll(const kb::EncyclopediaDump& dump,
                            const text::Segmenter& segmenter) const;
 
+  // Shard form: decodes only pages [begin, end), serially, in page order.
+  // Inference is read-only on the trained model, so shards may run on
+  // concurrent threads; concatenating shard outputs in shard order
+  // reproduces ExtractAll exactly.
+  CandidateList ExtractRange(const kb::EncyclopediaDump& dump,
+                             const text::Segmenter& segmenter, size_t begin,
+                             size_t end) const;
+
   size_t dataset_size() const { return examples_.size(); }
   const nn::Vocab& output_vocab() const { return output_vocab_; }
 

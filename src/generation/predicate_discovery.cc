@@ -55,12 +55,13 @@ PredicateDiscovery::Discovery PredicateDiscovery::Discover(
 }
 
 CandidateList PredicateDiscovery::Extract(
-    const kb::EncyclopediaDump& dump,
-    const std::vector<std::string>& selected) {
+    const kb::EncyclopediaDump& dump, const std::vector<std::string>& selected,
+    size_t begin, size_t end) {
   std::unordered_set<std::string> selected_set(selected.begin(),
                                                selected.end());
   CandidateList candidates;
-  for (const kb::EncyclopediaPage& page : dump.pages()) {
+  for (size_t i = begin; i < end; ++i) {
+    const kb::EncyclopediaPage& page = dump.page(i);
     for (const kb::SpoTriple& triple : page.infobox) {
       if (selected_set.count(triple.predicate) == 0) continue;
       if (triple.object.empty() || triple.object == page.mention) continue;
@@ -72,6 +73,12 @@ CandidateList PredicateDiscovery::Extract(
     }
   }
   return candidates;
+}
+
+CandidateList PredicateDiscovery::Extract(
+    const kb::EncyclopediaDump& dump,
+    const std::vector<std::string>& selected) {
+  return Extract(dump, selected, 0, dump.size());
 }
 
 }  // namespace cnpb::generation

@@ -51,6 +51,12 @@ class PredicateDiscovery {
   static CandidateList Extract(const kb::EncyclopediaDump& dump,
                                const std::vector<std::string>& selected);
 
+  // Shard form: extracts only from pages [begin, end), in page order, so
+  // concatenating shard outputs in shard order reproduces Extract exactly.
+  static CandidateList Extract(const kb::EncyclopediaDump& dump,
+                               const std::vector<std::string>& selected,
+                               size_t begin, size_t end);
+
  private:
   Config config_;
 };

@@ -109,19 +109,13 @@ std::vector<std::string> BracketExtractor::HypernymsOf(
   return hypernyms;
 }
 
-CandidateList BracketExtractor::Extract(
-    const kb::EncyclopediaDump& dump) const {
-  // Per-page slots keep the output deterministic under parallel execution.
-  std::vector<std::vector<std::string>> per_page(dump.size());
-  util::ParallelFor(dump.size(), [&](size_t i) {
-    const kb::EncyclopediaPage& page = dump.page(i);
-    if (!page.bracket.empty()) per_page[i] = HypernymsOf(page.bracket);
-  });
-
+CandidateList BracketExtractor::ExtractRange(const kb::EncyclopediaDump& dump,
+                                             size_t begin, size_t end) const {
   CandidateList candidates;
-  for (size_t i = 0; i < dump.size(); ++i) {
+  for (size_t i = begin; i < end; ++i) {
     const kb::EncyclopediaPage& page = dump.page(i);
-    for (std::string& hyper : per_page[i]) {
+    if (page.bracket.empty()) continue;
+    for (std::string& hyper : HypernymsOf(page.bracket)) {
       if (hyper == page.mention) continue;
       Candidate candidate;
       candidate.hypo = page.name;
@@ -131,6 +125,13 @@ CandidateList BracketExtractor::Extract(
     }
   }
   return candidates;
+}
+
+CandidateList BracketExtractor::Extract(
+    const kb::EncyclopediaDump& dump) const {
+  return util::ShardedConcat(dump.size(), [&](size_t begin, size_t end) {
+    return ExtractRange(dump, begin, end);
+  });
 }
 
 }  // namespace cnpb::generation

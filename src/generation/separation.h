@@ -57,6 +57,13 @@ class BracketExtractor {
 
   CandidateList Extract(const kb::EncyclopediaDump& dump) const;
 
+  // Shard form: extracts only from pages [begin, end), serially, in page
+  // order. Parsing is read-only on the segmenter and PMI table, so shards
+  // may run on concurrent threads; concatenating shard outputs in shard
+  // order reproduces Extract exactly.
+  CandidateList ExtractRange(const kb::EncyclopediaDump& dump, size_t begin,
+                             size_t end) const;
+
   // Hypernyms for one bracket string (exposed for tests/benches).
   std::vector<std::string> HypernymsOf(std::string_view bracket) const;
 

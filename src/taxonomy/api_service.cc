@@ -1,6 +1,7 @@
 #include "taxonomy/api_service.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_set>
 
 #include "util/logging.h"
@@ -12,6 +13,7 @@ ApiService::ApiService(const Taxonomy* taxonomy) : taxonomy_(taxonomy) {
 }
 
 void ApiService::RegisterMention(std::string_view mention, NodeId entity) {
+  std::unique_lock<std::shared_mutex> lock(mention_mu_);
   auto& candidates = mention_index_[std::string(mention)];
   if (std::find(candidates.begin(), candidates.end(), entity) ==
       candidates.end()) {
@@ -19,11 +21,15 @@ void ApiService::RegisterMention(std::string_view mention, NodeId entity) {
   }
 }
 
-std::vector<NodeId> ApiService::Men2Ent(std::string_view mention) {
-  ++usage_.men2ent_calls;
-  auto it = mention_index_.find(std::string(mention));
-  if (it == mention_index_.end()) return {};
-  std::vector<NodeId> out = it->second;
+std::vector<NodeId> ApiService::Men2Ent(std::string_view mention) const {
+  men2ent_calls_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<NodeId> out;
+  {
+    std::shared_lock<std::shared_mutex> lock(mention_mu_);
+    auto it = mention_index_.find(std::string(mention));
+    if (it == mention_index_.end()) return {};
+    out = it->second;  // copy, so ranking happens outside the lock
+  }
   std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
     return taxonomy_->Hypernyms(a).size() > taxonomy_->Hypernyms(b).size();
   });
@@ -31,8 +37,8 @@ std::vector<NodeId> ApiService::Men2Ent(std::string_view mention) {
 }
 
 std::vector<std::string> ApiService::GetConcept(std::string_view entity_name,
-                                                bool transitive) {
-  ++usage_.get_concept_calls;
+                                                bool transitive) const {
+  get_concept_calls_.fetch_add(1, std::memory_order_relaxed);
   const NodeId id = taxonomy_->Find(entity_name);
   if (id == kInvalidNode) return {};
   // Rank by edge confidence (source prior), most trustworthy first.
@@ -59,8 +65,8 @@ std::vector<std::string> ApiService::GetConcept(std::string_view entity_name,
 }
 
 std::vector<std::string> ApiService::GetEntity(std::string_view concept_name,
-                                               size_t limit) {
-  ++usage_.get_entity_calls;
+                                               size_t limit) const {
+  get_entity_calls_.fetch_add(1, std::memory_order_relaxed);
   const NodeId id = taxonomy_->Find(concept_name);
   if (id == kInvalidNode) return {};
   std::vector<std::string> out;
@@ -69,6 +75,25 @@ std::vector<std::string> ApiService::GetEntity(std::string_view concept_name,
     out.push_back(taxonomy_->Name(edge.hypo));
   }
   return out;
+}
+
+ApiService::UsageStats ApiService::usage() const {
+  UsageStats stats;
+  stats.men2ent_calls = men2ent_calls_.load(std::memory_order_relaxed);
+  stats.get_concept_calls = get_concept_calls_.load(std::memory_order_relaxed);
+  stats.get_entity_calls = get_entity_calls_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void ApiService::ResetUsage() {
+  men2ent_calls_.store(0, std::memory_order_relaxed);
+  get_concept_calls_.store(0, std::memory_order_relaxed);
+  get_entity_calls_.store(0, std::memory_order_relaxed);
+}
+
+size_t ApiService::num_mentions() const {
+  std::shared_lock<std::shared_mutex> lock(mention_mu_);
+  return mention_index_.size();
 }
 
 }  // namespace cnpb::taxonomy

@@ -1,7 +1,9 @@
 #ifndef CNPROBASE_TAXONOMY_API_SERVICE_H_
 #define CNPROBASE_TAXONOMY_API_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -17,8 +19,17 @@ namespace cnpb::taxonomy {
 //   getConcept — entity   -> hypernym (concept) list
 //   getEntity  — concept  -> hyponym (entity) list
 // Every call is counted so the Table II workload bench can report the mix.
+//
+// Thread safety: the three query APIs may be called concurrently from any
+// number of threads, including while RegisterMention runs (the mention
+// index is guarded by a shared_mutex; queries take the shared side, the
+// registration writer the exclusive side). Call counters are relaxed
+// atomics, so usage().total() is exact under concurrency. The underlying
+// Taxonomy is read-only here and must not be mutated while the service is
+// in use.
 class ApiService {
  public:
+  // A plain snapshot of the call counters (see usage()).
   struct UsageStats {
     uint64_t men2ent_calls = 0;
     uint64_t get_concept_calls = 0;
@@ -33,32 +44,39 @@ class ApiService {
 
   // Registers `mention` as a surface form of entity node `entity`.
   // (Built by the pipeline from page mentions; entities keep their
-  // disambiguated names as node names.)
+  // disambiguated names as node names.) Exclusive writer: safe to call
+  // while queries are in flight.
   void RegisterMention(std::string_view mention, NodeId entity);
 
   // men2ent: candidate entities for a mention, most-popular first
   // (popularity = number of hypernyms, a proxy for page richness).
-  std::vector<NodeId> Men2Ent(std::string_view mention);
+  std::vector<NodeId> Men2Ent(std::string_view mention) const;
 
   // getConcept: hypernym names of an entity (or concept) name, ranked by
   // edge confidence. With `transitive`, inherited hypernyms (ancestors of
   // the direct ones) are appended after the direct list.
   std::vector<std::string> GetConcept(std::string_view entity_name,
-                                      bool transitive = false);
+                                      bool transitive = false) const;
 
   // getEntity: direct hyponym names of a concept, capped at `limit`.
   std::vector<std::string> GetEntity(std::string_view concept_name,
-                                     size_t limit = 100);
+                                     size_t limit = 100) const;
 
-  const UsageStats& usage() const { return usage_; }
-  void ResetUsage() { usage_ = UsageStats(); }
+  // Snapshot of the call counters. Each counter is read atomically; the
+  // snapshot as a whole is not a cross-counter atomic cut, but once all
+  // callers have joined it is exact.
+  UsageStats usage() const;
+  void ResetUsage();
 
-  size_t num_mentions() const { return mention_index_.size(); }
+  size_t num_mentions() const;
 
  private:
   const Taxonomy* taxonomy_;
+  mutable std::shared_mutex mention_mu_;
   std::unordered_map<std::string, std::vector<NodeId>> mention_index_;
-  UsageStats usage_;
+  mutable std::atomic<uint64_t> men2ent_calls_{0};
+  mutable std::atomic<uint64_t> get_concept_calls_{0};
+  mutable std::atomic<uint64_t> get_entity_calls_{0};
 };
 
 }  // namespace cnpb::taxonomy

@@ -1,0 +1,157 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace cnpb::util {
+
+namespace {
+
+// 0 = no override; set through SetThreadsOverride.
+std::atomic<int> g_threads_override{0};
+
+int ResolveEnvThreads() {
+  const char* env = std::getenv("CNPB_THREADS");
+  if (env != nullptr) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Which pool, if any, owns the current thread. Lets a nested ParallelFor
+// detect that it is already running on a worker and fall back to inline
+// serial execution instead of deadlocking on its own queue.
+thread_local const ThreadPool* t_owning_pool = nullptr;
+
+}  // namespace
+
+int DefaultThreads() {
+  const int override_value =
+      g_threads_override.load(std::memory_order_relaxed);
+  if (override_value > 0) return override_value;
+  static const int resolved = ResolveEnvThreads();
+  return resolved;
+}
+
+void SetThreadsOverride(int threads) {
+  g_threads_override.store(threads > 0 ? threads : 0,
+                           std::memory_order_relaxed);
+}
+
+ScopedThreadsOverride::ScopedThreadsOverride(int threads)
+    : previous_(g_threads_override.load(std::memory_order_relaxed)) {
+  SetThreadsOverride(threads);
+}
+
+ScopedThreadsOverride::~ScopedThreadsOverride() {
+  g_threads_override.store(previous_, std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int num_workers) { EnsureWorkers(num_workers); }
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int ThreadPool::num_workers() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+void ThreadPool::EnsureWorkers(int num_workers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CNPB_CHECK(!stop_);
+  while (static_cast<int>(workers_.size()) < num_workers) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  t_owning_pool = this;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this]() { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    task();
+    lock.lock();
+  }
+}
+
+bool ThreadPool::OnWorkerThread() const { return t_owning_pool == this; }
+
+void ThreadPool::ParallelFor(size_t n, int max_parallelism,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  // Inline when parallelism is off, the work is a single index, or we are
+  // already inside a worker (reentrant call).
+  if (max_parallelism <= 1 || n == 1 || OnWorkerThread()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const size_t lanes = std::min(
+      static_cast<size_t>(std::max(max_parallelism, 1)), n);
+  // Dynamic chunk scheduling: small grains balance uneven per-index cost
+  // (neural decode vs. tag scan) without per-index dispatch overhead.
+  const size_t grain = std::max<size_t>(1, n / (4 * lanes));
+
+  struct BatchState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> pending{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  BatchState state;
+
+  auto drain = [&state, n, grain, &fn]() {
+    for (;;) {
+      const size_t begin =
+          state.next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= n) return;
+      const size_t end = std::min(begin + grain, n);
+      for (size_t i = begin; i < end; ++i) fn(i);
+    }
+  };
+
+  const size_t helper_lanes = lanes - 1;  // the caller is lane 0
+  state.pending.store(helper_lanes, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t lane = 0; lane < helper_lanes; ++lane) {
+      queue_.emplace_back([&state, &drain]() {
+        drain();
+        if (state.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> done_lock(state.done_mu);
+          state.done_cv.notify_one();
+        }
+      });
+    }
+  }
+  work_cv_.notify_all();
+
+  drain();
+  std::unique_lock<std::mutex> done_lock(state.done_mu);
+  state.done_cv.wait(done_lock, [&state]() {
+    return state.pending.load(std::memory_order_acquire) == 0;
+  });
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultThreads());
+  return pool;
+}
+
+}  // namespace cnpb::util

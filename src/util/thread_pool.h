@@ -1,0 +1,86 @@
+#ifndef CNPROBASE_UTIL_THREAD_POOL_H_
+#define CNPROBASE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cnpb::util {
+
+// Number of worker threads the process should use: CNPB_THREADS env var,
+// else hardware concurrency (at least 1). The env var is resolved ONCE, on
+// first call, and cached; tests and benches vary the count through
+// SetThreadsOverride instead of racing on setenv.
+int DefaultThreads();
+
+// Overrides DefaultThreads() for tests/benches. Pass 0 to restore the
+// cached env/hardware default. Thread-safe.
+void SetThreadsOverride(int threads);
+
+// RAII form of SetThreadsOverride: restores the previous override on
+// destruction.
+class ScopedThreadsOverride {
+ public:
+  explicit ScopedThreadsOverride(int threads);
+  ~ScopedThreadsOverride();
+  ScopedThreadsOverride(const ScopedThreadsOverride&) = delete;
+  ScopedThreadsOverride& operator=(const ScopedThreadsOverride&) = delete;
+
+ private:
+  int previous_;
+};
+
+// A persistent pool of worker threads with a chunked parallel-for. Replaces
+// the spawn-threads-per-call loop that used to live in util/parallel.h: the
+// sharded build pipeline issues many small fan-outs per build, and thread
+// creation cost would otherwise dominate them.
+//
+// Determinism contract (same as the old ParallelFor): fn must write only to
+// per-index state (e.g. slot i of a pre-sized output vector); the caller
+// then reads slots in order, so results are independent of chunk scheduling.
+// fn must not throw (the project does not use exceptions).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const;
+
+  // Grows the pool to at least `num_workers` workers (never shrinks).
+  void EnsureWorkers(int num_workers);
+
+  // Runs fn(i) for every i in [0, n), chunk-scheduled over at most
+  // `max_parallelism` lanes (the calling thread participates as one lane).
+  // Blocks until every index has completed. Reentrant: a call made from
+  // inside one of this pool's workers runs inline and serially, so nested
+  // parallel sections cannot deadlock on a drained queue.
+  void ParallelFor(size_t n, int max_parallelism,
+                   const std::function<void(size_t)>& fn);
+
+  // True when the calling thread is a worker of this pool.
+  bool OnWorkerThread() const;
+
+  // Process-wide shared pool, created on first use with DefaultThreads()
+  // workers and grown on demand when the thread override asks for more.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_THREAD_POOL_H_

@@ -1,6 +1,9 @@
 #include "verification/ner_filter.h"
 
+#include <numeric>
+
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace cnpb::verification {
 
@@ -62,15 +65,23 @@ double NerFilter::Support(const std::string& hyper) const {
 
 size_t NerFilter::MarkRejections(const generation::CandidateList& candidates,
                                  std::vector<uint8_t>* rejected) const {
-  size_t num_rejected = 0;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if ((*rejected)[i]) continue;
-    if (Support(candidates[i].hyper) > config_.threshold) {
-      (*rejected)[i] = 1;
-      ++num_rejected;
-    }
-  }
-  return num_rejected;
+  // Support() only reads the frozen s1/s2 tables, so candidates are judged
+  // independently per contiguous shard (slot i is owned by i's shard).
+  const std::vector<util::IndexRange> shards =
+      util::MakeShards(candidates.size());
+  const std::vector<size_t> per_shard =
+      util::ParallelMap(shards.size(), [&](size_t s) {
+        size_t count = 0;
+        for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+          if ((*rejected)[i]) continue;
+          if (Support(candidates[i].hyper) > config_.threshold) {
+            (*rejected)[i] = 1;
+            ++count;
+          }
+        }
+        return count;
+      });
+  return std::accumulate(per_shard.begin(), per_shard.end(), size_t{0});
 }
 
 }  // namespace cnpb::verification

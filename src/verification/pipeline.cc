@@ -21,6 +21,11 @@ void VerificationPipeline::AddCorpusSentence(
 
 generation::CandidateList VerificationPipeline::Verify(
     const generation::CandidateList& candidates, Report* report) {
+  // Strategies still run in sequence (rejections are attributed to the first
+  // strategy that fires), but syntax and NER shard the candidate list and
+  // mark their disjoint rejection slots in parallel. Incompatible concepts
+  // compares candidates of the same entity against each other and must stay
+  // serial — see DESIGN.md §6.
   std::vector<uint8_t> rejected(candidates.size(), 0);
   Report local;
   local.input = candidates.size();

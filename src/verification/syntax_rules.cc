@@ -1,6 +1,9 @@
 #include "verification/syntax_rules.h"
 
+#include <numeric>
+
 #include "text/utf8.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace cnpb::verification {
@@ -62,19 +65,28 @@ size_t SyntaxRules::MarkRejections(
     const generation::CandidateList& candidates,
     const std::unordered_map<std::string, std::string>& mention_of_page,
     std::vector<uint8_t>* rejected) const {
-  size_t num_rejected = 0;
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    if ((*rejected)[i]) continue;
-    const generation::Candidate& candidate = candidates[i];
-    auto it = mention_of_page.find(candidate.hypo);
-    const std::string& surface =
-        it == mention_of_page.end() ? candidate.hypo : it->second;
-    if (Rejects(surface, candidate.hyper)) {
-      (*rejected)[i] = 1;
-      ++num_rejected;
-    }
-  }
-  return num_rejected;
+  // Each candidate is judged independently against read-only state, so the
+  // scan shards over contiguous candidate ranges; slot i is only touched by
+  // the shard owning i, and per-shard counts are summed in shard order.
+  const std::vector<util::IndexRange> shards =
+      util::MakeShards(candidates.size());
+  const std::vector<size_t> per_shard =
+      util::ParallelMap(shards.size(), [&](size_t s) {
+        size_t count = 0;
+        for (size_t i = shards[s].first; i < shards[s].second; ++i) {
+          if ((*rejected)[i]) continue;
+          const generation::Candidate& candidate = candidates[i];
+          auto it = mention_of_page.find(candidate.hypo);
+          const std::string& surface =
+              it == mention_of_page.end() ? candidate.hypo : it->second;
+          if (Rejects(surface, candidate.hyper)) {
+            (*rejected)[i] = 1;
+            ++count;
+          }
+        }
+        return count;
+      });
+  return std::accumulate(per_shard.begin(), per_shard.end(), size_t{0});
 }
 
 }  // namespace cnpb::verification

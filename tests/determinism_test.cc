@@ -1,14 +1,20 @@
 // Determinism guarantees: the whole pipeline — world synthesis, extraction,
-// neural training, verification — is a pure function of its seeds.
+// neural training, verification — is a pure function of its seeds, and of
+// its seeds ONLY: the sharded build must serialize byte-identically for
+// every CNPB_THREADS value.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/builder.h"
 #include "synth/corpus_gen.h"
 #include "synth/encyclopedia_gen.h"
 #include "synth/world.h"
+#include "taxonomy/serialize.h"
 #include "text/segmenter.h"
+#include "util/parallel.h"
 
 namespace cnpb {
 namespace {
@@ -23,7 +29,7 @@ std::string Fingerprint(const taxonomy::Taxonomy& taxonomy) {
   return out.str();
 }
 
-std::string BuildFingerprint(uint64_t seed) {
+taxonomy::Taxonomy BuildTaxonomy(uint64_t seed) {
   synth::WorldModel::Config wc;
   wc.num_entities = 1000;
   wc.seed = seed;
@@ -49,9 +55,26 @@ std::string BuildFingerprint(uint64_t seed) {
     config.verification.syntax.thematic_lexicon.emplace_back(word);
   }
   core::CnProbaseBuilder::Report report;
-  const auto taxonomy = core::CnProbaseBuilder::Build(
-      output.dump, world.lexicon(), corpus_words, config, &report);
-  return Fingerprint(taxonomy);
+  return core::CnProbaseBuilder::Build(output.dump, world.lexicon(),
+                                       corpus_words, config, &report);
+}
+
+std::string BuildFingerprint(uint64_t seed) {
+  return Fingerprint(BuildTaxonomy(seed));
+}
+
+// The on-disk bytes SaveTaxonomy writes for a build at `threads` threads.
+std::string SerializedBytesAt(int threads, uint64_t seed) {
+  util::ScopedThreadsOverride override_threads(threads);
+  const taxonomy::Taxonomy taxonomy = BuildTaxonomy(seed);
+  const std::string path = ::testing::TempDir() + "/cnpb_det_" +
+                           std::to_string(threads) + ".tsv";
+  EXPECT_TRUE(taxonomy::SaveTaxonomy(taxonomy, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream bytes;
+  bytes << in.rdbuf();
+  std::remove(path.c_str());
+  return bytes.str();
 }
 
 TEST(DeterminismTest, SameSeedSameTaxonomy) {
@@ -60,6 +83,16 @@ TEST(DeterminismTest, SameSeedSameTaxonomy) {
 
 TEST(DeterminismTest, DifferentSeedDifferentTaxonomy) {
   EXPECT_NE(BuildFingerprint(7), BuildFingerprint(8));
+}
+
+TEST(DeterminismTest, ByteIdenticalAcrossThreadCounts) {
+  // The sharded pipeline's contract: shard partitioning is a pure function
+  // of the page count and every merge is order-stable, so the serialized
+  // taxonomy must not depend on CNPB_THREADS at all.
+  const std::string at_one = SerializedBytesAt(1, 7);
+  ASSERT_FALSE(at_one.empty());
+  EXPECT_EQ(at_one, SerializedBytesAt(3, 7));
+  EXPECT_EQ(at_one, SerializedBytesAt(8, 7));
 }
 
 TEST(DeterminismTest, WorldGenerationIsPure) {
