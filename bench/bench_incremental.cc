@@ -1,18 +1,76 @@
 // Never-ending maintenance (deployment angle, §V): per-batch update cost of
-// the incremental updater vs. full rebuilds, at stable precision. CN-Probase
-// sits on CN-DBpedia, a never-ending extraction system — batches of new
-// pages arrive continuously.
+// the incremental updater vs. full rebuilds, at stable precision — while the
+// ApiService keeps serving queries. CN-Probase sits on CN-DBpedia, a
+// never-ending extraction system: batches of new pages arrive continuously
+// and the paper's deployment answers 82M API calls concurrently, so batches
+// here are applied and published under reader load (RCU snapshot serving).
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "core/incremental.h"
+#include "taxonomy/api_service.h"
+#include "util/histogram.h"
 #include "util/timer.h"
 
 namespace cnpb {
 namespace {
 
+constexpr int kReaders = 4;
+
+struct ReaderState {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> torn{0};
+  std::atomic<uint64_t> probes{0};
+  // expected direct-hypernym count of the probe per version; -1 = unknown.
+  std::vector<std::atomic<int64_t>> expected;
+  explicit ReaderState(size_t max_versions) : expected(max_versions) {
+    for (auto& e : expected) e.store(-1, std::memory_order_relaxed);
+  }
+};
+
+// One reader: hammers the three APIs over the mention list, timing each
+// call, and probes coherence — when no publish interleaves a query, the
+// result must match the pinned version's expected answer exactly.
+void ReaderLoop(const taxonomy::ApiService& api,
+                const std::vector<std::string>& mentions,
+                const std::string& probe, ReaderState* state,
+                util::Histogram* latencies_us) {
+  size_t i = 0;
+  while (!state->stop.load(std::memory_order_acquire)) {
+    const std::string& mention = mentions[(i * 37) % mentions.size()];
+    util::WallTimer timer;
+    if (i % 3 == 0) {
+      api.Men2Ent(mention);
+    } else if (i % 3 == 1) {
+      api.GetConcept(mention);
+    } else {
+      api.GetEntity(mention, 20);
+    }
+    latencies_us->Add(timer.ElapsedSeconds() * 1e6);
+
+    const uint64_t v1 = api.version();
+    const size_t got = api.GetConcept(probe).size();
+    const uint64_t v2 = api.version();
+    if (v1 == v2 && v1 < state->expected.size()) {
+      const int64_t want = state->expected[v1].load(std::memory_order_acquire);
+      if (want >= 0) {
+        if (static_cast<int64_t>(got) != want) {
+          state->torn.fetch_add(1, std::memory_order_relaxed);
+        }
+        state->probes.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    ++i;
+  }
+}
+
 void Run() {
-  bench::PrintHeader("Incremental", "never-ending taxonomy maintenance");
+  bench::PrintHeader("Incremental",
+                     "never-ending maintenance, served while updating");
   auto world = bench::MakeBenchWorld(bench::BenchScale());
   const eval::Oracle oracle = world->Oracle();
   const auto config = bench::DefaultBuilderConfig();
@@ -40,15 +98,109 @@ void Run() {
               100.0 * eval::ExactPrecision(updater.taxonomy(), oracle)
                           .precision());
 
-  std::printf("\n%8s %8s %12s %10s %10s %10s\n", "batch", "pages",
-              "candidates", "accepted", "secs", "precision");
+  // Probe entity for the coherence check: a base page with hypernyms.
+  std::string probe;
+  for (const auto& page : base.pages()) {
+    const taxonomy::NodeId id = updater.taxonomy().Find(page.name);
+    if (id != taxonomy::kInvalidNode &&
+        !updater.taxonomy().Hypernyms(id).empty()) {
+      probe = page.name;
+      break;
+    }
+  }
+  std::vector<std::string> mentions;
+  for (const auto& page : base.pages()) mentions.push_back(page.mention);
+
+  // -- serve-while-updating: readers hammer the service across publishes --
+  taxonomy::ApiService api(updater.snapshot());
+  ReaderState state(batches.size() + 3);
+  auto expect_for = [&](uint64_t version) {
+    const taxonomy::NodeId id = updater.taxonomy().Find(probe);
+    const int64_t count =
+        id == taxonomy::kInvalidNode
+            ? 0
+            : static_cast<int64_t>(updater.taxonomy().Hypernyms(id).size());
+    if (version < state.expected.size()) {
+      state.expected[version].store(count, std::memory_order_release);
+    }
+  };
+  uint64_t version = updater.Publish(&api);
+  expect_for(version);
+  std::vector<double> publish_at = {0.0};  // seconds since readers started
+
+  std::vector<util::Histogram> latencies(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  util::WallTimer serve_timer;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back(ReaderLoop, std::cref(api), std::cref(mentions),
+                         std::cref(probe), &state, &latencies[r]);
+  }
+
+  std::printf("\n%6s %8s %12s %9s %9s %8s %8s %10s\n", "batch", "pages",
+              "candidates", "accepted", "rejected", "revoked", "secs",
+              "precision");
+  std::vector<double> batch_seconds;
   for (size_t b = 0; b < batches.size(); ++b) {
     const auto report = updater.ApplyBatch(batches[b]);
-    std::printf("%8zu %8zu %12zu %10zu %10.2f %9.1f%%\n", b + 1,
+    version = updater.Publish(&api);
+    expect_for(version);
+    publish_at.push_back(serve_timer.ElapsedSeconds());
+    batch_seconds.push_back(report.seconds);
+    std::printf("%6zu %8zu %12zu %9zu %9zu %8zu %8.2f %9.1f%%\n", b + 1,
                 report.pages_added, report.candidates, report.accepted,
-                report.seconds,
+                report.rejected, report.revoked, report.seconds,
                 100.0 * eval::ExactPrecision(updater.taxonomy(), oracle)
                             .precision());
+  }
+  state.stop.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  const double serve_seconds = serve_timer.ElapsedSeconds();
+  publish_at.push_back(serve_seconds);
+
+  // Per-batch cost must not grow with batch index: the verification corpus
+  // statistics are maintained incrementally, never re-fed from scratch.
+  const double growth =
+      batch_seconds.front() > 0.0
+          ? batch_seconds.back() / batch_seconds.front()
+          : 0.0;
+  std::printf("\nper-batch cost growth (batch3/batch1): %.2fx %s\n", growth,
+              growth < 2.0 ? "(flat: O(delta) verification stats)"
+                           : "** GROWING: batch cost scales with corpus **");
+
+  double worst_p99 = 0.0, p50_sum = 0.0;
+  uint64_t total_calls = 0;
+  for (const util::Histogram& h : latencies) {
+    worst_p99 = std::max(worst_p99, h.Percentile(99));
+    p50_sum += h.Percentile(50);
+    total_calls += h.count();
+  }
+  std::printf("\nserved %llu calls from %d readers across %zu published "
+              "versions in %.2fs\n",
+              static_cast<unsigned long long>(total_calls), kReaders,
+              publish_at.size() - 1, serve_seconds);
+  std::printf("query latency: p50 %.1fus (reader avg), worst-reader p99 "
+              "%.1fus; coherence probes %llu, torn reads %llu%s\n",
+              p50_sum / kReaders, worst_p99,
+              static_cast<unsigned long long>(state.probes.load()),
+              static_cast<unsigned long long>(state.torn.load()),
+              state.torn.load() == 0 ? " (zero, as required)"
+                                     : " ** TORN READS **");
+
+  std::printf("\n%8s %10s %10s %10s %12s %10s\n", "version", "isA",
+              "mentions", "queries", "window (s)", "QPS");
+  const auto stats = api.AllVersionStats();
+  for (size_t v = 0; v < stats.size(); ++v) {
+    // stats[0] is the ctor's version, retired before readers started; the
+    // updater's publishes map to consecutive publish_at intervals.
+    const double window = v >= 1 && v < publish_at.size()
+                              ? publish_at[v] - publish_at[v - 1]
+                              : 0.0;
+    std::printf("%8llu %10zu %10zu %10llu %12.2f %10.0f\n",
+                static_cast<unsigned long long>(stats[v].version),
+                stats[v].num_edges, stats[v].num_mentions,
+                static_cast<unsigned long long>(stats[v].queries), window,
+                window > 0 ? stats[v].queries / window : 0.0);
   }
 
   timer.Restart();
@@ -61,9 +213,11 @@ void Run() {
               "(precision %.1f%%)\n",
               world->output->dump.size(), full.num_edges(), full_seconds,
               100.0 * eval::ExactPrecision(full, oracle).precision());
-  std::printf("\nshape check: batches cost a small fraction of a rebuild "
-              "(no CopyNet retraining,\nno re-extraction of old pages) at "
-              "matching precision and coverage.\n");
+  std::printf("\nshape check: batches cost a small fraction of a rebuild and "
+              "stay flat across\nbatch index (verification stats maintained "
+              "incrementally); queries keep\nflowing during publishes with "
+              "zero torn reads, each attributed to exactly one\npublished "
+              "version.\n");
 }
 
 }  // namespace

@@ -3,12 +3,16 @@
 // paper's deployment processes a 16M-page dump and serves ~83M API calls;
 // this bench shows the pipeline's empirical scaling so the laptop-scale
 // results can be extrapolated.
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/incremental.h"
 #include "taxonomy/api_service.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -135,17 +139,110 @@ void RunApiQpsSweep() {
   }
 }
 
+void RunServeWhileUpdateSweep() {
+  std::printf("\n-- ApiService QPS under publish churn (serve while "
+              "updating) --\n");
+  const size_t scale = bench::BenchScale(4000);
+  auto world = bench::MakeBenchWorld(scale);
+
+  // One incremental run yields a sequence of frozen versions (snapshot +
+  // mention index); the sweep then republishes them cyclically under reader
+  // load, so the QPS numbers isolate the cost of the snapshot swap itself.
+  kb::EncyclopediaDump base;
+  std::vector<std::vector<kb::EncyclopediaPage>> batches(3);
+  const size_t n = world->output->dump.size();
+  for (size_t i = 0; i < n; ++i) {
+    kb::EncyclopediaPage page = world->output->dump.page(i);
+    page.page_id = 0;
+    if (i < n * 7 / 10) {
+      base.AddPage(std::move(page));
+    } else {
+      batches[(i - n * 7 / 10) % 3].push_back(std::move(page));
+    }
+  }
+  core::IncrementalUpdater updater(base, &world->world->lexicon(),
+                                   world->corpus_words,
+                                   bench::DefaultBuilderConfig());
+  std::vector<std::shared_ptr<const taxonomy::Taxonomy>> versions;
+  std::vector<taxonomy::ApiService::MentionIndex> indexes;
+  auto freeze_current = [&]() {
+    versions.push_back(updater.snapshot());
+    indexes.push_back(core::CnProbaseBuilder::BuildMentionIndex(
+        updater.dump(), updater.taxonomy()));
+  };
+  freeze_current();
+  for (const auto& batch : batches) {
+    updater.ApplyBatch(batch);
+    freeze_current();
+  }
+
+  std::vector<std::string> mentions;
+  for (const auto& page : base.pages()) mentions.push_back(page.mention);
+
+  constexpr size_t kCallsPerClient = 20000;
+  std::printf("\n%8s %12s %12s %12s %12s\n", "clients", "calls", "seconds",
+              "QPS", "publishes");
+  for (const int clients : {1, 2, 4, 8}) {
+    taxonomy::ApiService api(versions.front(),
+                             taxonomy::ApiService::MentionIndex(
+                                 indexes.front()));
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> publishes{0};
+    std::thread publisher([&]() {
+      size_t v = 1;
+      while (!stop.load(std::memory_order_acquire)) {
+        api.Publish(versions[v % versions.size()],
+                    taxonomy::ApiService::MentionIndex(
+                        indexes[v % versions.size()]));
+        publishes.fetch_add(1, std::memory_order_relaxed);
+        ++v;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+    util::WallTimer timer;
+    std::vector<std::thread> workers;
+    workers.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&api, &mentions, c]() {
+        for (size_t i = 0; i < kCallsPerClient; ++i) {
+          const std::string& mention =
+              mentions[(i * 37 + static_cast<size_t>(c) * 1009) %
+                       mentions.size()];
+          if (i % 2 == 0) {
+            api.Men2Ent(mention);
+          } else if (i % 4 == 1) {
+            api.GetConcept(mention);
+          } else {
+            api.GetEntity(mention, 20);
+          }
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double seconds = timer.ElapsedSeconds();
+    stop.store(true, std::memory_order_release);
+    publisher.join();
+    const uint64_t calls = api.usage().total();
+    std::printf("%8d %12llu %12.2f %12.0f %12llu\n", clients,
+                static_cast<unsigned long long>(calls), seconds,
+                calls / seconds,
+                static_cast<unsigned long long>(publishes.load()));
+  }
+}
+
 void Run() {
   bench::PrintHeader("Scaling",
                      "construction cost, thread scaling, API throughput");
   RunDumpSizeSweep();
   RunThreadSweep();
   RunApiQpsSweep();
+  RunServeWhileUpdateSweep();
   std::printf("\nshape check: near-linear construction in dump size (neural "
               "training is the\nfixed-cost component); sharded build "
               "throughput rises with threads while the\nserialized taxonomy "
               "stays byte-identical; API QPS scales with reader\nconcurrency "
-              "(shared_mutex readers + relaxed counters).\n");
+              "and holds up under continuous snapshot publishes (RCU swap,\n"
+              "readers never block).\n");
 }
 
 }  // namespace

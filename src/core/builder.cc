@@ -1,5 +1,6 @@
 #include "core/builder.h"
 
+#include <algorithm>
 #include <iterator>
 #include <unordered_set>
 
@@ -201,6 +202,26 @@ void CnProbaseBuilder::RegisterMentions(const kb::EncyclopediaDump& dump,
       }
     }
   }
+}
+
+taxonomy::ApiService::MentionIndex CnProbaseBuilder::BuildMentionIndex(
+    const kb::EncyclopediaDump& dump, const taxonomy::Taxonomy& taxonomy) {
+  taxonomy::ApiService::MentionIndex index;
+  auto add = [&index](const std::string& mention, taxonomy::NodeId id) {
+    std::vector<taxonomy::NodeId>& candidates = index[mention];
+    if (std::find(candidates.begin(), candidates.end(), id) ==
+        candidates.end()) {
+      candidates.push_back(id);
+    }
+  };
+  for (const kb::EncyclopediaPage& page : dump.pages()) {
+    const taxonomy::NodeId id = taxonomy.Find(page.name);
+    if (id != taxonomy::kInvalidNode) {
+      add(page.mention, id);
+      for (const std::string& alias : page.aliases) add(alias, id);
+    }
+  }
+  return index;
 }
 
 }  // namespace cnpb::core

@@ -77,6 +77,12 @@ class CnProbaseBuilder {
   static void RegisterMentions(const kb::EncyclopediaDump& dump,
                                const taxonomy::Taxonomy& taxonomy,
                                taxonomy::ApiService* service);
+
+  // Builds the mention index (surface mention + aliases -> entity node) for
+  // `taxonomy` from the dump's pages, for publishing alongside it as one
+  // immutable version (ApiService::Publish).
+  static taxonomy::ApiService::MentionIndex BuildMentionIndex(
+      const kb::EncyclopediaDump& dump, const taxonomy::Taxonomy& taxonomy);
 };
 
 }  // namespace cnpb::core

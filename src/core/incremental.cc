@@ -1,12 +1,14 @@
 #include "core/incremental.h"
 
+#include <algorithm>
 #include <unordered_set>
+#include <utility>
 
 #include "generation/direct_extraction.h"
 #include "generation/predicate_discovery.h"
 #include "generation/separation.h"
+#include "taxonomy/api_service.h"
 #include "util/timer.h"
-#include "verification/pipeline.h"
 
 namespace cnpb::core {
 
@@ -19,13 +21,13 @@ std::string PairKey(const std::string& hypo, const std::string& hyper) {
   return key;
 }
 
+// Copies pages [first_page, source.size()) preserving their page ids (ids of
+// zero are auto-assigned by AddPage).
 kb::EncyclopediaDump CopyPages(const kb::EncyclopediaDump& source,
                                size_t first_page) {
   kb::EncyclopediaDump out;
   for (size_t i = first_page; i < source.size(); ++i) {
-    kb::EncyclopediaPage page = source.page(i);
-    page.page_id = 0;
-    out.AddPage(std::move(page));
+    out.AddPage(source.page(i));
   }
   return out;
 }
@@ -39,10 +41,14 @@ IncrementalUpdater::IncrementalUpdater(
     : config_(config),
       lexicon_(lexicon),
       dump_(CopyPages(base, 0)),
-      corpus_(corpus),
       segmenter_(lexicon),
       neural_(config.neural) {
-  for (const auto& sentence : corpus_) ngrams_.AddSentence(sentence);
+  // Batch pages get fresh ids continuing after the base dump's maximum, so
+  // ids stay unique across the union.
+  for (const kb::EncyclopediaPage& page : dump_.pages()) {
+    next_page_id_ = std::max(next_page_id_, page.page_id + 1);
+  }
+  for (const auto& sentence : corpus) ngrams_.AddSentence(sentence);
 
   // One-time expensive preparation on the base dump: bracket prior, CopyNet
   // training, predicate selection.
@@ -77,14 +83,18 @@ IncrementalUpdater::IncrementalUpdater(
 
   generation::CandidateList verified;
   if (config_.enable_verification) {
-    verification::VerificationPipeline pipeline(&dump_, lexicon_,
-                                                config_.verification);
-    for (const auto& sentence : corpus_) pipeline.AddCorpusSentence(sentence);
-    verified = pipeline.Verify(merged, &base_report_.verification);
+    // Constructed once, over the base dump; batches fold their deltas in via
+    // AddPage/AddCorpusSentence instead of rebuilding from scratch.
+    pipeline_ = std::make_unique<verification::VerificationPipeline>(
+        &dump_, lexicon_, config_.verification);
+    for (const auto& sentence : corpus) pipeline_->AddCorpusSentence(sentence);
+    verified = pipeline_->Verify(merged, &base_report_.verification);
   } else {
     verified = std::move(merged);
   }
-  taxonomy_ = CnProbaseBuilder::Materialise(verified);
+  taxonomy_ =
+      taxonomy::Taxonomy::Freeze(CnProbaseBuilder::Materialise(verified));
+  generation_ = 1;
 }
 
 generation::CandidateList IncrementalUpdater::ExtractFrom(size_t first_page) {
@@ -115,13 +125,14 @@ IncrementalUpdater::BatchReport IncrementalUpdater::ApplyBatch(
   for (const kb::EncyclopediaPage& page : pages) {
     if (dump_.FindByName(page.name) != nullptr) continue;  // already known
     kb::EncyclopediaPage copy = page;
-    copy.page_id = 0;
+    copy.page_id = next_page_id_++;
     dump_.AddPage(std::move(copy));
+    if (pipeline_ != nullptr) pipeline_->AddPage(dump_.page(dump_.size() - 1));
     ++report.pages_added;
   }
   for (const auto& sentence : new_corpus) {
     ngrams_.AddSentence(sentence);
-    corpus_.push_back(sentence);
+    if (pipeline_ != nullptr) pipeline_->AddCorpusSentence(sentence);
   }
   if (report.pages_added == 0) {
     report.seconds = timer.ElapsedSeconds();
@@ -135,44 +146,64 @@ IncrementalUpdater::BatchReport IncrementalUpdater::ApplyBatch(
   // concept hyponym sets, attribute distributions) see the whole taxonomy —
   // and so accumulating evidence can also revoke old relations.
   generation::CandidateList pool;
-  pool.reserve(taxonomy_.num_edges() + fresh.size());
-  taxonomy_.ForEachEdge([&](const taxonomy::IsaEdge& edge) {
+  pool.reserve(taxonomy_->num_edges() + fresh.size());
+  std::unordered_set<std::string> existing;
+  existing.reserve(taxonomy_->num_edges());
+  taxonomy_->ForEachEdge([&](const taxonomy::IsaEdge& edge) {
     generation::Candidate candidate;
-    candidate.hypo = taxonomy_.Name(edge.hypo);
-    candidate.hyper = taxonomy_.Name(edge.hyper);
+    candidate.hypo = taxonomy_->Name(edge.hypo);
+    candidate.hyper = taxonomy_->Name(edge.hyper);
     candidate.source = edge.source;
     candidate.score = edge.score;
+    existing.insert(PairKey(candidate.hypo, candidate.hyper));
     pool.push_back(std::move(candidate));
   });
-  std::unordered_set<std::string> existing;
-  existing.reserve(pool.size());
-  for (const auto& candidate : pool) {
-    existing.insert(PairKey(candidate.hypo, candidate.hyper));
-  }
+  // Fresh pairs not already in the taxonomy: the batch's genuinely new
+  // proposals, tracked so acceptance can be read off the final edge set.
+  std::unordered_set<std::string> proposed;
+  proposed.reserve(fresh.size());
   for (const auto& candidate : fresh) {
-    if (existing.count(PairKey(candidate.hypo, candidate.hyper)) == 0) {
-      pool.push_back(candidate);
-    }
+    std::string key = PairKey(candidate.hypo, candidate.hyper);
+    if (existing.count(key) > 0) continue;
+    if (proposed.insert(std::move(key)).second) pool.push_back(candidate);
   }
 
   generation::CandidateList verified;
-  if (config_.enable_verification) {
-    verification::VerificationPipeline pipeline(&dump_, lexicon_,
-                                                config_.verification);
-    for (const auto& sentence : corpus_) pipeline.AddCorpusSentence(sentence);
-    verified = pipeline.Verify(pool, nullptr);
+  if (pipeline_ != nullptr) {
+    verified = pipeline_->Verify(pool, nullptr);
   } else {
     verified = std::move(pool);
   }
-  const size_t before = taxonomy_.num_edges();
-  taxonomy_ = CnProbaseBuilder::Materialise(verified);
-  const size_t after = taxonomy_.num_edges();
-  report.accepted = after > before ? after - before : 0;
-  report.rejected = report.candidates > report.accepted
-                        ? report.candidates - report.accepted
-                        : 0;
+  // Materialise the next version off to the side, then swap the frozen
+  // snapshot; readers holding the old snapshot() are unaffected.
+  taxonomy::Taxonomy next = CnProbaseBuilder::Materialise(verified);
+  std::unordered_set<std::string> after;
+  after.reserve(next.num_edges());
+  next.ForEachEdge([&](const taxonomy::IsaEdge& edge) {
+    after.insert(PairKey(next.Name(edge.hypo), next.Name(edge.hyper)));
+  });
+  // Accounting from the actual edge sets: a proposed pair either made it in
+  // (accepted) or was vetoed (rejected); an existing pair that vanished was
+  // revoked — the three are distinct outcomes, not one clamped difference.
+  for (const std::string& key : proposed) {
+    if (after.count(key) > 0) {
+      ++report.accepted;
+    } else {
+      ++report.rejected;
+    }
+  }
+  for (const std::string& key : existing) {
+    if (after.count(key) == 0) ++report.revoked;
+  }
+  taxonomy_ = taxonomy::Taxonomy::Freeze(std::move(next));
+  ++generation_;
   report.seconds = timer.ElapsedSeconds();
   return report;
+}
+
+uint64_t IncrementalUpdater::Publish(taxonomy::ApiService* service) const {
+  return service->Publish(
+      taxonomy_, CnProbaseBuilder::BuildMentionIndex(dump_, *taxonomy_));
 }
 
 }  // namespace cnpb::core

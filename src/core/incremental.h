@@ -1,6 +1,7 @@
 #ifndef CNPROBASE_CORE_INCREMENTAL_H_
 #define CNPROBASE_CORE_INCREMENTAL_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "text/lexicon.h"
 #include "text/ngram.h"
 #include "text/segmenter.h"
+#include "verification/pipeline.h"
 
 namespace cnpb::core {
 
@@ -21,15 +23,30 @@ namespace cnpb::core {
 // option. The updater trains the expensive components once on the base dump
 // (CopyNet, predicate selection) and then processes page batches by
 // extracting candidates from the delta only, while verification statistics
-// (NER supports, concept attribute distributions) are maintained over the
-// union.
+// (NER supports, concept attribute distributions) are maintained
+// incrementally over the union — the verification pipeline is constructed
+// once and fed just the per-batch deltas, so batch cost does not grow with
+// the accumulated corpus.
+//
+// Serving: each batch materialises a fresh taxonomy off to the side and
+// freezes it into an immutable snapshot; Publish() installs the current
+// snapshot (plus a mention index rebuilt for it) into a live ApiService in
+// one atomic swap, so queries keep flowing — against a coherent version —
+// while batches apply.
 class IncrementalUpdater {
  public:
   struct BatchReport {
     size_t pages_added = 0;
+    // Fresh candidates extracted from the batch delta.
     size_t candidates = 0;
+    // Of the fresh (hypo, hyper) pairs not already in the taxonomy:
+    // `accepted` survived verification into the new taxonomy, `rejected`
+    // were vetoed. Fresh pairs duplicating existing edges count as neither.
     size_t accepted = 0;
     size_t rejected = 0;
+    // Pre-existing edges withdrawn because the accumulated evidence now
+    // votes against them (revocation, not rejection).
+    size_t revoked = 0;
     double seconds = 0.0;
   };
 
@@ -42,12 +59,28 @@ class IncrementalUpdater {
                      const CnProbaseBuilder::Config& config);
 
   // Applies one batch of new pages (and optional new corpus sentences);
-  // returns what happened. Pages whose names already exist are skipped.
+  // returns what happened. Pages whose names already exist are skipped; new
+  // pages get fresh unique page ids continuing after the base dump's.
   BatchReport ApplyBatch(
       const std::vector<kb::EncyclopediaPage>& pages,
       const std::vector<std::vector<std::string>>& new_corpus = {});
 
-  const taxonomy::Taxonomy& taxonomy() const { return taxonomy_; }
+  // Publishes the current snapshot to `service` as a new immutable version:
+  // the mention index is rebuilt off to the side for exactly this taxonomy,
+  // then ApiService::Publish swaps both in as one unit. Queries
+  // in flight are never blocked and never observe a half-applied update.
+  // Returns the service's new version number.
+  uint64_t Publish(taxonomy::ApiService* service) const;
+
+  const taxonomy::Taxonomy& taxonomy() const { return *taxonomy_; }
+  // The current frozen snapshot (replaced wholesale by each ApplyBatch;
+  // safe to hold across batches and to serve from concurrently).
+  std::shared_ptr<const taxonomy::Taxonomy> snapshot() const {
+    return taxonomy_;
+  }
+  // Number of taxonomy generations materialised so far (base build = 1,
+  // +1 per non-empty batch).
+  uint64_t generation() const { return generation_; }
   const kb::EncyclopediaDump& dump() const { return dump_; }
   const CnProbaseBuilder::Report& base_report() const { return base_report_; }
 
@@ -58,13 +91,17 @@ class IncrementalUpdater {
   CnProbaseBuilder::Config config_;
   const text::Lexicon* lexicon_;
   kb::EncyclopediaDump dump_;  // union of base + applied batches
-  std::vector<std::vector<std::string>> corpus_;
   text::Segmenter segmenter_;
   text::NgramCounter ngrams_;
   generation::NeuralGeneration neural_;
   std::vector<std::string> selected_predicates_;
   CnProbaseBuilder::Report base_report_;
-  taxonomy::Taxonomy taxonomy_;
+  // Persistent across batches; fed only the deltas (see AddPage /
+  // AddCorpusSentence). Null when verification is disabled.
+  std::unique_ptr<verification::VerificationPipeline> pipeline_;
+  std::shared_ptr<const taxonomy::Taxonomy> taxonomy_;
+  uint64_t generation_ = 0;
+  uint64_t next_page_id_ = 1;  // first id past the base dump's maximum
 };
 
 }  // namespace cnpb::core

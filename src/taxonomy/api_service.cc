@@ -1,20 +1,59 @@
 #include "taxonomy/api_service.h"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_set>
+#include <utility>
 
 #include "util/logging.h"
 
 namespace cnpb::taxonomy {
 
-ApiService::ApiService(const Taxonomy* taxonomy) : taxonomy_(taxonomy) {
+ApiService::ApiService(const Taxonomy* taxonomy) {
   CNPB_CHECK(taxonomy != nullptr);
+  Publish(util::UnownedSnapshot(taxonomy), MentionIndex());
+}
+
+ApiService::ApiService(std::shared_ptr<const Taxonomy> taxonomy,
+                       MentionIndex mentions) {
+  Publish(std::move(taxonomy), std::move(mentions));
+}
+
+uint64_t ApiService::Publish(std::shared_ptr<const Taxonomy> taxonomy,
+                             MentionIndex mentions) {
+  CNPB_CHECK(taxonomy != nullptr);
+  // Build the whole version entry off to the side; readers keep serving the
+  // previous version until the single release-ordered swap below.
+  auto next = std::make_shared<Version>();
+  next->taxonomy = std::move(taxonomy);
+  next->mentions = std::move(mentions);
+  next->queries = std::make_shared<std::atomic<uint64_t>>(0);
+
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  next->version = next_version_++;
+  history_.push_back({next->version, next->taxonomy->num_edges(),
+                      next->mentions.size(), next->queries});
+  {
+    // The rebuilt index supersedes the live overlay. Clearing before the
+    // swap keeps every interleaving coherent: readers see either (old
+    // version, overlay or empty) or (new version, empty) — never new-version
+    // results mixed with old-version overlay ids.
+    std::unique_lock<std::shared_mutex> overlay_lock(overlay_mu_);
+    overlay_.clear();
+  }
+  const uint64_t version = next->version;
+  snapshot_.Publish(std::move(next));
+  return version;
+}
+
+std::shared_ptr<const ApiService::Version> ApiService::PinForQuery() const {
+  std::shared_ptr<const Version> snap = snapshot_.Acquire();
+  snap->queries->fetch_add(1, std::memory_order_relaxed);
+  return snap;
 }
 
 void ApiService::RegisterMention(std::string_view mention, NodeId entity) {
-  std::unique_lock<std::shared_mutex> lock(mention_mu_);
-  auto& candidates = mention_index_[std::string(mention)];
+  std::unique_lock<std::shared_mutex> lock(overlay_mu_);
+  auto& candidates = overlay_[std::string(mention)];
   if (std::find(candidates.begin(), candidates.end(), entity) ==
       candidates.end()) {
     candidates.push_back(entity);
@@ -23,15 +62,29 @@ void ApiService::RegisterMention(std::string_view mention, NodeId entity) {
 
 std::vector<NodeId> ApiService::Men2Ent(std::string_view mention) const {
   men2ent_calls_.fetch_add(1, std::memory_order_relaxed);
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  const std::string key(mention);
   std::vector<NodeId> out;
-  {
-    std::shared_lock<std::shared_mutex> lock(mention_mu_);
-    auto it = mention_index_.find(std::string(mention));
-    if (it == mention_index_.end()) return {};
-    out = it->second;  // copy, so ranking happens outside the lock
+  if (auto it = snap->mentions.find(key); it != snap->mentions.end()) {
+    out = it->second;
   }
+  {
+    std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+    auto it = overlay_.find(key);
+    if (it != overlay_.end()) {
+      for (const NodeId id : it->second) {
+        if (std::find(out.begin(), out.end(), id) == out.end()) {
+          out.push_back(id);
+        }
+      }
+    }
+  }
+  if (out.empty()) return out;
+  // Ranking reads only the pinned snapshot (ids unknown to it rank last
+  // with zero hypernyms), outside any lock.
+  const Taxonomy& taxonomy = *snap->taxonomy;
   std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
-    return taxonomy_->Hypernyms(a).size() > taxonomy_->Hypernyms(b).size();
+    return taxonomy.Hypernyms(a).size() > taxonomy.Hypernyms(b).size();
   });
   return out;
 }
@@ -39,10 +92,12 @@ std::vector<NodeId> ApiService::Men2Ent(std::string_view mention) const {
 std::vector<std::string> ApiService::GetConcept(std::string_view entity_name,
                                                 bool transitive) const {
   get_concept_calls_.fetch_add(1, std::memory_order_relaxed);
-  const NodeId id = taxonomy_->Find(entity_name);
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  const Taxonomy& taxonomy = *snap->taxonomy;
+  const NodeId id = taxonomy.Find(entity_name);
   if (id == kInvalidNode) return {};
   // Rank by edge confidence (source prior), most trustworthy first.
-  std::vector<IsaEdge> edges = taxonomy_->Hypernyms(id);
+  std::vector<IsaEdge> edges = taxonomy.Hypernyms(id);
   std::stable_sort(edges.begin(), edges.end(),
                    [](const IsaEdge& a, const IsaEdge& b) {
                      return a.score > b.score;
@@ -51,13 +106,13 @@ std::vector<std::string> ApiService::GetConcept(std::string_view entity_name,
   out.reserve(edges.size());
   std::unordered_set<NodeId> direct;
   for (const IsaEdge& edge : edges) {
-    out.push_back(taxonomy_->Name(edge.hyper));
+    out.push_back(taxonomy.Name(edge.hyper));
     direct.insert(edge.hyper);
   }
   if (transitive) {
-    for (const NodeId ancestor : taxonomy_->TransitiveHypernyms(id)) {
+    for (const NodeId ancestor : taxonomy.TransitiveHypernyms(id)) {
       if (direct.count(ancestor) == 0) {
-        out.push_back(taxonomy_->Name(ancestor));
+        out.push_back(taxonomy.Name(ancestor));
       }
     }
   }
@@ -67,12 +122,35 @@ std::vector<std::string> ApiService::GetConcept(std::string_view entity_name,
 std::vector<std::string> ApiService::GetEntity(std::string_view concept_name,
                                                size_t limit) const {
   get_entity_calls_.fetch_add(1, std::memory_order_relaxed);
-  const NodeId id = taxonomy_->Find(concept_name);
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  const Taxonomy& taxonomy = *snap->taxonomy;
+  const NodeId id = taxonomy.Find(concept_name);
   if (id == kInvalidNode) return {};
   std::vector<std::string> out;
-  for (const IsaEdge& edge : taxonomy_->Hyponyms(id)) {
+  for (const IsaEdge& edge : taxonomy.Hyponyms(id)) {
     if (out.size() >= limit) break;
-    out.push_back(taxonomy_->Name(edge.hypo));
+    out.push_back(taxonomy.Name(edge.hypo));
+  }
+  return out;
+}
+
+std::shared_ptr<const Taxonomy> ApiService::CurrentTaxonomy() const {
+  return snapshot_.Acquire()->taxonomy;
+}
+
+uint64_t ApiService::version() const { return snapshot_.Acquire()->version; }
+
+std::vector<ApiService::VersionStats> ApiService::AllVersionStats() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  std::vector<VersionStats> out;
+  out.reserve(history_.size());
+  for (const VersionRecord& record : history_) {
+    VersionStats stats;
+    stats.version = record.version;
+    stats.num_edges = record.num_edges;
+    stats.num_mentions = record.num_mentions;
+    stats.queries = record.queries->load(std::memory_order_relaxed);
+    out.push_back(stats);
   }
   return out;
 }
@@ -89,11 +167,20 @@ void ApiService::ResetUsage() {
   men2ent_calls_.store(0, std::memory_order_relaxed);
   get_concept_calls_.store(0, std::memory_order_relaxed);
   get_entity_calls_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  for (const VersionRecord& record : history_) {
+    record.queries->store(0, std::memory_order_relaxed);
+  }
 }
 
 size_t ApiService::num_mentions() const {
-  std::shared_lock<std::shared_mutex> lock(mention_mu_);
-  return mention_index_.size();
+  const std::shared_ptr<const Version> snap = snapshot_.Acquire();
+  std::shared_lock<std::shared_mutex> lock(overlay_mu_);
+  size_t count = snap->mentions.size();
+  for (const auto& [mention, ids] : overlay_) {
+    if (snap->mentions.find(mention) == snap->mentions.end()) ++count;
+  }
+  return count;
 }
 
 }  // namespace cnpb::taxonomy

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <string_view>
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "taxonomy/taxonomy.h"
+#include "util/snapshot.h"
 
 namespace cnpb::taxonomy {
 
@@ -20,15 +23,29 @@ namespace cnpb::taxonomy {
 //   getEntity  — concept  -> hyponym (entity) list
 // Every call is counted so the Table II workload bench can report the mix.
 //
-// Thread safety: the three query APIs may be called concurrently from any
-// number of threads, including while RegisterMention runs (the mention
-// index is guarded by a shared_mutex; queries take the shared side, the
-// registration writer the exclusive side). Call counters are relaxed
-// atomics, so usage().total() is exact under concurrency. The underlying
-// Taxonomy is read-only here and must not be mutated while the service is
-// in use.
+// Versioned serving: CN-Probase sits on a never-ending extraction system
+// (CN-DBpedia), so updates and queries are concurrent by design. The service
+// holds an RCU-style snapshot — one swappable shared_ptr to an immutable
+// {taxonomy, mention index, version} triple. Each query pins the current
+// snapshot (a release/acquire-ordered refcount bump) and answers entirely
+// against it, so queries never block on, and never observe a half-applied,
+// update. Publish installs a fully-built replacement with one release-ordered
+// pointer swap; retired versions are freed when the last in-flight query
+// releases them.
+//
+// Thread safety: the query APIs may be called concurrently from any number
+// of threads, including while RegisterMention or Publish runs.
+// RegisterMention writes a live overlay on top of the current version
+// (guarded by a shared_mutex: queries take the shared side, registration the
+// exclusive side); Publish supersedes and clears the overlay, since a
+// published mention index is rebuilt for its taxonomy version. Call
+// counters are relaxed atomics, so usage().total() is exact once all
+// callers have joined.
 class ApiService {
  public:
+  // mention -> candidate entity nodes, as built for one taxonomy version.
+  using MentionIndex = std::unordered_map<std::string, std::vector<NodeId>>;
+
   // A plain snapshot of the call counters (see usage()).
   struct UsageStats {
     uint64_t men2ent_calls = 0;
@@ -39,17 +56,44 @@ class ApiService {
     }
   };
 
-  // The taxonomy must outlive the service.
+  // Per-published-version serving statistics; `queries` counts the calls
+  // answered while that version was the pinned snapshot, so benches can
+  // attribute QPS to taxonomy versions.
+  struct VersionStats {
+    uint64_t version = 0;
+    size_t num_edges = 0;
+    size_t num_mentions = 0;
+    uint64_t queries = 0;
+  };
+
+  // Non-owning: `taxonomy` must outlive the service. Published as version 1
+  // with an empty mention index (fill it via RegisterMention / Publish).
   explicit ApiService(const Taxonomy* taxonomy);
 
-  // Registers `mention` as a surface form of entity node `entity`.
-  // (Built by the pipeline from page mentions; entities keep their
-  // disambiguated names as node names.) Exclusive writer: safe to call
-  // while queries are in flight.
+  // Owning: the service pins the snapshot; `mentions` must be the index
+  // built for exactly this taxonomy.
+  explicit ApiService(std::shared_ptr<const Taxonomy> taxonomy,
+                      MentionIndex mentions = MentionIndex());
+
+  // Atomically publishes a new taxonomy version together with its rebuilt
+  // mention index: builds the version entry off to the side, then installs
+  // it with one release-ordered swap. In-flight queries keep whichever they
+  // pinned; later queries observe the new one. The live RegisterMention
+  // overlay is cleared (the rebuilt index supersedes it). Returns the new
+  // version number (monotonically increasing from 1). Safe to call
+  // concurrently with queries; concurrent publishers are serialised.
+  uint64_t Publish(std::shared_ptr<const Taxonomy> taxonomy,
+                   MentionIndex mentions);
+
+  // Registers `mention` as a surface form of entity node `entity` in the
+  // live overlay on top of the current version. Visible to queries
+  // immediately; superseded by the next Publish. Exclusive writer: safe to
+  // call while queries are in flight.
   void RegisterMention(std::string_view mention, NodeId entity);
 
   // men2ent: candidate entities for a mention, most-popular first
-  // (popularity = number of hypernyms, a proxy for page richness).
+  // (popularity = number of hypernyms, a proxy for page richness). Node ids
+  // are relative to the version pinned by this call (see CurrentTaxonomy).
   std::vector<NodeId> Men2Ent(std::string_view mention) const;
 
   // getConcept: hypernym names of an entity (or concept) name, ranked by
@@ -62,18 +106,57 @@ class ApiService {
   std::vector<std::string> GetEntity(std::string_view concept_name,
                                      size_t limit = 100) const;
 
+  // Pins and returns the currently served taxonomy version (clients that
+  // need several coherent lookups should query this snapshot directly).
+  std::shared_ptr<const Taxonomy> CurrentTaxonomy() const;
+
+  // Version number of the currently served snapshot.
+  uint64_t version() const;
+
+  // Stats for every version published so far (including retired ones), in
+  // publish order. Each query is attributed to exactly one version.
+  std::vector<VersionStats> AllVersionStats() const;
+
   // Snapshot of the call counters. Each counter is read atomically; the
   // snapshot as a whole is not a cross-counter atomic cut, but once all
   // callers have joined it is exact.
   UsageStats usage() const;
-  void ResetUsage();
+  void ResetUsage();  // also zeroes the per-version query counters
 
+  // Mentions resolvable right now: the pinned version's index plus overlay
+  // entries not shadowed by it.
   size_t num_mentions() const;
 
  private:
-  const Taxonomy* taxonomy_;
-  mutable std::shared_mutex mention_mu_;
-  std::unordered_map<std::string, std::vector<NodeId>> mention_index_;
+  // One published, immutable serving version. `queries` is shared with the
+  // stats history so counts survive the version being retired.
+  struct Version {
+    std::shared_ptr<const Taxonomy> taxonomy;
+    MentionIndex mentions;
+    uint64_t version = 0;
+    std::shared_ptr<std::atomic<uint64_t>> queries;
+  };
+
+  struct VersionRecord {
+    uint64_t version = 0;
+    size_t num_edges = 0;
+    size_t num_mentions = 0;
+    std::shared_ptr<std::atomic<uint64_t>> queries;
+  };
+
+  // Pins the current version (never null) and counts the query against it.
+  std::shared_ptr<const Version> PinForQuery() const;
+
+  util::SnapshotHolder<Version> snapshot_;
+
+  // Live overlay of RegisterMention calls since the last publish.
+  mutable std::shared_mutex overlay_mu_;
+  MentionIndex overlay_;
+
+  mutable std::mutex publish_mu_;  // serialises Publish; guards history_
+  std::vector<VersionRecord> history_;
+  uint64_t next_version_ = 1;
+
   mutable std::atomic<uint64_t> men2ent_calls_{0};
   mutable std::atomic<uint64_t> get_concept_calls_{0};
   mutable std::atomic<uint64_t> get_entity_calls_{0};

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -56,6 +57,14 @@ class Taxonomy {
   Taxonomy& operator=(const Taxonomy&) = delete;
   Taxonomy(Taxonomy&&) = default;
   Taxonomy& operator=(Taxonomy&&) = default;
+
+  // Freezes a fully-built taxonomy into an immutable, shareable snapshot.
+  // After freezing, nothing may mutate the object: all const queries are
+  // then safe from any number of threads, and the snapshot can be published
+  // to a live ApiService (see util::SnapshotHolder and DESIGN.md §6).
+  static std::shared_ptr<const Taxonomy> Freeze(Taxonomy&& taxonomy) {
+    return std::make_shared<const Taxonomy>(std::move(taxonomy));
+  }
 
   // Interns a node; returns the existing id when (name) is already present.
   // A name keeps the kind it was first added with; adding the same name with

@@ -21,15 +21,17 @@ void Normalise(std::unordered_map<std::string, double>& dist) {
 IncompatibleConcepts::IncompatibleConcepts(const kb::EncyclopediaDump* dump,
                                            const Config& config)
     : dump_(dump), config_(config) {
-  for (const kb::EncyclopediaPage& page : dump->pages()) {
-    if (page.infobox.empty()) continue;
-    Dist dist;
-    for (const kb::SpoTriple& triple : page.infobox) {
-      dist[triple.predicate] += 1.0;
-    }
-    Normalise(dist);
-    entity_attrs_.emplace(page.name, std::move(dist));
+  for (const kb::EncyclopediaPage& page : dump->pages()) IngestPage(page);
+}
+
+void IncompatibleConcepts::IngestPage(const kb::EncyclopediaPage& page) {
+  if (page.infobox.empty()) return;
+  Dist dist;
+  for (const kb::SpoTriple& triple : page.infobox) {
+    dist[triple.predicate] += 1.0;
   }
+  Normalise(dist);
+  entity_attrs_[page.name] = std::move(dist);
 }
 
 double IncompatibleConcepts::Jaccard(const std::vector<std::string>& a,

@@ -33,6 +33,10 @@ class IncompatibleConcepts {
   // `dump` provides the infobox attribute distributions; must outlive this.
   IncompatibleConcepts(const kb::EncyclopediaDump* dump, const Config& config);
 
+  // Folds one page's infobox into the attribute-distribution table, so
+  // incrementally-added pages are judged without re-scanning the dump.
+  void IngestPage(const kb::EncyclopediaPage& page);
+
   // Marks rejected[i] = 1 for candidates vetoed by this strategy. Only
   // entity->concept candidates are judged. Returns the number of newly
   // rejected candidates; already-rejected entries are skipped.

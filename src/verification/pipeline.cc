@@ -19,6 +19,11 @@ void VerificationPipeline::AddCorpusSentence(
   ner_.AddCorpusSentence(words);
 }
 
+void VerificationPipeline::AddPage(const kb::EncyclopediaPage& page) {
+  mention_of_page_.emplace(page.name, page.mention);
+  incompatible_.IngestPage(page);
+}
+
 generation::CandidateList VerificationPipeline::Verify(
     const generation::CandidateList& candidates, Report* report) {
   // Strategies still run in sequence (rejections are attributed to the first

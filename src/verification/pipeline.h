@@ -47,6 +47,14 @@ class VerificationPipeline {
 
   void AddCorpusSentence(const std::vector<std::string>& words);
 
+  // Folds one newly-arrived page into the pipeline's corpus statistics (the
+  // page-name -> mention table and the attribute distributions backing the
+  // incompatible-concepts strategy). The incremental updater calls this per
+  // batch page instead of reconstructing the pipeline — which would re-scan
+  // the entire accumulated dump — so per-batch verification cost stays
+  // proportional to the delta, not the union.
+  void AddPage(const kb::EncyclopediaPage& page);
+
   // Filters the candidate list; fills `report` if non-null.
   generation::CandidateList Verify(const generation::CandidateList& candidates,
                                    Report* report);

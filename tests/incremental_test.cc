@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <unordered_set>
 
 #include "core/incremental.h"
 #include "eval/precision.h"
@@ -130,6 +132,76 @@ TEST_F(IncrementalTest, EmptyBatchIsCheap) {
   const auto report = updater.ApplyBatch({});
   EXPECT_EQ(report.pages_added, 0u);
   EXPECT_EQ(report.accepted, 0u);
+}
+
+TEST_F(IncrementalTest, BatchPagesGetDistinctFreshIds) {
+  core::IncrementalUpdater updater(*base_, &world_->lexicon(), *corpus_words_,
+                                   Config());
+  // The seed zeroed every batch page's id before insertion, so batch pages
+  // collided instead of continuing the base dump's id sequence.
+  uint64_t max_base_id = 0;
+  for (const auto& page : updater.dump().pages()) {
+    max_base_id = std::max(max_base_id, page.page_id);
+  }
+  std::vector<kb::EncyclopediaPage> two(batch1_->begin(), batch1_->begin() + 2);
+  const auto report = updater.ApplyBatch(two);
+  ASSERT_EQ(report.pages_added, 2u);
+
+  const kb::EncyclopediaPage* first = updater.dump().FindByName(two[0].name);
+  const kb::EncyclopediaPage* second = updater.dump().FindByName(two[1].name);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(first->page_id, second->page_id);
+  EXPECT_GT(first->page_id, max_base_id);
+  EXPECT_GT(second->page_id, max_base_id);
+
+  // Ids are unique across the whole union, not just the batch.
+  std::unordered_set<uint64_t> ids;
+  for (const auto& page : updater.dump().pages()) {
+    EXPECT_NE(page.page_id, 0u);
+    EXPECT_TRUE(ids.insert(page.page_id).second)
+        << "duplicate page id " << page.page_id;
+  }
+}
+
+TEST(IncrementalRevocationTest, RevocationsAreCountedSeparatelyFromRejections) {
+  // A controlled world where new corpus evidence flips a hypernym into a
+  // named entity: every pre-existing edge under it must be revoked, while
+  // the batch's own candidate is rejected — two different outcomes the seed
+  // conflated (accepted = max(0, after - before) hid both).
+  text::Lexicon lexicon;
+  kb::EncyclopediaDump base;
+  constexpr size_t kBasePages = 6;
+  for (size_t i = 0; i < kBasePages; ++i) {
+    kb::EncyclopediaPage page;
+    page.name = "e" + std::to_string(i);
+    page.mention = page.name;
+    page.tags = {"goodconcept"};
+    base.AddPage(std::move(page));
+  }
+  core::CnProbaseBuilder::Config config;
+  config.neural.epochs = 1;
+  config.verification.use_syntax = false;
+  config.verification.use_incompatible = false;  // isolate the NER strategy
+  core::IncrementalUpdater updater(base, &lexicon, {}, config);
+  ASSERT_EQ(updater.taxonomy().num_edges(), kBasePages);
+
+  // The batch adds one more hyponym of "goodconcept", and corpus sentences
+  // placing "goodconcept" after a locative preposition — NER support s1
+  // jumps to 1.0, so verification now vetoes every edge under it.
+  kb::EncyclopediaPage straggler;
+  straggler.name = "e_new";
+  straggler.mention = straggler.name;
+  straggler.tags = {"goodconcept"};
+  const auto report =
+      updater.ApplyBatch({straggler}, {{"位于", "goodconcept"}});
+
+  EXPECT_EQ(report.pages_added, 1u);
+  EXPECT_EQ(report.candidates, 1u);
+  EXPECT_EQ(report.accepted, 0u);
+  EXPECT_EQ(report.rejected, 1u);
+  EXPECT_EQ(report.revoked, kBasePages);
+  EXPECT_EQ(updater.taxonomy().num_edges(), 0u);
 }
 
 TEST_F(IncrementalTest, ComparableToFullRebuild) {
