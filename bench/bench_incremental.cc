@@ -7,11 +7,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/incremental.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "taxonomy/api_service.h"
 #include "util/histogram.h"
 #include "util/timer.h"
@@ -223,4 +226,24 @@ void Run() {
 }  // namespace
 }  // namespace cnpb
 
-int main() { cnpb::Run(); }
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
+  }
+  cnpb::Run();
+  if (!metrics_out.empty()) {
+    const cnpb::util::Status status = cnpb::obs::WriteMetricsFiles(
+        cnpb::obs::MetricsRegistry::Global(), metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmetrics written to %s.prom and %s.json\n",
+                metrics_out.c_str(), metrics_out.c_str());
+  }
+  return 0;
+}

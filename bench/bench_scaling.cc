@@ -3,9 +3,11 @@
 // paper's deployment processes a 16M-page dump and serves ~83M API calls;
 // this bench shows the pipeline's empirical scaling so the laptop-scale
 // results can be extrapolated.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -13,6 +15,8 @@
 
 #include "bench/bench_common.h"
 #include "core/incremental.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "taxonomy/api_service.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -39,7 +43,11 @@ void RunDumpSizeSweep() {
   std::printf("\n-- construction cost vs dump size --\n");
   std::printf("\n%10s %8s %10s %10s %10s %10s %10s\n", "entities", "pages",
               "gen (s)", "verify (s)", "isA", "precision", "pages/s");
-  for (const size_t scale : {2000, 4000, 8000, 16000}) {
+  // Scales derive from CNPB_BENCH_ENTITIES (default 8000 keeps the
+  // historical {2000, 4000, 8000, 16000} sweep) so CI can shrink the run.
+  const size_t base = bench::BenchScale(8000);
+  for (const size_t step : {base / 4, base / 2, base, base * 2}) {
+    const size_t scale = std::max<size_t>(step, 64);
     auto world = bench::MakeBenchWorld(scale);
     util::WallTimer timer;
     core::CnProbaseBuilder::Report report;
@@ -227,7 +235,68 @@ void RunServeWhileUpdateSweep() {
                 static_cast<unsigned long long>(calls), seconds,
                 calls / seconds,
                 static_cast<unsigned long long>(publishes.load()));
+    // Flush the per-version serving gauges into the registry so a
+    // --metrics-out export carries the QPS attribution of the last round.
+    api.ExportMetrics(&obs::MetricsRegistry::Global());
   }
+}
+
+void RunMetricsOverheadCheck() {
+  std::printf("\n-- metrics overhead: instrumented vs metrics-disabled --\n");
+  const size_t scale = bench::BenchScale(6000);
+  auto world = bench::MakeBenchWorld(scale);
+  core::CnProbaseBuilder::Report report;
+  const auto taxonomy = core::CnProbaseBuilder::Build(
+      world->output->dump, world->world->lexicon(), world->corpus_words,
+      bench::DefaultBuilderConfig(), &report);
+  taxonomy::ApiService api(&taxonomy);
+  core::CnProbaseBuilder::RegisterMentions(world->output->dump, taxonomy,
+                                           &api);
+  std::vector<std::string> mentions;
+  for (const auto& page : world->output->dump.pages()) {
+    mentions.push_back(page.mention);
+  }
+
+  // Single-threaded query loop (the configuration most sensitive to
+  // per-call overhead). Rounds interleave the two modes and each side keeps
+  // its best time, so frequency drift and scheduler noise hit both equally.
+  constexpr size_t kCalls = 1000000;
+  constexpr int kRounds = 8;
+  auto run_once = [&]() {
+    util::WallTimer timer;
+    for (size_t i = 0; i < kCalls; ++i) {
+      const std::string& mention = mentions[(i * 37) % mentions.size()];
+      if (i % 2 == 0) {
+        api.Men2Ent(mention);
+      } else if (i % 4 == 1) {
+        api.GetConcept(mention);
+      } else {
+        api.GetEntity(mention, 20);
+      }
+    }
+    return timer.ElapsedSeconds();
+  };
+  run_once();  // warm caches before either side measures
+  double disabled = std::numeric_limits<double>::infinity();
+  double enabled = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < kRounds; ++r) {
+    obs::SetMetricsEnabled(false);
+    disabled = std::min(disabled, run_once());
+    obs::SetMetricsEnabled(true);
+    enabled = std::min(enabled, run_once());
+  }
+  const double overhead_pct = 100.0 * (enabled - disabled) / disabled;
+  std::printf("\n%12s %12s %12s %10s\n", "mode", "seconds", "QPS",
+              "overhead");
+  std::printf("%12s %12.3f %12.0f %10s\n", "disabled", disabled,
+              kCalls / disabled, "-");
+  std::printf("%12s %12.3f %12.0f %9.2f%%\n", "enabled", enabled,
+              kCalls / enabled, overhead_pct);
+  // The observability contract (DESIGN.md §7): instrumented serving stays
+  // within 2% of the metrics-disabled baseline.
+  std::printf("%s\n", overhead_pct < 2.0
+                          ? "overhead check: OK (<2% budget)"
+                          : "overhead check: ** OVER the 2% budget **");
 }
 
 void Run() {
@@ -237,15 +306,37 @@ void Run() {
   RunThreadSweep();
   RunApiQpsSweep();
   RunServeWhileUpdateSweep();
+  RunMetricsOverheadCheck();
   std::printf("\nshape check: near-linear construction in dump size (neural "
               "training is the\nfixed-cost component); sharded build "
               "throughput rises with threads while the\nserialized taxonomy "
               "stays byte-identical; API QPS scales with reader\nconcurrency "
               "and holds up under continuous snapshot publishes (RCU swap,\n"
-              "readers never block).\n");
+              "readers never block); instrumentation costs <2%% of serving "
+              "throughput.\n");
 }
 
 }  // namespace
 }  // namespace cnpb
 
-int main() { cnpb::Run(); }
+int main(int argc, char** argv) {
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+    }
+  }
+  cnpb::Run();
+  if (!metrics_out.empty()) {
+    const cnpb::util::Status status = cnpb::obs::WriteMetricsFiles(
+        cnpb::obs::MetricsRegistry::Global(), metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmetrics written to %s.prom and %s.json\n",
+                metrics_out.c_str(), metrics_out.c_str());
+  }
+  return 0;
+}

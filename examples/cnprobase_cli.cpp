@@ -7,14 +7,27 @@
 //
 // `generate` then `build` then `query` reproduces the whole pipeline from
 // files on disk, the way a deployment would run it stage by stage.
+//
+// Any command accepts `--metrics-out <base>`: on exit the process metrics
+// registry is exported to <base>.prom (Prometheus text) and <base>.json.
+// With `build` this covers per-stage wall times and verification outcome
+// counters; `build` additionally serves a short deterministic ApiService
+// workload over the fresh taxonomy (two published versions) so the export
+// also carries query latency buckets and per-version QPS.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/builder.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "synth/corpus_gen.h"
 #include "synth/encyclopedia_gen.h"
 #include "synth/world.h"
+#include "taxonomy/api_service.h"
 #include "taxonomy/serialize.h"
 #include "taxonomy/stats.h"
 #include "text/segmenter.h"
@@ -56,7 +69,44 @@ int Generate(const std::string& dir, size_t entities) {
   return 0;
 }
 
-int Build(const std::string& dir) {
+// Serves a deterministic query workload over the freshly built taxonomy so
+// a --metrics-out export carries serving-side metrics (latency buckets,
+// per-version QPS) and not just build-side ones. The taxonomy is published
+// twice — the republish is a realistic no-op update — so the per-version
+// attribution has more than one version to split across.
+void ServeMetricsWorkload(const kb::EncyclopediaDump& dump,
+                          taxonomy::Taxonomy taxonomy) {
+  auto frozen = taxonomy::Taxonomy::Freeze(std::move(taxonomy));
+  taxonomy::ApiService api(frozen,
+                           core::CnProbaseBuilder::BuildMentionIndex(
+                               dump, *frozen));
+  // Enough passes over the dump that the 1-in-256 latency sampling in
+  // ApiService still collects a few hundred observations per API.
+  const size_t passes =
+      std::max<size_t>(1, 100000 / std::max<size_t>(1, dump.size()));
+  const auto run_queries = [&]() {
+    for (size_t pass = 0; pass < passes; ++pass) {
+      size_t i = 0;
+      for (const kb::EncyclopediaPage& page : dump.pages()) {
+        api.Men2Ent(page.mention);
+        if (i % 2 == 0) api.GetConcept(page.name);
+        if (i % 4 == 0) api.GetEntity(page.name, 20);
+        ++i;
+      }
+    }
+  };
+  run_queries();
+  api.Publish(frozen, core::CnProbaseBuilder::BuildMentionIndex(dump, *frozen));
+  run_queries();
+  api.ExportMetrics(&obs::MetricsRegistry::Global());
+  const auto usage = api.usage();
+  std::printf(
+      "metrics workload: %llu API calls across %llu published versions\n",
+      static_cast<unsigned long long>(usage.total()),
+      static_cast<unsigned long long>(api.version()));
+}
+
+int Build(const std::string& dir, const std::string& metrics_out) {
   auto dump = kb::EncyclopediaDump::Load(DumpPath(dir));
   if (!dump.ok()) {
     std::fprintf(stderr, "load dump: %s\n", dump.status().ToString().c_str());
@@ -80,13 +130,16 @@ int Build(const std::string& dir) {
     config.verification.syntax.thematic_lexicon.emplace_back(word);
   }
   core::CnProbaseBuilder::Report report;
-  const auto taxonomy = core::CnProbaseBuilder::Build(
+  auto taxonomy = core::CnProbaseBuilder::Build(
       *dump, *lexicon, *corpus_rows, config, &report);
   CNPB_CHECK_OK(taxonomy::SaveTaxonomy(taxonomy, TaxonomyPath(dir)));
   std::printf(
       "built %s isA relations (%zu rejected by verification) -> %s\n",
       util::CommaSeparated(taxonomy.num_edges()).c_str(),
       report.verification.rejected_total(), TaxonomyPath(dir).c_str());
+  if (!metrics_out.empty()) {
+    ServeMetricsWorkload(*dump, std::move(taxonomy));
+  }
   return 0;
 }
 
@@ -133,20 +186,51 @@ int Query(const std::string& dir, int argc, char** argv, int first) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  // Strip `--metrics-out <base>` wherever it appears; the remaining
+  // positional arguments keep their usual meaning.
+  std::string metrics_out;
+  std::vector<char*> args;
+  args.reserve(argc);
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics-out" && i + 1 < argc) {
+      metrics_out = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  const int nargs = static_cast<int>(args.size());
+  if (nargs < 3) {
     std::fprintf(stderr,
-                 "usage: %s generate|build|stats|query <dir> [args]\n",
+                 "usage: %s generate|build|stats|query <dir> [args] "
+                 "[--metrics-out <base>]\n",
                  argv[0]);
     return 2;
   }
-  const std::string command = argv[1];
-  const std::string dir = argv[2];
+  const std::string command = args[1];
+  const std::string dir = args[2];
+  int rc = 2;
   if (command == "generate") {
-    return Generate(dir, argc > 3 ? std::atol(argv[3]) : 8000);
+    rc = Generate(dir, nargs > 3 ? std::atol(args[3]) : 8000);
+  } else if (command == "build") {
+    rc = Build(dir, metrics_out);
+  } else if (command == "stats") {
+    rc = Stats(dir);
+  } else if (command == "query") {
+    rc = Query(dir, nargs, args.data(), 3);
+  } else {
+    std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+    return 2;
   }
-  if (command == "build") return Build(dir);
-  if (command == "stats") return Stats(dir);
-  if (command == "query") return Query(dir, argc, argv, 3);
-  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
-  return 2;
+  if (!metrics_out.empty()) {
+    const cnpb::util::Status status = cnpb::obs::WriteMetricsFiles(
+        cnpb::obs::MetricsRegistry::Global(), metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      return rc == 0 ? 1 : rc;
+    }
+    std::printf("metrics written to %s.prom and %s.json\n",
+                metrics_out.c_str(), metrics_out.c_str());
+  }
+  return rc;
 }

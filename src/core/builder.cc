@@ -6,6 +6,7 @@
 
 #include "generation/direct_extraction.h"
 #include "generation/separation.h"
+#include "obs/metrics.h"
 #include "text/ngram.h"
 #include "text/segmenter.h"
 #include "util/parallel.h"
@@ -42,6 +43,22 @@ generation::CandidateList CnProbaseBuilder::BuildCandidates(
   Report local;
   util::WallTimer timer;
 
+  // Build-stage instruments. Stage wall times are gauges (last build wins);
+  // shard-level timings go to histograms so tail shards stay visible, and the
+  // shard/page counters make pipeline progress observable from outside.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter* shards_processed = metrics.counter("build.shards_processed");
+  obs::Counter* pages_processed = metrics.counter("build.pages_processed");
+  obs::BucketHistogram* bracket_shard_seconds =
+      metrics.histogram("build.shard.bracket_seconds");
+  obs::BucketHistogram* abstract_shard_seconds =
+      metrics.histogram("build.shard.abstract_seconds");
+  obs::BucketHistogram* infobox_shard_seconds =
+      metrics.histogram("build.shard.infobox_seconds");
+  obs::BucketHistogram* tag_shard_seconds =
+      metrics.histogram("build.shard.tag_seconds");
+  util::WallTimer stage_timer;
+
   text::Segmenter segmenter(&lexicon);
   text::NgramCounter ngrams;
   for (const auto& sentence : corpus) ngrams.AddSentence(sentence);
@@ -56,29 +73,41 @@ generation::CandidateList CnProbaseBuilder::BuildCandidates(
   // its output is also the distant-supervision prior for the abstract and
   // infobox extractors.
   generation::CandidateList bracket;
+  stage_timer.Restart();
   if (config.enable_bracket || config.enable_abstract ||
       config.enable_infobox) {
     generation::BracketExtractor extractor(&segmenter, &ngrams);
     std::vector<generation::CandidateList> parts =
         util::ParallelMap(shards.size(), [&](size_t s) {
+          obs::ScopedTimer shard_timer(bracket_shard_seconds);
+          shards_processed->Increment();
+          pages_processed->Increment(shards[s].second - shards[s].first);
           return extractor.ExtractRange(dump, shards[s].first,
                                         shards[s].second);
         });
     bracket = ConcatShards(parts);
   }
+  metrics.gauge("build.stage.bracket_seconds")
+      ->Set(stage_timer.ElapsedSeconds());
 
   // Global stages: neural training and predicate discovery consume the whole
   // bracket prior / dump at once (corpus-level statistics), so they cannot
   // be sharded without changing results.
   generation::NeuralGeneration neural(config.neural);
+  stage_timer.Restart();
   if (config.enable_abstract) {
     neural.BuildDataset(dump, bracket, segmenter);
     local.neural_stats = neural.Train();
   }
+  metrics.gauge("build.stage.neural_train_seconds")
+      ->Set(stage_timer.ElapsedSeconds());
   generation::PredicateDiscovery discovery(config.predicates);
+  stage_timer.Restart();
   if (config.enable_infobox) {
     local.discovery = discovery.Discover(dump, bracket);
   }
+  metrics.gauge("build.stage.predicate_discovery_seconds")
+      ->Set(stage_timer.ElapsedSeconds());
 
   // Pass 2 (sharded): the three remaining extractors run per shard on the
   // frozen model / selected predicates, writing per-shard slots.
@@ -88,20 +117,28 @@ generation::CandidateList CnProbaseBuilder::BuildCandidates(
     generation::CandidateList tags;
   };
   std::vector<ShardOutput> shard_outputs(shards.size());
+  stage_timer.Restart();
   util::ParallelFor(shards.size(), [&](size_t s) {
     const auto [begin, end] = shards[s];
     ShardOutput& out = shard_outputs[s];
     if (config.enable_abstract) {
+      obs::ScopedTimer shard_timer(abstract_shard_seconds);
       out.abstracts = neural.ExtractRange(dump, segmenter, begin, end);
     }
     if (config.enable_infobox) {
+      obs::ScopedTimer shard_timer(infobox_shard_seconds);
       out.infobox = generation::PredicateDiscovery::Extract(
           dump, local.discovery.selected, begin, end);
     }
     if (config.enable_tag) {
+      obs::ScopedTimer shard_timer(tag_shard_seconds);
       out.tags = generation::ExtractFromTags(dump, begin, end);
     }
+    shards_processed->Increment();
+    pages_processed->Increment(end - begin);
   });
+  metrics.gauge("build.stage.extract_pass2_seconds")
+      ->Set(stage_timer.ElapsedSeconds());
 
   generation::CandidateList abstract_candidates;
   generation::CandidateList infobox_candidates;
@@ -137,10 +174,20 @@ generation::CandidateList CnProbaseBuilder::BuildCandidates(
 
   // Merge in decreasing-precision order so provenance reflects the most
   // trustworthy source of each pair.
+  stage_timer.Restart();
   generation::CandidateList merged = generation::MergeCandidates(
       {&bracket, &infobox_candidates, &tag_candidates, &abstract_candidates});
+  metrics.gauge("build.stage.merge_seconds")
+      ->Set(stage_timer.ElapsedSeconds());
   local.merged_candidates = merged.size();
   local.seconds_generation = timer.ElapsedSeconds();
+  metrics.counter("build.candidates.bracket")->Increment(bracket.size());
+  metrics.counter("build.candidates.abstract")
+      ->Increment(abstract_candidates.size());
+  metrics.counter("build.candidates.infobox")
+      ->Increment(infobox_candidates.size());
+  metrics.counter("build.candidates.tag")->Increment(tag_candidates.size());
+  metrics.counter("build.candidates.merged")->Increment(merged.size());
 
   // --- verification module -------------------------------------------------
   timer.Restart();
@@ -156,6 +203,10 @@ generation::CandidateList CnProbaseBuilder::BuildCandidates(
     local.verification.output = verified.size();
   }
   local.seconds_verification = timer.ElapsedSeconds();
+  metrics.gauge("build.stage.generation_seconds")->Set(local.seconds_generation);
+  metrics.gauge("build.stage.verification_seconds")
+      ->Set(local.seconds_verification);
+  metrics.counter("build.runs")->Increment();
 
   if (report != nullptr) *report = std::move(local);
   return verified;

@@ -7,6 +7,7 @@
 #include "generation/direct_extraction.h"
 #include "generation/predicate_discovery.h"
 #include "generation/separation.h"
+#include "obs/metrics.h"
 #include "taxonomy/api_service.h"
 #include "util/timer.h"
 
@@ -43,6 +44,7 @@ IncrementalUpdater::IncrementalUpdater(
       dump_(CopyPages(base, 0)),
       segmenter_(lexicon),
       neural_(config.neural) {
+  util::WallTimer base_timer;
   // Batch pages get fresh ids continuing after the base dump's maximum, so
   // ids stay unique across the union.
   for (const kb::EncyclopediaPage& page : dump_.pages()) {
@@ -95,6 +97,9 @@ IncrementalUpdater::IncrementalUpdater(
   taxonomy_ =
       taxonomy::Taxonomy::Freeze(CnProbaseBuilder::Materialise(verified));
   generation_ = 1;
+  obs::MetricsRegistry::Global()
+      .gauge("incremental.base_build_seconds")
+      ->Set(base_timer.ElapsedSeconds());
 }
 
 generation::CandidateList IncrementalUpdater::ExtractFrom(size_t first_page) {
@@ -198,6 +203,20 @@ IncrementalUpdater::BatchReport IncrementalUpdater::ApplyBatch(
   taxonomy_ = taxonomy::Taxonomy::Freeze(std::move(next));
   ++generation_;
   report.seconds = timer.ElapsedSeconds();
+
+  // Batch accounting: counters accumulate over the updater's lifetime;
+  // revocations feed the verification outcome triple (verify.candidates.*)
+  // because the revoke decision is made here, against the previous taxonomy.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.counter("incremental.batches")->Increment();
+  metrics.counter("incremental.pages_added")->Increment(report.pages_added);
+  metrics.counter("incremental.candidates")->Increment(report.candidates);
+  metrics.counter("incremental.accepted")->Increment(report.accepted);
+  metrics.counter("incremental.rejected")->Increment(report.rejected);
+  metrics.counter("incremental.revoked")->Increment(report.revoked);
+  metrics.counter("verify.candidates.revoked")->Increment(report.revoked);
+  metrics.gauge("incremental.last_batch_seconds")->Set(report.seconds);
+  metrics.histogram("incremental.batch_seconds")->Observe(report.seconds);
   return report;
 }
 

@@ -1,0 +1,182 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace cnpb::obs {
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
+// map dots (and anything else) to underscores under a "cnpb_" prefix.
+std::string PrometheusName(const std::string& name) {
+  std::string out = "cnpb_";
+  for (const char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                    c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return util::StrFormat("%.9g", value);
+}
+
+// JSON has no NaN/Inf literals; degenerate values export as null.
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  return util::StrFormat("%.9g", value);
+}
+
+std::string JsonString(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + util::StrFormat("%llu",
+                                        static_cast<unsigned long long>(value));
+    out += '\n';
+  }
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatDouble(value) + "\n";
+  }
+  for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+    const std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+      if (snap.buckets[i] == 0) continue;  // sparse: skip empty buckets
+      cumulative += snap.buckets[i];
+      out += prom + "_bucket{le=\"" +
+             FormatDouble(HistogramSnapshot::BucketUpperBound(i)) + "\"} " +
+             util::StrFormat("%llu",
+                             static_cast<unsigned long long>(cumulative)) +
+             "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " +
+           util::StrFormat("%llu",
+                           static_cast<unsigned long long>(cumulative)) +
+           "\n";
+    out += prom + "_sum " + FormatDouble(snap.sum) + "\n";
+    out += prom + "_count " +
+           util::StrFormat("%llu",
+                           static_cast<unsigned long long>(snap.count)) +
+           "\n";
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsRegistry& registry) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : registry.CounterValues()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": " +
+           util::StrFormat("%llu", static_cast<unsigned long long>(value));
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : registry.GaugeValues()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": " + JsonNumber(value);
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, snap] : registry.HistogramSnapshots()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + JsonString(name) + ": {\n";
+    out += util::StrFormat("      \"count\": %llu,\n",
+                           static_cast<unsigned long long>(snap.count));
+    out += "      \"sum\": " + JsonNumber(snap.sum) + ",\n";
+    out += "      \"mean\": " + JsonNumber(snap.Mean()) + ",\n";
+    out += "      \"p50\": " + JsonNumber(snap.Percentile(50)) + ",\n";
+    out += "      \"p90\": " + JsonNumber(snap.Percentile(90)) + ",\n";
+    out += "      \"p99\": " + JsonNumber(snap.Percentile(99)) + ",\n";
+    out += "      \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t i = 0; i < HistogramSnapshot::kNumBuckets; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      out += first_bucket ? "\n" : ",\n";
+      first_bucket = false;
+      out += "        {\"le\": " +
+             JsonNumber(HistogramSnapshot::BucketUpperBound(i)) +
+             util::StrFormat(
+                 ", \"count\": %llu}",
+                 static_cast<unsigned long long>(snap.buckets[i]));
+    }
+    out += first_bucket ? "]\n" : "\n      ]\n";
+    out += "    }";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+util::Status WriteMetricsFiles(const MetricsRegistry& registry,
+                               const std::string& base_path) {
+  const auto write = [](const std::string& path,
+                        const std::string& content) -> util::Status {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      return util::IoError("cannot open for writing: " + path);
+    }
+    const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+    const int rc = std::fclose(f);
+    if (written != content.size() || rc != 0) {
+      return util::IoError("short write: " + path);
+    }
+    return util::Status::Ok();
+  };
+  if (util::Status s = write(base_path + ".prom", ToPrometheusText(registry));
+      !s.ok()) {
+    return s;
+  }
+  return write(base_path + ".json", ToJson(registry));
+}
+
+}  // namespace cnpb::obs

@@ -1,0 +1,33 @@
+#ifndef CNPROBASE_OBS_EXPORT_H_
+#define CNPROBASE_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace cnpb::obs {
+
+// Renders every instrument in `registry` as Prometheus text exposition
+// format: counters and gauges as single samples, histograms as cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`. Dotted metric names
+// are sanitised to [a-zA-Z0-9_:] and prefixed with "cnpb_".
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+// Renders the registry as one JSON object:
+//   {"counters": {...}, "gauges": {...},
+//    "histograms": {name: {count, sum, mean, p50, p90, p99,
+//                          buckets: [{le, count}, ...]}}}
+// Only non-empty histogram buckets are listed; `le` is the bucket's
+// exclusive upper bound (the last bucket reports its lower bound with
+// "+Inf" semantics folded into count).
+std::string ToJson(const MetricsRegistry& registry);
+
+// Writes `base_path`.prom and `base_path`.json next to each other — the
+// report pair behind the CLI/bench `--metrics-out` flag.
+util::Status WriteMetricsFiles(const MetricsRegistry& registry,
+                               const std::string& base_path);
+
+}  // namespace cnpb::obs
+
+#endif  // CNPROBASE_OBS_EXPORT_H_

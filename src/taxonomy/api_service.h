@@ -2,6 +2,7 @@
 #define CNPROBASE_TAXONOMY_API_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -11,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "taxonomy/taxonomy.h"
 #include "util/snapshot.h"
 
@@ -64,6 +66,9 @@ class ApiService {
     size_t num_edges = 0;
     size_t num_mentions = 0;
     uint64_t queries = 0;
+    // Wall time the version spent (or has spent so far) as the live
+    // snapshot; queries / seconds_serving is the per-version QPS.
+    double seconds_serving = 0.0;
   };
 
   // Non-owning: `taxonomy` must outlive the service. Published as version 1
@@ -127,6 +132,12 @@ class ApiService {
   // entries not shadowed by it.
   size_t num_mentions() const;
 
+  // Writes the serving-side gauges that only make sense at export time into
+  // `registry`: per-version query totals / serving seconds / QPS
+  // (api.version.<N>.*) and the age of the currently pinned snapshot
+  // (api.snapshot_age_seconds). Call right before exporting the registry.
+  void ExportMetrics(obs::MetricsRegistry* registry) const;
+
  private:
   // One published, immutable serving version. `queries` is shared with the
   // stats history so counts survive the version being retired.
@@ -135,6 +146,7 @@ class ApiService {
     MentionIndex mentions;
     uint64_t version = 0;
     std::shared_ptr<std::atomic<uint64_t>> queries;
+    std::chrono::steady_clock::time_point published_at;
   };
 
   struct VersionRecord {
@@ -142,6 +154,11 @@ class ApiService {
     size_t num_edges = 0;
     size_t num_mentions = 0;
     std::shared_ptr<std::atomic<uint64_t>> queries;
+    std::chrono::steady_clock::time_point published_at;
+    // Set by the publish that superseded this version (publishers are
+    // serialised, so the last history_ entry is the only live one).
+    std::chrono::steady_clock::time_point retired_at;
+    bool retired = false;
   };
 
   // Pins the current version (never null) and counts the query against it.
@@ -160,6 +177,35 @@ class ApiService {
   mutable std::atomic<uint64_t> men2ent_calls_{0};
   mutable std::atomic<uint64_t> get_concept_calls_{0};
   mutable std::atomic<uint64_t> get_entity_calls_{0};
+
+  // Portion of the call atomics already folded into the registry counters
+  // by ExportMetrics (counters sync as deltas at export time, not per call).
+  mutable std::atomic<uint64_t> exported_men2ent_calls_{0};
+  mutable std::atomic<uint64_t> exported_get_concept_calls_{0};
+  mutable std::atomic<uint64_t> exported_get_entity_calls_{0};
+
+  // Registry instruments, resolved once per service. Call counters are
+  // synced from the atomics above at export time; latency histograms are
+  // fed by a 1-in-64 per-thread sample of queries (see DESIGN.md §7) so the
+  // two steady_clock reads stay off the common query path.
+  obs::Counter* const calls_men2ent_ =
+      obs::MetricsRegistry::Global().counter("api.calls.men2ent");
+  obs::Counter* const calls_get_concept_ =
+      obs::MetricsRegistry::Global().counter("api.calls.get_concept");
+  obs::Counter* const calls_get_entity_ =
+      obs::MetricsRegistry::Global().counter("api.calls.get_entity");
+  obs::BucketHistogram* const latency_men2ent_ =
+      obs::MetricsRegistry::Global().histogram("api.latency.men2ent_seconds");
+  obs::BucketHistogram* const latency_get_concept_ =
+      obs::MetricsRegistry::Global().histogram(
+          "api.latency.get_concept_seconds");
+  obs::BucketHistogram* const latency_get_entity_ =
+      obs::MetricsRegistry::Global().histogram(
+          "api.latency.get_entity_seconds");
+  obs::BucketHistogram* const publish_latency_ =
+      obs::MetricsRegistry::Global().histogram("api.publish.latency_seconds");
+  obs::Counter* const publishes_ =
+      obs::MetricsRegistry::Global().counter("api.publishes");
 };
 
 }  // namespace cnpb::taxonomy

@@ -2,6 +2,22 @@
 
 namespace cnpb::text {
 
+namespace {
+
+// Resynchronisation after an invalid sequence: consume the byte at `pos`
+// plus the whole run of continuation bytes that follows it, so one damaged
+// multi-byte character costs exactly one U+FFFD instead of cascading a
+// replacement per leftover byte and desynchronising downstream segmentation.
+void ConsumeInvalidRun(std::string_view s, size_t& pos) {
+  ++pos;
+  while (pos < s.size() &&
+         (static_cast<unsigned char>(s[pos]) & 0xC0) == 0x80) {
+    ++pos;
+  }
+}
+
+}  // namespace
+
 char32_t DecodeCodepointAt(std::string_view s, size_t& pos) {
   if (pos >= s.size()) return kReplacementChar;
   const unsigned char b0 = static_cast<unsigned char>(s[pos]);
@@ -21,17 +37,23 @@ char32_t DecodeCodepointAt(std::string_view s, size_t& pos) {
     len = 4;
     cp = b0 & 0x07;
   } else {
-    ++pos;
+    // Stray continuation byte or invalid lead (0xF8..0xFF).
+    ConsumeInvalidRun(s, pos);
     return kReplacementChar;
   }
   if (pos + static_cast<size_t>(len) > s.size()) {
-    ++pos;
+    // Truncated sequence at end of string: swallow the lead byte and
+    // whatever continuation bytes made it.
+    ConsumeInvalidRun(s, pos);
     return kReplacementChar;
   }
   for (int i = 1; i < len; ++i) {
     const unsigned char b = static_cast<unsigned char>(s[pos + i]);
     if ((b & 0xC0) != 0x80) {
-      ++pos;
+      // Corrupted continuation: consume the lead plus the valid prefix of
+      // continuation bytes, stopping at the offending byte so decoding
+      // resumes in sync there.
+      ConsumeInvalidRun(s, pos);
       return kReplacementChar;
     }
     cp = (cp << 6) | (b & 0x3F);

@@ -13,8 +13,10 @@ namespace cnpb::text {
 
 inline constexpr char32_t kReplacementChar = 0xFFFD;
 
-// Decodes the codepoint starting at s[pos]; advances pos past it. Invalid
-// sequences decode to kReplacementChar and advance one byte.
+// Decodes the codepoint starting at s[pos]; advances pos past it. An invalid
+// sequence decodes to a single kReplacementChar and advances past the first
+// byte plus the run of continuation bytes following it, so one damaged
+// multi-byte character never cascades into several replacements.
 char32_t DecodeCodepointAt(std::string_view s, size_t& pos);
 
 // Appends the UTF-8 encoding of cp to out.

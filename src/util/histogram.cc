@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/strings.h"
 
 namespace cnpb::util {
+
+namespace {
+double Nan() { return std::numeric_limits<double>::quiet_NaN(); }
+}  // namespace
 
 void Histogram::Add(double value) {
   samples_.push_back(value);
@@ -15,7 +20,7 @@ void Histogram::Add(double value) {
 }
 
 double Histogram::Mean() const {
-  if (samples_.empty()) return 0.0;
+  if (samples_.empty()) return Nan();
   return sum_ / static_cast<double>(samples_.size());
 }
 
@@ -29,16 +34,18 @@ void Histogram::EnsureSorted() const {
 
 double Histogram::Min() const {
   EnsureSorted();
-  return sorted_.empty() ? 0.0 : sorted_.front();
+  return sorted_.empty() ? Nan() : sorted_.front();
 }
 
 double Histogram::Max() const {
   EnsureSorted();
-  return sorted_.empty() ? 0.0 : sorted_.back();
+  return sorted_.empty() ? Nan() : sorted_.back();
 }
 
 double Histogram::Stddev() const {
-  if (samples_.size() < 2) return 0.0;
+  // The sample standard deviation is undefined below two samples; NaN makes
+  // the degenerate case explicit instead of masquerading as "no spread".
+  if (samples_.size() < 2) return Nan();
   const double mean = Mean();
   double acc = 0.0;
   for (double v : samples_) acc += (v - mean) * (v - mean);
@@ -47,7 +54,7 @@ double Histogram::Stddev() const {
 
 double Histogram::Percentile(double p) const {
   EnsureSorted();
-  if (sorted_.empty()) return 0.0;
+  if (sorted_.empty()) return Nan();
   CNPB_CHECK(p >= 0.0 && p <= 100.0);
   const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
   const size_t lo = static_cast<size_t>(rank);
@@ -57,8 +64,14 @@ double Histogram::Percentile(double p) const {
 }
 
 std::string Histogram::Summary() const {
-  return StrFormat("count=%zu mean=%.3f p50=%.3f p99=%.3f max=%.3f", count(),
-                   Mean(), Percentile(50), Percentile(99), Max());
+  if (samples_.empty()) return "count=0 (empty)";
+  std::string out = StrFormat("count=%zu mean=%.3f", count(), Mean());
+  // Stddev is undefined for a single sample; omit it rather than print a
+  // meaningless 0.
+  if (count() >= 2) out += StrFormat(" stddev=%.3f", Stddev());
+  out += StrFormat(" p50=%.3f p99=%.3f max=%.3f", Percentile(50),
+                   Percentile(99), Max());
+  return out;
 }
 
 }  // namespace cnpb::util

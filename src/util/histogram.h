@@ -8,7 +8,11 @@
 namespace cnpb::util {
 
 // Streaming summary statistics plus percentile estimation (exact — keeps
-// all samples; intended for bench-scale sample counts).
+// all samples; intended for bench-scale sample counts). For hot-path /
+// concurrent use, see obs::BucketHistogram instead.
+//
+// Degenerate cases are explicit: Mean/Min/Max/Percentile on an empty
+// histogram and Stddev below two samples return NaN, never a fabricated 0.
 class Histogram {
  public:
   void Add(double value);
@@ -18,11 +22,15 @@ class Histogram {
   double Mean() const;
   double Min() const;
   double Max() const;
+  // Sample stddev; NaN for fewer than two samples.
   double Stddev() const;
-  // p in [0, 100]; linear interpolation between closest ranks.
+  // p in [0, 100]; linear interpolation between closest ranks (a
+  // single-sample histogram returns that sample for every p).
   double Percentile(double p) const;
 
-  // One-line summary "count=.. mean=.. p50=.. p99=.. max=..".
+  // One-line summary "count=.. mean=.. stddev=.. p50=.. p99=.. max=..";
+  // stddev is omitted below two samples, and an empty histogram reports
+  // "count=0 (empty)" instead of NaN statistics.
   std::string Summary() const;
 
  private:

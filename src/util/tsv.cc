@@ -32,19 +32,25 @@ std::string TsvUnescape(std::string_view field) {
   out.reserve(field.size());
   for (size_t i = 0; i < field.size(); ++i) {
     if (field[i] == '\\' && i + 1 < field.size()) {
-      ++i;
-      switch (field[i]) {
+      switch (field[i + 1]) {
         case 't':
           out += '\t';
+          ++i;
           break;
         case 'n':
           out += '\n';
+          ++i;
           break;
         case '\\':
           out += '\\';
+          ++i;
           break;
         default:
-          out += field[i];
+          // Not a sequence TsvEscape emits. Keep the backslash literally
+          // (instead of swallowing it) so Unescape(Escape(s)) == s for every
+          // byte string and foreign data is never silently corrupted; a lone
+          // trailing backslash falls out of the loop the same way.
+          out += '\\';
       }
     } else {
       out += field[i];

@@ -1,5 +1,8 @@
 #include "verification/pipeline.h"
 
+#include "obs/metrics.h"
+#include "util/timer.h"
+
 namespace cnpb::verification {
 
 VerificationPipeline::VerificationPipeline(const kb::EncyclopediaDump* dump,
@@ -35,17 +38,35 @@ generation::CandidateList VerificationPipeline::Verify(
   Report local;
   local.input = candidates.size();
 
+  // Accept/reject outcomes accumulate in the registry across calls (full
+  // builds and incremental batches alike); per-strategy wall times are
+  // last-call gauges. Revocations are decided downstream by the incremental
+  // updater against the previous taxonomy, but the counter is registered
+  // here so every verification report carries the full outcome triple.
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.counter("verify.candidates.input")->Increment(candidates.size());
+  metrics.counter("verify.candidates.revoked");
+  util::WallTimer strategy_timer;
+
   if (config_.use_syntax) {
     local.rejected_syntax =
         syntax_.MarkRejections(candidates, mention_of_page_, &rejected);
+    metrics.gauge("verify.stage.syntax_seconds")
+        ->Set(strategy_timer.ElapsedSeconds());
   }
+  strategy_timer.Restart();
   if (config_.use_ner) {
     ner_.Prepare(candidates, mention_of_page_);
     local.rejected_ner = ner_.MarkRejections(candidates, &rejected);
+    metrics.gauge("verify.stage.ner_seconds")
+        ->Set(strategy_timer.ElapsedSeconds());
   }
+  strategy_timer.Restart();
   if (config_.use_incompatible) {
     local.rejected_incompatible =
         incompatible_.MarkRejections(candidates, &rejected);
+    metrics.gauge("verify.stage.incompatible_seconds")
+        ->Set(strategy_timer.ElapsedSeconds());
   }
 
   generation::CandidateList verified;
@@ -54,6 +75,11 @@ generation::CandidateList VerificationPipeline::Verify(
     if (!rejected[i]) verified.push_back(candidates[i]);
   }
   local.output = verified.size();
+  metrics.counter("verify.candidates.accepted")->Increment(verified.size());
+  metrics.counter("verify.rejected.syntax")->Increment(local.rejected_syntax);
+  metrics.counter("verify.rejected.ner")->Increment(local.rejected_ner);
+  metrics.counter("verify.rejected.incompatible")
+      ->Increment(local.rejected_incompatible);
   if (report != nullptr) *report = local;
   return verified;
 }

@@ -42,6 +42,58 @@ TEST(Utf8Test, TruncatedSequenceIsReplacement) {
   std::string truncated = "\xE4\xB8";  // 中 missing last byte
   size_t pos = 0;
   EXPECT_EQ(DecodeCodepointAt(truncated, pos), kReplacementChar);
+  // The whole damaged sequence is consumed, not just its first byte.
+  EXPECT_EQ(pos, 2u);
+}
+
+TEST(Utf8Test, TruncatedSequencesMidStringResync) {
+  // One damaged character must yield exactly one U+FFFD and decoding must
+  // resynchronise on the next character — regression for the cascade where
+  // each leftover continuation byte became its own replacement.
+  struct Case {
+    std::string damaged;  // lead byte + partial continuation run
+    const char* label;
+  };
+  const Case cases[] = {
+      {"\xC3", "2-byte, missing 1"},          // Ã lead alone
+      {"\xE4\xB8", "3-byte, missing 1"},      // 中 missing last byte
+      {"\xE4", "3-byte, missing 2"},
+      {"\xF0\x9F\x92", "4-byte, missing 1"},  // 💊 missing last byte
+      {"\xF0\x9F", "4-byte, missing 2"},
+      {"\xF0", "4-byte, missing 3"},
+  };
+  for (const Case& c : cases) {
+    const std::string s = "a" + c.damaged + "中b";
+    const std::vector<char32_t> decoded = DecodeString(s);
+    ASSERT_EQ(decoded.size(), 4u) << c.label;
+    EXPECT_EQ(decoded[0], U'a') << c.label;
+    EXPECT_EQ(decoded[1], kReplacementChar) << c.label;
+    EXPECT_EQ(decoded[2], U'中') << c.label;
+    EXPECT_EQ(decoded[3], U'b') << c.label;
+    EXPECT_EQ(NumCodepoints(s), 4u) << c.label;
+  }
+}
+
+TEST(Utf8Test, CorruptedContinuationResyncsAtOffendingByte) {
+  // 4-byte lead, two valid continuations, then an ASCII byte: the ASCII byte
+  // must survive as itself, in sync.
+  const std::string s = "\xF0\x9F\x92x中";
+  const std::vector<char32_t> decoded = DecodeString(s);
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_EQ(decoded[0], kReplacementChar);
+  EXPECT_EQ(decoded[1], U'x');
+  EXPECT_EQ(decoded[2], U'中');
+}
+
+TEST(Utf8Test, StrayContinuationRunIsOneReplacement) {
+  const std::string s = "ab\x80\x80\x80xy";
+  const std::vector<char32_t> decoded = DecodeString(s);
+  ASSERT_EQ(decoded.size(), 5u);
+  EXPECT_EQ(decoded[0], U'a');
+  EXPECT_EQ(decoded[1], U'b');
+  EXPECT_EQ(decoded[2], kReplacementChar);
+  EXPECT_EQ(decoded[3], U'x');
+  EXPECT_EQ(decoded[4], U'y');
 }
 
 TEST(Utf8Test, OverlongEncodingRejected) {

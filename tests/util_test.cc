@@ -4,7 +4,6 @@
 #include <set>
 
 #include "util/hash.h"
-#include "util/histogram.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -192,6 +191,70 @@ TEST(TsvTest, EscapeRoundTrip) {
   EXPECT_EQ(TsvEscape("a\tb"), "a\\tb");
 }
 
+TEST(TsvTest, AdversarialFieldsRoundTrip) {
+  // Regression: a field ending in a lone backslash (and every other
+  // backslash shape) must survive escape -> unescape exactly.
+  const std::vector<std::string> fields = {
+      "\\",        // lone backslash
+      "\t",        // raw tab
+      "\\n",       // backslash then 'n' (NOT a newline)
+      "trailing\\",
+      "\\\\",      // two backslashes
+      "\\t",       // backslash then 't'
+      "a\nb",      // raw newline
+      "\\\t\\",    // backslash, tab, backslash
+      "",          // empty field
+  };
+  for (const std::string& field : fields) {
+    EXPECT_EQ(TsvUnescape(TsvEscape(field)), field)
+        << "field bytes: " << testing::PrintToString(field);
+  }
+  // Unescape never swallows backslashes it does not understand, so escaping
+  // what it produced gets back to the same escaped form.
+  EXPECT_EQ(TsvUnescape("a\\xb"), "a\\xb");
+  EXPECT_EQ(TsvUnescape("end\\"), "end\\");
+}
+
+TEST(TsvTest, RandomByteStringsRoundTrip) {
+  // Property: escape/unescape is an exact round-trip for arbitrary byte
+  // strings, including ones dense in '\\', '\t', and '\n'.
+  Rng rng(20240806);
+  const char alphabet[] = {'\\', '\t', '\n', 'a', 'b', '\\', 0x7f, ' '};
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string field;
+    const size_t len = rng.Uniform(24);
+    for (size_t i = 0; i < len; ++i) {
+      field += trial % 2 == 0
+                   ? alphabet[rng.Uniform(sizeof(alphabet))]
+                   : static_cast<char>(1 + rng.Uniform(255));
+    }
+    const std::string escaped = TsvEscape(field);
+    EXPECT_EQ(escaped.find('\t'), std::string::npos);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    ASSERT_EQ(TsvUnescape(escaped), field)
+        << "field bytes: " << testing::PrintToString(field);
+  }
+}
+
+TEST(TsvTest, FileLevelRoundTripWithAdversarialFields) {
+  const std::string path = ::testing::TempDir() + "/tsv_roundtrip_test.tsv";
+  const std::vector<std::vector<std::string>> rows = {
+      {"\\", "trailing\\", "\\n"},
+      {"a\tb", "c\nd", "\\\\"},
+      {"", "\\t", "中\\文"},
+  };
+  {
+    TsvWriter writer(path);
+    ASSERT_TRUE(writer.status().ok());
+    for (const auto& row : rows) writer.WriteRow(row);
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto read = ReadTsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, rows);
+  std::remove(path.c_str());
+}
+
 TEST(TsvTest, WriteAndReadFile) {
   const std::string path = ::testing::TempDir() + "/tsv_test.tsv";
   {
@@ -216,34 +279,8 @@ TEST(TsvTest, MissingFileIsIoError) {
   EXPECT_EQ(rows.status().code(), StatusCode::kIoError);
 }
 
-// ---- histogram ----------------------------------------------------------------
-
-TEST(HistogramTest, BasicStats) {
-  Histogram h;
-  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
-  EXPECT_EQ(h.count(), 5u);
-  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
-  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
-  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
-  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.0);
-  EXPECT_NEAR(h.Stddev(), 1.5811, 1e-3);
-}
-
-TEST(HistogramTest, PercentileInterpolates) {
-  Histogram h;
-  h.Add(0.0);
-  h.Add(10.0);
-  EXPECT_DOUBLE_EQ(h.Percentile(50), 5.0);
-  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.0);
-  EXPECT_DOUBLE_EQ(h.Percentile(100), 10.0);
-}
-
-TEST(HistogramTest, EmptyIsSafe) {
-  Histogram h;
-  EXPECT_EQ(h.count(), 0u);
-  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
-  EXPECT_DOUBLE_EQ(h.Percentile(99), 0.0);
-}
+// ---- histogram --------------------------------------------------------------
+// util::Histogram and obs::BucketHistogram are covered in histogram_test.cc.
 
 }  // namespace
 }  // namespace cnpb::util
