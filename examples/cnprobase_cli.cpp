@@ -14,6 +14,17 @@
 // counters; `build` additionally serves a short deterministic ApiService
 // workload over the fresh taxonomy (two published versions) so the export
 // also carries query latency buckets and per-version QPS.
+//
+// Robustness flags (DESIGN.md §8):
+//   --max-load-errors <n>   `build` tolerates up to n malformed dump rows,
+//                           quarantining them instead of failing the load
+//   --quarantine <path>     sidecar TSV receiving the quarantined rows with
+//                           reason codes (implies row quarantining)
+// Fault injection for chaos testing is configured via the CNPB_FAULTS /
+// CNPB_FAULT_SEED environment variables (see util/fault_injection.h).
+//
+// Every failed load/save/build exits nonzero with the util::Status on
+// stderr — no aborts on bad input.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -22,6 +33,7 @@
 #include <vector>
 
 #include "core/builder.h"
+#include "kb/dump.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "synth/corpus_gen.h"
@@ -45,6 +57,13 @@ std::string TaxonomyPath(const std::string& dir) {
   return dir + "/taxonomy.tsv";
 }
 
+// Prints a failed Status with context and converts it to a nonzero exit
+// code; bad input or a failed write is an error report, not an abort.
+int Fail(const char* what, const util::Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  return 1;
+}
+
 int Generate(const std::string& dir, size_t entities) {
   synth::WorldModel::Config wc;
   wc.num_entities = entities;
@@ -54,15 +73,21 @@ int Generate(const std::string& dir, size_t entities) {
   const auto corpus =
       synth::CorpusGenerator::Generate(world, output.dump, segmenter, {});
 
-  CNPB_CHECK_OK(output.dump.Save(DumpPath(dir)));
-  CNPB_CHECK_OK(world.lexicon().Save(LexiconPath(dir)));
+  if (util::Status s = output.dump.Save(DumpPath(dir)); !s.ok()) {
+    return Fail("save dump", s);
+  }
+  if (util::Status s = world.lexicon().Save(LexiconPath(dir)); !s.ok()) {
+    return Fail("save lexicon", s);
+  }
   util::TsvWriter writer(CorpusPath(dir));
   for (const auto& sentence : corpus.sentences) {
     std::vector<std::string> words;
     for (const auto& token : sentence) words.push_back(token.word);
     writer.WriteRow(words);
   }
-  CNPB_CHECK_OK(writer.Close());
+  if (util::Status s = writer.Close(); !s.ok()) {
+    return Fail("save corpus", s);
+  }
   std::printf("wrote %zu pages, %zu corpus sentences, %zu lexicon words to %s\n",
               output.dump.size(), corpus.sentences.size(),
               world.lexicon().size(), dir.c_str());
@@ -106,11 +131,22 @@ void ServeMetricsWorkload(const kb::EncyclopediaDump& dump,
       static_cast<unsigned long long>(api.version()));
 }
 
-int Build(const std::string& dir, const std::string& metrics_out) {
-  auto dump = kb::EncyclopediaDump::Load(DumpPath(dir));
-  if (!dump.ok()) {
-    std::fprintf(stderr, "load dump: %s\n", dump.status().ToString().c_str());
-    return 1;
+int Build(const std::string& dir, const std::string& metrics_out,
+          const kb::DumpLoadOptions& load_options) {
+  kb::DumpLoadReport load_report;
+  auto dump = kb::EncyclopediaDump::Load(DumpPath(dir), load_options,
+                                         &load_report);
+  if (!dump.ok()) return Fail("load dump", dump.status());
+  if (load_report.rows_quarantined > 0) {
+    std::fprintf(stderr, "quarantined %zu of %zu dump rows",
+                 load_report.rows_quarantined, load_report.rows_total);
+    if (!load_options.quarantine_path.empty()) {
+      std::fprintf(stderr, " -> %s", load_options.quarantine_path.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    for (const auto& [reason, count] : load_report.quarantined_by_reason) {
+      std::fprintf(stderr, "  %-16s %zu\n", reason.c_str(), count);
+    }
   }
   auto lexicon = text::Lexicon::Load(LexiconPath(dir));
   if (!lexicon.ok()) {
@@ -132,7 +168,11 @@ int Build(const std::string& dir, const std::string& metrics_out) {
   core::CnProbaseBuilder::Report report;
   auto taxonomy = core::CnProbaseBuilder::Build(
       *dump, *lexicon, *corpus_rows, config, &report);
-  CNPB_CHECK_OK(taxonomy::SaveTaxonomy(taxonomy, TaxonomyPath(dir)));
+  if (util::Status s = taxonomy::SaveTaxonomyDurable(taxonomy,
+                                                     TaxonomyPath(dir));
+      !s.ok()) {
+    return Fail("save taxonomy", s);
+  }
   std::printf(
       "built %s isA relations (%zu rejected by verification) -> %s\n",
       util::CommaSeparated(taxonomy.num_edges()).c_str(),
@@ -144,24 +184,16 @@ int Build(const std::string& dir, const std::string& metrics_out) {
 }
 
 int Stats(const std::string& dir) {
-  auto taxonomy = taxonomy::LoadTaxonomy(TaxonomyPath(dir));
-  if (!taxonomy.ok()) {
-    std::fprintf(stderr, "load taxonomy: %s\n",
-                 taxonomy.status().ToString().c_str());
-    return 1;
-  }
+  auto taxonomy = taxonomy::LoadTaxonomyWithFallback(TaxonomyPath(dir));
+  if (!taxonomy.ok()) return Fail("load taxonomy", taxonomy.status());
   std::printf("%s", taxonomy::FormatStats(taxonomy::ComputeStats(*taxonomy))
                         .c_str());
   return 0;
 }
 
 int Query(const std::string& dir, int argc, char** argv, int first) {
-  auto loaded = taxonomy::LoadTaxonomy(TaxonomyPath(dir));
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "load taxonomy: %s\n",
-                 loaded.status().ToString().c_str());
-    return 1;
-  }
+  auto loaded = taxonomy::LoadTaxonomyWithFallback(TaxonomyPath(dir));
+  if (!loaded.ok()) return Fail("load taxonomy", loaded.status());
   for (int i = first; i < argc; ++i) {
     const taxonomy::NodeId id = loaded->Find(argv[i]);
     if (id == taxonomy::kInvalidNode) {
@@ -186,14 +218,29 @@ int Query(const std::string& dir, int argc, char** argv, int first) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Strip `--metrics-out <base>` wherever it appears; the remaining
+  // Strip `--flag <value>` options wherever they appear; the remaining
   // positional arguments keep their usual meaning.
   std::string metrics_out;
+  kb::DumpLoadOptions load_options;
   std::vector<char*> args;
   args.reserve(argc);
   for (int i = 0; i < argc; ++i) {
-    if (std::string(argv[i]) == "--metrics-out" && i + 1 < argc) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
+      continue;
+    }
+    if (arg == "--max-load-errors" && i + 1 < argc) {
+      load_options.max_errors =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+      continue;
+    }
+    if (arg == "--quarantine" && i + 1 < argc) {
+      load_options.quarantine_path = argv[++i];
+      // A quarantine sink implies tolerating at least some bad rows.
+      if (load_options.max_errors == 0) {
+        load_options.max_errors = static_cast<size_t>(-1);
+      }
       continue;
     }
     args.push_back(argv[i]);
@@ -202,7 +249,8 @@ int main(int argc, char** argv) {
   if (nargs < 3) {
     std::fprintf(stderr,
                  "usage: %s generate|build|stats|query <dir> [args] "
-                 "[--metrics-out <base>]\n",
+                 "[--metrics-out <base>] [--max-load-errors <n>] "
+                 "[--quarantine <path>]\n",
                  argv[0]);
     return 2;
   }
@@ -212,7 +260,7 @@ int main(int argc, char** argv) {
   if (command == "generate") {
     rc = Generate(dir, nargs > 3 ? std::atol(args[3]) : 8000);
   } else if (command == "build") {
-    rc = Build(dir, metrics_out);
+    rc = Build(dir, metrics_out, load_options);
   } else if (command == "stats") {
     rc = Stats(dir);
   } else if (command == "query") {

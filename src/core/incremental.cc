@@ -9,6 +9,8 @@
 #include "generation/separation.h"
 #include "obs/metrics.h"
 #include "taxonomy/api_service.h"
+#include "taxonomy/serialize.h"
+#include "util/retry.h"
 #include "util/timer.h"
 
 namespace cnpb::core {
@@ -223,6 +225,22 @@ IncrementalUpdater::BatchReport IncrementalUpdater::ApplyBatch(
 uint64_t IncrementalUpdater::Publish(taxonomy::ApiService* service) const {
   return service->Publish(
       taxonomy_, CnProbaseBuilder::BuildMentionIndex(dump_, *taxonomy_));
+}
+
+util::Status IncrementalUpdater::SaveSnapshot(const std::string& path) const {
+  // The snapshot save sits on the update path of a long-running system, so a
+  // transient IO hiccup (or injected taxonomy.save.* fault) should not lose
+  // the generation — retry with backoff; the atomic write guarantees the
+  // previous file survives every failed attempt.
+  const util::RetryResult result = util::RetryWithBackoff(
+      util::RetryOptions{},
+      [&] { return taxonomy::SaveTaxonomyDurable(*taxonomy_, path); });
+  if (result.attempts > 1) {
+    obs::MetricsRegistry::Global()
+        .counter("incremental.snapshot_retries")
+        ->Increment(result.attempts - 1);
+  }
+  return result.status;
 }
 
 }  // namespace cnpb::core

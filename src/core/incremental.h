@@ -13,6 +13,7 @@
 #include "text/lexicon.h"
 #include "text/ngram.h"
 #include "text/segmenter.h"
+#include "util/status.h"
 #include "verification/pipeline.h"
 
 namespace cnpb::core {
@@ -71,6 +72,12 @@ class IncrementalUpdater {
   // in flight are never blocked and never observe a half-applied update.
   // Returns the service's new version number.
   uint64_t Publish(taxonomy::ApiService* service) const;
+
+  // Persists the current snapshot durably: atomic checksummed write via
+  // SaveTaxonomyDurable (preserving the previous file as `path`.bak), with
+  // transient IO failures retried under exponential backoff. Pairs with
+  // taxonomy::LoadTaxonomyWithFallback for crash recovery.
+  util::Status SaveSnapshot(const std::string& path) const;
 
   const taxonomy::Taxonomy& taxonomy() const { return *taxonomy_; }
   // The current frozen snapshot (replaced wholesale by each ApplyBatch;

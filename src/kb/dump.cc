@@ -1,5 +1,14 @@
 #include "kb/dump.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <memory>
+#include <unordered_set>
+
+#include "obs/metrics.h"
+#include "text/utf8.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
 #include "util/strings.h"
 #include "util/tsv.h"
 
@@ -38,7 +47,7 @@ constexpr char kKvSep = '\x03';
 }  // namespace
 
 util::Status EncyclopediaDump::Save(const std::string& path) const {
-  util::TsvWriter writer(path);
+  util::TsvWriter writer(path, {.fault_prefix = "kb.dump.save"});
   if (!writer.status().ok()) return writer.status();
   for (const EncyclopediaPage& page : pages_) {
     std::string infobox;
@@ -64,37 +73,130 @@ util::Status EncyclopediaDump::Save(const std::string& path) const {
   return writer.Close();
 }
 
+namespace {
+
+// Parses a page_id field strictly: nonempty, all digits, no overflow, not
+// zero (zero is the "assign me one" sentinel and never appears in a saved
+// dump). Returns 0 on any failure.
+uint64_t ParsePageId(const std::string& field) {
+  if (field.empty()) return 0;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long id = std::strtoull(field.c_str(), &end, 10);
+  if (errno == ERANGE || end != field.c_str() + field.size()) return 0;
+  return static_cast<uint64_t>(id);
+}
+
+// Validates one raw row into `page`; returns the reason code of the first
+// defect, or nullptr when the row is clean. `is_last_unchecksummed` refines
+// a short final row into "truncated_row" (the torn-tail signature of a file
+// whose checksum footer was lost with the truncation).
+const char* ValidateRow(const std::vector<std::string>& row,
+                        bool is_last_unchecksummed,
+                        const std::unordered_set<uint64_t>& seen_ids,
+                        const EncyclopediaDump& dump,
+                        EncyclopediaPage* page) {
+  if (row.size() != 8) {
+    return (is_last_unchecksummed && row.size() < 8) ? "truncated_row"
+                                                     : "bad_field_count";
+  }
+  for (size_t i = 1; i < row.size(); ++i) {
+    if (!text::IsValidUtf8(row[i])) return "bad_utf8";
+  }
+  page->page_id = ParsePageId(row[0]);
+  if (page->page_id == 0) return "bad_page_id";
+  if (seen_ids.count(page->page_id) > 0) return "dup_page_id";
+  if (dump.FindByName(row[1]) != nullptr) return "dup_name";
+  page->name = row[1];
+  page->mention = row[2];
+  page->bracket = row[3];
+  page->abstract = row[4];
+  if (!row[5].empty()) {
+    for (const std::string& pair : util::Split(row[5], kPairSep)) {
+      const std::vector<std::string> kv = util::Split(pair, kKvSep);
+      if (kv.size() != 2) return "bad_infobox";
+      page->infobox.push_back({page->name, kv[0], kv[1]});
+    }
+  }
+  if (!row[6].empty()) page->tags = util::Split(row[6], kPairSep);
+  if (!row[7].empty()) page->aliases = util::Split(row[7], kPairSep);
+  return nullptr;
+}
+
+}  // namespace
+
 util::Result<EncyclopediaDump> EncyclopediaDump::Load(const std::string& path) {
-  auto rows = util::ReadTsvFile(path);
-  if (!rows.ok()) return rows.status();
+  return Load(path, DumpLoadOptions{}, nullptr);
+}
+
+util::Result<EncyclopediaDump> EncyclopediaDump::Load(
+    const std::string& path, const DumpLoadOptions& options,
+    DumpLoadReport* report) {
+  CNPB_RETURN_IF_ERROR(util::CheckFault("kb.dump.read"));
+  auto data = util::ReadTsvFileData(path);
+  if (!data.ok()) return data.status();
+
+  DumpLoadReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = DumpLoadReport{};
+  report->checksummed = data->checksummed;
+  report->rows_total = data->rows.size();
+
   EncyclopediaDump dump;
-  for (const auto& row : *rows) {
-    if (row.size() != 8) {
-      return util::InvalidArgumentError(
-          util::StrFormat("dump row has %zu fields, want 8", row.size()));
-    }
+  std::unordered_set<uint64_t> seen_ids;
+  seen_ids.reserve(data->rows.size());
+  std::unique_ptr<util::TsvWriter> quarantine;
+  for (size_t i = 0; i < data->rows.size(); ++i) {
+    const auto& row = data->rows[i];
     EncyclopediaPage page;
-    page.page_id = std::strtoull(row[0].c_str(), nullptr, 10);
-    page.name = row[1];
-    page.mention = row[2];
-    page.bracket = row[3];
-    page.abstract = row[4];
-    if (!row[5].empty()) {
-      for (const std::string& pair : util::Split(row[5], kPairSep)) {
-        const std::vector<std::string> kv = util::Split(pair, kKvSep);
-        if (kv.size() != 2) {
-          return util::InvalidArgumentError("malformed infobox cell");
-        }
-        page.infobox.push_back({page.name, kv[0], kv[1]});
+    const bool last_unchecksummed =
+        !data->checksummed && i + 1 == data->rows.size();
+    const char* reason =
+        ValidateRow(row, last_unchecksummed, seen_ids, dump, &page);
+    if (reason == nullptr) {
+      seen_ids.insert(page.page_id);
+      dump.AddPage(std::move(page));
+      ++report->rows_ok;
+      continue;
+    }
+    ++report->rows_quarantined;
+    ++report->quarantined_by_reason[reason];
+    if (report->rows_quarantined > options.max_errors) {
+      return util::InvalidArgumentError(util::StrFormat(
+          "%s: row %zu is malformed (%s) and the quarantine budget of %zu "
+          "is exhausted",
+          path.c_str(), i + 1, reason, options.max_errors));
+    }
+    if (!options.quarantine_path.empty()) {
+      if (quarantine == nullptr) {
+        quarantine = std::make_unique<util::TsvWriter>(
+            options.quarantine_path,
+            util::TsvWriterOptions{.fault_prefix = "kb.quarantine"});
       }
+      std::vector<std::string> sidecar_row;
+      sidecar_row.reserve(row.size() + 2);
+      sidecar_row.push_back(reason);
+      sidecar_row.push_back(std::to_string(i + 1));
+      sidecar_row.insert(sidecar_row.end(), row.begin(), row.end());
+      quarantine->WriteRow(sidecar_row);
     }
-    if (!row[6].empty()) {
-      page.tags = util::Split(row[6], kPairSep);
+  }
+  if (quarantine != nullptr) {
+    const util::Status status = quarantine->Close();
+    if (!status.ok()) {
+      CNPB_LOG(Warning) << "quarantine sidecar write failed: "
+                        << status.ToString();
     }
-    if (!row[7].empty()) {
-      page.aliases = util::Split(row[7], kPairSep);
+  }
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.counter("kb.load.rows_ok")->Increment(report->rows_ok);
+  if (report->rows_quarantined > 0) {
+    metrics.counter("kb.load.quarantined")
+        ->Increment(report->rows_quarantined);
+    for (const auto& [reason, count] : report->quarantined_by_reason) {
+      metrics.counter("kb.load.quarantined." + reason)->Increment(count);
     }
-    dump.AddPage(std::move(page));
   }
   return dump;
 }

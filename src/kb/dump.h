@@ -1,6 +1,7 @@
 #ifndef CNPROBASE_KB_DUMP_H_
 #define CNPROBASE_KB_DUMP_H_
 
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,38 @@ struct DumpStats {
   size_t num_brackets = 0;
 };
 
+// Quarantine reason codes (stable strings: they name sidecar rows, metric
+// suffixes, and test expectations).
+//   bad_field_count  row does not have exactly 8 fields
+//   truncated_row    short final row of an unchecksummed file (torn tail)
+//   bad_page_id      page_id field empty / non-numeric / zero / overflow
+//   dup_page_id      page_id already used by an earlier row
+//   dup_name         disambiguated name already used by an earlier row
+//   bad_utf8         a text field is not well-formed UTF-8
+//   bad_infobox      infobox cell without a predicate/object pair
+//
+// How a malformed row is handled during Load:
+struct DumpLoadOptions {
+  // Rows quarantined beyond this budget fail the load. 0 = strict (any bad
+  // row fails, the pre-robustness behaviour); SIZE_MAX = keep going no
+  // matter what.
+  size_t max_errors = 0;
+  // When set, quarantined rows are appended to this sidecar TSV as
+  //   reason, row_number (1-based), original fields...
+  // written atomically with a checksum footer. Empty = count only.
+  std::string quarantine_path;
+};
+
+// What a Load actually did, for callers and for the obs counters
+// (kb.load.rows_ok / kb.load.quarantined / kb.load.quarantined.<reason>).
+struct DumpLoadReport {
+  size_t rows_total = 0;
+  size_t rows_ok = 0;
+  size_t rows_quarantined = 0;
+  bool checksummed = false;  // file carried a valid CRC32 footer
+  std::map<std::string, size_t> quarantined_by_reason;
+};
+
 // An in-memory encyclopedia dump: the input of the whole framework.
 class EncyclopediaDump {
  public:
@@ -38,8 +71,21 @@ class EncyclopediaDump {
 
   // TSV persistence. Format (one page per row):
   // name, mention, bracket, abstract, infobox("p=o;p=o"), tags("t;t").
+  // Save is atomic (temp + fsync + rename) with a CRC32 footer; a failed
+  // save leaves the previous file intact.
   util::Status Save(const std::string& path) const;
+
+  // Strict load: the first malformed row fails the whole file (equivalent
+  // to Load(path, DumpLoadOptions{}) — CN-Probase's historical contract).
   static util::Result<EncyclopediaDump> Load(const std::string& path);
+
+  // Quarantine-and-continue load: malformed rows are diverted to the
+  // sidecar (see DumpLoadOptions) up to `max_errors`, and the load succeeds
+  // with the surviving pages. A checksum-invalid file never parses at all
+  // (kDataLoss). `report`, if non-null, receives the row accounting.
+  static util::Result<EncyclopediaDump> Load(const std::string& path,
+                                             const DumpLoadOptions& options,
+                                             DumpLoadReport* report = nullptr);
 
  private:
   std::vector<EncyclopediaPage> pages_;

@@ -1,8 +1,9 @@
 #include "nn/serialize.h"
 
-#include <cstdio>
 #include <cstring>
 
+#include "util/atomic_file.h"
+#include "util/fault_injection.h"
 #include "util/strings.h"
 #include "util/tsv.h"
 
@@ -10,63 +11,105 @@ namespace cnpb::nn {
 
 namespace {
 constexpr char kMagic[8] = {'C', 'N', 'P', 'B', 'N', 'N', '0', '1'};
+// Binary trailer: magic + little-endian CRC32 of everything before it. A
+// truncated or bit-flipped checkpoint fails verification instead of loading
+// garbage weights.
+constexpr char kCrcMagic[8] = {'C', 'N', 'P', 'B', 'C', 'R', 'C', '1'};
+constexpr size_t kTrailerSize = sizeof(kCrcMagic) + sizeof(uint32_t);
+
+void AppendBytes(std::string& out, const void* data, size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+// In-memory cursor over the checkpoint payload.
+struct ByteReader {
+  const char* pos;
+  const char* end;
+  bool Read(void* out, size_t size) {
+    if (static_cast<size_t>(end - pos) < size) return false;
+    std::memcpy(out, pos, size);
+    pos += size;
+    return true;
+  }
+};
+
 }  // namespace
 
 util::Status SaveParameters(const std::vector<Var>& params,
                             const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return util::IoError("cannot open " + path);
-  std::fwrite(kMagic, 1, sizeof(kMagic), f);
+  std::string buffer;
+  AppendBytes(buffer, kMagic, sizeof(kMagic));
   const uint32_t count = static_cast<uint32_t>(params.size());
-  std::fwrite(&count, sizeof(count), 1, f);
+  AppendBytes(buffer, &count, sizeof(count));
   for (const Var& p : params) {
     const int32_t rows = p->value.rows();
     const int32_t cols = p->value.cols();
-    std::fwrite(&rows, sizeof(rows), 1, f);
-    std::fwrite(&cols, sizeof(cols), 1, f);
-    std::fwrite(p->value.data(), sizeof(float), p->value.size(), f);
+    AppendBytes(buffer, &rows, sizeof(rows));
+    AppendBytes(buffer, &cols, sizeof(cols));
+    AppendBytes(buffer, p->value.data(), sizeof(float) * p->value.size());
   }
-  if (std::fclose(f) != 0) return util::IoError("fclose failed: " + path);
-  return util::Status::Ok();
+  const uint32_t crc = util::Crc32(buffer);
+  AppendBytes(buffer, kCrcMagic, sizeof(kCrcMagic));
+  AppendBytes(buffer, &crc, sizeof(crc));
+  return util::WriteFileAtomic(
+      path, buffer, {.checksum_footer = false, .fault_prefix = "nn.save"});
 }
 
 util::Status LoadParameters(const std::vector<Var>& params,
                             const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return util::IoError("cannot open " + path);
+  CNPB_RETURN_IF_ERROR(util::CheckFault("nn.load.read"));
+  auto content = util::ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  std::string_view payload(*content);
+  // Verify and strip the CRC trailer when present (pre-trailer checkpoints
+  // load unverified).
+  if (payload.size() >= kTrailerSize &&
+      std::memcmp(payload.data() + payload.size() - kTrailerSize, kCrcMagic,
+                  sizeof(kCrcMagic)) == 0) {
+    uint32_t stored = 0;
+    std::memcpy(&stored,
+                payload.data() + payload.size() - sizeof(uint32_t),
+                sizeof(uint32_t));
+    payload.remove_suffix(kTrailerSize);
+    const uint32_t actual = util::Crc32(payload);
+    if (actual != stored) {
+      return util::DataLossError(util::StrFormat(
+          "checkpoint crc32 mismatch (%08x vs %08x): %s", actual, stored,
+          path.c_str()));
+    }
+  }
+  ByteReader reader{payload.data(), payload.data() + payload.size()};
   char magic[sizeof(kMagic)];
-  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+  if (!reader.Read(magic, sizeof(magic)) ||
       std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    std::fclose(f);
     return util::InvalidArgumentError("bad checkpoint magic: " + path);
   }
   uint32_t count = 0;
-  if (std::fread(&count, sizeof(count), 1, f) != 1 ||
-      count != params.size()) {
-    std::fclose(f);
+  if (!reader.Read(&count, sizeof(count)) || count != params.size()) {
     return util::InvalidArgumentError(util::StrFormat(
         "checkpoint has %u parameters, model has %zu", count, params.size()));
   }
   for (const Var& p : params) {
     int32_t rows = 0, cols = 0;
-    if (std::fread(&rows, sizeof(rows), 1, f) != 1 ||
-        std::fread(&cols, sizeof(cols), 1, f) != 1 ||
-        rows != p->value.rows() || cols != p->value.cols()) {
-      std::fclose(f);
+    if (!reader.Read(&rows, sizeof(rows)) ||
+        !reader.Read(&cols, sizeof(cols)) || rows != p->value.rows() ||
+        cols != p->value.cols()) {
       return util::InvalidArgumentError("checkpoint shape mismatch");
     }
-    if (std::fread(p->value.data(), sizeof(float), p->value.size(), f) !=
-        p->value.size()) {
-      std::fclose(f);
+    if (!reader.Read(p->value.data(), sizeof(float) * p->value.size())) {
       return util::IoError("truncated checkpoint: " + path);
     }
   }
-  std::fclose(f);
+  // A complete checkpoint is consumed exactly; leftover bytes mean a torn
+  // trailer or foreign data appended to the file.
+  if (reader.pos != reader.end) {
+    return util::InvalidArgumentError("trailing bytes in checkpoint: " + path);
+  }
   return util::Status::Ok();
 }
 
 util::Status SaveVocab(const Vocab& vocab, const std::string& path) {
-  util::TsvWriter writer(path);
+  util::TsvWriter writer(path, {.fault_prefix = "nn.vocab.save"});
   if (!writer.status().ok()) return writer.status();
   for (int id = 0; id < vocab.size(); ++id) {
     writer.WriteRow({vocab.Word(id)});

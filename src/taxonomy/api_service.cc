@@ -4,7 +4,9 @@
 #include <unordered_set>
 #include <utility>
 
+#include "util/fault_injection.h"
 #include "util/logging.h"
+#include "util/retry.h"
 #include "util/strings.h"
 
 namespace cnpb::taxonomy {
@@ -30,6 +32,64 @@ double SecondsBetween(std::chrono::steady_clock::time_point from,
 
 }  // namespace
 
+// Admission + deadline bookkeeping for one query. Construction charges the
+// in-flight gauge when a cap is armed; destruction releases it. When both
+// knobs are off (the default) the whole guard is two relaxed loads.
+class QueryGuard {
+ public:
+  explicit QueryGuard(const ApiService& service) : service_(service) {
+    const size_t cap = service.max_in_flight_.load(std::memory_order_relaxed);
+    if (cap > 0) {
+      counted_ = true;
+      if (service.in_flight_.fetch_add(1, std::memory_order_relaxed) + 1 >
+          cap) {
+        shed_ = true;
+        service.shed_->Increment();
+        return;
+      }
+    }
+    const int64_t deadline_ns =
+        service.deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline_ns > 0) {
+      deadline_ = std::chrono::steady_clock::now() +
+                  std::chrono::nanoseconds(deadline_ns);
+      armed_deadline_ = true;
+    }
+  }
+  ~QueryGuard() {
+    if (counted_) {
+      service_.in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  QueryGuard(const QueryGuard&) = delete;
+  QueryGuard& operator=(const QueryGuard&) = delete;
+
+  // Non-OK when the call must be shed before doing any work.
+  util::Status Admission(const char* api) const {
+    if (!shed_) return util::Status::Ok();
+    return util::ResourceExhaustedError(
+        util::StrFormat("%s shed: in-flight cap reached", api));
+  }
+
+  // Non-OK once the per-query budget has elapsed.
+  util::Status Deadline(const char* api) const {
+    if (!armed_deadline_ || std::chrono::steady_clock::now() <= deadline_) {
+      return util::Status::Ok();
+    }
+    service_.deadline_exceeded_->Increment();
+    return util::DeadlineExceededError(
+        util::StrFormat("%s: query deadline exceeded", api));
+  }
+
+ private:
+  const ApiService& service_;
+  std::chrono::steady_clock::time_point deadline_;
+  bool counted_ = false;
+  bool shed_ = false;
+  bool armed_deadline_ = false;
+};
+
 ApiService::ApiService(const Taxonomy* taxonomy) {
   CNPB_CHECK(taxonomy != nullptr);
   Publish(util::UnownedSnapshot(taxonomy), MentionIndex());
@@ -43,6 +103,60 @@ ApiService::ApiService(std::shared_ptr<const Taxonomy> taxonomy,
 uint64_t ApiService::Publish(std::shared_ptr<const Taxonomy> taxonomy,
                              MentionIndex mentions) {
   CNPB_CHECK(taxonomy != nullptr);
+  // Publish contention (real or injected at the api.publish fault point) is
+  // transient by definition: back off and retry rather than drop an update.
+  // The arguments are only consumed on the successful attempt.
+  util::RetryOptions options;
+  options.max_attempts = 16;
+  uint64_t version = 0;
+  const util::RetryResult result =
+      util::RetryWithBackoff(options, [&]() -> util::Status {
+        const util::Status fault = util::CheckFault("api.publish");
+        if (!fault.ok()) {
+          return util::ResourceExhaustedError("publish contention: " +
+                                              fault.message());
+        }
+        version = PublishInternal(std::move(taxonomy), std::move(mentions));
+        return util::Status::Ok();
+      });
+  if (result.attempts > 1) {
+    publish_retries_->Increment(static_cast<uint64_t>(result.attempts - 1));
+  }
+  CNPB_CHECK(result.status.ok())
+      << "publish failed after " << result.attempts
+      << " attempts: " << result.status.ToString();
+  return version;
+}
+
+util::Result<uint64_t> ApiService::TryPublish(
+    std::shared_ptr<const Taxonomy> taxonomy, MentionIndex mentions) {
+  CNPB_CHECK(taxonomy != nullptr);
+  const util::Status fault = util::CheckFault("api.publish");
+  if (!fault.ok()) {
+    return util::ResourceExhaustedError("publish contention: " +
+                                        fault.message());
+  }
+  return PublishInternal(std::move(taxonomy), std::move(mentions));
+}
+
+void ApiService::SetServingLimits(const ServingLimits& limits) {
+  max_in_flight_.store(limits.max_in_flight, std::memory_order_relaxed);
+  deadline_ns_.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(limits.deadline)
+          .count(),
+      std::memory_order_relaxed);
+}
+
+ApiService::ServingLimits ApiService::serving_limits() const {
+  ServingLimits limits;
+  limits.max_in_flight = max_in_flight_.load(std::memory_order_relaxed);
+  limits.deadline = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::nanoseconds(deadline_ns_.load(std::memory_order_relaxed)));
+  return limits;
+}
+
+uint64_t ApiService::PublishInternal(std::shared_ptr<const Taxonomy> taxonomy,
+                                     MentionIndex mentions) {
   // The publish-swap latency covers the whole critical path a reader could
   // be affected by: version assembly, overlay clear, and the pointer swap.
   obs::ScopedTimer publish_timer(publish_latency_);
@@ -97,9 +211,13 @@ void ApiService::RegisterMention(std::string_view mention, NodeId entity) {
   }
 }
 
-std::vector<NodeId> ApiService::Men2Ent(std::string_view mention) const {
+util::Result<std::vector<NodeId>> ApiService::TryMen2Ent(
+    std::string_view mention) const {
   men2ent_calls_.fetch_add(1, std::memory_order_relaxed);
   obs::ScopedTimer latency(SampleQueryLatency() ? latency_men2ent_ : nullptr);
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission("men2ent"));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
   const std::shared_ptr<const Version> snap = PinForQuery();
   const std::string key(mention);
   std::vector<NodeId> out;
@@ -117,25 +235,42 @@ std::vector<NodeId> ApiService::Men2Ent(std::string_view mention) const {
       }
     }
   }
-  if (out.empty()) return out;
-  // Ranking reads only the pinned snapshot (ids unknown to it rank last
-  // with zero hypernyms), outside any lock.
-  const Taxonomy& taxonomy = *snap->taxonomy;
-  std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
-    return taxonomy.Hypernyms(a).size() > taxonomy.Hypernyms(b).size();
-  });
+  if (!out.empty()) {
+    // Ranking reads only the pinned snapshot (ids unknown to it rank last
+    // with zero hypernyms), outside any lock.
+    const Taxonomy& taxonomy = *snap->taxonomy;
+    std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
+      return taxonomy.Hypernyms(a).size() > taxonomy.Hypernyms(b).size();
+    });
+  }
+  CNPB_RETURN_IF_ERROR(guard.Deadline("men2ent"));
   return out;
 }
 
-std::vector<std::string> ApiService::GetConcept(std::string_view entity_name,
-                                                bool transitive) const {
+std::vector<NodeId> ApiService::Men2Ent(std::string_view mention) const {
+  auto result = TryMen2Ent(mention);
+  if (!result.ok()) {
+    degraded_->Increment();
+    return {};
+  }
+  return *std::move(result);
+}
+
+util::Result<std::vector<std::string>> ApiService::TryGetConcept(
+    std::string_view entity_name, bool transitive) const {
   get_concept_calls_.fetch_add(1, std::memory_order_relaxed);
   obs::ScopedTimer latency(SampleQueryLatency() ? latency_get_concept_
                                                 : nullptr);
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission("get_concept"));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
   const std::shared_ptr<const Version> snap = PinForQuery();
   const Taxonomy& taxonomy = *snap->taxonomy;
   const NodeId id = taxonomy.Find(entity_name);
-  if (id == kInvalidNode) return {};
+  if (id == kInvalidNode) {
+    CNPB_RETURN_IF_ERROR(guard.Deadline("get_concept"));
+    return std::vector<std::string>();
+  }
   // Rank by edge confidence (source prior), most trustworthy first.
   std::vector<IsaEdge> edges = taxonomy.Hypernyms(id);
   std::stable_sort(edges.begin(), edges.end(),
@@ -156,24 +291,50 @@ std::vector<std::string> ApiService::GetConcept(std::string_view entity_name,
       }
     }
   }
+  CNPB_RETURN_IF_ERROR(guard.Deadline("get_concept"));
+  return out;
+}
+
+std::vector<std::string> ApiService::GetConcept(std::string_view entity_name,
+                                                bool transitive) const {
+  auto result = TryGetConcept(entity_name, transitive);
+  if (!result.ok()) {
+    degraded_->Increment();
+    return {};
+  }
+  return *std::move(result);
+}
+
+util::Result<std::vector<std::string>> ApiService::TryGetEntity(
+    std::string_view concept_name, size_t limit) const {
+  get_entity_calls_.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedTimer latency(SampleQueryLatency() ? latency_get_entity_
+                                                : nullptr);
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission("get_entity"));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  const Taxonomy& taxonomy = *snap->taxonomy;
+  const NodeId id = taxonomy.Find(concept_name);
+  std::vector<std::string> out;
+  if (id != kInvalidNode) {
+    for (const IsaEdge& edge : taxonomy.Hyponyms(id)) {
+      if (out.size() >= limit) break;
+      out.push_back(taxonomy.Name(edge.hypo));
+    }
+  }
+  CNPB_RETURN_IF_ERROR(guard.Deadline("get_entity"));
   return out;
 }
 
 std::vector<std::string> ApiService::GetEntity(std::string_view concept_name,
                                                size_t limit) const {
-  get_entity_calls_.fetch_add(1, std::memory_order_relaxed);
-  obs::ScopedTimer latency(SampleQueryLatency() ? latency_get_entity_
-                                                : nullptr);
-  const std::shared_ptr<const Version> snap = PinForQuery();
-  const Taxonomy& taxonomy = *snap->taxonomy;
-  const NodeId id = taxonomy.Find(concept_name);
-  if (id == kInvalidNode) return {};
-  std::vector<std::string> out;
-  for (const IsaEdge& edge : taxonomy.Hyponyms(id)) {
-    if (out.size() >= limit) break;
-    out.push_back(taxonomy.Name(edge.hypo));
+  auto result = TryGetEntity(concept_name, limit);
+  if (!result.ok()) {
+    degraded_->Increment();
+    return {};
   }
-  return out;
+  return *std::move(result);
 }
 
 std::shared_ptr<const Taxonomy> ApiService::CurrentTaxonomy() const {

@@ -43,6 +43,14 @@ namespace cnpb::taxonomy {
 // published mention index is rebuilt for its taxonomy version. Call
 // counters are relaxed atomics, so usage().total() is exact once all
 // callers have joined.
+//
+// Graceful degradation (DESIGN.md §8): SetServingLimits arms an in-flight
+// concurrency cap and a per-query deadline. The Try* variants report
+// ResourceExhausted when admission sheds the call and DeadlineExceeded when
+// the budget elapses mid-query — fail fast rather than queue unboundedly.
+// The legacy vector APIs degrade to an empty result on those errors (and
+// count them in api.degraded), so existing callers keep working. With no
+// limits configured both checks cost one relaxed load each.
 class ApiService {
  public:
   // mention -> candidate entity nodes, as built for one taxonomy version.
@@ -71,6 +79,16 @@ class ApiService {
     double seconds_serving = 0.0;
   };
 
+  // Overload policy. Zero means "no limit"; both knobs default off.
+  struct ServingLimits {
+    // Maximum queries allowed in flight at once; excess calls are shed
+    // immediately with ResourceExhausted (counted in api.shed).
+    size_t max_in_flight = 0;
+    // Per-query time budget; exceeded queries return DeadlineExceeded
+    // (counted in api.deadline_exceeded).
+    std::chrono::microseconds deadline{0};
+  };
+
   // Non-owning: `taxonomy` must outlive the service. Published as version 1
   // with an empty mention index (fill it via RegisterMention / Publish).
   explicit ApiService(const Taxonomy* taxonomy);
@@ -90,11 +108,32 @@ class ApiService {
   uint64_t Publish(std::shared_ptr<const Taxonomy> taxonomy,
                    MentionIndex mentions);
 
+  // Fallible publish: fails with ResourceExhausted under (injected)
+  // contention on the `api.publish` fault point. Publish() wraps this in a
+  // util::Retry exponential backoff, which is what callers normally want.
+  util::Result<uint64_t> TryPublish(std::shared_ptr<const Taxonomy> taxonomy,
+                                    MentionIndex mentions);
+
+  // Installs the overload policy; takes effect for subsequent queries.
+  // Safe to call while queries are in flight.
+  void SetServingLimits(const ServingLimits& limits);
+  ServingLimits serving_limits() const;
+
   // Registers `mention` as a surface form of entity node `entity` in the
   // live overlay on top of the current version. Visible to queries
   // immediately; superseded by the next Publish. Exclusive writer: safe to
   // call while queries are in flight.
   void RegisterMention(std::string_view mention, NodeId entity);
+
+  // Fallible query variants — the overload-aware API. Errors:
+  //   ResourceExhausted  shed by the in-flight cap
+  //   DeadlineExceeded   per-query budget elapsed
+  //   IoError            injected fault at api.query (chaos testing)
+  util::Result<std::vector<NodeId>> TryMen2Ent(std::string_view mention) const;
+  util::Result<std::vector<std::string>> TryGetConcept(
+      std::string_view entity_name, bool transitive = false) const;
+  util::Result<std::vector<std::string>> TryGetEntity(
+      std::string_view concept_name, size_t limit = 100) const;
 
   // men2ent: candidate entities for a mention, most-popular first
   // (popularity = number of hypernyms, a proxy for page richness). Node ids
@@ -139,6 +178,8 @@ class ApiService {
   void ExportMetrics(obs::MetricsRegistry* registry) const;
 
  private:
+  friend class QueryGuard;
+
   // One published, immutable serving version. `queries` is shared with the
   // stats history so counts survive the version being retired.
   struct Version {
@@ -164,6 +205,10 @@ class ApiService {
   // Pins the current version (never null) and counts the query against it.
   std::shared_ptr<const Version> PinForQuery() const;
 
+  // The actual swap (old Publish body); assumes admission already passed.
+  uint64_t PublishInternal(std::shared_ptr<const Taxonomy> taxonomy,
+                           MentionIndex mentions);
+
   util::SnapshotHolder<Version> snapshot_;
 
   // Live overlay of RegisterMention calls since the last publish.
@@ -173,6 +218,13 @@ class ApiService {
   mutable std::mutex publish_mu_;  // serialises Publish; guards history_
   std::vector<VersionRecord> history_;
   uint64_t next_version_ = 1;
+
+  // Overload policy + in-flight gauge. Relaxed atomics: admission is a
+  // heuristic cap, not a strict semaphore, so a momentary overshoot under
+  // contention is acceptable and keeps the admission check lock-free.
+  std::atomic<size_t> max_in_flight_{0};
+  std::atomic<int64_t> deadline_ns_{0};
+  mutable std::atomic<size_t> in_flight_{0};
 
   mutable std::atomic<uint64_t> men2ent_calls_{0};
   mutable std::atomic<uint64_t> get_concept_calls_{0};
@@ -206,6 +258,15 @@ class ApiService {
       obs::MetricsRegistry::Global().histogram("api.publish.latency_seconds");
   obs::Counter* const publishes_ =
       obs::MetricsRegistry::Global().counter("api.publishes");
+  // Degradation accounting (DESIGN.md §8).
+  obs::Counter* const shed_ =
+      obs::MetricsRegistry::Global().counter("api.shed");
+  obs::Counter* const deadline_exceeded_ =
+      obs::MetricsRegistry::Global().counter("api.deadline_exceeded");
+  obs::Counter* const degraded_ =
+      obs::MetricsRegistry::Global().counter("api.degraded");
+  obs::Counter* const publish_retries_ =
+      obs::MetricsRegistry::Global().counter("api.publish.retries");
 };
 
 }  // namespace cnpb::taxonomy

@@ -1,14 +1,52 @@
 #include "taxonomy/serialize.h"
 
+#include <cerrno>
 #include <cstdlib>
 
+#include "util/atomic_file.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
 #include "util/strings.h"
 #include "util/tsv.h"
 
 namespace cnpb::taxonomy {
 
+namespace {
+
+// Strict numeric field parses: the whole field must be consumed. Garbage
+// like "12abc" is a malformed row, not node 12.
+bool ParseNodeId(const std::string& field, NodeId* out) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(field.c_str(), &end, 10);
+  if (errno == ERANGE || end != field.c_str() + field.size()) return false;
+  *out = static_cast<NodeId>(value);
+  return true;
+}
+
+bool ParseSource(const std::string& field, int* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const long value = std::strtol(field.c_str(), &end, 10);
+  if (end != field.c_str() + field.size()) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool ParseScore(const std::string& field, float* out) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end != field.c_str() + field.size()) return false;
+  *out = static_cast<float>(value);
+  return true;
+}
+
+}  // namespace
+
 util::Status SaveTaxonomy(const Taxonomy& taxonomy, const std::string& path) {
-  util::TsvWriter writer(path);
+  util::TsvWriter writer(path, {.fault_prefix = "taxonomy.save"});
   if (!writer.status().ok()) return writer.status();
   for (NodeId id = 0; id < taxonomy.num_nodes(); ++id) {
     writer.WriteRow({"N", taxonomy.Name(id),
@@ -22,7 +60,27 @@ util::Status SaveTaxonomy(const Taxonomy& taxonomy, const std::string& path) {
   return writer.Close();
 }
 
+util::Status SaveTaxonomyDurable(const Taxonomy& taxonomy,
+                                 const std::string& path) {
+  // Preserve the current file as the last-good snapshot first: if the save
+  // below fails at any point, `path` still holds the previous version, and
+  // if a later load finds `path` corrupted out-of-band, `.bak` survives.
+  auto current = util::ReadFileToString(path);
+  if (current.ok()) {
+    // The bytes already carry their own checksum footer; copy them verbatim.
+    const util::Status status = util::WriteFileAtomic(
+        path + ".bak", *current,
+        {.checksum_footer = false, .fault_prefix = "taxonomy.backup"});
+    if (!status.ok()) {
+      CNPB_LOG(Warning) << "could not refresh last-good snapshot "
+                        << path + ".bak" << ": " << status.ToString();
+    }
+  }
+  return SaveTaxonomy(taxonomy, path);
+}
+
 util::Result<Taxonomy> LoadTaxonomy(const std::string& path) {
+  CNPB_RETURN_IF_ERROR(util::CheckFault("taxonomy.load.read"));
   auto rows = util::ReadTsvFile(path);
   if (!rows.ok()) return rows.status();
   Taxonomy taxonomy;
@@ -38,20 +96,36 @@ util::Result<Taxonomy> LoadTaxonomy(const std::string& path) {
       if (row.size() != 5) {
         return util::InvalidArgumentError("edge row needs 5 fields");
       }
-      const NodeId hypo = static_cast<NodeId>(std::strtoul(row[1].c_str(), nullptr, 10));
-      const NodeId hyper = static_cast<NodeId>(std::strtoul(row[2].c_str(), nullptr, 10));
-      const int source = std::atoi(row[3].c_str());
+      NodeId hypo = kInvalidNode;
+      NodeId hyper = kInvalidNode;
+      int source = -1;
+      float score = 0.0f;
+      if (!ParseNodeId(row[1], &hypo) || !ParseNodeId(row[2], &hyper) ||
+          !ParseSource(row[3], &source) || !ParseScore(row[4], &score)) {
+        return util::InvalidArgumentError("edge row has non-numeric fields");
+      }
       if (hypo >= taxonomy.num_nodes() || hyper >= taxonomy.num_nodes() ||
           source < 0 || source >= kNumSources) {
         return util::InvalidArgumentError("edge row references unknown node");
       }
-      taxonomy.AddIsa(hypo, hyper, static_cast<Source>(source),
-                      static_cast<float>(std::atof(row[4].c_str())));
+      taxonomy.AddIsa(hypo, hyper, static_cast<Source>(source), score);
     } else {
       return util::InvalidArgumentError("unknown row tag: " + row[0]);
     }
   }
   return taxonomy;
+}
+
+util::Result<Taxonomy> LoadTaxonomyWithFallback(const std::string& path) {
+  auto primary = LoadTaxonomy(path);
+  if (primary.ok()) return primary;
+  // Fall back only for corruption/IO, and only when a last-good exists;
+  // otherwise surface the primary error untouched.
+  auto fallback = LoadTaxonomy(path + ".bak");
+  if (!fallback.ok()) return primary.status();
+  CNPB_LOG(Warning) << "loaded last-good snapshot " << path << ".bak after: "
+                    << primary.status().ToString();
+  return fallback;
 }
 
 }  // namespace cnpb::taxonomy

@@ -11,9 +11,24 @@ namespace cnpb::taxonomy {
 // Saves the taxonomy as two TSV sections in one file:
 //   N <name> <kind>
 //   E <hypo_id> <hyper_id> <source> <score>
+// The write is atomic (temp + fsync + rename) with a CRC32 footer, so a
+// crashed or fault-injected save leaves the previous file intact.
 util::Status SaveTaxonomy(const Taxonomy& taxonomy, const std::string& path);
 
+// Like SaveTaxonomy, but first preserves the current file (when present and
+// readable) as `path`.bak — the last-good snapshot LoadTaxonomyWithFallback
+// recovers from. The .bak copy is also written atomically.
+util::Status SaveTaxonomyDurable(const Taxonomy& taxonomy,
+                                 const std::string& path);
+
+// Strict load: checksum-invalid or structurally malformed files fail
+// (kDataLoss / kInvalidArgument) — a corrupt taxonomy is never served.
 util::Result<Taxonomy> LoadTaxonomy(const std::string& path);
+
+// Load with last-good fallback: when `path` is corrupt (not merely absent),
+// falls back to `path`.bak and logs the recovery. Absent primary is still
+// an error — missing data is not corruption.
+util::Result<Taxonomy> LoadTaxonomyWithFallback(const std::string& path);
 
 }  // namespace cnpb::taxonomy
 

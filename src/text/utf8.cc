@@ -68,6 +68,44 @@ char32_t DecodeCodepointAt(std::string_view s, size_t& pos) {
   return cp;
 }
 
+bool IsValidUtf8(std::string_view s) {
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const unsigned char b0 = static_cast<unsigned char>(s[pos]);
+    if (b0 < 0x80) {
+      ++pos;
+      continue;
+    }
+    int len;
+    char32_t cp;
+    if ((b0 & 0xE0) == 0xC0) {
+      len = 2;
+      cp = b0 & 0x1F;
+    } else if ((b0 & 0xF0) == 0xE0) {
+      len = 3;
+      cp = b0 & 0x0F;
+    } else if ((b0 & 0xF8) == 0xF0) {
+      len = 4;
+      cp = b0 & 0x07;
+    } else {
+      return false;  // stray continuation byte or invalid lead
+    }
+    if (pos + static_cast<size_t>(len) > s.size()) return false;  // truncated
+    for (int i = 1; i < len; ++i) {
+      const unsigned char b = static_cast<unsigned char>(s[pos + i]);
+      if ((b & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (b & 0x3F);
+    }
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+        (len == 4 && cp < 0x10000) || (cp >= 0xD800 && cp <= 0xDFFF) ||
+        cp > 0x10FFFF) {
+      return false;  // overlong, surrogate, or beyond U+10FFFF
+    }
+    pos += static_cast<size_t>(len);
+  }
+  return true;
+}
+
 void AppendCodepoint(char32_t cp, std::string& out) {
   if (cp < 0x80) {
     out += static_cast<char>(cp);

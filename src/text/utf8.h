@@ -36,6 +36,10 @@ size_t NumCodepoints(std::string_view s);
 std::string SubstrByCodepoint(std::string_view s, size_t cp_index,
                               size_t cp_count);
 
+// True if s is well-formed UTF-8: no truncated, overlong, surrogate, or
+// out-of-range sequences. Used to quarantine mangled encyclopedia rows.
+bool IsValidUtf8(std::string_view s);
+
 // True for CJK Unified Ideographs (base block + extension A).
 bool IsHanCodepoint(char32_t cp);
 

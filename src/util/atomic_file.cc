@@ -1,0 +1,174 @@
+#include "util/atomic_file.h"
+
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/fault_injection.h"
+#include "util/strings.h"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace cnpb::util {
+
+namespace {
+
+constexpr std::string_view kFooterPrefix = "#cnpb:crc32:";
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+// Monotonic per-process counter so concurrent writers targeting the same
+// destination never share a temp file.
+std::string TempPathFor(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  return StrFormat("%s.tmp.%llu.%llu", path.c_str(),
+                   static_cast<unsigned long long>(::getpid()),
+                   static_cast<unsigned long long>(
+                       counter.fetch_add(1, std::memory_order_relaxed)));
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string ChecksumFooter(std::string_view payload) {
+  return StrFormat("%.*s%08x:%zu\n", static_cast<int>(kFooterPrefix.size()),
+                   kFooterPrefix.data(), Crc32(payload), payload.size());
+}
+
+Result<std::string> StripVerifyChecksumFooter(std::string content,
+                                              const std::string& path) {
+  if (content.empty() || content.back() != '\n') return content;
+  // The footer is always the last line; find its start.
+  const size_t line_start = content.rfind('\n', content.size() - 2);
+  const size_t footer_start = line_start == std::string::npos ? 0
+                                                              : line_start + 1;
+  const std::string_view footer(content.data() + footer_start,
+                                content.size() - footer_start);
+  if (!StartsWith(footer, kFooterPrefix)) return content;
+  // "#cnpb:crc32:<8 hex>:<decimal size>\n"
+  const std::string_view body =
+      footer.substr(kFooterPrefix.size(), footer.size() -
+                                              kFooterPrefix.size() - 1);
+  const std::vector<std::string> parts = Split(body, ':');
+  uint32_t crc = 0;
+  size_t size = 0;
+  bool parsed = parts.size() == 2 && parts[0].size() == 8;
+  if (parsed) {
+    char* end = nullptr;
+    crc = static_cast<uint32_t>(std::strtoul(parts[0].c_str(), &end, 16));
+    parsed = end == parts[0].c_str() + parts[0].size();
+    if (parsed) {
+      size = static_cast<size_t>(std::strtoull(parts[1].c_str(), &end, 10));
+      parsed = !parts[1].empty() && end == parts[1].c_str() + parts[1].size();
+    }
+  }
+  // A footer-shaped line that fails to parse or verify is treated as
+  // corruption, not data: swallowing it silently would defeat the check.
+  if (!parsed) {
+    return DataLossError("malformed checksum footer: " + path);
+  }
+  const std::string_view payload(content.data(), footer_start);
+  if (payload.size() != size) {
+    return DataLossError(
+        StrFormat("checksum footer size mismatch (%zu vs %zu): %s",
+                  payload.size(), size, path.c_str()));
+  }
+  const uint32_t actual = Crc32(payload);
+  if (actual != crc) {
+    return DataLossError(StrFormat("crc32 mismatch (%08x vs %08x): %s",
+                                   actual, crc, path.c_str()));
+  }
+  content.resize(footer_start);
+  return content;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path,
+                                   AtomicWriteOptions options)
+    : path_(std::move(path)), options_(std::move(options)) {}
+
+AtomicFileWriter::~AtomicFileWriter() = default;
+
+Status AtomicFileWriter::Commit() {
+  if (committed_) return FailedPreconditionError("already committed: " + path_);
+  CNPB_RETURN_IF_ERROR(CheckFault(options_.fault_prefix + ".write"));
+
+  const std::string temp = TempPathFor(path_);
+  FILE* f = std::fopen(temp.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot open for writing: " + temp);
+  bool ok = std::fwrite(buffer_.data(), 1, buffer_.size(), f) ==
+            buffer_.size();
+  if (ok && options_.checksum_footer) {
+    const std::string footer = ChecksumFooter(buffer_);
+    ok = std::fwrite(footer.data(), 1, footer.size(), f) == footer.size();
+  }
+  // Flush user-space buffers, then force the payload to stable storage
+  // before the rename makes it visible — a crash after rename must never
+  // expose a file whose tail the kernel was still holding.
+  ok = ok && std::fflush(f) == 0;
+  const Status fsync_fault = CheckFault(options_.fault_prefix + ".fsync");
+#ifndef _WIN32
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok || !fsync_fault.ok()) {
+    std::remove(temp.c_str());
+    return fsync_fault.ok() ? IoError("write failed: " + temp) : fsync_fault;
+  }
+
+  const Status rename_fault = CheckFault(options_.fault_prefix + ".rename");
+  if (!rename_fault.ok()) {
+    std::remove(temp.c_str());
+    return rename_fault;
+  }
+  if (std::rename(temp.c_str(), path_.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return IoError("rename failed: " + temp + " -> " + path_);
+  }
+  committed_ = true;  // a failed Commit may be retried
+  return Status::Ok();
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view content,
+                       const AtomicWriteOptions& options) {
+  AtomicFileWriter writer(path, options);
+  writer.Append(content);
+  return writer.Commit();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return IoError("cannot open for reading: " + path);
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return IoError("read failed: " + path);
+  return content;
+}
+
+}  // namespace cnpb::util

@@ -1,0 +1,80 @@
+#ifndef CNPROBASE_UTIL_ATOMIC_FILE_H_
+#define CNPROBASE_UTIL_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace cnpb::util {
+
+// Crash-safe persistence primitives.
+//
+// Contract (DESIGN.md §8): a saver never writes through the live file.
+// AtomicFileWriter buffers the payload, writes it to a sibling temp file,
+// fsyncs, and renames over the destination — so at every instant the
+// destination path holds either the previous complete file or the new
+// complete file, never a torn prefix. An optional CRC32 footer makes
+// payload corruption (bit rot, external truncation that preserves line
+// structure) detectable at load time; StripVerifyChecksumFooter is the
+// load-side half of that contract.
+
+// CRC-32 (ISO-HDLC / zlib polynomial, reflected). `seed` chains incremental
+// computation: Crc32(b, Crc32(a)) == Crc32(a+b).
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+struct AtomicWriteOptions {
+  // Append a "#cnpb:crc32:<8 hex>:<payload bytes>\n" footer line after the
+  // payload. Suitable for line-oriented formats (TSV); binary formats embed
+  // their own trailer instead.
+  bool checksum_footer = false;
+  // Fault points fired by this write: <prefix>.write, <prefix>.fsync,
+  // <prefix>.rename (see util/fault_injection.h).
+  std::string fault_prefix = "file";
+};
+
+// Buffered atomic writer. Append() never touches the filesystem; Commit()
+// performs the whole temp-write + fsync + rename sequence and reports the
+// first failure. If Commit() fails (or is never called) the destination is
+// untouched and the temp file is removed.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path, AtomicWriteOptions options = {});
+  ~AtomicFileWriter();  // abandons if not committed
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  void Append(std::string_view data) { buffer_.append(data); }
+  Status Commit();
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  AtomicWriteOptions options_;
+  std::string buffer_;
+  bool committed_ = false;
+};
+
+// One-shot convenience over AtomicFileWriter.
+Status WriteFileAtomic(const std::string& path, std::string_view content,
+                       const AtomicWriteOptions& options = {});
+
+// Builds the footer line for `payload` (including the trailing newline).
+std::string ChecksumFooter(std::string_view payload);
+
+// Verifies and strips a checksum footer from file `content` read off disk.
+//   - footer present and valid   -> payload without the footer line
+//   - footer present but wrong   -> kDataLoss (never parse corrupt payload)
+//   - no footer (legacy/foreign) -> content unchanged
+// `path` is only used in error messages.
+Result<std::string> StripVerifyChecksumFooter(std::string content,
+                                              const std::string& path);
+
+// Reads a whole file into a string (kIoError if unreadable).
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_ATOMIC_FILE_H_

@@ -1,0 +1,196 @@
+#include "util/fault_injection.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace cnpb::util {
+
+namespace internal_fault {
+std::atomic<bool> g_faults_armed{false};
+}  // namespace internal_fault
+
+namespace {
+
+// Stable per-point stream: the same (seed, point) pair fires identically
+// regardless of what other points are armed or in which order they appear.
+uint64_t PointSeed(uint64_t seed, std::string_view point) {
+  return seed ^ Fnv1a64(point);
+}
+
+bool ParseDouble(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(s);
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt64(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  const std::string copy(s);
+  const long long value = std::strtoll(copy.c_str(), &end, 10);
+  if (end != copy.c_str() + copy.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* created = new FaultInjector();
+    if (const char* env = std::getenv("CNPB_FAULTS");
+        env != nullptr && env[0] != '\0') {
+      uint64_t seed = 42;
+      if (const char* seed_env = std::getenv("CNPB_FAULT_SEED");
+          seed_env != nullptr) {
+        seed = std::strtoull(seed_env, nullptr, 10);
+      }
+      const Status status = created->Configure(env, seed);
+      if (!status.ok()) {
+        CNPB_LOG(Error) << "ignoring CNPB_FAULTS: " << status.ToString();
+      }
+    }
+    return created;
+  }();
+  return *injector;
+}
+
+namespace {
+// Arm from the environment before main: the hot path short-circuits on the
+// armed flag without ever constructing Global(), so env-configured specs
+// must not rely on a lazy first use to take effect.
+const bool g_env_armed = [] {
+  if (const char* env = std::getenv("CNPB_FAULTS");
+      env != nullptr && env[0] != '\0') {
+    FaultInjector::Global();
+  }
+  return true;
+}();
+}  // namespace
+
+Status FaultInjector::Configure(std::string_view spec, uint64_t seed) {
+  std::unordered_map<std::string, PointState> points;
+  for (const std::string& entry_str : Split(spec, ';')) {
+    const std::string_view entry = StripAsciiWhitespace(entry_str);
+    if (entry.empty()) continue;
+    const std::vector<std::string> parts = Split(entry, ':');
+    const std::vector<std::string> kv = Split(parts[0], '=');
+    FaultSpec fault;
+    if (kv.size() != 2 || kv[0].empty() ||
+        !ParseDouble(kv[1], &fault.probability) || fault.probability < 0.0 ||
+        fault.probability > 1.0) {
+      return InvalidArgumentError("bad fault entry: " + std::string(entry));
+    }
+    for (size_t i = 1; i < parts.size(); ++i) {
+      const std::vector<std::string> option = Split(parts[i], '=');
+      int64_t value = 0;
+      if (option.size() == 2 && option[0] == "delay" &&
+          ParseInt64(option[1], &value) && value >= 0) {
+        fault.delay_ms = static_cast<int>(value);
+      } else if (option.size() == 2 && option[0] == "limit" &&
+                 ParseInt64(option[1], &value) && value >= 0) {
+        fault.max_fires = value;
+      } else {
+        return InvalidArgumentError("bad fault option: " + parts[i]);
+      }
+    }
+    PointState state;
+    state.spec = fault;
+    state.rng.Seed(PointSeed(seed, kv[0]));
+    points.emplace(kv[0], std::move(state));
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  points_ = std::move(points);
+  spec_string_ = std::string(spec);
+  seed_ = seed;
+  internal_fault::g_faults_armed.store(!points_.empty(),
+                                       std::memory_order_relaxed);
+  return Status::Ok();
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  spec_string_.clear();
+  internal_fault::g_faults_armed.store(false, std::memory_order_relaxed);
+}
+
+Status FaultInjector::CheckSlow(std::string_view point) {
+  int delay_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(std::string(point));
+    if (it == points_.end()) return Status::Ok();
+    PointState& state = it->second;
+    ++state.call_count;
+    if (state.spec.max_fires >= 0 &&
+        state.fire_count >= static_cast<uint64_t>(state.spec.max_fires)) {
+      return Status::Ok();
+    }
+    if (!state.rng.Bernoulli(state.spec.probability)) return Status::Ok();
+    ++state.fire_count;
+    if (state.spec.delay_ms <= 0) {
+      return IoError(StrFormat("injected fault at %.*s (fire %llu)",
+                               static_cast<int>(point.size()), point.data(),
+                               static_cast<unsigned long long>(
+                                   state.fire_count)));
+    }
+    delay_ms = state.spec.delay_ms;
+  }
+  // Latency fault: sleep outside the lock so concurrent checks on other
+  // points are not serialised behind the injected delay.
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  return Status::Ok();
+}
+
+uint64_t FaultInjector::fires(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? 0 : it->second.fire_count;
+}
+
+std::vector<std::pair<std::string, uint64_t>> FaultInjector::FireCounts()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(points_.size());
+  for (const auto& [name, state] : points_) {
+    out.emplace_back(name, state.fire_count);
+  }
+  return out;
+}
+
+std::string FaultInjector::spec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spec_string_;
+}
+
+uint64_t FaultInjector::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(std::string_view spec,
+                                           uint64_t seed) {
+  FaultInjector& injector = FaultInjector::Global();
+  previous_spec_ = injector.spec();
+  previous_seed_ = injector.seed();
+  CNPB_CHECK_OK(injector.Configure(spec, seed));
+}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  CNPB_CHECK_OK(
+      FaultInjector::Global().Configure(previous_spec_, previous_seed_));
+}
+
+}  // namespace cnpb::util

@@ -1,11 +1,15 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace cnpb::util {
 
 namespace {
-LogLevel g_min_level = LogLevel::kInfo;
+// Read on every log call from any thread, written by SetMinLogLevel (tests,
+// CLI flag parsing) while workers run; relaxed atomic ordering is enough —
+// a logging threshold has no happens-before obligations.
+std::atomic<LogLevel> g_min_level{LogLevel::kInfo};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,8 +26,12 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetMinLogLevel(LogLevel level) { g_min_level = level; }
-LogLevel MinLogLevel() { return g_min_level; }
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(level, std::memory_order_relaxed);
+}
+LogLevel MinLogLevel() {
+  return g_min_level.load(std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 

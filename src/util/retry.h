@@ -1,0 +1,73 @@
+#ifndef CNPROBASE_UTIL_RETRY_H_
+#define CNPROBASE_UTIL_RETRY_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+
+#include "util/status.h"
+
+namespace cnpb::util {
+
+// Bounded exponential-backoff retry for transient failures: IO errors from
+// the persistence layer (including injected ones) and ResourceExhausted
+// from publish contention / admission control. Permanent errors — bad data,
+// invalid arguments, checksum DataLoss — are returned immediately: retrying
+// them cannot succeed and would mask real corruption.
+
+struct RetryOptions {
+  int max_attempts = 5;
+  std::chrono::milliseconds initial_backoff{1};
+  double backoff_multiplier = 2.0;
+  std::chrono::milliseconds max_backoff{50};
+};
+
+inline bool IsRetryableError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct RetryResult {
+  Status status;
+  int attempts = 0;  // attempts actually made (>= 1)
+};
+
+// Calls `fn` (returning Status) until it succeeds, fails permanently, or
+// `max_attempts` is exhausted; sleeps the backoff between attempts.
+template <typename Fn>
+RetryResult RetryWithBackoff(const RetryOptions& options, Fn&& fn) {
+  RetryResult result;
+  std::chrono::milliseconds backoff = options.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    result.status = fn();
+    result.attempts = attempt;
+    if (result.status.ok() || !IsRetryableError(result.status) ||
+        attempt >= options.max_attempts) {
+      return result;
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(
+        options.max_backoff,
+        std::chrono::milliseconds(static_cast<int64_t>(
+            static_cast<double>(backoff.count()) *
+            options.backoff_multiplier)));
+  }
+}
+
+// Convenience for call sites that only need the final Status.
+template <typename Fn>
+Status Retry(const RetryOptions& options, Fn&& fn) {
+  return RetryWithBackoff(options, std::forward<Fn>(fn)).status;
+}
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_RETRY_H_

@@ -18,6 +18,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kResourceExhausted,
+  kDeadlineExceeded,
+  kDataLoss,
 };
 
 // Returns a stable human-readable name ("OK", "INVALID_ARGUMENT", ...).
@@ -52,6 +55,12 @@ Status OutOfRangeError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status IoError(std::string message);
+// Admission control rejected the work (shed load, quota, publish contention).
+Status ResourceExhaustedError(std::string message);
+// The per-call deadline elapsed before the work finished.
+Status DeadlineExceededError(std::string message);
+// Stored data failed integrity verification (torn write, bad checksum).
+Status DataLossError(std::string message);
 
 // Holds either a value of type T or an error Status. Modeled after
 // absl::StatusOr but minimal: check ok() before calling value().

@@ -1,7 +1,9 @@
 #include "util/tsv.h"
 
 #include <cstdio>
+#include <utility>
 
+#include "util/atomic_file.h"
 #include "util/strings.h"
 
 namespace cnpb::util {
@@ -59,53 +61,48 @@ std::string TsvUnescape(std::string_view field) {
   return out;
 }
 
-TsvWriter::TsvWriter(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    status_ = IoError("cannot open for writing: " + path);
-  } else {
-    file_ = f;
-  }
+TsvWriter::TsvWriter(const std::string& path, TsvWriterOptions options) {
+  AtomicWriteOptions write_options;
+  write_options.checksum_footer = options.checksum_footer;
+  write_options.fault_prefix = std::move(options.fault_prefix);
+  writer_ = new AtomicFileWriter(path, std::move(write_options));
 }
 
 TsvWriter::~TsvWriter() {
-  if (file_ != nullptr) std::fclose(static_cast<FILE*>(file_));
+  delete static_cast<AtomicFileWriter*>(writer_);  // abandons if not closed
 }
 
 void TsvWriter::WriteRow(const std::vector<std::string>& fields) {
-  if (!status_.ok() || file_ == nullptr) return;
-  FILE* f = static_cast<FILE*>(file_);
+  if (!status_.ok() || writer_ == nullptr) return;
+  AtomicFileWriter* writer = static_cast<AtomicFileWriter*>(writer_);
   for (size_t i = 0; i < fields.size(); ++i) {
-    if (i > 0) std::fputc('\t', f);
-    const std::string escaped = TsvEscape(fields[i]);
-    std::fwrite(escaped.data(), 1, escaped.size(), f);
+    if (i > 0) writer->Append("\t");
+    writer->Append(TsvEscape(fields[i]));
   }
-  std::fputc('\n', f);
+  writer->Append("\n");
 }
 
 Status TsvWriter::Close() {
-  if (file_ != nullptr) {
-    if (std::fclose(static_cast<FILE*>(file_)) != 0 && status_.ok()) {
-      status_ = IoError("fclose failed");
-    }
-    file_ = nullptr;
+  if (writer_ != nullptr) {
+    AtomicFileWriter* writer = static_cast<AtomicFileWriter*>(writer_);
+    const Status commit = writer->Commit();
+    if (status_.ok()) status_ = commit;
+    delete writer;
+    writer_ = nullptr;
   }
   return status_;
 }
 
-Result<std::vector<std::vector<std::string>>> ReadTsvFile(
-    const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return IoError("cannot open for reading: " + path);
-  std::string content;
-  char buf[1 << 16];
-  size_t n;
-  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    content.append(buf, n);
-  }
-  std::fclose(f);
-
-  std::vector<std::vector<std::string>> rows;
+Result<TsvFileData> ReadTsvFileData(const std::string& path) {
+  auto raw = ReadFileToString(path);
+  if (!raw.ok()) return raw.status();
+  const size_t raw_size = raw->size();
+  auto verified = StripVerifyChecksumFooter(*std::move(raw), path);
+  if (!verified.ok()) return verified.status();
+  TsvFileData data;
+  data.checksummed = verified->size() != raw_size;
+  const std::string& content = *verified;
+  std::vector<std::vector<std::string>>& rows = data.rows;
   size_t start = 0;
   while (start < content.size()) {
     size_t end = content.find('\n', start);
@@ -122,7 +119,14 @@ Result<std::vector<std::vector<std::string>>> ReadTsvFile(
     rows.push_back(std::move(fields));
     start = end + 1;
   }
-  return rows;
+  return data;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadTsvFile(
+    const std::string& path) {
+  auto data = ReadTsvFileData(path);
+  if (!data.ok()) return data.status();
+  return std::move(data->rows);
 }
 
 }  // namespace cnpb::util

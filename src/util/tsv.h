@@ -13,11 +13,25 @@ namespace cnpb::util {
 std::string TsvEscape(std::string_view field);
 std::string TsvUnescape(std::string_view field);
 
+struct TsvWriterOptions {
+  // Append a CRC32 footer so loads can detect payload corruption (see
+  // util/atomic_file.h). On by default: every first-party saver writes
+  // verifiable files.
+  bool checksum_footer = true;
+  // Prefix for the fault points this writer's Close() can fire
+  // (<prefix>.write / <prefix>.fsync / <prefix>.rename).
+  std::string fault_prefix = "tsv";
+};
+
 // Minimal TSV file writer. Fields are escaped; rows end with '\n'.
+//
+// Crash safety: rows are buffered in memory and Close() installs the file
+// atomically (temp + fsync + rename, with a CRC32 footer by default), so
+// the destination path never holds a torn or truncated file — a failed or
+// abandoned save leaves the previous contents untouched.
 class TsvWriter {
  public:
-  // Opens `path` for writing (truncates). Check status() before use.
-  explicit TsvWriter(const std::string& path);
+  explicit TsvWriter(const std::string& path, TsvWriterOptions options = {});
   ~TsvWriter();
 
   TsvWriter(const TsvWriter&) = delete;
@@ -28,11 +42,24 @@ class TsvWriter {
   Status Close();
 
  private:
-  void* file_ = nullptr;  // FILE*
+  void* writer_ = nullptr;  // AtomicFileWriter*
   Status status_;
 };
 
-// Reads a whole TSV file into rows of unescaped fields.
+struct TsvFileData {
+  std::vector<std::vector<std::string>> rows;
+  // True when the file carried a (valid) checksum footer. Files that fail
+  // verification never reach the caller — ReadTsvFileData returns kDataLoss
+  // instead.
+  bool checksummed = false;
+};
+
+// Reads a whole TSV file into rows of unescaped fields, verifying and
+// stripping the checksum footer when one is present. Foreign files without
+// a footer load unverified (checksummed = false).
+Result<TsvFileData> ReadTsvFileData(const std::string& path);
+
+// Rows-only convenience over ReadTsvFileData.
 Result<std::vector<std::vector<std::string>>> ReadTsvFile(
     const std::string& path);
 

@@ -1,0 +1,171 @@
+// Graceful degradation of taxonomy::ApiService under overload and injected
+// faults: in-flight shedding, per-query deadlines, degraded legacy
+// wrappers, and publish retry (DESIGN.md §8).
+#include "taxonomy/api_service.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "taxonomy/taxonomy.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace cnpb::taxonomy {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().counter(name)->value();
+}
+
+Taxonomy MakeTaxonomy() {
+  Taxonomy t;
+  for (int i = 0; i < 8; ++i) {
+    t.AddIsa("e" + std::to_string(i), "concept" + std::to_string(i % 2),
+             Source::kTag, 0.9f);
+  }
+  return t;
+}
+
+TEST(ApiOverloadTest, NoLimitsMeansNoShedding) {
+  const Taxonomy taxonomy = MakeTaxonomy();
+  ApiService api(&taxonomy);
+  api.RegisterMention("m", taxonomy.Find("e0"));
+  const ApiService::ServingLimits defaults = api.serving_limits();
+  EXPECT_EQ(defaults.max_in_flight, 0u);
+  EXPECT_EQ(defaults.deadline.count(), 0);
+
+  auto entities = api.TryMen2Ent("m");
+  ASSERT_TRUE(entities.ok());
+  EXPECT_EQ(entities->size(), 1u);
+  auto concepts = api.TryGetConcept("e0");
+  ASSERT_TRUE(concepts.ok());
+  EXPECT_EQ(concepts->size(), 1u);
+  auto hyponyms = api.TryGetEntity("concept0");
+  ASSERT_TRUE(hyponyms.ok());
+  EXPECT_EQ(hyponyms->size(), 4u);
+}
+
+TEST(ApiOverloadTest, InFlightCapShedsConcurrentQueries) {
+  const Taxonomy taxonomy = MakeTaxonomy();
+  ApiService api(&taxonomy);
+  ApiService::ServingLimits limits;
+  limits.max_in_flight = 1;
+  api.SetServingLimits(limits);
+  EXPECT_EQ(api.serving_limits().max_in_flight, 1u);
+
+  // Make every admitted query hold its in-flight slot for ~2ms so that two
+  // threads querying in lockstep must collide on the single slot.
+  util::ScopedFaultInjection scoped("api.query=1:delay=2", 3);
+  const uint64_t shed_before = CounterValue("api.shed");
+  std::atomic<int> resource_exhausted{0};
+  std::atomic<int> ok{0};
+  constexpr int kPerThread = 25;
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto result = api.TryGetEntity("concept0");
+        if (result.ok()) {
+          ++ok;
+        } else if (result.status().code() ==
+                   util::StatusCode::kResourceExhausted) {
+          ++resource_exhausted;
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Both outcomes occur: some queries won the slot, overlapping ones shed.
+  EXPECT_GT(ok.load(), 0);
+  EXPECT_GT(resource_exhausted.load(), 0);
+  EXPECT_GE(CounterValue("api.shed") - shed_before,
+            static_cast<uint64_t>(resource_exhausted.load()));
+
+  // The gauge drains: with the limit still armed, a lone query is admitted.
+  EXPECT_TRUE(api.TryGetEntity("concept0").ok());
+}
+
+TEST(ApiOverloadTest, DeadlineExceededWhenQueryRunsLong) {
+  const Taxonomy taxonomy = MakeTaxonomy();
+  ApiService api(&taxonomy);
+  ApiService::ServingLimits limits;
+  limits.deadline = std::chrono::microseconds(500);
+  api.SetServingLimits(limits);
+
+  // An injected 5ms stall makes every query overshoot the 0.5ms budget.
+  util::ScopedFaultInjection scoped("api.query=1:delay=5", 3);
+  const uint64_t exceeded_before = CounterValue("api.deadline_exceeded");
+  auto result = api.TryGetConcept("e0");
+  EXPECT_EQ(result.status().code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_GT(CounterValue("api.deadline_exceeded"), exceeded_before);
+
+  // Without the stall the same budget is ample.
+  util::FaultInjector::Global().Clear();
+  EXPECT_TRUE(api.TryGetConcept("e0").ok());
+}
+
+TEST(ApiOverloadTest, LegacyApisDegradeToEmptyAndCount) {
+  const Taxonomy taxonomy = MakeTaxonomy();
+  ApiService api(&taxonomy);
+  api.RegisterMention("m", taxonomy.Find("e0"));
+
+  util::ScopedFaultInjection scoped("api.query=1", 3);
+  const uint64_t degraded_before = CounterValue("api.degraded");
+  EXPECT_TRUE(api.Men2Ent("m").empty());
+  EXPECT_TRUE(api.GetConcept("e0").empty());
+  EXPECT_TRUE(api.GetEntity("concept0").empty());
+  EXPECT_EQ(CounterValue("api.degraded") - degraded_before, 3u);
+
+  // The Try variants surface the injected error instead of masking it.
+  EXPECT_EQ(api.TryMen2Ent("m").status().code(), util::StatusCode::kIoError);
+}
+
+TEST(ApiOverloadTest, PublishRetriesThroughInjectedContention) {
+  auto frozen = Taxonomy::Freeze(MakeTaxonomy());
+  ApiService api(frozen);
+
+  // TryPublish is single-shot: it reports the contention.
+  {
+    util::ScopedFaultInjection scoped("api.publish=1:limit=1", 5);
+    auto attempt = api.TryPublish(frozen, {});
+    EXPECT_EQ(attempt.status().code(),
+              util::StatusCode::kResourceExhausted);
+  }
+
+  // Publish retries through a bounded burst of failures and lands the
+  // version; the retries are visible in the counter.
+  const uint64_t retries_before = CounterValue("api.publish.retries");
+  const uint64_t version_before = api.version();
+  {
+    util::ScopedFaultInjection scoped("api.publish=1:limit=3", 5);
+    const uint64_t version = api.Publish(frozen, {});
+    EXPECT_EQ(version, version_before + 1);
+  }
+  EXPECT_EQ(CounterValue("api.publish.retries") - retries_before, 3u);
+  EXPECT_TRUE(api.TryGetEntity("concept0").ok());
+}
+
+TEST(ApiOverloadTest, LimitsCanBeClearedLive) {
+  const Taxonomy taxonomy = MakeTaxonomy();
+  ApiService api(&taxonomy);
+  ApiService::ServingLimits limits;
+  limits.max_in_flight = 4;
+  limits.deadline = std::chrono::microseconds(100000);
+  api.SetServingLimits(limits);
+  EXPECT_TRUE(api.TryGetConcept("e0").ok());
+  api.SetServingLimits(ApiService::ServingLimits{});
+  EXPECT_EQ(api.serving_limits().max_in_flight, 0u);
+  EXPECT_EQ(api.serving_limits().deadline.count(), 0);
+  EXPECT_TRUE(api.TryGetConcept("e0").ok());
+}
+
+}  // namespace
+}  // namespace cnpb::taxonomy

@@ -1,0 +1,205 @@
+// Crash-safe persistence: CRC32, AtomicFileWriter, checksum footers, and
+// the save/load recovery paths built on them (taxonomy .bak fallback,
+// nn checkpoint trailer).
+#include "util/atomic_file.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nn/autograd.h"
+#include "nn/serialize.h"
+#include "taxonomy/serialize.h"
+#include "taxonomy/taxonomy.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+#include "util/tsv.h"
+
+namespace cnpb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string MustRead(const std::string& path) {
+  auto content = util::ReadFileToString(path);
+  EXPECT_TRUE(content.ok()) << content.status().ToString();
+  return content.ok() ? *content : std::string();
+}
+
+TEST(Crc32Test, MatchesKnownVectors) {
+  // Standard check values for the ISO-HDLC (zlib) CRC-32.
+  EXPECT_EQ(util::Crc32(""), 0x00000000u);
+  EXPECT_EQ(util::Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(util::Crc32("The quick brown fox jumps over the lazy dog"),
+            0x414FA339u);
+}
+
+TEST(Crc32Test, SeedChainsIncrementalComputation) {
+  const std::string a = "hello ";
+  const std::string b = "world";
+  EXPECT_EQ(util::Crc32(b, util::Crc32(a)), util::Crc32(a + b));
+}
+
+TEST(AtomicFileTest, WriteThenReadRoundTrips) {
+  const std::string path = TempPath("atomic_roundtrip.txt");
+  ASSERT_TRUE(util::WriteFileAtomic(path, "payload\n").ok());
+  EXPECT_EQ(MustRead(path), "payload\n");
+  // Overwrite is atomic too.
+  ASSERT_TRUE(util::WriteFileAtomic(path, "second\n").ok());
+  EXPECT_EQ(MustRead(path), "second\n");
+}
+
+TEST(AtomicFileTest, AbandonedWriterLeavesDestinationUntouched) {
+  const std::string path = TempPath("atomic_abandoned.txt");
+  ASSERT_TRUE(util::WriteFileAtomic(path, "original").ok());
+  {
+    util::AtomicFileWriter writer(path);
+    writer.Append("never committed");
+    // Destructor without Commit() abandons the write.
+  }
+  EXPECT_EQ(MustRead(path), "original");
+}
+
+TEST(AtomicFileTest, FooterVerifiesAndStrips) {
+  const std::string payload = "a\tb\nc\td\n";
+  const std::string path = TempPath("atomic_footer.tsv");
+  ASSERT_TRUE(
+      util::WriteFileAtomic(path, payload, {.checksum_footer = true}).ok());
+  const std::string on_disk = MustRead(path);
+  ASSERT_GT(on_disk.size(), payload.size());
+  auto verified = util::StripVerifyChecksumFooter(on_disk, path);
+  ASSERT_TRUE(verified.ok()) << verified.status().ToString();
+  EXPECT_EQ(*verified, payload);
+}
+
+TEST(AtomicFileTest, FooterlessContentPassesThroughUnchanged) {
+  auto verified = util::StripVerifyChecksumFooter("legacy\tfile\n", "x.tsv");
+  ASSERT_TRUE(verified.ok());
+  EXPECT_EQ(*verified, "legacy\tfile\n");
+}
+
+TEST(AtomicFileTest, CorruptedPayloadIsDataLoss) {
+  const std::string path = TempPath("atomic_corrupt.tsv");
+  ASSERT_TRUE(
+      util::WriteFileAtomic(path, "a\tb\n", {.checksum_footer = true}).ok());
+  std::string on_disk = MustRead(path);
+  on_disk[0] = 'z';  // flip a payload byte; footer now mismatches
+  auto verified = util::StripVerifyChecksumFooter(on_disk, path);
+  EXPECT_EQ(verified.status().code(), util::StatusCode::kDataLoss);
+}
+
+TEST(AtomicFileTest, InjectedRenameFaultLeavesOldFileIntact) {
+  const std::string path = TempPath("atomic_faulted.txt");
+  ASSERT_TRUE(util::WriteFileAtomic(path, "old good bytes").ok());
+  {
+    util::ScopedFaultInjection scoped("file.rename=1", 17);
+    const util::Status status = util::WriteFileAtomic(path, "new bytes");
+    EXPECT_EQ(status.code(), util::StatusCode::kIoError);
+  }
+  EXPECT_EQ(MustRead(path), "old good bytes");
+  // And no temp litter: the very same path writes fine afterwards.
+  ASSERT_TRUE(util::WriteFileAtomic(path, "new bytes").ok());
+  EXPECT_EQ(MustRead(path), "new bytes");
+}
+
+TEST(AtomicFileTest, TsvReadRejectsTamperedChecksummedFile) {
+  const std::string path = TempPath("atomic_tamper.tsv");
+  {
+    util::TsvWriter writer(path);
+    writer.WriteRow({"k", "v"});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  std::string on_disk = MustRead(path);
+  on_disk.insert(0, "extra\trow\n");  // prepend without refreshing the footer
+  ASSERT_TRUE(util::WriteFileAtomic(path, on_disk).ok());
+  auto rows = util::ReadTsvFile(path);
+  EXPECT_EQ(rows.status().code(), util::StatusCode::kDataLoss);
+}
+
+taxonomy::Taxonomy TinyTaxonomy(const std::string& entity) {
+  taxonomy::Taxonomy t;
+  const taxonomy::NodeId e = t.AddNode(entity, taxonomy::NodeKind::kEntity);
+  const taxonomy::NodeId c = t.AddNode("概念", taxonomy::NodeKind::kConcept);
+  t.AddIsa(e, c, taxonomy::Source::kInfobox, 0.9f);
+  return t;
+}
+
+TEST(DurableTaxonomyTest, FallbackRecoversFromCorruptPrimary) {
+  const std::string path = TempPath("durable_taxonomy.tsv");
+  std::remove((path + ".bak").c_str());
+  ASSERT_TRUE(
+      taxonomy::SaveTaxonomyDurable(TinyTaxonomy("实体甲"), path).ok());
+  // Second durable save preserves generation 1 as .bak.
+  ASSERT_TRUE(
+      taxonomy::SaveTaxonomyDurable(TinyTaxonomy("实体乙"), path).ok());
+
+  // Corrupt the primary in place (payload flip under the footer).
+  std::string on_disk = MustRead(path);
+  on_disk[0] = 'X';
+  ASSERT_TRUE(util::WriteFileAtomic(path, on_disk).ok());
+
+  auto strict = taxonomy::LoadTaxonomy(path);
+  EXPECT_EQ(strict.status().code(), util::StatusCode::kDataLoss);
+
+  auto recovered = taxonomy::LoadTaxonomyWithFallback(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_NE(recovered->Find("实体甲"), taxonomy::kInvalidNode);
+}
+
+TEST(DurableTaxonomyTest, MissingPrimaryIsNotCorruption) {
+  const std::string path = TempPath("durable_missing.tsv");
+  std::remove(path.c_str());
+  std::remove((path + ".bak").c_str());
+  auto loaded = taxonomy::LoadTaxonomyWithFallback(path);
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST(DurableTaxonomyTest, InjectedSaveFaultPreservesPreviousFile) {
+  const std::string path = TempPath("durable_faulted.tsv");
+  ASSERT_TRUE(
+      taxonomy::SaveTaxonomyDurable(TinyTaxonomy("实体甲"), path).ok());
+  {
+    util::ScopedFaultInjection scoped("taxonomy.save.rename=1", 23);
+    EXPECT_FALSE(
+        taxonomy::SaveTaxonomyDurable(TinyTaxonomy("实体乙"), path).ok());
+  }
+  auto loaded = taxonomy::LoadTaxonomy(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_NE(loaded->Find("实体甲"), taxonomy::kInvalidNode);
+  EXPECT_EQ(loaded->Find("实体乙"), taxonomy::kInvalidNode);
+}
+
+TEST(CheckpointCrcTest, TruncatedCheckpointIsRejected) {
+  const std::string path = TempPath("ckpt_truncated.bin");
+  std::vector<nn::Var> params = {nn::MakeVar(nn::Tensor::Zeros(2, 3), true),
+                                 nn::MakeVar(nn::Tensor::Zeros(1, 4), true)};
+  ASSERT_TRUE(nn::SaveParameters(params, path).ok());
+
+  // Clean round trip first.
+  ASSERT_TRUE(nn::LoadParameters(params, path).ok());
+
+  // Drop the last byte: the trailer magic no longer lines up, and the
+  // payload itself is torn -> load must fail, not read garbage.
+  std::string bytes = MustRead(path);
+  bytes.pop_back();
+  ASSERT_TRUE(util::WriteFileAtomic(path, bytes).ok());
+  EXPECT_FALSE(nn::LoadParameters(params, path).ok());
+}
+
+TEST(CheckpointCrcTest, BitFlippedCheckpointIsDataLoss) {
+  const std::string path = TempPath("ckpt_flipped.bin");
+  std::vector<nn::Var> params = {nn::MakeVar(nn::Tensor::Zeros(4, 4), true)};
+  ASSERT_TRUE(nn::SaveParameters(params, path).ok());
+  std::string bytes = MustRead(path);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one weight bit
+  ASSERT_TRUE(util::WriteFileAtomic(path, bytes).ok());
+  const util::Status status = nn::LoadParameters(params, path);
+  EXPECT_EQ(status.code(), util::StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace cnpb

@@ -1,0 +1,270 @@
+// Quarantine-and-continue ingest over a corpus of corrupted dumps
+// (DESIGN.md §8): each corruption class lands in the sidecar with its
+// reason code, the survivors load, and a taxonomy still builds from them.
+#include "kb/dump.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "taxonomy/taxonomy.h"
+#include "util/atomic_file.h"
+#include "util/status.h"
+#include "util/strings.h"
+#include "util/tsv.h"
+
+namespace cnpb::kb {
+namespace {
+
+constexpr char kPairSep = '\x02';
+constexpr char kKvSep = '\x03';
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// One well-formed dump row: id, name, mention, bracket, abstract, infobox,
+// tags, aliases.
+std::vector<std::string> GoodRow(uint64_t id, const std::string& name) {
+  return {std::to_string(id),
+          name,
+          name,
+          "演员",
+          name + "是一名演员。",
+          std::string("职业") + kKvSep + "演员",
+          std::string("演员") + kPairSep + "人物",
+          ""};
+}
+
+// Writes raw rows WITHOUT a checksum footer, so structural corruption is
+// exercised at the row level (a checksummed file would fail wholesale).
+void WriteRawRows(const std::string& path,
+                  const std::vector<std::vector<std::string>>& rows,
+                  bool drop_last_newline = false) {
+  std::string content;
+  for (const auto& row : rows) {
+    content += util::Join(row, "\t");
+    content += '\n';
+  }
+  if (drop_last_newline && !content.empty()) content.pop_back();
+  ASSERT_TRUE(util::WriteFileAtomic(path, content).ok());
+}
+
+// Writes rows through the checksummed saver (the normal path).
+void WriteChecksummed(const std::string& path,
+                      const std::vector<std::vector<std::string>>& rows) {
+  util::TsvWriter writer(path);
+  for (const auto& row : rows) writer.WriteRow(row);
+  ASSERT_TRUE(writer.Close().ok());
+}
+
+TEST(DumpRobustnessTest, CleanRoundTripIsByteIdentical) {
+  EncyclopediaDump dump;
+  EncyclopediaPage page;
+  page.page_id = 7;
+  page.name = "刘德华（演员）";
+  page.mention = "刘德华";
+  page.bracket = "演员";
+  page.abstract = "刘德华是演员。";
+  page.infobox.push_back({page.name, "职业", "演员"});
+  page.tags = {"演员", "歌手"};
+  page.aliases = {"华仔"};
+  dump.AddPage(page);
+
+  const std::string a = TempPath("roundtrip_a.tsv");
+  const std::string b = TempPath("roundtrip_b.tsv");
+  ASSERT_TRUE(dump.Save(a).ok());
+  auto loaded = EncyclopediaDump::Load(a);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_TRUE(loaded->Save(b).ok());
+  auto bytes_a = util::ReadFileToString(a);
+  auto bytes_b = util::ReadFileToString(b);
+  ASSERT_TRUE(bytes_a.ok() && bytes_b.ok());
+  EXPECT_EQ(*bytes_a, *bytes_b);
+
+  DumpLoadReport report;
+  ASSERT_TRUE(EncyclopediaDump::Load(a, {}, &report).ok());
+  EXPECT_TRUE(report.checksummed);
+  EXPECT_EQ(report.rows_ok, 1u);
+  EXPECT_EQ(report.rows_quarantined, 0u);
+}
+
+TEST(DumpRobustnessTest, StrictLoadFailsOnFirstBadRow) {
+  const std::string path = TempPath("strict_bad.tsv");
+  WriteRawRows(path, {GoodRow(1, "甲"), {"2", "乙", "too", "few"},
+                      GoodRow(3, "丙")});
+  auto loaded = EncyclopediaDump::Load(path);
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(DumpRobustnessTest, WrongFieldCountIsQuarantined) {
+  const std::string path = TempPath("corpus_field_count.tsv");
+  auto nine = GoodRow(2, "乙");
+  nine.push_back("extra");
+  WriteRawRows(path, {GoodRow(1, "甲"), nine, {"3", "丙", "short"},
+                      GoodRow(4, "丁")});
+
+  DumpLoadOptions options;
+  options.max_errors = 10;
+  DumpLoadReport report;
+  auto loaded = EncyclopediaDump::Load(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(report.rows_quarantined, 2u);
+  EXPECT_EQ(report.quarantined_by_reason.at("bad_field_count"), 2u);
+  EXPECT_NE(loaded->FindByName("甲"), nullptr);
+  EXPECT_NE(loaded->FindByName("丁"), nullptr);
+}
+
+TEST(DumpRobustnessTest, TruncatedFinalRowGetsItsOwnReason) {
+  const std::string path = TempPath("corpus_truncated.tsv");
+  // Simulate a torn tail: the writer died mid-row, taking the footer (never
+  // written) and half the final row with it.
+  WriteRawRows(path, {GoodRow(1, "甲"), GoodRow(2, "乙"), {"3", "丙", "丙"}},
+               /*drop_last_newline=*/true);
+
+  DumpLoadOptions options;
+  options.max_errors = 1;
+  DumpLoadReport report;
+  auto loaded = EncyclopediaDump::Load(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE(report.checksummed);
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ(report.quarantined_by_reason.at("truncated_row"), 1u);
+}
+
+TEST(DumpRobustnessTest, BadUtf8IsQuarantined) {
+  const std::string path = TempPath("corpus_utf8.tsv");
+  auto mangled = GoodRow(2, "乙");
+  mangled[4] = "abstract with stray continuation \x80 byte";
+  auto overlong = GoodRow(3, "丙");
+  overlong[2] = "overlong \xC0\xAF slash";
+  WriteRawRows(path, {GoodRow(1, "甲"), mangled, overlong});
+
+  DumpLoadOptions options;
+  options.max_errors = 10;
+  DumpLoadReport report;
+  auto loaded = EncyclopediaDump::Load(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(report.quarantined_by_reason.at("bad_utf8"), 2u);
+}
+
+TEST(DumpRobustnessTest, BadAndDuplicateIdsAreQuarantined) {
+  const std::string path = TempPath("corpus_ids.tsv");
+  auto garbage_id = GoodRow(0, "乙");
+  garbage_id[0] = "12abc";  // silent-strtoull regression guard
+  auto zero_id = GoodRow(0, "丙");
+  zero_id[0] = "0";
+  auto dup_id = GoodRow(1, "丁");        // id 1 again
+  auto dup_name = GoodRow(9, "甲");      // name 甲 again
+  WriteRawRows(path,
+               {GoodRow(1, "甲"), garbage_id, zero_id, dup_id, dup_name});
+
+  DumpLoadOptions options;
+  options.max_errors = 10;
+  DumpLoadReport report;
+  auto loaded = EncyclopediaDump::Load(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 1u);
+  EXPECT_EQ(report.quarantined_by_reason.at("bad_page_id"), 2u);
+  EXPECT_EQ(report.quarantined_by_reason.at("dup_page_id"), 1u);
+  EXPECT_EQ(report.quarantined_by_reason.at("dup_name"), 1u);
+}
+
+TEST(DumpRobustnessTest, QuarantineSidecarCarriesReasonAndRowNumber) {
+  const std::string path = TempPath("corpus_sidecar.tsv");
+  const std::string sidecar = TempPath("corpus_sidecar.quarantine.tsv");
+  std::remove(sidecar.c_str());
+  auto bad = GoodRow(0, "乙");
+  bad[0] = "not-a-number";
+  WriteRawRows(path, {GoodRow(1, "甲"), bad, GoodRow(3, "丙")});
+
+  DumpLoadOptions options;
+  options.max_errors = 10;
+  options.quarantine_path = sidecar;
+  ASSERT_TRUE(EncyclopediaDump::Load(path, options, nullptr).ok());
+
+  auto rows = util::ReadTsvFile(sidecar);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  const auto& row = (*rows)[0];
+  ASSERT_GE(row.size(), 3u);
+  EXPECT_EQ(row[0], "bad_page_id");
+  EXPECT_EQ(row[1], "2");             // 1-based row number
+  EXPECT_EQ(row[2], "not-a-number");  // original fields follow
+}
+
+TEST(DumpRobustnessTest, BudgetExhaustionFailsTheLoad) {
+  const std::string path = TempPath("corpus_budget.tsv");
+  auto bad1 = GoodRow(0, "乙");
+  bad1[0] = "x";
+  auto bad2 = GoodRow(0, "丙");
+  bad2[0] = "y";
+  WriteRawRows(path, {GoodRow(1, "甲"), bad1, bad2});
+
+  DumpLoadOptions options;
+  options.max_errors = 1;
+  auto loaded = EncyclopediaDump::Load(path, options, nullptr);
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(DumpRobustnessTest, ChecksummedFileWithBadRowsStillQuarantines) {
+  // Corruption that predates the save (bad upstream extraction) is written
+  // out checksummed; the footer verifies, and row validation still fires.
+  const std::string path = TempPath("corpus_checksummed.tsv");
+  WriteChecksummed(path, {GoodRow(1, "甲"), {"2", "乙", "short"},
+                          GoodRow(3, "丙")});
+  DumpLoadOptions options;
+  options.max_errors = 10;
+  DumpLoadReport report;
+  auto loaded = EncyclopediaDump::Load(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(report.checksummed);
+  EXPECT_EQ(loaded->size(), 2u);
+  // A short row in a checksummed file is bad_field_count, never
+  // truncated_row — the footer proves the file is whole.
+  EXPECT_EQ(report.quarantined_by_reason.at("bad_field_count"), 1u);
+}
+
+TEST(DumpRobustnessTest, SurvivorsBuildAValidTaxonomy) {
+  const std::string path = TempPath("corpus_survivors.tsv");
+  std::vector<std::vector<std::string>> rows;
+  for (uint64_t i = 1; i <= 6; ++i) {
+    rows.push_back(GoodRow(i, "实体" + std::to_string(i)));
+  }
+  rows[2] = {"3", "破损行"};           // damage row 3
+  rows[4][0] = "dup";                  // damage row 5
+  WriteRawRows(path, rows);
+
+  DumpLoadOptions options;
+  options.max_errors = 10;
+  DumpLoadReport report;
+  auto loaded = EncyclopediaDump::Load(path, options, &report);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), 4u);
+  EXPECT_EQ(report.rows_quarantined, 2u);
+
+  // The surviving pages still carry coherent structure: tags present, and a
+  // taxonomy over their tag relations materialises without issue.
+  taxonomy::Taxonomy taxonomy;
+  for (const EncyclopediaPage& page : loaded->pages()) {
+    ASSERT_FALSE(page.tags.empty());
+    const taxonomy::NodeId entity =
+        taxonomy.AddNode(page.name, taxonomy::NodeKind::kEntity);
+    for (const std::string& tag : page.tags) {
+      taxonomy::NodeId hyper = taxonomy.Find(tag);
+      if (hyper == taxonomy::kInvalidNode) {
+        hyper = taxonomy.AddNode(tag, taxonomy::NodeKind::kConcept);
+      }
+      EXPECT_TRUE(taxonomy.AddIsa(entity, hyper, taxonomy::Source::kTag,
+                                  0.8f));
+    }
+  }
+  EXPECT_EQ(taxonomy.num_edges(), 4u * 2u);
+}
+
+}  // namespace
+}  // namespace cnpb::kb

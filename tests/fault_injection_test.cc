@@ -1,0 +1,186 @@
+// Deterministic fault injection (util/fault_injection.h) and the retry
+// helper that consumes its transient errors (util/retry.h).
+#include "util/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/retry.h"
+#include "util/status.h"
+
+namespace cnpb::util {
+namespace {
+
+TEST(FaultInjectorTest, DisarmedCheckIsOk) {
+  ASSERT_FALSE(FaultsArmed());
+  EXPECT_TRUE(CheckFault("kb.dump.read").ok());
+  EXPECT_TRUE(CheckFault("anything.at.all").ok());
+}
+
+TEST(FaultInjectorTest, ParsesSpecGrammar) {
+  ScopedFaultInjection scoped(
+      "kb.dump.read=0.5;api.query=0.25:delay=1;api.publish=1:limit=2", 7);
+  EXPECT_TRUE(FaultsArmed());
+  EXPECT_EQ(FaultInjector::Global().spec(),
+            "kb.dump.read=0.5;api.query=0.25:delay=1;api.publish=1:limit=2");
+  EXPECT_EQ(FaultInjector::Global().seed(), 7u);
+}
+
+TEST(FaultInjectorTest, RejectsMalformedSpec) {
+  EXPECT_FALSE(FaultInjector::Global().Configure("nonsense", 1).ok());
+  EXPECT_FALSE(FaultInjector::Global().Configure("p=notanumber", 1).ok());
+  EXPECT_FALSE(FaultInjector::Global().Configure("p=0.5:bogus=3", 1).ok());
+  FaultInjector::Global().Clear();
+  EXPECT_FALSE(FaultsArmed());
+}
+
+TEST(FaultInjectorTest, ProbabilityOneAlwaysFires) {
+  ScopedFaultInjection scoped("always.fails=1", 1);
+  for (int i = 0; i < 10; ++i) {
+    const Status status = CheckFault("always.fails");
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+  }
+  EXPECT_EQ(FaultInjector::Global().fires("always.fails"), 10u);
+  // Unarmed points are unaffected.
+  EXPECT_TRUE(CheckFault("other.point").ok());
+  EXPECT_EQ(FaultInjector::Global().fires("other.point"), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysSameSchedule) {
+  auto run = [](uint64_t seed) {
+    ScopedFaultInjection scoped("flaky=0.5", seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!CheckFault("flaky").ok());
+    return fired;
+  };
+  const std::vector<bool> a = run(42);
+  const std::vector<bool> b = run(42);
+  const std::vector<bool> c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 collision chance: a different seed differs
+  // A 50% point over 64 trials fires a plausible number of times.
+  const size_t fires = std::count(a.begin(), a.end(), true);
+  EXPECT_GT(fires, 8u);
+  EXPECT_LT(fires, 56u);
+}
+
+TEST(FaultInjectorTest, LimitDisarmsAfterMaxFires) {
+  ScopedFaultInjection scoped("limited=1:limit=3", 9);
+  int errors = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!CheckFault("limited").ok()) ++errors;
+  }
+  EXPECT_EQ(errors, 3);
+  EXPECT_EQ(FaultInjector::Global().fires("limited"), 3u);
+}
+
+TEST(FaultInjectorTest, DelayFaultSleepsInsteadOfFailing) {
+  ScopedFaultInjection scoped("slow=1:delay=1:limit=2", 5);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(CheckFault("slow").ok());
+  }
+  EXPECT_EQ(FaultInjector::Global().fires("slow"), 2u);
+}
+
+TEST(FaultInjectorTest, ScopedInjectionRestoresPreviousConfig) {
+  ASSERT_FALSE(FaultsArmed());
+  {
+    ScopedFaultInjection outer("outer.point=1", 3);
+    EXPECT_FALSE(CheckFault("outer.point").ok());
+    {
+      ScopedFaultInjection inner("inner.point=1", 4);
+      EXPECT_FALSE(CheckFault("inner.point").ok());
+      EXPECT_TRUE(CheckFault("outer.point").ok());  // outer spec replaced
+    }
+    EXPECT_FALSE(CheckFault("outer.point").ok());  // outer spec restored
+    EXPECT_TRUE(CheckFault("inner.point").ok());
+  }
+  EXPECT_FALSE(FaultsArmed());
+}
+
+TEST(FaultInjectorTest, FireCountsReportsAllPoints) {
+  ScopedFaultInjection scoped("a=1;b=1", 2);
+  (void)CheckFault("a");
+  (void)CheckFault("a");
+  (void)CheckFault("b");
+  size_t a_fires = 0, b_fires = 0;
+  for (const auto& [point, fires] : FaultInjector::Global().FireCounts()) {
+    if (point == "a") a_fires = fires;
+    if (point == "b") b_fires = fires;
+  }
+  EXPECT_EQ(a_fires, 2u);
+  EXPECT_EQ(b_fires, 1u);
+}
+
+TEST(RetryTest, ReturnsImmediatelyOnSuccess) {
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(RetryOptions{}, [&] {
+    ++calls;
+    return Status::Ok();
+  });
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.attempts, 1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, RetriesTransientErrorsUntilSuccess) {
+  int calls = 0;
+  RetryOptions options;
+  options.initial_backoff = std::chrono::milliseconds(0);
+  const RetryResult result = RetryWithBackoff(options, [&] {
+    return ++calls < 3 ? IoError("transient") : Status::Ok();
+  });
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.attempts, 3);
+}
+
+TEST(RetryTest, DoesNotRetryPermanentErrors) {
+  int calls = 0;
+  const RetryResult result = RetryWithBackoff(RetryOptions{}, [&] {
+    ++calls;
+    return DataLossError("checksum mismatch");
+  });
+  EXPECT_EQ(result.status.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, GivesUpAfterMaxAttempts) {
+  int calls = 0;
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff = std::chrono::milliseconds(0);
+  const Status status = Retry(options, [&] {
+    ++calls;
+    return ResourceExhaustedError("still overloaded");
+  });
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(RetryTest, RetryableCodesAreTheTransientTriple) {
+  EXPECT_TRUE(IsRetryableError(IoError("x")));
+  EXPECT_TRUE(IsRetryableError(ResourceExhaustedError("x")));
+  EXPECT_TRUE(IsRetryableError(DeadlineExceededError("x")));
+  EXPECT_FALSE(IsRetryableError(InvalidArgumentError("x")));
+  EXPECT_FALSE(IsRetryableError(DataLossError("x")));
+  EXPECT_FALSE(IsRetryableError(NotFoundError("x")));
+}
+
+TEST(RetryTest, RetryConsumesInjectedFaultsWithLimit) {
+  // A fault point with limit=2 fails twice, then the retried operation
+  // succeeds — the end-to-end contract the publish path relies on.
+  ScopedFaultInjection scoped("op.under.test=1:limit=2", 11);
+  RetryOptions options;
+  options.initial_backoff = std::chrono::milliseconds(0);
+  const RetryResult result = RetryWithBackoff(
+      options, [] { return CheckFault("op.under.test"); });
+  EXPECT_TRUE(result.status.ok());
+  EXPECT_EQ(result.attempts, 3);
+}
+
+}  // namespace
+}  // namespace cnpb::util

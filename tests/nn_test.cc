@@ -47,6 +47,11 @@ Var RandomParam(int rows, int cols, uint64_t seed) {
   return MakeVar(Tensor::RandomUniform(rows, cols, 0.5f, rng), true);
 }
 
+Tensor RandomCoef(int rows, int cols, uint64_t seed) {
+  util::Rng rng(seed);
+  return Tensor::RandomUniform(rows, cols, 1.0f, rng);
+}
+
 TEST(TensorTest, ShapeAndAccess) {
   Tensor t(2, 3);
   EXPECT_EQ(t.rows(), 2);
@@ -61,7 +66,7 @@ TEST(TensorTest, ShapeAndAccess) {
 TEST(AutogradTest, AddMulGradients) {
   Var a = RandomParam(4, 1, 1);
   Var b = RandomParam(4, 1, 2);
-  Var c = MakeVar(Tensor::RandomUniform(4, 1, 1.0f, *new util::Rng(3)), false);
+  Var c = MakeVar(RandomCoef(4, 1, 3), false);
   CheckGradients({a, b}, [&]() { return Dot(Mul(Add(a, b), a), c); });
 }
 
@@ -92,13 +97,13 @@ TEST(AutogradTest, TanhSigmoidGradients) {
 TEST(AutogradTest, MatVecGradients) {
   Var w = RandomParam(3, 4, 7);
   Var x = RandomParam(4, 1, 8);
-  Var coef = MakeVar(Tensor::RandomUniform(3, 1, 1.0f, *new util::Rng(9)));
+  Var coef = MakeVar(RandomCoef(3, 1, 9));
   CheckGradients({w, x}, [&]() { return Dot(MatVec(w, x), coef); });
 }
 
 TEST(AutogradTest, SoftmaxGradients) {
   Var a = RandomParam(5, 1, 10);
-  Var coef = MakeVar(Tensor::RandomUniform(5, 1, 1.0f, *new util::Rng(11)));
+  Var coef = MakeVar(RandomCoef(5, 1, 11));
   CheckGradients({a}, [&]() { return Dot(Softmax(a), coef); });
 }
 
@@ -124,13 +129,13 @@ TEST(AutogradTest, GatherOpsGradients) {
 TEST(AutogradTest, ConcatGradients) {
   Var a = RandomParam(3, 1, 14);
   Var b = RandomParam(2, 1, 15);
-  Var coef = MakeVar(Tensor::RandomUniform(5, 1, 1.0f, *new util::Rng(16)));
+  Var coef = MakeVar(RandomCoef(5, 1, 16));
   CheckGradients({a, b}, [&]() { return Dot(Concat(a, b), coef); });
 }
 
 TEST(AutogradTest, RowScattersIntoTable) {
   Var table = RandomParam(4, 3, 17);
-  Var coef = MakeVar(Tensor::RandomUniform(3, 1, 1.0f, *new util::Rng(18)));
+  Var coef = MakeVar(RandomCoef(3, 1, 18));
   CheckGradients({table}, [&]() { return Dot(Row(table, 2), coef); });
   // Untouched rows receive zero gradient.
   Var loss = Dot(Row(table, 2), coef);
@@ -146,7 +151,7 @@ TEST(AutogradTest, StackAndMatTVecGradients) {
   Var r0 = RandomParam(3, 1, 19);
   Var r1 = RandomParam(3, 1, 20);
   Var attn = RandomParam(2, 1, 21);
-  Var coef = MakeVar(Tensor::RandomUniform(3, 1, 1.0f, *new util::Rng(22)));
+  Var coef = MakeVar(RandomCoef(3, 1, 22));
   CheckGradients({r0, r1, attn}, [&]() {
     Var h = StackRows({r0, r1});
     return Dot(MatTVec(h, Softmax(attn)), coef);
@@ -167,7 +172,7 @@ TEST(LayersTest, LinearGradients) {
   util::Rng rng(31);
   Linear linear(4, 3, rng);
   Var x = RandomParam(4, 1, 32);
-  Var coef = MakeVar(Tensor::RandomUniform(3, 1, 1.0f, *new util::Rng(33)));
+  Var coef = MakeVar(RandomCoef(3, 1, 33));
   std::vector<Var> params;
   linear.CollectParams(&params);
   params.push_back(x);
@@ -179,7 +184,7 @@ TEST(LayersTest, GruCellGradientsAndShape) {
   GruCell gru(3, 5, rng);
   Var x = RandomParam(3, 1, 35);
   Var h = RandomParam(5, 1, 36);
-  Var coef = MakeVar(Tensor::RandomUniform(5, 1, 1.0f, *new util::Rng(37)));
+  Var coef = MakeVar(RandomCoef(5, 1, 37));
   std::vector<Var> params;
   gru.CollectParams(&params);
   params.push_back(x);
