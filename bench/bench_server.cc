@@ -1,0 +1,327 @@
+// Loopback load generator for the HTTP serving layer (DESIGN.md §9): an
+// in-process HttpServer over a real built taxonomy, hammered by keep-alive
+// client connections on 127.0.0.1 with the Table II request mix.
+//
+// Phase 1 (throughput): 8 connections drive the server flat out for a fixed
+// wall window; an IncrementalUpdater applies and publishes a fresh batch
+// mid-run, so the reported QPS includes serving across a live version swap.
+// Reports QPS, p50/p99 latency, and the status breakdown. Acceptance floor:
+// >= 20k req/s sustained over loopback keep-alive.
+//
+// Phase 2 (overload): the in-flight cap is armed and every admitted query
+// is slowed by an injected 2ms stall, so the connections saturate admission
+// and the shed path shows itself as polite 429 + Retry-After responses —
+// never connection resets.
+//
+//   bench_server [--seconds S] [--connections N] [--threads T]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/incremental.h"
+#include "server/client.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "taxonomy/api_service.h"
+#include "util/fault_injection.h"
+#include "util/histogram.h"
+#include "util/net.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace cnpb {
+namespace {
+
+// The paper's observed API mix (Table II, 83.5M calls over six months).
+constexpr double kPMen2Ent = 43'896'044.0 / 83'504'492.0;
+constexpr double kPGetConcept = 13'815'076.0 / 83'504'492.0;
+
+struct WorkerResult {
+  util::Histogram latency_ms;
+  uint64_t ok = 0;
+  uint64_t shed = 0;          // 429
+  uint64_t not_found = 0;     // 404
+  uint64_t server_error = 0;  // 5xx
+  uint64_t io_failures = 0;   // connection died; reconnected
+  uint64_t shed_without_retry_after = 0;
+};
+
+// Pre-rendered request targets in the Table II mix, Zipf-skewed like the
+// in-process bench, so the hot loop does no string building.
+std::vector<std::string> MakeTargets(
+    const std::vector<std::string>& mentions,
+    const std::vector<std::string>& entities,
+    const std::vector<std::string>& concepts, uint64_t seed, size_t count) {
+  util::Rng rng(seed);
+  util::ZipfSampler mention_zipf(mentions.size(), 1.0);
+  util::ZipfSampler entity_zipf(entities.size(), 1.0);
+  util::ZipfSampler concept_zipf(concepts.size(), 1.0);
+  std::vector<std::string> targets;
+  targets.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const double u = rng.UniformDouble();
+    if (u < kPMen2Ent) {
+      targets.push_back(
+          "/v1/men2ent?mention=" +
+          server::PercentEncode(mentions[mention_zipf.Sample(rng)]));
+    } else if (u < kPMen2Ent + kPGetConcept) {
+      targets.push_back(
+          "/v1/getConcept?entity=" +
+          server::PercentEncode(entities[entity_zipf.Sample(rng)]));
+    } else {
+      targets.push_back(
+          "/v1/getEntity?concept=" +
+          server::PercentEncode(concepts[concept_zipf.Sample(rng)]) +
+          "&limit=20");
+    }
+  }
+  return targets;
+}
+
+void DriveConnection(uint16_t port, const std::vector<std::string>& targets,
+                     std::chrono::steady_clock::time_point deadline,
+                     WorkerResult* result) {
+  server::HttpClient client;
+  size_t i = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (!client.connected() &&
+        !client.Connect("127.0.0.1", port).ok()) {
+      ++result->io_failures;
+      continue;
+    }
+    const std::string& target = targets[i++ % targets.size()];
+    const auto start = std::chrono::steady_clock::now();
+    auto response = client.Get(target);
+    if (!response.ok()) {
+      ++result->io_failures;
+      continue;
+    }
+    result->latency_ms.Add(
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    if (response->status == 200) {
+      ++result->ok;
+    } else if (response->status == 429) {
+      ++result->shed;
+      if (response->Header("Retry-After").empty()) {
+        ++result->shed_without_retry_after;
+      }
+    } else if (response->status == 404) {
+      ++result->not_found;
+    } else if (response->status >= 500) {
+      ++result->server_error;
+    }
+  }
+}
+
+uint64_t TotalRequests(const WorkerResult& r) {
+  return r.ok + r.shed + r.not_found + r.server_error;
+}
+
+void Run(double seconds, int connections, int server_threads) {
+  util::IgnoreSigpipe();
+  bench::PrintHeader("bench_server",
+                     "loopback HTTP serving under the Table II mix");
+  auto world = bench::MakeBenchWorld(bench::BenchScale(4000));
+  const auto config = bench::DefaultBuilderConfig();
+
+  // The updater owns the authoritative snapshot: it builds the base
+  // taxonomy once and republishes after each batch — exactly the deployed
+  // never-ending-extraction loop this server fronts.
+  core::IncrementalUpdater updater(world->output->dump,
+                                   &world->world->lexicon(),
+                                   world->corpus_words, config);
+  taxonomy::ApiService api(taxonomy::Taxonomy::Freeze(taxonomy::Taxonomy()));
+  updater.Publish(&api);
+  const uint64_t version_before = api.version();
+
+  // Query universe, drawn from what the base taxonomy can answer.
+  const auto snapshot = api.CurrentTaxonomy();
+  std::vector<std::string> mentions;
+  std::vector<std::string> entities;
+  for (const auto& page : world->output->dump.pages()) {
+    if (snapshot->Find(page.name) == taxonomy::kInvalidNode) continue;
+    mentions.push_back(page.mention);
+    entities.push_back(page.name);
+  }
+  std::vector<std::string> concepts;
+  for (taxonomy::NodeId id = 0; id < snapshot->num_nodes(); ++id) {
+    if (snapshot->Kind(id) == taxonomy::NodeKind::kConcept) {
+      concepts.push_back(snapshot->Name(id));
+    }
+  }
+  std::printf("universe: %zu mentions, %zu entities, %zu concepts "
+              "(version %llu)\n",
+              mentions.size(), entities.size(), concepts.size(),
+              static_cast<unsigned long long>(version_before));
+
+  // A fresh batch to publish mid-run: new names under existing tags.
+  std::vector<kb::EncyclopediaPage> fresh;
+  for (int i = 0; i < 40; ++i) {
+    kb::EncyclopediaPage page;
+    page.name = "新条目" + std::to_string(i);
+    page.mention = page.name;
+    page.tags = world->output->dump.page(i % world->output->dump.size()).tags;
+    fresh.push_back(std::move(page));
+  }
+
+  server::ApiEndpoints endpoints(&api);
+  server::HttpServer::Config server_config;
+  server_config.num_threads = server_threads;
+  server::HttpServer httpd(server_config, endpoints.AsHandler());
+  if (const util::Status status = httpd.Start(); !status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+
+  // ---- Phase 1: sustained throughput with a mid-run publish ----
+  std::vector<WorkerResult> results(static_cast<size_t>(connections));
+  std::vector<std::vector<std::string>> target_sets;
+  for (int c = 0; c < connections; ++c) {
+    target_sets.push_back(MakeTargets(mentions, entities, concepts,
+                                      2018 + static_cast<uint64_t>(c),
+                                      4096));
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(seconds));
+  util::WallTimer timer;
+  std::vector<std::thread> workers;
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back(DriveConnection, httpd.port(),
+                         std::cref(target_sets[static_cast<size_t>(c)]),
+                         deadline, &results[static_cast<size_t>(c)]);
+  }
+  // Publish a new version roughly mid-window, while the load is on.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds * 0.5));
+  const auto batch = updater.ApplyBatch(fresh);
+  const uint64_t version_after = updater.Publish(&api);
+  for (auto& worker : workers) worker.join();
+  const double elapsed = timer.ElapsedSeconds();
+
+  util::Histogram latency;
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.ok += r.ok;
+    total.shed += r.shed;
+    total.not_found += r.not_found;
+    total.server_error += r.server_error;
+    total.io_failures += r.io_failures;
+    for (double sample : r.latency_ms.samples()) latency.Add(sample);
+  }
+  const uint64_t requests = TotalRequests(total);
+  const double qps = static_cast<double>(requests) / elapsed;
+  std::printf("\nphase 1: %d keep-alive connections, %.1fs window\n",
+              connections, elapsed);
+  std::printf("  requests    %s (%.0f req/s)\n",
+              util::CommaSeparated(requests).c_str(), qps);
+  std::printf("  latency     p50 %.3f ms   p99 %.3f ms\n",
+              latency.Percentile(50), latency.Percentile(99));
+  std::printf("  statuses    200: %llu   404: %llu   429: %llu   5xx: %llu"
+              "   io: %llu\n",
+              static_cast<unsigned long long>(total.ok),
+              static_cast<unsigned long long>(total.not_found),
+              static_cast<unsigned long long>(total.shed),
+              static_cast<unsigned long long>(total.server_error),
+              static_cast<unsigned long long>(total.io_failures));
+  std::printf("  mid-run publish: version %llu -> %llu "
+              "(+%zu pages, %zu accepted)\n",
+              static_cast<unsigned long long>(version_before),
+              static_cast<unsigned long long>(version_after),
+              batch.pages_added, batch.accepted);
+  std::printf("  acceptance  %s (floor 20,000 req/s)\n",
+              qps >= 20000.0 ? "PASS" : "FAIL");
+
+  // ---- Phase 2: overload -> polite 429s ----
+  taxonomy::ApiService::ServingLimits limits;
+  limits.max_in_flight = 2;
+  api.SetServingLimits(limits);
+  util::ScopedFaultInjection stall("api.query=1:delay=2", 9);
+  std::vector<WorkerResult> shed_results(static_cast<size_t>(connections));
+  const auto shed_deadline = std::chrono::steady_clock::now() +
+                             std::chrono::milliseconds(800);
+  std::vector<std::thread> shed_workers;
+  for (int c = 0; c < connections; ++c) {
+    shed_workers.emplace_back(DriveConnection, httpd.port(),
+                              std::cref(target_sets[static_cast<size_t>(c)]),
+                              shed_deadline,
+                              &shed_results[static_cast<size_t>(c)]);
+  }
+  for (auto& worker : shed_workers) worker.join();
+  util::FaultInjector::Global().Clear();
+  api.SetServingLimits(taxonomy::ApiService::ServingLimits());
+
+  uint64_t shed_total = 0;
+  uint64_t shed_requests = 0;
+  uint64_t shed_resets = 0;
+  uint64_t missing_retry_after = 0;
+  for (const WorkerResult& r : shed_results) {
+    shed_total += r.shed;
+    shed_requests += TotalRequests(r);
+    shed_resets += r.io_failures;
+    missing_retry_after += r.shed_without_retry_after;
+  }
+  std::printf("\nphase 2: in-flight cap 2 + 2ms injected stall\n");
+  std::printf("  requests    %llu, shed %llu (%.1f%%), resets %llu, "
+              "429s missing Retry-After: %llu\n",
+              static_cast<unsigned long long>(shed_requests),
+              static_cast<unsigned long long>(shed_total),
+              shed_requests > 0
+                  ? 100.0 * static_cast<double>(shed_total) /
+                        static_cast<double>(shed_requests)
+                  : 0.0,
+              static_cast<unsigned long long>(shed_resets),
+              static_cast<unsigned long long>(missing_retry_after));
+  std::printf("  acceptance  %s (sheds surface as 429 + Retry-After, "
+              "not resets)\n",
+              shed_total > 0 && missing_retry_after == 0 ? "PASS" : "FAIL");
+
+  httpd.Stop();
+  httpd.Wait();
+  const auto stats = httpd.stats();
+  std::printf("\nserver: %llu connections, %llu requests, "
+              "%llu parse errors, %llu io errors\n",
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.parse_errors),
+              static_cast<unsigned long long>(stats.io_errors));
+}
+
+}  // namespace
+}  // namespace cnpb
+
+int main(int argc, char** argv) {
+  double seconds = 2.0;
+  int connections = 8;
+  int threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seconds" && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    } else if (arg == "--connections" && i + 1 < argc) {
+      connections = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--seconds S] [--connections N] [--threads T]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  cnpb::Run(seconds, connections, threads);
+  return 0;
+}

@@ -3,10 +3,24 @@
 // traffic (82M calls); we replay a scaled-down workload with the same mix
 // (men2ent-heavy: mention disambiguation is the entry point of most text-
 // understanding clients, then getEntity for concept expansion).
+//
+// Default mode replays in-process against the ApiService. `--live` replays
+// the same mix as HTTP requests against a real loopback HttpServer instead
+// — the deployed shape of Table II — with `--live-calls N` (default
+// 40,000) controlling the scaled call count.
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 
 #include "bench/bench_common.h"
+#include "server/client.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "server/service.h"
 #include "taxonomy/api_service.h"
+#include "util/net.h"
 #include "util/rng.h"
 #include "util/strings.h"
 #include "util/timer.h"
@@ -14,58 +28,33 @@
 namespace cnpb {
 namespace {
 
-void Run() {
-  bench::PrintHeader("Table II", "APIs and their usage");
-  auto world = bench::MakeBenchWorld(bench::BenchScale());
+constexpr double kPMen2Ent = 43'896'044.0 / 83'504'492.0;
+constexpr double kPGetConcept = 13'815'076.0 / 83'504'492.0;
 
-  core::CnProbaseBuilder::Report report;
-  const auto taxonomy = core::CnProbaseBuilder::Build(
-      world->output->dump, world->world->lexicon(), world->corpus_words,
-      bench::DefaultBuilderConfig(), &report);
-  taxonomy::ApiService api(&taxonomy);
-  core::CnProbaseBuilder::RegisterMentions(world->output->dump, taxonomy, &api);
-
-  // Workload: the paper's observed mix (43.9M / 13.8M / 25.8M out of 83.5M),
-  // over Zipf-distributed mentions/entities/concepts.
-  const size_t total_calls = 834'000;  // 1:100 scale of the paper's traffic
-  const double p_men2ent = 43'896'044.0 / 83'504'492.0;
-  const double p_get_concept = 13'815'076.0 / 83'504'492.0;
-
+struct QueryUniverse {
   std::vector<std::string> mentions;
   std::vector<std::string> entity_names;
-  for (const auto& page : world->output->dump.pages()) {
-    if (taxonomy.Find(page.name) == taxonomy::kInvalidNode) continue;
-    mentions.push_back(page.mention);
-    entity_names.push_back(page.name);
-  }
   std::vector<std::string> concept_names;
+};
+
+QueryUniverse MakeUniverse(const bench::BenchWorld& world,
+                           const taxonomy::Taxonomy& taxonomy) {
+  QueryUniverse universe;
+  for (const auto& page : world.output->dump.pages()) {
+    if (taxonomy.Find(page.name) == taxonomy::kInvalidNode) continue;
+    universe.mentions.push_back(page.mention);
+    universe.entity_names.push_back(page.name);
+  }
   for (taxonomy::NodeId id = 0; id < taxonomy.num_nodes(); ++id) {
     if (taxonomy.Kind(id) == taxonomy::NodeKind::kConcept) {
-      concept_names.push_back(taxonomy.Name(id));
+      universe.concept_names.push_back(taxonomy.Name(id));
     }
   }
+  return universe;
+}
 
-  util::Rng rng(2018);
-  util::ZipfSampler mention_zipf(mentions.size(), 1.0);
-  util::ZipfSampler entity_zipf(entity_names.size(), 1.0);
-  util::ZipfSampler concept_zipf(concept_names.size(), 1.0);
-
-  util::WallTimer timer;
-  size_t hits = 0;
-  for (size_t i = 0; i < total_calls; ++i) {
-    const double u = rng.UniformDouble();
-    if (u < p_men2ent) {
-      hits += api.Men2Ent(mentions[mention_zipf.Sample(rng)]).empty() ? 0 : 1;
-    } else if (u < p_men2ent + p_get_concept) {
-      hits +=
-          api.GetConcept(entity_names[entity_zipf.Sample(rng)]).empty() ? 0 : 1;
-    } else {
-      hits +=
-          api.GetEntity(concept_names[concept_zipf.Sample(rng)]).empty() ? 0 : 1;
-    }
-  }
-  const double seconds = timer.ElapsedSeconds();
-
+void PrintUsageTable(const taxonomy::ApiService& api, double seconds,
+                     size_t total_calls, size_t hits) {
   const auto& usage = api.usage();
   std::printf("\n%-12s %-28s %-22s %14s\n", "API name", "Given", "Return",
               "Count");
@@ -84,10 +73,151 @@ void Run() {
   std::printf("  men2ent    43,896,044\n  getConcept 13,815,076\n"
               "  getEntity  25,793,372\n");
   std::printf("shape check: men2ent > getEntity > getConcept mix is "
-              "preserved at 1:100 scale.\n");
+              "preserved at scale.\n");
+}
+
+void RunInProcess(taxonomy::ApiService* api, const QueryUniverse& universe) {
+  const size_t total_calls = 834'000;  // 1:100 scale of the paper's traffic
+  util::Rng rng(2018);
+  util::ZipfSampler mention_zipf(universe.mentions.size(), 1.0);
+  util::ZipfSampler entity_zipf(universe.entity_names.size(), 1.0);
+  util::ZipfSampler concept_zipf(universe.concept_names.size(), 1.0);
+
+  util::WallTimer timer;
+  size_t hits = 0;
+  for (size_t i = 0; i < total_calls; ++i) {
+    const double u = rng.UniformDouble();
+    if (u < kPMen2Ent) {
+      hits += api->Men2Ent(universe.mentions[mention_zipf.Sample(rng)])
+                      .empty()
+                  ? 0
+                  : 1;
+    } else if (u < kPMen2Ent + kPGetConcept) {
+      hits += api->GetConcept(
+                      universe.entity_names[entity_zipf.Sample(rng)])
+                      .empty()
+                  ? 0
+                  : 1;
+    } else {
+      hits += api->GetEntity(
+                      universe.concept_names[concept_zipf.Sample(rng)])
+                      .empty()
+                  ? 0
+                  : 1;
+    }
+  }
+  PrintUsageTable(*api, timer.ElapsedSeconds(), total_calls, hits);
+}
+
+// --live: the same mix over the wire against a loopback HttpServer, split
+// across 4 keep-alive connections. "Non-empty" here means HTTP 200 with a
+// non-empty answer list (an unknown mention is a 404 by the wire contract).
+void RunLive(taxonomy::ApiService* api, const QueryUniverse& universe,
+             size_t total_calls) {
+  util::IgnoreSigpipe();
+  server::ApiEndpoints endpoints(api);
+  server::HttpServer::Config config;
+  config.num_threads = 2;
+  server::HttpServer httpd(config, endpoints.AsHandler());
+  if (const util::Status status = httpd.Start(); !status.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("\n--live: replaying over HTTP on 127.0.0.1:%u\n",
+              unsigned{httpd.port()});
+
+  constexpr int kConnections = 4;
+  std::atomic<size_t> hits{0};
+  std::atomic<size_t> sent{0};
+  util::WallTimer timer;
+  std::vector<std::thread> drivers;
+  for (int c = 0; c < kConnections; ++c) {
+    drivers.emplace_back([&, c] {
+      util::Rng rng(2018 + static_cast<uint64_t>(c));
+      util::ZipfSampler mention_zipf(universe.mentions.size(), 1.0);
+      util::ZipfSampler entity_zipf(universe.entity_names.size(), 1.0);
+      util::ZipfSampler concept_zipf(universe.concept_names.size(), 1.0);
+      server::HttpClient client;
+      const size_t share = total_calls / kConnections;
+      for (size_t i = 0; i < share; ++i) {
+        if (!client.connected() &&
+            !client.Connect("127.0.0.1", httpd.port()).ok()) {
+          continue;
+        }
+        std::string target;
+        const double u = rng.UniformDouble();
+        if (u < kPMen2Ent) {
+          target = "/v1/men2ent?mention=" +
+                   server::PercentEncode(
+                       universe.mentions[mention_zipf.Sample(rng)]);
+        } else if (u < kPMen2Ent + kPGetConcept) {
+          target = "/v1/getConcept?entity=" +
+                   server::PercentEncode(
+                       universe.entity_names[entity_zipf.Sample(rng)]);
+        } else {
+          target = "/v1/getEntity?concept=" +
+                   server::PercentEncode(
+                       universe.concept_names[concept_zipf.Sample(rng)]);
+        }
+        auto response = client.Get(target);
+        if (!response.ok()) continue;
+        ++sent;
+        if (response->status == 200 &&
+            response->body.find(":[]") == std::string::npos) {
+          ++hits;
+        }
+      }
+    });
+  }
+  for (auto& driver : drivers) driver.join();
+  const double seconds = timer.ElapsedSeconds();
+  PrintUsageTable(*api, seconds, sent.load(), hits.load());
+  httpd.Stop();
+  httpd.Wait();
+  const auto stats = httpd.stats();
+  std::printf("wire: %llu requests over %llu connections, "
+              "%llu parse errors\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.parse_errors));
+}
+
+void Run(bool live, size_t live_calls) {
+  bench::PrintHeader("Table II", "APIs and their usage");
+  auto world = bench::MakeBenchWorld(bench::BenchScale());
+
+  core::CnProbaseBuilder::Report report;
+  const auto taxonomy = core::CnProbaseBuilder::Build(
+      world->output->dump, world->world->lexicon(), world->corpus_words,
+      bench::DefaultBuilderConfig(), &report);
+  taxonomy::ApiService api(&taxonomy);
+  core::CnProbaseBuilder::RegisterMentions(world->output->dump, taxonomy, &api);
+
+  const QueryUniverse universe = MakeUniverse(*world, taxonomy);
+  if (live) {
+    RunLive(&api, universe, live_calls);
+  } else {
+    RunInProcess(&api, universe);
+  }
 }
 
 }  // namespace
 }  // namespace cnpb
 
-int main() { cnpb::Run(); }
+int main(int argc, char** argv) {
+  bool live = false;
+  size_t live_calls = 40'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--live") == 0) {
+      live = true;
+    } else if (std::strcmp(argv[i], "--live-calls") == 0 && i + 1 < argc) {
+      live_calls = static_cast<size_t>(std::atol(argv[++i]));
+    } else {
+      std::fprintf(stderr, "usage: %s [--live] [--live-calls N]\n", argv[0]);
+      return 2;
+    }
+  }
+  cnpb::Run(live, live_calls);
+  return 0;
+}

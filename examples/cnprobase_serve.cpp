@@ -1,0 +1,190 @@
+// Network front end for the three public APIs (Table II): builds a
+// taxonomy from the synthetic world at --entities scale, registers its
+// mention index, and serves it over HTTP/1.1 until SIGTERM/SIGINT:
+//
+//   cnprobase_serve [--port P] [--host H] [--threads N] [--entities E]
+//                   [--max-in-flight M] [--deadline-us D]
+//                   [--drain-ms MS] [--metrics-out BASE]
+//
+//   GET /v1/men2ent?mention=M        GET /healthz
+//   GET /v1/getConcept?entity=E      GET /metrics
+//   GET /v1/getEntity?concept=C
+//
+// --port 0 (the default) binds an ephemeral port; the actual endpoint is
+// printed as "listening on http://HOST:PORT" once serving (the CI smoke
+// script scrapes that line). Sample query terms that exist in the built
+// taxonomy are printed too, so curl has something non-empty to ask for.
+//
+// SIGTERM/SIGINT trigger a graceful drain (stop accepting, finish
+// in-flight requests within --drain-ms, then close) and the process exits
+// 0. --max-in-flight / --deadline-us arm the ApiService overload policy:
+// shed calls surface as HTTP 429 with Retry-After, blown deadlines as 504
+// (DESIGN.md §9).
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "core/builder.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "taxonomy/api_service.h"
+#include "text/segmenter.h"
+#include "util/net.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace cnpb;
+
+std::atomic<int> g_signal{0};
+
+void HandleSignal(int signum) { g_signal.store(signum); }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port P] [--host H] [--threads N] [--entities E]"
+               " [--max-in-flight M] [--deadline-us D] [--drain-ms MS]"
+               " [--metrics-out BASE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::IgnoreSigpipe();  // client disconnects must be EPIPE, not SIGPIPE
+
+  server::HttpServer::Config config;
+  size_t entities = 2000;
+  size_t max_in_flight = 0;
+  long deadline_us = 0;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      config.port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (arg == "--host") {
+      config.host = next("--host");
+    } else if (arg == "--threads") {
+      config.num_threads = std::max(1, std::atoi(next("--threads")));
+    } else if (arg == "--entities") {
+      entities = static_cast<size_t>(std::atol(next("--entities")));
+    } else if (arg == "--max-in-flight") {
+      max_in_flight =
+          static_cast<size_t>(std::atol(next("--max-in-flight")));
+    } else if (arg == "--deadline-us") {
+      deadline_us = std::atol(next("--deadline-us"));
+    } else if (arg == "--drain-ms") {
+      config.drain_deadline =
+          std::chrono::milliseconds(std::atol(next("--drain-ms")));
+    } else if (arg == "--metrics-out") {
+      metrics_out = next("--metrics-out");
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Build the taxonomy to serve (synthetic world — same substrate as the
+  // benches; a deployment would LoadTaxonomy from the build pipeline).
+  std::printf("building taxonomy (%zu entities)...\n", entities);
+  std::fflush(stdout);
+  synth::WorldModel::Config wc;
+  wc.num_entities = entities;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  const auto output = synth::EncyclopediaGenerator::Generate(world, {});
+  text::Segmenter segmenter(&world.lexicon());
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, output.dump, segmenter, {});
+  std::vector<std::vector<std::string>> corpus_words;
+  corpus_words.reserve(corpus.sentences.size());
+  for (const auto& sentence : corpus.sentences) {
+    std::vector<std::string> words;
+    for (const auto& token : sentence) words.push_back(token.word);
+    corpus_words.push_back(std::move(words));
+  }
+  core::CnProbaseBuilder::Config builder_config;
+  builder_config.neural.epochs = 1;
+  builder_config.neural.max_train_samples = 1000;
+  core::CnProbaseBuilder::Report report;
+  const taxonomy::Taxonomy taxonomy = core::CnProbaseBuilder::Build(
+      output.dump, world.lexicon(), corpus_words, builder_config, &report);
+  taxonomy::ApiService api(&taxonomy);
+  core::CnProbaseBuilder::RegisterMentions(output.dump, taxonomy, &api);
+  if (max_in_flight > 0 || deadline_us > 0) {
+    taxonomy::ApiService::ServingLimits limits;
+    limits.max_in_flight = max_in_flight;
+    limits.deadline = std::chrono::microseconds(deadline_us);
+    api.SetServingLimits(limits);
+  }
+
+  server::ApiEndpoints endpoints(&api);
+  server::HttpServer httpd(config, endpoints.AsHandler());
+  if (const util::Status status = httpd.Start(); !status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Sample terms that resolve non-empty, for interactive curl / smoke use.
+  for (const auto& page : output.dump.pages()) {
+    if (taxonomy.Find(page.name) == taxonomy::kInvalidNode) continue;
+    const auto concepts = api.GetConcept(page.name);
+    if (concepts.empty()) continue;
+    std::printf("sample_mention=%s\nsample_entity=%s\nsample_concept=%s\n",
+                page.mention.c_str(), page.name.c_str(),
+                concepts.front().c_str());
+    break;
+  }
+  std::printf("listening on http://%s:%u (threads=%d, version=%llu)\n",
+              config.host.c_str(), unsigned{httpd.port()},
+              config.num_threads,
+              static_cast<unsigned long long>(api.version()));
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  while (g_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("signal %d: draining...\n", g_signal.load());
+  std::fflush(stdout);
+  httpd.Stop();
+  httpd.Wait();
+
+  const server::HttpServer::Stats stats = httpd.stats();
+  std::printf("served %llu requests over %llu connections "
+              "(%llu parse errors, %llu io errors)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.parse_errors),
+              static_cast<unsigned long long>(stats.io_errors));
+  if (!metrics_out.empty()) {
+    api.ExportMetrics(&obs::MetricsRegistry::Global());
+    if (const util::Status status = obs::WriteMetricsFiles(
+            obs::MetricsRegistry::Global(), metrics_out);
+        !status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s.prom / %s.json\n",
+                metrics_out.c_str(), metrics_out.c_str());
+  }
+  return 0;
+}

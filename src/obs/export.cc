@@ -4,11 +4,15 @@
 #include <cmath>
 #include <cstdio>
 
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace cnpb::obs {
 
 namespace {
+
+using util::JsonNumber;
+using util::JsonString;
 
 // Prometheus metric names allow [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted names
 // map dots (and anything else) to underscores under a "cnpb_" prefix.
@@ -22,44 +26,11 @@ std::string PrometheusName(const std::string& name) {
   return out;
 }
 
+// Prometheus (unlike JSON) spells out non-finite samples.
 std::string FormatDouble(double value) {
   if (std::isnan(value)) return "NaN";
   if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
   return util::StrFormat("%.9g", value);
-}
-
-// JSON has no NaN/Inf literals; degenerate values export as null.
-std::string JsonNumber(double value) {
-  if (!std::isfinite(value)) return "null";
-  return util::StrFormat("%.9g", value);
-}
-
-std::string JsonString(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += util::StrFormat("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+#include "server/client.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/net.h"
+#include "util/strings.h"
+
+namespace cnpb::server {
+
+namespace {
+
+bool AsciiIEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view HttpClient::Response::Header(std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (AsciiIEquals(key, name)) return value;
+  }
+  return {};
+}
+
+HttpClient::~HttpClient() { Close(); }
+
+HttpClient::HttpClient(HttpClient&& other) noexcept
+    : fd_(other.fd_),
+      host_(std::move(other.host_)),
+      buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    host_ = std::move(other.host_);
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+util::Status HttpClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  util::Result<int> fd = util::ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  host_ = util::StrFormat("%s:%u", host.c_str(), unsigned{port});
+  buffer_.clear();
+  return util::Status::Ok();
+}
+
+void HttpClient::Close() {
+  util::CloseFd(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+util::Status HttpClient::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return util::FailedPreconditionError("not connected");
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const util::Result<size_t> sent =
+        util::SendSome(fd_, bytes.data() + off, bytes.size() - off);
+    if (!sent.ok()) {
+      Close();
+      return sent.status();
+    }
+    // Blocking socket: a zero return only happens on a (unused) non-
+    // blocking fd; treat it as an error rather than spinning.
+    if (*sent == 0) {
+      Close();
+      return util::IoError("send made no progress");
+    }
+    off += *sent;
+  }
+  return util::Status::Ok();
+}
+
+util::Result<HttpClient::Response> HttpClient::Get(std::string_view target) {
+  const std::string request = util::StrFormat(
+      "GET %.*s HTTP/1.1\r\nHost: %s\r\n\r\n",
+      static_cast<int>(target.size()), target.data(), host_.c_str());
+  CNPB_RETURN_IF_ERROR(SendRaw(request));
+  return ReadResponse();
+}
+
+util::Result<HttpClient::Response> HttpClient::ReadResponse() {
+  if (fd_ < 0) return util::FailedPreconditionError("not connected");
+  // Read until the header block is complete, then until the body is.
+  const auto fail = [this](util::Status status) -> util::Status {
+    Close();
+    return status;
+  };
+  size_t header_end = std::string::npos;
+  for (;;) {
+    header_end = buffer_.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (buffer_.size() > (1u << 20)) {
+      return fail(util::IoError("response headers never terminated"));
+    }
+    char chunk[16384];
+    const util::Result<size_t> got =
+        util::RecvSome(fd_, chunk, sizeof(chunk), nullptr);
+    if (!got.ok()) return fail(got.status());
+    if (*got == 0) {
+      return fail(util::IoError("connection closed before response"));
+    }
+    buffer_.append(chunk, *got);
+  }
+
+  Response response;
+  const std::string head = buffer_.substr(0, header_end);
+  std::vector<std::string> lines = util::Split(head, '\n');
+  if (lines.empty()) return fail(util::IoError("empty response head"));
+  for (std::string& line : lines) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+  }
+  // Status line: HTTP/1.1 NNN Reason
+  {
+    const std::vector<std::string> parts = util::Split(lines[0], ' ');
+    if (parts.size() < 2 || !util::StartsWith(parts[0], "HTTP/1.")) {
+      return fail(util::IoError("malformed status line: " + lines[0]));
+    }
+    response.status = std::atoi(parts[1].c_str());
+    if (response.status < 100 || response.status > 599) {
+      return fail(util::IoError("malformed status code: " + parts[1]));
+    }
+  }
+  size_t content_length = 0;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    const size_t colon = lines[i].find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = lines[i].substr(0, colon);
+    std::string value(util::StripAsciiWhitespace(
+        std::string_view(lines[i]).substr(colon + 1)));
+    if (AsciiIEquals(name, "Content-Length")) {
+      content_length = static_cast<size_t>(std::atoll(value.c_str()));
+    }
+    response.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  const size_t body_start = header_end + 4;
+  while (buffer_.size() - body_start < content_length) {
+    char chunk[16384];
+    const util::Result<size_t> got =
+        util::RecvSome(fd_, chunk, sizeof(chunk), nullptr);
+    if (!got.ok()) return fail(got.status());
+    if (*got == 0) {
+      return fail(util::IoError("connection closed mid-body"));
+    }
+    buffer_.append(chunk, *got);
+  }
+  response.body = buffer_.substr(body_start, content_length);
+  // Keep-alive: preserve any bytes past this response for the next one.
+  buffer_.erase(0, body_start + content_length);
+  return response;
+}
+
+}  // namespace cnpb::server

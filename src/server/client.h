@@ -1,0 +1,58 @@
+#ifndef CNPROBASE_SERVER_CLIENT_H_
+#define CNPROBASE_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace cnpb::server {
+
+// A deliberately small blocking HTTP/1.1 client: one keep-alive connection,
+// sequential request/response. It exists for the loopback load generator,
+// the --live bench mode, and the server tests — it is not a general client
+// (no TLS, no redirects, no chunked encoding, IPv4 only).
+class HttpClient {
+ public:
+  struct Response {
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+    // First value of header `name` (ASCII case-insensitive), "" if absent.
+    std::string_view Header(std::string_view name) const;
+  };
+
+  HttpClient() = default;
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+  HttpClient(HttpClient&& other) noexcept;
+  HttpClient& operator=(HttpClient&& other) noexcept;
+
+  util::Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // GET `target` (path + already-encoded query) over the open connection.
+  // Reconnects are the caller's job: after any error Status the connection
+  // is closed and the next Get must be preceded by Connect.
+  util::Result<Response> Get(std::string_view target);
+
+  // Sends raw bytes and reads one response — lets tests speak malformed
+  // HTTP (bad encodings, split writes) straight at the server.
+  util::Status SendRaw(std::string_view bytes);
+  util::Result<Response> ReadResponse();
+
+ private:
+  int fd_ = -1;
+  std::string host_;
+  std::string buffer_;  // bytes read past the previous response
+};
+
+}  // namespace cnpb::server
+
+#endif  // CNPROBASE_SERVER_CLIENT_H_

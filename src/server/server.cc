@@ -1,0 +1,372 @@
+#include "server/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/fault_injection.h"
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/net.h"
+
+namespace cnpb::server {
+
+namespace {
+
+// Small JSON error body used for responses the service layer never sees
+// (parse errors, connection-table 503s, drain 504s).
+HttpResponse ProtocolErrorResponse(int status, const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = "{\"error\":{\"status\":" + util::JsonUInt(status) +
+                  ",\"message\":" + util::JsonString(message) + "}}\n";
+  response.close = true;
+  return response;
+}
+
+void SetNoDelay(int fd) {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+// One accepted connection, owned by exactly one event loop.
+struct HttpServer::Connection {
+  explicit Connection(const RequestParser::Limits& limits) : parser(limits) {}
+
+  int fd = -1;
+  RequestParser parser;
+  std::string out;       // serialized responses not yet written
+  size_t out_off = 0;
+  bool close_after_flush = false;
+  std::chrono::steady_clock::time_point last_active;
+};
+
+struct HttpServer::Loop {
+  int wake_rd = -1;
+  int wake_wr = -1;
+  std::vector<std::unique_ptr<Connection>> conns;
+
+  ~Loop() {
+    for (const auto& conn : conns) util::CloseFd(conn->fd);
+    util::CloseFd(wake_rd);
+    util::CloseFd(wake_wr);
+  }
+};
+
+HttpServer::HttpServer(const Config& config, Handler handler)
+    : config_(config), handler_(std::move(handler)) {
+  CNPB_CHECK(config_.num_threads >= 1);
+  CNPB_CHECK(handler_ != nullptr);
+}
+
+HttpServer::~HttpServer() {
+  Stop();
+  Wait();
+}
+
+util::Status HttpServer::Start() {
+  int expected = kIdle;
+  if (!state_.compare_exchange_strong(expected, kRunning)) {
+    return util::FailedPreconditionError("server already started");
+  }
+  util::Result<int> listen =
+      util::ListenTcp(config_.host, config_.port, /*backlog=*/511, &port_);
+  if (!listen.ok()) {
+    state_.store(kStopped);
+    return listen.status();
+  }
+  listen_fd_ = *listen;
+  const size_t num_loops = static_cast<size_t>(config_.num_threads);
+  for (size_t i = 0; i < num_loops; ++i) {
+    auto loop = std::make_unique<Loop>();
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      state_.store(kStopped);
+      return util::IoError("pipe() failed for event-loop wakeup");
+    }
+    loop->wake_rd = pipe_fds[0];
+    loop->wake_wr = pipe_fds[1];
+    (void)util::SetNonBlocking(loop->wake_rd);
+    (void)util::SetNonBlocking(loop->wake_wr);
+    loops_.push_back(std::move(loop));
+  }
+  // The event loops are long-lived tasks: lane 0 runs on the dedicated
+  // serve thread (the ParallelFor caller), lanes 1..N-1 on the pool's
+  // workers. With n == max_parallelism, ParallelFor's grain is 1, so every
+  // lane picks up exactly one loop index.
+  pool_ = std::make_unique<util::ThreadPool>(
+      static_cast<int>(num_loops) - 1);
+  serve_thread_ = std::thread([this, num_loops]() {
+    pool_->ParallelFor(num_loops, static_cast<int>(num_loops),
+                       [this](size_t i) { RunLoop(i); });
+  });
+  return util::Status::Ok();
+}
+
+void HttpServer::Stop() {
+  // Serialised so drain_started_ is written exactly once, before the
+  // release store of kDraining that the loops acquire.
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  if (state_.load(std::memory_order_acquire) != kRunning) return;
+  drain_started_ = std::chrono::steady_clock::now();
+  state_.store(kDraining, std::memory_order_release);
+  // Refuse new connections immediately. Loops stop polling the listening
+  // fd once they observe kDraining; a loop mid-poll may see one spurious
+  // event on the stale fd, which the accept error path tolerates.
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  util::CloseFd(fd);
+  for (const auto& loop : loops_) {
+    const char byte = 'w';
+    ssize_t rc;
+    do {
+      rc = ::write(loop->wake_wr, &byte, 1);
+    } while (rc < 0 && errno == EINTR);
+  }
+}
+
+void HttpServer::Wait() {
+  if (serve_thread_.joinable()) serve_thread_.join();
+  pool_.reset();
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  util::CloseFd(fd);
+  state_.store(kStopped, std::memory_order_release);
+}
+
+HttpServer::Stats HttpServer::stats() const {
+  Stats stats;
+  stats.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  stats.connections_rejected = rejected_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.parse_errors = parse_errors_.load(std::memory_order_relaxed);
+  stats.io_errors = io_errors_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void HttpServer::CloseConnection(Loop* loop, size_t slot) {
+  util::CloseFd(loop->conns[slot]->fd);
+  loop->conns.erase(loop->conns.begin() +
+                    static_cast<std::ptrdiff_t>(slot));
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  m_closed_->Increment();
+}
+
+bool HttpServer::FlushWrites(Connection* conn) {
+  while (conn->out_off < conn->out.size()) {
+    if (const util::Status fault = util::CheckFault("server.write");
+        !fault.ok()) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      m_io_errors_->Increment();
+      return false;
+    }
+    const util::Result<size_t> sent = util::SendSome(
+        conn->fd, conn->out.data() + conn->out_off,
+        conn->out.size() - conn->out_off);
+    if (!sent.ok()) {
+      // EPIPE/ECONNRESET from a peer that went away mid-response: an
+      // orderly close of this connection, never a process-level signal.
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      m_io_errors_->Increment();
+      return false;
+    }
+    if (*sent == 0) return true;  // would block; poll for POLLOUT
+    conn->out_off += *sent;
+    conn->last_active = std::chrono::steady_clock::now();
+  }
+  conn->out.clear();
+  conn->out_off = 0;
+  return !conn->close_after_flush;
+}
+
+void HttpServer::HandleParsed(Connection* conn) {
+  const HttpRequest& request = conn->parser.request();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  m_requests_->Increment();
+  const HttpResponse response = handler_(request);
+  // During drain every response announces the close; clients re-resolve.
+  const bool draining =
+      state_.load(std::memory_order_acquire) != kRunning;
+  const bool keep_alive = request.keep_alive && !response.close && !draining;
+  conn->out += SerializeResponse(response, keep_alive,
+                                 /*head_only=*/request.method == "HEAD");
+  if (!keep_alive) conn->close_after_flush = true;
+}
+
+bool HttpServer::ServiceRead(Connection* conn) {
+  char buf[16384];
+  for (;;) {
+    if (const util::Status fault = util::CheckFault("server.read");
+        !fault.ok()) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      m_io_errors_->Increment();
+      return false;
+    }
+    bool would_block = false;
+    const util::Result<size_t> got =
+        util::RecvSome(conn->fd, buf, sizeof(buf), &would_block);
+    if (!got.ok()) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      m_io_errors_->Increment();
+      return false;
+    }
+    if (would_block) break;
+    if (*got == 0) return false;  // peer closed
+    conn->last_active = std::chrono::steady_clock::now();
+    RequestParser::State state =
+        conn->parser.Feed(std::string_view(buf, *got));
+    while (state == RequestParser::State::kComplete) {
+      HandleParsed(conn);
+      if (conn->close_after_flush) break;
+      conn->parser.Reset();
+      state = conn->parser.Poll();  // pipelined request already buffered?
+    }
+    if (state == RequestParser::State::kError) {
+      parse_errors_.fetch_add(1, std::memory_order_relaxed);
+      m_parse_errors_->Increment();
+      const HttpResponse error = ProtocolErrorResponse(
+          conn->parser.error_status(), conn->parser.error_message());
+      conn->out += SerializeResponse(error, /*keep_alive=*/false,
+                                     /*head_only=*/false);
+      conn->close_after_flush = true;
+      break;
+    }
+    if (conn->close_after_flush) break;
+    if (*got < sizeof(buf)) break;  // socket very likely drained
+  }
+  return FlushWrites(conn);
+}
+
+void HttpServer::RunLoop(size_t index) {
+  Loop* loop = loops_[index].get();
+  std::vector<pollfd> pfds;
+  for (;;) {
+    const int state = state_.load(std::memory_order_acquire);
+    if (state == kStopped) break;
+    const bool draining = state == kDraining;
+    const auto now = std::chrono::steady_clock::now();
+
+    if (draining) {
+      // Idle keep-alive connections owe nothing; close them right away.
+      for (size_t i = loop->conns.size(); i-- > 0;) {
+        Connection* conn = loop->conns[i].get();
+        if (conn->out.empty() && !conn->parser.HasPartialRequest()) {
+          CloseConnection(loop, i);
+        }
+      }
+      if (loop->conns.empty()) break;
+      if (now - drain_started_ > config_.drain_deadline) {
+        // Past the deadline: half-read requests get a best-effort 504,
+        // everything still unflushed is dropped.
+        for (size_t i = loop->conns.size(); i-- > 0;) {
+          Connection* conn = loop->conns[i].get();
+          if (conn->parser.HasPartialRequest()) {
+            const std::string bytes = SerializeResponse(
+                ProtocolErrorResponse(504, "server draining"),
+                /*keep_alive=*/false, /*head_only=*/false);
+            (void)util::SendSome(conn->fd, bytes.data(), bytes.size());
+          }
+          CloseConnection(loop, i);
+        }
+        break;
+      }
+    }
+
+    pfds.clear();
+    pfds.push_back({loop->wake_rd, POLLIN, 0});
+    const int listen_fd =
+        draining ? -1 : listen_fd_.load(std::memory_order_relaxed);
+    if (listen_fd >= 0) pfds.push_back({listen_fd, POLLIN, 0});
+    const size_t conns_base = pfds.size();
+    for (const auto& conn : loop->conns) {
+      short events = POLLIN;
+      if (!conn->out.empty()) events |= POLLOUT;
+      pfds.push_back({conn->fd, events, 0});
+    }
+
+    const int timeout_ms = draining ? 10 : 100;
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      CNPB_LOG(Error) << "poll failed: " << std::strerror(errno);
+      break;
+    }
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char drain_buf[64];
+      while (::read(loop->wake_rd, drain_buf, sizeof(drain_buf)) > 0) {
+      }
+    }
+
+    if (listen_fd >= 0 && pfds.size() > 1 && pfds[1].fd == listen_fd &&
+        (pfds[1].revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0) {
+          if (errno == EINTR || errno == ECONNABORTED) continue;
+          break;  // EAGAIN, or the fd was closed/reused under drain
+        }
+        if (const util::Status fault = util::CheckFault("server.accept");
+            !fault.ok()) {
+          io_errors_.fetch_add(1, std::memory_order_relaxed);
+          m_io_errors_->Increment();
+          util::CloseFd(fd);
+          continue;
+        }
+        if (open_connections_.fetch_add(1, std::memory_order_relaxed) + 1 >
+            config_.max_connections) {
+          open_connections_.fetch_sub(1, std::memory_order_relaxed);
+          rejected_.fetch_add(1, std::memory_order_relaxed);
+          m_rejected_->Increment();
+          const std::string bytes = SerializeResponse(
+              ProtocolErrorResponse(503, "connection table full"),
+              /*keep_alive=*/false, /*head_only=*/false);
+          (void)util::SendSome(fd, bytes.data(), bytes.size());
+          util::CloseFd(fd);
+          continue;
+        }
+        (void)util::SetNonBlocking(fd);
+        SetNoDelay(fd);
+        auto conn = std::make_unique<Connection>(config_.parser_limits);
+        conn->fd = fd;
+        conn->last_active = now;
+        loop->conns.push_back(std::move(conn));
+        accepted_.fetch_add(1, std::memory_order_relaxed);
+        m_accepted_->Increment();
+      }
+    }
+
+    // Service connections back-to-front so CloseConnection's erase never
+    // shifts a slot we have yet to visit. Only the snapshot prefix has a
+    // pollfd — connections accepted above wait for the next iteration.
+    const size_t snapshot_conns = pfds.size() - conns_base;
+    for (size_t i = snapshot_conns; i-- > 0;) {
+      const pollfd& pfd = pfds[conns_base + i];
+      Connection* conn = loop->conns[i].get();
+      CNPB_CHECK(pfd.fd == conn->fd);
+      bool alive = true;
+      if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+        alive = false;
+      } else if ((pfd.revents & (POLLIN | POLLHUP)) != 0) {
+        // After a protocol error we stop reading and only flush the 4xx.
+        alive = conn->close_after_flush ? FlushWrites(conn)
+                                        : ServiceRead(conn);
+      } else if ((pfd.revents & POLLOUT) != 0) {
+        alive = FlushWrites(conn);
+      } else if (config_.idle_timeout.count() > 0 &&
+                 now - conn->last_active > config_.idle_timeout &&
+                 conn->out.empty() && !conn->parser.HasPartialRequest()) {
+        alive = false;  // reclaim idle keep-alive connections
+      }
+      if (!alive) CloseConnection(loop, i);
+    }
+  }
+}
+
+}  // namespace cnpb::server

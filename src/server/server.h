@@ -1,0 +1,141 @@
+#ifndef CNPROBASE_SERVER_SERVER_H_
+#define CNPROBASE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/http.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace cnpb::server {
+
+// A portable poll(2)-based HTTP/1.1 server. N event loops run as
+// long-lived tasks on a server-owned util::ThreadPool; every loop polls the
+// shared non-blocking listening socket (the kernel load-balances accepts)
+// and owns the connections it accepted outright, so the steady state needs
+// no cross-thread handoff per request: read -> parse -> handle -> write all
+// happen on one loop. Handlers therefore must be fast and non-blocking —
+// the ApiService lookups they wrap are sub-microsecond in-memory reads,
+// which is exactly the workload this layout is built for (DESIGN.md §9).
+//
+// Overload and failure map onto the protocol instead of hiding behind it:
+// the handler surfaces util::Status codes that the service layer renders as
+// 429/503/504 JSON (see service.h), oversized or malformed requests get
+// 400/431/413 from the parser, and a full connection table answers 503
+// before closing. Fault points server.accept / server.read / server.write
+// let the chaos tests inject failures at each socket boundary.
+//
+// Shutdown is a graceful drain: Stop() (or the SIGTERM handler in
+// cnprobase_serve calling it) closes the listening socket, lets in-flight
+// requests finish and their responses flush within `drain_deadline`, then
+// closes everything that remains (half-read requests get a best-effort
+// 504). Stop() only initiates the drain; Wait() joins it.
+class HttpServer {
+ public:
+  struct Config {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;  // 0 = ephemeral; see port() after Start()
+    int num_threads = 4;
+    size_t max_connections = 4096;  // over this, accept + answer 503 + close
+    RequestParser::Limits parser_limits;
+    std::chrono::milliseconds idle_timeout{60000};
+    std::chrono::milliseconds drain_deadline{5000};
+  };
+
+  // Counters are cumulative since Start(); exposed for tests and the bench
+  // without going through the metrics registry.
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_rejected = 0;  // 503: connection table full
+    uint64_t requests = 0;              // complete requests handled
+    uint64_t parse_errors = 0;          // 4xx answered by the parser
+    uint64_t io_errors = 0;             // read/write failures (EPIPE, faults)
+  };
+
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(const Config& config, Handler handler);
+  ~HttpServer();  // implies Stop() + Wait()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds, listens, and launches the event loops. After an ok() return,
+  // port() is the bound port and the server is accepting.
+  util::Status Start();
+
+  // Initiates graceful drain (idempotent, safe from a signal-watcher
+  // thread): stop accepting, finish in-flight work within drain_deadline.
+  void Stop();
+
+  // Blocks until every event loop has exited. Safe to call once.
+  void Wait();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return state_.load() == kRunning; }
+  Stats stats() const;
+
+ private:
+  enum State : int { kIdle, kRunning, kDraining, kStopped };
+
+  struct Connection;
+  struct Loop;
+
+  void RunLoop(size_t index);
+  // Reads whatever is available; parses and answers every complete request.
+  // Returns false when the connection must be closed.
+  bool ServiceRead(Connection* conn);
+  bool FlushWrites(Connection* conn);
+  void HandleParsed(Connection* conn);
+  void CloseConnection(Loop* loop, size_t slot);
+
+  Config config_;
+  Handler handler_;
+  // Atomic: Stop() closes it while event loops are still reading it for
+  // their poll sets (see the drain protocol in DESIGN.md §9).
+  std::atomic<int> listen_fd_{-1};
+  uint16_t port_ = 0;
+  std::atomic<int> state_{kIdle};
+  std::mutex stop_mu_;  // serialises Stop(); guards drain_started_ write
+  std::chrono::steady_clock::time_point drain_started_;
+
+  // One pool lane per event loop; the dedicated serve thread contributes
+  // the remaining lane via ParallelFor (see Start()).
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::thread serve_thread_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+
+  std::atomic<size_t> open_connections_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> parse_errors_{0};
+  std::atomic<uint64_t> io_errors_{0};
+
+  // Registry instruments (looked up once; written on the serving path).
+  obs::Counter* const m_accepted_ =
+      obs::MetricsRegistry::Global().counter("http.connections.accepted");
+  obs::Counter* const m_closed_ =
+      obs::MetricsRegistry::Global().counter("http.connections.closed");
+  obs::Counter* const m_rejected_ =
+      obs::MetricsRegistry::Global().counter("http.connections.rejected");
+  obs::Counter* const m_requests_ =
+      obs::MetricsRegistry::Global().counter("http.requests");
+  obs::Counter* const m_parse_errors_ =
+      obs::MetricsRegistry::Global().counter("http.parse_errors");
+  obs::Counter* const m_io_errors_ =
+      obs::MetricsRegistry::Global().counter("http.io_errors");
+};
+
+}  // namespace cnpb::server
+
+#endif  // CNPROBASE_SERVER_SERVER_H_

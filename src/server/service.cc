@@ -1,0 +1,235 @@
+#include "server/service.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "obs/export.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace cnpb::server {
+
+namespace {
+
+using util::JsonString;
+using util::JsonUInt;
+
+// Query latency at the HTTP layer is sampled like the ApiService's own
+// (1-in-64 here: wire requests are ~1000x rarer than in-process calls in
+// the benches, so a denser sample still costs nothing measurable).
+constexpr uint32_t kLatencySampleMask = 63;
+
+bool SampleLatency() {
+  thread_local uint32_t tick = 0;
+  return (++tick & kLatencySampleMask) == 0;
+}
+
+}  // namespace
+
+ApiEndpoints::ApiEndpoints(taxonomy::ApiService* api)
+    : api_(api), started_(std::chrono::steady_clock::now()) {}
+
+HttpServer::Handler ApiEndpoints::AsHandler() {
+  return [this](const HttpRequest& request) { return Handle(request); };
+}
+
+int ApiEndpoints::HttpStatusForCode(util::StatusCode code) {
+  switch (code) {
+    case util::StatusCode::kOk:                return 200;
+    case util::StatusCode::kInvalidArgument:   return 400;
+    case util::StatusCode::kNotFound:          return 404;
+    case util::StatusCode::kResourceExhausted: return 429;
+    case util::StatusCode::kDeadlineExceeded:  return 504;
+    case util::StatusCode::kIoError:           return 503;
+    case util::StatusCode::kDataLoss:          return 503;
+    default:                                   return 500;
+  }
+}
+
+HttpResponse ApiEndpoints::ErrorResponse(int status, util::StatusCode code,
+                                         const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::string("{\"error\":{\"code\":") +
+                  JsonString(util::StatusCodeName(code)) +
+                  ",\"message\":" + JsonString(message) + "}}\n";
+  if (status == 429) {
+    // Shed load is transient by construction (in-flight cap); tell clients
+    // when to come back instead of letting them hammer the retry loop.
+    response.headers.emplace_back("Retry-After", "1");
+  }
+  return response;
+}
+
+HttpResponse ApiEndpoints::StatusResponse(const util::Status& status) {
+  return ErrorResponse(HttpStatusForCode(status.code()), status.code(),
+                       status.message());
+}
+
+HttpResponse ApiEndpoints::Handle(const HttpRequest& request) {
+  if (request.method != "GET" && request.method != "HEAD") {
+    req_other_->Increment();
+    resp_4xx_->Increment();
+    HttpResponse response = ErrorResponse(
+        405, util::StatusCode::kInvalidArgument,
+        "method not allowed: " + request.method);
+    response.headers.emplace_back("Allow", "GET, HEAD");
+    return response;
+  }
+  HttpResponse response;
+  if (request.path == "/v1/men2ent") {
+    req_men2ent_->Increment();
+    obs::ScopedTimer timer(SampleLatency() ? lat_men2ent_ : nullptr);
+    response = Men2Ent(request);
+  } else if (request.path == "/v1/getConcept") {
+    req_get_concept_->Increment();
+    obs::ScopedTimer timer(SampleLatency() ? lat_get_concept_ : nullptr);
+    response = GetConcept(request);
+  } else if (request.path == "/v1/getEntity") {
+    req_get_entity_->Increment();
+    obs::ScopedTimer timer(SampleLatency() ? lat_get_entity_ : nullptr);
+    response = GetEntity(request);
+  } else if (request.path == "/healthz") {
+    req_healthz_->Increment();
+    response = Healthz();
+  } else if (request.path == "/metrics") {
+    req_metrics_->Increment();
+    response = Metrics();
+  } else {
+    req_other_->Increment();
+    response = ErrorResponse(404, util::StatusCode::kNotFound,
+                             "no such endpoint: " + request.path);
+  }
+  if (response.status >= 500) {
+    resp_5xx_->Increment();
+  } else if (response.status >= 400) {
+    resp_4xx_->Increment();
+    if (response.status == 429) resp_429_->Increment();
+  } else {
+    resp_2xx_->Increment();
+  }
+  return response;
+}
+
+HttpResponse ApiEndpoints::Men2Ent(const HttpRequest& request) {
+  if (!request.HasParam("mention")) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "missing required parameter: mention");
+  }
+  const std::string_view mention = request.Param("mention");
+  const util::Result<taxonomy::ApiService::Men2EntResolved> result =
+      api_->TryMen2EntResolved(mention);
+  if (!result.ok()) return StatusResponse(result.status());
+  if (result->entities.empty()) {
+    // Unlike getConcept/getEntity (where a known term can legitimately have
+    // an empty answer), a mention resolving to nothing means the mention
+    // itself is unknown.
+    return ErrorResponse(404, util::StatusCode::kNotFound,
+                         "unknown mention: " + std::string(mention));
+  }
+  std::string body = "{\"mention\":" + JsonString(mention) +
+                     ",\"version\":" + JsonUInt(result->version) +
+                     ",\"entities\":[";
+  bool first = true;
+  for (const auto& entity : result->entities) {
+    if (!first) body += ',';
+    first = false;
+    body += "{\"id\":" + JsonUInt(entity.id) +
+            ",\"name\":" + JsonString(entity.name) +
+            ",\"num_hypernyms\":" + JsonUInt(entity.num_hypernyms) + "}";
+  }
+  body += "]}\n";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ApiEndpoints::GetConcept(const HttpRequest& request) {
+  if (!request.HasParam("entity")) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "missing required parameter: entity");
+  }
+  const std::string_view entity = request.Param("entity");
+  const std::string_view transitive_raw = request.Param("transitive", "0");
+  const bool transitive = transitive_raw == "1" || transitive_raw == "true";
+  const util::Result<std::vector<std::string>> result =
+      api_->TryGetConcept(entity, transitive);
+  if (!result.ok()) return StatusResponse(result.status());
+  std::string body = "{\"entity\":" + JsonString(entity) +
+                     ",\"version\":" + JsonUInt(api_->version()) +
+                     ",\"transitive\":" +
+                     (transitive ? "true" : "false") + ",\"concepts\":[";
+  bool first = true;
+  for (const std::string& name : *result) {
+    if (!first) body += ',';
+    first = false;
+    body += JsonString(name);
+  }
+  body += "]}\n";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ApiEndpoints::GetEntity(const HttpRequest& request) {
+  if (!request.HasParam("concept")) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "missing required parameter: concept");
+  }
+  const std::string_view concept_name = request.Param("concept");
+  size_t limit = 100;
+  if (request.HasParam("limit")) {
+    const std::string limit_raw(request.Param("limit"));
+    char* end = nullptr;
+    const unsigned long long parsed =
+        std::strtoull(limit_raw.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || limit_raw.empty() ||
+        parsed == 0 || parsed > 100000) {
+      return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                           "limit must be an integer in [1, 100000]");
+    }
+    limit = static_cast<size_t>(parsed);
+  }
+  const util::Result<std::vector<std::string>> result =
+      api_->TryGetEntity(concept_name, limit);
+  if (!result.ok()) return StatusResponse(result.status());
+  std::string body = "{\"concept\":" + JsonString(concept_name) +
+                     ",\"version\":" + JsonUInt(api_->version()) +
+                     ",\"entities\":[";
+  bool first = true;
+  for (const std::string& name : *result) {
+    if (!first) body += ',';
+    first = false;
+    body += JsonString(name);
+  }
+  body += "]}\n";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ApiEndpoints::Healthz() {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  HttpResponse response;
+  response.body = "{\"status\":\"ok\",\"version\":" +
+                  JsonUInt(api_->version()) +
+                  ",\"uptime_seconds\":" + util::JsonNumber(uptime) + "}\n";
+  return response;
+}
+
+HttpResponse ApiEndpoints::Metrics() {
+  // Serving-side gauges (per-version QPS, snapshot age) only exist at
+  // export time; sync them before rendering.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  api_->ExportMetrics(&registry);
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  response.body = obs::ToPrometheusText(registry);
+  return response;
+}
+
+}  // namespace cnpb::server

@@ -1,0 +1,91 @@
+#ifndef CNPROBASE_SERVER_SERVICE_H_
+#define CNPROBASE_SERVER_SERVICE_H_
+
+#include <chrono>
+
+#include "obs/metrics.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "taxonomy/api_service.h"
+#include "util/status.h"
+
+namespace cnpb::server {
+
+// Maps HTTP requests onto the ApiService Try* APIs — the wire form of the
+// paper's three public endpoints (Table II), plus health and metrics:
+//
+//   GET /v1/men2ent?mention=M                mention -> entities (id+name)
+//   GET /v1/getConcept?entity=E[&transitive=1]   entity -> hypernym names
+//   GET /v1/getEntity?concept=C[&limit=N]        concept -> hyponym names
+//   GET /healthz                             liveness + served version
+//   GET /metrics                             Prometheus text exposition
+//
+// Responses are JSON (UTF-8). Failure is part of the contract
+// (DESIGN.md §9 has the full table):
+//
+//   ResourceExhausted -> 429 + Retry-After      (load shed)
+//   DeadlineExceeded  -> 504                    (query budget elapsed)
+//   IoError           -> 503                    (injected fault / backend)
+//   missing parameter -> 400, unknown path -> 404, non-GET/HEAD -> 405
+class ApiEndpoints {
+ public:
+  // `api` must outlive the endpoints (and the server using them).
+  explicit ApiEndpoints(taxonomy::ApiService* api);
+
+  // The HttpServer handler; safe to call concurrently from every event
+  // loop (ApiService queries are thread-safe, instruments are atomics).
+  HttpResponse Handle(const HttpRequest& request);
+
+  // Convenience: a Handler bound to this instance.
+  HttpServer::Handler AsHandler();
+
+  // Translates a non-OK Status into the wire contract above.
+  static int HttpStatusForCode(util::StatusCode code);
+
+ private:
+  HttpResponse Men2Ent(const HttpRequest& request);
+  HttpResponse GetConcept(const HttpRequest& request);
+  HttpResponse GetEntity(const HttpRequest& request);
+  HttpResponse Healthz();
+  HttpResponse Metrics();
+
+  static HttpResponse ErrorResponse(int status, util::StatusCode code,
+                                    const std::string& message);
+  static HttpResponse StatusResponse(const util::Status& status);
+
+  taxonomy::ApiService* api_;
+  const std::chrono::steady_clock::time_point started_;
+
+  // Per-endpoint wire-level instruments (the ApiService keeps its own
+  // in-process query metrics; these measure the HTTP layer around it).
+  obs::Counter* const req_men2ent_ =
+      obs::MetricsRegistry::Global().counter("http.requests.men2ent");
+  obs::Counter* const req_get_concept_ =
+      obs::MetricsRegistry::Global().counter("http.requests.get_concept");
+  obs::Counter* const req_get_entity_ =
+      obs::MetricsRegistry::Global().counter("http.requests.get_entity");
+  obs::Counter* const req_healthz_ =
+      obs::MetricsRegistry::Global().counter("http.requests.healthz");
+  obs::Counter* const req_metrics_ =
+      obs::MetricsRegistry::Global().counter("http.requests.metrics");
+  obs::Counter* const req_other_ =
+      obs::MetricsRegistry::Global().counter("http.requests.other");
+  obs::Counter* const resp_2xx_ =
+      obs::MetricsRegistry::Global().counter("http.responses.2xx");
+  obs::Counter* const resp_4xx_ =
+      obs::MetricsRegistry::Global().counter("http.responses.4xx");
+  obs::Counter* const resp_5xx_ =
+      obs::MetricsRegistry::Global().counter("http.responses.5xx");
+  obs::Counter* const resp_429_ =
+      obs::MetricsRegistry::Global().counter("http.responses.429");
+  obs::BucketHistogram* const lat_men2ent_ = obs::MetricsRegistry::Global()
+      .histogram("http.latency.men2ent_seconds");
+  obs::BucketHistogram* const lat_get_concept_ = obs::MetricsRegistry::Global()
+      .histogram("http.latency.get_concept_seconds");
+  obs::BucketHistogram* const lat_get_entity_ = obs::MetricsRegistry::Global()
+      .histogram("http.latency.get_entity_seconds");
+};
+
+}  // namespace cnpb::server
+
+#endif  // CNPROBASE_SERVER_SERVICE_H_

@@ -211,17 +211,11 @@ void ApiService::RegisterMention(std::string_view mention, NodeId entity) {
   }
 }
 
-util::Result<std::vector<NodeId>> ApiService::TryMen2Ent(
-    std::string_view mention) const {
-  men2ent_calls_.fetch_add(1, std::memory_order_relaxed);
-  obs::ScopedTimer latency(SampleQueryLatency() ? latency_men2ent_ : nullptr);
-  QueryGuard guard(*this);
-  CNPB_RETURN_IF_ERROR(guard.Admission("men2ent"));
-  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
-  const std::shared_ptr<const Version> snap = PinForQuery();
+std::vector<NodeId> ApiService::LookupMention(const Version& snap,
+                                              std::string_view mention) const {
   const std::string key(mention);
   std::vector<NodeId> out;
-  if (auto it = snap->mentions.find(key); it != snap->mentions.end()) {
+  if (auto it = snap.mentions.find(key); it != snap.mentions.end()) {
     out = it->second;
   }
   {
@@ -238,10 +232,48 @@ util::Result<std::vector<NodeId>> ApiService::TryMen2Ent(
   if (!out.empty()) {
     // Ranking reads only the pinned snapshot (ids unknown to it rank last
     // with zero hypernyms), outside any lock.
-    const Taxonomy& taxonomy = *snap->taxonomy;
+    const Taxonomy& taxonomy = *snap.taxonomy;
     std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
       return taxonomy.Hypernyms(a).size() > taxonomy.Hypernyms(b).size();
     });
+  }
+  return out;
+}
+
+util::Result<std::vector<NodeId>> ApiService::TryMen2Ent(
+    std::string_view mention) const {
+  men2ent_calls_.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedTimer latency(SampleQueryLatency() ? latency_men2ent_ : nullptr);
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission("men2ent"));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  std::vector<NodeId> out = LookupMention(*snap, mention);
+  CNPB_RETURN_IF_ERROR(guard.Deadline("men2ent"));
+  return out;
+}
+
+util::Result<ApiService::Men2EntResolved> ApiService::TryMen2EntResolved(
+    std::string_view mention) const {
+  men2ent_calls_.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedTimer latency(SampleQueryLatency() ? latency_men2ent_ : nullptr);
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission("men2ent"));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  Men2EntResolved out;
+  out.version = snap->version;
+  const Taxonomy& taxonomy = *snap->taxonomy;
+  for (const NodeId id : LookupMention(*snap, mention)) {
+    // Overlay entries registered against a later live taxonomy can carry
+    // ids this snapshot does not know; they have no name here and are
+    // dropped rather than returned half-resolved.
+    if (id >= taxonomy.num_nodes()) continue;
+    ResolvedEntity entity;
+    entity.id = id;
+    entity.name = taxonomy.Name(id);
+    entity.num_hypernyms = taxonomy.Hypernyms(id).size();
+    out.entities.push_back(std::move(entity));
   }
   CNPB_RETURN_IF_ERROR(guard.Deadline("men2ent"));
   return out;

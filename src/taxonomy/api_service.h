@@ -125,11 +125,30 @@ class ApiService {
   // call while queries are in flight.
   void RegisterMention(std::string_view mention, NodeId entity);
 
+  // men2ent answer with entity names resolved against the same pinned
+  // snapshot that produced the ids — the wire-format variant. A remote
+  // client cannot pin our snapshot between two calls the way in-process
+  // callers use CurrentTaxonomy(), so ids, names, and the version stamp
+  // must come from one coherent version (the serve-while-update chaos test
+  // relies on this).
+  struct ResolvedEntity {
+    NodeId id = kInvalidNode;
+    std::string name;
+    // Ranking key (see Men2Ent): hypernym count as a popularity proxy.
+    size_t num_hypernyms = 0;
+  };
+  struct Men2EntResolved {
+    uint64_t version = 0;  // the version every entry was resolved against
+    std::vector<ResolvedEntity> entities;
+  };
+
   // Fallible query variants — the overload-aware API. Errors:
   //   ResourceExhausted  shed by the in-flight cap
   //   DeadlineExceeded   per-query budget elapsed
   //   IoError            injected fault at api.query (chaos testing)
   util::Result<std::vector<NodeId>> TryMen2Ent(std::string_view mention) const;
+  util::Result<Men2EntResolved> TryMen2EntResolved(
+      std::string_view mention) const;
   util::Result<std::vector<std::string>> TryGetConcept(
       std::string_view entity_name, bool transitive = false) const;
   util::Result<std::vector<std::string>> TryGetEntity(
@@ -204,6 +223,11 @@ class ApiService {
 
   // Pins the current version (never null) and counts the query against it.
   std::shared_ptr<const Version> PinForQuery() const;
+
+  // Shared men2ent body: candidate ids from `snap`'s index plus the live
+  // overlay, ranked most-popular first. Ranking reads only `snap`.
+  std::vector<NodeId> LookupMention(const Version& snap,
+                                    std::string_view mention) const;
 
   // The actual swap (old Publish body); assumes admission already passed.
   uint64_t PublishInternal(std::shared_ptr<const Taxonomy> taxonomy,

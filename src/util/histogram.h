@@ -19,6 +19,8 @@ class Histogram {
 
   size_t count() const { return samples_.size(); }
   double sum() const { return sum_; }
+  // Raw samples in insertion order (e.g. to merge per-thread histograms).
+  const std::vector<double>& samples() const { return samples_; }
   double Mean() const;
   double Min() const;
   double Max() const;

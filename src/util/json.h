@@ -1,0 +1,30 @@
+#ifndef CNPROBASE_UTIL_JSON_H_
+#define CNPROBASE_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cnpb::util {
+
+// Minimal JSON *encoding* helpers shared by the metrics exporters
+// (obs/export.cc) and the HTTP serving layer (src/server/). Encoding only:
+// the project never needs to parse JSON, so there is no parser to fuzz.
+
+// `s` rendered as a JSON string literal, including the surrounding quotes.
+// '"', '\\' and the C0 control characters are escaped ('\n', '\t', '\r' get
+// their short forms, the rest "\u00XX"); everything else — in particular
+// multi-byte UTF-8 sequences — passes through byte-for-byte, so the output
+// is valid JSON for any valid-UTF-8 input.
+std::string JsonString(std::string_view s);
+
+// `value` rendered as a JSON number ("%.9g"). JSON has no NaN/Inf literals;
+// non-finite values render as "null".
+std::string JsonNumber(double value);
+
+// Unsigned integer as a JSON number (no precision loss through double).
+std::string JsonUInt(uint64_t value);
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_JSON_H_

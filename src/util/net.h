@@ -1,0 +1,55 @@
+#ifndef CNPROBASE_UTIL_NET_H_
+#define CNPROBASE_UTIL_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace cnpb::util {
+
+// Thin Status-returning wrappers over the POSIX socket calls the serving
+// layer (src/server/) needs. Everything here is loopback/TCP only — the
+// reproduction serves the paper's three public APIs over HTTP/1.1, it is
+// not a general networking library.
+
+// Ignores SIGPIPE process-wide, so a peer that disconnects mid-write
+// surfaces as an EPIPE error Status from SendSome instead of killing the
+// process. Call once from main() in any binary that writes to sockets
+// (cnprobase_serve, bench_server). Idempotent. The server/client write
+// paths additionally pass MSG_NOSIGNAL, so in-process tests are safe even
+// without this; the process-wide handler covers any other socket write.
+void IgnoreSigpipe();
+
+// Puts `fd` into non-blocking mode.
+Status SetNonBlocking(int fd);
+
+// Creates, binds and listens on a TCP socket at host:port (SO_REUSEADDR,
+// non-blocking). `host` must be a numeric IPv4 address, e.g. "127.0.0.1".
+// Pass port 0 for an ephemeral port; `*bound_port` (optional) receives the
+// actual port either way. Returns the listening fd.
+Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog,
+                      uint16_t* bound_port);
+
+// Blocking TCP connect to a numeric IPv4 host:port. Returns the connected
+// fd (blocking mode, TCP_NODELAY set — callers are request/response
+// clients, where Nagle only adds latency).
+Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+// send() with MSG_NOSIGNAL: a closed peer yields an EPIPE Status (kIoError),
+// never a SIGPIPE. Returns the number of bytes written (possibly short on a
+// non-blocking fd); 0 with an ok() status means the write would block.
+Result<size_t> SendSome(int fd, const char* data, size_t len);
+
+// recv(). Returns the number of bytes read; 0 means the peer closed the
+// connection cleanly. On a non-blocking fd, "would block" is an ok() result
+// reported through `*would_block`.
+Result<size_t> RecvSome(int fd, char* buf, size_t len, bool* would_block);
+
+// close() that swallows EINTR. Safe on -1 (no-op).
+void CloseFd(int fd);
+
+}  // namespace cnpb::util
+
+#endif  // CNPROBASE_UTIL_NET_H_

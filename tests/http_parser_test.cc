@@ -1,0 +1,247 @@
+// The malformed-request corpus for the HTTP parser: every entry must end in
+// a definite verdict — kComplete with the right fields, or kError with the
+// right 4xx — never a crash, a hang, or unbounded buffering. The server
+// answers kError with that status and closes; tests/server_test.cc checks
+// the wire side of the same contract.
+#include "server/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cnpb::server {
+namespace {
+
+using State = RequestParser::State;
+
+State FeedAll(RequestParser* parser, std::string_view bytes) {
+  return parser->Feed(bytes);
+}
+
+TEST(RequestParserTest, SimpleGet) {
+  RequestParser parser;
+  const auto state = FeedAll(
+      &parser, "GET /healthz HTTP/1.1\r\nHost: localhost\r\n\r\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().path, "/healthz");
+  EXPECT_TRUE(parser.request().keep_alive);
+  EXPECT_EQ(parser.request().Header("Host"), "localhost");
+}
+
+TEST(RequestParserTest, QueryParamsDecoded) {
+  RequestParser parser;
+  const auto state = FeedAll(&parser,
+                             "GET /v1/men2ent?mention=%E8%AF%B8%E8%91%9B%E4%"
+                             "BA%AE&x=a+b HTTP/1.1\r\nHost: h\r\n\r\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_EQ(parser.request().path, "/v1/men2ent");
+  EXPECT_EQ(parser.request().Param("mention"), "诸葛亮");
+  EXPECT_EQ(parser.request().Param("x"), "a b");
+  EXPECT_EQ(parser.request().Param("absent", "dflt"), "dflt");
+}
+
+TEST(RequestParserTest, SplitAcrossReadsByteAtATime) {
+  // Any byte split must land in the same place as one big read.
+  const std::string raw =
+      "GET /v1/getConcept?entity=%E5%88%98%E5%A4%87&transitive=1 HTTP/1.1\r\n"
+      "Host: example.com\r\nUser-Agent: split-test\r\n\r\n";
+  RequestParser parser;
+  State state = State::kNeedMore;
+  for (const char c : raw) {
+    state = parser.Feed(std::string_view(&c, 1));
+    if (state == State::kError) break;
+  }
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_EQ(parser.request().Param("entity"), "刘备");
+  EXPECT_EQ(parser.request().Param("transitive"), "1");
+  EXPECT_EQ(parser.request().Header("User-Agent"), "split-test");
+}
+
+TEST(RequestParserTest, SplitMidHeaderName) {
+  RequestParser parser;
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\nHo"), State::kNeedMore);
+  EXPECT_EQ(parser.Feed("st: exa"), State::kNeedMore);
+  EXPECT_EQ(parser.Feed("mple\r\n\r\n"), State::kComplete);
+  EXPECT_EQ(parser.request().Header("Host"), "example");
+}
+
+TEST(RequestParserTest, PipelinedRequestsParseBackToBack) {
+  RequestParser parser;
+  const auto state = FeedAll(&parser,
+                             "GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n"
+                             "GET /metrics HTTP/1.1\r\nHost: h\r\n\r\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_EQ(parser.request().path, "/healthz");
+  parser.Reset();
+  ASSERT_EQ(parser.Poll(), State::kComplete);
+  EXPECT_EQ(parser.request().path, "/metrics");
+  parser.Reset();
+  EXPECT_EQ(parser.Poll(), State::kNeedMore);
+  EXPECT_FALSE(parser.HasPartialRequest());
+}
+
+TEST(RequestParserTest, RequestWithBody) {
+  RequestParser parser;
+  const auto state = FeedAll(&parser,
+                             "POST /v1/echo HTTP/1.1\r\nHost: h\r\n"
+                             "Content-Length: 5\r\n\r\nhello");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(RequestParserTest, Http10WithoutHostAllowed) {
+  RequestParser parser;
+  const auto state = FeedAll(&parser, "GET / HTTP/1.0\r\n\r\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
+// ---------------------------------------------------------------- errors
+
+TEST(RequestParserTest, MissingHostIs400) {
+  RequestParser parser;
+  EXPECT_EQ(FeedAll(&parser, "GET / HTTP/1.1\r\n\r\n"), State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParserTest, OversizedRequestLineIs431) {
+  RequestParser::Limits limits;
+  limits.max_request_line = 128;
+  RequestParser parser(limits);
+  const std::string long_target(512, 'a');
+  EXPECT_EQ(FeedAll(&parser, "GET /" + long_target + " HTTP/1.1\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParserTest, OversizedRequestLineWithoutNewlineIs431) {
+  // The line never terminates — the parser must reject rather than buffer
+  // forever.
+  RequestParser::Limits limits;
+  limits.max_request_line = 128;
+  RequestParser parser(limits);
+  State state = State::kNeedMore;
+  for (int i = 0; i < 64 && state == State::kNeedMore; ++i) {
+    state = parser.Feed(std::string(16, 'x'));
+  }
+  ASSERT_EQ(state, State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParserTest, OversizedHeadersAre431) {
+  RequestParser::Limits limits;
+  limits.max_header_bytes = 256;
+  RequestParser parser(limits);
+  State state = parser.Feed("GET / HTTP/1.1\r\n");
+  for (int i = 0; i < 32 && state == State::kNeedMore; ++i) {
+    state = parser.Feed("X-Filler-" + std::to_string(i) + ": " +
+                        std::string(32, 'y') + "\r\n");
+  }
+  ASSERT_EQ(state, State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParserTest, TooManyHeadersAre431) {
+  RequestParser::Limits limits;
+  limits.max_headers = 4;
+  RequestParser parser(limits);
+  State state = parser.Feed("GET / HTTP/1.1\r\n");
+  for (int i = 0; i < 8 && state == State::kNeedMore; ++i) {
+    state = parser.Feed("X-" + std::to_string(i) + ": v\r\n");
+  }
+  ASSERT_EQ(state, State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(RequestParserTest, BadPercentEncodingInQueryIs400) {
+  for (const char* target :
+       {"/v1/men2ent?mention=%", "/v1/men2ent?mention=%G0",
+        "/v1/men2ent?mention=%2", "/v1/men2ent?mention=%zz",
+        "/v1/%xx/path"}) {
+    RequestParser parser;
+    const std::string raw =
+        std::string("GET ") + target + " HTTP/1.1\r\nHost: h\r\n\r\n";
+    EXPECT_EQ(FeedAll(&parser, raw), State::kError) << target;
+    EXPECT_EQ(parser.error_status(), 400) << target;
+  }
+}
+
+TEST(RequestParserTest, MalformedRequestLinesAre400) {
+  for (const char* line :
+       {"GET\r\n", "GET /\r\n", "GET / HTTP/2.0\r\n", "GET / JUNK\r\n",
+        " / HTTP/1.1\r\n", "GET noslash HTTP/1.1\r\n",
+        "G@T / HTTP/1.1\r\n"}) {
+    RequestParser parser;
+    EXPECT_EQ(FeedAll(&parser, line), State::kError) << line;
+    EXPECT_EQ(parser.error_status(), 400) << line;
+  }
+}
+
+TEST(RequestParserTest, MalformedHeaderLinesAre400) {
+  for (const char* header :
+       {"NoColonHere\r\n", ": empty-name\r\n", "Bad Header: v\r\n",
+        " folded: continuation\r\n"}) {
+    RequestParser parser;
+    const std::string raw =
+        std::string("GET / HTTP/1.1\r\n") + header + "\r\n";
+    EXPECT_EQ(FeedAll(&parser, raw), State::kError) << header;
+    EXPECT_EQ(parser.error_status(), 400) << header;
+  }
+}
+
+TEST(RequestParserTest, MalformedContentLengthIs400) {
+  for (const char* value : {"abc", "-1", "12x", "1 2"}) {
+    RequestParser parser;
+    const std::string raw = std::string("GET / HTTP/1.1\r\nHost: h\r\n") +
+                            "Content-Length: " + value + "\r\n\r\n";
+    EXPECT_EQ(FeedAll(&parser, raw), State::kError) << value;
+    EXPECT_EQ(parser.error_status(), 400) << value;
+  }
+}
+
+TEST(RequestParserTest, OversizedBodyIs413) {
+  RequestParser::Limits limits;
+  limits.max_body_bytes = 100;
+  RequestParser parser(limits);
+  EXPECT_EQ(parser.Feed("POST / HTTP/1.1\r\nHost: h\r\n"
+                        "Content-Length: 101\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(RequestParserTest, TransferEncodingRejected) {
+  RequestParser parser;
+  EXPECT_EQ(parser.Feed("POST / HTTP/1.1\r\nHost: h\r\n"
+                        "Transfer-Encoding: chunked\r\n\r\n"),
+            State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParserTest, ErrorStateIsSticky) {
+  RequestParser parser;
+  ASSERT_EQ(parser.Feed("BAD\r\n"), State::kError);
+  EXPECT_EQ(parser.Feed("GET / HTTP/1.1\r\nHost: h\r\n\r\n"), State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(RequestParserTest, BareLfLineEndingsAccepted) {
+  RequestParser parser;
+  const auto state =
+      FeedAll(&parser, "GET /healthz HTTP/1.1\nHost: h\n\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_EQ(parser.request().path, "/healthz");
+}
+
+TEST(PercentCodecTest, RoundTripsArbitraryBytes) {
+  const std::string inputs[] = {"", "plain", "a b&c=d", "诸葛亮",
+                                std::string("\x00\x01\xff", 3)};
+  for (const std::string& input : inputs) {
+    std::string decoded;
+    ASSERT_TRUE(PercentDecode(PercentEncode(input), &decoded));
+    EXPECT_EQ(decoded, input);
+  }
+}
+
+}  // namespace
+}  // namespace cnpb::server

@@ -1,0 +1,69 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace cnpb::util {
+namespace {
+
+TEST(JsonStringTest, PlainAsciiPassesThrough) {
+  EXPECT_EQ(JsonString("hello"), "\"hello\"");
+  EXPECT_EQ(JsonString(""), "\"\"");
+  EXPECT_EQ(JsonString("a b c"), "\"a b c\"");
+}
+
+TEST(JsonStringTest, QuotesAndBackslashesEscaped) {
+  EXPECT_EQ(JsonString("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(JsonString("C:\\path"), "\"C:\\\\path\"");
+}
+
+TEST(JsonStringTest, CommonControlCharsUseShortEscapes) {
+  EXPECT_EQ(JsonString("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(JsonString("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(JsonString("a\rb"), "\"a\\rb\"");
+}
+
+TEST(JsonStringTest, RemainingControlCharsUseUnicodeEscapes) {
+  EXPECT_EQ(JsonString(std::string_view("\x00", 1)), "\"\\u0000\"");
+  EXPECT_EQ(JsonString("\x01"), "\"\\u0001\"");
+  EXPECT_EQ(JsonString("\x1f"), "\"\\u001f\"");
+  // 0x20 (space) and above are literal.
+  EXPECT_EQ(JsonString(" "), "\" \"");
+  EXPECT_EQ(JsonString("\x7f"), "\"\x7f\"");  // DEL is not a C0 control
+}
+
+TEST(JsonStringTest, Utf8MultibytePassesThroughByteForByte) {
+  // 诸葛亮 (3-byte sequences) and 😀 (4-byte sequence) must survive
+  // unmodified — JSON strings carry raw UTF-8.
+  EXPECT_EQ(JsonString("诸葛亮"), "\"诸葛亮\"");
+  EXPECT_EQ(JsonString("😀"), "\"😀\"");
+  EXPECT_EQ(JsonString("中文/english mix"), "\"中文/english mix\"");
+}
+
+TEST(JsonStringTest, MixedEscapesAndUtf8) {
+  EXPECT_EQ(JsonString("刘备\n\"主公\""), "\"刘备\\n\\\"主公\\\"\"");
+}
+
+TEST(JsonNumberTest, FiniteValues) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(-2.25), "-2.25");
+  EXPECT_EQ(JsonNumber(1e100), "1e+100");
+}
+
+TEST(JsonNumberTest, NonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonUIntTest, NoPrecisionLoss) {
+  EXPECT_EQ(JsonUInt(0), "0");
+  EXPECT_EQ(JsonUInt(1234567890123456789ULL), "1234567890123456789");
+  EXPECT_EQ(JsonUInt(UINT64_MAX), "18446744073709551615");
+}
+
+}  // namespace
+}  // namespace cnpb::util

@@ -1,0 +1,369 @@
+// End-to-end tests for the HTTP serving layer: real sockets over loopback,
+// the wire contract of the three public endpoints (Table II), the
+// status→HTTP mapping under overload and injected faults, graceful drain,
+// and the SIGPIPE/early-close regression. The pure-parser corpus lives in
+// http_parser_test.cc; multi-seed chaos in server_concurrency_test.cc.
+#include "server/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/client.h"
+#include "server/http.h"
+#include "server/service.h"
+#include "taxonomy/api_service.h"
+#include "taxonomy/taxonomy.h"
+#include "util/fault_injection.h"
+#include "util/net.h"
+
+namespace cnpb::server {
+namespace {
+
+using taxonomy::ApiService;
+using taxonomy::Taxonomy;
+
+Taxonomy MakeTaxonomy() {
+  Taxonomy t;
+  t.AddIsa("刘备", "君主", taxonomy::Source::kTag, 0.9f);
+  t.AddIsa("刘备", "人物", taxonomy::Source::kTag, 0.8f);
+  t.AddIsa("曹操", "君主", taxonomy::Source::kTag, 0.9f);
+  t.AddIsa("君主", "人物", taxonomy::Source::kTag, 0.7f);
+  for (int i = 0; i < 6; ++i) {
+    t.AddIsa("entity" + std::to_string(i), "concept",
+             taxonomy::Source::kTag, 0.5f);
+  }
+  return t;
+}
+
+// One live server over a hand-built taxonomy, torn down per test.
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(HttpServer::Config config = {}) {
+    taxonomy_ = std::make_unique<Taxonomy>(MakeTaxonomy());
+    api_ = std::make_unique<ApiService>(taxonomy_.get());
+    api_->RegisterMention("主公", taxonomy_->Find("刘备"));
+    api_->RegisterMention("孟德", taxonomy_->Find("曹操"));
+    endpoints_ = std::make_unique<ApiEndpoints>(api_.get());
+    config.num_threads = 2;
+    server_ = std::make_unique<HttpServer>(config, endpoints_->AsHandler());
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  HttpClient Connect() {
+    HttpClient client;
+    EXPECT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    return client;
+  }
+
+  std::unique_ptr<Taxonomy> taxonomy_;
+  std::unique_ptr<ApiService> api_;
+  std::unique_ptr<ApiEndpoints> endpoints_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(ServerTest, Men2EntReturnsResolvedEntities) {
+  StartServer();
+  HttpClient client = Connect();
+  auto response =
+      client.Get("/v1/men2ent?mention=" + PercentEncode("主公"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->Header("Content-Type"), "application/json");
+  EXPECT_NE(response->body.find("\"刘备\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(response->body.find("\"num_hypernyms\":2"), std::string::npos);
+}
+
+TEST_F(ServerTest, GetConceptDirectAndTransitive) {
+  StartServer();
+  HttpClient client = Connect();
+  auto direct =
+      client.Get("/v1/getConcept?entity=" + PercentEncode("刘备"));
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->status, 200);
+  EXPECT_NE(direct->body.find("君主"), std::string::npos);
+
+  auto transitive = client.Get("/v1/getConcept?entity=" +
+                               PercentEncode("刘备") + "&transitive=1");
+  ASSERT_TRUE(transitive.ok());
+  EXPECT_EQ(transitive->status, 200);
+  // 人物 is both a direct hypernym and an inherited one via 君主; either
+  // way it must appear in the transitive closure.
+  EXPECT_NE(transitive->body.find("人物"), std::string::npos);
+  EXPECT_NE(transitive->body.find("\"transitive\":true"), std::string::npos);
+  EXPECT_NE(direct->body.find("\"transitive\":false"), std::string::npos);
+}
+
+TEST_F(ServerTest, GetEntityHonorsLimit) {
+  StartServer();
+  HttpClient client = Connect();
+  auto all = client.Get("/v1/getEntity?concept=concept");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->status, 200);
+  auto capped = client.Get("/v1/getEntity?concept=concept&limit=2");
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->status, 200);
+  EXPECT_LT(capped->body.size(), all->body.size());
+
+  auto bad = client.Get("/v1/getEntity?concept=concept&limit=zero");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->status, 400);
+}
+
+TEST_F(ServerTest, MissingParameterIs400) {
+  StartServer();
+  HttpClient client = Connect();
+  for (const char* target :
+       {"/v1/men2ent", "/v1/getConcept", "/v1/getEntity"}) {
+    auto response = client.Get(target);
+    ASSERT_TRUE(response.ok()) << target;
+    EXPECT_EQ(response->status, 400) << target;
+    EXPECT_NE(response->body.find("\"error\""), std::string::npos);
+  }
+}
+
+TEST_F(ServerTest, UnknownMentionIs404) {
+  StartServer();
+  HttpClient client = Connect();
+  auto response = client.Get("/v1/men2ent?mention=nonexistent");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 404);
+  EXPECT_NE(response->body.find("NOT_FOUND"), std::string::npos);
+}
+
+TEST_F(ServerTest, UnknownPathIs404AndPostIs405) {
+  StartServer();
+  HttpClient client = Connect();
+  auto missing = client.Get("/v2/nope");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  ASSERT_TRUE(client
+                  .SendRaw("POST /v1/men2ent HTTP/1.1\r\nHost: h\r\n"
+                           "Content-Length: 0\r\n\r\n")
+                  .ok());
+  auto post = client.ReadResponse();
+  ASSERT_TRUE(post.ok());
+  EXPECT_EQ(post->status, 405);
+  EXPECT_EQ(post->Header("Allow"), "GET, HEAD");
+}
+
+TEST_F(ServerTest, HealthzAndMetrics) {
+  StartServer();
+  HttpClient client = Connect();
+  auto health = client.Get("/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_NE(health->body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health->body.find("\"version\":1"), std::string::npos);
+
+  auto metrics = client.Get("/metrics");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->status, 200);
+  EXPECT_NE(std::string(metrics->Header("Content-Type")).find("text/plain"),
+            std::string::npos);
+  // The exposition carries both the API-layer and HTTP-layer instruments.
+  EXPECT_NE(metrics->body.find("api_calls_men2ent"), std::string::npos);
+  EXPECT_NE(metrics->body.find("http_requests"), std::string::npos);
+}
+
+TEST_F(ServerTest, KeepAliveServesManyRequestsOnOneConnection) {
+  StartServer();
+  HttpClient client = Connect();
+  for (int i = 0; i < 50; ++i) {
+    auto response = client.Get("/healthz");
+    ASSERT_TRUE(response.ok()) << "request " << i;
+    EXPECT_EQ(response->status, 200);
+  }
+  EXPECT_EQ(server_->stats().connections_accepted, 1u);
+  EXPECT_GE(server_->stats().requests, 50u);
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnsweredInOrder) {
+  StartServer();
+  HttpClient client = Connect();
+  ASSERT_TRUE(client
+                  .SendRaw("GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n"
+                           "GET /v1/men2ent?mention=nonexistent HTTP/1.1\r\n"
+                           "Host: h\r\n\r\n")
+                  .ok());
+  auto first = client.ReadResponse();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, 200);
+  auto second = client.ReadResponse();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, 404);
+}
+
+TEST_F(ServerTest, MalformedRequestGets400AndClose) {
+  StartServer();
+  HttpClient client = Connect();
+  ASSERT_TRUE(client.SendRaw("NONSENSE\r\n\r\n").ok());
+  auto response = client.ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 400);
+  EXPECT_EQ(response->Header("Connection"), "close");
+  EXPECT_GE(server_->stats().parse_errors, 1u);
+}
+
+TEST_F(ServerTest, OversizedRequestLineGets431) {
+  HttpServer::Config config;
+  config.parser_limits.max_request_line = 256;
+  StartServer(config);
+  HttpClient client = Connect();
+  auto response = client.Get("/v1/men2ent?mention=" + std::string(512, 'x'));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 431);
+}
+
+TEST_F(ServerTest, ConnectionTableFullAnswers503) {
+  HttpServer::Config config;
+  config.max_connections = 1;
+  StartServer(config);
+  HttpClient first = Connect();
+  auto warm = first.Get("/healthz");  // ensure the slot is occupied
+  ASSERT_TRUE(warm.ok());
+
+  HttpClient second = Connect();
+  auto overflow = second.ReadResponse();  // server answers unprompted
+  ASSERT_TRUE(overflow.ok());
+  EXPECT_EQ(overflow->status, 503);
+  EXPECT_GE(server_->stats().connections_rejected, 1u);
+
+  // The occupant keeps working.
+  auto again = first.Get("/healthz");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->status, 200);
+}
+
+TEST_F(ServerTest, LoadShedIs429WithRetryAfter) {
+  StartServer();
+  ApiService::ServingLimits limits;
+  limits.max_in_flight = 1;
+  api_->SetServingLimits(limits);
+  // Every admitted query holds its in-flight slot ~2ms. An in-process hog
+  // keeps the single slot occupied, so HTTP requests are shed regardless
+  // of how the kernel distributed the connections over the event loops
+  // (relying on overlapping wire requests alone is racy on a loaded box).
+  util::ScopedFaultInjection scoped("api.query=1:delay=2", 7);
+  std::atomic<bool> stop{false};
+  std::thread hog([&] {
+    while (!stop.load()) {
+      (void)api_->TryGetEntity("concept");
+    }
+  });
+
+  HttpClient client = Connect();
+  int shed_count = 0;
+  for (int i = 0; i < 200 && shed_count == 0; ++i) {
+    auto response = client.Get("/v1/getEntity?concept=concept");
+    ASSERT_TRUE(response.ok());
+    if (response->status == 429) {
+      // Sheds are polite 429s with backoff advice — not resets.
+      EXPECT_EQ(response->Header("Retry-After"), "1");
+      EXPECT_NE(response->body.find("RESOURCE_EXHAUSTED"),
+                std::string::npos);
+      ++shed_count;
+    } else {
+      // Landed in the gap between two hog calls and was admitted.
+      EXPECT_EQ(response->status, 200);
+    }
+  }
+  stop.store(true);
+  hog.join();
+  EXPECT_GT(shed_count, 0);
+}
+
+TEST_F(ServerTest, DeadlineExceededIs504) {
+  StartServer();
+  ApiService::ServingLimits limits;
+  limits.deadline = std::chrono::microseconds(500);
+  api_->SetServingLimits(limits);
+  util::ScopedFaultInjection scoped("api.query=1:delay=5", 7);
+
+  HttpClient client = Connect();
+  auto response = client.Get("/v1/getConcept?entity=" + PercentEncode("刘备"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 504);
+  EXPECT_NE(response->body.find("DEADLINE_EXCEEDED"), std::string::npos);
+}
+
+TEST_F(ServerTest, InjectedIoErrorIs503) {
+  StartServer();
+  util::ScopedFaultInjection scoped("api.query=1", 7);
+  HttpClient client = Connect();
+  auto response = client.Get("/v1/men2ent?mention=" + PercentEncode("主公"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 503);
+  EXPECT_NE(response->body.find("IO_ERROR"), std::string::npos);
+}
+
+TEST_F(ServerTest, GracefulDrainFinishesInFlightRequest) {
+  StartServer();
+  // The in-flight request takes ~50ms; Stop() arrives mid-query and must
+  // let it finish and flush rather than cutting the connection.
+  util::ScopedFaultInjection scoped("api.query=1:delay=50", 7);
+  std::atomic<int> status{0};
+  std::thread requester([&] {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    auto response = client.Get("/v1/getConcept?entity=" + PercentEncode("刘备"));
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    status.store(response->status);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  server_->Stop();
+  server_->Wait();
+  requester.join();
+  EXPECT_EQ(status.load(), 200);
+  EXPECT_FALSE(server_->running());
+
+  // Post-drain the listener is gone: new connections are refused.
+  HttpClient late;
+  EXPECT_FALSE(late.Connect("127.0.0.1", server_->port()).ok());
+}
+
+// The SIGPIPE regression: a client that disconnects before (or while) the
+// server writes its response must surface as EPIPE on the server side — an
+// orderly connection close — never a process-killing signal, and never
+// poison for later connections.
+TEST_F(ServerTest, EarlyCloseDoesNotKillServer) {
+  StartServer();
+  for (int i = 0; i < 10; ++i) {
+    HttpClient rude = Connect();
+    // Pipeline several /metrics requests (the largest response body) and
+    // hang up without reading a byte of the answers.
+    std::string burst;
+    for (int j = 0; j < 8; ++j) {
+      burst += "GET /metrics HTTP/1.1\r\nHost: h\r\n\r\n";
+    }
+    ASSERT_TRUE(rude.SendRaw(burst).ok());
+    rude.Close();
+  }
+  // Give the event loops a beat to hit the broken pipes.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  HttpClient polite = Connect();
+  auto response = polite.Get("/healthz");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+}
+
+TEST(SerializeResponseTest, HeadOmitsBodyButKeepsContentLength) {
+  HttpResponse response;
+  response.body = "{\"status\":\"ok\"}";
+  const std::string head = SerializeResponse(response, true, true);
+  EXPECT_NE(head.find("Content-Length: 15\r\n"), std::string::npos);
+  EXPECT_EQ(head.find("status\":\"ok"), std::string::npos);
+  const std::string full = SerializeResponse(response, true, false);
+  EXPECT_NE(full.find("status\":\"ok"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cnpb::server
