@@ -20,6 +20,12 @@
 //                           quarantining them instead of failing the load
 //   --quarantine <path>     sidecar TSV receiving the quarantined rows with
 //                           reason codes (implies row quarantining)
+//
+// Snapshot flags (DESIGN.md §10):
+//   --snapshot-out <path>   `build` also writes the zero-copy binary
+//                           snapshot (taxonomy + mention index)
+//   --snapshot-in <path>    `stats`/`query` mmap-load the binary snapshot
+//                           instead of parsing the TSV taxonomy
 // Fault injection for chaos testing is configured via the CNPB_FAULTS /
 // CNPB_FAULT_SEED environment variables (see util/fault_injection.h).
 //
@@ -41,7 +47,9 @@
 #include "synth/world.h"
 #include "taxonomy/api_service.h"
 #include "taxonomy/serialize.h"
+#include "taxonomy/snapshot.h"
 #include "taxonomy/stats.h"
+#include "taxonomy/view.h"
 #include "text/segmenter.h"
 #include "util/strings.h"
 #include "util/tsv.h"
@@ -132,6 +140,7 @@ void ServeMetricsWorkload(const kb::EncyclopediaDump& dump,
 }
 
 int Build(const std::string& dir, const std::string& metrics_out,
+          const std::string& snapshot_out,
           const kb::DumpLoadOptions& load_options) {
   kb::DumpLoadReport load_report;
   auto dump = kb::EncyclopediaDump::Load(DumpPath(dir), load_options,
@@ -177,13 +186,37 @@ int Build(const std::string& dir, const std::string& metrics_out,
       "built %s isA relations (%zu rejected by verification) -> %s\n",
       util::CommaSeparated(taxonomy.num_edges()).c_str(),
       report.verification.rejected_total(), TaxonomyPath(dir).c_str());
+  if (!snapshot_out.empty()) {
+    if (util::Status s = taxonomy::WriteSnapshot(
+            taxonomy,
+            core::CnProbaseBuilder::BuildMentionIndex(*dump, taxonomy),
+            snapshot_out);
+        !s.ok()) {
+      return Fail("write snapshot", s);
+    }
+    std::printf("wrote binary snapshot -> %s\n", snapshot_out.c_str());
+  }
   if (!metrics_out.empty()) {
     ServeMetricsWorkload(*dump, std::move(taxonomy));
   }
   return 0;
 }
 
-int Stats(const std::string& dir) {
+int Stats(const std::string& dir, const std::string& snapshot_in) {
+  if (!snapshot_in.empty()) {
+    auto snap = taxonomy::Snapshot::Load(snapshot_in);
+    if (!snap.ok()) return Fail("load snapshot", snap.status());
+    // The stats pass wants the full mutable structure; materialising from
+    // the view is the snapshot-era equivalent of the TSV parse.
+    auto materialized = taxonomy::MaterializeTaxonomy(**snap);
+    if (!materialized.ok()) {
+      return Fail("materialize snapshot", materialized.status());
+    }
+    std::printf("%s",
+                taxonomy::FormatStats(taxonomy::ComputeStats(*materialized))
+                    .c_str());
+    return 0;
+  }
   auto taxonomy = taxonomy::LoadTaxonomyWithFallback(TaxonomyPath(dir));
   if (!taxonomy.ok()) return Fail("load taxonomy", taxonomy.status());
   std::printf("%s", taxonomy::FormatStats(taxonomy::ComputeStats(*taxonomy))
@@ -191,25 +224,39 @@ int Stats(const std::string& dir) {
   return 0;
 }
 
-int Query(const std::string& dir, int argc, char** argv, int first) {
-  auto loaded = taxonomy::LoadTaxonomyWithFallback(TaxonomyPath(dir));
-  if (!loaded.ok()) return Fail("load taxonomy", loaded.status());
+int Query(const std::string& dir, const std::string& snapshot_in, int argc,
+          char** argv, int first) {
+  // Both persistence formats serve the same ServingView interface; the
+  // query loop below cannot tell which one answered.
+  std::shared_ptr<const taxonomy::ServingView> view;
+  if (!snapshot_in.empty()) {
+    auto snap = taxonomy::Snapshot::Load(snapshot_in);
+    if (!snap.ok()) return Fail("load snapshot", snap.status());
+    view = *std::move(snap);
+  } else {
+    auto loaded = taxonomy::LoadTaxonomyWithFallback(TaxonomyPath(dir));
+    if (!loaded.ok()) return Fail("load taxonomy", loaded.status());
+    view = std::make_shared<taxonomy::HeapServingView>(
+        taxonomy::Taxonomy::Freeze(std::move(*loaded)),
+        taxonomy::MentionIndex());
+  }
   for (int i = first; i < argc; ++i) {
-    const taxonomy::NodeId id = loaded->Find(argv[i]);
+    const taxonomy::NodeId id = view->Find(argv[i]);
     if (id == taxonomy::kInvalidNode) {
       std::printf("%s: not found\n", argv[i]);
       continue;
     }
     std::printf("%s:\n  hypernyms:", argv[i]);
-    for (const auto& edge : loaded->Hypernyms(id)) {
-      std::printf(" %s", loaded->Name(edge.hyper).c_str());
-    }
-    std::printf("\n  hyponyms (%zu):", loaded->Hyponyms(id).size());
+    view->VisitHypernyms(id, [&](const taxonomy::HalfEdge& edge) {
+      std::printf(" %s", std::string(view->Name(edge.node)).c_str());
+      return true;
+    });
+    std::printf("\n  hyponyms (%zu):", view->NumHyponyms(id));
     size_t shown = 0;
-    for (const auto& edge : loaded->Hyponyms(id)) {
-      if (++shown > 6) break;
-      std::printf(" %s", loaded->Name(edge.hypo).c_str());
-    }
+    view->VisitHyponyms(id, [&](const taxonomy::HalfEdge& edge) {
+      std::printf(" %s", std::string(view->Name(edge.node)).c_str());
+      return ++shown < 6;
+    });
     std::printf("\n");
   }
   return 0;
@@ -221,6 +268,8 @@ int main(int argc, char** argv) {
   // Strip `--flag <value>` options wherever they appear; the remaining
   // positional arguments keep their usual meaning.
   std::string metrics_out;
+  std::string snapshot_out;
+  std::string snapshot_in;
   kb::DumpLoadOptions load_options;
   std::vector<char*> args;
   args.reserve(argc);
@@ -228,6 +277,14 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--metrics-out" && i + 1 < argc) {
       metrics_out = argv[++i];
+      continue;
+    }
+    if (arg == "--snapshot-out" && i + 1 < argc) {
+      snapshot_out = argv[++i];
+      continue;
+    }
+    if (arg == "--snapshot-in" && i + 1 < argc) {
+      snapshot_in = argv[++i];
       continue;
     }
     if (arg == "--max-load-errors" && i + 1 < argc) {
@@ -250,7 +307,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s generate|build|stats|query <dir> [args] "
                  "[--metrics-out <base>] [--max-load-errors <n>] "
-                 "[--quarantine <path>]\n",
+                 "[--quarantine <path>] [--snapshot-out <path>] "
+                 "[--snapshot-in <path>]\n",
                  argv[0]);
     return 2;
   }
@@ -260,11 +318,11 @@ int main(int argc, char** argv) {
   if (command == "generate") {
     rc = Generate(dir, nargs > 3 ? std::atol(args[3]) : 8000);
   } else if (command == "build") {
-    rc = Build(dir, metrics_out, load_options);
+    rc = Build(dir, metrics_out, snapshot_out, load_options);
   } else if (command == "stats") {
-    rc = Stats(dir);
+    rc = Stats(dir, snapshot_in);
   } else if (command == "query") {
-    rc = Query(dir, nargs, args.data(), 3);
+    rc = Query(dir, snapshot_in, nargs, args.data(), 3);
   } else {
     std::fprintf(stderr, "unknown command: %s\n", command.c_str());
     return 2;

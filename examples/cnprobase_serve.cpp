@@ -5,6 +5,12 @@
 //   cnprobase_serve [--port P] [--host H] [--threads N] [--entities E]
 //                   [--max-in-flight M] [--deadline-us D]
 //                   [--drain-ms MS] [--metrics-out BASE]
+//                   [--snapshot-in PATH] [--snapshot-out PATH]
+//
+// --snapshot-in mmap-loads a binary snapshot (DESIGN.md §10) and serves it
+// zero-copy, skipping the build entirely — the production cold-start path.
+// --snapshot-out writes the served view as a binary snapshot after startup,
+// so a build-and-serve run leaves behind a file the next run can mmap.
 //
 //   GET /v1/men2ent?mention=M        GET /healthz
 //   GET /v1/getConcept?entity=E      GET /metrics
@@ -38,6 +44,8 @@
 #include "synth/encyclopedia_gen.h"
 #include "synth/world.h"
 #include "taxonomy/api_service.h"
+#include "taxonomy/snapshot.h"
+#include "taxonomy/view.h"
 #include "text/segmenter.h"
 #include "util/net.h"
 #include "util/strings.h"
@@ -54,7 +62,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port P] [--host H] [--threads N] [--entities E]"
                " [--max-in-flight M] [--deadline-us D] [--drain-ms MS]"
-               " [--metrics-out BASE]\n",
+               " [--metrics-out BASE] [--snapshot-in PATH]"
+               " [--snapshot-out PATH]\n",
                argv0);
   return 2;
 }
@@ -69,6 +78,8 @@ int main(int argc, char** argv) {
   size_t max_in_flight = 0;
   long deadline_us = 0;
   std::string metrics_out;
+  std::string snapshot_in;
+  std::string snapshot_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&](const char* flag) -> const char* {
@@ -96,37 +107,73 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(std::atol(next("--drain-ms")));
     } else if (arg == "--metrics-out") {
       metrics_out = next("--metrics-out");
+    } else if (arg == "--snapshot-in") {
+      snapshot_in = next("--snapshot-in");
+    } else if (arg == "--snapshot-out") {
+      snapshot_out = next("--snapshot-out");
     } else {
       return Usage(argv[0]);
     }
   }
 
-  // Build the taxonomy to serve (synthetic world — same substrate as the
-  // benches; a deployment would LoadTaxonomy from the build pipeline).
-  std::printf("building taxonomy (%zu entities)...\n", entities);
-  std::fflush(stdout);
-  synth::WorldModel::Config wc;
-  wc.num_entities = entities;
-  const synth::WorldModel world = synth::WorldModel::Generate(wc);
-  const auto output = synth::EncyclopediaGenerator::Generate(world, {});
-  text::Segmenter segmenter(&world.lexicon());
-  const auto corpus =
-      synth::CorpusGenerator::Generate(world, output.dump, segmenter, {});
-  std::vector<std::vector<std::string>> corpus_words;
-  corpus_words.reserve(corpus.sentences.size());
-  for (const auto& sentence : corpus.sentences) {
-    std::vector<std::string> words;
-    for (const auto& token : sentence) words.push_back(token.word);
-    corpus_words.push_back(std::move(words));
+  // Resolve the serving backend: mmap a binary snapshot when one is given
+  // (zero-copy cold start), otherwise build from the synthetic world — same
+  // substrate as the benches; a deployment would load its build pipeline's
+  // output either way.
+  std::shared_ptr<const taxonomy::ServingView> view;
+  if (!snapshot_in.empty()) {
+    std::printf("loading snapshot %s...\n", snapshot_in.c_str());
+    std::fflush(stdout);
+    auto snap = taxonomy::Snapshot::Load(snapshot_in);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "load snapshot failed: %s\n",
+                   snap.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("mmap-loaded %zu nodes, %zu edges, %zu mentions "
+                "(%zu bytes)\n",
+                (*snap)->num_nodes(), (*snap)->num_edges(),
+                (*snap)->num_mentions(), (*snap)->file_bytes());
+    view = *std::move(snap);
+  } else {
+    std::printf("building taxonomy (%zu entities)...\n", entities);
+    std::fflush(stdout);
+    synth::WorldModel::Config wc;
+    wc.num_entities = entities;
+    const synth::WorldModel world = synth::WorldModel::Generate(wc);
+    const auto output = synth::EncyclopediaGenerator::Generate(world, {});
+    text::Segmenter segmenter(&world.lexicon());
+    const auto corpus =
+        synth::CorpusGenerator::Generate(world, output.dump, segmenter, {});
+    std::vector<std::vector<std::string>> corpus_words;
+    corpus_words.reserve(corpus.sentences.size());
+    for (const auto& sentence : corpus.sentences) {
+      std::vector<std::string> words;
+      for (const auto& token : sentence) words.push_back(token.word);
+      corpus_words.push_back(std::move(words));
+    }
+    core::CnProbaseBuilder::Config builder_config;
+    builder_config.neural.epochs = 1;
+    builder_config.neural.max_train_samples = 1000;
+    core::CnProbaseBuilder::Report report;
+    taxonomy::Taxonomy taxonomy = core::CnProbaseBuilder::Build(
+        output.dump, world.lexicon(), corpus_words, builder_config, &report);
+    auto frozen = taxonomy::Taxonomy::Freeze(std::move(taxonomy));
+    view = std::make_shared<taxonomy::HeapServingView>(
+        frozen,
+        core::CnProbaseBuilder::BuildMentionIndex(output.dump, *frozen));
   }
-  core::CnProbaseBuilder::Config builder_config;
-  builder_config.neural.epochs = 1;
-  builder_config.neural.max_train_samples = 1000;
-  core::CnProbaseBuilder::Report report;
-  const taxonomy::Taxonomy taxonomy = core::CnProbaseBuilder::Build(
-      output.dump, world.lexicon(), corpus_words, builder_config, &report);
-  taxonomy::ApiService api(&taxonomy);
-  core::CnProbaseBuilder::RegisterMentions(output.dump, taxonomy, &api);
+  if (!snapshot_out.empty()) {
+    if (const util::Status status =
+            taxonomy::WriteSnapshot(*view, snapshot_out);
+        !status.ok()) {
+      std::fprintf(stderr, "write snapshot failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote binary snapshot -> %s\n", snapshot_out.c_str());
+  }
+  taxonomy::ApiService api(view);
   if (max_in_flight > 0 || deadline_us > 0) {
     taxonomy::ApiService::ServingLimits limits;
     limits.max_in_flight = max_in_flight;
@@ -142,15 +189,19 @@ int main(int argc, char** argv) {
   }
 
   // Sample terms that resolve non-empty, for interactive curl / smoke use.
-  for (const auto& page : output.dump.pages()) {
-    if (taxonomy.Find(page.name) == taxonomy::kInvalidNode) continue;
-    const auto concepts = api.GetConcept(page.name);
-    if (concepts.empty()) continue;
+  // Walks the served view's own mention index, so it works identically for
+  // built and snapshot-backed runs.
+  view->VisitMentions([&](std::string_view mention,
+                          const taxonomy::NodeId* ids, size_t num_ids) {
+    if (num_ids == 0) return true;
+    const std::string entity(view->Name(ids[0]));
+    const auto concepts = api.GetConcept(entity);
+    if (concepts.empty()) return true;
     std::printf("sample_mention=%s\nsample_entity=%s\nsample_concept=%s\n",
-                page.mention.c_str(), page.name.c_str(),
+                std::string(mention).c_str(), entity.c_str(),
                 concepts.front().c_str());
-    break;
-  }
+    return false;
+  });
   std::printf("listening on http://%s:%u (threads=%d, version=%llu)\n",
               config.host.c_str(), unsigned{httpd.port()},
               config.num_threads,

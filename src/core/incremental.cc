@@ -10,6 +10,7 @@
 #include "obs/metrics.h"
 #include "taxonomy/api_service.h"
 #include "taxonomy/serialize.h"
+#include "taxonomy/snapshot.h"
 #include "util/retry.h"
 #include "util/timer.h"
 
@@ -235,6 +236,22 @@ util::Status IncrementalUpdater::SaveSnapshot(const std::string& path) const {
   const util::RetryResult result = util::RetryWithBackoff(
       util::RetryOptions{},
       [&] { return taxonomy::SaveTaxonomyDurable(*taxonomy_, path); });
+  if (result.attempts > 1) {
+    obs::MetricsRegistry::Global()
+        .counter("incremental.snapshot_retries")
+        ->Increment(result.attempts - 1);
+  }
+  return result.status;
+}
+
+util::Status IncrementalUpdater::SaveBinarySnapshot(
+    const std::string& path) const {
+  const util::RetryResult result =
+      util::RetryWithBackoff(util::RetryOptions{}, [&] {
+        return taxonomy::WriteSnapshot(
+            *taxonomy_,
+            CnProbaseBuilder::BuildMentionIndex(dump_, *taxonomy_), path);
+      });
   if (result.attempts > 1) {
     obs::MetricsRegistry::Global()
         .counter("incremental.snapshot_retries")

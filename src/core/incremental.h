@@ -79,6 +79,12 @@ class IncrementalUpdater {
   // taxonomy::LoadTaxonomyWithFallback for crash recovery.
   util::Status SaveSnapshot(const std::string& path) const;
 
+  // Persists the current snapshot in the zero-copy binary format
+  // (taxonomy/snapshot.h), mention index included, so a server can mmap it
+  // straight into serving. Atomic write, retried like SaveSnapshot; the TSV
+  // save remains the durable fallback format.
+  util::Status SaveBinarySnapshot(const std::string& path) const;
+
   const taxonomy::Taxonomy& taxonomy() const { return *taxonomy_; }
   // The current frozen snapshot (replaced wholesale by each ApplyBatch;
   // safe to hold across batches and to serve from concurrently).

@@ -92,7 +92,8 @@ class QueryGuard {
 
 ApiService::ApiService(const Taxonomy* taxonomy) {
   CNPB_CHECK(taxonomy != nullptr);
-  Publish(util::UnownedSnapshot(taxonomy), MentionIndex());
+  Publish(std::make_shared<HeapServingView>(util::UnownedSnapshot(taxonomy),
+                                            MentionIndex()));
 }
 
 ApiService::ApiService(std::shared_ptr<const Taxonomy> taxonomy,
@@ -100,12 +101,15 @@ ApiService::ApiService(std::shared_ptr<const Taxonomy> taxonomy,
   Publish(std::move(taxonomy), std::move(mentions));
 }
 
-uint64_t ApiService::Publish(std::shared_ptr<const Taxonomy> taxonomy,
-                             MentionIndex mentions) {
-  CNPB_CHECK(taxonomy != nullptr);
+ApiService::ApiService(std::shared_ptr<const ServingView> view) {
+  Publish(std::move(view));
+}
+
+uint64_t ApiService::Publish(std::shared_ptr<const ServingView> view) {
+  CNPB_CHECK(view != nullptr);
   // Publish contention (real or injected at the api.publish fault point) is
   // transient by definition: back off and retry rather than drop an update.
-  // The arguments are only consumed on the successful attempt.
+  // The argument is only consumed on the successful attempt.
   util::RetryOptions options;
   options.max_attempts = 16;
   uint64_t version = 0;
@@ -116,7 +120,7 @@ uint64_t ApiService::Publish(std::shared_ptr<const Taxonomy> taxonomy,
           return util::ResourceExhaustedError("publish contention: " +
                                               fault.message());
         }
-        version = PublishInternal(std::move(taxonomy), std::move(mentions));
+        version = PublishInternal(std::move(view));
         return util::Status::Ok();
       });
   if (result.attempts > 1) {
@@ -128,15 +132,29 @@ uint64_t ApiService::Publish(std::shared_ptr<const Taxonomy> taxonomy,
   return version;
 }
 
-util::Result<uint64_t> ApiService::TryPublish(
-    std::shared_ptr<const Taxonomy> taxonomy, MentionIndex mentions) {
+uint64_t ApiService::Publish(std::shared_ptr<const Taxonomy> taxonomy,
+                             MentionIndex mentions) {
   CNPB_CHECK(taxonomy != nullptr);
+  return Publish(std::make_shared<HeapServingView>(std::move(taxonomy),
+                                                   std::move(mentions)));
+}
+
+util::Result<uint64_t> ApiService::TryPublish(
+    std::shared_ptr<const ServingView> view) {
+  CNPB_CHECK(view != nullptr);
   const util::Status fault = util::CheckFault("api.publish");
   if (!fault.ok()) {
     return util::ResourceExhaustedError("publish contention: " +
                                         fault.message());
   }
-  return PublishInternal(std::move(taxonomy), std::move(mentions));
+  return PublishInternal(std::move(view));
+}
+
+util::Result<uint64_t> ApiService::TryPublish(
+    std::shared_ptr<const Taxonomy> taxonomy, MentionIndex mentions) {
+  CNPB_CHECK(taxonomy != nullptr);
+  return TryPublish(std::make_shared<HeapServingView>(std::move(taxonomy),
+                                                      std::move(mentions)));
 }
 
 void ApiService::SetServingLimits(const ServingLimits& limits) {
@@ -155,8 +173,7 @@ ApiService::ServingLimits ApiService::serving_limits() const {
   return limits;
 }
 
-uint64_t ApiService::PublishInternal(std::shared_ptr<const Taxonomy> taxonomy,
-                                     MentionIndex mentions) {
+uint64_t ApiService::PublishInternal(std::shared_ptr<const ServingView> view) {
   // The publish-swap latency covers the whole critical path a reader could
   // be affected by: version assembly, overlay clear, and the pointer swap.
   obs::ScopedTimer publish_timer(publish_latency_);
@@ -164,8 +181,7 @@ uint64_t ApiService::PublishInternal(std::shared_ptr<const Taxonomy> taxonomy,
   // Build the whole version entry off to the side; readers keep serving the
   // previous version until the single release-ordered swap below.
   auto next = std::make_shared<Version>();
-  next->taxonomy = std::move(taxonomy);
-  next->mentions = std::move(mentions);
+  next->view = std::move(view);
   next->queries = std::make_shared<std::atomic<uint64_t>>(0);
 
   std::lock_guard<std::mutex> lock(publish_mu_);
@@ -178,8 +194,8 @@ uint64_t ApiService::PublishInternal(std::shared_ptr<const Taxonomy> taxonomy,
   }
   VersionRecord record;
   record.version = next->version;
-  record.num_edges = next->taxonomy->num_edges();
-  record.num_mentions = next->mentions.size();
+  record.num_edges = next->view->num_edges();
+  record.num_mentions = next->view->num_mentions();
   record.queries = next->queries;
   record.published_at = now;
   history_.push_back(std::move(record));
@@ -213,14 +229,10 @@ void ApiService::RegisterMention(std::string_view mention, NodeId entity) {
 
 std::vector<NodeId> ApiService::LookupMention(const Version& snap,
                                               std::string_view mention) const {
-  const std::string key(mention);
-  std::vector<NodeId> out;
-  if (auto it = snap.mentions.find(key); it != snap.mentions.end()) {
-    out = it->second;
-  }
+  std::vector<NodeId> out = snap.view->MentionCandidates(mention);
   {
     std::shared_lock<std::shared_mutex> lock(overlay_mu_);
-    auto it = overlay_.find(key);
+    auto it = overlay_.find(std::string(mention));
     if (it != overlay_.end()) {
       for (const NodeId id : it->second) {
         if (std::find(out.begin(), out.end(), id) == out.end()) {
@@ -232,9 +244,9 @@ std::vector<NodeId> ApiService::LookupMention(const Version& snap,
   if (!out.empty()) {
     // Ranking reads only the pinned snapshot (ids unknown to it rank last
     // with zero hypernyms), outside any lock.
-    const Taxonomy& taxonomy = *snap.taxonomy;
+    const ServingView& view = *snap.view;
     std::stable_sort(out.begin(), out.end(), [&](NodeId a, NodeId b) {
-      return taxonomy.Hypernyms(a).size() > taxonomy.Hypernyms(b).size();
+      return view.NumHypernyms(a) > view.NumHypernyms(b);
     });
   }
   return out;
@@ -263,16 +275,16 @@ util::Result<ApiService::Men2EntResolved> ApiService::TryMen2EntResolved(
   const std::shared_ptr<const Version> snap = PinForQuery();
   Men2EntResolved out;
   out.version = snap->version;
-  const Taxonomy& taxonomy = *snap->taxonomy;
+  const ServingView& view = *snap->view;
   for (const NodeId id : LookupMention(*snap, mention)) {
     // Overlay entries registered against a later live taxonomy can carry
     // ids this snapshot does not know; they have no name here and are
     // dropped rather than returned half-resolved.
-    if (id >= taxonomy.num_nodes()) continue;
+    if (id >= view.num_nodes()) continue;
     ResolvedEntity entity;
     entity.id = id;
-    entity.name = taxonomy.Name(id);
-    entity.num_hypernyms = taxonomy.Hypernyms(id).size();
+    entity.name = std::string(view.Name(id));
+    entity.num_hypernyms = view.NumHypernyms(id);
     out.entities.push_back(std::move(entity));
   }
   CNPB_RETURN_IF_ERROR(guard.Deadline("men2ent"));
@@ -297,29 +309,34 @@ util::Result<std::vector<std::string>> ApiService::TryGetConcept(
   CNPB_RETURN_IF_ERROR(guard.Admission("get_concept"));
   CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
   const std::shared_ptr<const Version> snap = PinForQuery();
-  const Taxonomy& taxonomy = *snap->taxonomy;
-  const NodeId id = taxonomy.Find(entity_name);
+  const ServingView& view = *snap->view;
+  const NodeId id = view.Find(entity_name);
   if (id == kInvalidNode) {
     CNPB_RETURN_IF_ERROR(guard.Deadline("get_concept"));
     return std::vector<std::string>();
   }
   // Rank by edge confidence (source prior), most trustworthy first.
-  std::vector<IsaEdge> edges = taxonomy.Hypernyms(id);
+  std::vector<HalfEdge> edges;
+  edges.reserve(view.NumHypernyms(id));
+  view.VisitHypernyms(id, [&](const HalfEdge& edge) {
+    edges.push_back(edge);
+    return true;
+  });
   std::stable_sort(edges.begin(), edges.end(),
-                   [](const IsaEdge& a, const IsaEdge& b) {
+                   [](const HalfEdge& a, const HalfEdge& b) {
                      return a.score > b.score;
                    });
   std::vector<std::string> out;
   out.reserve(edges.size());
   std::unordered_set<NodeId> direct;
-  for (const IsaEdge& edge : edges) {
-    out.push_back(taxonomy.Name(edge.hyper));
-    direct.insert(edge.hyper);
+  for (const HalfEdge& edge : edges) {
+    out.push_back(std::string(view.Name(edge.node)));
+    direct.insert(edge.node);
   }
   if (transitive) {
-    for (const NodeId ancestor : taxonomy.TransitiveHypernyms(id)) {
+    for (const NodeId ancestor : view.TransitiveHypernyms(id)) {
       if (direct.count(ancestor) == 0) {
-        out.push_back(taxonomy.Name(ancestor));
+        out.push_back(std::string(view.Name(ancestor)));
       }
     }
   }
@@ -346,14 +363,15 @@ util::Result<std::vector<std::string>> ApiService::TryGetEntity(
   CNPB_RETURN_IF_ERROR(guard.Admission("get_entity"));
   CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
   const std::shared_ptr<const Version> snap = PinForQuery();
-  const Taxonomy& taxonomy = *snap->taxonomy;
-  const NodeId id = taxonomy.Find(concept_name);
+  const ServingView& view = *snap->view;
+  const NodeId id = view.Find(concept_name);
   std::vector<std::string> out;
   if (id != kInvalidNode) {
-    for (const IsaEdge& edge : taxonomy.Hyponyms(id)) {
-      if (out.size() >= limit) break;
-      out.push_back(taxonomy.Name(edge.hypo));
-    }
+    view.VisitHyponyms(id, [&](const HalfEdge& edge) {
+      if (out.size() >= limit) return false;
+      out.push_back(std::string(view.Name(edge.node)));
+      return out.size() < limit;
+    });
   }
   CNPB_RETURN_IF_ERROR(guard.Deadline("get_entity"));
   return out;
@@ -369,8 +387,12 @@ std::vector<std::string> ApiService::GetEntity(std::string_view concept_name,
   return *std::move(result);
 }
 
+std::shared_ptr<const ServingView> ApiService::CurrentView() const {
+  return snapshot_.Acquire()->view;
+}
+
 std::shared_ptr<const Taxonomy> ApiService::CurrentTaxonomy() const {
-  return snapshot_.Acquire()->taxonomy;
+  return snapshot_.Acquire()->view->AsTaxonomy();
 }
 
 uint64_t ApiService::version() const { return snapshot_.Acquire()->version; }
@@ -452,9 +474,9 @@ void ApiService::ResetUsage() {
 size_t ApiService::num_mentions() const {
   const std::shared_ptr<const Version> snap = snapshot_.Acquire();
   std::shared_lock<std::shared_mutex> lock(overlay_mu_);
-  size_t count = snap->mentions.size();
+  size_t count = snap->view->num_mentions();
   for (const auto& [mention, ids] : overlay_) {
-    if (snap->mentions.find(mention) == snap->mentions.end()) ++count;
+    if (!snap->view->HasMention(mention)) ++count;
   }
   return count;
 }

@@ -14,6 +14,7 @@
 
 #include "obs/metrics.h"
 #include "taxonomy/taxonomy.h"
+#include "taxonomy/view.h"
 #include "util/snapshot.h"
 
 namespace cnpb::taxonomy {
@@ -51,10 +52,15 @@ namespace cnpb::taxonomy {
 // The legacy vector APIs degrade to an empty result on those errors (and
 // count them in api.degraded), so existing callers keep working. With no
 // limits configured both checks cost one relaxed load each.
+// Serving backends: each published version wraps one immutable ServingView
+// (see view.h) — either a HeapServingView (frozen Taxonomy + mention index)
+// or an mmap-backed Snapshot (snapshot.h). All query paths read only the
+// view interface, so the two backends answer identically.
 class ApiService {
  public:
   // mention -> candidate entity nodes, as built for one taxonomy version.
-  using MentionIndex = std::unordered_map<std::string, std::vector<NodeId>>;
+  // (Alias of taxonomy::MentionIndex, kept for existing callers.)
+  using MentionIndex = ::cnpb::taxonomy::MentionIndex;
 
   // A plain snapshot of the call counters (see usage()).
   struct UsageStats {
@@ -98,19 +104,27 @@ class ApiService {
   explicit ApiService(std::shared_ptr<const Taxonomy> taxonomy,
                       MentionIndex mentions = MentionIndex());
 
-  // Atomically publishes a new taxonomy version together with its rebuilt
-  // mention index: builds the version entry off to the side, then installs
-  // it with one release-ordered swap. In-flight queries keep whichever they
-  // pinned; later queries observe the new one. The live RegisterMention
-  // overlay is cleared (the rebuilt index supersedes it). Returns the new
-  // version number (monotonically increasing from 1). Safe to call
-  // concurrently with queries; concurrent publishers are serialised.
+  // Serves directly from any backend — typically a Snapshot freshly
+  // mmap-loaded from disk (zero-copy cold start), or a HeapServingView.
+  explicit ApiService(std::shared_ptr<const ServingView> view);
+
+  // Atomically publishes a new serving version: builds the version entry
+  // off to the side, then installs it with one release-ordered swap.
+  // In-flight queries keep whichever they pinned; later queries observe the
+  // new one. The live RegisterMention overlay is cleared (the published
+  // view supersedes it). Returns the new version number (monotonically
+  // increasing from 1). Safe to call concurrently with queries; concurrent
+  // publishers are serialised.
+  uint64_t Publish(std::shared_ptr<const ServingView> view);
+
+  // Convenience: wraps (taxonomy, mentions) in a HeapServingView.
   uint64_t Publish(std::shared_ptr<const Taxonomy> taxonomy,
                    MentionIndex mentions);
 
   // Fallible publish: fails with ResourceExhausted under (injected)
   // contention on the `api.publish` fault point. Publish() wraps this in a
   // util::Retry exponential backoff, which is what callers normally want.
+  util::Result<uint64_t> TryPublish(std::shared_ptr<const ServingView> view);
   util::Result<uint64_t> TryPublish(std::shared_ptr<const Taxonomy> taxonomy,
                                     MentionIndex mentions);
 
@@ -169,8 +183,12 @@ class ApiService {
   std::vector<std::string> GetEntity(std::string_view concept_name,
                                      size_t limit = 100) const;
 
-  // Pins and returns the currently served taxonomy version (clients that
-  // need several coherent lookups should query this snapshot directly).
+  // Pins and returns the currently served view (clients that need several
+  // coherent lookups should query this snapshot directly).
+  std::shared_ptr<const ServingView> CurrentView() const;
+
+  // Pins the current version and returns its heap Taxonomy — null when the
+  // served backend is an mmap snapshot (use CurrentView there).
   std::shared_ptr<const Taxonomy> CurrentTaxonomy() const;
 
   // Version number of the currently served snapshot.
@@ -202,8 +220,7 @@ class ApiService {
   // One published, immutable serving version. `queries` is shared with the
   // stats history so counts survive the version being retired.
   struct Version {
-    std::shared_ptr<const Taxonomy> taxonomy;
-    MentionIndex mentions;
+    std::shared_ptr<const ServingView> view;
     uint64_t version = 0;
     std::shared_ptr<std::atomic<uint64_t>> queries;
     std::chrono::steady_clock::time_point published_at;
@@ -230,8 +247,7 @@ class ApiService {
                                     std::string_view mention) const;
 
   // The actual swap (old Publish body); assumes admission already passed.
-  uint64_t PublishInternal(std::shared_ptr<const Taxonomy> taxonomy,
-                           MentionIndex mentions);
+  uint64_t PublishInternal(std::shared_ptr<const ServingView> view);
 
   util::SnapshotHolder<Version> snapshot_;
 

@@ -3,6 +3,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/atomic_file.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
@@ -117,12 +118,24 @@ util::Result<Taxonomy> LoadTaxonomy(const std::string& path) {
 }
 
 util::Result<Taxonomy> LoadTaxonomyWithFallback(const std::string& path) {
+  // Which path actually served the load is operationally significant (a
+  // fallback means the primary is damaged), so both outcomes are counted
+  // and logged, not just the degraded one.
+  auto& registry = obs::MetricsRegistry::Global();
   auto primary = LoadTaxonomy(path);
-  if (primary.ok()) return primary;
+  if (primary.ok()) {
+    registry.counter("kb.load.taxonomy.primary")->Increment();
+    CNPB_LOG(Info) << "loaded taxonomy from primary " << path;
+    return primary;
+  }
   // Fall back only for corruption/IO, and only when a last-good exists;
   // otherwise surface the primary error untouched.
   auto fallback = LoadTaxonomy(path + ".bak");
-  if (!fallback.ok()) return primary.status();
+  if (!fallback.ok()) {
+    registry.counter("kb.load.taxonomy.failed")->Increment();
+    return primary.status();
+  }
+  registry.counter("kb.load.taxonomy.fallback")->Increment();
   CNPB_LOG(Warning) << "loaded last-good snapshot " << path << ".bak after: "
                     << primary.status().ToString();
   return fallback;

@@ -1,0 +1,735 @@
+#include "taxonomy/snapshot.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <functional>
+#include <numeric>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/atomic_file.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/snapshot.h"
+#include "util/strings.h"
+#include "util/timer.h"
+
+namespace cnpb::taxonomy {
+
+namespace {
+
+// Fixed header field offsets (bytes from the start of the file).
+constexpr size_t kOffMagic = 0;
+constexpr size_t kOffVersion = 8;
+constexpr size_t kOffSectionCount = 12;
+constexpr size_t kOffNumNodes = 16;
+constexpr size_t kOffNumMentions = 20;
+constexpr size_t kOffNumEdges = 24;
+constexpr size_t kOffTotalSize = 32;
+constexpr size_t kOffHeaderCrc = 40;
+
+// Section ids, in file order.
+enum SectionId : uint32_t {
+  kKinds = 0,
+  kNameOffsets,
+  kNameBytes,
+  kNameSorted,
+  kHyperRows,
+  kHyperTargets,
+  kHyperSources,
+  kHyperScores,
+  kHypoRows,
+  kHypoTargets,
+  kHypoSources,
+  kHypoScores,
+  kMentionOffsets,
+  kMentionBytes,
+  kMentionRows,
+  kMentionIds,
+};
+
+constexpr size_t Align8(size_t x) { return (x + 7) & ~size_t{7}; }
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+void PutPod(std::string* out, size_t offset, T value) {
+  std::memcpy(out->data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T GetPod(const uint8_t* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+// The one mutable edge representation the writer needs: the canonical global
+// sequence (hypernym rows in node-id order), from which both CSRs derive.
+struct FlatEdge {
+  NodeId hypo = kInvalidNode;
+  NodeId hyper = kInvalidNode;
+  uint8_t source = 0;
+  float score = 1.0f;
+};
+
+}  // namespace
+
+std::string SerializeSnapshot(const ServingView& view) {
+  const size_t n = view.num_nodes();
+  std::array<std::string, kSnapshotSectionCount> sections;
+
+  // Nodes: kinds, the name arena with its offset index, and the name-sorted
+  // id permutation that backs binary-search Find.
+  sections[kKinds].reserve(n);
+  sections[kNameOffsets].reserve((n + 1) * sizeof(uint64_t));
+  uint64_t name_offset = 0;
+  AppendPod<uint64_t>(&sections[kNameOffsets], 0);
+  for (NodeId id = 0; id < n; ++id) {
+    sections[kKinds].push_back(
+        static_cast<char>(static_cast<uint8_t>(view.Kind(id))));
+    const std::string_view name = view.Name(id);
+    sections[kNameBytes].append(name);
+    name_offset += name.size();
+    AppendPod<uint64_t>(&sections[kNameOffsets], name_offset);
+  }
+  std::vector<NodeId> sorted(n);
+  std::iota(sorted.begin(), sorted.end(), NodeId{0});
+  std::sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+    return view.Name(a) < view.Name(b);
+  });
+  for (const NodeId id : sorted) AppendPod<uint32_t>(&sections[kNameSorted], id);
+
+  // Canonical edge sequence (see header comment): the hypernym CSR is the
+  // sequence itself, the hyponym CSR replays it bucketed by hypernym. Both
+  // are derived here — never from VisitHyponyms — so a freshly built
+  // taxonomy and a TSV-reloaded one serialize to identical bytes.
+  std::vector<FlatEdge> edges;
+  edges.reserve(view.num_edges());
+  AppendPod<uint64_t>(&sections[kHyperRows], 0);
+  for (NodeId id = 0; id < n; ++id) {
+    view.VisitHypernyms(id, [&](const HalfEdge& edge) {
+      edges.push_back(FlatEdge{static_cast<NodeId>(id), edge.node,
+                               static_cast<uint8_t>(edge.source), edge.score});
+      return true;
+    });
+    AppendPod<uint64_t>(&sections[kHyperRows],
+                        static_cast<uint64_t>(edges.size()));
+  }
+  const uint64_t num_edges = edges.size();
+  for (const FlatEdge& edge : edges) {
+    AppendPod<uint32_t>(&sections[kHyperTargets], edge.hyper);
+    sections[kHyperSources].push_back(static_cast<char>(edge.source));
+    AppendPod<float>(&sections[kHyperScores], edge.score);
+  }
+  std::vector<uint64_t> hypo_rows(n + 1, 0);
+  for (const FlatEdge& edge : edges) ++hypo_rows[edge.hyper + 1];
+  for (size_t i = 1; i <= n; ++i) hypo_rows[i] += hypo_rows[i - 1];
+  std::vector<NodeId> hypo_targets(edges.size());
+  std::string hypo_sources(edges.size(), '\0');
+  std::vector<float> hypo_scores(edges.size());
+  std::vector<uint64_t> cursor(hypo_rows.begin(), hypo_rows.end());
+  for (const FlatEdge& edge : edges) {
+    const uint64_t pos = cursor[edge.hyper]++;
+    hypo_targets[pos] = edge.hypo;
+    hypo_sources[pos] = static_cast<char>(edge.source);
+    hypo_scores[pos] = edge.score;
+  }
+  for (const uint64_t row : hypo_rows) AppendPod<uint64_t>(&sections[kHypoRows], row);
+  for (const NodeId id : hypo_targets) AppendPod<uint32_t>(&sections[kHypoTargets], id);
+  sections[kHypoSources] = std::move(hypo_sources);
+  for (const float score : hypo_scores) AppendPod<float>(&sections[kHypoScores], score);
+
+  // Mentions arrive in lexicographic order (the VisitMentions contract),
+  // which is exactly the order the loader's binary search requires.
+  uint64_t mention_offset = 0;
+  uint64_t mention_ids = 0;
+  uint64_t num_mentions = 0;
+  AppendPod<uint64_t>(&sections[kMentionOffsets], 0);
+  AppendPod<uint64_t>(&sections[kMentionRows], 0);
+  view.VisitMentions(
+      [&](std::string_view mention, const NodeId* ids, size_t num_ids) {
+        sections[kMentionBytes].append(mention);
+        mention_offset += mention.size();
+        AppendPod<uint64_t>(&sections[kMentionOffsets], mention_offset);
+        for (size_t i = 0; i < num_ids; ++i) {
+          AppendPod<uint32_t>(&sections[kMentionIds], ids[i]);
+        }
+        mention_ids += num_ids;
+        AppendPod<uint64_t>(&sections[kMentionRows], mention_ids);
+        ++num_mentions;
+        return true;
+      });
+
+  // Layout: sections at ascending 8-aligned offsets right after the prelude,
+  // zero padding in the gaps, no trailing padding.
+  std::array<uint64_t, kSnapshotSectionCount> offsets;
+  size_t pos = SnapshotPreludeSize();
+  for (uint32_t i = 0; i < kSnapshotSectionCount; ++i) {
+    pos = Align8(pos);
+    offsets[i] = pos;
+    pos += sections[i].size();
+  }
+  const size_t total_size = pos;
+
+  std::string out(total_size, '\0');
+  std::memcpy(out.data() + kOffMagic, kSnapshotMagic.data(),
+              kSnapshotMagic.size());
+  PutPod<uint32_t>(&out, kOffVersion, kSnapshotFormatVersion);
+  PutPod<uint32_t>(&out, kOffSectionCount, kSnapshotSectionCount);
+  PutPod<uint32_t>(&out, kOffNumNodes, static_cast<uint32_t>(n));
+  PutPod<uint32_t>(&out, kOffNumMentions, static_cast<uint32_t>(num_mentions));
+  PutPod<uint64_t>(&out, kOffNumEdges, num_edges);
+  PutPod<uint64_t>(&out, kOffTotalSize, static_cast<uint64_t>(total_size));
+  for (uint32_t i = 0; i < kSnapshotSectionCount; ++i) {
+    std::memcpy(out.data() + offsets[i], sections[i].data(),
+                sections[i].size());
+    const size_t entry = kSnapshotHeaderSize + i * kSnapshotSectionEntrySize;
+    PutPod<uint32_t>(&out, entry, i);
+    PutPod<uint32_t>(&out, entry + 4, util::Crc32c(sections[i]));
+    PutPod<uint64_t>(&out, entry + 8, offsets[i]);
+    PutPod<uint64_t>(&out, entry + 16,
+                     static_cast<uint64_t>(sections[i].size()));
+  }
+  // The CRC field is still zero here, which is exactly the state the header
+  // CRC is defined over.
+  PutPod<uint32_t>(&out, kOffHeaderCrc,
+                   util::Crc32c(std::string_view(out.data(),
+                                                SnapshotPreludeSize())));
+  return out;
+}
+
+util::Status WriteSnapshot(const ServingView& view, const std::string& path) {
+  util::AtomicWriteOptions options;
+  options.checksum_footer = false;  // per-section CRCs supersede the footer
+  options.fault_prefix = "snapshot";
+  util::AtomicFileWriter writer(path, options);
+  writer.Append(SerializeSnapshot(view));
+  return writer.Commit();
+}
+
+util::Status WriteSnapshot(const Taxonomy& taxonomy, MentionIndex mentions,
+                           const std::string& path) {
+  const HeapServingView view(util::UnownedSnapshot(&taxonomy),
+                             std::move(mentions));
+  return WriteSnapshot(view, path);
+}
+
+util::Result<std::shared_ptr<const Snapshot>> Snapshot::Load(
+    const std::string& path) {
+  auto& registry = obs::MetricsRegistry::Global();
+  obs::ScopedTimer timer(registry.histogram("snapshot.load.seconds"));
+  auto fail = [&registry](util::Status status) {
+    registry.counter("snapshot.load.error")->Increment();
+    return status;
+  };
+  // Mirrors taxonomy.load.read so fault-injection harnesses can starve both
+  // persistence paths the same way.
+  if (util::Status fault = util::CheckFault("snapshot.load.read"); !fault.ok()) {
+    return fail(std::move(fault));
+  }
+  util::Result<util::MmapFile> file = util::MmapFile::Open(path);
+  if (!file.ok()) return fail(file.status());
+  std::shared_ptr<Snapshot> snapshot(new Snapshot());
+  snapshot->file_ = std::move(file).value();
+  if (util::Status status = snapshot->Init(); !status.ok()) {
+    return fail(std::move(status));
+  }
+  registry.counter("snapshot.load.ok")->Increment();
+  return std::shared_ptr<const Snapshot>(std::move(snapshot));
+}
+
+util::Status Snapshot::Init() {
+  const uint8_t* base = file_.data();
+  const size_t file_size = file_.size();
+  if (file_size == 0) {
+    return util::InvalidArgumentError("empty snapshot file: " + path());
+  }
+  if (file_size < kSnapshotHeaderSize ||
+      std::memcmp(base + kOffMagic, kSnapshotMagic.data(),
+                  kSnapshotMagic.size()) != 0) {
+    return util::InvalidArgumentError("not a snapshot file (bad magic): " +
+                                      path());
+  }
+  const uint32_t version = GetPod<uint32_t>(base + kOffVersion);
+  if (version != kSnapshotFormatVersion) {
+    return util::InvalidArgumentError(
+        util::StrFormat("unsupported snapshot format version %u: %s", version,
+                        path().c_str()));
+  }
+  if (GetPod<uint32_t>(base + kOffSectionCount) != kSnapshotSectionCount) {
+    return util::InvalidArgumentError("bad snapshot section count: " + path());
+  }
+  if (file_size < SnapshotPreludeSize()) {
+    return util::DataLossError("snapshot truncated inside section table: " +
+                               path());
+  }
+  // The header CRC seals the counts and the whole section table, so every
+  // offset/size/section-CRC used below is integrity-checked before use.
+  std::string prelude(reinterpret_cast<const char*>(base),
+                      SnapshotPreludeSize());
+  const uint32_t stored_header_crc = GetPod<uint32_t>(base + kOffHeaderCrc);
+  PutPod<uint32_t>(&prelude, kOffHeaderCrc, 0);
+  if (util::Crc32c(prelude) != stored_header_crc) {
+    return util::DataLossError("snapshot header crc mismatch: " + path());
+  }
+  num_nodes_ = GetPod<uint32_t>(base + kOffNumNodes);
+  num_mentions_ = GetPod<uint32_t>(base + kOffNumMentions);
+  num_edges_ = GetPod<uint64_t>(base + kOffNumEdges);
+  const uint64_t stated_size = GetPod<uint64_t>(base + kOffTotalSize);
+  if (stated_size != file_size) {
+    return util::DataLossError(
+        util::StrFormat("snapshot size mismatch (header says %llu, file has "
+                        "%zu bytes): %s",
+                        static_cast<unsigned long long>(stated_size),
+                        file_size, path().c_str()));
+  }
+  // Bound the counts before using them in size arithmetic: every node needs
+  // a kind byte and every edge a source byte, so anything larger than the
+  // file is structurally impossible (and keeps the multiplications below far
+  // from uint64 overflow).
+  const uint64_t n = num_nodes_;
+  const uint64_t m = num_mentions_;
+  const uint64_t e = num_edges_;
+  if (n > file_size || e > file_size || m > file_size) {
+    return util::InvalidArgumentError("snapshot counts exceed file size: " +
+                                      path());
+  }
+
+  std::array<SnapshotSectionInfo, kSnapshotSectionCount> table;
+  uint64_t prev_end = SnapshotPreludeSize();
+  for (uint32_t i = 0; i < kSnapshotSectionCount; ++i) {
+    const uint8_t* entry =
+        base + kSnapshotHeaderSize + i * kSnapshotSectionEntrySize;
+    table[i].id = GetPod<uint32_t>(entry);
+    table[i].crc = GetPod<uint32_t>(entry + 4);
+    table[i].offset = GetPod<uint64_t>(entry + 8);
+    table[i].size = GetPod<uint64_t>(entry + 16);
+    if (table[i].id != i) {
+      return util::InvalidArgumentError(
+          util::StrFormat("snapshot section %u out of order: %s", i,
+                          path().c_str()));
+    }
+    // Overflow-safe bounds: offset and size are each checked against what
+    // remains, never summed first.
+    if (table[i].offset % 8 != 0 || table[i].offset < prev_end ||
+        table[i].offset > file_size ||
+        table[i].size > file_size - table[i].offset) {
+      return util::InvalidArgumentError(
+          util::StrFormat("snapshot section %u out of bounds: %s", i,
+                          path().c_str()));
+    }
+    prev_end = table[i].offset + table[i].size;
+  }
+  const std::array<uint64_t, kSnapshotSectionCount> expected_sizes = {
+      n,                // kinds
+      8 * (n + 1),      // name offsets
+      table[kNameBytes].size,
+      4 * n,            // name-sorted ids
+      8 * (n + 1),      // hyper rows
+      4 * e, e, 4 * e,  // hyper targets/sources/scores
+      8 * (n + 1),      // hypo rows
+      4 * e, e, 4 * e,  // hypo targets/sources/scores
+      8 * (m + 1),      // mention offsets
+      table[kMentionBytes].size,
+      8 * (m + 1),      // mention rows
+      table[kMentionIds].size,
+  };
+  for (uint32_t i = 0; i < kSnapshotSectionCount; ++i) {
+    if (table[i].size != expected_sizes[i]) {
+      return util::InvalidArgumentError(
+          util::StrFormat("snapshot section %u has size %llu, expected %llu: "
+                          "%s",
+                          i, static_cast<unsigned long long>(table[i].size),
+                          static_cast<unsigned long long>(expected_sizes[i]),
+                          path().c_str()));
+    }
+  }
+  if (table[kMentionIds].size % 4 != 0) {
+    return util::InvalidArgumentError("snapshot mention-id section misaligned: " +
+                                      path());
+  }
+  num_mention_ids_ = table[kMentionIds].size / 4;
+  // Section CRCs are independent, so they run on the process-wide pool.
+  // Each check writes its verdict into its own slot and the first failure
+  // in slot order wins, making the outcome (and its message) identical for
+  // every CNPB_THREADS value.
+  {
+    std::array<util::Status, kSnapshotSectionCount> crc_status;
+    util::ParallelFor(kSnapshotSectionCount, [&](size_t i) {
+      const std::string_view payload(
+          reinterpret_cast<const char*>(base + table[i].offset),
+          table[i].size);
+      if (util::Crc32c(payload) != table[i].crc) {
+        crc_status[i] = util::DataLossError(
+            util::StrFormat("snapshot section %u crc mismatch: %s",
+                            static_cast<uint32_t>(i), path().c_str()));
+      }
+    });
+    for (const util::Status& status : crc_status) {
+      CNPB_RETURN_IF_ERROR(status);
+    }
+  }
+
+  // All bytes verified; resolve typed pointers (sections are 8-aligned and
+  // mmap bases are page-aligned, so the casts are alignment-safe).
+  const auto u64_at = [&](SectionId id) {
+    return reinterpret_cast<const uint64_t*>(base + table[id].offset);
+  };
+  const auto u32_at = [&](SectionId id) {
+    return reinterpret_cast<const uint32_t*>(base + table[id].offset);
+  };
+  kinds_ = base + table[kKinds].offset;
+  name_offsets_ = u64_at(kNameOffsets);
+  name_bytes_ = reinterpret_cast<const char*>(base + table[kNameBytes].offset);
+  name_sorted_ = u32_at(kNameSorted);
+  hyper_ = {u64_at(kHyperRows), u32_at(kHyperTargets),
+            base + table[kHyperSources].offset,
+            reinterpret_cast<const float*>(base + table[kHyperScores].offset)};
+  hypo_ = {u64_at(kHypoRows), u32_at(kHypoTargets),
+           base + table[kHypoSources].offset,
+           reinterpret_cast<const float*>(base + table[kHypoScores].offset)};
+  mention_offsets_ = u64_at(kMentionOffsets);
+  mention_bytes_ =
+      reinterpret_cast<const char*>(base + table[kMentionBytes].offset);
+  mention_rows_ = u64_at(kMentionRows);
+  mention_ids_ = u32_at(kMentionIds);
+
+  // Structural validation: every index the query paths will ever follow is
+  // checked once here, so serving needs no per-query bounds checks beyond
+  // the public id range.
+  const auto check_arena =
+      [&](const uint64_t* offsets, uint64_t count, uint64_t arena_size,
+          const char* what) -> util::Status {
+    if (offsets[0] != 0) {
+      return util::InvalidArgumentError(
+          util::StrFormat("snapshot %s offsets do not start at 0: %s", what,
+                          path().c_str()));
+    }
+    // Branchless accumulation: these whole-array scans are the hot part of
+    // a load, and without the early exit the compiler vectorizes them.
+    bool non_monotonic = false;
+    for (uint64_t i = 0; i < count; ++i) {
+      non_monotonic |= offsets[i + 1] < offsets[i];
+    }
+    if (non_monotonic) {
+      return util::InvalidArgumentError(
+          util::StrFormat("snapshot %s offsets not monotonic: %s", what,
+                          path().c_str()));
+    }
+    if (offsets[count] != arena_size) {
+      return util::InvalidArgumentError(
+          util::StrFormat("snapshot %s offsets do not cover the arena: %s",
+                          what, path().c_str()));
+    }
+    return util::Status::Ok();
+  };
+  CNPB_RETURN_IF_ERROR(
+      check_arena(name_offsets_, n, table[kNameBytes].size, "name"));
+  CNPB_RETURN_IF_ERROR(
+      check_arena(mention_offsets_, m, table[kMentionBytes].size, "mention"));
+  bool sorted_id_oor = false;
+  for (uint64_t i = 0; i < n; ++i) {
+    sorted_id_oor |= name_sorted_[i] >= n;
+  }
+  if (sorted_id_oor) {
+    return util::InvalidArgumentError(
+        "snapshot name-sorted id out of range: " + path());
+  }
+  // The remaining whole-array scans also parallelize: each becomes a task
+  // returning a Status into its own slot, first failure in slot order wins
+  // (the same ladder order as a serial pass). Reference captures are safe —
+  // ParallelFor is synchronous, so every task finishes inside this frame.
+  // The adjacent-pair string compares dominate validation cost, so they are
+  // sharded; shard boundaries are fixed fractions of the element count,
+  // never of the thread count, keeping the task list deterministic.
+  std::vector<std::function<util::Status()>> checks;
+  constexpr uint64_t kPairShards = 8;
+  for (uint64_t s = 0; s < kPairShards && n > 1; ++s) {
+    const uint64_t begin = 1 + (n - 1) * s / kPairShards;
+    const uint64_t end = 1 + (n - 1) * (s + 1) / kPairShards;
+    if (begin >= end) continue;
+    checks.push_back([this, begin, end]() -> util::Status {
+      for (uint64_t i = begin; i < end; ++i) {
+        // Strictly increasing names over a full-length id array proves the
+        // section is a permutation and that names are unique.
+        if (NameAt(name_sorted_[i - 1]) >= NameAt(name_sorted_[i])) {
+          return util::InvalidArgumentError(
+              "snapshot name-sorted ids not sorted by name: " + path());
+        }
+      }
+      return util::Status::Ok();
+    });
+  }
+  const auto check_csr = [&](const Csr& csr, uint64_t rows, uint64_t entries,
+                             const char* what) -> util::Status {
+    if (csr.rows[0] != 0 || csr.rows[rows] != entries) {
+      return util::InvalidArgumentError(
+          util::StrFormat("snapshot %s rows do not cover the edges: %s", what,
+                          path().c_str()));
+    }
+    bool non_monotonic = false;
+    for (uint64_t i = 0; i < rows; ++i) {
+      non_monotonic |= csr.rows[i + 1] < csr.rows[i];
+    }
+    if (non_monotonic) {
+      return util::InvalidArgumentError(
+          util::StrFormat("snapshot %s rows not monotonic: %s", what,
+                          path().c_str()));
+    }
+    bool target_oor = false;
+    for (uint64_t k = 0; k < entries; ++k) {
+      target_oor |= csr.targets[k] >= n;
+    }
+    if (target_oor) {
+      return util::InvalidArgumentError(
+          util::StrFormat("snapshot %s target out of range: %s", what,
+                          path().c_str()));
+    }
+    bool source_oor = false;
+    for (uint64_t k = 0; k < entries; ++k) {
+      source_oor |= csr.sources[k] >= kNumSources;
+    }
+    if (source_oor) {
+      return util::InvalidArgumentError(
+          util::StrFormat("snapshot %s edge source out of range: %s", what,
+                          path().c_str()));
+    }
+    return util::Status::Ok();
+  };
+  checks.push_back([&, this]() { return check_csr(hyper_, n, e, "hypernym"); });
+  checks.push_back([&, this]() { return check_csr(hypo_, n, e, "hyponym"); });
+  for (uint64_t s = 0; s < kPairShards && m > 1; ++s) {
+    const uint64_t begin = 1 + (m - 1) * s / kPairShards;
+    const uint64_t end = 1 + (m - 1) * (s + 1) / kPairShards;
+    if (begin >= end) continue;
+    checks.push_back([this, begin, end]() -> util::Status {
+      for (uint64_t i = begin; i < end; ++i) {
+        if (MentionAt(i - 1) >= MentionAt(i)) {
+          return util::InvalidArgumentError("snapshot mentions not sorted: " +
+                                            path());
+        }
+      }
+      return util::Status::Ok();
+    });
+  }
+  checks.push_back([this, n, m]() -> util::Status {
+    if (mention_rows_[0] != 0 || mention_rows_[m] != num_mention_ids_) {
+      return util::InvalidArgumentError(
+          "snapshot mention rows do not cover the candidate ids: " + path());
+    }
+    bool rows_non_monotonic = false;
+    for (uint64_t i = 0; i < m; ++i) {
+      rows_non_monotonic |= mention_rows_[i + 1] < mention_rows_[i];
+    }
+    if (rows_non_monotonic) {
+      return util::InvalidArgumentError(
+          "snapshot mention rows not monotonic: " + path());
+    }
+    bool candidate_oor = false;
+    for (uint64_t k = 0; k < num_mention_ids_; ++k) {
+      candidate_oor |= mention_ids_[k] >= n;
+    }
+    if (candidate_oor) {
+      return util::InvalidArgumentError(
+          "snapshot mention candidate id out of range: " + path());
+    }
+    return util::Status::Ok();
+  });
+  std::vector<util::Status> verdicts(checks.size());
+  util::ParallelFor(checks.size(),
+                    [&](size_t i) { verdicts[i] = checks[i](); });
+  for (const util::Status& status : verdicts) {
+    CNPB_RETURN_IF_ERROR(status);
+  }
+  return util::Status::Ok();
+}
+
+std::string_view Snapshot::NameAt(NodeId id) const {
+  const uint64_t begin = name_offsets_[id];
+  return std::string_view(name_bytes_ + begin, name_offsets_[id + 1] - begin);
+}
+
+std::string_view Snapshot::MentionAt(uint32_t index) const {
+  const uint64_t begin = mention_offsets_[index];
+  return std::string_view(mention_bytes_ + begin,
+                          mention_offsets_[index + 1] - begin);
+}
+
+NodeId Snapshot::Find(std::string_view name) const {
+  size_t lo = 0;
+  size_t hi = num_nodes_;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (NameAt(name_sorted_[mid]) < name) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < num_nodes_ && NameAt(name_sorted_[lo]) == name) {
+    return name_sorted_[lo];
+  }
+  return kInvalidNode;
+}
+
+std::string_view Snapshot::Name(NodeId id) const {
+  CNPB_CHECK(id < num_nodes_);
+  return NameAt(id);
+}
+
+NodeKind Snapshot::Kind(NodeId id) const {
+  CNPB_CHECK(id < num_nodes_);
+  return static_cast<NodeKind>(kinds_[id]);
+}
+
+size_t Snapshot::NumHypernyms(NodeId id) const {
+  if (id >= num_nodes_) return 0;
+  return hyper_.rows[id + 1] - hyper_.rows[id];
+}
+
+size_t Snapshot::NumHyponyms(NodeId id) const {
+  if (id >= num_nodes_) return 0;
+  return hypo_.rows[id + 1] - hypo_.rows[id];
+}
+
+void Snapshot::VisitAdjacent(
+    const Csr& csr, NodeId id,
+    const std::function<bool(const HalfEdge&)>& fn) const {
+  if (id >= num_nodes_) return;
+  const uint64_t end = csr.rows[id + 1];
+  for (uint64_t k = csr.rows[id]; k < end; ++k) {
+    if (!fn(HalfEdge{csr.targets[k], static_cast<Source>(csr.sources[k]),
+                     csr.scores[k]})) {
+      return;
+    }
+  }
+}
+
+void Snapshot::VisitHypernyms(
+    NodeId id, const std::function<bool(const HalfEdge&)>& fn) const {
+  VisitAdjacent(hyper_, id, fn);
+}
+
+void Snapshot::VisitHyponyms(
+    NodeId id, const std::function<bool(const HalfEdge&)>& fn) const {
+  VisitAdjacent(hypo_, id, fn);
+}
+
+uint32_t Snapshot::FindMentionIndex(std::string_view mention) const {
+  uint32_t lo = 0;
+  uint32_t hi = num_mentions_;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (MentionAt(mid) < mention) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < num_mentions_ && MentionAt(lo) == mention) return lo;
+  return num_mentions_;
+}
+
+bool Snapshot::HasMention(std::string_view mention) const {
+  return FindMentionIndex(mention) != num_mentions_;
+}
+
+std::vector<NodeId> Snapshot::MentionCandidates(
+    std::string_view mention) const {
+  const uint32_t index = FindMentionIndex(mention);
+  if (index == num_mentions_) return {};
+  return std::vector<NodeId>(mention_ids_ + mention_rows_[index],
+                             mention_ids_ + mention_rows_[index + 1]);
+}
+
+void Snapshot::VisitMentions(
+    const std::function<bool(std::string_view, const NodeId*, size_t)>& fn)
+    const {
+  for (uint32_t i = 0; i < num_mentions_; ++i) {
+    const uint64_t begin = mention_rows_[i];
+    if (!fn(MentionAt(i), mention_ids_ + begin,
+            static_cast<size_t>(mention_rows_[i + 1] - begin))) {
+      return;
+    }
+  }
+}
+
+util::Result<Taxonomy> MaterializeTaxonomy(const ServingView& view) {
+  Taxonomy taxonomy;
+  const size_t n = view.num_nodes();
+  for (NodeId id = 0; id < n; ++id) {
+    if (taxonomy.AddNode(view.Name(id), view.Kind(id)) != id) {
+      return util::InternalError(
+          "serving view contains duplicate node names; cannot materialize");
+    }
+  }
+  // Replaying the canonical sequence reproduces the adjacency structure
+  // LoadTaxonomy builds from the equivalent TSV file.
+  for (NodeId id = 0; id < n; ++id) {
+    view.VisitHypernyms(id, [&](const HalfEdge& edge) {
+      taxonomy.AddIsa(id, edge.node, edge.source, edge.score);
+      return true;
+    });
+  }
+  return taxonomy;
+}
+
+util::Result<std::vector<SnapshotSectionInfo>> ReadSnapshotSections(
+    std::string_view bytes) {
+  if (bytes.size() < SnapshotPreludeSize() ||
+      bytes.substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
+    return util::InvalidArgumentError(
+        "bytes do not contain a snapshot prelude");
+  }
+  std::vector<SnapshotSectionInfo> sections(kSnapshotSectionCount);
+  for (uint32_t i = 0; i < kSnapshotSectionCount; ++i) {
+    const uint8_t* entry = reinterpret_cast<const uint8_t*>(bytes.data()) +
+                           kSnapshotHeaderSize + i * kSnapshotSectionEntrySize;
+    sections[i].id = GetPod<uint32_t>(entry);
+    sections[i].crc = GetPod<uint32_t>(entry + 4);
+    sections[i].offset = GetPod<uint64_t>(entry + 8);
+    sections[i].size = GetPod<uint64_t>(entry + 16);
+  }
+  return sections;
+}
+
+util::Status ResealSnapshotHeader(std::string* bytes) {
+  if (bytes->size() < SnapshotPreludeSize()) {
+    return util::InvalidArgumentError("bytes too short to reseal");
+  }
+  PutPod<uint32_t>(bytes, kOffHeaderCrc, 0);
+  PutPod<uint32_t>(bytes, kOffHeaderCrc,
+                   util::Crc32c(std::string_view(bytes->data(),
+                                                SnapshotPreludeSize())));
+  return util::Status::Ok();
+}
+
+util::Status ResealSnapshotSection(std::string* bytes, uint32_t id) {
+  CNPB_RETURN_IF_ERROR(ResealSnapshotHeader(bytes));  // validates the prelude
+  if (id >= kSnapshotSectionCount) {
+    return util::InvalidArgumentError("no such snapshot section");
+  }
+  util::Result<std::vector<SnapshotSectionInfo>> sections =
+      ReadSnapshotSections(*bytes);
+  CNPB_RETURN_IF_ERROR(sections.status());
+  const SnapshotSectionInfo& info = sections.value()[id];
+  if (info.offset > bytes->size() ||
+      info.size > bytes->size() - info.offset) {
+    return util::InvalidArgumentError(
+        "section out of bounds; cannot reseal");
+  }
+  const uint32_t crc = util::Crc32c(
+      std::string_view(bytes->data() + info.offset, info.size));
+  PutPod<uint32_t>(bytes,
+                   kSnapshotHeaderSize + id * kSnapshotSectionEntrySize + 4,
+                   crc);
+  return ResealSnapshotHeader(bytes);
+}
+
+}  // namespace cnpb::taxonomy

@@ -1,0 +1,205 @@
+#ifndef CNPROBASE_TAXONOMY_SNAPSHOT_H_
+#define CNPROBASE_TAXONOMY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "taxonomy/taxonomy.h"
+#include "taxonomy/view.h"
+#include "util/mmap_file.h"
+#include "util/status.h"
+
+namespace cnpb::taxonomy {
+
+// Zero-copy binary snapshot of one taxonomy version (DESIGN.md §10).
+//
+// A snapshot is an immutable on-disk image of a ServingView: node kinds, an
+// offset-indexed string arena, structure-of-arrays CSR adjacency for both
+// edge directions, and a sorted offset-array mention index. Loading is one
+// mmap plus header/CRC validation — no per-row parsing, no hash-map
+// rebuild — so a server cold-starts in milliseconds and queries run by
+// binary search and array indexing straight off the mapped pages.
+//
+// On-disk layout (all integers in host byte order; a foreign-endian file
+// fails the format-version check):
+//
+//   [0,48)    fixed header: magic "CNPBSNP1", format version, section
+//             count, num_nodes, num_mentions, num_edges, total file size,
+//             header CRC-32C (computed with the CRC field zeroed, covering
+//             header + section table)
+//   [48,432)  section table: 16 entries of {id u32, crc32c u32, offset u64,
+//             size u64}, in id order
+//   [432,..)  sections, each at an 8-byte-aligned offset, zero-padded
+//             between, laid out in id order:
+//
+//   id  section             contents
+//    0  kinds               u8[num_nodes]            NodeKind per node
+//    1  name offsets        u64[num_nodes+1]         into the name arena
+//    2  name bytes          string arena (node names, id order)
+//    3  name-sorted ids     u32[num_nodes]           node ids by name bytes
+//    4  hypernym rows       u64[num_nodes+1]         CSR row starts
+//    5  hypernym targets    u32[num_edges]
+//    6  hypernym sources    u8[num_edges]
+//    7  hypernym scores     f32[num_edges]
+//    8  hyponym rows        u64[num_nodes+1]
+//    9  hyponym targets     u32[num_edges]
+//   10  hyponym sources     u8[num_edges]
+//   11  hyponym scores      f32[num_edges]
+//   12  mention offsets     u64[num_mentions+1]      into the mention arena
+//   13  mention bytes       string arena (mentions, sorted byte order)
+//   14  mention rows        u64[num_mentions+1]      CSR into candidate ids
+//   15  mention ids         u32[total candidates]
+//
+// Edges are stored in canonical serialization order: the global sequence is
+// hypernym rows in node-id order with per-row order preserved, and the
+// hyponym CSR replays that same sequence bucketed by hypernym — exactly the
+// structure LoadTaxonomy produces from a TSV file, so heap- and
+// snapshot-backed services answer identically (including result order).
+//
+// Integrity: a load validates magic/version/counts, the header CRC (which
+// seals the section table, so a corrupted offset or stored section CRC is
+// caught), per-section CRC-32C over every payload, and full structural
+// bounds (monotonic offset arrays, edge targets < num_nodes, sources <
+// kNumSources, sorted unique names/mentions). Verdicts: kInvalidArgument
+// for files that are not structurally a snapshot (bad magic/version/
+// layout), kDataLoss for integrity failures (truncation, trailing bytes,
+// CRC mismatch). A corrupt snapshot is never served and never read out of
+// bounds (tests/snapshot_robustness_test.cc holds every corruption to
+// that).
+
+inline constexpr std::string_view kSnapshotMagic = "CNPBSNP1";
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+inline constexpr uint32_t kSnapshotSectionCount = 16;
+inline constexpr size_t kSnapshotHeaderSize = 48;
+inline constexpr size_t kSnapshotSectionEntrySize = 24;
+
+// Header + section table bytes (sections start here, 8-aligned).
+constexpr size_t SnapshotPreludeSize() {
+  return kSnapshotHeaderSize +
+         kSnapshotSectionCount * kSnapshotSectionEntrySize;
+}
+
+// One parsed section-table entry (format tooling / corruption tests).
+struct SnapshotSectionInfo {
+  uint32_t id = 0;
+  uint32_t crc = 0;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+// Serializes `view` into snapshot bytes (the writer's in-memory half).
+std::string SerializeSnapshot(const ServingView& view);
+
+// Writes `view` as a snapshot via util::AtomicFileWriter: the destination
+// only ever holds a previous complete snapshot or the new complete one,
+// never a torn prefix. Fault points: snapshot.write / snapshot.fsync /
+// snapshot.rename.
+util::Status WriteSnapshot(const ServingView& view, const std::string& path);
+
+// Convenience writer from a frozen Taxonomy plus its mention index.
+util::Status WriteSnapshot(const Taxonomy& taxonomy, MentionIndex mentions,
+                           const std::string& path);
+
+// An mmap-backed snapshot, directly usable as a published serving version
+// (ApiService::Publish accepts it as a ServingView). All queries read the
+// mapped pages; the file must not be modified while mapped (writers always
+// replace via rename, never write in place).
+class Snapshot final : public ServingView {
+ public:
+  // mmaps `path` and validates it (see integrity notes above). Errors:
+  //   kIoError          unreadable/unmappable file (or injected
+  //                     snapshot.load.read fault)
+  //   kInvalidArgument  not structurally a snapshot
+  //   kDataLoss         integrity failure (truncated, corrupt, trailing
+  //                     bytes)
+  static util::Result<std::shared_ptr<const Snapshot>> Load(
+      const std::string& path);
+
+  size_t num_nodes() const override { return num_nodes_; }
+  size_t num_edges() const override { return num_edges_; }
+  NodeId Find(std::string_view name) const override;
+  std::string_view Name(NodeId id) const override;
+  NodeKind Kind(NodeId id) const override;
+  size_t NumHypernyms(NodeId id) const override;
+  size_t NumHyponyms(NodeId id) const override;
+  void VisitHypernyms(
+      NodeId id,
+      const std::function<bool(const HalfEdge&)>& fn) const override;
+  void VisitHyponyms(
+      NodeId id,
+      const std::function<bool(const HalfEdge&)>& fn) const override;
+
+  size_t num_mentions() const override { return num_mentions_; }
+  bool HasMention(std::string_view mention) const override;
+  std::vector<NodeId> MentionCandidates(
+      std::string_view mention) const override;
+  void VisitMentions(
+      const std::function<bool(std::string_view, const NodeId*, size_t)>& fn)
+      const override;
+
+  const std::string& path() const { return file_.path(); }
+  size_t file_bytes() const { return file_.size(); }
+
+ private:
+  struct Csr {
+    const uint64_t* rows = nullptr;     // num rows + 1 entries
+    const uint32_t* targets = nullptr;
+    const uint8_t* sources = nullptr;
+    const float* scores = nullptr;
+  };
+
+  Snapshot() = default;
+
+  // Validates the mapped bytes and resolves the section pointers.
+  util::Status Init();
+  std::string_view NameAt(NodeId id) const;
+  std::string_view MentionAt(uint32_t index) const;
+  // Index into the mention arrays, or num_mentions_ when absent.
+  uint32_t FindMentionIndex(std::string_view mention) const;
+  void VisitAdjacent(const Csr& csr, NodeId id,
+                     const std::function<bool(const HalfEdge&)>& fn) const;
+
+  util::MmapFile file_;
+  uint32_t num_nodes_ = 0;
+  uint32_t num_mentions_ = 0;
+  uint64_t num_edges_ = 0;
+  uint64_t num_mention_ids_ = 0;
+  const uint8_t* kinds_ = nullptr;
+  const uint64_t* name_offsets_ = nullptr;
+  const char* name_bytes_ = nullptr;
+  const uint32_t* name_sorted_ = nullptr;
+  Csr hyper_;
+  Csr hypo_;
+  const uint64_t* mention_offsets_ = nullptr;
+  const char* mention_bytes_ = nullptr;
+  const uint64_t* mention_rows_ = nullptr;
+  const uint32_t* mention_ids_ = nullptr;
+};
+
+// Rebuilds a mutable Taxonomy from any serving view (snapshot -> heap
+// compatibility path: stats tooling, TSV re-export). The result is
+// structurally identical to LoadTaxonomy of the equivalent TSV file.
+util::Result<Taxonomy> MaterializeTaxonomy(const ServingView& view);
+
+// --- Format tooling (used by the corruption tests and snapshot tools) ---
+
+// Parses the section table without verifying checksums. Fails only when
+// `bytes` is too short to contain a prelude or the magic is wrong.
+util::Result<std::vector<SnapshotSectionInfo>> ReadSnapshotSections(
+    std::string_view bytes);
+
+// Recomputes the header CRC over the (possibly patched) header + section
+// table. Stored section CRCs are left untouched.
+util::Status ResealSnapshotHeader(std::string* bytes);
+
+// Recomputes section `id`'s stored CRC from its current payload bytes, then
+// reseals the header. Lets a test patch payload bytes and keep the file
+// checksum-consistent so structural validation is what rejects it.
+util::Status ResealSnapshotSection(std::string* bytes, uint32_t id);
+
+}  // namespace cnpb::taxonomy
+
+#endif  // CNPROBASE_TAXONOMY_SNAPSHOT_H_

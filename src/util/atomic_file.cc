@@ -18,17 +18,143 @@ namespace {
 
 constexpr std::string_view kFooterPrefix = "#cnpb:crc32:";
 
-std::array<uint32_t, 256> BuildCrcTable() {
-  std::array<uint32_t, 256> table{};
+// Slicing-by-8 tables: table[0] is the classic byte-at-a-time table for the
+// given (reflected) polynomial; table[k][b] extends it so eight input bytes
+// fold in per iteration. Same polynomial, bit order and results as the
+// byte-wise loop — only faster, which matters now that snapshot loads
+// checksum whole mmap'ed sections.
+std::array<std::array<uint32_t, 256>, 8> BuildCrcTables(uint32_t poly) {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
     for (int k = 0; k < 8; ++k) {
-      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      c = (c & 1) ? poly ^ (c >> 1) : c >> 1;
     }
-    table[i] = c;
+    tables[0][i] = c;
   }
-  return table;
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = tables[0][i];
+    for (int k = 1; k < 8; ++k) {
+      c = tables[0][c & 0xFFu] ^ (c >> 8);
+      tables[k][i] = c;
+    }
+  }
+  return tables;
 }
+
+uint32_t CrcSliceBy8(const std::array<std::array<uint32_t, 256>, 8>& tables,
+                     std::string_view data, uint32_t c) {
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  while (n >= 8) {
+    // Fold the CRC state into the first four bytes, then consume all eight
+    // through the precomputed distance tables.
+    const uint32_t lo = c ^ (static_cast<uint32_t>(p[0]) |
+                             static_cast<uint32_t>(p[1]) << 8 |
+                             static_cast<uint32_t>(p[2]) << 16 |
+                             static_cast<uint32_t>(p[3]) << 24);
+    c = tables[7][lo & 0xFFu] ^ tables[6][(lo >> 8) & 0xFFu] ^
+        tables[5][(lo >> 16) & 0xFFu] ^ tables[4][lo >> 24] ^
+        tables[3][p[4]] ^ tables[2][p[5]] ^ tables[1][p[6]] ^ tables[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  for (; n > 0; ++p, --n) {
+    c = tables[0][(c ^ *p) & 0xFFu] ^ (c >> 8);
+  }
+  return c;
+}
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define CNPB_HAVE_HW_CRC32C 1
+
+// GF(2) matrix machinery for combining independent CRC streams (the zlib
+// crc32_combine construction). A matrix is 32 column vectors; Times applies
+// it to a CRC register, Multiply composes two matrices.
+using CrcMatrix = std::array<uint32_t, 32>;
+
+uint32_t CrcMatrixTimes(const CrcMatrix& mat, uint32_t vec) {
+  uint32_t sum = 0;
+  for (int i = 0; vec != 0; ++i, vec >>= 1) {
+    if (vec & 1) sum ^= mat[i];
+  }
+  return sum;
+}
+
+CrcMatrix CrcMatrixMultiply(const CrcMatrix& a, const CrcMatrix& b) {
+  CrcMatrix out;
+  for (int i = 0; i < 32; ++i) out[i] = CrcMatrixTimes(a, b[i]);
+  return out;
+}
+
+// Operator that advances a raw CRC-32C register over `len` zero bytes:
+// reg(r, 0^len) == ShiftMatrix(len) * r. Built by squaring the one-zero-bit
+// operator, so the cost is O(log len) matrix products, paid once per block
+// size at startup.
+CrcMatrix Crc32cShiftMatrix(size_t len) {
+  CrcMatrix bit;
+  bit[0] = 0x82F63B78u;  // reflected CRC-32C polynomial
+  for (int i = 1; i < 32; ++i) bit[i] = 1u << (i - 1);
+  CrcMatrix out;
+  for (int i = 0; i < 32; ++i) out[i] = 1u << i;  // identity
+  uint64_t bits = static_cast<uint64_t>(len) * 8;
+  while (bits != 0) {
+    if (bits & 1) out = CrcMatrixMultiply(bit, out);
+    bit = CrcMatrixMultiply(bit, bit);
+    bits >>= 1;
+  }
+  return out;
+}
+
+// CRC-32C via the SSE4.2 crc32 instruction. The instruction has 3-cycle
+// latency but single-cycle throughput, so one dependency chain caps out at
+// ~8 GB/s; three interleaved streams over fixed-size blocks (merged with
+// the shift matrices above) run close to 3x that — which is what keeps a
+// full-snapshot integrity check well under the mmap cold-start budget.
+// Compiled with a target attribute and dispatched at runtime so the binary
+// still runs on pre-Nehalem CPUs.
+__attribute__((target("sse4.2"))) uint32_t Crc32cHardware(
+    std::string_view data, uint32_t c) {
+  constexpr size_t kBlock = 8192;
+  static const CrcMatrix shift_one = Crc32cShiftMatrix(kBlock);
+  static const CrcMatrix shift_two = Crc32cShiftMatrix(2 * kBlock);
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  size_t n = data.size();
+  while (n >= 3 * kBlock) {
+    uint64_t a = c;
+    uint64_t b = 0;
+    uint64_t d = 0;
+    for (size_t i = 0; i < kBlock; i += 8) {
+      uint64_t va, vb, vd;
+      __builtin_memcpy(&va, p + i, 8);
+      __builtin_memcpy(&vb, p + kBlock + i, 8);
+      __builtin_memcpy(&vd, p + 2 * kBlock + i, 8);
+      a = __builtin_ia32_crc32di(a, va);
+      b = __builtin_ia32_crc32di(b, vb);
+      d = __builtin_ia32_crc32di(d, vd);
+    }
+    // reg(c, A|B|C) = shift2k(reg(c, A)) ^ shift1k(reg(0, B)) ^ reg(0, C).
+    c = CrcMatrixTimes(shift_two, static_cast<uint32_t>(a)) ^
+        CrcMatrixTimes(shift_one, static_cast<uint32_t>(b)) ^
+        static_cast<uint32_t>(d);
+    p += 3 * kBlock;
+    n -= 3 * kBlock;
+  }
+  uint64_t state = c;
+  while (n >= 8) {
+    uint64_t chunk;
+    __builtin_memcpy(&chunk, p, 8);
+    state = __builtin_ia32_crc32di(state, chunk);
+    p += 8;
+    n -= 8;
+  }
+  c = static_cast<uint32_t>(state);
+  for (; n > 0; ++p, --n) {
+    c = __builtin_ia32_crc32qi(c, *p);
+  }
+  return c;
+}
+#endif
 
 // Monotonic per-process counter so concurrent writers targeting the same
 // destination never share a temp file.
@@ -43,12 +169,20 @@ std::string TempPathFor(const std::string& path) {
 }  // namespace
 
 uint32_t Crc32(std::string_view data, uint32_t seed) {
-  static const std::array<uint32_t, 256> table = BuildCrcTable();
-  uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (unsigned char byte : data) {
-    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  static const std::array<std::array<uint32_t, 256>, 8> tables =
+      BuildCrcTables(0xEDB88320u);
+  return CrcSliceBy8(tables, data, seed ^ 0xFFFFFFFFu) ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32c(std::string_view data, uint32_t seed) {
+  const uint32_t c = seed ^ 0xFFFFFFFFu;
+#ifdef CNPB_HAVE_HW_CRC32C
+  static const bool has_sse42 = __builtin_cpu_supports("sse4.2");
+  if (has_sse42) return Crc32cHardware(data, c) ^ 0xFFFFFFFFu;
+#endif
+  static const std::array<std::array<uint32_t, 256>, 8> tables =
+      BuildCrcTables(0x82F63B78u);
+  return CrcSliceBy8(tables, data, c) ^ 0xFFFFFFFFu;
 }
 
 std::string ChecksumFooter(std::string_view payload) {

@@ -22,7 +22,9 @@
 #include "kb/dump.h"
 #include "taxonomy/api_service.h"
 #include "taxonomy/serialize.h"
+#include "taxonomy/snapshot.h"
 #include "taxonomy/taxonomy.h"
+#include "taxonomy/view.h"
 #include "util/fault_injection.h"
 #include "util/retry.h"
 #include "util/status.h"
@@ -33,12 +35,15 @@ namespace {
 constexpr int kRounds = 6;
 
 // Fault schedule over the whole surface: dump persistence, taxonomy
-// persistence (including the backup copy), load reads, publish contention,
-// and query-path errors + latency.
+// persistence (TSV durable saves including the backup copy, and the binary
+// snapshot writer), load reads on both formats, publish contention, and
+// query-path errors + latency.
 constexpr char kChaosSpec[] =
     "kb.dump.save.write=0.1;kb.dump.save.rename=0.15;kb.dump.read=0.15;"
     "taxonomy.save.write=0.1;taxonomy.save.rename=0.15;taxonomy.backup.rename="
-    "0.2;taxonomy.load.read=0.15;api.publish=0.3:limit=8;api.query=0.03";
+    "0.2;taxonomy.load.read=0.15;snapshot.write=0.1;snapshot.fsync=0.1;"
+    "snapshot.rename=0.15;snapshot.load.read=0.15;"
+    "api.publish=0.3:limit=8;api.query=0.03";
 
 // Generation `gen` of the evolving taxonomy: a marker entity whose single
 // hypernym names the generation, plus a small entity population.
@@ -93,9 +98,12 @@ TEST_P(ChaosSoakTest, SurvivesFaultScheduleCoherently) {
       dir + "/chaos_taxonomy_" + std::to_string(seed) + ".tsv";
   const std::string dump_path =
       dir + "/chaos_dump_" + std::to_string(seed) + ".tsv";
+  const std::string snapshot_path =
+      dir + "/chaos_snapshot_" + std::to_string(seed) + ".snap";
   std::remove(taxonomy_path.c_str());
   std::remove((taxonomy_path + ".bak").c_str());
   std::remove(dump_path.c_str());
+  std::remove(snapshot_path.c_str());
 
   util::ScopedFaultInjection scoped(kChaosSpec,
                                     static_cast<uint64_t>(seed));
@@ -187,12 +195,57 @@ TEST_P(ChaosSoakTest, SurvivesFaultScheduleCoherently) {
       ExpectCleanLoadStatus(dump_loaded.status(), "dump");
     }
 
-    // Publish the new generation while the readers run. The ceiling is
-    // advanced first: a reader must never observe a generation above it,
-    // and raising it a moment early is safe while raising it late is not.
+    // Binary-snapshot persistence under the same schedule: the same
+    // atomic-write contract holds for the mmap format. A round's write may
+    // lose to injected faults, but whatever Load finds must be a complete
+    // earlier snapshot (kIoError when none exists or reads are faulted) —
+    // never a torn or checksum-invalid one.
+    const taxonomy::Taxonomy snap_gen = MakeGeneration(gen);
+    const util::Status snap_saved = util::Retry(util::RetryOptions{}, [&] {
+      return taxonomy::WriteSnapshot(snap_gen, {}, snapshot_path);
+    });
+    int snap_loadable_gen = 0;
+    std::shared_ptr<const taxonomy::Snapshot> snap_view;
+    {
+      auto snap_loaded = taxonomy::Snapshot::Load(snapshot_path);
+      if (snap_loaded.ok()) {
+        snap_view = *snap_loaded;
+        const taxonomy::NodeId marker = snap_view->Find("marker");
+        ASSERT_NE(marker, taxonomy::kInvalidNode);
+        std::vector<std::string> hypers;
+        snap_view->VisitHypernyms(
+            marker, [&](const taxonomy::HalfEdge& edge) {
+              hypers.emplace_back(snap_view->Name(edge.node));
+              return true;
+            });
+        ASSERT_EQ(hypers.size(), 1u);
+        snap_loadable_gen = ParseGeneration(hypers[0]);
+        ASSERT_GE(snap_loadable_gen, 1);
+        ASSERT_LE(snap_loadable_gen, gen);
+      } else {
+        ExpectCleanLoadStatus(snap_loaded.status(), "snapshot");
+        if (snap_saved.ok()) {
+          // A completed write is on disk; only faulted reads excuse a miss.
+          EXPECT_EQ(snap_loaded.status().code(), util::StatusCode::kIoError)
+              << snap_loaded.status().ToString();
+        }
+      }
+    }
+
+    // Publish the new generation while the readers run, alternating the
+    // backend: odd rounds install a heap view, even rounds the mmap
+    // snapshot just loaded (when its generation is current — a stale or
+    // missing snapshot must not roll the served generation back). The
+    // ceiling is advanced first: a reader must never observe a generation
+    // above it, and raising it a moment early is safe while raising it
+    // late is not.
     if (gen > 1) {
       published_gen.store(gen, std::memory_order_release);
-      api.Publish(taxonomy::Taxonomy::Freeze(MakeGeneration(gen)), {});
+      if (gen % 2 == 0 && snap_view && snap_loadable_gen == gen) {
+        api.Publish(std::shared_ptr<const taxonomy::ServingView>(snap_view));
+      } else {
+        api.Publish(taxonomy::Taxonomy::Freeze(MakeGeneration(gen)), {});
+      }
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
   }

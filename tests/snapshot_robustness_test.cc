@@ -1,0 +1,356 @@
+// Corruption corpus for the snapshot loader (DESIGN.md §10): every way a
+// snapshot file can be damaged or hand-crafted wrong — truncation at every
+// section boundary, flipped payload bytes, flipped CRCs, bad magic,
+// oversized offsets, zero-length files, trailing garbage, out-of-range
+// indices — must yield a clean kDataLoss / kInvalidArgument status, never a
+// crash or an out-of-bounds read (the asan CI job holds the loader to
+// that). Torn-write injection at the end proves a failed WriteSnapshot
+// never leaves a loadable-but-wrong file behind.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "taxonomy/snapshot.h"
+#include "taxonomy/taxonomy.h"
+#include "taxonomy/view.h"
+#include "util/atomic_file.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace cnpb {
+namespace {
+
+// A small but fully populated world: several nodes, edges from more than
+// one source, multi-candidate mentions — every section non-empty.
+std::string ValidSnapshotBytes() {
+  taxonomy::Taxonomy t;
+  t.AddIsa("刘德华", "演员", taxonomy::Source::kInfobox, 0.9f);
+  t.AddIsa("刘德华", "歌手", taxonomy::Source::kTag, 0.8f);
+  t.AddIsa("演员", "人物", taxonomy::Source::kBracket, 0.7f);
+  t.AddIsa("歌手", "人物", taxonomy::Source::kAbstract, 0.6f);
+  t.AddIsa("周杰伦", "歌手", taxonomy::Source::kInfobox, 0.9f);
+  taxonomy::MentionIndex mentions;
+  mentions["华仔"] = {t.Find("刘德华")};
+  mentions["歌手"] = {t.Find("刘德华"), t.Find("周杰伦")};
+  auto frozen = taxonomy::Taxonomy::Freeze(std::move(t));
+  return taxonomy::SerializeSnapshot(
+      taxonomy::HeapServingView(frozen, std::move(mentions)));
+}
+
+std::string WriteBytes(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return path;
+}
+
+// Loads `bytes` from disk and requires a clean structural/integrity
+// rejection: kInvalidArgument or kDataLoss, never OK, never a crash. Under
+// asan this doubles as an out-of-bounds probe.
+void ExpectRejected(const std::string& name, const std::string& bytes) {
+  const std::string path = WriteBytes(name, bytes);
+  auto snap = taxonomy::Snapshot::Load(path);
+  ASSERT_FALSE(snap.ok()) << name << " loaded successfully";
+  const util::StatusCode code = snap.status().code();
+  EXPECT_TRUE(code == util::StatusCode::kInvalidArgument ||
+              code == util::StatusCode::kDataLoss)
+      << name << " rejected with unexpected status: "
+      << snap.status().ToString();
+  std::remove(path.c_str());
+}
+
+void ExpectRejectedWith(const std::string& name, const std::string& bytes,
+                        util::StatusCode want) {
+  const std::string path = WriteBytes(name, bytes);
+  auto snap = taxonomy::Snapshot::Load(path);
+  ASSERT_FALSE(snap.ok()) << name << " loaded successfully";
+  EXPECT_EQ(snap.status().code(), want)
+      << name << ": " << snap.status().ToString();
+  std::remove(path.c_str());
+}
+
+template <typename T>
+void Patch(std::string* bytes, size_t offset, T value) {
+  ASSERT_LE(offset + sizeof(T), bytes->size());
+  std::memcpy(bytes->data() + offset, &value, sizeof(T));
+}
+
+TEST(SnapshotRobustnessTest, ValidFileLoads) {
+  const std::string bytes = ValidSnapshotBytes();
+  const std::string path = WriteBytes("valid.snap", bytes);
+  auto snap = taxonomy::Snapshot::Load(path);
+  ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+  EXPECT_EQ((*snap)->num_nodes(), 5u);
+  EXPECT_EQ((*snap)->num_edges(), 5u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotRobustnessTest, MissingFileIsIoError) {
+  auto snap = taxonomy::Snapshot::Load(::testing::TempDir() +
+                                       "/does_not_exist.snap");
+  ASSERT_FALSE(snap.ok());
+  EXPECT_EQ(snap.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(SnapshotRobustnessTest, ZeroLengthFileRejected) {
+  ExpectRejectedWith("zero.snap", "", util::StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRobustnessTest, BadMagicRejected) {
+  std::string bytes = ValidSnapshotBytes();
+  bytes[0] = 'X';
+  ExpectRejectedWith("badmagic.snap", bytes,
+                     util::StatusCode::kInvalidArgument);
+  ExpectRejectedWith("textfile.snap", "entity\tconcept\t1\t0.9\n",
+                     util::StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRobustnessTest, UnsupportedVersionRejected) {
+  std::string bytes = ValidSnapshotBytes();
+  Patch<uint32_t>(&bytes, 8, taxonomy::kSnapshotFormatVersion + 1);
+  ASSERT_TRUE(taxonomy::ResealSnapshotHeader(&bytes).ok());
+  ExpectRejectedWith("version.snap", bytes,
+                     util::StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRobustnessTest, BadSectionCountRejected) {
+  std::string bytes = ValidSnapshotBytes();
+  Patch<uint32_t>(&bytes, 12, taxonomy::kSnapshotSectionCount - 1);
+  ASSERT_TRUE(taxonomy::ResealSnapshotHeader(&bytes).ok());
+  ExpectRejected("sectioncount.snap", bytes);
+}
+
+TEST(SnapshotRobustnessTest, TruncationAtEveryBoundaryRejected) {
+  const std::string bytes = ValidSnapshotBytes();
+  auto sections = taxonomy::ReadSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+
+  std::vector<size_t> cuts = {1, 7, taxonomy::kSnapshotHeaderSize - 1,
+                              taxonomy::kSnapshotHeaderSize,
+                              taxonomy::SnapshotPreludeSize() - 1,
+                              taxonomy::SnapshotPreludeSize(),
+                              bytes.size() - 1};
+  for (const auto& section : *sections) {
+    cuts.push_back(section.offset);            // section start
+    cuts.push_back(section.offset + section.size);  // section end
+    if (section.size > 1) cuts.push_back(section.offset + section.size / 2);
+  }
+  for (const size_t cut : cuts) {
+    if (cut >= bytes.size()) continue;
+    ExpectRejected("truncated_at_" + std::to_string(cut) + ".snap",
+                   bytes.substr(0, cut));
+  }
+}
+
+TEST(SnapshotRobustnessTest, FlippedPayloadByteInEverySectionIsDataLoss) {
+  const std::string bytes = ValidSnapshotBytes();
+  auto sections = taxonomy::ReadSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  for (const auto& section : *sections) {
+    if (section.size == 0) continue;
+    std::string corrupt = bytes;
+    corrupt[section.offset + section.size / 2] ^= 0x40;
+    ExpectRejectedWith("flip_section_" + std::to_string(section.id) + ".snap",
+                       corrupt, util::StatusCode::kDataLoss);
+  }
+}
+
+TEST(SnapshotRobustnessTest, FlippedStoredCrcIsDataLoss) {
+  const std::string bytes = ValidSnapshotBytes();
+  for (uint32_t id = 0; id < taxonomy::kSnapshotSectionCount; ++id) {
+    std::string corrupt = bytes;
+    const size_t entry =
+        taxonomy::kSnapshotHeaderSize + id * taxonomy::kSnapshotSectionEntrySize;
+    corrupt[entry + 4] ^= 0xFF;  // stored section CRC
+    // Without resealing, the header CRC catches the tampered table.
+    ExpectRejectedWith("flipcrc_raw_" + std::to_string(id) + ".snap", corrupt,
+                       util::StatusCode::kDataLoss);
+    // With a resealed header, the per-section CRC check catches it.
+    ASSERT_TRUE(taxonomy::ResealSnapshotHeader(&corrupt).ok());
+    ExpectRejectedWith("flipcrc_resealed_" + std::to_string(id) + ".snap",
+                       corrupt, util::StatusCode::kDataLoss);
+  }
+}
+
+TEST(SnapshotRobustnessTest, FlippedHeaderCrcIsDataLoss) {
+  std::string bytes = ValidSnapshotBytes();
+  bytes[40] ^= 0xFF;
+  ExpectRejectedWith("headercrc.snap", bytes, util::StatusCode::kDataLoss);
+}
+
+TEST(SnapshotRobustnessTest, OversizedSectionOffsetsRejected) {
+  const std::string valid = ValidSnapshotBytes();
+  for (const uint64_t evil :
+       {static_cast<uint64_t>(valid.size()), ~uint64_t{0},
+        ~uint64_t{0} - 64, static_cast<uint64_t>(valid.size()) * 2}) {
+    std::string bytes = valid;
+    // Section 3 (name-sorted ids): point it past the end / at overflow bait.
+    const size_t entry = taxonomy::kSnapshotHeaderSize +
+                         3 * taxonomy::kSnapshotSectionEntrySize;
+    Patch<uint64_t>(&bytes, entry + 8, evil);
+    ASSERT_TRUE(taxonomy::ResealSnapshotHeader(&bytes).ok());
+    ExpectRejected("offset_" + std::to_string(evil % 1000) + ".snap", bytes);
+  }
+}
+
+TEST(SnapshotRobustnessTest, MisalignedSectionOffsetRejected) {
+  std::string bytes = ValidSnapshotBytes();
+  auto sections = taxonomy::ReadSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  const size_t entry = taxonomy::kSnapshotHeaderSize +
+                       1 * taxonomy::kSnapshotSectionEntrySize;
+  Patch<uint64_t>(&bytes, entry + 8, (*sections)[1].offset + 1);
+  ASSERT_TRUE(taxonomy::ResealSnapshotHeader(&bytes).ok());
+  ExpectRejectedWith("misaligned.snap", bytes,
+                     util::StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRobustnessTest, TrailingGarbageIsDataLoss) {
+  std::string bytes = ValidSnapshotBytes();
+  bytes += "garbage after the last section";
+  ExpectRejectedWith("trailing.snap", bytes, util::StatusCode::kDataLoss);
+}
+
+TEST(SnapshotRobustnessTest, InflatedCountsRejected) {
+  // Counts far beyond the file size must be rejected before any
+  // count-derived allocation or offset arithmetic happens.
+  for (const size_t off : {16u, 20u, 24u}) {
+    std::string bytes = ValidSnapshotBytes();
+    Patch<uint32_t>(&bytes, off, 0x7FFFFFFFu);
+    ASSERT_TRUE(taxonomy::ResealSnapshotHeader(&bytes).ok());
+    ExpectRejected("count_" + std::to_string(off) + ".snap", bytes);
+  }
+}
+
+TEST(SnapshotRobustnessTest, OutOfRangeEdgeTargetRejected) {
+  std::string bytes = ValidSnapshotBytes();
+  auto sections = taxonomy::ReadSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  // Section 5 is hypernym targets: u32 node ids.
+  Patch<uint32_t>(&bytes, (*sections)[5].offset, 0x00FFFFFFu);
+  ASSERT_TRUE(taxonomy::ResealSnapshotSection(&bytes, 5).ok());
+  ExpectRejectedWith("badtarget.snap", bytes,
+                     util::StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRobustnessTest, OutOfRangeMentionCandidateRejected) {
+  std::string bytes = ValidSnapshotBytes();
+  auto sections = taxonomy::ReadSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  // Section 15 is mention candidate ids.
+  Patch<uint32_t>(&bytes, (*sections)[15].offset, 0x00FFFFFFu);
+  ASSERT_TRUE(taxonomy::ResealSnapshotSection(&bytes, 15).ok());
+  ExpectRejectedWith("badcandidate.snap", bytes,
+                     util::StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRobustnessTest, NonMonotonicNameOffsetsRejected) {
+  std::string bytes = ValidSnapshotBytes();
+  auto sections = taxonomy::ReadSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  // Section 1 is name offsets: u64[n+1]. Swap the middle two.
+  const size_t base = (*sections)[1].offset;
+  uint64_t a, b;
+  std::memcpy(&a, bytes.data() + base + 8, 8);
+  std::memcpy(&b, bytes.data() + base + 16, 8);
+  Patch<uint64_t>(&bytes, base + 8, b);
+  Patch<uint64_t>(&bytes, base + 16, a);
+  ASSERT_TRUE(taxonomy::ResealSnapshotSection(&bytes, 1).ok());
+  ExpectRejectedWith("nameoffsets.snap", bytes,
+                     util::StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRobustnessTest, UnsortedNamePermutationRejected) {
+  std::string bytes = ValidSnapshotBytes();
+  auto sections = taxonomy::ReadSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  // Section 3 is the name-sorted id permutation: swap the first two so the
+  // binary-search invariant breaks while every id stays in range.
+  const size_t base = (*sections)[3].offset;
+  uint32_t a, b;
+  std::memcpy(&a, bytes.data() + base, 4);
+  std::memcpy(&b, bytes.data() + base + 4, 4);
+  Patch<uint32_t>(&bytes, base, b);
+  Patch<uint32_t>(&bytes, base + 4, a);
+  ASSERT_TRUE(taxonomy::ResealSnapshotSection(&bytes, 3).ok());
+  ExpectRejectedWith("unsortednames.snap", bytes,
+                     util::StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRobustnessTest, UnsortedMentionsRejected) {
+  std::string bytes = ValidSnapshotBytes();
+  auto sections = taxonomy::ReadSnapshotSections(bytes);
+  ASSERT_TRUE(sections.ok());
+  // Section 13 is the mention arena (sorted byte order). Corrupting its
+  // first byte to 0xFF makes the first mention sort after the second.
+  bytes[(*sections)[13].offset] = static_cast<char>(0xFF);
+  ASSERT_TRUE(taxonomy::ResealSnapshotSection(&bytes, 13).ok());
+  ExpectRejectedWith("unsortedmentions.snap", bytes,
+                     util::StatusCode::kInvalidArgument);
+}
+
+TEST(SnapshotRobustnessTest, TornWritesNeverLeaveLoadableCorruption) {
+  // With write/fsync/rename faults armed, every WriteSnapshot either
+  // succeeds or leaves the destination as it was: absent, or the previous
+  // complete generation. A load after each attempt must never see torn or
+  // corrupt bytes.
+  taxonomy::Taxonomy t;
+  t.AddIsa("实体", "概念", taxonomy::Source::kInfobox, 0.9f);
+  auto frozen = taxonomy::Taxonomy::Freeze(std::move(t));
+  const taxonomy::HeapServingView view(frozen, taxonomy::MentionIndex());
+
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    const std::string path = ::testing::TempDir() + "/torn_" +
+                             std::to_string(seed) + ".snap";
+    std::remove(path.c_str());
+    int successes = 0;
+    {
+      util::ScopedFaultInjection faults(
+          "snapshot.write=0.4;snapshot.fsync=0.3;snapshot.rename=0.4", seed);
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const util::Status status = taxonomy::WriteSnapshot(view, path);
+        if (status.ok()) ++successes;
+        auto snap = taxonomy::Snapshot::Load(path);
+        if (snap.ok()) {
+          // Whatever is on disk is a complete snapshot of this view.
+          EXPECT_EQ((*snap)->num_nodes(), view.num_nodes());
+          EXPECT_EQ((*snap)->num_edges(), view.num_edges());
+        } else {
+          // Only "no complete file yet" is acceptable — never corruption.
+          EXPECT_EQ(snap.status().code(), util::StatusCode::kIoError)
+              << "seed " << seed << " attempt " << attempt << ": "
+              << snap.status().ToString();
+        }
+      }
+    }
+    // Once a write succeeded the file persists; later failed attempts
+    // cannot take it away.
+    if (successes > 0) {
+      auto snap = taxonomy::Snapshot::Load(path);
+      EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(SnapshotRobustnessTest, InjectedReadFaultIsIoError) {
+  const std::string path =
+      WriteBytes("readfault.snap", ValidSnapshotBytes());
+  {
+    util::ScopedFaultInjection faults("snapshot.load.read=1", 3);
+    auto snap = taxonomy::Snapshot::Load(path);
+    ASSERT_FALSE(snap.ok());
+    EXPECT_EQ(snap.status().code(), util::StatusCode::kIoError);
+  }
+  auto snap = taxonomy::Snapshot::Load(path);
+  EXPECT_TRUE(snap.ok()) << snap.status().ToString();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cnpb
