@@ -7,7 +7,11 @@
 // Default mode replays in-process against the ApiService. `--live` replays
 // the same mix as HTTP requests against a real loopback HttpServer instead
 // — the deployed shape of Table II — with `--live-calls N` (default
-// 40,000) controlling the scaled call count.
+// 40,000) controlling the scaled call count. `--batch K` (implies --live)
+// groups the same mix into the /v1/*_batch endpoints at K items per
+// request: the logical call counts and the mix stay identical, only the
+// wire framing changes, which is exactly the amortization the batch APIs
+// sell.
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -109,11 +113,24 @@ void RunInProcess(taxonomy::ApiService* api, const QueryUniverse& universe) {
   PrintUsageTable(*api, timer.ElapsedSeconds(), total_calls, hits);
 }
 
+// Empty answer lists render as ":[]" — in a single-shot body there is at
+// most one, in a batch body one per unanswered item.
+size_t CountEmptyLists(const std::string& body) {
+  size_t count = 0;
+  for (size_t at = body.find(":[]"); at != std::string::npos;
+       at = body.find(":[]", at + 3)) {
+    ++count;
+  }
+  return count;
+}
+
 // --live: the same mix over the wire against a loopback HttpServer, split
 // across 4 keep-alive connections. "Non-empty" here means HTTP 200 with a
 // non-empty answer list (an unknown mention is a 404 by the wire contract).
+// With `batch` > 1, calls are grouped into the batch endpoints at `batch`
+// items per request, resolved against one pinned snapshot per request.
 void RunLive(taxonomy::ApiService* api, const QueryUniverse& universe,
-             size_t total_calls) {
+             size_t total_calls, size_t batch) {
   util::IgnoreSigpipe();
   server::ApiEndpoints endpoints(api);
   server::HttpServer::Config config;
@@ -124,8 +141,9 @@ void RunLive(taxonomy::ApiService* api, const QueryUniverse& universe,
                  status.ToString().c_str());
     std::exit(1);
   }
-  std::printf("\n--live: replaying over HTTP on 127.0.0.1:%u\n",
-              unsigned{httpd.port()});
+  std::printf("\n--live: replaying over HTTP on 127.0.0.1:%u%s\n",
+              unsigned{httpd.port()},
+              batch > 1 ? " (batched)" : "");
 
   constexpr int kConnections = 4;
   std::atomic<size_t> hits{0};
@@ -140,32 +158,61 @@ void RunLive(taxonomy::ApiService* api, const QueryUniverse& universe,
       util::ZipfSampler concept_zipf(universe.concept_names.size(), 1.0);
       server::HttpClient client;
       const size_t share = total_calls / kConnections;
-      for (size_t i = 0; i < share; ++i) {
+      for (size_t i = 0; i < share;) {
         if (!client.connected() &&
             !client.Connect("127.0.0.1", httpd.port()).ok()) {
+          ++i;
           continue;
         }
-        std::string target;
+        // Pick the endpoint by the Table II mix, then frame either one
+        // call (GET) or `batch` calls (POST, one term per line).
         const double u = rng.UniformDouble();
+        const char* endpoint;
+        const std::vector<std::string>* names;
+        util::ZipfSampler* zipf;
         if (u < kPMen2Ent) {
-          target = "/v1/men2ent?mention=" +
-                   server::PercentEncode(
-                       universe.mentions[mention_zipf.Sample(rng)]);
+          endpoint = "men2ent";
+          names = &universe.mentions;
+          zipf = &mention_zipf;
         } else if (u < kPMen2Ent + kPGetConcept) {
-          target = "/v1/getConcept?entity=" +
-                   server::PercentEncode(
-                       universe.entity_names[entity_zipf.Sample(rng)]);
+          endpoint = "getConcept";
+          names = &universe.entity_names;
+          zipf = &entity_zipf;
         } else {
-          target = "/v1/getEntity?concept=" +
-                   server::PercentEncode(
-                       universe.concept_names[concept_zipf.Sample(rng)]);
+          endpoint = "getEntity";
+          names = &universe.concept_names;
+          zipf = &concept_zipf;
         }
-        auto response = client.Get(target);
-        if (!response.ok()) continue;
-        ++sent;
-        if (response->status == 200 &&
-            response->body.find(":[]") == std::string::npos) {
-          ++hits;
+        if (batch > 1) {
+          const size_t items = std::min(batch, share - i);
+          std::string body;
+          for (size_t k = 0; k < items; ++k) {
+            body += (*names)[zipf->Sample(rng)];
+            body += '\n';
+          }
+          auto response =
+              client.Post("/v1/" + std::string(endpoint) + "_batch", body);
+          i += items;
+          if (!response.ok()) continue;
+          sent += items;
+          if (response->status == 200) {
+            hits += items - std::min(items, CountEmptyLists(response->body));
+          }
+        } else {
+          const char* param = u < kPMen2Ent ? "mention"
+                              : u < kPMen2Ent + kPGetConcept ? "entity"
+                                                             : "concept";
+          const std::string target =
+              "/v1/" + std::string(endpoint) + "?" + param + "=" +
+              server::PercentEncode((*names)[zipf->Sample(rng)]);
+          auto response = client.Get(target);
+          ++i;
+          if (!response.ok()) continue;
+          ++sent;
+          if (response->status == 200 &&
+              response->body.find(":[]") == std::string::npos) {
+            ++hits;
+          }
         }
       }
     });
@@ -183,7 +230,7 @@ void RunLive(taxonomy::ApiService* api, const QueryUniverse& universe,
               static_cast<unsigned long long>(stats.parse_errors));
 }
 
-void Run(bool live, size_t live_calls) {
+void Run(bool live, size_t live_calls, size_t batch) {
   bench::PrintHeader("Table II", "APIs and their usage");
   auto world = bench::MakeBenchWorld(bench::BenchScale());
 
@@ -196,7 +243,7 @@ void Run(bool live, size_t live_calls) {
 
   const QueryUniverse universe = MakeUniverse(*world, taxonomy);
   if (live) {
-    RunLive(&api, universe, live_calls);
+    RunLive(&api, universe, live_calls, batch);
   } else {
     RunInProcess(&api, universe);
   }
@@ -208,16 +255,22 @@ void Run(bool live, size_t live_calls) {
 int main(int argc, char** argv) {
   bool live = false;
   size_t live_calls = 40'000;
+  size_t batch = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--live") == 0) {
       live = true;
     } else if (std::strcmp(argv[i], "--live-calls") == 0 && i + 1 < argc) {
       live_calls = static_cast<size_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batch = static_cast<size_t>(std::max(1L, std::atol(argv[++i])));
+      live = true;  // batching only exists on the wire
     } else {
-      std::fprintf(stderr, "usage: %s [--live] [--live-calls N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--live] [--live-calls N] [--batch K]\n",
+                   argv[0]);
       return 2;
     }
   }
-  cnpb::Run(live, live_calls);
+  cnpb::Run(live, live_calls, batch);
   return 0;
 }

@@ -6,15 +6,24 @@
 //                   [--max-in-flight M] [--deadline-us D]
 //                   [--drain-ms MS] [--metrics-out BASE]
 //                   [--snapshot-in PATH] [--snapshot-out PATH]
+//                   [--cache-mb MB] [--poller auto|epoll|poll]
+//                   [--write-stall-ms MS]
 //
 // --snapshot-in mmap-loads a binary snapshot (DESIGN.md §10) and serves it
 // zero-copy, skipping the build entirely — the production cold-start path.
 // --snapshot-out writes the served view as a binary snapshot after startup,
 // so a build-and-serve run leaves behind a file the next run can mmap.
 //
-//   GET /v1/men2ent?mention=M        GET /healthz
-//   GET /v1/getConcept?entity=E      GET /metrics
-//   GET /v1/getEntity?concept=C
+// --cache-mb > 0 fronts the single-shot endpoints with the version-keyed
+// result cache (DESIGN.md §11); its hit/miss tally is printed at exit.
+// --poller forces the event backend (epoll fails on non-Linux builds);
+// --write-stall-ms tunes how long a connection may hold unflushed output
+// without the peer reading before its fd is reclaimed.
+//
+//   GET /v1/men2ent?mention=M        GET/POST /v1/men2ent_batch
+//   GET /v1/getConcept?entity=E      GET/POST /v1/getConcept_batch
+//   GET /v1/getEntity?concept=C      GET/POST /v1/getEntity_batch
+//   GET /healthz                     GET /metrics
 //
 // --port 0 (the default) binds an ephemeral port; the actual endpoint is
 // printed as "listening on http://HOST:PORT" once serving (the CI smoke
@@ -32,6 +41,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -63,7 +73,8 @@ int Usage(const char* argv0) {
                "usage: %s [--port P] [--host H] [--threads N] [--entities E]"
                " [--max-in-flight M] [--deadline-us D] [--drain-ms MS]"
                " [--metrics-out BASE] [--snapshot-in PATH]"
-               " [--snapshot-out PATH]\n",
+               " [--snapshot-out PATH] [--cache-mb MB]"
+               " [--poller auto|epoll|poll] [--write-stall-ms MS]\n",
                argv0);
   return 2;
 }
@@ -77,6 +88,7 @@ int main(int argc, char** argv) {
   size_t entities = 2000;
   size_t max_in_flight = 0;
   long deadline_us = 0;
+  size_t cache_mb = 0;
   std::string metrics_out;
   std::string snapshot_in;
   std::string snapshot_out;
@@ -111,6 +123,23 @@ int main(int argc, char** argv) {
       snapshot_in = next("--snapshot-in");
     } else if (arg == "--snapshot-out") {
       snapshot_out = next("--snapshot-out");
+    } else if (arg == "--cache-mb") {
+      cache_mb = static_cast<size_t>(std::atol(next("--cache-mb")));
+    } else if (arg == "--poller") {
+      const std::string poller = next("--poller");
+      if (poller == "auto") {
+        config.poller = server::HttpServer::Poller::kAuto;
+      } else if (poller == "epoll") {
+        config.poller = server::HttpServer::Poller::kEpoll;
+      } else if (poller == "poll") {
+        config.poller = server::HttpServer::Poller::kPoll;
+      } else {
+        std::fprintf(stderr, "--poller must be auto, epoll, or poll\n");
+        return 2;
+      }
+    } else if (arg == "--write-stall-ms") {
+      config.write_stall_timeout =
+          std::chrono::milliseconds(std::atol(next("--write-stall-ms")));
     } else {
       return Usage(argv[0]);
     }
@@ -181,8 +210,13 @@ int main(int argc, char** argv) {
     api.SetServingLimits(limits);
   }
 
-  server::ApiEndpoints endpoints(&api);
-  server::HttpServer httpd(config, endpoints.AsHandler());
+  server::ResultCache::Config cache_config;
+  cache_config.max_bytes = cache_mb << 20;
+  auto endpoints =
+      cache_mb > 0
+          ? std::make_unique<server::ApiEndpoints>(&api, cache_config)
+          : std::make_unique<server::ApiEndpoints>(&api);
+  server::HttpServer httpd(config, endpoints->AsHandler());
   if (const util::Status status = httpd.Start(); !status.ok()) {
     std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
     return 1;
@@ -202,9 +236,10 @@ int main(int argc, char** argv) {
                 concepts.front().c_str());
     return false;
   });
-  std::printf("listening on http://%s:%u (threads=%d, version=%llu)\n",
+  std::printf("listening on http://%s:%u (threads=%d, poller=%s, "
+              "cache=%zuMB, version=%llu)\n",
               config.host.c_str(), unsigned{httpd.port()},
-              config.num_threads,
+              config.num_threads, httpd.poller_name(), cache_mb,
               static_cast<unsigned long long>(api.version()));
   std::fflush(stdout);
 
@@ -220,11 +255,24 @@ int main(int argc, char** argv) {
 
   const server::HttpServer::Stats stats = httpd.stats();
   std::printf("served %llu requests over %llu connections "
-              "(%llu parse errors, %llu io errors)\n",
+              "(%llu parse errors, %llu io errors, %llu idle reclaims, "
+              "%llu write-stall reclaims)\n",
               static_cast<unsigned long long>(stats.requests),
               static_cast<unsigned long long>(stats.connections_accepted),
               static_cast<unsigned long long>(stats.parse_errors),
-              static_cast<unsigned long long>(stats.io_errors));
+              static_cast<unsigned long long>(stats.io_errors),
+              static_cast<unsigned long long>(stats.idle_timeouts),
+              static_cast<unsigned long long>(stats.write_stall_timeouts));
+  if (const server::ResultCache* cache = endpoints->cache()) {
+    const server::ResultCache::Stats cs = cache->stats();
+    std::printf("cache: %.1f%% hit ratio (%llu hits, %llu misses, "
+                "%llu evictions, %zu entries, %zu bytes)\n",
+                100.0 * cs.hit_ratio(),
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.evictions), cs.entries,
+                cs.bytes);
+  }
   if (!metrics_out.empty()) {
     api.ExportMetrics(&obs::MetricsRegistry::Global());
     if (const util::Status status = obs::WriteMetricsFiles(

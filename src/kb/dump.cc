@@ -79,12 +79,9 @@ namespace {
 // zero (zero is the "assign me one" sentinel and never appears in a saved
 // dump). Returns 0 on any failure.
 uint64_t ParsePageId(const std::string& field) {
-  if (field.empty()) return 0;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long id = std::strtoull(field.c_str(), &end, 10);
-  if (errno == ERANGE || end != field.c_str() + field.size()) return 0;
-  return static_cast<uint64_t>(id);
+  uint64_t id = 0;
+  if (!util::ParseUint64(field, &id)) return 0;
+  return id;
 }
 
 // Validates one raw row into `page`; returns the reason code of the first

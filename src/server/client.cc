@@ -95,6 +95,21 @@ util::Result<HttpClient::Response> HttpClient::Get(std::string_view target) {
   return ReadResponse();
 }
 
+util::Result<HttpClient::Response> HttpClient::Post(std::string_view target,
+                                                    std::string_view body,
+                                                    std::string_view
+                                                        content_type) {
+  std::string request = util::StrFormat(
+      "POST %.*s HTTP/1.1\r\nHost: %s\r\nContent-Type: %.*s\r\n"
+      "Content-Length: %zu\r\n\r\n",
+      static_cast<int>(target.size()), target.data(), host_.c_str(),
+      static_cast<int>(content_type.size()), content_type.data(),
+      body.size());
+  request.append(body);
+  CNPB_RETURN_IF_ERROR(SendRaw(request));
+  return ReadResponse();
+}
+
 util::Result<HttpClient::Response> HttpClient::ReadResponse() {
   if (fd_ < 0) return util::FailedPreconditionError("not connected");
   // Read until the header block is complete, then until the body is.

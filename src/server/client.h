@@ -42,6 +42,11 @@ class HttpClient {
   // is closed and the next Get must be preceded by Connect.
   util::Result<Response> Get(std::string_view target);
 
+  // POST `body` to `target` (the batch endpoints take one term per line).
+  util::Result<Response> Post(std::string_view target, std::string_view body,
+                              std::string_view content_type =
+                                  "text/plain; charset=utf-8");
+
   // Sends raw bytes and reads one response — lets tests speak malformed
   // HTTP (bad encodings, split writes) straight at the server.
   util::Status SendRaw(std::string_view bytes);

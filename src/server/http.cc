@@ -318,10 +318,26 @@ bool RequestParser::FinishHeaders() {
     Fail(400, "Transfer-Encoding not supported");
     return false;
   }
+  // Connection is a comma-separated token list (RFC 9110 §7.6.1); "close"
+  // and "keep-alive" may appear anywhere in it ("keep-alive, TE"), in any
+  // case, with optional whitespace around each token. "close" wins if both
+  // appear; unrecognized tokens are ignored.
   const std::string_view connection = request_.Header("Connection");
-  if (AsciiIEquals(connection, "close")) {
+  bool saw_close = false;
+  bool saw_keep_alive = false;
+  size_t start = 0;
+  while (start <= connection.size()) {
+    size_t comma = connection.find(',', start);
+    if (comma == std::string_view::npos) comma = connection.size();
+    const std::string_view token =
+        util::StripAsciiWhitespace(connection.substr(start, comma - start));
+    if (AsciiIEquals(token, "close")) saw_close = true;
+    if (AsciiIEquals(token, "keep-alive")) saw_keep_alive = true;
+    start = comma + 1;
+  }
+  if (saw_close) {
     request_.keep_alive = false;
-  } else if (AsciiIEquals(connection, "keep-alive")) {
+  } else if (saw_keep_alive) {
     request_.keep_alive = true;
   }
   body_length_ = 0;

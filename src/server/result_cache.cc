@@ -1,0 +1,118 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace cnpb::server {
+
+namespace {
+
+// Fixed per-entry overhead charged against the byte budget on top of the
+// key and body payloads (map node, list node, Entry bookkeeping).
+constexpr size_t kEntryOverheadBytes = 64;
+
+}  // namespace
+
+ResultCache::ResultCache(const Config& config)
+    : shard_budget_(std::max<size_t>(1, config.max_bytes) /
+                    std::max<size_t>(1, config.num_shards)),
+      shards_(std::max<size_t>(1, config.num_shards)) {}
+
+std::string ResultCache::Key(std::string_view endpoint, std::string_view arg,
+                             std::string_view options) {
+  std::string key;
+  key.reserve(endpoint.size() + arg.size() + options.size() + 24);
+  key += endpoint;
+  key += '\0';
+  key += std::to_string(arg.size());
+  key += '\0';
+  key += arg;
+  key += options;
+  return key;
+}
+
+ResultCache::Shard& ResultCache::ShardFor(std::string_view key) {
+  const size_t h = std::hash<std::string_view>{}(key);
+  return shards_[h % shards_.size()];
+}
+
+size_t ResultCache::EntryBytes(std::string_view key, std::string_view body) {
+  return key.size() + body.size() + kEntryOverheadBytes;
+}
+
+void ResultCache::EraseLocked(
+    Shard& shard, std::unordered_map<std::string, Entry>::iterator it) {
+  shard.bytes -= EntryBytes(it->first, it->second.body);
+  shard.lru.erase(it->second.lru_it);
+  shard.map.erase(it);
+}
+
+bool ResultCache::Lookup(std::string_view key, uint64_t version,
+                         CachedResponse* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(std::string(key));
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    m_misses_->Increment();
+    return false;
+  }
+  if (it->second.version != version) {
+    // Publish bumped the version; this entry can never hit again.
+    EraseLocked(shard, it);
+    ++shard.misses;
+    ++shard.stale_drops;
+    m_misses_->Increment();
+    m_stale_drops_->Increment();
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
+  out->status = it->second.status;
+  out->body = it->second.body;
+  ++shard.hits;
+  m_hits_->Increment();
+  return true;
+}
+
+void ResultCache::Insert(std::string_view key, uint64_t version, int status,
+                         std::string_view body) {
+  if (EntryBytes(key, body) > shard_budget_) return;  // would evict everything
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  std::string key_str(key);
+  if (const auto it = shard.map.find(key_str); it != shard.map.end()) {
+    EraseLocked(shard, it);
+  }
+  shard.lru.push_front(key_str);
+  Entry entry;
+  entry.version = version;
+  entry.status = status;
+  entry.body = std::string(body);
+  entry.lru_it = shard.lru.begin();
+  shard.bytes += EntryBytes(key_str, entry.body);
+  shard.map.emplace(std::move(key_str), std::move(entry));
+  ++shard.insertions;
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const auto victim = shard.map.find(shard.lru.back());
+    EraseLocked(shard, victim);
+    ++shard.evictions;
+    m_evictions_->Increment();
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  Stats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.hits;
+    total.misses += shard.misses;
+    total.insertions += shard.insertions;
+    total.evictions += shard.evictions;
+    total.stale_drops += shard.stale_drops;
+    total.entries += shard.map.size();
+    total.bytes += shard.bytes;
+  }
+  return total;
+}
+
+}  // namespace cnpb::server

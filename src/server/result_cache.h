@@ -1,0 +1,125 @@
+#ifndef CNPROBASE_SERVER_RESULT_CACHE_H_
+#define CNPROBASE_SERVER_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cnpb::server {
+
+// Version-keyed query-result cache for the wire endpoints (cf. gigablast's
+// RdbCache): entries are keyed by (endpoint, decoded argument) and stamped
+// with the snapshot version their body was resolved against. A lookup only
+// hits when the cached version equals the caller's current version, so a
+// publish invalidates every stale entry wholesale — no invalidation
+// protocol, no coherence window. Serving a version-V body after V was
+// retired is indistinguishable from the request having arrived a moment
+// earlier; the stamp inside the body still matches the data (which is why
+// the version-stamp bugfix in service.cc is a prerequisite for this cache).
+//
+// Sharded LRU: the key hash picks a shard, each shard holds its own mutex,
+// recency list, and byte budget (max_bytes / num_shards). Stale entries are
+// dropped on touch; memory pressure evicts least-recently-used entries.
+// All operations are safe to call concurrently from the server's event
+// loops while publishes bump the version.
+class ResultCache {
+ public:
+  struct Config {
+    size_t max_bytes = 16u << 20;  // total budget across all shards
+    size_t num_shards = 8;
+  };
+
+  // Aggregated over shards; each counter is exact, the snapshot as a whole
+  // is not a cross-shard atomic cut.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;    // LRU evictions under the byte budget
+    uint64_t stale_drops = 0;  // version-mismatched entries dropped on touch
+    size_t entries = 0;
+    size_t bytes = 0;
+    double hit_ratio() const {
+      const uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+
+  struct CachedResponse {
+    int status = 0;
+    std::string body;
+  };
+
+  explicit ResultCache(const Config& config);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  // Builds the canonical cache key. The endpoint tag keeps the three APIs'
+  // keyspaces disjoint; `arg` is the percent-decoded query argument and
+  // `options` folds in anything else that changes the answer (transitive
+  // flag, limit) — both are length-prefixed so no two (arg, options) pairs
+  // collide by concatenation.
+  static std::string Key(std::string_view endpoint, std::string_view arg,
+                         std::string_view options = {});
+
+  // True (and fills *out) when `key` is cached at exactly `version`. An
+  // entry at any other version is a miss and is dropped on the spot.
+  bool Lookup(std::string_view key, uint64_t version, CachedResponse* out);
+
+  // Caches (status, body) for `key` at `version`, replacing any previous
+  // entry. Entries larger than a shard's whole budget are not cached.
+  void Insert(std::string_view key, uint64_t version, int status,
+              std::string_view body);
+
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    int status = 0;
+    std::string body;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<std::string> lru;  // front = most recently used; values = keys
+    std::unordered_map<std::string, Entry> map;
+    size_t bytes = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t stale_drops = 0;
+  };
+
+  Shard& ShardFor(std::string_view key);
+  // Removes `it` from `shard`, adjusting byte accounting. Caller holds mu.
+  void EraseLocked(Shard& shard,
+                   std::unordered_map<std::string, Entry>::iterator it);
+  static size_t EntryBytes(std::string_view key, std::string_view body);
+
+  const size_t shard_budget_;
+  std::vector<Shard> shards_;
+
+  obs::Counter* const m_hits_ =
+      obs::MetricsRegistry::Global().counter("http.cache.hits");
+  obs::Counter* const m_misses_ =
+      obs::MetricsRegistry::Global().counter("http.cache.misses");
+  obs::Counter* const m_evictions_ =
+      obs::MetricsRegistry::Global().counter("http.cache.evictions");
+  obs::Counter* const m_stale_drops_ =
+      obs::MetricsRegistry::Global().counter("http.cache.stale_drops");
+};
+
+}  // namespace cnpb::server
+
+#endif  // CNPROBASE_SERVER_RESULT_CACHE_H_

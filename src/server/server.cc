@@ -4,10 +4,19 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <deque>
+#include <iterator>
+#include <unordered_map>
 #include <utility>
 
 #include "util/fault_injection.h"
@@ -19,8 +28,14 @@ namespace cnpb::server {
 
 namespace {
 
+using TimePoint = std::chrono::steady_clock::time_point;
+
+// Cap on the iovec batch one FlushWrites round hands to writev; deeper
+// response queues simply take another round.
+constexpr int kMaxIov = 64;
+
 // Small JSON error body used for responses the service layer never sees
-// (parse errors, connection-table 503s, drain 504s).
+// (parse errors, connection-table 503s, idle 408s, drain 504s).
 HttpResponse ProtocolErrorResponse(int status, const std::string& message) {
   HttpResponse response;
   response.status = status;
@@ -35,29 +50,135 @@ void SetNoDelay(int fd) {
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+// Hashed timer wheel with lazy deadlines. Entries are (fd, generation id)
+// pairs, never pointers, so an entry that outlives its connection — or
+// lands on a reused fd number — is detected and dropped by the expiry
+// callback. A connection is inserted once at accept and stays in the wheel
+// until it is closed: when its slot comes up the callback re-computes the
+// real deadline from current connection state and either reclaims the
+// connection or reschedules the entry, so activity never has to touch the
+// wheel on the hot path (lazy cancellation, cf. kernel timer wheels).
+class TimerWheel {
+ public:
+  struct Entry {
+    int fd = -1;
+    uint64_t id = 0;
+    // The deadline this entry was scheduled for. A connection records the
+    // deadline of its live entry (wheel_deadline); entries that fire with a
+    // different value were superseded by a tighter reschedule and are
+    // dropped without consulting the connection's timeout state.
+    TimePoint deadline;
+  };
+
+  void Init(std::chrono::milliseconds granularity, TimePoint now) {
+    granularity_ = granularity;
+    cursor_time_ = now;
+  }
+
+  void Schedule(int fd, uint64_t id, TimePoint deadline) {
+    size_t ticks = 1;
+    if (deadline > cursor_time_) {
+      const auto delta = deadline - cursor_time_;
+      ticks = static_cast<size_t>(delta / granularity_) + 1;
+      // Beyond the horizon: park in the furthest slot; the expiry callback
+      // reschedules anything whose deadline has not actually arrived.
+      if (ticks >= kSlots) ticks = kSlots - 1;
+    }
+    slots_[(cursor_ + ticks) % kSlots].push_back(Entry{fd, id, deadline});
+  }
+
+  // Advances the cursor to `now`, invoking `on_due` for every entry in the
+  // slots passed. `on_due` owns the verdict: drop, reclaim, or Schedule()
+  // the entry again.
+  template <typename Fn>
+  void Advance(TimePoint now, Fn&& on_due) {
+    while (now - cursor_time_ >= granularity_) {
+      cursor_ = (cursor_ + 1) % kSlots;
+      cursor_time_ += granularity_;
+      std::vector<Entry> due;
+      due.swap(slots_[cursor_]);
+      for (const Entry& entry : due) on_due(entry);
+    }
+  }
+
+ private:
+  static constexpr size_t kSlots = 256;
+  std::chrono::milliseconds granularity_{100};
+  TimePoint cursor_time_;
+  size_t cursor_ = 0;
+  std::vector<Entry> slots_[kSlots];
+};
+
+// Wheel tick size: fine enough that the shortest armed timeout fires within
+// ~25% of its nominal value, bounded so a disabled/huge timeout does not
+// spin the cursor.
+std::chrono::milliseconds TimerGranularity(
+    const HttpServer::Config& config) {
+  int64_t shortest_ms = 0;
+  for (const auto timeout :
+       {config.idle_timeout, config.write_stall_timeout}) {
+    if (timeout.count() > 0 &&
+        (shortest_ms == 0 || timeout.count() < shortest_ms)) {
+      shortest_ms = timeout.count();
+    }
+  }
+  if (shortest_ms == 0) return std::chrono::milliseconds(250);
+  const int64_t tick = shortest_ms / 4;
+  return std::chrono::milliseconds(std::clamp<int64_t>(tick, 5, 250));
+}
+
 }  // namespace
 
-// One accepted connection, owned by exactly one event loop.
+// One accepted connection, owned by exactly one event loop. `id` is a
+// per-loop generation counter: timer-wheel entries name connections as
+// (fd, id) so a stale entry for a recycled fd never fires on its successor.
 struct HttpServer::Connection {
   explicit Connection(const RequestParser::Limits& limits) : parser(limits) {}
 
   int fd = -1;
+  uint64_t id = 0;
   RequestParser parser;
-  std::string out;       // serialized responses not yet written
-  size_t out_off = 0;
+  // Serialized responses not yet written, flushed with writev; `front_off`
+  // is the already-sent prefix of out.front(), `out_bytes` the queue total.
+  std::deque<std::string> out;
+  size_t front_off = 0;
+  size_t out_bytes = 0;
   bool close_after_flush = false;
-  std::chrono::steady_clock::time_point last_active;
+  TimePoint last_active;    // last byte read from the peer
+  TimePoint last_progress;  // last write progress while output was queued
+  // Deadline of this connection's live wheel entry. The wheel is lazy, so
+  // an entry parked at a far idle deadline would never notice the state
+  // flipping to the (much shorter) write-stall class; TightenDeadline
+  // inserts a closer entry and this field marks the old one as superseded.
+  TimePoint wheel_deadline;
+
+  void Queue(std::string bytes) {
+    out_bytes += bytes.size();
+    out.push_back(std::move(bytes));
+  }
 };
 
 struct HttpServer::Loop {
   int wake_rd = -1;
   int wake_wr = -1;
-  std::vector<std::unique_ptr<Connection>> conns;
+#ifdef __linux__
+  int epfd = -1;
+#endif
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;  // by fd
+  TimerWheel wheel;
+  uint64_t next_id = 1;
+  // Scratch for the poll(2) backend (kept across iterations to avoid
+  // reallocating the poll set every 100ms).
+  std::vector<pollfd> pfds;
+  std::vector<Connection*> polled;
 
   ~Loop() {
-    for (const auto& conn : conns) util::CloseFd(conn->fd);
+    for (const auto& [fd, conn] : conns) util::CloseFd(fd);
     util::CloseFd(wake_rd);
     util::CloseFd(wake_wr);
+#ifdef __linux__
+    util::CloseFd(epfd);
+#endif
   }
 };
 
@@ -65,6 +186,11 @@ HttpServer::HttpServer(const Config& config, Handler handler)
     : config_(config), handler_(std::move(handler)) {
   CNPB_CHECK(config_.num_threads >= 1);
   CNPB_CHECK(handler_ != nullptr);
+#ifdef __linux__
+  use_epoll_ = config_.poller != Poller::kPoll;
+#else
+  use_epoll_ = false;
+#endif
 }
 
 HttpServer::~HttpServer() {
@@ -72,19 +198,35 @@ HttpServer::~HttpServer() {
   Wait();
 }
 
+const char* HttpServer::poller_name() const {
+  return use_epoll_ ? "epoll" : "poll";
+}
+
 util::Status HttpServer::Start() {
+#ifndef __linux__
+  if (config_.poller == Poller::kEpoll) {
+    return util::FailedPreconditionError("epoll backend requires Linux");
+  }
+#endif
   int expected = kIdle;
   if (!state_.compare_exchange_strong(expected, kRunning)) {
     return util::FailedPreconditionError("server already started");
   }
+  // The backlog must absorb a connect burst as large as the connection
+  // table, or excess SYNs are dropped and those clients stall on the ~1s
+  // retransmit timer before the loops ever see them (the kernel clamps to
+  // net.core.somaxconn).
+  const int backlog = static_cast<int>(std::min(config_.max_connections,
+                                                size_t{65535}));
   util::Result<int> listen =
-      util::ListenTcp(config_.host, config_.port, /*backlog=*/511, &port_);
+      util::ListenTcp(config_.host, config_.port, backlog, &port_);
   if (!listen.ok()) {
     state_.store(kStopped);
     return listen.status();
   }
   listen_fd_ = *listen;
   const size_t num_loops = static_cast<size_t>(config_.num_threads);
+  const auto now = std::chrono::steady_clock::now();
   for (size_t i = 0; i < num_loops; ++i) {
     auto loop = std::make_unique<Loop>();
     int pipe_fds[2];
@@ -96,6 +238,7 @@ util::Status HttpServer::Start() {
     loop->wake_wr = pipe_fds[1];
     (void)util::SetNonBlocking(loop->wake_rd);
     (void)util::SetNonBlocking(loop->wake_wr);
+    loop->wheel.Init(TimerGranularity(config_), now);
     loops_.push_back(std::move(loop));
   }
   // The event loops are long-lived tasks: lane 0 runs on the dedicated
@@ -118,8 +261,8 @@ void HttpServer::Stop() {
   if (state_.load(std::memory_order_acquire) != kRunning) return;
   drain_started_ = std::chrono::steady_clock::now();
   state_.store(kDraining, std::memory_order_release);
-  // Refuse new connections immediately. Loops stop polling the listening
-  // fd once they observe kDraining; a loop mid-poll may see one spurious
+  // Refuse new connections immediately. Loops stop watching the listening
+  // fd once they observe kDraining; a loop mid-wait may see one spurious
   // event on the stale fd, which the accept error path tolerates.
   const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
   util::CloseFd(fd);
@@ -147,28 +290,102 @@ HttpServer::Stats HttpServer::stats() const {
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.parse_errors = parse_errors_.load(std::memory_order_relaxed);
   stats.io_errors = io_errors_.load(std::memory_order_relaxed);
+  stats.idle_timeouts = idle_timeouts_.load(std::memory_order_relaxed);
+  stats.write_stall_timeouts =
+      stall_timeouts_.load(std::memory_order_relaxed);
+  stats.open_connections = open_connections_.load(std::memory_order_relaxed);
   return stats;
 }
 
-void HttpServer::CloseConnection(Loop* loop, size_t slot) {
-  util::CloseFd(loop->conns[slot]->fd);
-  loop->conns.erase(loop->conns.begin() +
-                    static_cast<std::ptrdiff_t>(slot));
+void HttpServer::CloseConnection(Loop* loop, Connection* conn) {
+  // close() drops the fd from the loop's epoll interest list implicitly.
+  const int fd = conn->fd;
+  util::CloseFd(fd);
+  loop->conns.erase(fd);  // frees `conn`
   open_connections_.fetch_sub(1, std::memory_order_relaxed);
   m_closed_->Increment();
 }
 
+TimePoint HttpServer::DeadlineFor(const Connection& conn,
+                                  TimePoint now) const {
+  if (conn.out_bytes > 0) {
+    if (config_.write_stall_timeout.count() > 0) {
+      return conn.last_progress + config_.write_stall_timeout;
+    }
+  } else if (config_.idle_timeout.count() > 0) {
+    return conn.last_active + config_.idle_timeout;
+  }
+  // The timeout covering the connection's current state is disabled; check
+  // back later in case the state (queued output vs idle) flips.
+  return now + std::chrono::seconds(1);
+}
+
+void HttpServer::TightenDeadline(Loop* loop, Connection* conn,
+                                 TimePoint now) {
+  const TimePoint deadline = DeadlineFor(*conn, now);
+  if (deadline < conn->wheel_deadline) {
+    loop->wheel.Schedule(conn->fd, conn->id, deadline);
+    conn->wheel_deadline = deadline;
+  }
+}
+
+void HttpServer::ExpireTimers(Loop* loop, TimePoint now) {
+  loop->wheel.Advance(now, [&](const TimerWheel::Entry& entry) {
+    const auto it = loop->conns.find(entry.fd);
+    if (it == loop->conns.end() || it->second->id != entry.id) {
+      return;  // closed since scheduling (possibly a recycled fd) — drop
+    }
+    Connection* conn = it->second.get();
+    if (entry.deadline != conn->wheel_deadline) {
+      return;  // superseded by a tighter reschedule — drop
+    }
+    const TimePoint deadline = DeadlineFor(*conn, now);
+    if (deadline > now) {
+      loop->wheel.Schedule(entry.fd, entry.id, deadline);
+      conn->wheel_deadline = deadline;
+      return;
+    }
+    if (conn->out_bytes > 0) {
+      // Write stall: the peer has not accepted a byte of the queued output
+      // for the whole window. Nothing more we owe it.
+      stall_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      m_stall_timeouts_->Increment();
+    } else {
+      idle_timeouts_.fetch_add(1, std::memory_order_relaxed);
+      m_idle_timeouts_->Increment();
+      if (conn->parser.HasPartialRequest()) {
+        // Slow-loris read side: a request trickling in for a whole idle
+        // window gets a best-effort 408 before the close.
+        const std::string bytes = SerializeResponse(
+            ProtocolErrorResponse(408, "request timed out"),
+            /*keep_alive=*/false, /*head_only=*/false);
+        (void)util::SendSome(conn->fd, bytes.data(), bytes.size());
+      }
+    }
+    CloseConnection(loop, conn);
+  });
+}
+
 bool HttpServer::FlushWrites(Connection* conn) {
-  while (conn->out_off < conn->out.size()) {
+  while (conn->out_bytes > 0) {
     if (const util::Status fault = util::CheckFault("server.write");
         !fault.ok()) {
       io_errors_.fetch_add(1, std::memory_order_relaxed);
       m_io_errors_->Increment();
       return false;
     }
-    const util::Result<size_t> sent = util::SendSome(
-        conn->fd, conn->out.data() + conn->out_off,
-        conn->out.size() - conn->out_off);
+    struct iovec iov[kMaxIov];
+    int iovcnt = 0;
+    size_t off = conn->front_off;
+    for (const std::string& chunk : conn->out) {
+      iov[iovcnt].iov_base =
+          const_cast<char*>(chunk.data()) + off;
+      iov[iovcnt].iov_len = chunk.size() - off;
+      off = 0;
+      if (++iovcnt == kMaxIov) break;
+    }
+    const util::Result<size_t> sent =
+        util::WritevSome(conn->fd, iov, iovcnt);
     if (!sent.ok()) {
       // EPIPE/ECONNRESET from a peer that went away mid-response: an
       // orderly close of this connection, never a process-level signal.
@@ -176,12 +393,25 @@ bool HttpServer::FlushWrites(Connection* conn) {
       m_io_errors_->Increment();
       return false;
     }
-    if (*sent == 0) return true;  // would block; poll for POLLOUT
-    conn->out_off += *sent;
-    conn->last_active = std::chrono::steady_clock::now();
+    if (*sent == 0) return true;  // would block; wait for writability
+    conn->out_bytes -= *sent;
+    conn->last_progress = std::chrono::steady_clock::now();
+    size_t consumed = *sent;
+    while (consumed > 0) {
+      const size_t front_left = conn->out.front().size() - conn->front_off;
+      if (consumed >= front_left) {
+        consumed -= front_left;
+        conn->front_off = 0;
+        conn->out.pop_front();
+      } else {
+        conn->front_off += consumed;
+        consumed = 0;
+      }
+    }
   }
-  conn->out.clear();
-  conn->out_off = 0;
+  // Fully flushed: the idle clock restarts now, not at the last read, so a
+  // legitimately slow reader is not charged its own drain time as idle.
+  conn->last_active = std::chrono::steady_clock::now();
   return !conn->close_after_flush;
 }
 
@@ -194,8 +424,8 @@ void HttpServer::HandleParsed(Connection* conn) {
   const bool draining =
       state_.load(std::memory_order_acquire) != kRunning;
   const bool keep_alive = request.keep_alive && !response.close && !draining;
-  conn->out += SerializeResponse(response, keep_alive,
-                                 /*head_only=*/request.method == "HEAD");
+  conn->Queue(SerializeResponse(response, keep_alive,
+                                /*head_only=*/request.method == "HEAD"));
   if (!keep_alive) conn->close_after_flush = true;
 }
 
@@ -216,6 +446,9 @@ bool HttpServer::ServiceRead(Connection* conn) {
       m_io_errors_->Increment();
       return false;
     }
+    // Edge-triggered epoll only re-arms once the socket is drained, so the
+    // read loop must run to EAGAIN — a short read is not proof the buffer
+    // is empty and must not end the loop.
     if (would_block) break;
     if (*got == 0) return false;  // peer closed
     conn->last_active = std::chrono::steady_clock::now();
@@ -232,139 +465,283 @@ bool HttpServer::ServiceRead(Connection* conn) {
       m_parse_errors_->Increment();
       const HttpResponse error = ProtocolErrorResponse(
           conn->parser.error_status(), conn->parser.error_message());
-      conn->out += SerializeResponse(error, /*keep_alive=*/false,
-                                     /*head_only=*/false);
+      conn->Queue(SerializeResponse(error, /*keep_alive=*/false,
+                                    /*head_only=*/false));
       conn->close_after_flush = true;
       break;
     }
     if (conn->close_after_flush) break;
-    if (*got < sizeof(buf)) break;  // socket very likely drained
   }
   return FlushWrites(conn);
 }
 
+bool HttpServer::ServiceConnection(Connection* conn, bool readable,
+                                   bool writable) {
+  if (readable) {
+    // After a protocol error we stop reading and only flush the 4xx.
+    return conn->close_after_flush ? FlushWrites(conn) : ServiceRead(conn);
+  }
+  if (writable) return FlushWrites(conn);
+  return true;
+}
+
+void HttpServer::AcceptPending(Loop* loop, TimePoint now) {
+  const int listen_fd = listen_fd_.load(std::memory_order_relaxed);
+  if (listen_fd < 0) return;
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // EAGAIN, or the fd was closed/reused under drain
+    }
+    if (const util::Status fault = util::CheckFault("server.accept");
+        !fault.ok()) {
+      io_errors_.fetch_add(1, std::memory_order_relaxed);
+      m_io_errors_->Increment();
+      util::CloseFd(fd);
+      continue;
+    }
+    if (open_connections_.fetch_add(1, std::memory_order_relaxed) + 1 >
+        config_.max_connections) {
+      open_connections_.fetch_sub(1, std::memory_order_relaxed);
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      m_rejected_->Increment();
+      const std::string bytes = SerializeResponse(
+          ProtocolErrorResponse(503, "connection table full"),
+          /*keep_alive=*/false, /*head_only=*/false);
+      (void)util::SendSome(fd, bytes.data(), bytes.size());
+      util::CloseFd(fd);
+      continue;
+    }
+    (void)util::SetNonBlocking(fd);
+    SetNoDelay(fd);
+    (void)util::SetSendBufferSize(fd, config_.so_sndbuf);
+    auto conn = std::make_unique<Connection>(config_.parser_limits);
+    conn->fd = fd;
+    conn->id = loop->next_id++;
+    conn->last_active = now;
+    conn->last_progress = now;
+    conn->wheel_deadline = DeadlineFor(*conn, now);
+    loop->wheel.Schedule(fd, conn->id, conn->wheel_deadline);
+#ifdef __linux__
+    if (use_epoll_) {
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+      ev.data.fd = fd;
+      if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        CNPB_LOG(Error) << "epoll_ctl(ADD) failed: " << std::strerror(errno);
+        open_connections_.fetch_sub(1, std::memory_order_relaxed);
+        util::CloseFd(fd);
+        continue;
+      }
+    }
+#endif
+    loop->conns.emplace(fd, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    m_accepted_->Increment();
+  }
+}
+
+bool HttpServer::DrainPass(Loop* loop, TimePoint now) {
+  // Idle keep-alive connections owe nothing; close them right away.
+  for (auto it = loop->conns.begin(); it != loop->conns.end();) {
+    Connection* conn = it->second.get();
+    ++it;  // CloseConnection erases by fd; advance first
+    if (conn->out_bytes == 0 && !conn->parser.HasPartialRequest()) {
+      CloseConnection(loop, conn);
+    }
+  }
+  if (loop->conns.empty()) return true;
+  if (now - drain_started_ > config_.drain_deadline) {
+    // Past the deadline: half-read requests get a best-effort 504,
+    // everything still unflushed is dropped.
+    for (auto it = loop->conns.begin(); it != loop->conns.end();) {
+      Connection* conn = it->second.get();
+      ++it;
+      if (conn->parser.HasPartialRequest()) {
+        const std::string bytes = SerializeResponse(
+            ProtocolErrorResponse(504, "server draining"),
+            /*keep_alive=*/false, /*head_only=*/false);
+        (void)util::SendSome(conn->fd, bytes.data(), bytes.size());
+      }
+      CloseConnection(loop, conn);
+    }
+    return true;
+  }
+  return false;
+}
+
 void HttpServer::RunLoop(size_t index) {
   Loop* loop = loops_[index].get();
-  std::vector<pollfd> pfds;
+#ifdef __linux__
+  if (use_epoll_) {
+    RunEpollLoop(loop);
+    return;
+  }
+#endif
+  RunPollLoop(loop);
+}
+
+#ifdef __linux__
+
+// EPOLLEXCLUSIVE landed in Linux 4.5; guard for older toolchain headers.
+#ifndef EPOLLEXCLUSIVE
+#define EPOLLEXCLUSIVE 0
+#endif
+
+void HttpServer::RunEpollLoop(Loop* loop) {
+  loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (loop->epfd < 0) {
+    CNPB_LOG(Error) << "epoll_create1 failed: " << std::strerror(errno);
+    return;
+  }
+  {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = loop->wake_rd;
+    CNPB_CHECK(::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, loop->wake_rd, &ev) ==
+               0);
+  }
+  // Every loop has its own epoll instance watching the one listening
+  // socket; EPOLLEXCLUSIVE stops a single inbound connection from waking
+  // all of them (thundering herd). Level-triggered on purpose: with ET a
+  // burst that one loop only partially drains would go unannounced.
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
+  if (listen_fd >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.fd = listen_fd;
+    if (::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, listen_fd, &ev) != 0 &&
+        errno == EINVAL) {
+      ev.events = EPOLLIN;  // pre-4.5 kernel: plain level-triggered watch
+      (void)::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, listen_fd, &ev);
+    }
+  }
+
+  epoll_event events[256];
   for (;;) {
     const int state = state_.load(std::memory_order_acquire);
     if (state == kStopped) break;
     const bool draining = state == kDraining;
     const auto now = std::chrono::steady_clock::now();
+    if (draining && DrainPass(loop, now)) break;
+    ExpireTimers(loop, now);
 
-    if (draining) {
-      // Idle keep-alive connections owe nothing; close them right away.
-      for (size_t i = loop->conns.size(); i-- > 0;) {
-        Connection* conn = loop->conns[i].get();
-        if (conn->out.empty() && !conn->parser.HasPartialRequest()) {
-          CloseConnection(loop, i);
+    const int timeout_ms = draining ? 10 : 100;
+    const int ready = ::epoll_wait(loop->epfd, events,
+                                   static_cast<int>(std::size(events)),
+                                   timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      CNPB_LOG(Error) << "epoll_wait failed: " << std::strerror(errno);
+      break;
+    }
+    const auto wake = std::chrono::steady_clock::now();
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == loop->wake_rd) {
+        char drain_buf[64];
+        while (::read(loop->wake_rd, drain_buf, sizeof(drain_buf)) > 0) {
         }
+        continue;
       }
-      if (loop->conns.empty()) break;
-      if (now - drain_started_ > config_.drain_deadline) {
-        // Past the deadline: half-read requests get a best-effort 504,
-        // everything still unflushed is dropped.
-        for (size_t i = loop->conns.size(); i-- > 0;) {
-          Connection* conn = loop->conns[i].get();
-          if (conn->parser.HasPartialRequest()) {
-            const std::string bytes = SerializeResponse(
-                ProtocolErrorResponse(504, "server draining"),
-                /*keep_alive=*/false, /*head_only=*/false);
-            (void)util::SendSome(conn->fd, bytes.data(), bytes.size());
-          }
-          CloseConnection(loop, i);
-        }
-        break;
+      if (fd == listen_fd) {
+        if (!draining) AcceptPending(loop, wake);
+        continue;
+      }
+      const auto it = loop->conns.find(fd);
+      if (it == loop->conns.end()) continue;  // already closed this batch
+      Connection* conn = it->second.get();
+      bool alive;
+      if ((mask & EPOLLERR) != 0) {
+        alive = false;
+      } else {
+        // EPOLLRDHUP/EPOLLHUP surface through the read path: recv drains
+        // whatever the peer sent before its FIN, then reports the close.
+        const bool readable =
+            (mask & (EPOLLIN | EPOLLRDHUP | EPOLLHUP)) != 0;
+        const bool writable = (mask & EPOLLOUT) != 0;
+        alive = ServiceConnection(conn, readable, writable);
+      }
+      if (!alive) {
+        CloseConnection(loop, conn);
+      } else {
+        // Queued output switches the connection to the (typically much
+        // shorter) write-stall timeout; make sure the wheel looks that soon.
+        TightenDeadline(loop, conn, wake);
       }
     }
+  }
+}
 
-    pfds.clear();
-    pfds.push_back({loop->wake_rd, POLLIN, 0});
+#endif  // __linux__
+
+void HttpServer::RunPollLoop(Loop* loop) {
+  for (;;) {
+    const int state = state_.load(std::memory_order_acquire);
+    if (state == kStopped) break;
+    const bool draining = state == kDraining;
+    const auto now = std::chrono::steady_clock::now();
+    if (draining && DrainPass(loop, now)) break;
+    ExpireTimers(loop, now);
+
+    loop->pfds.clear();
+    loop->polled.clear();
+    loop->pfds.push_back({loop->wake_rd, POLLIN, 0});
     const int listen_fd =
         draining ? -1 : listen_fd_.load(std::memory_order_relaxed);
-    if (listen_fd >= 0) pfds.push_back({listen_fd, POLLIN, 0});
-    const size_t conns_base = pfds.size();
-    for (const auto& conn : loop->conns) {
+    if (listen_fd >= 0) loop->pfds.push_back({listen_fd, POLLIN, 0});
+    const size_t conns_base = loop->pfds.size();
+    for (const auto& [fd, conn] : loop->conns) {
       short events = POLLIN;
-      if (!conn->out.empty()) events |= POLLOUT;
-      pfds.push_back({conn->fd, events, 0});
+      if (conn->out_bytes > 0) events |= POLLOUT;
+      loop->pfds.push_back({fd, events, 0});
+      loop->polled.push_back(conn.get());
     }
 
     const int timeout_ms = draining ? 10 : 100;
-    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    const int ready =
+        ::poll(loop->pfds.data(), loop->pfds.size(), timeout_ms);
     if (ready < 0) {
       if (errno == EINTR) continue;
       CNPB_LOG(Error) << "poll failed: " << std::strerror(errno);
       break;
     }
+    const auto wake = std::chrono::steady_clock::now();
 
-    if ((pfds[0].revents & POLLIN) != 0) {
+    if ((loop->pfds[0].revents & POLLIN) != 0) {
       char drain_buf[64];
       while (::read(loop->wake_rd, drain_buf, sizeof(drain_buf)) > 0) {
       }
     }
-
-    if (listen_fd >= 0 && pfds.size() > 1 && pfds[1].fd == listen_fd &&
-        (pfds[1].revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0) {
-      for (;;) {
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0) {
-          if (errno == EINTR || errno == ECONNABORTED) continue;
-          break;  // EAGAIN, or the fd was closed/reused under drain
-        }
-        if (const util::Status fault = util::CheckFault("server.accept");
-            !fault.ok()) {
-          io_errors_.fetch_add(1, std::memory_order_relaxed);
-          m_io_errors_->Increment();
-          util::CloseFd(fd);
-          continue;
-        }
-        if (open_connections_.fetch_add(1, std::memory_order_relaxed) + 1 >
-            config_.max_connections) {
-          open_connections_.fetch_sub(1, std::memory_order_relaxed);
-          rejected_.fetch_add(1, std::memory_order_relaxed);
-          m_rejected_->Increment();
-          const std::string bytes = SerializeResponse(
-              ProtocolErrorResponse(503, "connection table full"),
-              /*keep_alive=*/false, /*head_only=*/false);
-          (void)util::SendSome(fd, bytes.data(), bytes.size());
-          util::CloseFd(fd);
-          continue;
-        }
-        (void)util::SetNonBlocking(fd);
-        SetNoDelay(fd);
-        auto conn = std::make_unique<Connection>(config_.parser_limits);
-        conn->fd = fd;
-        conn->last_active = now;
-        loop->conns.push_back(std::move(conn));
-        accepted_.fetch_add(1, std::memory_order_relaxed);
-        m_accepted_->Increment();
-      }
+    if (listen_fd >= 0 && loop->pfds.size() > 1 &&
+        loop->pfds[1].fd == listen_fd &&
+        (loop->pfds[1].revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) !=
+            0) {
+      AcceptPending(loop, wake);
     }
 
-    // Service connections back-to-front so CloseConnection's erase never
-    // shifts a slot we have yet to visit. Only the snapshot prefix has a
-    // pollfd — connections accepted above wait for the next iteration.
-    const size_t snapshot_conns = pfds.size() - conns_base;
-    for (size_t i = snapshot_conns; i-- > 0;) {
-      const pollfd& pfd = pfds[conns_base + i];
-      Connection* conn = loop->conns[i].get();
+    // Connections accepted above are not in this poll set; they are
+    // serviced next iteration. Ones closed here are closed exactly at their
+    // own dispatch, so every `polled` pointer stays valid until visited.
+    for (size_t i = 0; i < loop->polled.size(); ++i) {
+      const pollfd& pfd = loop->pfds[conns_base + i];
+      Connection* conn = loop->polled[i];
       CNPB_CHECK(pfd.fd == conn->fd);
       bool alive = true;
       if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
         alive = false;
-      } else if ((pfd.revents & (POLLIN | POLLHUP)) != 0) {
-        // After a protocol error we stop reading and only flush the 4xx.
-        alive = conn->close_after_flush ? FlushWrites(conn)
-                                        : ServiceRead(conn);
-      } else if ((pfd.revents & POLLOUT) != 0) {
-        alive = FlushWrites(conn);
-      } else if (config_.idle_timeout.count() > 0 &&
-                 now - conn->last_active > config_.idle_timeout &&
-                 conn->out.empty() && !conn->parser.HasPartialRequest()) {
-        alive = false;  // reclaim idle keep-alive connections
+      } else {
+        const bool readable = (pfd.revents & (POLLIN | POLLHUP)) != 0;
+        const bool writable = (pfd.revents & POLLOUT) != 0;
+        alive = ServiceConnection(conn, readable, writable);
       }
-      if (!alive) CloseConnection(loop, i);
+      if (!alive) {
+        CloseConnection(loop, conn);
+      } else {
+        TightenDeadline(loop, conn, wake);
+      }
     }
   }
 }

@@ -1,6 +1,5 @@
 #include "server/service.h"
 
-#include <cstdlib>
 #include <string>
 #include <utility>
 
@@ -20,15 +19,42 @@ using util::JsonUInt;
 // the benches, so a denser sample still costs nothing measurable).
 constexpr uint32_t kLatencySampleMask = 63;
 
+// Upper bound on items per batch request: bounds per-request work and
+// response size the same way parser limits bound the request itself.
+constexpr size_t kMaxBatchItems = 256;
+
 bool SampleLatency() {
   thread_local uint32_t tick = 0;
   return (++tick & kLatencySampleMask) == 0;
+}
+
+// Strict limit=N parse shared by /v1/getEntity and its batch form: an
+// integer in [1, 100000], digits only — "+5" and "%205" (leading space) are
+// 400s, per the documented contract.
+bool ParseLimit(std::string_view raw, size_t* limit) {
+  uint64_t parsed = 0;
+  if (!util::ParseUint64(raw, &parsed) || parsed == 0 || parsed > 100000) {
+    return false;
+  }
+  *limit = static_cast<size_t>(parsed);
+  return true;
+}
+
+bool ParseTransitive(const HttpRequest& request) {
+  const std::string_view raw = request.Param("transitive", "0");
+  return raw == "1" || raw == "true";
 }
 
 }  // namespace
 
 ApiEndpoints::ApiEndpoints(taxonomy::ApiService* api)
     : api_(api), started_(std::chrono::steady_clock::now()) {}
+
+ApiEndpoints::ApiEndpoints(taxonomy::ApiService* api,
+                           const ResultCache::Config& cache_config)
+    : api_(api),
+      cache_(std::make_unique<ResultCache>(cache_config)),
+      started_(std::chrono::steady_clock::now()) {}
 
 HttpServer::Handler ApiEndpoints::AsHandler() {
   return [this](const HttpRequest& request) { return Handle(request); };
@@ -67,14 +93,54 @@ HttpResponse ApiEndpoints::StatusResponse(const util::Status& status) {
                        status.message());
 }
 
+template <typename Compute>
+HttpResponse ApiEndpoints::Cached(std::string_view endpoint,
+                                  std::string_view arg,
+                                  std::string_view options,
+                                  Compute&& compute) {
+  if (cache_ == nullptr) {
+    uint64_t ignored = 0;
+    return compute(&ignored);
+  }
+  const std::string key = ResultCache::Key(endpoint, arg, options);
+  ResultCache::CachedResponse hit;
+  if (cache_->Lookup(key, api_->version(), &hit)) {
+    // Serving a version-V body while V is (or moments ago was) current is
+    // indistinguishable from the request having arrived earlier: the stamp
+    // inside the body still names the snapshot the data came from.
+    HttpResponse response;
+    response.status = hit.status;
+    response.body = std::move(hit.body);
+    response.headers.emplace_back("X-Cache", "hit");
+    return response;
+  }
+  uint64_t resolved_version = 0;
+  HttpResponse response = compute(&resolved_version);
+  if (resolved_version != 0) {
+    // Only snapshot-derived answers are cacheable (compute signals that by
+    // setting the version): transient errors (429/503/504) and malformed
+    // arguments must be re-evaluated per request.
+    cache_->Insert(key, resolved_version, response.status, response.body);
+    response.headers.emplace_back("X-Cache", "miss");
+  }
+  return response;
+}
+
 HttpResponse ApiEndpoints::Handle(const HttpRequest& request) {
-  if (request.method != "GET" && request.method != "HEAD") {
+  const bool is_batch = request.path == "/v1/men2ent_batch" ||
+                        request.path == "/v1/getConcept_batch" ||
+                        request.path == "/v1/getEntity_batch";
+  const bool method_ok =
+      request.method == "GET" || request.method == "HEAD" ||
+      (is_batch && request.method == "POST");
+  if (!method_ok) {
     req_other_->Increment();
     resp_4xx_->Increment();
     HttpResponse response = ErrorResponse(
         405, util::StatusCode::kInvalidArgument,
         "method not allowed: " + request.method);
-    response.headers.emplace_back("Allow", "GET, HEAD");
+    response.headers.emplace_back("Allow",
+                                  is_batch ? "GET, HEAD, POST" : "GET, HEAD");
     return response;
   }
   HttpResponse response;
@@ -90,6 +156,18 @@ HttpResponse ApiEndpoints::Handle(const HttpRequest& request) {
     req_get_entity_->Increment();
     obs::ScopedTimer timer(SampleLatency() ? lat_get_entity_ : nullptr);
     response = GetEntity(request);
+  } else if (request.path == "/v1/men2ent_batch") {
+    req_men2ent_batch_->Increment();
+    obs::ScopedTimer timer(SampleLatency() ? lat_men2ent_ : nullptr);
+    response = Men2EntBatch(request);
+  } else if (request.path == "/v1/getConcept_batch") {
+    req_get_concept_batch_->Increment();
+    obs::ScopedTimer timer(SampleLatency() ? lat_get_concept_ : nullptr);
+    response = GetConceptBatch(request);
+  } else if (request.path == "/v1/getEntity_batch") {
+    req_get_entity_batch_->Increment();
+    obs::ScopedTimer timer(SampleLatency() ? lat_get_entity_ : nullptr);
+    response = GetEntityBatch(request);
   } else if (request.path == "/healthz") {
     req_healthz_->Increment();
     response = Healthz();
@@ -118,31 +196,34 @@ HttpResponse ApiEndpoints::Men2Ent(const HttpRequest& request) {
                          "missing required parameter: mention");
   }
   const std::string_view mention = request.Param("mention");
-  const util::Result<taxonomy::ApiService::Men2EntResolved> result =
-      api_->TryMen2EntResolved(mention);
-  if (!result.ok()) return StatusResponse(result.status());
-  if (result->entities.empty()) {
-    // Unlike getConcept/getEntity (where a known term can legitimately have
-    // an empty answer), a mention resolving to nothing means the mention
-    // itself is unknown.
-    return ErrorResponse(404, util::StatusCode::kNotFound,
-                         "unknown mention: " + std::string(mention));
-  }
-  std::string body = "{\"mention\":" + JsonString(mention) +
-                     ",\"version\":" + JsonUInt(result->version) +
-                     ",\"entities\":[";
-  bool first = true;
-  for (const auto& entity : result->entities) {
-    if (!first) body += ',';
-    first = false;
-    body += "{\"id\":" + JsonUInt(entity.id) +
-            ",\"name\":" + JsonString(entity.name) +
-            ",\"num_hypernyms\":" + JsonUInt(entity.num_hypernyms) + "}";
-  }
-  body += "]}\n";
-  HttpResponse response;
-  response.body = std::move(body);
-  return response;
+  return Cached("men2ent", mention, {}, [&](uint64_t* resolved_version) {
+    const util::Result<taxonomy::ApiService::Men2EntResolved> result =
+        api_->TryMen2EntResolved(mention);
+    if (!result.ok()) return StatusResponse(result.status());
+    *resolved_version = result->version;
+    if (result->entities.empty()) {
+      // Unlike getConcept/getEntity (where a known term can legitimately
+      // have an empty answer), a mention resolving to nothing means the
+      // mention itself is unknown. Still snapshot-derived, still cacheable.
+      return ErrorResponse(404, util::StatusCode::kNotFound,
+                           "unknown mention: " + std::string(mention));
+    }
+    std::string body = "{\"mention\":" + JsonString(mention) +
+                       ",\"version\":" + JsonUInt(result->version) +
+                       ",\"entities\":[";
+    bool first = true;
+    for (const auto& entity : result->entities) {
+      if (!first) body += ',';
+      first = false;
+      body += "{\"id\":" + JsonUInt(entity.id) +
+              ",\"name\":" + JsonString(entity.name) +
+              ",\"num_hypernyms\":" + JsonUInt(entity.num_hypernyms) + "}";
+    }
+    body += "]}\n";
+    HttpResponse response;
+    response.body = std::move(body);
+    return response;
+  });
 }
 
 HttpResponse ApiEndpoints::GetConcept(const HttpRequest& request) {
@@ -151,25 +232,31 @@ HttpResponse ApiEndpoints::GetConcept(const HttpRequest& request) {
                          "missing required parameter: entity");
   }
   const std::string_view entity = request.Param("entity");
-  const std::string_view transitive_raw = request.Param("transitive", "0");
-  const bool transitive = transitive_raw == "1" || transitive_raw == "true";
-  const util::Result<std::vector<std::string>> result =
-      api_->TryGetConcept(entity, transitive);
-  if (!result.ok()) return StatusResponse(result.status());
-  std::string body = "{\"entity\":" + JsonString(entity) +
-                     ",\"version\":" + JsonUInt(api_->version()) +
-                     ",\"transitive\":" +
-                     (transitive ? "true" : "false") + ",\"concepts\":[";
-  bool first = true;
-  for (const std::string& name : *result) {
-    if (!first) body += ',';
-    first = false;
-    body += JsonString(name);
-  }
-  body += "]}\n";
-  HttpResponse response;
-  response.body = std::move(body);
-  return response;
+  const bool transitive = ParseTransitive(request);
+  return Cached("getConcept", entity, transitive ? "|t1" : "|t0",
+                [&](uint64_t* resolved_version) {
+    const util::Result<taxonomy::ApiService::NamesResolved> result =
+        api_->TryGetConceptResolved(entity, transitive);
+    if (!result.ok()) return StatusResponse(result.status());
+    *resolved_version = result->version;
+    // The stamp comes from the snapshot that resolved the names — reading
+    // api_->version() here instead would race a concurrent publish and
+    // claim a version this data was never resolved against.
+    std::string body = "{\"entity\":" + JsonString(entity) +
+                       ",\"version\":" + JsonUInt(result->version) +
+                       ",\"transitive\":" +
+                       (transitive ? "true" : "false") + ",\"concepts\":[";
+    bool first = true;
+    for (const std::string& name : result->names) {
+      if (!first) body += ',';
+      first = false;
+      body += JsonString(name);
+    }
+    body += "]}\n";
+    HttpResponse response;
+    response.body = std::move(body);
+    return response;
+  });
 }
 
 HttpResponse ApiEndpoints::GetEntity(const HttpRequest& request) {
@@ -179,29 +266,152 @@ HttpResponse ApiEndpoints::GetEntity(const HttpRequest& request) {
   }
   const std::string_view concept_name = request.Param("concept");
   size_t limit = 100;
-  if (request.HasParam("limit")) {
-    const std::string limit_raw(request.Param("limit"));
-    char* end = nullptr;
-    const unsigned long long parsed =
-        std::strtoull(limit_raw.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || limit_raw.empty() ||
-        parsed == 0 || parsed > 100000) {
-      return ErrorResponse(400, util::StatusCode::kInvalidArgument,
-                           "limit must be an integer in [1, 100000]");
-    }
-    limit = static_cast<size_t>(parsed);
+  if (request.HasParam("limit") &&
+      !ParseLimit(request.Param("limit"), &limit)) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "limit must be an integer in [1, 100000]");
   }
-  const util::Result<std::vector<std::string>> result =
-      api_->TryGetEntity(concept_name, limit);
+  return Cached("getEntity", concept_name, "|l" + std::to_string(limit),
+                [&](uint64_t* resolved_version) {
+    const util::Result<taxonomy::ApiService::NamesResolved> result =
+        api_->TryGetEntityResolved(concept_name, limit);
+    if (!result.ok()) return StatusResponse(result.status());
+    *resolved_version = result->version;
+    std::string body = "{\"concept\":" + JsonString(concept_name) +
+                       ",\"version\":" + JsonUInt(result->version) +
+                       ",\"entities\":[";
+    bool first = true;
+    for (const std::string& name : result->names) {
+      if (!first) body += ',';
+      first = false;
+      body += JsonString(name);
+    }
+    body += "]}\n";
+    HttpResponse response;
+    response.body = std::move(body);
+    return response;
+  });
+}
+
+bool ApiEndpoints::BatchItems(const HttpRequest& request,
+                              std::string_view param,
+                              std::vector<std::string>* items,
+                              HttpResponse* error) {
+  if (request.method == "POST") {
+    // One term per line, raw UTF-8, no escaping; blank lines are skipped.
+    for (const std::string& line : util::Split(request.body, '\n')) {
+      std::string_view term = line;
+      if (!term.empty() && term.back() == '\r') term.remove_suffix(1);
+      if (!term.empty()) items->emplace_back(term);
+    }
+  } else {
+    for (const auto& [key, value] : request.params) {
+      if (key == param) items->push_back(value);
+    }
+  }
+  if (items->empty()) {
+    *error = ErrorResponse(
+        400, util::StatusCode::kInvalidArgument,
+        "no " + std::string(param) + " given (repeat ?" + std::string(param) +
+            "= or POST one per line)");
+    return false;
+  }
+  if (items->size() > kMaxBatchItems) {
+    *error = ErrorResponse(
+        400, util::StatusCode::kInvalidArgument,
+        "batch too large: " + std::to_string(items->size()) + " items (max " +
+            std::to_string(kMaxBatchItems) + ")");
+    return false;
+  }
+  batch_items_->Increment(items->size());
+  return true;
+}
+
+HttpResponse ApiEndpoints::Men2EntBatch(const HttpRequest& request) {
+  std::vector<std::string> mentions;
+  HttpResponse error;
+  if (!BatchItems(request, "mention", &mentions, &error)) return error;
+  const util::Result<taxonomy::ApiService::Men2EntBatchResolved> result =
+      api_->TryMen2EntBatchResolved(mentions);
   if (!result.ok()) return StatusResponse(result.status());
-  std::string body = "{\"concept\":" + JsonString(concept_name) +
-                     ",\"version\":" + JsonUInt(api_->version()) +
-                     ",\"entities\":[";
-  bool first = true;
-  for (const std::string& name : *result) {
-    if (!first) body += ',';
-    first = false;
-    body += JsonString(name);
+  std::string body = "{\"version\":" + JsonUInt(result->version) +
+                     ",\"count\":" + JsonUInt(mentions.size()) +
+                     ",\"results\":[";
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    if (i > 0) body += ',';
+    body += "{\"mention\":" + JsonString(mentions[i]) + ",\"entities\":[";
+    bool first = true;
+    for (const auto& entity : result->results[i]) {
+      if (!first) body += ',';
+      first = false;
+      body += "{\"id\":" + JsonUInt(entity.id) +
+              ",\"name\":" + JsonString(entity.name) +
+              ",\"num_hypernyms\":" + JsonUInt(entity.num_hypernyms) + "}";
+    }
+    body += "]}";
+  }
+  body += "]}\n";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ApiEndpoints::GetConceptBatch(const HttpRequest& request) {
+  std::vector<std::string> entities;
+  HttpResponse error;
+  if (!BatchItems(request, "entity", &entities, &error)) return error;
+  const bool transitive = ParseTransitive(request);
+  const util::Result<taxonomy::ApiService::NamesBatchResolved> result =
+      api_->TryGetConceptBatchResolved(entities, transitive);
+  if (!result.ok()) return StatusResponse(result.status());
+  std::string body = "{\"version\":" + JsonUInt(result->version) +
+                     ",\"transitive\":" + (transitive ? "true" : "false") +
+                     ",\"count\":" + JsonUInt(entities.size()) +
+                     ",\"results\":[";
+  for (size_t i = 0; i < entities.size(); ++i) {
+    if (i > 0) body += ',';
+    body += "{\"entity\":" + JsonString(entities[i]) + ",\"concepts\":[";
+    bool first = true;
+    for (const std::string& name : result->results[i]) {
+      if (!first) body += ',';
+      first = false;
+      body += JsonString(name);
+    }
+    body += "]}";
+  }
+  body += "]}\n";
+  HttpResponse response;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse ApiEndpoints::GetEntityBatch(const HttpRequest& request) {
+  std::vector<std::string> concepts;
+  HttpResponse error;
+  if (!BatchItems(request, "concept", &concepts, &error)) return error;
+  size_t limit = 100;
+  if (request.HasParam("limit") &&
+      !ParseLimit(request.Param("limit"), &limit)) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "limit must be an integer in [1, 100000]");
+  }
+  const util::Result<taxonomy::ApiService::NamesBatchResolved> result =
+      api_->TryGetEntityBatchResolved(concepts, limit);
+  if (!result.ok()) return StatusResponse(result.status());
+  std::string body = "{\"version\":" + JsonUInt(result->version) +
+                     ",\"limit\":" + JsonUInt(limit) +
+                     ",\"count\":" + JsonUInt(concepts.size()) +
+                     ",\"results\":[";
+  for (size_t i = 0; i < concepts.size(); ++i) {
+    if (i > 0) body += ',';
+    body += "{\"concept\":" + JsonString(concepts[i]) + ",\"entities\":[";
+    bool first = true;
+    for (const std::string& name : result->results[i]) {
+      if (!first) body += ',';
+      first = false;
+      body += JsonString(name);
+    }
+    body += "]}";
   }
   body += "]}\n";
   HttpResponse response;

@@ -2,9 +2,14 @@
 #define CNPROBASE_SERVER_SERVICE_H_
 
 #include <chrono>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "server/http.h"
+#include "server/result_cache.h"
 #include "server/server.h"
 #include "taxonomy/api_service.h"
 #include "util/status.h"
@@ -12,13 +17,29 @@
 namespace cnpb::server {
 
 // Maps HTTP requests onto the ApiService Try* APIs — the wire form of the
-// paper's three public endpoints (Table II), plus health and metrics:
+// paper's three public endpoints (Table II), plus batch forms, health and
+// metrics:
 //
 //   GET /v1/men2ent?mention=M                mention -> entities (id+name)
 //   GET /v1/getConcept?entity=E[&transitive=1]   entity -> hypernym names
 //   GET /v1/getEntity?concept=C[&limit=N]        concept -> hyponym names
+//   GET/POST /v1/men2ent_batch               N mentions, one snapshot
+//   GET/POST /v1/getConcept_batch            N entities, one snapshot
+//   GET/POST /v1/getEntity_batch             N concepts, one snapshot
 //   GET /healthz                             liveness + served version
 //   GET /metrics                             Prometheus text exposition
+//
+// Batch endpoints take their inputs either as repeated query parameters
+// (GET ?mention=a&mention=b) or as a POST body with one term per line, and
+// resolve every item against ONE pinned snapshot, so the response carries a
+// single version stamp. Unknown items come back with an empty result list
+// (partial answers are the point of batching) — unlike single-shot
+// /v1/men2ent, which 404s an unknown mention.
+//
+// Every version stamp is taken from the pinned snapshot that resolved the
+// data (the *Resolved ApiService variants), never from api->version() after
+// the fact — a concurrent publish between query and stamp must not make a
+// response claim a version its data did not come from.
 //
 // Responses are JSON (UTF-8). Failure is part of the contract
 // (DESIGN.md §9 has the full table):
@@ -26,14 +47,27 @@ namespace cnpb::server {
 //   ResourceExhausted -> 429 + Retry-After      (load shed)
 //   DeadlineExceeded  -> 504                    (query budget elapsed)
 //   IoError           -> 503                    (injected fault / backend)
-//   missing parameter -> 400, unknown path -> 404, non-GET/HEAD -> 405
+//   missing parameter -> 400, unknown path -> 404, bad method -> 405
 class ApiEndpoints {
  public:
-  // `api` must outlive the endpoints (and the server using them).
+  // `api` must outlive the endpoints (and the server using them). This
+  // constructor serves uncached.
   explicit ApiEndpoints(taxonomy::ApiService* api);
 
+  // With a result cache (DESIGN.md §11): single-shot answers derived purely
+  // from a snapshot (200s, and men2ent's unknown-mention 404) are cached
+  // keyed by (endpoint, argument) and stamped with the snapshot version; a
+  // publish invalidates everything wholesale by bumping the version. Cached
+  // responses carry "X-Cache: hit", freshly inserted ones "X-Cache: miss".
+  ApiEndpoints(taxonomy::ApiService* api,
+               const ResultCache::Config& cache_config);
+
+  // Null when constructed without a cache.
+  const ResultCache* cache() const { return cache_.get(); }
+
   // The HttpServer handler; safe to call concurrently from every event
-  // loop (ApiService queries are thread-safe, instruments are atomics).
+  // loop (ApiService queries, the cache, and the instruments are all
+  // thread-safe).
   HttpResponse Handle(const HttpRequest& request);
 
   // Convenience: a Handler bound to this instance.
@@ -46,14 +80,31 @@ class ApiEndpoints {
   HttpResponse Men2Ent(const HttpRequest& request);
   HttpResponse GetConcept(const HttpRequest& request);
   HttpResponse GetEntity(const HttpRequest& request);
+  HttpResponse Men2EntBatch(const HttpRequest& request);
+  HttpResponse GetConceptBatch(const HttpRequest& request);
+  HttpResponse GetEntityBatch(const HttpRequest& request);
   HttpResponse Healthz();
   HttpResponse Metrics();
+
+  // Collects batch inputs: every `param` query value (GET) or one term per
+  // POST body line. False (with *error filled) when empty or over the batch
+  // size cap.
+  bool BatchItems(const HttpRequest& request, std::string_view param,
+                  std::vector<std::string>* items, HttpResponse* error);
+
+  // Cache plumbing around a single-shot endpoint: Lookup at the current
+  // version, else run `compute` and Insert the response at the version its
+  // data was resolved against (`*resolved_version`, set by compute).
+  template <typename Compute>
+  HttpResponse Cached(std::string_view endpoint, std::string_view arg,
+                      std::string_view options, Compute&& compute);
 
   static HttpResponse ErrorResponse(int status, util::StatusCode code,
                                     const std::string& message);
   static HttpResponse StatusResponse(const util::Status& status);
 
   taxonomy::ApiService* api_;
+  std::unique_ptr<ResultCache> cache_;
   const std::chrono::steady_clock::time_point started_;
 
   // Per-endpoint wire-level instruments (the ApiService keeps its own
@@ -64,6 +115,14 @@ class ApiEndpoints {
       obs::MetricsRegistry::Global().counter("http.requests.get_concept");
   obs::Counter* const req_get_entity_ =
       obs::MetricsRegistry::Global().counter("http.requests.get_entity");
+  obs::Counter* const req_men2ent_batch_ =
+      obs::MetricsRegistry::Global().counter("http.requests.men2ent_batch");
+  obs::Counter* const req_get_concept_batch_ = obs::MetricsRegistry::Global()
+      .counter("http.requests.get_concept_batch");
+  obs::Counter* const req_get_entity_batch_ = obs::MetricsRegistry::Global()
+      .counter("http.requests.get_entity_batch");
+  obs::Counter* const batch_items_ =
+      obs::MetricsRegistry::Global().counter("http.batch.items");
   obs::Counter* const req_healthz_ =
       obs::MetricsRegistry::Global().counter("http.requests.healthz");
   obs::Counter* const req_metrics_ =

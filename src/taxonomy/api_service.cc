@@ -273,10 +273,22 @@ util::Result<ApiService::Men2EntResolved> ApiService::TryMen2EntResolved(
   CNPB_RETURN_IF_ERROR(guard.Admission("men2ent"));
   CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
   const std::shared_ptr<const Version> snap = PinForQuery();
+  // Fires between pinning the snapshot and resolving against it — a delay
+  // fault here holds the pin across concurrent publishes, which is how the
+  // version-stamp coherence regression test widens the race window.
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.resolve"));
   Men2EntResolved out;
   out.version = snap->version;
-  const ServingView& view = *snap->view;
-  for (const NodeId id : LookupMention(*snap, mention)) {
+  out.entities = ResolveMention(*snap, mention);
+  CNPB_RETURN_IF_ERROR(guard.Deadline("men2ent"));
+  return out;
+}
+
+std::vector<ApiService::ResolvedEntity> ApiService::ResolveMention(
+    const Version& snap, std::string_view mention) const {
+  const ServingView& view = *snap.view;
+  std::vector<ResolvedEntity> out;
+  for (const NodeId id : LookupMention(snap, mention)) {
     // Overlay entries registered against a later live taxonomy can carry
     // ids this snapshot does not know; they have no name here and are
     // dropped rather than returned half-resolved.
@@ -285,9 +297,8 @@ util::Result<ApiService::Men2EntResolved> ApiService::TryMen2EntResolved(
     entity.id = id;
     entity.name = std::string(view.Name(id));
     entity.num_hypernyms = view.NumHypernyms(id);
-    out.entities.push_back(std::move(entity));
+    out.push_back(std::move(entity));
   }
-  CNPB_RETURN_IF_ERROR(guard.Deadline("men2ent"));
   return out;
 }
 
@@ -309,12 +320,17 @@ util::Result<std::vector<std::string>> ApiService::TryGetConcept(
   CNPB_RETURN_IF_ERROR(guard.Admission("get_concept"));
   CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
   const std::shared_ptr<const Version> snap = PinForQuery();
-  const ServingView& view = *snap->view;
+  std::vector<std::string> out = ConceptNames(*snap->view, entity_name,
+                                              transitive);
+  CNPB_RETURN_IF_ERROR(guard.Deadline("get_concept"));
+  return out;
+}
+
+std::vector<std::string> ApiService::ConceptNames(const ServingView& view,
+                                                  std::string_view entity_name,
+                                                  bool transitive) {
   const NodeId id = view.Find(entity_name);
-  if (id == kInvalidNode) {
-    CNPB_RETURN_IF_ERROR(guard.Deadline("get_concept"));
-    return std::vector<std::string>();
-  }
+  if (id == kInvalidNode) return {};
   // Rank by edge confidence (source prior), most trustworthy first.
   std::vector<HalfEdge> edges;
   edges.reserve(view.NumHypernyms(id));
@@ -340,7 +356,6 @@ util::Result<std::vector<std::string>> ApiService::TryGetConcept(
       }
     }
   }
-  CNPB_RETURN_IF_ERROR(guard.Deadline("get_concept"));
   return out;
 }
 
@@ -363,7 +378,14 @@ util::Result<std::vector<std::string>> ApiService::TryGetEntity(
   CNPB_RETURN_IF_ERROR(guard.Admission("get_entity"));
   CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
   const std::shared_ptr<const Version> snap = PinForQuery();
-  const ServingView& view = *snap->view;
+  std::vector<std::string> out = EntityNames(*snap->view, concept_name, limit);
+  CNPB_RETURN_IF_ERROR(guard.Deadline("get_entity"));
+  return out;
+}
+
+std::vector<std::string> ApiService::EntityNames(const ServingView& view,
+                                                 std::string_view concept_name,
+                                                 size_t limit) {
   const NodeId id = view.Find(concept_name);
   std::vector<std::string> out;
   if (id != kInvalidNode) {
@@ -373,7 +395,113 @@ util::Result<std::vector<std::string>> ApiService::TryGetEntity(
       return out.size() < limit;
     });
   }
+  return out;
+}
+
+util::Result<ApiService::NamesResolved> ApiService::TryGetConceptResolved(
+    std::string_view entity_name, bool transitive) const {
+  get_concept_calls_.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedTimer latency(SampleQueryLatency() ? latency_get_concept_
+                                                : nullptr);
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission("get_concept"));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.resolve"));
+  NamesResolved out;
+  out.version = snap->version;
+  out.names = ConceptNames(*snap->view, entity_name, transitive);
+  CNPB_RETURN_IF_ERROR(guard.Deadline("get_concept"));
+  return out;
+}
+
+util::Result<ApiService::NamesResolved> ApiService::TryGetEntityResolved(
+    std::string_view concept_name, size_t limit) const {
+  get_entity_calls_.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedTimer latency(SampleQueryLatency() ? latency_get_entity_
+                                                : nullptr);
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission("get_entity"));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.resolve"));
+  NamesResolved out;
+  out.version = snap->version;
+  out.names = EntityNames(*snap->view, concept_name, limit);
   CNPB_RETURN_IF_ERROR(guard.Deadline("get_entity"));
+  return out;
+}
+
+util::Result<ApiService::Men2EntBatchResolved>
+ApiService::TryMen2EntBatchResolved(
+    const std::vector<std::string>& mentions) const {
+  men2ent_calls_.fetch_add(mentions.size(), std::memory_order_relaxed);
+  obs::ScopedTimer latency(SampleQueryLatency() ? latency_men2ent_ : nullptr);
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission("men2ent_batch"));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  if (mentions.size() > 1) {
+    // PinForQuery charged one query; attribute the rest of the batch too so
+    // per-version QPS keeps counting logical lookups.
+    snap->queries->fetch_add(mentions.size() - 1, std::memory_order_relaxed);
+  }
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.resolve"));
+  Men2EntBatchResolved out;
+  out.version = snap->version;
+  out.results.reserve(mentions.size());
+  for (const std::string& mention : mentions) {
+    out.results.push_back(ResolveMention(*snap, mention));
+    CNPB_RETURN_IF_ERROR(guard.Deadline("men2ent_batch"));
+  }
+  return out;
+}
+
+util::Result<ApiService::NamesBatchResolved>
+ApiService::TryGetConceptBatchResolved(const std::vector<std::string>& entities,
+                                       bool transitive) const {
+  get_concept_calls_.fetch_add(entities.size(), std::memory_order_relaxed);
+  obs::ScopedTimer latency(SampleQueryLatency() ? latency_get_concept_
+                                                : nullptr);
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission("get_concept_batch"));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  if (entities.size() > 1) {
+    snap->queries->fetch_add(entities.size() - 1, std::memory_order_relaxed);
+  }
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.resolve"));
+  NamesBatchResolved out;
+  out.version = snap->version;
+  out.results.reserve(entities.size());
+  for (const std::string& entity : entities) {
+    out.results.push_back(ConceptNames(*snap->view, entity, transitive));
+    CNPB_RETURN_IF_ERROR(guard.Deadline("get_concept_batch"));
+  }
+  return out;
+}
+
+util::Result<ApiService::NamesBatchResolved>
+ApiService::TryGetEntityBatchResolved(const std::vector<std::string>& concepts,
+                                      size_t limit) const {
+  get_entity_calls_.fetch_add(concepts.size(), std::memory_order_relaxed);
+  obs::ScopedTimer latency(SampleQueryLatency() ? latency_get_entity_
+                                                : nullptr);
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission("get_entity_batch"));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  if (concepts.size() > 1) {
+    snap->queries->fetch_add(concepts.size() - 1, std::memory_order_relaxed);
+  }
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.resolve"));
+  NamesBatchResolved out;
+  out.version = snap->version;
+  out.results.reserve(concepts.size());
+  for (const std::string& concept_name : concepts) {
+    out.results.push_back(EntityNames(*snap->view, concept_name, limit));
+    CNPB_RETURN_IF_ERROR(guard.Deadline("get_entity_batch"));
+  }
   return out;
 }
 

@@ -156,6 +156,27 @@ class ApiService {
     std::vector<ResolvedEntity> entities;
   };
 
+  // getConcept / getEntity answers carrying the version of the snapshot the
+  // names were resolved against — the wire-format variants. The HTTP layer
+  // must stamp the version the data actually came from; reading version()
+  // after the query returns races a concurrent publish and can stamp a
+  // version the data was never resolved against.
+  struct NamesResolved {
+    uint64_t version = 0;  // the version every name was resolved against
+    std::vector<std::string> names;
+  };
+
+  // Batch answers: N inputs resolved against ONE pinned snapshot, so every
+  // item shares a single coherent version stamp.
+  struct Men2EntBatchResolved {
+    uint64_t version = 0;
+    std::vector<std::vector<ResolvedEntity>> results;  // one per input
+  };
+  struct NamesBatchResolved {
+    uint64_t version = 0;
+    std::vector<std::vector<std::string>> results;  // one per input
+  };
+
   // Fallible query variants — the overload-aware API. Errors:
   //   ResourceExhausted  shed by the in-flight cap
   //   DeadlineExceeded   per-query budget elapsed
@@ -167,6 +188,21 @@ class ApiService {
       std::string_view entity_name, bool transitive = false) const;
   util::Result<std::vector<std::string>> TryGetEntity(
       std::string_view concept_name, size_t limit = 100) const;
+  util::Result<NamesResolved> TryGetConceptResolved(
+      std::string_view entity_name, bool transitive = false) const;
+  util::Result<NamesResolved> TryGetEntityResolved(
+      std::string_view concept_name, size_t limit = 100) const;
+
+  // Batch variants: one admission slot, one snapshot pin, one version stamp
+  // for the whole request; each item still counts as one logical call in
+  // usage() and the per-version query totals. The per-query deadline is
+  // checked between items; exceeding it mid-batch fails the whole batch.
+  util::Result<Men2EntBatchResolved> TryMen2EntBatchResolved(
+      const std::vector<std::string>& mentions) const;
+  util::Result<NamesBatchResolved> TryGetConceptBatchResolved(
+      const std::vector<std::string>& entities, bool transitive = false) const;
+  util::Result<NamesBatchResolved> TryGetEntityBatchResolved(
+      const std::vector<std::string>& concepts, size_t limit = 100) const;
 
   // men2ent: candidate entities for a mention, most-popular first
   // (popularity = number of hypernyms, a proxy for page richness). Node ids
@@ -245,6 +281,17 @@ class ApiService {
   // overlay, ranked most-popular first. Ranking reads only `snap`.
   std::vector<NodeId> LookupMention(const Version& snap,
                                     std::string_view mention) const;
+
+  // Single-item query bodies against an already-pinned snapshot; shared by
+  // the single-shot and batch Try* variants.
+  std::vector<ResolvedEntity> ResolveMention(const Version& snap,
+                                             std::string_view mention) const;
+  static std::vector<std::string> ConceptNames(const ServingView& view,
+                                               std::string_view entity_name,
+                                               bool transitive);
+  static std::vector<std::string> EntityNames(const ServingView& view,
+                                              std::string_view concept_name,
+                                              size_t limit);
 
   // The actual swap (old Publish body); assumes admission already passed.
   uint64_t PublishInternal(std::shared_ptr<const ServingView> view);

@@ -108,6 +108,27 @@ Result<size_t> SendSome(int fd, const char* data, size_t len) {
   }
 }
 
+Result<size_t> WritevSome(int fd, const struct iovec* iov, int iovcnt) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  for (;;) {
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return size_t{0};
+    return ErrnoError(errno == EPIPE ? "sendmsg (peer closed)" : "sendmsg");
+  }
+}
+
+Status SetSendBufferSize(int fd, int bytes) {
+  if (bytes <= 0) return Status::Ok();
+  if (::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes)) < 0) {
+    return ErrnoError("setsockopt(SO_SNDBUF)");
+  }
+  return Status::Ok();
+}
+
 Result<size_t> RecvSome(int fd, char* buf, size_t len, bool* would_block) {
   if (would_block != nullptr) *would_block = false;
   for (;;) {

@@ -1,6 +1,8 @@
 #ifndef CNPROBASE_UTIL_NET_H_
 #define CNPROBASE_UTIL_NET_H_
 
+#include <sys/uio.h>
+
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -41,6 +43,17 @@ Result<int> ConnectTcp(const std::string& host, uint16_t port);
 // never a SIGPIPE. Returns the number of bytes written (possibly short on a
 // non-blocking fd); 0 with an ok() status means the write would block.
 Result<size_t> SendSome(int fd, const char* data, size_t len);
+
+// Scatter-gather send via sendmsg() with MSG_NOSIGNAL, the writev
+// counterpart of SendSome: flushes up to `iovcnt` buffers in one syscall so
+// a pipelined connection's queued responses go out without concatenation.
+// Same contract as SendSome: returns bytes written (possibly short), 0 with
+// an ok() status means the write would block, EPIPE is a kIoError Status.
+Result<size_t> WritevSome(int fd, const struct iovec* iov, int iovcnt);
+
+// Sets SO_SNDBUF on `fd`. Used by tests/benches to shrink the kernel send
+// buffer so write-stall paths trigger quickly; no-op when bytes <= 0.
+Status SetSendBufferSize(int fd, int bytes);
 
 // recv(). Returns the number of bytes read; 0 means the peer closed the
 // connection cleanly. On a non-blocking fd, "would block" is an ok() result

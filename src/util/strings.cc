@@ -1,6 +1,7 @@
 #include "util/strings.h"
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 
 namespace cnpb::util {
@@ -82,6 +83,19 @@ std::string StrFormat(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
 }
 
 std::string CommaSeparated(uint64_t n) {

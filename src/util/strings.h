@@ -27,6 +27,14 @@ bool Contains(std::string_view s, std::string_view needle);
 // printf-style formatting into std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+// Strict unsigned-decimal parse: `s` must be nonempty and consist solely of
+// ASCII digits, with no leading whitespace, sign, or trailing bytes, and the
+// value must fit in uint64_t. Unlike strtoull (which silently accepts " 5",
+// "+5" and wraps on overflow), any deviation returns false and leaves *out
+// untouched. This is the canonical integer parse for untrusted wire and
+// file input (query parameters, TSV ids).
+bool ParseUint64(std::string_view s, uint64_t* out);
+
 // Human-readable count, e.g. 1234567 -> "1,234,567".
 std::string CommaSeparated(uint64_t n);
 

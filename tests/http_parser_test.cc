@@ -97,6 +97,67 @@ TEST(RequestParserTest, Http10WithoutHostAllowed) {
   EXPECT_FALSE(parser.request().keep_alive);
 }
 
+// Connection is a comma-separated token list (RFC 9110 §7.6.1), not a
+// single literal. The old exact-match parse dropped keep-alive for
+// "Keep-Alive, TE" and — worse — kept a connection alive that asked
+// "TE, close". Tokens match case-insensitively with optional whitespace.
+TEST(RequestParserTest, ConnectionTokenListKeepAlive) {
+  RequestParser parser;
+  const auto state = FeedAll(&parser,
+                             "GET / HTTP/1.0\r\nHost: h\r\n"
+                             "Connection: Keep-Alive, TE\r\n\r\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_TRUE(parser.request().keep_alive);
+}
+
+TEST(RequestParserTest, ConnectionTokenListClose) {
+  RequestParser parser;
+  const auto state = FeedAll(&parser,
+                             "GET / HTTP/1.1\r\nHost: h\r\n"
+                             "Connection: TE, Close\r\n\r\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
+TEST(RequestParserTest, ConnectionCloseWinsOverKeepAlive) {
+  // Contradictory tokens: closing is always the safe reading.
+  RequestParser parser;
+  const auto state = FeedAll(&parser,
+                             "GET / HTTP/1.1\r\nHost: h\r\n"
+                             "Connection: keep-alive , close\r\n\r\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
+TEST(RequestParserTest, ConnectionTokensCaseAndWhitespaceInsensitive) {
+  RequestParser parser;
+  const auto state = FeedAll(&parser,
+                             "GET / HTTP/1.1\r\nHost: h\r\n"
+                             "Connection:   cLoSe  \r\n\r\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
+TEST(RequestParserTest, ConnectionNonTokenSubstringIgnored) {
+  // "closed" is not the token "close"; the HTTP/1.1 default stands.
+  RequestParser parser;
+  const auto state = FeedAll(&parser,
+                             "GET / HTTP/1.1\r\nHost: h\r\n"
+                             "Connection: closed\r\n\r\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_TRUE(parser.request().keep_alive);
+}
+
+TEST(RequestParserTest, ConnectionUnknownTokensKeepHttp10Default) {
+  // HTTP/1.0 with only unrecognized tokens: default (close) stands.
+  RequestParser parser;
+  const auto state = FeedAll(&parser,
+                             "GET / HTTP/1.0\r\nHost: h\r\n"
+                             "Connection: upgrade\r\n\r\n");
+  ASSERT_EQ(state, State::kComplete);
+  EXPECT_FALSE(parser.request().keep_alive);
+}
+
 // ---------------------------------------------------------------- errors
 
 TEST(RequestParserTest, MissingHostIs400) {

@@ -5,8 +5,14 @@
 // http_parser_test.cc; multi-seed chaos in server_concurrency_test.cc.
 #include "server/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -353,6 +359,297 @@ TEST_F(ServerTest, EarlyCloseDoesNotKillServer) {
   auto response = polite.Get("/healthz");
   ASSERT_TRUE(response.ok());
   EXPECT_EQ(response->status, 200);
+}
+
+// ------------------------------------------------- strict limit parsing
+// The old parse used strtoull, which silently accepted leading whitespace
+// and '+' — "limit=+5" and "limit=%205" (an encoded " 5") slipped through
+// as 5. The contract is digits-only in [1, 100000]; everything else is 400.
+TEST_F(ServerTest, GetEntityLimitParsingIsStrict) {
+  StartServer();
+  HttpClient client = Connect();
+  for (const char* target : {
+           "/v1/getEntity?concept=concept&limit=%2B5",  // literal "+5"
+           "/v1/getEntity?concept=concept&limit=%205",  // literal " 5"
+           "/v1/getEntity?concept=concept&limit=+5",    // '+' decodes to ' '
+           "/v1/getEntity?concept=concept&limit=5x",
+           "/v1/getEntity?concept=concept&limit=0",
+           "/v1/getEntity?concept=concept&limit=",
+           // 2^64: overflows uint64 in the digit loop, not UB-wraps.
+           "/v1/getEntity?concept=concept&limit=18446744073709551616",
+           "/v1/getEntity?concept=concept&limit=100001",
+       }) {
+    auto response = client.Get(target);
+    ASSERT_TRUE(response.ok()) << target;
+    EXPECT_EQ(response->status, 400) << target;
+    EXPECT_NE(response->body.find("INVALID_ARGUMENT"), std::string::npos)
+        << target;
+  }
+  auto good = client.Get("/v1/getEntity?concept=concept&limit=5");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->status, 200);
+}
+
+// ------------------------------------------------------ batch endpoints
+
+TEST_F(ServerTest, Men2EntBatchResolvesRepeatedParams) {
+  StartServer();
+  HttpClient client = Connect();
+  auto response = client.Get("/v1/men2ent_batch?mention=" +
+                             PercentEncode("主公") + "&mention=" +
+                             PercentEncode("孟德") + "&mention=missing");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("\"version\":1"), std::string::npos);
+  EXPECT_NE(response->body.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(response->body.find("\"刘备\""), std::string::npos);
+  EXPECT_NE(response->body.find("\"曹操\""), std::string::npos);
+  // Unknown mentions come back as empty candidate lists in position — a
+  // partial answer, not a request-killing 404 like the single-shot API.
+  EXPECT_NE(
+      response->body.find("{\"mention\":\"missing\",\"entities\":[]}"),
+      std::string::npos);
+}
+
+TEST_F(ServerTest, GetConceptBatchAcceptsPostBody) {
+  StartServer();
+  HttpClient client = Connect();
+  // One term per line; CRLF line endings and blank lines are tolerated.
+  auto response = client.Post(
+      "/v1/getConcept_batch",
+      std::string("刘备\r\n") + "曹操\n" + "\n" + "unknown哉\n");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->Header("Content-Type"), "application/json");
+  EXPECT_NE(response->body.find("\"count\":3"), std::string::npos);
+  EXPECT_NE(response->body.find("君主"), std::string::npos);
+  EXPECT_NE(
+      response->body.find("{\"entity\":\"unknown哉\",\"concepts\":[]}"),
+      std::string::npos);
+}
+
+TEST_F(ServerTest, GetEntityBatchHonorsLimitWithPartialUnknowns) {
+  StartServer();
+  HttpClient client = Connect();
+  auto response = client.Get(
+      "/v1/getEntity_batch?concept=concept&concept=missing&limit=2");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("\"limit\":2"), std::string::npos);
+  EXPECT_NE(response->body.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(
+      response->body.find("{\"concept\":\"missing\",\"entities\":[]}"),
+      std::string::npos);
+  // "concept" has six hyponyms entity0..entity5; limit=2 keeps exactly two.
+  // (The name "entity" never appears in the JSON keys, so counting the
+  // substring counts returned hyponyms.)
+  size_t hyponyms = 0;
+  for (size_t at = response->body.find("entity"); at != std::string::npos;
+       at = response->body.find("entity", at + 1)) {
+    ++hyponyms;
+  }
+  EXPECT_EQ(hyponyms, 2u);
+}
+
+TEST_F(ServerTest, BatchRejectsEmptyAndOversizedInput) {
+  StartServer();
+  HttpClient client = Connect();
+  auto blank = client.Post("/v1/men2ent_batch", "\r\n\n");
+  ASSERT_TRUE(blank.ok());
+  EXPECT_EQ(blank->status, 400);
+
+  auto unparameterized = client.Get("/v1/getConcept_batch");
+  ASSERT_TRUE(unparameterized.ok());
+  EXPECT_EQ(unparameterized->status, 400);
+  EXPECT_NE(unparameterized->body.find("entity"), std::string::npos);
+
+  std::string oversized;
+  for (int i = 0; i < 300; ++i) {
+    oversized += "m" + std::to_string(i) + "\n";
+  }
+  auto rejected = client.Post("/v1/men2ent_batch", oversized);
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 400);
+  EXPECT_NE(rejected->body.find("batch too large"), std::string::npos);
+
+  // Batch endpoints advertise POST in the 405 Allow list; PUT is refused.
+  ASSERT_TRUE(client
+                  .SendRaw("PUT /v1/men2ent_batch HTTP/1.1\r\nHost: h\r\n"
+                           "Content-Length: 0\r\n\r\n")
+                  .ok());
+  auto put = client.ReadResponse();
+  ASSERT_TRUE(put.ok());
+  EXPECT_EQ(put->status, 405);
+  EXPECT_EQ(put->Header("Allow"), "GET, HEAD, POST");
+}
+
+// ------------------------------------------------------ timer reclaims
+
+TEST_F(ServerTest, IdleConnectionReclaimedAndHalfRequestGets408) {
+  HttpServer::Config config;
+  config.idle_timeout = std::chrono::milliseconds(150);
+  StartServer(config);
+
+  HttpClient silent = Connect();
+  auto warm = silent.Get("/healthz");
+  ASSERT_TRUE(warm.ok());
+
+  // A half-sent request going idle deserves a diagnosis, not a bare RST.
+  HttpClient halfway = Connect();
+  ASSERT_TRUE(halfway.SendRaw("GET /healthz HTTP/1.1\r\nHost: h\r\n").ok());
+
+  auto response = halfway.ReadResponse();  // blocks until the 408 arrives
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 408);
+
+  bool reclaimed = false;
+  for (int i = 0; i < 250 && !reclaimed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const HttpServer::Stats stats = server_->stats();
+    reclaimed = stats.open_connections == 0 && stats.idle_timeouts >= 2;
+  }
+  const HttpServer::Stats stats = server_->stats();
+  EXPECT_TRUE(reclaimed) << "open=" << stats.open_connections
+                         << " idle_timeouts=" << stats.idle_timeouts;
+}
+
+// The write-stall fd leak: a peer that sends requests but never reads the
+// responses used to pin its connection forever, because idle reclaim
+// required an empty output queue. The wheel now applies write_stall_timeout
+// to exactly that state. A tiny SO_SNDBUF makes the stall reproducible on
+// loopback: the responses overrun the socket buffers and flushing parks
+// with output queued.
+TEST_F(ServerTest, WriteStalledConnectionReclaimed) {
+  HttpServer::Config config;
+  config.so_sndbuf = 4096;
+  config.write_stall_timeout = std::chrono::milliseconds(200);
+  config.idle_timeout = std::chrono::milliseconds(60000);  // out of play
+  StartServer(config);
+
+  // A plain HttpClient would not stall: loopback receive-buffer autotuning
+  // absorbs megabytes. Pinning SO_RCVBUF before connect fixes the peer's
+  // flow-control window, so a few dozen KB of unread responses wedge the
+  // server's writes for real.
+  const int rude = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(rude, 0);
+  const int rcvbuf = 4096;
+  ASSERT_EQ(::setsockopt(rude, SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                         sizeof(rcvbuf)),
+            0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server_->port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(rude, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::string burst;
+  for (int j = 0; j < 600; ++j) {
+    burst += "GET /metrics HTTP/1.1\r\nHost: h\r\n\r\n";
+  }
+  for (size_t off = 0; off < burst.size();) {
+    const ssize_t sent =
+        ::send(rude, burst.data() + off, burst.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(sent, 0);
+    off += static_cast<size_t>(sent);
+  }
+  // ... and never read a byte. The connection must be reclaimed while the
+  // client keeps its end open (the leak scenario), not when it hangs up.
+  bool reclaimed = false;
+  for (int i = 0; i < 250 && !reclaimed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const HttpServer::Stats stats = server_->stats();
+    reclaimed =
+        stats.open_connections == 0 && stats.write_stall_timeouts >= 1;
+  }
+  const HttpServer::Stats stats = server_->stats();
+  EXPECT_TRUE(reclaimed) << "open=" << stats.open_connections
+                         << " stall_timeouts=" << stats.write_stall_timeouts;
+  EXPECT_EQ(stats.idle_timeouts, 0u);
+
+  // The reclaim freed real capacity: a well-behaved client is served.
+  HttpClient polite = Connect();
+  auto response = polite.Get("/healthz");
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  ::close(rude);
+}
+
+// ------------------------------------------- version-stamp coherence
+// The headline regression: GetConcept/GetEntity used to stamp responses
+// with api->version() read *after* the query returned, so a publish landing
+// between resolve and stamp produced a body whose data and version
+// disagreed. Every version V of this taxonomy names its data after V
+// ("genV", "entV"), making any incoherent stamp visible in a single
+// response. With the old stamping this fails within a few hundred
+// requests; with pinned-snapshot stamps it can never fail.
+uint64_t ParseVersionStamp(const std::string& body) {
+  const size_t at = body.find("\"version\":");
+  if (at == std::string::npos) return 0;
+  return std::strtoull(body.c_str() + at + 10, nullptr, 10);
+}
+
+std::shared_ptr<const Taxonomy> MakeGenTaxonomy(uint64_t v) {
+  Taxonomy t;
+  const std::string gen = std::to_string(v);
+  t.AddIsa("e", "gen" + gen, taxonomy::Source::kTag, 0.99f);
+  t.AddIsa("ent" + gen, "anchor", taxonomy::Source::kTag, 0.99f);
+  return Taxonomy::Freeze(std::move(t));
+}
+
+TEST(VersionCoherenceTest, StampAlwaysNamesTheSnapshotThatResolved) {
+  // The natural race window — between pinning the snapshot and the stamp
+  // leaving the handler — is sub-microsecond, far too narrow to hit
+  // reliably (on a single-core host a publish can only land there via a
+  // perfectly-timed preemption). The api.resolve delay fault fires inside
+  // that window with the pin held, so the publisher provably runs mid-query
+  // on every request. Old stamping (api->version() read after resolve)
+  // fails almost every request here; pinned-snapshot stamps cannot fail at
+  // any publish rate.
+  constexpr int kRequestsPerClient = 100;
+  util::ScopedFaultInjection scoped("api.resolve=1:delay=2", 7);
+  ApiService api(MakeGenTaxonomy(1));  // published as version 1
+  ApiEndpoints endpoints(&api);
+  HttpServer::Config config;
+  config.num_threads = 2;
+  HttpServer server(config, endpoints.AsHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    // Single publisher: versions are assigned 2, 3, ... in order, so
+    // version V always serves genV/entV.
+    for (uint64_t v = 2; !stop.load(); ++v) {
+      ASSERT_EQ(api.Publish(MakeGenTaxonomy(v), {}), v);
+    }
+  });
+
+  const auto check = [&](const char* target, const char* prefix) {
+    HttpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    for (int i = 0; i < kRequestsPerClient; ++i) {
+      auto response = client.Get(target);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_EQ(response->status, 200);
+      const uint64_t stamped = ParseVersionStamp(response->body);
+      ASSERT_GE(stamped, 1u);
+      const std::string expected =
+          "\"" + std::string(prefix) + std::to_string(stamped) + "\"";
+      ASSERT_NE(response->body.find(expected), std::string::npos)
+          << "stamped version " << stamped
+          << " but the data disagrees: " << response->body;
+    }
+  };
+  std::thread concepts([&] { check("/v1/getConcept?entity=e", "gen"); });
+  std::thread hyponyms(
+      [&] { check("/v1/getEntity?concept=anchor&limit=10", "ent"); });
+  concepts.join();
+  hyponyms.join();
+  stop.store(true);
+  publisher.join();
+  // The fault must actually have widened the window, or this test proves
+  // nothing: the publisher overlapped the clients the whole run.
+  EXPECT_GT(api.version(), 100u);
 }
 
 TEST(SerializeResponseTest, HeadOmitsBodyButKeepsContentLength) {
