@@ -30,6 +30,14 @@
 // and the shed path shows itself as polite 429 + Retry-After responses —
 // never connection resets.
 //
+// Phase 6 (shard router): 4 shards x 2 replicas of in-process backends
+// behind the Router frontend, all serving one generation. A healthy window
+// sets the baseline, then a second window runs with concurrent batch
+// traffic while one replica is stopped mid-run. Acceptance: zero
+// mixed-generation responses (no refusals, every merged batch carries the
+// cluster's single stamp) and the kill-window hedged p99 stays within 3x
+// the healthy-cluster p99.
+//
 //   bench_server [--seconds S] [--connections N] [--threads T]
 //                [--sweep N1,N2,...] [--cache-mb MB] [--json PATH]
 #include <sys/resource.h>
@@ -45,7 +53,10 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "core/builder.h"
 #include "core/incremental.h"
+#include "router/router.h"
+#include "router/shard_map.h"
 #include "server/client.h"
 #include "server/http.h"
 #include "server/result_cache.h"
@@ -643,6 +654,161 @@ void Run(const Options& options) {
               static_cast<unsigned long long>(stats.parse_errors),
               static_cast<unsigned long long>(stats.io_errors));
 
+  // ---- Phase 6: shard router over a replicated cluster ----
+  // Every backend is its own ApiService pinning the same published
+  // snapshot, so the whole cluster serves one generation — exactly the
+  // deployed shape right after a coordinated publish. The router hashes,
+  // hedges, fails over, and merges; a replica dies mid-window.
+  constexpr size_t kRouterShards = 4;
+  constexpr size_t kRouterReplicas = 2;
+  const double router_seconds = std::max(0.8, options.seconds / 2.0);
+  std::printf("\nphase 6: shard router, %zu shards x %zu replicas, "
+              "%.1fs per window\n",
+              kRouterShards, kRouterReplicas, router_seconds);
+  const auto router_mentions = core::CnProbaseBuilder::BuildMentionIndex(
+      world->output->dump, *snapshot);
+  std::vector<std::unique_ptr<taxonomy::ApiService>> shard_apis;
+  std::vector<std::unique_ptr<server::ApiEndpoints>> shard_endpoints;
+  std::vector<std::unique_ptr<server::HttpServer>> shard_servers;
+  std::vector<std::vector<router::ShardMap::Endpoint>> topology(kRouterShards);
+  for (size_t s = 0; s < kRouterShards; ++s) {
+    for (size_t r = 0; r < kRouterReplicas; ++r) {
+      shard_apis.push_back(
+          std::make_unique<taxonomy::ApiService>(snapshot, router_mentions));
+      shard_endpoints.push_back(
+          std::make_unique<server::ApiEndpoints>(shard_apis.back().get()));
+      server::HttpServer::Config backend_config;
+      backend_config.num_threads = 2;
+      backend_config.drain_deadline = std::chrono::milliseconds(500);
+      shard_servers.push_back(std::make_unique<server::HttpServer>(
+          backend_config, shard_endpoints.back()->AsHandler()));
+      if (const util::Status status = shard_servers.back()->Start();
+          !status.ok()) {
+        std::fprintf(stderr, "backend start failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+      topology[s].push_back({"127.0.0.1", shard_servers.back()->port()});
+    }
+  }
+  router::ShardMap::Options map_options;
+  map_options.quarantine_failures = 3;
+  map_options.quarantine_period = std::chrono::milliseconds(200);
+  router::ShardMap shard_map(std::move(topology), map_options);
+  router::Router::Options router_options;
+  // The router handler blocks on backend I/O, so give it a loop thread per
+  // client connection — the frontend must not be the bottleneck measured.
+  router_options.server.num_threads = std::max(options.connections, 4);
+  router_options.connect_deadline = std::chrono::milliseconds(250);
+  router_options.recv_deadline = std::chrono::milliseconds(1000);
+  router_options.hedge_initial = std::chrono::milliseconds(10);
+  router::Router router(&shard_map, router_options);
+  if (const util::Status status = router.Start(); !status.ok()) {
+    std::fprintf(stderr, "router start failed: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+
+  const Window router_healthy = RunWindow(
+      router.port(), target_sets, options.connections, router_seconds);
+  PrintWindow("healthy", router_healthy);
+
+  // Kill window: the Table II singles plus one dedicated batch connection
+  // (the fan-out/merge and coherence-barrier path), with shard 0's second
+  // replica stopped partway in.
+  std::atomic<uint64_t> batch_ok{0};
+  std::atomic<uint64_t> batch_refused{0};
+  std::atomic<uint64_t> batch_failed{0};
+  std::atomic<bool> batch_stamps_uniform{true};
+  Window router_chaos;
+  {
+    const auto chaos_deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(router_seconds));
+    std::thread batcher([&] {
+      server::HttpClient client;
+      size_t i = 0;
+      while (std::chrono::steady_clock::now() < chaos_deadline) {
+        if (!client.connected() &&
+            !client.Connect("127.0.0.1", router.port()).ok()) {
+          ++batch_failed;
+          continue;
+        }
+        std::string body;
+        for (int k = 0; k < 32; ++k) {
+          body += mentions[i++ % mentions.size()];
+          body += '\n';
+        }
+        auto response = client.Post("/v1/men2ent_batch", body);
+        if (!response.ok()) {
+          ++batch_failed;
+          client.Close();
+          continue;
+        }
+        if (response->status == 200) {
+          ++batch_ok;
+          // A merged batch carries exactly one generation stamp, and every
+          // backend serves version 1 — any other stamp means the merge
+          // mixed generations or dropped the version.
+          if (ParseVersionStamp(response->body) != 1) {
+            batch_stamps_uniform.store(false, std::memory_order_relaxed);
+          }
+        } else if (response->status == 503) {
+          ++batch_refused;
+        } else {
+          ++batch_failed;
+        }
+      }
+    });
+    std::thread killer([&] {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(router_seconds * 0.4));
+      shard_servers[1]->Stop();
+      shard_servers[1]->Wait();
+    });
+    router_chaos = RunWindow(router.port(), target_sets, options.connections,
+                             router_seconds);
+    batcher.join();
+    killer.join();
+  }
+  PrintWindow("kill-one", router_chaos);
+
+  const router::Router::Stats router_stats = router.stats();
+  const double router_p99_ratio =
+      router_healthy.p99 > 0 ? router_chaos.p99 / router_healthy.p99 : 0.0;
+  const bool router_coherent =
+      router_stats.mixed_generation_refusals == 0 &&
+      batch_stamps_uniform.load(std::memory_order_relaxed) &&
+      batch_ok.load() > 0;
+  const bool router_tail_ok =
+      router_healthy.p99 <= 0 ||
+      router_chaos.p99 <= 3.0 * router_healthy.p99;
+  std::printf("  batches     %llu merged, %llu refused, %llu failed "
+              "(32 mentions each)\n",
+              static_cast<unsigned long long>(batch_ok.load()),
+              static_cast<unsigned long long>(batch_refused.load()),
+              static_cast<unsigned long long>(batch_failed.load()));
+  std::printf("  router      hedges %llu (wins %llu), failovers %llu, "
+              "mixed refusals %llu, hedge delay %lld ms\n",
+              static_cast<unsigned long long>(router_stats.hedges),
+              static_cast<unsigned long long>(router_stats.hedge_wins),
+              static_cast<unsigned long long>(router_stats.failovers),
+              static_cast<unsigned long long>(
+                  router_stats.mixed_generation_refusals),
+              static_cast<long long>(router.hedge_delay().count()));
+  std::printf("  acceptance  %s (single generation everywhere; kill-window "
+              "p99 %.2fx healthy, limit 3x)\n",
+              (router_coherent && router_tail_ok) ? "PASS" : "FAIL",
+              router_p99_ratio);
+
+  router.Stop();
+  router.Wait();
+  for (auto& backend : shard_servers) {
+    backend->Stop();
+    backend->Wait();
+  }
+
   if (!options.json_path.empty()) {
     std::string json = "{\n";
     json += "  \"bench\": \"bench_server\",\n";
@@ -682,10 +848,27 @@ void Run(const Options& options) {
             ", \"missing_retry_after\": " +
             std::to_string(shed_window.total.shed_without_retry_after) +
             "},\n";
+    json += "  \"router\": {\"shards\": " + std::to_string(kRouterShards) +
+            ", \"replicas\": " + std::to_string(kRouterReplicas) +
+            ", \"healthy_qps\": " + std::to_string(router_healthy.qps) +
+            ", \"healthy_p99_ms\": " + std::to_string(router_healthy.p99) +
+            ", \"kill_qps\": " + std::to_string(router_chaos.qps) +
+            ", \"kill_p99_ms\": " + std::to_string(router_chaos.p99) +
+            ", \"p99_ratio\": " + std::to_string(router_p99_ratio) +
+            ", \"hedges\": " + std::to_string(router_stats.hedges) +
+            ", \"hedge_wins\": " + std::to_string(router_stats.hedge_wins) +
+            ", \"failovers\": " + std::to_string(router_stats.failovers) +
+            ", \"mixed_generation_refusals\": " +
+            std::to_string(router_stats.mixed_generation_refusals) +
+            ", \"batches_merged\": " + std::to_string(batch_ok.load()) +
+            ", \"batches_refused\": " + std::to_string(batch_refused.load()) +
+            "},\n";
     json += "  \"acceptance\": {\"throughput_floor\": " +
             JsonBool(floor_ok) + ", \"no_poll_regression\": " +
             JsonBool(no_regression) + ", \"sweep\": " + JsonBool(sweep_ok) +
-            ", \"overload_polite\": " + JsonBool(overload_ok) + "}\n";
+            ", \"overload_polite\": " + JsonBool(overload_ok) +
+            ", \"router_coherent\": " + JsonBool(router_coherent) +
+            ", \"router_hedged_tail\": " + JsonBool(router_tail_ok) + "}\n";
     json += "}\n";
     if (std::FILE* f = std::fopen(options.json_path.c_str(), "w")) {
       std::fwrite(json.data(), 1, json.size(), f);

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Router smoke test for CI: launch cnprobase_router with 1 shard x 2
+# replica backends, query every endpoint through the router, kill one
+# backend mid-flight and verify the answers stay correct (degraded, not
+# down), then SIGTERM the whole tree and require a graceful exit 0. Usage:
+#
+#   ci/router_smoke.sh <path-to-cnprobase_router>
+set -euo pipefail
+
+ROUTER_BIN=${1:?usage: router_smoke.sh <path-to-cnprobase_router>}
+LOG=$(mktemp)
+trap 'kill "$ROUTER_PID" 2>/dev/null || true; rm -f "$LOG"' EXIT
+
+"$ROUTER_BIN" --shards 1 --replicas 2 --entities 800 --threads 2 \
+  --hedge-ms 20 >"$LOG" 2>&1 &
+ROUTER_PID=$!
+
+# Wait for the router (taxonomy build + snapshot + backend spawn).
+for _ in $(seq 1 240); do
+  grep -q "router listening on" "$LOG" && break
+  kill -0 "$ROUTER_PID" 2>/dev/null || { cat "$LOG"; echo "router died during startup" >&2; exit 1; }
+  sleep 0.5
+done
+grep -q "router listening on" "$LOG" || { cat "$LOG"; echo "router never started listening" >&2; exit 1; }
+
+PORT=$(grep -o 'router listening on http://127.0.0.1:[0-9]*' "$LOG" | grep -o '[0-9]*$')
+MENTION=$(grep '^sample_mention=' "$LOG" | head -1 | cut -d= -f2-)
+ENTITY=$(grep '^sample_entity=' "$LOG" | head -1 | cut -d= -f2-)
+CONCEPT=$(grep '^sample_concept=' "$LOG" | head -1 | cut -d= -f2-)
+BACKEND_PIDS=$(grep -o 'backend pid=[0-9]*' "$LOG" | grep -o '[0-9]*')
+echo "router on port $PORT, backends: $(echo "$BACKEND_PIDS" | tr '\n' ' ')"
+[ "$(echo "$BACKEND_PIDS" | wc -l)" = 2 ] || { cat "$LOG"; echo "expected 2 backends" >&2; exit 1; }
+
+# fetch <name> <expected-substring> <url...>: 200 + body contains substring.
+fetch() {
+  local name=$1 expect=$2; shift 2
+  local body code
+  body=$(curl -sS -w '\n%{http_code}' "$@")
+  code=${body##*$'\n'}
+  body=${body%$'\n'*}
+  if [ "$code" != 200 ]; then
+    echo "FAIL $name: HTTP $code — $body" >&2; exit 1
+  fi
+  case $body in
+    *"$expect"*) echo "ok   $name" ;;
+    *) echo "FAIL $name: body missing '$expect' — $body" >&2; exit 1 ;;
+  esac
+}
+
+BASE="http://127.0.0.1:$PORT"
+fetch men2ent      '"entities":[{"id":' -G "$BASE/v1/men2ent"    --data-urlencode "mention=$MENTION"
+fetch getConcept   '"concepts":["'      -G "$BASE/v1/getConcept" --data-urlencode "entity=$ENTITY"
+fetch getEntity    '"entities":["'      -G "$BASE/v1/getEntity"  --data-urlencode "concept=$CONCEPT" --data-urlencode "limit=5"
+fetch batch        '"results":['        -X POST --data-binary "$ENTITY" "$BASE/v1/getConcept_batch"
+fetch healthz      '"status":"ok"'      "$BASE/healthz"
+fetch metrics      'router_forwarded_total' "$BASE/metrics"
+
+# Every data answer must carry the generation stamp the coherence barrier
+# keys on.
+VERSION=$(curl -sS -D - -o /dev/null -G "$BASE/v1/getConcept" --data-urlencode "entity=$ENTITY" \
+  | tr -d '\r' | awk -F': ' 'tolower($1)=="x-taxonomy-version"{print $2}')
+[ -n "$VERSION" ] || { echo "FAIL: no X-Taxonomy-Version header" >&2; exit 1; }
+echo "ok   version header ($VERSION)"
+
+# Kill one replica: the shard keeps a live backend, so the router must keep
+# answering correctly (failover/hedge), and /healthz must report degraded.
+VICTIM=$(echo "$BACKEND_PIDS" | head -1)
+kill -TERM "$VICTIM"
+for _ in $(seq 1 50); do kill -0 "$VICTIM" 2>/dev/null || break; sleep 0.1; done
+echo "killed backend $VICTIM"
+
+for i in 1 2 3 4; do
+  fetch "failover-$i" '"concepts":["' -G "$BASE/v1/getConcept" --data-urlencode "entity=$ENTITY"
+done
+fetch degraded-batch '"results":[' -X POST --data-binary "$ENTITY" "$BASE/v1/getConcept_batch"
+# The dead replica must be visible in the health report within a few
+# failed probes.
+DEGRADED=0
+for _ in $(seq 1 20); do
+  if curl -sS "$BASE/healthz" | grep -q '"status":"degraded"'; then DEGRADED=1; break; fi
+  curl -sS -o /dev/null -G "$BASE/v1/getConcept" --data-urlencode "entity=$ENTITY" || true
+  sleep 0.1
+done
+[ "$DEGRADED" = 1 ] || { echo "FAIL: healthz never reported degraded" >&2; exit 1; }
+echo "ok   degraded-but-correct after backend kill"
+
+# Graceful drain of the whole tree: SIGTERM must yield exit 0.
+kill -TERM "$ROUTER_PID"
+EXIT=0
+wait "$ROUTER_PID" || EXIT=$?
+if [ "$EXIT" != 0 ]; then
+  cat "$LOG"; echo "FAIL: router exited $EXIT after SIGTERM" >&2; exit 1
+fi
+grep -q "draining router" "$LOG" || { cat "$LOG"; echo "FAIL: no drain message" >&2; exit 1; }
+grep -q "backends reaped" "$LOG" || { cat "$LOG"; echo "FAIL: backends not reaped" >&2; exit 1; }
+echo "ok   graceful drain (exit 0)"
+echo "router smoke: all checks passed"

@@ -1,0 +1,196 @@
+#ifndef CNPROBASE_ROUTER_ROUTER_H_
+#define CNPROBASE_ROUTER_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "router/shard_map.h"
+#include "server/client.h"
+#include "server/http.h"
+#include "server/server.h"
+#include "util/status.h"
+
+namespace cnpb::router {
+
+// The shard-router tier (DESIGN.md §12, ROADMAP item 2): one HTTP/1.1
+// frontend that partitions the three taxonomy APIs across the backends in a
+// ShardMap and merges the answers, so clients see a single endpoint with
+// the exact wire contract of a lone HttpServer.
+//
+//   - Single-shot endpoints hash their argument to a shard
+//     (hash-by-mention for /v1/men2ent, hash-by-argument for the rest) and
+//     forward to one replica, with failover across replicas and hedging: a
+//     duplicate request goes to a second replica once the first exceeds a
+//     p99-derived delay, and the first answer wins.
+//   - Batch endpoints fan out per-shard sub-batches over parallel
+//     keep-alive connections (all sends first, then all reads) and merge
+//     the sub-results back into input order.
+//   - Generation coherence: every backend response carries
+//     X-Taxonomy-Version (service.cc); a batch merge whose sub-responses
+//     straddle a publish re-fetches the laggard shards a bounded number of
+//     times, and refuses (503) rather than mix generations in one response.
+//   - Health: request outcomes drive the ShardMap quarantine state
+//     machine; a dark shard answers 503, not a hang.
+//
+// The router's request handler does blocking backend I/O, unlike the
+// sub-microsecond in-memory handlers HttpServer was designed around — so a
+// router frontend should run with more event-loop threads than a backend
+// (Options::server.num_threads defaults higher), and every blocking step is
+// bounded by connect/recv deadlines on the hardened HttpClient.
+//
+// Fault points: `router.connect` (backend connection establishment) and
+// `router.backend` (request forwarding) — see the registry in DESIGN.md §8.
+class Router {
+ public:
+  struct Options {
+    // Frontend server config. More threads than a backend: each in-flight
+    // request holds its loop for the duration of the backend exchange.
+    server::HttpServer::Config server;
+    // Per-backend-connection deadlines (the hardened HttpClient enforces
+    // them); a stalled backend costs at most connect+recv per attempt.
+    std::chrono::milliseconds connect_deadline{1000};
+    std::chrono::milliseconds recv_deadline{2000};
+    // Hedging: after the in-flight request to the primary replica has been
+    // outstanding for the hedge delay, send a duplicate to another replica
+    // and take whichever answers first. The delay tracks the observed p99
+    // forward latency, clamped to [hedge_min, hedge_max]; hedge_initial
+    // seeds it before enough samples exist.
+    bool hedge = true;
+    std::chrono::milliseconds hedge_min{1};
+    std::chrono::milliseconds hedge_max{100};
+    std::chrono::milliseconds hedge_initial{20};
+    // Batch coherence: rounds of laggard-shard re-fetches allowed before a
+    // mixed-generation merge is refused with 503.
+    int coherence_retries = 2;
+    // Idle keep-alive connections pooled per backend.
+    size_t max_idle_per_backend = 8;
+  };
+
+  struct Stats {
+    uint64_t forwarded = 0;         // single-shot requests answered
+    uint64_t batches = 0;           // batch requests answered
+    uint64_t failovers = 0;         // replica retries after a failure
+    uint64_t hedges = 0;            // duplicate requests sent
+    uint64_t hedge_wins = 0;        // ... where the duplicate answered first
+    uint64_t coherence_retries = 0; // laggard sub-batches re-fetched
+    uint64_t mixed_generation_refusals = 0;  // batches 503'd as incoherent
+    uint64_t no_backend = 0;        // requests 503'd with the shard dark
+  };
+
+  // `shard_map` must outlive the router.
+  Router(ShardMap* shard_map, const Options& options);
+  ~Router();  // implies Stop() + Wait()
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  util::Status Start();
+  void Stop();
+  void Wait();
+  uint16_t port() const;
+  const server::HttpServer* server() const { return server_.get(); }
+
+  // The frontend handler; public so unit tests can drive the routing logic
+  // without a frontend socket (backends are still reached over HTTP).
+  server::HttpResponse Handle(const server::HttpRequest& request);
+
+  Stats stats() const;
+  // The current hedge delay (test/diagnostic hook).
+  std::chrono::milliseconds hedge_delay() const;
+
+ private:
+  // A checked-out backend connection. `reused` distinguishes a pooled
+  // keep-alive connection (whose peer may have idle-closed it) from a
+  // fresh one, so a first send failure on a reused connection retries on a
+  // fresh socket before counting as a backend failure.
+  struct Lease {
+    std::unique_ptr<server::HttpClient> client;
+    size_t shard = 0;
+    size_t replica = 0;
+    bool reused = false;
+  };
+
+  struct Pool {
+    std::mutex mu;
+    std::vector<std::unique_ptr<server::HttpClient>> idle;
+  };
+
+  size_t PoolIndex(size_t shard, size_t replica) const {
+    return pool_offsets_[shard] + replica;
+  }
+  // `allow_reuse` false forces a fresh connection (the stale-pool retry).
+  util::Result<Lease> Acquire(size_t shard, size_t replica, bool allow_reuse);
+  void Release(Lease lease);
+
+  std::string HostPort(size_t shard, size_t replica) const;
+  // Request bytes for a forward to (shard, replica); GETs go through the
+  // client's own formatter, anything with a body is built here.
+  static std::string BuildRaw(const server::HttpClient& client,
+                              std::string_view method, std::string_view target,
+                              std::string_view body,
+                              std::string_view content_type);
+
+  // One request/response against one replica, no hedging: send (with the
+  // stale-pooled-connection retry), read, report the outcome to the shard
+  // map. On success the connection returns to the pool.
+  util::Result<server::HttpClient::Response> SendTo(
+      size_t shard, size_t replica, std::string_view method,
+      std::string_view target, std::string_view body,
+      std::string_view content_type);
+
+  // SendTo plus hedging: races a duplicate on a second replica when the
+  // primary exceeds the hedge delay. `used_replica` reports who answered.
+  util::Result<server::HttpClient::Response> SendHedged(
+      size_t shard, size_t replica, std::string_view method,
+      std::string_view target, int* used_replica);
+
+  server::HttpResponse ForwardSingle(size_t shard,
+                                     const server::HttpRequest& request);
+  server::HttpResponse ForwardBatch(const server::HttpRequest& request,
+                                    std::string_view param);
+  server::HttpResponse Healthz();
+  server::HttpResponse Metrics();
+
+  // Shard for a single-shot request: hash of the (decoded) routing
+  // argument; a missing argument routes to shard 0, whose backend then
+  // produces the canonical 400.
+  size_t ShardForParam(const server::HttpRequest& request,
+                       std::string_view param) const;
+
+  void ObserveForwardLatency(std::chrono::microseconds elapsed);
+
+  ShardMap* const shard_map_;
+  const Options options_;
+  std::unique_ptr<server::HttpServer> server_;
+
+  std::vector<size_t> pool_offsets_;        // shard -> index into pools_
+  std::vector<std::unique_ptr<Pool>> pools_;  // one per backend
+
+  std::atomic<uint64_t> forwarded_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> hedges_{0};
+  std::atomic<uint64_t> hedge_wins_{0};
+  std::atomic<uint64_t> coherence_retries_{0};
+  std::atomic<uint64_t> mixed_refusals_{0};
+  std::atomic<uint64_t> no_backend_{0};
+
+  // Power-of-two microsecond buckets of successful forward latencies;
+  // every 128 samples the p99 is re-derived into hedge_delay_ms_. Self-
+  // contained (not obs::) because hedging must work with metrics disabled.
+  static constexpr size_t kLatBuckets = 32;
+  std::atomic<uint64_t> lat_buckets_[kLatBuckets] = {};
+  std::atomic<uint64_t> lat_count_{0};
+  std::atomic<int64_t> hedge_delay_ms_;
+};
+
+}  // namespace cnpb::router
+
+#endif  // CNPROBASE_ROUTER_ROUTER_H_

@@ -1,0 +1,159 @@
+#include "router/shard_map.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace cnpb::router {
+namespace {
+
+// Finalizer (the murmur3 fmix64 constants) over the FNV-1a hash. FNV alone
+// has weak high-bit avalanche: strings sharing a prefix and differing only
+// in a trailing byte or two ("entity1200".."entity1299") land within a
+// narrow band of the 64-bit space, and the ring lookup — dominated by the
+// high bits — then sends whole runs of similar keys to one shard. The mix
+// makes every input bit reach every output bit.
+uint64_t Mix64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+uint64_t RingHash(std::string_view s) { return Mix64(util::Fnv1a64(s)); }
+
+}  // namespace
+
+ShardMap::ShardMap(std::vector<std::vector<Endpoint>> shards,
+                   const Options& options)
+    : options_(options), shards_(std::move(shards)) {
+  offsets_.reserve(shards_.size());
+  size_t total = 0;
+  for (const auto& replicas : shards_) {
+    offsets_.push_back(total);
+    total += replicas.size();
+  }
+  backends_ = std::vector<Backend>(total);
+  rr_.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    rr_.push_back(std::make_unique<std::atomic<uint32_t>>(0));
+  }
+  ring_.reserve(shards_.size() * options_.vnodes_per_shard);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    for (size_t v = 0; v < options_.vnodes_per_shard; ++v) {
+      // The vnode label (not the endpoint list) feeds the hash, so the
+      // ring — and therefore key placement — is identical for every router
+      // looking at the same shard count, regardless of replica addresses.
+      const uint64_t point =
+          RingHash(util::StrFormat("shard%zu#%zu", s, v));
+      ring_.emplace_back(point, static_cast<uint32_t>(s));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+int64_t ShardMap::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+size_t ShardMap::ShardForKey(std::string_view key) const {
+  if (shards_.size() == 1 || ring_.empty()) return 0;
+  const uint64_t h = RingHash(key);
+  // First vnode at or after h, wrapping past the top of the ring.
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), std::make_pair(h, uint32_t{0}));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+int ShardMap::PickReplica(size_t shard, int exclude) {
+  const size_t n = shards_[shard].size();
+  if (n == 0) return -1;
+  const uint32_t start = rr_[shard]->fetch_add(1, std::memory_order_relaxed);
+  // Healthy pass: round-robin over replicas under the failure threshold.
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = (start + i) % n;
+    if (static_cast<int>(r) == exclude) continue;
+    const Backend& b = backend(shard, r);
+    if (b.consecutive_failures.load(std::memory_order_relaxed) <
+        options_.quarantine_failures) {
+      return static_cast<int>(r);
+    }
+  }
+  // No healthy replica: admit one probe to a half-open backend. The CAS
+  // makes the probe exclusive — concurrent requests to a dark shard do not
+  // stampede a barely-recovered process.
+  const int64_t now = NowMs();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t r = (start + i) % n;
+    if (static_cast<int>(r) == exclude) continue;
+    Backend& b = backend(shard, r);
+    if (now < b.quarantined_until_ms.load(std::memory_order_relaxed)) {
+      continue;
+    }
+    bool expected = false;
+    if (b.probe_in_flight.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      return static_cast<int>(r);
+    }
+  }
+  return -1;
+}
+
+void ShardMap::ReportSuccess(size_t shard, size_t replica, uint64_t version) {
+  Backend& b = backend(shard, replica);
+  b.consecutive_failures.store(0, std::memory_order_relaxed);
+  b.quarantined_until_ms.store(0, std::memory_order_relaxed);
+  b.probe_in_flight.store(false, std::memory_order_release);
+  if (version != 0) {
+    b.last_version.store(version, std::memory_order_relaxed);
+  }
+}
+
+void ShardMap::ReportFailure(size_t shard, size_t replica) {
+  Backend& b = backend(shard, replica);
+  const int failures =
+      b.consecutive_failures.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (failures >= options_.quarantine_failures) {
+    b.quarantined_until_ms.store(
+        NowMs() + options_.quarantine_period.count(),
+        std::memory_order_relaxed);
+  }
+  b.probe_in_flight.store(false, std::memory_order_release);
+}
+
+ShardMap::State ShardMap::state(size_t shard, size_t replica) const {
+  const Backend& b = backend(shard, replica);
+  if (b.consecutive_failures.load(std::memory_order_relaxed) <
+      options_.quarantine_failures) {
+    return State::kHealthy;
+  }
+  return NowMs() < b.quarantined_until_ms.load(std::memory_order_relaxed)
+             ? State::kQuarantined
+             : State::kHalfOpen;
+}
+
+int ShardMap::consecutive_failures(size_t shard, size_t replica) const {
+  return backend(shard, replica)
+      .consecutive_failures.load(std::memory_order_relaxed);
+}
+
+uint64_t ShardMap::last_version(size_t shard, size_t replica) const {
+  return backend(shard, replica).last_version.load(std::memory_order_relaxed);
+}
+
+uint64_t ShardMap::MaxVersion() const {
+  uint64_t max_version = 0;
+  for (const Backend& b : backends_) {
+    max_version =
+        std::max(max_version, b.last_version.load(std::memory_order_relaxed));
+  }
+  return max_version;
+}
+
+}  // namespace cnpb::router

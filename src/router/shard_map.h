@@ -1,0 +1,117 @@
+#ifndef CNPROBASE_ROUTER_SHARD_MAP_H_
+#define CNPROBASE_ROUTER_SHARD_MAP_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cnpb::router {
+
+// Static cluster topology + per-backend health for the router tier
+// (DESIGN.md §12; gigablast's Hostdb is the shape). The taxonomy keyspace
+// is partitioned across `num_shards()` shards by consistent hash
+// (hash-by-mention for men2ent, hash-by-argument for getConcept/getEntity);
+// each shard is served by one or more replica backends.
+//
+// Health is a tiny per-backend state machine driven by the router's
+// request outcomes, all lock-free:
+//
+//   HEALTHY ──(quarantine_failures consecutive failures)──▶ QUARANTINED
+//   QUARANTINED ──(quarantine_period elapses)──▶ HALF_OPEN
+//   HALF_OPEN ──(one probe request allowed; success)──▶ HEALTHY
+//   HALF_OPEN ──(probe fails)──▶ QUARANTINED (fresh period)
+//
+// PickReplica prefers healthy replicas round-robin; when a shard has none,
+// it admits exactly one in-flight probe to a half-open backend (CAS on
+// probe_in_flight), so a recovering backend sees a trickle, not a stampede.
+class ShardMap {
+ public:
+  struct Endpoint {
+    std::string host;
+    uint16_t port = 0;
+  };
+
+  struct Options {
+    // Consecutive failures that trip a backend into quarantine.
+    int quarantine_failures = 3;
+    // How long a tripped backend sits out before a probe is allowed.
+    std::chrono::milliseconds quarantine_period{1000};
+    // Ring points per shard; 64 keeps the max/min shard load ratio under
+    // ~1.3 for realistic shard counts.
+    size_t vnodes_per_shard = 64;
+  };
+
+  enum class State { kHealthy, kQuarantined, kHalfOpen };
+
+  // `shards[s]` lists the replica endpoints serving shard s. Topology is
+  // fixed after construction; only health state mutates.
+  ShardMap(std::vector<std::vector<Endpoint>> shards, const Options& options);
+
+  ShardMap(const ShardMap&) = delete;
+  ShardMap& operator=(const ShardMap&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_replicas(size_t shard) const { return shards_[shard].size(); }
+  const Endpoint& endpoint(size_t shard, size_t replica) const {
+    return shards_[shard][replica];
+  }
+  const Options& options() const { return options_; }
+
+  // The shard owning `key` on the consistent-hash ring. Deterministic
+  // across processes and runs (FNV-1a vnodes), so every router instance
+  // agrees on placement.
+  size_t ShardForKey(std::string_view key) const;
+
+  // Picks a replica of `shard` to send to: healthy replicas round-robin,
+  // else one half-open probe, else -1 (shard dark). `exclude` (or -1 for
+  // none) skips a replica that already failed this request.
+  int PickReplica(size_t shard, int exclude);
+
+  // Request-outcome feedback. ReportSuccess also records the snapshot
+  // version the backend answered with (0 = unknown / not stamped).
+  void ReportSuccess(size_t shard, size_t replica, uint64_t version);
+  void ReportFailure(size_t shard, size_t replica);
+
+  State state(size_t shard, size_t replica) const;
+  int consecutive_failures(size_t shard, size_t replica) const;
+  // Last version seen from this backend (0 until its first success).
+  uint64_t last_version(size_t shard, size_t replica) const;
+  // Max version any backend has answered with — the cluster's newest
+  // published generation, the coherence target for batch merges.
+  uint64_t MaxVersion() const;
+
+ private:
+  struct Backend {
+    std::atomic<int> consecutive_failures{0};
+    // steady_clock ms; backend is quarantined while now < this.
+    std::atomic<int64_t> quarantined_until_ms{0};
+    std::atomic<bool> probe_in_flight{false};
+    std::atomic<uint64_t> last_version{0};
+  };
+
+  static int64_t NowMs();
+  Backend& backend(size_t shard, size_t replica) {
+    return backends_[offsets_[shard] + replica];
+  }
+  const Backend& backend(size_t shard, size_t replica) const {
+    return backends_[offsets_[shard] + replica];
+  }
+
+  const Options options_;
+  const std::vector<std::vector<Endpoint>> shards_;
+  std::vector<size_t> offsets_;     // shard -> index into backends_
+  std::vector<Backend> backends_;   // flat, fixed after construction
+  std::vector<std::unique_ptr<std::atomic<uint32_t>>> rr_;  // per-shard
+  // Sorted (ring position, shard) vnode points.
+  std::vector<std::pair<uint64_t, uint32_t>> ring_;
+};
+
+}  // namespace cnpb::router
+
+#endif  // CNPROBASE_ROUTER_SHARD_MAP_H_

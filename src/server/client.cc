@@ -1,7 +1,6 @@
 #include "server/client.h"
 
 #include <cctype>
-#include <cstdlib>
 
 #include "util/net.h"
 #include "util/strings.h"
@@ -33,7 +32,8 @@ std::string_view HttpClient::Response::Header(std::string_view name) const {
 HttpClient::~HttpClient() { Close(); }
 
 HttpClient::HttpClient(HttpClient&& other) noexcept
-    : fd_(other.fd_),
+    : options_(other.options_),
+      fd_(other.fd_),
       host_(std::move(other.host_)),
       buffer_(std::move(other.buffer_)) {
   other.fd_ = -1;
@@ -42,6 +42,7 @@ HttpClient::HttpClient(HttpClient&& other) noexcept
 HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
   if (this != &other) {
     Close();
+    options_ = other.options_;
     fd_ = other.fd_;
     host_ = std::move(other.host_);
     buffer_ = std::move(other.buffer_);
@@ -52,7 +53,10 @@ HttpClient& HttpClient::operator=(HttpClient&& other) noexcept {
 
 util::Status HttpClient::Connect(const std::string& host, uint16_t port) {
   Close();
-  util::Result<int> fd = util::ConnectTcp(host, port);
+  util::Result<int> fd = options_.connect_deadline.count() > 0
+                             ? util::ConnectTcp(host, port,
+                                                options_.connect_deadline)
+                             : util::ConnectTcp(host, port);
   if (!fd.ok()) return fd.status();
   fd_ = *fd;
   host_ = util::StrFormat("%s:%u", host.c_str(), unsigned{port});
@@ -87,18 +91,15 @@ util::Status HttpClient::SendRaw(std::string_view bytes) {
   return util::Status::Ok();
 }
 
-util::Result<HttpClient::Response> HttpClient::Get(std::string_view target) {
-  const std::string request = util::StrFormat(
-      "GET %.*s HTTP/1.1\r\nHost: %s\r\n\r\n",
-      static_cast<int>(target.size()), target.data(), host_.c_str());
-  CNPB_RETURN_IF_ERROR(SendRaw(request));
-  return ReadResponse();
+std::string HttpClient::FormatGet(std::string_view target) const {
+  return util::StrFormat("GET %.*s HTTP/1.1\r\nHost: %s\r\n\r\n",
+                         static_cast<int>(target.size()), target.data(),
+                         host_.c_str());
 }
 
-util::Result<HttpClient::Response> HttpClient::Post(std::string_view target,
-                                                    std::string_view body,
-                                                    std::string_view
-                                                        content_type) {
+std::string HttpClient::FormatPost(std::string_view target,
+                                   std::string_view body,
+                                   std::string_view content_type) const {
   std::string request = util::StrFormat(
       "POST %.*s HTTP/1.1\r\nHost: %s\r\nContent-Type: %.*s\r\n"
       "Content-Length: %zu\r\n\r\n",
@@ -106,7 +107,19 @@ util::Result<HttpClient::Response> HttpClient::Post(std::string_view target,
       static_cast<int>(content_type.size()), content_type.data(),
       body.size());
   request.append(body);
-  CNPB_RETURN_IF_ERROR(SendRaw(request));
+  return request;
+}
+
+util::Result<HttpClient::Response> HttpClient::Get(std::string_view target) {
+  CNPB_RETURN_IF_ERROR(SendRaw(FormatGet(target)));
+  return ReadResponse();
+}
+
+util::Result<HttpClient::Response> HttpClient::Post(std::string_view target,
+                                                    std::string_view body,
+                                                    std::string_view
+                                                        content_type) {
+  CNPB_RETURN_IF_ERROR(SendRaw(FormatPost(target, body, content_type)));
   return ReadResponse();
 }
 
@@ -117,6 +130,33 @@ util::Result<HttpClient::Response> HttpClient::ReadResponse() {
     Close();
     return status;
   };
+  // One deadline covers the whole response; each recv is preceded by a
+  // poll against the remaining budget so a stalled backend cannot block
+  // the caller past recv_deadline.
+  const bool deadline_enabled = options_.recv_deadline.count() > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        options_.recv_deadline;
+  const auto recv_more = [&](util::Result<size_t>* got) -> util::Status {
+    if (deadline_enabled) {
+      const auto remaining =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              deadline - std::chrono::steady_clock::now());
+      bool ready = false;
+      if (remaining.count() > 0) {
+        CNPB_RETURN_IF_ERROR(util::WaitReadable(fd_, remaining, &ready));
+      }
+      if (!ready) {
+        return util::DeadlineExceededError(util::StrFormat(
+            "no response from %s within %lld ms", host_.c_str(),
+            static_cast<long long>(options_.recv_deadline.count())));
+      }
+    }
+    char chunk[16384];
+    *got = util::RecvSome(fd_, chunk, sizeof(chunk), nullptr);
+    if (got->ok() && **got > 0) buffer_.append(chunk, **got);
+    return util::Status::Ok();
+  };
+
   size_t header_end = std::string::npos;
   for (;;) {
     header_end = buffer_.find("\r\n\r\n");
@@ -124,14 +164,12 @@ util::Result<HttpClient::Response> HttpClient::ReadResponse() {
     if (buffer_.size() > (1u << 20)) {
       return fail(util::IoError("response headers never terminated"));
     }
-    char chunk[16384];
-    const util::Result<size_t> got =
-        util::RecvSome(fd_, chunk, sizeof(chunk), nullptr);
+    util::Result<size_t> got = 0;
+    if (util::Status s = recv_more(&got); !s.ok()) return fail(std::move(s));
     if (!got.ok()) return fail(got.status());
     if (*got == 0) {
       return fail(util::IoError("connection closed before response"));
     }
-    buffer_.append(chunk, *got);
   }
 
   Response response;
@@ -141,17 +179,27 @@ util::Result<HttpClient::Response> HttpClient::ReadResponse() {
   for (std::string& line : lines) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
   }
-  // Status line: HTTP/1.1 NNN Reason
+  // Status line: HTTP/1.1 NNN Reason. The code field must be all digits —
+  // atoi would quietly take "20x" as 20 or "  404" with whatever junk
+  // follows, and a garbage status corrupts every keep-alive decision that
+  // depends on it.
   {
     const std::vector<std::string> parts = util::Split(lines[0], ' ');
     if (parts.size() < 2 || !util::StartsWith(parts[0], "HTTP/1.")) {
       return fail(util::IoError("malformed status line: " + lines[0]));
     }
-    response.status = std::atoi(parts[1].c_str());
-    if (response.status < 100 || response.status > 599) {
+    uint64_t code = 0;
+    if (!util::ParseUint64(parts[1], &code) || code < 100 || code > 599) {
       return fail(util::IoError("malformed status code: " + parts[1]));
     }
+    response.status = static_cast<int>(code);
   }
+  // Content-Length must be a digit-only full-field parse. atoll silently
+  // mapped garbage to 0 (desyncing the keep-alive stream: the next
+  // response is parsed starting mid-body) and negatives to huge sizes
+  // (hanging until peer close). Conflicting duplicates are an attack/bug
+  // smuggling vector — reject; byte-identical duplicates are harmless.
+  bool have_content_length = false;
   size_t content_length = 0;
   for (size_t i = 1; i < lines.size(); ++i) {
     const size_t colon = lines[i].find(':');
@@ -160,21 +208,33 @@ util::Result<HttpClient::Response> HttpClient::ReadResponse() {
     std::string value(util::StripAsciiWhitespace(
         std::string_view(lines[i]).substr(colon + 1)));
     if (AsciiIEquals(name, "Content-Length")) {
-      content_length = static_cast<size_t>(std::atoll(value.c_str()));
+      uint64_t parsed = 0;
+      if (!util::ParseUint64(value, &parsed)) {
+        return fail(util::IoError("malformed Content-Length: " + value));
+      }
+      if (parsed > options_.max_body_bytes) {
+        return fail(util::IoError(util::StrFormat(
+            "Content-Length %llu exceeds limit %zu",
+            static_cast<unsigned long long>(parsed),
+            options_.max_body_bytes)));
+      }
+      if (have_content_length && parsed != content_length) {
+        return fail(util::IoError("conflicting Content-Length headers"));
+      }
+      have_content_length = true;
+      content_length = static_cast<size_t>(parsed);
     }
     response.headers.emplace_back(std::move(name), std::move(value));
   }
 
   const size_t body_start = header_end + 4;
   while (buffer_.size() - body_start < content_length) {
-    char chunk[16384];
-    const util::Result<size_t> got =
-        util::RecvSome(fd_, chunk, sizeof(chunk), nullptr);
+    util::Result<size_t> got = 0;
+    if (util::Status s = recv_more(&got); !s.ok()) return fail(std::move(s));
     if (!got.ok()) return fail(got.status());
     if (*got == 0) {
       return fail(util::IoError("connection closed mid-body"));
     }
-    buffer_.append(chunk, *got);
   }
   response.body = buffer_.substr(body_start, content_length);
   // Keep-alive: preserve any bytes past this response for the next one.

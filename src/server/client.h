@@ -1,6 +1,7 @@
 #ifndef CNPROBASE_SERVER_CLIENT_H_
 #define CNPROBASE_SERVER_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -13,10 +14,25 @@ namespace cnpb::server {
 
 // A deliberately small blocking HTTP/1.1 client: one keep-alive connection,
 // sequential request/response. It exists for the loopback load generator,
-// the --live bench mode, and the server tests — it is not a general client
-// (no TLS, no redirects, no chunked encoding, IPv4 only).
+// the --live bench mode, the router tier's backend pools, and the server
+// tests — it is not a general client (no TLS, no redirects, no chunked
+// encoding, IPv4 only).
 class HttpClient {
  public:
+  struct Options {
+    // Deadline for establishing the TCP connection; 0 disables (blocking
+    // connect with the kernel's SYN retry budget).
+    std::chrono::milliseconds connect_deadline{10000};
+    // Per-ReadResponse deadline covering the whole response (headers +
+    // body): each recv is preceded by a poll against the remaining budget,
+    // so a backend that accepts but never answers yields kDeadlineExceeded
+    // instead of blocking the caller forever. 0 disables.
+    std::chrono::milliseconds recv_deadline{30000};
+    // Responses advertising a Content-Length above this are rejected with
+    // kIoError before any body bytes are buffered.
+    size_t max_body_bytes = 64u << 20;
+  };
+
   struct Response {
     int status = 0;
     std::vector<std::pair<std::string, std::string>> headers;
@@ -26,6 +42,7 @@ class HttpClient {
   };
 
   HttpClient() = default;
+  explicit HttpClient(const Options& options) : options_(options) {}
   ~HttpClient();
 
   HttpClient(const HttpClient&) = delete;
@@ -33,9 +50,17 @@ class HttpClient {
   HttpClient(HttpClient&& other) noexcept;
   HttpClient& operator=(HttpClient&& other) noexcept;
 
+  const Options& options() const { return options_; }
+  void set_options(const Options& options) { options_ = options; }
+
   util::Status Connect(const std::string& host, uint16_t port);
   bool connected() const { return fd_ >= 0; }
   void Close();
+
+  // The connected socket, -1 when closed. The router polls this to race two
+  // in-flight backends (hedged requests) without extra threads; callers
+  // must not read or close it directly.
+  int fd() const { return fd_; }
 
   // GET `target` (path + already-encoded query) over the open connection.
   // Reconnects are the caller's job: after any error Status the connection
@@ -48,11 +73,20 @@ class HttpClient {
                                   "text/plain; charset=utf-8");
 
   // Sends raw bytes and reads one response — lets tests speak malformed
-  // HTTP (bad encodings, split writes) straight at the server.
+  // HTTP (bad encodings, split writes) straight at the server, and lets
+  // the router pipeline a request without blocking on the response.
   util::Status SendRaw(std::string_view bytes);
   util::Result<Response> ReadResponse();
 
+  // Builds the exact request bytes Get/Post would send, for callers that
+  // SendRaw on several connections before reading any response.
+  std::string FormatGet(std::string_view target) const;
+  std::string FormatPost(std::string_view target, std::string_view body,
+                         std::string_view content_type =
+                             "text/plain; charset=utf-8") const;
+
  private:
+  Options options_;
   int fd_ = -1;
   std::string host_;
   std::string buffer_;  // bytes read past the previous response

@@ -69,6 +69,7 @@ bool ResultCache::Lookup(std::string_view key, uint64_t version,
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second.lru_it);
   out->status = it->second.status;
   out->body = it->second.body;
+  out->version = it->second.version;
   ++shard.hits;
   m_hits_->Increment();
   return true;

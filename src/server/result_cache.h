@@ -55,6 +55,11 @@ class ResultCache {
   struct CachedResponse {
     int status = 0;
     std::string body;
+    // The snapshot version the body was resolved against (equals the
+    // version passed to Lookup on a hit; kept explicit so callers can stamp
+    // response headers without re-reading the live version, which may have
+    // moved since).
+    uint64_t version = 0;
   };
 
   explicit ResultCache(const Config& config);

@@ -239,6 +239,14 @@ util::Status HttpServer::Start() {
     (void)util::SetNonBlocking(loop->wake_rd);
     (void)util::SetNonBlocking(loop->wake_wr);
     loop->wheel.Init(TimerGranularity(config_), now);
+#ifdef __linux__
+    if (use_epoll_) {
+      if (util::Status status = SetupEpoll(loop.get()); !status.ok()) {
+        state_.store(kStopped);
+        return status;
+      }
+    }
+#endif
     loops_.push_back(std::move(loop));
   }
   // The event loops are long-lived tasks: lane 0 runs on the dedicated
@@ -589,11 +597,17 @@ void HttpServer::RunLoop(size_t index) {
 #define EPOLLEXCLUSIVE 0
 #endif
 
-void HttpServer::RunEpollLoop(Loop* loop) {
+// Creates the loop's epoll instance and registers the wake pipe and the
+// listening socket. Runs on the thread calling Start(), not the loop
+// thread: Stop() may close the listener the moment Start() returns, and a
+// loop thread racing its initial EPOLL_CTL_ADD against that close could
+// end up watching a recycled descriptor. Registering before Start()
+// returns closes the window — Stop() is only legal afterwards.
+util::Status HttpServer::SetupEpoll(Loop* loop) {
   loop->epfd = ::epoll_create1(EPOLL_CLOEXEC);
   if (loop->epfd < 0) {
-    CNPB_LOG(Error) << "epoll_create1 failed: " << std::strerror(errno);
-    return;
+    return util::IoError(std::string("epoll_create1 failed: ") +
+                         std::strerror(errno));
   }
   {
     epoll_event ev{};
@@ -617,6 +631,12 @@ void HttpServer::RunEpollLoop(Loop* loop) {
       (void)::epoll_ctl(loop->epfd, EPOLL_CTL_ADD, listen_fd, &ev);
     }
   }
+  return util::Status::Ok();
+}
+
+void HttpServer::RunEpollLoop(Loop* loop) {
+  if (loop->epfd < 0) return;  // Start() failed; nothing to run
+  const int listen_fd = listen_fd_.load(std::memory_order_acquire);
 
   epoll_event events[256];
   for (;;) {

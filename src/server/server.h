@@ -125,6 +125,7 @@ class HttpServer {
   void RunPollLoop(Loop* loop);
 #ifdef __linux__
   void RunEpollLoop(Loop* loop);
+  util::Status SetupEpoll(Loop* loop);
 #endif
 
   // Drains the kernel accept queue into `loop`. Safe when the listening

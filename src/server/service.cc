@@ -45,6 +45,18 @@ bool ParseTransitive(const HttpRequest& request) {
   return raw == "1" || raw == "true";
 }
 
+bool HasVersionHeader(const HttpResponse& response) {
+  for (const auto& [name, value] : response.headers) {
+    if (name == ApiEndpoints::kVersionHeader) return true;
+  }
+  return false;
+}
+
+void StampVersion(HttpResponse* response, uint64_t version) {
+  response->headers.emplace_back(ApiEndpoints::kVersionHeader,
+                                 std::to_string(version));
+}
+
 }  // namespace
 
 ApiEndpoints::ApiEndpoints(taxonomy::ApiService* api)
@@ -99,8 +111,10 @@ HttpResponse ApiEndpoints::Cached(std::string_view endpoint,
                                   std::string_view options,
                                   Compute&& compute) {
   if (cache_ == nullptr) {
-    uint64_t ignored = 0;
-    return compute(&ignored);
+    uint64_t resolved_version = 0;
+    HttpResponse response = compute(&resolved_version);
+    if (resolved_version != 0) StampVersion(&response, resolved_version);
+    return response;
   }
   const std::string key = ResultCache::Key(endpoint, arg, options);
   ResultCache::CachedResponse hit;
@@ -112,6 +126,7 @@ HttpResponse ApiEndpoints::Cached(std::string_view endpoint,
     response.status = hit.status;
     response.body = std::move(hit.body);
     response.headers.emplace_back("X-Cache", "hit");
+    StampVersion(&response, hit.version);
     return response;
   }
   uint64_t resolved_version = 0;
@@ -122,6 +137,7 @@ HttpResponse ApiEndpoints::Cached(std::string_view endpoint,
     // arguments must be re-evaluated per request.
     cache_->Insert(key, resolved_version, response.status, response.body);
     response.headers.emplace_back("X-Cache", "miss");
+    StampVersion(&response, resolved_version);
   }
   return response;
 }
@@ -187,6 +203,10 @@ HttpResponse ApiEndpoints::Handle(const HttpRequest& request) {
   } else {
     resp_2xx_->Increment();
   }
+  // Snapshot-derived answers stamped their pinned version above; everything
+  // else (errors, health, metrics, 400s) reports the currently-served one,
+  // so the router always has a generation to reason about.
+  if (!HasVersionHeader(response)) StampVersion(&response, api_->version());
   return response;
 }
 
@@ -353,6 +373,7 @@ HttpResponse ApiEndpoints::Men2EntBatch(const HttpRequest& request) {
   body += "]}\n";
   HttpResponse response;
   response.body = std::move(body);
+  StampVersion(&response, result->version);
   return response;
 }
 
@@ -382,6 +403,7 @@ HttpResponse ApiEndpoints::GetConceptBatch(const HttpRequest& request) {
   body += "]}\n";
   HttpResponse response;
   response.body = std::move(body);
+  StampVersion(&response, result->version);
   return response;
 }
 
@@ -416,6 +438,7 @@ HttpResponse ApiEndpoints::GetEntityBatch(const HttpRequest& request) {
   body += "]}\n";
   HttpResponse response;
   response.body = std::move(body);
+  StampVersion(&response, result->version);
   return response;
 }
 

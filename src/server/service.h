@@ -50,6 +50,12 @@ namespace cnpb::server {
 //   missing parameter -> 400, unknown path -> 404, bad method -> 405
 class ApiEndpoints {
  public:
+  // Every response carries this header with the snapshot version that
+  // produced it (snapshot-derived answers stamp their pinned version;
+  // errors and health/metrics stamp the currently-served version). The
+  // router tier reads it to enforce cross-shard generation coherence.
+  static constexpr const char kVersionHeader[] = "X-Taxonomy-Version";
+
   // `api` must outlive the endpoints (and the server using them). This
   // constructor serves uncached.
   explicit ApiEndpoints(taxonomy::ApiService* api);

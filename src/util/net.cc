@@ -7,6 +7,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -96,6 +97,82 @@ Result<int> ConnectTcp(const std::string& host, uint16_t port) {
   const int one = 1;
   (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) return ConnectTcp(host, port);
+  Result<sockaddr_in> addr = MakeAddr(host, port);
+  if (!addr.ok()) return addr.status();
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("socket");
+  if (Status s = SetNonBlocking(fd); !s.ok()) {
+    CloseFd(fd);
+    return s;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                   sizeof(*addr));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    if (errno != EINPROGRESS) {
+      const Status s = ErrnoError("connect");
+      CloseFd(fd);
+      return s;
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int prc;
+    do {
+      prc = ::poll(&pfd, 1, static_cast<int>(timeout.count()));
+    } while (prc < 0 && errno == EINTR);
+    if (prc < 0) {
+      const Status s = ErrnoError("poll(connect)");
+      CloseFd(fd);
+      return s;
+    }
+    if (prc == 0) {
+      CloseFd(fd);
+      return DeadlineExceededError(
+          StrFormat("connect to %s:%u timed out after %lld ms", host.c_str(),
+                    unsigned{port}, static_cast<long long>(timeout.count())));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+      if (err != 0) errno = err;
+      const Status s = ErrnoError("connect");
+      CloseFd(fd);
+      return s;
+    }
+  }
+  // Restore blocking mode so callers see ConnectTcp's contract.
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0) {
+    const Status s = ErrnoError("fcntl(~O_NONBLOCK)");
+    CloseFd(fd);
+    return s;
+  }
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status WaitReadable(int fd, std::chrono::milliseconds timeout, bool* ready) {
+  if (ready != nullptr) *ready = false;
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1,
+                timeout.count() < 0 ? -1 : static_cast<int>(timeout.count()));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return ErrnoError("poll");
+  if (ready != nullptr) *ready = rc > 0;
+  return Status::Ok();
 }
 
 Result<size_t> SendSome(int fd, const char* data, size_t len) {

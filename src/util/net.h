@@ -3,6 +3,7 @@
 
 #include <sys/uio.h>
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -38,6 +39,19 @@ Result<int> ListenTcp(const std::string& host, uint16_t port, int backlog,
 // fd (blocking mode, TCP_NODELAY set — callers are request/response
 // clients, where Nagle only adds latency).
 Result<int> ConnectTcp(const std::string& host, uint16_t port);
+
+// ConnectTcp with a connect deadline: the connect runs non-blocking and is
+// awaited with poll(2), so a black-holed peer yields kDeadlineExceeded after
+// `timeout` instead of the kernel's multi-minute SYN retry budget. The
+// returned fd is restored to blocking mode (same contract as ConnectTcp).
+// timeout <= 0 means no deadline (identical to the overload above).
+Result<int> ConnectTcp(const std::string& host, uint16_t port,
+                       std::chrono::milliseconds timeout);
+
+// Waits up to `timeout` for `fd` to become readable (POLLIN | POLLHUP).
+// `*ready` is set to true when it is, false when the wait timed out.
+// Returns non-ok only on poll() failure. timeout < 0 waits forever.
+Status WaitReadable(int fd, std::chrono::milliseconds timeout, bool* ready);
 
 // send() with MSG_NOSIGNAL: a closed peer yields an EPIPE Status (kIoError),
 // never a SIGPIPE. Returns the number of bytes written (possibly short on a

@@ -40,12 +40,38 @@ struct RetryResult {
   int attempts = 0;  // attempts actually made (>= 1)
 };
 
+// The sleep schedule RetryWithBackoff follows. Every sleep is clamped to
+// [1ms, max_backoff]: a zero initial_backoff used to hot-spin forever,
+// because 0 * multiplier stayed 0 on every iteration — the clamp gives the
+// exponential growth a nonzero seed, so a zero start still backs off
+// 1, 2, 4, ... ms.
+class BackoffSequence {
+ public:
+  explicit BackoffSequence(const RetryOptions& options)
+      : options_(options), next_(options.initial_backoff) {}
+
+  // The sleep to take before the next retry; advances the schedule.
+  std::chrono::milliseconds Next() {
+    const std::chrono::milliseconds sleep = std::max(
+        std::chrono::milliseconds(1), std::min(next_, options_.max_backoff));
+    next_ = std::min(
+        options_.max_backoff,
+        std::chrono::milliseconds(static_cast<int64_t>(
+            static_cast<double>(sleep.count()) * options_.backoff_multiplier)));
+    return sleep;
+  }
+
+ private:
+  RetryOptions options_;
+  std::chrono::milliseconds next_;
+};
+
 // Calls `fn` (returning Status) until it succeeds, fails permanently, or
 // `max_attempts` is exhausted; sleeps the backoff between attempts.
 template <typename Fn>
 RetryResult RetryWithBackoff(const RetryOptions& options, Fn&& fn) {
   RetryResult result;
-  std::chrono::milliseconds backoff = options.initial_backoff;
+  BackoffSequence backoff(options);
   for (int attempt = 1;; ++attempt) {
     result.status = fn();
     result.attempts = attempt;
@@ -53,12 +79,7 @@ RetryResult RetryWithBackoff(const RetryOptions& options, Fn&& fn) {
         attempt >= options.max_attempts) {
       return result;
     }
-    std::this_thread::sleep_for(backoff);
-    backoff = std::min(
-        options.max_backoff,
-        std::chrono::milliseconds(static_cast<int64_t>(
-            static_cast<double>(backoff.count()) *
-            options.backoff_multiplier)));
+    std::this_thread::sleep_for(backoff.Next());
   }
 }
 

@@ -133,8 +133,12 @@ void ThreadPool::ParallelFor(size_t n, int max_parallelism,
     for (size_t lane = 0; lane < helper_lanes; ++lane) {
       queue_.emplace_back([&state, &drain]() {
         drain();
+        // The decrement must happen under done_mu: `state` lives on the
+        // caller's stack, and a decrement outside the lock lets the caller
+        // observe pending == 0, return, and destroy the condvar while this
+        // worker is still signalling it.
+        std::lock_guard<std::mutex> done_lock(state.done_mu);
         if (state.pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard<std::mutex> done_lock(state.done_mu);
           state.done_cv.notify_one();
         }
       });

@@ -182,5 +182,52 @@ TEST(RetryTest, RetryConsumesInjectedFaultsWithLimit) {
   EXPECT_EQ(result.attempts, 3);
 }
 
+TEST(RetryTest, BackoffGrowsFromZeroStart) {
+  // Regression: initial_backoff == 0 used to stay 0 forever
+  // (0 * multiplier == 0), so RetryWithBackoff hot-spun between attempts.
+  // The schedule must clamp to >= 1ms and grow exponentially from there.
+  RetryOptions options;
+  options.initial_backoff = std::chrono::milliseconds(0);
+  options.backoff_multiplier = 2.0;
+  options.max_backoff = std::chrono::milliseconds(50);
+  BackoffSequence backoff(options);
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(1));
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(2));
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(4));
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(8));
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(16));
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(32));
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(50));  // capped
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(50));  // stays capped
+}
+
+TEST(RetryTest, BackoffRespectsNonZeroStartAndCap) {
+  RetryOptions options;
+  options.initial_backoff = std::chrono::milliseconds(5);
+  options.backoff_multiplier = 3.0;
+  options.max_backoff = std::chrono::milliseconds(20);
+  BackoffSequence backoff(options);
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(5));
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(15));
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(20));  // 45 capped
+  EXPECT_EQ(backoff.Next(), std::chrono::milliseconds(20));
+}
+
+TEST(RetryTest, ZeroInitialBackoffActuallySleeps) {
+  // The wall-clock half of the regression: 4 attempts from a zero start
+  // must sleep 1 + 2 + 4 = 7ms between attempts. The old hot-spin code
+  // finished in microseconds; allow generous slop above the 7ms floor but
+  // assert a hard lower bound.
+  RetryOptions options;
+  options.max_attempts = 4;
+  options.initial_backoff = std::chrono::milliseconds(0);
+  const auto start = std::chrono::steady_clock::now();
+  const RetryResult result = RetryWithBackoff(
+      options, [] { return IoError("transient"); });
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(result.attempts, 4);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(6));
+}
+
 }  // namespace
 }  // namespace cnpb::util

@@ -1,0 +1,360 @@
+// Hardened HttpClient coverage: the malformed-response corpus. The client
+// talks to a scripted raw-socket "server" that writes exactly the bytes a
+// test asks for (or deliberately stalls), so every parsing and deadline
+// path is driven end to end. The contract under test: every entry yields a
+// definite util::Status — never a hang, never a silent desync.
+#include "server/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/net.h"
+#include "util/status.h"
+
+namespace cnpb::server {
+namespace {
+
+using util::StatusCode;
+
+// Accepts one connection on `listen_fd` (non-blocking listener), waiting up
+// to `timeout_ms`. Returns the connected fd or -1.
+int AcceptOne(int listen_fd, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc <= 0) return -1;
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+// One-shot scripted peer: accepts a single connection, writes `bytes`,
+// then either closes or holds the connection open for `hold_ms`.
+class ScriptedServer {
+ public:
+  ScriptedServer() {
+    util::Result<int> fd = util::ListenTcp("127.0.0.1", 0, 8, &port_);
+    EXPECT_TRUE(fd.ok()) << fd.status().message();
+    listen_fd_ = fd.ok() ? *fd : -1;
+  }
+
+  ~ScriptedServer() {
+    if (thread_.joinable()) thread_.join();
+    util::CloseFd(held_fd_);
+    util::CloseFd(listen_fd_);
+  }
+
+  uint16_t port() const { return port_; }
+
+  // `close_after` false keeps the accepted socket open (stalled peer)
+  // until the script thread is joined at destruction.
+  void Script(std::string bytes, bool close_after = true, int hold_ms = 0) {
+    thread_ = std::thread([this, bytes = std::move(bytes), close_after,
+                           hold_ms] {
+      const int fd = AcceptOne(listen_fd_, 5000);
+      if (fd < 0) return;
+      size_t off = 0;
+      while (off < bytes.size()) {
+        const util::Result<size_t> sent =
+            util::SendSome(fd, bytes.data() + off, bytes.size() - off);
+        if (!sent.ok() || *sent == 0) break;
+        off += *sent;
+      }
+      if (hold_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
+      }
+      if (close_after) {
+        util::CloseFd(fd);
+      } else {
+        held_fd_ = fd;
+      }
+    });
+  }
+
+ private:
+  int listen_fd_ = -1;
+  int held_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+HttpClient MakeClient(uint16_t port, int recv_deadline_ms = 2000) {
+  HttpClient::Options options;
+  options.recv_deadline = std::chrono::milliseconds(recv_deadline_ms);
+  HttpClient client(options);
+  const util::Status connected = client.Connect("127.0.0.1", port);
+  EXPECT_TRUE(connected.ok()) << connected.message();
+  return client;
+}
+
+TEST(HttpClientTest, ParsesWellFormedResponse) {
+  ScriptedServer server;
+  server.Script(
+      "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+      "Content-Length: 5\r\n\r\nhello");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, "hello");
+  EXPECT_EQ(response->Header("content-type"), "application/json");
+  EXPECT_TRUE(client.connected());  // keep-alive survives a clean response
+}
+
+TEST(HttpClientTest, KeepAliveParsesPipelinedResponses) {
+  ScriptedServer server;
+  server.Script(
+      "HTTP/1.1 200 OK\r\nContent-Length: 3\r\n\r\none"
+      "HTTP/1.1 404 Not Found\r\nContent-Length: 3\r\n\r\ntwo");
+  HttpClient client = MakeClient(server.port());
+  util::Result<HttpClient::Response> first = client.ReadResponse();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, 200);
+  EXPECT_EQ(first->body, "one");
+  util::Result<HttpClient::Response> second = client.ReadResponse();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, 404);
+  EXPECT_EQ(second->body, "two");
+}
+
+// --- Content-Length strictness (regression: atoll accepted all of these) --
+
+TEST(HttpClientTest, GarbageContentLengthIsIoError) {
+  // atoll("abc") == 0: the old client treated this as an empty body and
+  // desynced the keep-alive stream.
+  ScriptedServer server;
+  server.Script("HTTP/1.1 200 OK\r\nContent-Length: abc\r\n\r\n");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+  EXPECT_FALSE(client.connected());  // poisoned stream must be closed
+}
+
+TEST(HttpClientTest, NegativeContentLengthIsIoError) {
+  // atoll("-5") cast to size_t was a huge length: the old client hung
+  // until peer close. Now it is rejected before any body read.
+  ScriptedServer server;
+  server.Script("HTTP/1.1 200 OK\r\nContent-Length: -5\r\n\r\n");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpClientTest, TrailingJunkContentLengthIsIoError) {
+  // atoll("5x") == 5: full-field digit-only parsing rejects it.
+  ScriptedServer server;
+  server.Script("HTTP/1.1 200 OK\r\nContent-Length: 5x\r\n\r\nhello");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpClientTest, ConflictingDuplicateContentLengthIsIoError) {
+  ScriptedServer server;
+  server.Script(
+      "HTTP/1.1 200 OK\r\nContent-Length: 3\r\nContent-Length: 7\r\n\r\n"
+      "smuggled");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpClientTest, IdenticalDuplicateContentLengthIsAccepted) {
+  ScriptedServer server;
+  server.Script(
+      "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->body, "hi");
+}
+
+TEST(HttpClientTest, OversizedContentLengthIsIoError) {
+  ScriptedServer server;
+  server.Script("HTTP/1.1 200 OK\r\nContent-Length: 1073741824\r\n\r\n");
+  HttpClient::Options options;
+  options.recv_deadline = std::chrono::milliseconds(2000);
+  options.max_body_bytes = 1024;
+  HttpClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+// --- Status-line strictness ----------------------------------------------
+
+TEST(HttpClientTest, TruncatedStatusLineIsIoError) {
+  ScriptedServer server;
+  server.Script("HTTP/1.1\r\n\r\n");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpClientTest, NonNumericStatusCodeIsIoError) {
+  // atoi("20x") == 20: the old client accepted it as status 20.
+  ScriptedServer server;
+  server.Script("HTTP/1.1 20x OK\r\nContent-Length: 0\r\n\r\n");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpClientTest, OutOfRangeStatusCodeIsIoError) {
+  ScriptedServer server;
+  server.Script("HTTP/1.1 1000 Nope\r\nContent-Length: 0\r\n\r\n");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpClientTest, SignedStatusCodeIsIoError) {
+  ScriptedServer server;
+  server.Script("HTTP/1.1 +200 OK\r\nContent-Length: 0\r\n\r\n");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+// --- Connection lifecycle -------------------------------------------------
+
+TEST(HttpClientTest, EarlyCloseMidBodyIsIoError) {
+  ScriptedServer server;
+  server.Script("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n\r\nabc");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+TEST(HttpClientTest, CloseBeforeAnyResponseIsIoError) {
+  ScriptedServer server;
+  server.Script("");
+  HttpClient client = MakeClient(server.port());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kIoError);
+}
+
+// --- Deadlines ------------------------------------------------------------
+
+TEST(HttpClientTest, StalledSocketHitsRecvDeadline) {
+  // The peer accepts and then never writes a byte: the old client blocked
+  // in recv() forever. With a 100ms recv_deadline the call must return
+  // kDeadlineExceeded promptly.
+  ScriptedServer server;
+  server.Script("", /*close_after=*/false);
+  HttpClient client = MakeClient(server.port(), /*recv_deadline_ms=*/100);
+  const auto start = std::chrono::steady_clock::now();
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_FALSE(client.connected());
+}
+
+TEST(HttpClientTest, StallMidHeadersHitsRecvDeadline) {
+  ScriptedServer server;
+  server.Script("HTTP/1.1 200 OK\r\nContent-Ty", /*close_after=*/false);
+  HttpClient client = MakeClient(server.port(), /*recv_deadline_ms=*/100);
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(HttpClientTest, StallMidBodyHitsRecvDeadline) {
+  ScriptedServer server;
+  server.Script("HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\npartial",
+                /*close_after=*/false);
+  HttpClient client = MakeClient(server.port(), /*recv_deadline_ms=*/100);
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_FALSE(response.ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(HttpClientTest, ZeroRecvDeadlineDisablesTheTimer) {
+  ScriptedServer server;
+  server.Script("HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+  HttpClient::Options options;
+  options.recv_deadline = std::chrono::milliseconds(0);
+  HttpClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->body, "ok");
+}
+
+TEST(HttpClientTest, ConnectToUnresponsiveListenerIsDefiniteStatus) {
+  // A black hole built on loopback: a listener with a backlog of 1 that
+  // never accepts. The first couple of connects park in the accept queue;
+  // once it is full the kernel drops (or resets) further SYNs, and the
+  // connect deadline must turn that into a definite Status — either
+  // kDeadlineExceeded (SYN silently dropped, retries outlast the deadline)
+  // or kIoError (overflow answered with RST) — well before the kernel's
+  // multi-minute SYN retry budget.
+  uint16_t port = 0;
+  util::Result<int> hole = util::ListenTcp("127.0.0.1", 0, 1, &port);
+  ASSERT_TRUE(hole.ok());
+
+  HttpClient::Options options;
+  options.connect_deadline = std::chrono::milliseconds(300);
+  std::vector<HttpClient> parked;  // keeps queue-filling connections open
+  bool saw_failure = false;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 16 && !saw_failure; ++i) {
+    HttpClient client(options);
+    const util::Status status = client.Connect("127.0.0.1", port);
+    if (status.ok()) {
+      parked.push_back(std::move(client));
+      continue;
+    }
+    saw_failure = true;
+    EXPECT_TRUE(status.code() == StatusCode::kDeadlineExceeded ||
+                status.code() == StatusCode::kIoError)
+        << status.message();
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(saw_failure) << "accept queue never overflowed";
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  util::CloseFd(*hole);
+}
+
+TEST(HttpClientTest, ConnectWithDeadlineSucceedsAgainstLiveListener) {
+  ScriptedServer server;
+  server.Script("HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n");
+  HttpClient::Options options;
+  options.connect_deadline = std::chrono::milliseconds(1000);
+  HttpClient client(options);
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  const util::Result<HttpClient::Response> response = client.ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->status, 204);
+}
+
+}  // namespace
+}  // namespace cnpb::server
