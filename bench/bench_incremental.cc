@@ -13,6 +13,8 @@
 
 #include "bench/bench_common.h"
 #include "core/incremental.h"
+#include "ingest/daemon.h"
+#include "ingest/wal.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "taxonomy/api_service.h"
@@ -69,6 +71,144 @@ void ReaderLoop(const taxonomy::ApiService& api,
     }
     ++i;
   }
+}
+
+// -- ingest daemon phase: the WAL-backed streaming path (DESIGN.md §13) --
+//
+// Feeds the stream pages through the IngestDaemon (durable acks, scheduled
+// apply, bounded-lag publish), then measures crash recovery twice on the
+// same WAL: once replaying the full log (no cursor) and once after a
+// compaction bounded it to the suffix. Results land in bench.ingest.*
+// gauges so --metrics-out ships them in the CI JSON artifact.
+void RunIngestPhase(const bench::BenchWorld& world,
+                    const kb::EncyclopediaDump& base,
+                    const std::vector<kb::EncyclopediaPage>& stream,
+                    core::CnProbaseBuilder::Config config) {
+  std::printf("\n-- ingest daemon: WAL-backed streaming updates --\n");
+  // Streamed pages carry explicit relations and ship no corpus evidence;
+  // the daemon applies without the statistical verifier (as in ingestd).
+  config.enable_verification = false;
+
+  const std::string wal_dir = "bench_ingest_wal";
+  if (auto segments = ingest::ListWalSegments(wal_dir); segments.ok()) {
+    for (const auto& segment : *segments) std::remove(segment.path.c_str());
+  }
+  std::remove((wal_dir + "/wal.cursor").c_str());
+  ingest::PruneStaleCheckpoints(wal_dir, 0);
+
+  ingest::IngestDaemon::Options options;
+  options.wal_dir = wal_dir;
+  options.publish_min_pages = 64;
+  options.publish_max_delay = std::chrono::milliseconds(25);
+  options.batch_max_pages = 128;
+  options.compact_every_records = 0;  // manual: we time both recovery shapes
+
+  double feed_seconds = 0.0, full_replay_seconds = 0.0;
+  uint64_t full_replay_records = 0, publishes = 0;
+  {
+    core::IncrementalUpdater updater(base, &world.world->lexicon(),
+                                     world.corpus_words, config);
+    taxonomy::ApiService api(updater.snapshot());
+    ingest::IngestDaemon daemon(&updater, &api, options);
+    if (const util::Status status = daemon.Start(); !status.ok()) {
+      std::printf("ingest phase skipped: %s\n", status.ToString().c_str());
+      return;
+    }
+    util::WallTimer feed_timer;
+    constexpr size_t kChunk = 32;
+    for (size_t i = 0; i < stream.size(); i += kChunk) {
+      const size_t end = std::min(i + kChunk, stream.size());
+      std::vector<kb::EncyclopediaPage> chunk(stream.begin() + i,
+                                              stream.begin() + end);
+      if (!daemon.SubmitBatch(chunk).ok()) {
+        std::printf("ingest phase aborted: submit failed\n");
+        return;
+      }
+    }
+    if (!daemon.Flush().ok()) {
+      std::printf("ingest phase aborted: flush failed\n");
+      return;
+    }
+    feed_seconds = feed_timer.ElapsedSeconds();
+    publishes = daemon.stats().publishes;
+    // Crash-stop: no drain, no cursor — the next boot replays everything.
+    (void)daemon.Stop(ingest::IngestDaemon::StopMode::kAbort);
+  }
+  const double pages_per_sec =
+      feed_seconds > 0 ? stream.size() / feed_seconds : 0.0;
+
+  const auto lag = obs::MetricsRegistry::Global()
+                       .histogram("ingest.publish.lag_seconds")
+                       ->Snapshot();
+  const double lag_p50_ms =
+      lag.TotalCount() ? lag.Percentile(50) * 1e3 : 0.0;
+  const double lag_p99_ms =
+      lag.TotalCount() ? lag.Percentile(99) * 1e3 : 0.0;
+  std::printf("sustained ingest: %zu pages in %.2fs = %.0f pages/s "
+              "(%llu publishes)\n",
+              stream.size(), feed_seconds, pages_per_sec,
+              static_cast<unsigned long long>(publishes));
+  std::printf("publish lag (ack -> served): p50 %.1fms, p99 %.1fms over "
+              "%llu pages\n",
+              lag_p50_ms, lag_p99_ms,
+              static_cast<unsigned long long>(lag.TotalCount()));
+
+  // Recovery 1: full-WAL replay (the crash left no cursor), then compact
+  // and drain so the next boot starts from the checkpoint.
+  {
+    core::IncrementalUpdater updater(base, &world.world->lexicon(),
+                                     world.corpus_words, config);
+    ingest::IngestDaemon daemon(&updater, nullptr, options);
+    util::WallTimer recovery_timer;
+    if (const util::Status status = daemon.Start(); !status.ok()) {
+      std::printf("ingest phase aborted: recovery failed: %s\n",
+                  status.ToString().c_str());
+      return;
+    }
+    full_replay_seconds = recovery_timer.ElapsedSeconds();
+    full_replay_records = daemon.recovery_report().records_delivered;
+    (void)daemon.CompactNow();
+    (void)daemon.Stop(ingest::IngestDaemon::StopMode::kDrain);
+  }
+
+  // Recovery 2: bounded replay past the compaction cursor.
+  double bounded_replay_seconds = 0.0;
+  uint64_t bounded_replay_records = 0;
+  {
+    core::IncrementalUpdater updater(base, &world.world->lexicon(),
+                                     world.corpus_words, config);
+    ingest::IngestDaemon daemon(&updater, nullptr, options);
+    util::WallTimer recovery_timer;
+    if (const util::Status status = daemon.Start(); !status.ok()) {
+      std::printf("ingest phase aborted: bounded recovery failed: %s\n",
+                  status.ToString().c_str());
+      return;
+    }
+    bounded_replay_seconds = recovery_timer.ElapsedSeconds();
+    bounded_replay_records = daemon.recovery_report().records_delivered;
+    (void)daemon.Stop(ingest::IngestDaemon::StopMode::kDrain);
+  }
+  std::printf("recovery replay: full WAL %llu records in %.2fs; after "
+              "compaction %llu records in %.2fs%s\n",
+              static_cast<unsigned long long>(full_replay_records),
+              full_replay_seconds,
+              static_cast<unsigned long long>(bounded_replay_records),
+              bounded_replay_seconds,
+              bounded_replay_records < full_replay_records
+                  ? " (bounded, as required)"
+                  : " ** REPLAY NOT BOUNDED **");
+
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.gauge("bench.ingest.pages_per_sec")->Set(pages_per_sec);
+  registry.gauge("bench.ingest.publish_lag_p50_ms")->Set(lag_p50_ms);
+  registry.gauge("bench.ingest.publish_lag_p99_ms")->Set(lag_p99_ms);
+  registry.gauge("bench.ingest.replay_full_seconds")->Set(full_replay_seconds);
+  registry.gauge("bench.ingest.replay_full_records")
+      ->Set(static_cast<double>(full_replay_records));
+  registry.gauge("bench.ingest.replay_compacted_seconds")
+      ->Set(bounded_replay_seconds);
+  registry.gauge("bench.ingest.replay_compacted_records")
+      ->Set(static_cast<double>(bounded_replay_records));
 }
 
 void Run() {
@@ -221,6 +361,13 @@ void Run() {
               "incrementally); queries keep\nflowing during publishes with "
               "zero torn reads, each attributed to exactly one\npublished "
               "version.\n");
+
+  // Same stream, this time through the crash-safe WAL-backed daemon.
+  std::vector<kb::EncyclopediaPage> stream;
+  for (const auto& batch : batches) {
+    stream.insert(stream.end(), batch.begin(), batch.end());
+  }
+  RunIngestPhase(*world, base, stream, config);
 }
 
 }  // namespace

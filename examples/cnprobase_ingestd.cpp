@@ -1,0 +1,212 @@
+// Continuous-ingestion daemon (DESIGN.md §13): builds a base taxonomy from
+// the synthetic world, recovers any WAL state under --wal-dir (checkpoint +
+// suffix replay), and serves both the query APIs and the ingest APIs over
+// HTTP/1.1 until SIGTERM/SIGINT:
+//
+//   cnprobase_ingestd --wal-dir DIR [--port P] [--host H] [--threads N]
+//                     [--entities E] [--publish-min-pages N]
+//                     [--publish-max-delay-ms T] [--compact-every N]
+//                     [--drain-ms MS] [--metrics-out BASE]
+//
+//   POST /v1/ingest            one op per line (see server/ingest_endpoints.h)
+//   GET  /v1/ingest_status     daemon stats as JSON
+//   GET  /v1/men2ent ...       the full read API (ApiEndpoints fallback)
+//
+// A 200 from /v1/ingest means the operations are fsynced in the WAL: kill
+// this process at any instant — including SIGKILL mid-batch — and a restart
+// with the same --wal-dir recovers every acknowledged page exactly once
+// (the CI smoke script does exactly that).
+//
+// --port 0 (the default) binds an ephemeral port; the endpoint is printed
+// as "listening on http://HOST:PORT" once serving. SIGTERM/SIGINT drain:
+// stop accepting, apply + publish everything acked, write a final
+// checkpoint, exit 0.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/incremental.h"
+#include "ingest/daemon.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "server/ingest_endpoints.h"
+#include "server/server.h"
+#include "server/service.h"
+#include "synth/corpus_gen.h"
+#include "synth/encyclopedia_gen.h"
+#include "synth/world.h"
+#include "taxonomy/api_service.h"
+#include "text/segmenter.h"
+#include "util/net.h"
+
+namespace {
+
+using namespace cnpb;
+
+std::atomic<int> g_signal{0};
+
+void HandleSignal(int signum) { g_signal.store(signum); }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --wal-dir DIR [--port P] [--host H] [--threads N]"
+               " [--entities E] [--publish-min-pages N]"
+               " [--publish-max-delay-ms T] [--compact-every N]"
+               " [--drain-ms MS] [--metrics-out BASE]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::IgnoreSigpipe();
+
+  server::HttpServer::Config config;
+  ingest::IngestDaemon::Options daemon_options;
+  size_t entities = 500;
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--wal-dir") {
+      daemon_options.wal_dir = next("--wal-dir");
+    } else if (arg == "--port") {
+      config.port = static_cast<uint16_t>(std::atoi(next("--port")));
+    } else if (arg == "--host") {
+      config.host = next("--host");
+    } else if (arg == "--threads") {
+      config.num_threads = std::max(1, std::atoi(next("--threads")));
+    } else if (arg == "--entities") {
+      entities = static_cast<size_t>(std::atol(next("--entities")));
+    } else if (arg == "--publish-min-pages") {
+      daemon_options.publish_min_pages =
+          static_cast<size_t>(std::atol(next("--publish-min-pages")));
+    } else if (arg == "--publish-max-delay-ms") {
+      daemon_options.publish_max_delay = std::chrono::milliseconds(
+          std::atol(next("--publish-max-delay-ms")));
+    } else if (arg == "--compact-every") {
+      daemon_options.compact_every_records =
+          static_cast<uint64_t>(std::atol(next("--compact-every")));
+    } else if (arg == "--drain-ms") {
+      config.drain_deadline =
+          std::chrono::milliseconds(std::atol(next("--drain-ms")));
+    } else if (arg == "--metrics-out") {
+      metrics_out = next("--metrics-out");
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (daemon_options.wal_dir.empty()) return Usage(argv[0]);
+
+  // Base build from the synthetic world — deterministic, so every restart
+  // reconstructs the identical base and recovery only has to re-derive what
+  // arrived through the WAL.
+  std::printf("building base taxonomy (%zu entities)...\n", entities);
+  std::fflush(stdout);
+  synth::WorldModel::Config wc;
+  wc.num_entities = entities;
+  const synth::WorldModel world = synth::WorldModel::Generate(wc);
+  const auto output = synth::EncyclopediaGenerator::Generate(world, {});
+  text::Segmenter segmenter(&world.lexicon());
+  const auto corpus =
+      synth::CorpusGenerator::Generate(world, output.dump, segmenter, {});
+  std::vector<std::vector<std::string>> corpus_words;
+  corpus_words.reserve(corpus.sentences.size());
+  for (const auto& sentence : corpus.sentences) {
+    std::vector<std::string> words;
+    for (const auto& token : sentence) words.push_back(token.word);
+    corpus_words.push_back(std::move(words));
+  }
+  core::CnProbaseBuilder::Config builder_config;
+  builder_config.neural.epochs = 1;
+  builder_config.neural.max_train_samples = 1000;
+  // Streamed pages carry explicit relations (infobox/tags); the statistical
+  // verifier needs corpus evidence that live traffic does not ship, so the
+  // daemon applies without it — same trade the chaos tests make.
+  builder_config.enable_verification = false;
+  core::IncrementalUpdater updater(output.dump, &world.lexicon(),
+                                   corpus_words, builder_config);
+
+  taxonomy::ApiService api(updater.snapshot());
+  ingest::IngestDaemon daemon(&updater, &api, daemon_options);
+  if (const util::Status status = daemon.Start(); !status.ok()) {
+    std::fprintf(stderr, "ingest recovery failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  const ingest::WalReplayReport& recovery = daemon.recovery_report();
+  std::printf("recovered wal: %llu replayed, %llu skipped, %zu/%zu segments "
+              "scanned%s\n",
+              static_cast<unsigned long long>(recovery.records_delivered),
+              static_cast<unsigned long long>(recovery.records_skipped),
+              recovery.segments_scanned, recovery.segments_total,
+              recovery.torn_tail ? " (torn tail discarded)" : "");
+
+  server::ApiEndpoints read_endpoints(&api);
+  server::IngestEndpoints endpoints(&daemon, read_endpoints.AsHandler());
+  server::HttpServer httpd(config, endpoints.AsHandler());
+  if (const util::Status status = httpd.Start(); !status.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on http://%s:%u (threads=%d, wal=%s, version=%llu)\n",
+              config.host.c_str(), unsigned{httpd.port()}, config.num_threads,
+              daemon_options.wal_dir.c_str(),
+              static_cast<unsigned long long>(api.version()));
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  while (g_signal.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("signal %d: draining...\n", g_signal.load());
+  std::fflush(stdout);
+
+  // Order: stop taking requests first, then drain the daemon — every ack
+  // the HTTP layer handed out is applied, published, and checkpointed
+  // before exit.
+  httpd.Stop();
+  httpd.Wait();
+  const util::Status drained = daemon.Stop(ingest::IngestDaemon::StopMode::kDrain);
+  const ingest::IngestDaemon::Stats stats = daemon.stats();
+  std::printf("drained: %llu submitted, %llu acked, %llu applied, "
+              "%llu publishes, %llu compactions (cursor lsn %llu)\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.acked),
+              static_cast<unsigned long long>(stats.applied),
+              static_cast<unsigned long long>(stats.publishes),
+              static_cast<unsigned long long>(stats.compactions),
+              static_cast<unsigned long long>(stats.cursor_lsn));
+  if (!drained.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n", drained.ToString().c_str());
+    return 1;
+  }
+  if (!metrics_out.empty()) {
+    api.ExportMetrics(&obs::MetricsRegistry::Global());
+    daemon.ExportMetrics(&obs::MetricsRegistry::Global());
+    if (const util::Status status = obs::WriteMetricsFiles(
+            obs::MetricsRegistry::Global(), metrics_out);
+        !status.ok()) {
+      std::fprintf(stderr, "metrics export failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s.prom / %s.json\n", metrics_out.c_str(),
+                metrics_out.c_str());
+  }
+  return 0;
+}

@@ -228,7 +228,12 @@ uint64_t IncrementalUpdater::Publish(taxonomy::ApiService* service) const {
       taxonomy_, CnProbaseBuilder::BuildMentionIndex(dump_, *taxonomy_));
 }
 
-util::Status IncrementalUpdater::SaveSnapshot(const std::string& path) const {
+util::Status IncrementalUpdater::SaveSnapshot(
+    const std::string& path, uint64_t* persisted_generation) const {
+  // Capture which generation these bytes are before any IO: a caller that
+  // records the save in a durable cursor must attribute the file to the
+  // snapshot actually written, not to a later generation() read.
+  const uint64_t generation = generation_;
   // The snapshot save sits on the update path of a long-running system, so a
   // transient IO hiccup (or injected taxonomy.save.* fault) should not lose
   // the generation — retry with backoff; the atomic write guarantees the
@@ -241,11 +246,15 @@ util::Status IncrementalUpdater::SaveSnapshot(const std::string& path) const {
         .counter("incremental.snapshot_retries")
         ->Increment(result.attempts - 1);
   }
+  if (result.status.ok() && persisted_generation != nullptr) {
+    *persisted_generation = generation;
+  }
   return result.status;
 }
 
 util::Status IncrementalUpdater::SaveBinarySnapshot(
-    const std::string& path) const {
+    const std::string& path, uint64_t* persisted_generation) const {
+  const uint64_t generation = generation_;
   const util::RetryResult result =
       util::RetryWithBackoff(util::RetryOptions{}, [&] {
         return taxonomy::WriteSnapshot(
@@ -256,6 +265,9 @@ util::Status IncrementalUpdater::SaveBinarySnapshot(
     obs::MetricsRegistry::Global()
         .counter("incremental.snapshot_retries")
         ->Increment(result.attempts - 1);
+  }
+  if (result.status.ok() && persisted_generation != nullptr) {
+    *persisted_generation = generation;
   }
   return result.status;
 }

@@ -76,14 +76,20 @@ class IncrementalUpdater {
   // Persists the current snapshot durably: atomic checksummed write via
   // SaveTaxonomyDurable (preserving the previous file as `path`.bak), with
   // transient IO failures retried under exponential backoff. Pairs with
-  // taxonomy::LoadTaxonomyWithFallback for crash recovery.
-  util::Status SaveSnapshot(const std::string& path) const;
+  // taxonomy::LoadTaxonomyWithFallback for crash recovery. On success,
+  // `persisted_generation` (when non-null) receives the generation number
+  // the written file captures — callers recording a durable cursor need the
+  // generation of the bytes on disk, not whatever generation() reads later.
+  util::Status SaveSnapshot(const std::string& path,
+                            uint64_t* persisted_generation = nullptr) const;
 
   // Persists the current snapshot in the zero-copy binary format
   // (taxonomy/snapshot.h), mention index included, so a server can mmap it
   // straight into serving. Atomic write, retried like SaveSnapshot; the TSV
-  // save remains the durable fallback format.
-  util::Status SaveBinarySnapshot(const std::string& path) const;
+  // save remains the durable fallback format. `persisted_generation` as in
+  // SaveSnapshot.
+  util::Status SaveBinarySnapshot(
+      const std::string& path, uint64_t* persisted_generation = nullptr) const;
 
   const taxonomy::Taxonomy& taxonomy() const { return *taxonomy_; }
   // The current frozen snapshot (replaced wholesale by each ApplyBatch;

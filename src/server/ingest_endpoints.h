@@ -1,0 +1,56 @@
+#ifndef CNPROBASE_SERVER_INGEST_ENDPOINTS_H_
+#define CNPROBASE_SERVER_INGEST_ENDPOINTS_H_
+
+#include <string_view>
+
+#include "ingest/daemon.h"
+#include "server/http.h"
+#include "server/server.h"
+
+namespace cnpb::server {
+
+// HTTP face of the ingestion daemon (DESIGN.md §13) — the write-side
+// counterpart of ApiEndpoints, composed in front of it:
+//
+//   POST /v1/ingest?priority=P     one operation per body line:
+//                                    u <TAB> name [<TAB> mention <TAB>
+//                                      bracket <TAB> abstract <TAB>
+//                                      p=o;p=o <TAB> tag;tag <TAB>
+//                                      alias;alias]
+//                                    d <TAB> name
+//                                  Trailing fields may be omitted. All
+//                                  lines are appended, then acked under one
+//                                  fsync (group commit); the response
+//                                  carries the last LSN.
+//   GET  /v1/ingest_status         daemon stats as JSON
+//
+// A 200 means every operation in the body is durable in the WAL. A 5xx
+// means the batch must be retried — a retry that duplicates a durable line
+// is harmless because apply dedups pages by name. Responses:
+//
+//   200 {"accepted":N,"last_lsn":L}
+//   400 malformed line / empty body / bad priority
+//   405 /v1/ingest without POST
+//   503 WAL append or fsync failed (body carries the status)
+//
+// Every other path is delegated to the fallback handler (the query API).
+class IngestEndpoints {
+ public:
+  // Neither pointer is owned. `fallback` answers non-ingest paths; pass the
+  // ApiEndpoints handler (or any Handler) — it must outlive this object.
+  IngestEndpoints(ingest::IngestDaemon* daemon, HttpServer::Handler fallback);
+
+  HttpResponse Handle(const HttpRequest& request);
+  HttpServer::Handler AsHandler();
+
+ private:
+  HttpResponse Ingest(const HttpRequest& request);
+  HttpResponse Status();
+
+  ingest::IngestDaemon* daemon_;
+  HttpServer::Handler fallback_;
+};
+
+}  // namespace cnpb::server
+
+#endif  // CNPROBASE_SERVER_INGEST_ENDPOINTS_H_

@@ -9,6 +9,8 @@
 #include "util/strings.h"
 
 #ifndef _WIN32
+#include <cerrno>
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -168,6 +170,34 @@ std::string TempPathFor(const std::string& path) {
 
 }  // namespace
 
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status SyncDir(const std::string& dir_path) {
+#ifndef _WIN32
+  const std::string dir = dir_path.empty() ? "." : dir_path;
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return IoError("cannot open directory for fsync: " + dir);
+  }
+  const int rc = ::fsync(fd);
+  const int saved_errno = errno;
+  ::close(fd);
+  // Some filesystems refuse fsync on a directory fd; that is the platform's
+  // best effort, not a durability bug we can act on.
+  if (rc != 0 && saved_errno != EINVAL && saved_errno != ENOTSUP) {
+    return IoError("directory fsync failed: " + dir);
+  }
+#else
+  (void)dir_path;
+#endif
+  return Status::Ok();
+}
+
 uint32_t Crc32(std::string_view data, uint32_t seed) {
   static const std::array<std::array<uint32_t, 256>, 8> tables =
       BuildCrcTables(0xEDB88320u);
@@ -279,6 +309,15 @@ Status AtomicFileWriter::Commit() {
     std::remove(temp.c_str());
     return IoError("rename failed: " + temp + " -> " + path_);
   }
+  // The rename made the new file visible, but only the directory fsync
+  // makes the rename itself durable — without it a power loss can revert
+  // the directory entry to the old file even though the data blocks of the
+  // new one were fsynced. A failure here means the destination already
+  // holds the (complete) new file but its visibility is not yet guaranteed;
+  // Commit reports the error so the caller can retry the whole write.
+  const Status dirsync_fault = CheckFault(options_.fault_prefix + ".dirsync");
+  if (!dirsync_fault.ok()) return dirsync_fault;
+  CNPB_RETURN_IF_ERROR(SyncDir(ParentDir(path_)));
   committed_ = true;  // a failed Commit may be retried
   return Status::Ok();
 }

@@ -13,9 +13,10 @@ namespace cnpb::util {
 //
 // Contract (DESIGN.md §8): a saver never writes through the live file.
 // AtomicFileWriter buffers the payload, writes it to a sibling temp file,
-// fsyncs, and renames over the destination — so at every instant the
-// destination path holds either the previous complete file or the new
-// complete file, never a torn prefix. An optional CRC32 footer makes
+// fsyncs, renames over the destination, and fsyncs the parent directory so
+// the rename itself is durable — at every instant the destination path
+// holds either the previous complete file or the new complete file, never
+// a torn prefix, and a completed Commit survives power loss. An optional CRC32 footer makes
 // payload corruption (bit rot, external truncation that preserves line
 // structure) detectable at load time; StripVerifyChecksumFooter is the
 // load-side half of that contract.
@@ -36,9 +37,18 @@ struct AtomicWriteOptions {
   // their own trailer instead.
   bool checksum_footer = false;
   // Fault points fired by this write: <prefix>.write, <prefix>.fsync,
-  // <prefix>.rename (see util/fault_injection.h).
+  // <prefix>.rename, <prefix>.dirsync (see util/fault_injection.h).
   std::string fault_prefix = "file";
 };
+
+// fsyncs a directory so a just-created/renamed/removed entry inside it
+// survives power loss — renaming a file makes it visible, but only the
+// directory fsync makes the *rename itself* durable. Filesystems that
+// refuse directory fsync (EINVAL/ENOTSUP) are treated as best-effort OK.
+Status SyncDir(const std::string& dir_path);
+
+// Directory component of `path` ("a/b/c" -> "a/b", "c" -> ".").
+std::string ParentDir(const std::string& path);
 
 // Buffered atomic writer. Append() never touches the filesystem; Commit()
 // performs the whole temp-write + fsync + rename sequence and reports the

@@ -144,6 +144,34 @@ TEST(AtomicFileTest, InjectedRenameFaultLeavesOldFileIntact) {
   EXPECT_EQ(MustRead(path), "new bytes");
 }
 
+TEST(AtomicFileTest, InjectedDirsyncFaultFailsCommitWithFileInstalled) {
+  const std::string path = TempPath("atomic_dirsync.txt");
+  ASSERT_TRUE(util::WriteFileAtomic(path, "old good bytes").ok());
+  {
+    util::ScopedFaultInjection scoped("file.dirsync=1", 17);
+    const util::Status status = util::WriteFileAtomic(path, "new bytes");
+    EXPECT_EQ(status.code(), util::StatusCode::kIoError);
+    // The rename already landed before the directory fsync failed: the new
+    // bytes are visible, but the commit reported failure because the
+    // *directory entry* may not survive a power cut — the caller must
+    // treat the write as not durable and retry.
+    EXPECT_EQ(MustRead(path), "new bytes");
+  }
+  ASSERT_TRUE(util::WriteFileAtomic(path, "new bytes").ok());
+  EXPECT_EQ(MustRead(path), "new bytes");
+}
+
+TEST(AtomicFileTest, ParentDirSplitsLikeDirname) {
+  EXPECT_EQ(util::ParentDir("/a/b/c.txt"), "/a/b");
+  EXPECT_EQ(util::ParentDir("/c.txt"), "/");
+  EXPECT_EQ(util::ParentDir("c.txt"), ".");
+}
+
+TEST(AtomicFileTest, SyncDirAcceptsRealDirectories) {
+  EXPECT_TRUE(util::SyncDir(::testing::TempDir()).ok());
+  EXPECT_FALSE(util::SyncDir(::testing::TempDir() + "/no_such_dir").ok());
+}
+
 TEST(AtomicFileTest, TsvReadRejectsTamperedChecksummedFile) {
   const std::string path = TempPath("atomic_tamper.tsv");
   {

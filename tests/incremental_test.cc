@@ -162,6 +162,35 @@ TEST_F(IncrementalTest, SaveSnapshotIsDurableAndRetriesFaults) {
   EXPECT_EQ(recovered->num_edges(), updater.taxonomy().num_edges());
 }
 
+TEST_F(IncrementalTest, SaversReportThePersistedGeneration) {
+  core::IncrementalUpdater updater(*base_, &world_->lexicon(), *corpus_words_,
+                                   Config());
+  const std::string path = ::testing::TempDir() + "/incremental_gen.tsv";
+  uint64_t generation = 0;
+  ASSERT_TRUE(updater.SaveSnapshot(path, &generation).ok());
+  EXPECT_EQ(generation, updater.generation());
+
+  std::vector<kb::EncyclopediaPage> two(batch1_->begin(), batch1_->begin() + 2);
+  updater.ApplyBatch(two);
+  uint64_t generation2 = 0;
+  ASSERT_TRUE(updater.SaveSnapshot(path, &generation2).ok());
+  EXPECT_EQ(generation2, updater.generation());
+  EXPECT_GT(generation2, generation);
+
+  const std::string snap = ::testing::TempDir() + "/incremental_gen.snap";
+  uint64_t bin_generation = 0;
+  ASSERT_TRUE(updater.SaveBinarySnapshot(snap, &bin_generation).ok());
+  EXPECT_EQ(bin_generation, generation2);
+
+  // A failed save must not report: the out-param names the generation of
+  // bytes that actually landed, so a durable-cursor caller attributing a
+  // checkpoint to it can never stamp a generation that is not on disk.
+  uint64_t untouched = 999;
+  util::ScopedFaultInjection scoped("taxonomy.save.write=1", 13);
+  EXPECT_FALSE(updater.SaveSnapshot(path, &untouched).ok());
+  EXPECT_EQ(untouched, 999u);
+}
+
 TEST_F(IncrementalTest, BatchPagesGetDistinctFreshIds) {
   core::IncrementalUpdater updater(*base_, &world_->lexicon(), *corpus_words_,
                                    Config());
