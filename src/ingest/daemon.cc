@@ -96,9 +96,14 @@ util::Status IngestDaemon::Start() {
   if (!wal.ok()) return wal.status();
   wal_ = std::move(*wal);
 
-  // 4. Apply the suffix. Two-pass tombstones: a delete suppresses same-name
-  // upserts ordered before it, mirroring what the live scheduler would have
-  // done had the process survived.
+  // 4. Apply the suffix. Two-pass tombstones: a delete suppresses every
+  // same-name upsert ordered before it. This is deliberately stronger than
+  // the live rule (which only cancels upserts still queued when the delete
+  // arrives — an applied page is untouchable): whether a given suffix
+  // upsert beat its delete to the scheduler pre-crash is not recorded
+  // anywhere durable, so replay resolves the race in the delete's favour.
+  // A page served pre-crash may therefore be absent after recovery — the
+  // documented divergence window (see the class comment / DESIGN.md §13).
   std::unordered_map<std::string, uint64_t> deletes;  // name -> max lsn
   for (const WalRecord& record : suffix) {
     if (record.op == WalOp::kDelete) {

@@ -51,8 +51,18 @@ namespace cnpb::ingest {
 // Delete semantics are best-effort tombstones: a delete cancels same-name
 // upserts that are still queued behind it (lower LSN, not yet applied) and
 // is recorded durably, but it cannot retract a page already materialised
-// into the taxonomy — the updater has no page-removal operation. Replay
-// applies the same rule, so live and recovered states agree.
+// into the taxonomy — the updater has no page-removal operation. Recovery
+// replays the same suppression rule over the whole post-checkpoint suffix,
+// which is deliberately *stronger* than what the live run may have done:
+// whether a live upsert escaped its delete depends on scheduler timing
+// that is not recorded anywhere durable, so replay cannot reconstruct it
+// and instead resolves every such race in the delete's favour. The one
+// documented divergence window: a page upserted then deleted inside the
+// uncheckpointed suffix may have been served before the crash (the upsert
+// won the live race) yet be absent after recovery — recovery retroactively
+// honors the delete. The reverse never happens: a page without a
+// higher-LSN same-name delete is never suppressed, and acked upserts are
+// otherwise never lost.
 class IngestDaemon {
  public:
   struct Options {

@@ -28,27 +28,34 @@ constexpr size_t kSegmentHeaderBytes = 16;
 constexpr size_t kRecordHeaderBytes = 20;
 constexpr char kCursorName[] = "wal.cursor";
 
+// Explicit little-endian serialisation (the documented wire format): a
+// memcpy of the native representation would silently write a different,
+// non-portable format on a big-endian host.
 void PutU32(std::string* out, uint32_t v) {
   char buf[4];
-  std::memcpy(buf, &v, 4);
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
   out->append(buf, 4);
 }
 
 void PutU64(std::string* out, uint64_t v) {
   char buf[8];
-  std::memcpy(buf, &v, 8);
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
   out->append(buf, 8);
 }
 
 uint32_t GetU32(const char* p) {
-  uint32_t v;
-  std::memcpy(&v, p, 4);
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
   return v;
 }
 
 uint64_t GetU64(const char* p) {
-  uint64_t v;
-  std::memcpy(&v, p, 8);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
   return v;
 }
 
@@ -99,6 +106,26 @@ bool ParseSegmentName(std::string_view name, uint64_t* first_lsn) {
   }
   *first_lsn = value;
   return true;
+}
+
+// Shrinks `path` to `new_size` bytes and fsyncs it. Used to cut a torn
+// tail (or a poisoned write) back to the last fully-valid record so the
+// segment stays scannable once it is no longer the last one.
+util::Status TruncateFile(const std::string& path, uint64_t new_size) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    return util::IoError("cannot open wal segment for truncate: " + path);
+  }
+  const bool ok = ::ftruncate(fd, static_cast<off_t>(new_size)) == 0 &&
+                  ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) return util::IoError("cannot truncate wal segment: " + path);
+#else
+  (void)path;
+  (void)new_size;
+#endif
+  return util::Status::Ok();
 }
 
 // Scans one segment file, delivering records with lsn > after_lsn to `fn`
@@ -327,6 +354,22 @@ util::Result<std::unique_ptr<WalWriter>> WalWriter::Open(
         /*after_lsn=*/UINT64_MAX, /*fn=*/nullptr, &scan);
     if (!status.ok()) return status;
     next_lsn = std::max(next_lsn, scan.max_lsn + 1);
+    if (scan.torn_tail && scan.torn_bytes > 0) {
+      // Cut the tear before the fresh segment below demotes this one to
+      // sealed: a tear holds no acknowledged record, but sealed-segment
+      // scans treat the same bytes as corruption, so leaving it in place
+      // turns a second crash before compaction into a permanent kDataLoss
+      // boot loop. After the cut the segment is all-valid records.
+#ifndef _WIN32
+      struct stat st;
+      if (::stat(last.path.c_str(), &st) != 0) {
+        return util::IoError("cannot stat torn wal segment: " + last.path);
+      }
+      const uint64_t size = static_cast<uint64_t>(st.st_size);
+      const uint64_t keep = size >= scan.torn_bytes ? size - scan.torn_bytes : 0;
+      CNPB_RETURN_IF_ERROR(TruncateFile(last.path, keep));
+#endif
+    }
   }
 
   std::unique_ptr<WalWriter> writer(new WalWriter(dir, options));
@@ -363,8 +406,46 @@ util::Status WalWriter::OpenSegment(uint64_t first_lsn) {
     return dirsync;
   }
   file_ = f;
+  active_path_ = path;
   active_bytes_ = header.size();
   rotate_pending_ = false;
+  return util::Status::Ok();
+}
+
+void WalWriter::PoisonActiveSegment() {
+  if (file_ == nullptr) return;
+  FILE* f = static_cast<FILE*>(file_);
+  file_ = nullptr;
+#ifndef _WIN32
+  // Discard whatever stdio still buffers (the same /dev/null trick as
+  // SimulateCrash): after a short write nothing past the synced prefix can
+  // be trusted, and flushing more garbage behind the tear is exactly the
+  // failure mode being contained.
+  const int null_fd = ::open("/dev/null", O_WRONLY);
+  if (null_fd >= 0) {
+    ::dup2(null_fd, ::fileno(f));
+    ::close(null_fd);
+  }
+#endif
+  std::fclose(f);
+  poisoned_ = true;
+  poisoned_path_ = active_path_;
+  poisoned_keep_bytes_ = active_bytes_;
+  obs::MetricsRegistry::Global()
+      .counter("ingest.wal.segments_poisoned")
+      ->Increment();
+  (void)HealPoisonedSegment();  // best effort now; retried at the next Sync
+}
+
+util::Status WalWriter::HealPoisonedSegment() {
+  if (!poisoned_) return util::Status::Ok();
+  // Every byte at or below the keep mark was covered by a successful fsync;
+  // everything past it is a (possibly partial) record from the failed
+  // write. Cutting back to the mark restores the invariant that a segment
+  // holds only whole, valid records — so it can be sealed safely while the
+  // still-buffered records move to a fresh segment.
+  CNPB_RETURN_IF_ERROR(TruncateFile(poisoned_path_, poisoned_keep_bytes_));
+  poisoned_ = false;
   return util::Status::Ok();
 }
 
@@ -384,22 +465,18 @@ util::Result<uint64_t> WalWriter::Append(WalOp op, uint8_t priority,
   if (payload.size() > options_.max_record_bytes) {
     return util::InvalidArgumentError("wal record payload too large");
   }
-  if (file_ == nullptr) {
-    // A previously failed rotation left no active segment; retry here so
-    // one bad rotation does not wedge the log.
-    CNPB_RETURN_IF_ERROR(OpenSegment(next_lsn_));
-  }
+  // Records stage in memory and reach the file only inside Sync(): writing
+  // eagerly here would mean a short write (ENOSPC/EIO) leaves partial
+  // record bytes mid-segment while later appends keep landing after the
+  // tear — and a later successful fsync would then ack records that replay
+  // can never reach past the CRC-invalid gap.
   WalRecord record;
   record.lsn = next_lsn_;
   record.op = op;
   record.priority = priority;
   record.payload.assign(payload);
   const std::string wire = EncodeWalRecord(record);
-  FILE* f = static_cast<FILE*>(file_);
-  if (std::fwrite(wire.data(), 1, wire.size(), f) != wire.size()) {
-    return util::IoError("wal append failed");
-  }
-  active_bytes_ += wire.size();
+  pending_buf_.append(wire);
   last_appended_lsn_ = next_lsn_;
   ++next_lsn_;
   obs::MetricsRegistry::Global().counter("ingest.wal.records")->Increment();
@@ -410,13 +487,53 @@ util::Result<uint64_t> WalWriter::Append(WalOp op, uint8_t priority,
 }
 
 util::Status WalWriter::Sync() {
-  if (file_ == nullptr) return util::Status::Ok();  // nothing staged
+  // A poisoned segment must be healed (cut back to its synced prefix)
+  // before any new segment takes writes: sealing a tear behind fresh acked
+  // records is the one state recovery cannot repair.
+  CNPB_RETURN_IF_ERROR(HealPoisonedSegment());
+  if (pending_buf_.empty() && file_ == nullptr && !rotate_pending_) {
+    return util::Status::Ok();  // nothing staged, nothing open
+  }
+  if (file_ == nullptr) {
+    // A poisoned or failed-rotation state left no active segment. The
+    // fresh segment starts at the first unsynced LSN so the still-buffered
+    // records land in a segment whose header names them.
+    CNPB_RETURN_IF_ERROR(OpenSegment(durable_lsn_ + 1));
+  }
   FILE* f = static_cast<FILE*>(file_);
-  if (std::fflush(f) != 0) return util::IoError("wal flush failed");
-  CNPB_RETURN_IF_ERROR(util::CheckFault(options_.fault_prefix + ".fsync"));
+  if (!pending_buf_.empty()) {
+    const util::Status write_fault =
+        util::CheckFault(options_.fault_prefix + ".write");
+    if (!write_fault.ok()) {
+      PoisonActiveSegment();
+      return write_fault;
+    }
+    if (std::fwrite(pending_buf_.data(), 1, pending_buf_.size(), f) !=
+            pending_buf_.size() ||
+        std::fflush(f) != 0) {
+      PoisonActiveSegment();
+      return util::IoError("wal write failed");
+    }
+  } else if (std::fflush(f) != 0) {
+    return util::IoError("wal flush failed");
+  }
+  const util::Status fsync_fault =
+      util::CheckFault(options_.fault_prefix + ".fsync");
+  if (!fsync_fault.ok()) {
+    // Bytes from this commit reached the fd but are not durable; their
+    // state after a real EIO is unknowable, so retire the segment and let
+    // the retry rewrite them cleanly.
+    if (!pending_buf_.empty()) PoisonActiveSegment();
+    return fsync_fault;
+  }
 #ifndef _WIN32
-  if (::fsync(::fileno(f)) != 0) return util::IoError("wal fsync failed");
+  if (::fsync(::fileno(f)) != 0) {
+    if (!pending_buf_.empty()) PoisonActiveSegment();
+    return util::IoError("wal fsync failed");
+  }
 #endif
+  active_bytes_ += pending_buf_.size();
+  pending_buf_.clear();
   durable_lsn_ = last_appended_lsn_;
   obs::MetricsRegistry::Global().counter("ingest.wal.fsyncs")->Increment();
 
@@ -444,6 +561,7 @@ util::Status WalWriter::Sync() {
 }
 
 void WalWriter::SimulateCrash() {
+  pending_buf_.clear();  // un-synced records die with the process
   if (file_ == nullptr) return;
   FILE* f = static_cast<FILE*>(file_);
   file_ = nullptr;

@@ -48,7 +48,10 @@ namespace cnpb::ingest {
 // invalid record in the *last* segment is a torn tail: the crash interrupted
 // an un-fsynced append, so replay ends cleanly there — acknowledged records
 // always precede the tear, because acknowledgement requires the fsync that
-// would have sealed those bytes.
+// would have sealed those bytes. WalWriter::Open truncates the tear off the
+// last segment before opening a fresh one, so demoting that segment to
+// sealed never turns a tolerated tear into sealed-segment corruption on a
+// later boot.
 
 enum class WalOp : uint8_t {
   kUpsert = 1,  // payload = EncodePageUpsert(page)
@@ -92,14 +95,16 @@ struct WalOptions {
   // garbage at replay (a bound against interpreting a torn length prefix as
   // a multi-gigabyte allocation).
   size_t max_record_bytes = 16u << 20;
-  // Fault points: <prefix>.append, <prefix>.fsync, <prefix>.rotate.
+  // Fault points: <prefix>.append, <prefix>.write, <prefix>.fsync,
+  // <prefix>.rotate.
   std::string fault_prefix = "wal";
 };
 
 // Appender. Not thread-safe — the IngestDaemon serialises access and layers
-// group commit on top (many submitters, one fsync). Opening always starts a
-// fresh segment at next_lsn (scanning existing segments for the highest
-// durable LSN), so a recovered process never appends after a torn tail.
+// group commit on top (many submitters, one fsync). Opening truncates any
+// torn tail off the previous last segment (so demoting it to sealed never
+// manufactures sealed-segment corruption) and then starts a fresh segment
+// at next_lsn, so a recovered process never appends after a tear.
 class WalWriter {
  public:
   static util::Result<std::unique_ptr<WalWriter>> Open(
@@ -109,15 +114,20 @@ class WalWriter {
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  // Buffers one record and returns its LSN. Durable only after Sync().
+  // Buffers one record in memory and returns its LSN. Nothing touches the
+  // file until Sync(), so a failed physical write can never strand partial
+  // bytes between records; durable only after Sync().
   util::Result<uint64_t> Append(WalOp op, uint8_t priority,
                                 std::string_view payload);
 
-  // Group-commit barrier: flushes and fsyncs everything appended so far,
+  // Group-commit barrier: writes and fsyncs everything appended so far,
   // then rotates the segment if it is over size. A failed rotation degrades
-  // (the oversized segment keeps absorbing appends, retried next Sync);
-  // a failed fsync fails the commit — nothing staged since the last
-  // successful Sync may be acknowledged.
+  // (the oversized segment keeps absorbing appends, retried next Sync). A
+  // failed write or fsync fails the commit — nothing staged since the last
+  // successful Sync may be acknowledged — and poisons the active segment:
+  // it is closed and truncated back to its synced prefix, and the
+  // still-buffered records are rewritten into a fresh segment by the next
+  // Sync, so an acked record never sits behind a torn one.
   util::Status Sync();
 
   uint64_t next_lsn() const { return next_lsn_; }
@@ -138,16 +148,27 @@ class WalWriter {
 
   util::Status OpenSegment(uint64_t first_lsn);
   util::Status CloseSegment();
+  // Retires the active segment after a failed write/fsync: discards stdio
+  // state, records the synced prefix to cut back to, and attempts the cut.
+  void PoisonActiveSegment();
+  // Truncates a poisoned segment to its synced prefix (retried by Sync
+  // until it lands — no new segment may take writes while a tear remains).
+  util::Status HealPoisonedSegment();
 
   std::string dir_;
   WalOptions options_;
-  void* file_ = nullptr;  // FILE*
+  void* file_ = nullptr;    // FILE*
+  std::string active_path_; // path of the active segment
+  std::string pending_buf_; // encoded records appended since the last Sync
   uint64_t next_lsn_ = 1;
   uint64_t durable_lsn_ = 0;
   uint64_t last_appended_lsn_ = 0;
-  size_t active_bytes_ = 0;
+  size_t active_bytes_ = 0;  // synced bytes in the active segment
   uint64_t rotations_ = 0;
   bool rotate_pending_ = false;
+  bool poisoned_ = false;         // a failed write left a segment to heal
+  std::string poisoned_path_;
+  uint64_t poisoned_keep_bytes_ = 0;
 };
 
 struct WalReplayReport {

@@ -43,7 +43,8 @@ namespace {
 // Every durability and scheduling fault point the daemon owns. Limits keep
 // each seed's schedule finite so retries eventually land.
 constexpr char kChaosSpec[] =
-    "wal.append=0.15:limit=4;wal.fsync=0.2:limit=4;wal.rotate=0.4:limit=2;"
+    "wal.append=0.15:limit=4;wal.write=0.15:limit=3;wal.fsync=0.2:limit=4;"
+    "wal.rotate=0.4:limit=2;"
     "ingest.apply=0.25:limit=4;ingest.publish=0.3:limit=3;"
     "compact.pages=0.4:limit=2;compact.snapshot=0.4:limit=2;"
     "compact.cursor=0.4:limit=2;compact.prune=0.5:limit=2;"

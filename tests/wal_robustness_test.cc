@@ -287,6 +287,59 @@ TEST(WalTornTailTest, ZeroByteAndHeaderOnlySegments) {
   WriteBytes(segment_path, intact);
 }
 
+TEST(WalTornTailTest, ReopenTruncatesTearBeforeSealingTheSegment) {
+  std::string segment_path;
+  const std::string dir = BuildLog("reseal", 3, &segment_path);
+  const std::string intact = ReadBytes(segment_path);
+
+  // A torn tail from a crash mid-append.
+  WriteBytes(segment_path, intact + std::string(48, '\xbe'));
+
+  // First recovery boot: Open must cut the tear off before creating the
+  // fresh segment that demotes this one to sealed. Without the cut, a
+  // second crash before compaction leaves the tear inside a sealed segment
+  // and every later boot fails kDataLoss — a crash-loop bricks recovery.
+  {
+    auto writer = ingest::WalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+    EXPECT_EQ((*writer)->next_lsn(), 4u);
+    auto lsn = (*writer)->Append(ingest::WalOp::kDelete, 1, "after_tear");
+    ASSERT_TRUE(lsn.ok());
+    EXPECT_EQ(*lsn, 4u);
+    ASSERT_TRUE((*writer)->Sync().ok());
+    (*writer)->SimulateCrash();  // second crash, cursor never advanced
+  }
+
+  // Second recovery boot: the demoted segment now scans as sealed and must
+  // be clean — all three pre-tear records plus the post-recovery one.
+  const ReplayOutcome out = Replay(dir);
+  ASSERT_TRUE(out.status.ok()) << out.status.ToString();
+  EXPECT_EQ(out.lsns, (std::vector<uint64_t>{1, 2, 3, 4}));
+  auto reopened = ingest::WalWriter::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->next_lsn(), 5u);
+}
+
+TEST(WalTornTailTest, CrashLoopOverTornHeaderNeverBricksRecovery) {
+  std::string segment_path;
+  const std::string dir = BuildLog("reseal_header", 2, &segment_path);
+  const std::string intact = ReadBytes(segment_path);
+
+  // Tear inside the segment header itself (crash between open and the
+  // header fsync), then crash-loop through several boots: every boot must
+  // recover, and no boot may strand an unscannable sealed segment.
+  WriteBytes(segment_path, intact.substr(0, kSegmentHeaderBytes / 2));
+  for (int boot = 0; boot < 3; ++boot) {
+    const ReplayOutcome out = Replay(dir);
+    ASSERT_TRUE(out.status.ok())
+        << "boot " << boot << ": " << out.status.ToString();
+    auto writer = ingest::WalWriter::Open(dir);
+    ASSERT_TRUE(writer.ok()) << "boot " << boot << ": "
+                             << writer.status().ToString();
+    (*writer)->SimulateCrash();
+  }
+}
+
 TEST(WalSealedTest, HeaderNameLsnMismatchIsAlwaysDataLoss) {
   std::string segment_path;
   const std::string dir = BuildLog("mismatch", 2, &segment_path);

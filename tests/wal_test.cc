@@ -385,6 +385,57 @@ TEST(WalFaultTest, RotateFaultDegradesAndRetriesNextSync) {
   EXPECT_EQ(count, 2u);
 }
 
+TEST(WalFaultTest, WriteFailurePoisonsSegmentAndRewritesStagedRecords) {
+  const std::string dir = FreshDir("fault_write");
+  auto writer = ingest::WalWriter::Open(dir);
+  ASSERT_TRUE(writer.ok());
+  ingest::WalWriter& wal = **writer;
+
+  // Record 1 commits cleanly; record 2's physical write fails. The failure
+  // must poison the active segment — truncate it back to record 1 — so the
+  // retry lands record 2 (and 3) in a fresh segment instead of appending
+  // after partial bytes from the failed write.
+  ASSERT_TRUE(wal.Append(ingest::WalOp::kDelete, 1, "a").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  EXPECT_EQ(wal.durable_lsn(), 1u);
+  ASSERT_TRUE(wal.Append(ingest::WalOp::kDelete, 1, "b").ok());
+  {
+    util::ScopedFaultInjection faults("wal.write=1.0:limit=1", 1);
+    EXPECT_FALSE(wal.Sync().ok());
+    EXPECT_EQ(wal.durable_lsn(), 1u);  // nothing new acked
+  }
+  ASSERT_TRUE(wal.Append(ingest::WalOp::kDelete, 1, "c").ok());
+  ASSERT_TRUE(wal.Sync().ok());
+  EXPECT_EQ(wal.durable_lsn(), 3u);
+
+  // The poisoned segment was sealed mid-log: replay crosses it with the
+  // sealed-segment (strict) contract and must deliver every acked record
+  // exactly once, in order.
+  std::vector<ingest::WalRecord> records;
+  ingest::WalReplayReport report;
+  ASSERT_TRUE(ingest::ReplayWal(dir, 0,
+                                [&](const ingest::WalRecord& r) {
+                                  records.push_back(r);
+                                  return util::Status::Ok();
+                                },
+                                &report)
+                  .ok());
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].payload, "a");
+  EXPECT_EQ(records[1].payload, "b");
+  EXPECT_EQ(records[2].payload, "c");
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].lsn, i + 1);
+  }
+  EXPECT_FALSE(report.torn_tail);
+  // Poisoning retired the old segment: records 2 and 3 live in a new one.
+  auto segments = ingest::ListWalSegments(dir);
+  ASSERT_TRUE(segments.ok());
+  ASSERT_EQ(segments->size(), 2u);
+  EXPECT_EQ((*segments)[0].first_lsn, 1u);
+  EXPECT_EQ((*segments)[1].first_lsn, 2u);
+}
+
 TEST(WalWriterTest, OversizedRecordRejectedAtAppend) {
   const std::string dir = FreshDir("oversized");
   ingest::WalOptions options;
