@@ -38,6 +38,14 @@
 // cluster's single stamp) and the kill-window hedged p99 stays within 3x
 // the healthy-cluster p99.
 //
+// Phase 7 (multi-collection tenancy): two collections in one
+// CollectionManager behind one server. A bare-path window (routed to the
+// default collection, byte-compatible with single-tenant serving) measures
+// the routing-layer overhead against the phase-1 platform-poller number;
+// a prefixed window splits /v1/c/<name>/ traffic across both collections
+// with 1-in-4 requests hitting the /isa reasoning endpoint. Acceptance:
+// both windows serve 200s with zero 5xx.
+//
 //   bench_server [--seconds S] [--connections N] [--threads T]
 //                [--sweep N1,N2,...] [--cache-mb MB] [--json PATH]
 #include <sys/resource.h>
@@ -53,6 +61,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "collections/manager.h"
 #include "core/builder.h"
 #include "core/incremental.h"
 #include "router/router.h"
@@ -809,6 +818,94 @@ void Run(const Options& options) {
     backend->Wait();
   }
 
+  // ---- Phase 7: multi-collection tenancy ----
+  // Two collections over the same published snapshot (isolation itself is
+  // a test concern — tests/collections_test.cc; here the question is what
+  // the tenancy routing layer costs and what the reasoning endpoints do to
+  // the tail). The bare window is byte-compatible single-tenant traffic
+  // through the manager's default-collection route, so the delta against
+  // the phase-1 platform-poller window is pure routing overhead.
+  const double coll_seconds = std::max(0.8, options.seconds / 2.0);
+  std::printf("\nphase 7: multi-collection tenancy, 2 collections, "
+              "%.1fs per window\n", coll_seconds);
+  collections::CollectionManager::Options coll_options;
+  coll_options.default_collection = "a";
+  collections::CollectionManager manager(coll_options);
+  const auto tenancy_view = api.CurrentView();
+  for (const char* name : {"a", "b"}) {
+    if (const util::Status status = manager.AddCollection(name, tenancy_view);
+        !status.ok()) {
+      std::fprintf(stderr, "add collection %s failed: %s\n", name,
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  Window coll_bare;
+  Window coll_prefixed;
+  {
+    server::HttpServer::Config coll_config;
+    coll_config.num_threads = options.threads;
+    server::HttpServer coll_httpd(coll_config, manager.AsHandler());
+    if (const util::Status status = coll_httpd.Start(); !status.ok()) {
+      std::fprintf(stderr, "collections server start failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    coll_bare = RunWindow(coll_httpd.port(), target_sets,
+                          options.connections, coll_seconds);
+    PrintWindow("bare", coll_bare);
+
+    // Prefixed sets: each connection pins one collection (alternating), its
+    // Table II targets rewritten under /v1/c/<name>/, and every 4th target
+    // replaced by a bounded isA closure — random entity x random concept,
+    // so mostly full depth-4 negative cones, the closure's worst case.
+    std::vector<std::vector<std::string>> coll_target_sets;
+    {
+      util::Rng rng(77);
+      util::ZipfSampler entity_zipf(entities.size(), 1.0);
+      util::ZipfSampler concept_zipf(concepts.size(), 1.0);
+      for (int c = 0; c < options.connections; ++c) {
+        const std::string prefix =
+            std::string("/v1/c/") + (c % 2 == 0 ? "a" : "b");
+        std::vector<std::string> targets;
+        const auto& base =
+            target_sets[static_cast<size_t>(c) % target_sets.size()];
+        targets.reserve(base.size());
+        for (const std::string& target : base) {
+          targets.push_back(prefix + target.substr(3));  // after "/v1"
+        }
+        for (size_t i = 0; i < targets.size(); i += 4) {
+          targets[i] =
+              prefix + "/isa?entity=" +
+              server::PercentEncode(entities[entity_zipf.Sample(rng)]) +
+              "&concept=" +
+              server::PercentEncode(concepts[concept_zipf.Sample(rng)]) +
+              "&max_depth=4";
+        }
+        coll_target_sets.push_back(std::move(targets));
+      }
+    }
+    coll_prefixed = RunWindow(coll_httpd.port(), coll_target_sets,
+                              options.connections, coll_seconds);
+    PrintWindow("prefixed", coll_prefixed);
+    coll_httpd.Stop();
+    coll_httpd.Wait();
+  }
+  const double tenancy_overhead_pct =
+      epoll_window.qps > 0
+          ? 100.0 * (epoll_window.qps - coll_bare.qps) / epoll_window.qps
+          : 0.0;
+  const bool collections_ok = coll_bare.total.ok > 0 &&
+                              coll_prefixed.total.ok > 0 &&
+                              coll_bare.total.server_error == 0 &&
+                              coll_prefixed.total.server_error == 0;
+  std::printf("  routing     bare %.0f req/s vs single-tenant %.0f req/s "
+              "(%.1f%% overhead)\n",
+              coll_bare.qps, epoll_window.qps, tenancy_overhead_pct);
+  std::printf("  acceptance  %s (both collections served, zero 5xx; "
+              "1-in-4 prefixed requests are depth-4 isA closures)\n",
+              collections_ok ? "PASS" : "FAIL");
+
   if (!options.json_path.empty()) {
     std::string json = "{\n";
     json += "  \"bench\": \"bench_server\",\n";
@@ -863,12 +960,21 @@ void Run(const Options& options) {
             ", \"batches_merged\": " + std::to_string(batch_ok.load()) +
             ", \"batches_refused\": " + std::to_string(batch_refused.load()) +
             "},\n";
+    json += "  \"collections\": {\"count\": 2"
+            ", \"bare_qps\": " + std::to_string(coll_bare.qps) +
+            ", \"bare_p99_ms\": " + std::to_string(coll_bare.p99) +
+            ", \"prefixed_qps\": " + std::to_string(coll_prefixed.qps) +
+            ", \"prefixed_p99_ms\": " + std::to_string(coll_prefixed.p99) +
+            ", \"reasoning_share\": 0.25" +
+            ", \"tenancy_overhead_pct\": " +
+            std::to_string(tenancy_overhead_pct) + "},\n";
     json += "  \"acceptance\": {\"throughput_floor\": " +
             JsonBool(floor_ok) + ", \"no_poll_regression\": " +
             JsonBool(no_regression) + ", \"sweep\": " + JsonBool(sweep_ok) +
             ", \"overload_polite\": " + JsonBool(overload_ok) +
             ", \"router_coherent\": " + JsonBool(router_coherent) +
-            ", \"router_hedged_tail\": " + JsonBool(router_tail_ok) + "}\n";
+            ", \"router_hedged_tail\": " + JsonBool(router_tail_ok) +
+            ", \"collections_served\": " + JsonBool(collections_ok) + "}\n";
     json += "}\n";
     if (std::FILE* f = std::fopen(options.json_path.c_str(), "w")) {
       std::fwrite(json.data(), 1, json.size(), f);

@@ -12,18 +12,30 @@
 // request: the logical call counts and the mix stay identical, only the
 // wire framing changes, which is exactly the amortization the batch APIs
 // sell.
+//
+// `--reasoning` replaces the replay with the reasoning tier's mixed
+// workload (DESIGN.md §14): 40% bounded isA closure at depth <= 4, 20%
+// LCA, 20% similar-entity, 20% concept expansion, in-process through
+// ReasonService, against a single-hop getConcept baseline measured on the
+// same taxonomy. Acceptance (exit 1 on violation): isA closure p99 stays
+// under 10x the single-hop getConcept p99. `--reasoning-calls N` (default
+// 20,000) sizes both loops.
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "reason/engine.h"
+#include "reason/service.h"
 #include "server/client.h"
 #include "server/http.h"
 #include "server/server.h"
 #include "server/service.h"
 #include "taxonomy/api_service.h"
+#include "util/histogram.h"
 #include "util/net.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -230,7 +242,174 @@ void RunLive(taxonomy::ApiService* api, const QueryUniverse& universe,
               static_cast<unsigned long long>(stats.parse_errors));
 }
 
-void Run(bool live, size_t live_calls, size_t batch) {
+// --reasoning: the mixed reasoning workload against the same built
+// taxonomy, in-process. The baseline is single-hop getConcept — the Table
+// II call the isA closure generalises — timed per call on the same
+// ApiService; the mixed loop then drives ReasonService so admission and
+// snapshot pinning sit on the measured path, exactly as they do behind
+// /v1/isa. Returns false when the isA closure p99 breaches 10x the
+// single-hop p99.
+bool RunReasoning(taxonomy::ApiService* api, const QueryUniverse& universe,
+                  size_t calls) {
+  constexpr size_t kIsaDepth = 4;
+  constexpr size_t kTopK = 10;
+  std::printf("\n--reasoning: %zu-call mixed workload "
+              "(40%% isa@depth<=%zu, 20%% lca, 20%% similar, 20%% expand)\n",
+              calls, kIsaDepth);
+  if (universe.entity_names.empty() || universe.concept_names.empty()) {
+    std::fprintf(stderr, "universe too small for the reasoning mix\n");
+    return false;
+  }
+
+  // Precomputed isA pairs: half pair an entity with one of its own
+  // ancestors (positives across the depth range), half with a Zipf-sampled
+  // concept — mostly negatives, the closure's worst case, since the whole
+  // depth-bounded cone is exhausted before answering false.
+  const auto view = api->CurrentView();
+  util::Rng rng(4242);
+  util::ZipfSampler entity_zipf(universe.entity_names.size(), 1.0);
+  util::ZipfSampler concept_zipf(universe.concept_names.size(), 1.0);
+  struct IsaPair {
+    const std::string* entity;
+    std::string concept_name;
+  };
+  std::vector<IsaPair> pairs;
+  size_t positives = 0;
+  const size_t pair_target = std::min<size_t>(4096, std::max<size_t>(calls, 2));
+  for (size_t attempt = 0;
+       pairs.size() < pair_target && attempt < pair_target * 4; ++attempt) {
+    const std::string& entity =
+        universe.entity_names[entity_zipf.Sample(rng)];
+    if (pairs.size() % 2 == 0) {
+      const taxonomy::NodeId id = view->Find(entity);
+      if (id == taxonomy::kInvalidNode) continue;
+      const auto ancestors = reason::Ancestors(*view, id, kIsaDepth, 32);
+      if (ancestors.empty()) continue;
+      const auto& pick = ancestors[rng.Uniform(ancestors.size())];
+      pairs.push_back({&entity, std::string(view->Name(pick.node))});
+      ++positives;
+    } else {
+      pairs.push_back(
+          {&entity, universe.concept_names[concept_zipf.Sample(rng)]});
+    }
+  }
+  if (pairs.empty()) {
+    std::fprintf(stderr, "no entity has an ancestor within depth %zu\n",
+                 kIsaDepth);
+    return false;
+  }
+  std::printf("isa pairs: %zu prepared (%zu with a known ancestor)\n",
+              pairs.size(), positives);
+
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto micros = [](std::chrono::steady_clock::time_point start,
+                         std::chrono::steady_clock::time_point end) {
+    return std::chrono::duration<double, std::micro>(end - start).count();
+  };
+
+  // Baseline: the single-hop lookup the closure generalises, same Zipf
+  // skew, same admission path.
+  util::Histogram base_us;
+  size_t base_hits = 0;
+  for (size_t i = 0; i < calls; ++i) {
+    const std::string& entity =
+        universe.entity_names[entity_zipf.Sample(rng)];
+    const auto start = now();
+    base_hits += api->GetConcept(entity).empty() ? 0 : 1;
+    base_us.Add(micros(start, now()));
+  }
+
+  reason::ReasonService reasoning(api);
+  util::Histogram isa_us, lca_us, similar_us, expand_us;
+  size_t isa_true = 0;
+  size_t lca_found = 0;
+  size_t ranked_nonempty = 0;
+  size_t errors = 0;
+  size_t pair_at = 0;
+  for (size_t i = 0; i < calls; ++i) {
+    const double u = rng.UniformDouble();
+    if (u < 0.4) {
+      const IsaPair& pair = pairs[pair_at++ % pairs.size()];
+      const auto start = now();
+      const auto result =
+          reasoning.TryIsa(*pair.entity, pair.concept_name, kIsaDepth);
+      isa_us.Add(micros(start, now()));
+      if (!result.ok()) {
+        ++errors;
+      } else if (result->isa) {
+        ++isa_true;
+      }
+    } else if (u < 0.6) {
+      const std::string& a = universe.entity_names[entity_zipf.Sample(rng)];
+      const std::string& b = universe.entity_names[entity_zipf.Sample(rng)];
+      const auto start = now();
+      const auto result = reasoning.TryLca(a, b, 2 * kIsaDepth);
+      lca_us.Add(micros(start, now()));
+      if (!result.ok()) {
+        ++errors;
+      } else if (result->found) {
+        ++lca_found;
+      }
+    } else if (u < 0.8) {
+      const std::string& entity =
+          universe.entity_names[entity_zipf.Sample(rng)];
+      const auto start = now();
+      const auto result = reasoning.TrySimilar(entity, kTopK);
+      similar_us.Add(micros(start, now()));
+      if (!result.ok()) {
+        ++errors;
+      } else if (!result->results.empty()) {
+        ++ranked_nonempty;
+      }
+    } else {
+      const std::string& concept_name =
+          universe.concept_names[concept_zipf.Sample(rng)];
+      const auto start = now();
+      const auto result = reasoning.TryExpand(concept_name, kTopK);
+      expand_us.Add(micros(start, now()));
+      if (!result.ok()) {
+        ++errors;
+      } else if (!result->results.empty()) {
+        ++ranked_nonempty;
+      }
+    }
+  }
+
+  const auto row = [](const char* op, const util::Histogram& h,
+                      const std::string& note) {
+    std::printf("%-12s %10zu %12.2f %12.2f   %s\n", op, h.count(),
+                h.count() ? h.Percentile(50) : 0.0,
+                h.count() ? h.Percentile(99) : 0.0, note.c_str());
+  };
+  std::printf("\n%-12s %10s %12s %12s\n", "op", "calls", "p50 (us)",
+              "p99 (us)");
+  row("getConcept", base_us,
+      std::to_string(base_hits) + " non-empty (single-hop baseline)");
+  row("isa", isa_us, std::to_string(isa_true) + " reachable");
+  row("lca", lca_us, std::to_string(lca_found) + " found");
+  row("similar", similar_us, "");
+  row("expand", expand_us, "");
+  const auto& usage = reasoning.usage();
+  std::printf("reason usage: isa %llu, lca %llu, similar %llu, expand %llu"
+              " (%zu errors)\n",
+              static_cast<unsigned long long>(usage.isa_calls),
+              static_cast<unsigned long long>(usage.lca_calls),
+              static_cast<unsigned long long>(usage.similar_calls),
+              static_cast<unsigned long long>(usage.expand_calls), errors);
+
+  const double base_p99 = base_us.count() ? base_us.Percentile(99) : 0.0;
+  const double isa_p99 = isa_us.count() ? isa_us.Percentile(99) : 0.0;
+  const double ratio = base_p99 > 0 ? isa_p99 / base_p99 : 0.0;
+  const bool pass = base_us.count() > 0 && isa_us.count() > 0 &&
+                    errors == 0 && isa_p99 < 10.0 * base_p99;
+  std::printf("\nacceptance  %s (isA closure p99 %.2f us = %.2fx single-hop "
+              "getConcept p99 %.2f us, limit 10x at depth <= %zu)\n",
+              pass ? "PASS" : "FAIL", isa_p99, ratio, base_p99, kIsaDepth);
+  return pass;
+}
+
+int Run(bool live, size_t live_calls, size_t batch, bool reasoning,
+        size_t reasoning_calls) {
   bench::PrintHeader("Table II", "APIs and their usage");
   auto world = bench::MakeBenchWorld(bench::BenchScale());
 
@@ -242,11 +421,15 @@ void Run(bool live, size_t live_calls, size_t batch) {
   core::CnProbaseBuilder::RegisterMentions(world->output->dump, taxonomy, &api);
 
   const QueryUniverse universe = MakeUniverse(*world, taxonomy);
+  if (reasoning) {
+    return RunReasoning(&api, universe, reasoning_calls) ? 0 : 1;
+  }
   if (live) {
     RunLive(&api, universe, live_calls, batch);
   } else {
     RunInProcess(&api, universe);
   }
+  return 0;
 }
 
 }  // namespace
@@ -256,6 +439,8 @@ int main(int argc, char** argv) {
   bool live = false;
   size_t live_calls = 40'000;
   size_t batch = 1;
+  bool reasoning = false;
+  size_t reasoning_calls = 20'000;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--live") == 0) {
       live = true;
@@ -264,13 +449,20 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
       batch = static_cast<size_t>(std::max(1L, std::atol(argv[++i])));
       live = true;  // batching only exists on the wire
+    } else if (std::strcmp(argv[i], "--reasoning") == 0) {
+      reasoning = true;
+    } else if (std::strcmp(argv[i], "--reasoning-calls") == 0 &&
+               i + 1 < argc) {
+      reasoning_calls =
+          static_cast<size_t>(std::max(1L, std::atol(argv[++i])));
+      reasoning = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--live] [--live-calls N] [--batch K]\n",
+                   "usage: %s [--live] [--live-calls N] [--batch K]"
+                   " [--reasoning] [--reasoning-calls N]\n",
                    argv[0]);
       return 2;
     }
   }
-  cnpb::Run(live, live_calls, batch);
-  return 0;
+  return cnpb::Run(live, live_calls, batch, reasoning, reasoning_calls);
 }

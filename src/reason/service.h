@@ -1,0 +1,124 @@
+#ifndef CNPROBASE_REASON_SERVICE_H_
+#define CNPROBASE_REASON_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "reason/engine.h"
+#include "taxonomy/api_service.h"
+#include "util/status.h"
+
+namespace cnpb::reason {
+
+// Version-stamped reasoning queries over an ApiService's pinned snapshots —
+// the serving face of engine.h, shaped like the ApiService Try* variants so
+// the HTTP layer maps it onto the same wire contract (DESIGN.md §14).
+//
+// Every call runs under the host service's admission/deadline policy via
+// ApiService::TryQuery: it can be shed (ResourceExhausted), timed out
+// (DeadlineExceeded), or fault-injected (IoError at api.query/api.resolve),
+// and it resolves names entirely against the one view it pinned. Unknown
+// names are NOT errors at this layer: the result structs carry *_known
+// flags plus the pinned version, so the HTTP layer can emit a cacheable,
+// version-stamped 404 — only transient outcomes surface as Status errors,
+// which is exactly the cacheable/uncacheable split the ResultCache needs.
+class ReasonService {
+ public:
+  struct Limits {
+    size_t max_depth_cap = 16;    // isa/lca max_depth ceiling
+    size_t max_k = 100;           // similar/expand k ceiling
+    size_t max_candidates = 4096; // candidate scan bound per ranking query
+  };
+
+  // `api` is not owned and must outlive the service.
+  explicit ReasonService(taxonomy::ApiService* api);
+  ReasonService(taxonomy::ApiService* api, Limits limits);
+
+  struct IsaResolved {
+    uint64_t version = 0;
+    bool entity_known = false;
+    bool concept_known = false;
+    bool isa = false;
+    int depth = -1;                  // minimal isA steps when isa
+    std::vector<std::string> path;   // names entity..concept when isa
+  };
+  util::Result<IsaResolved> TryIsa(std::string_view entity,
+                                   std::string_view concept_name,
+                                   size_t max_depth) const;
+
+  struct LcaResolved {
+    uint64_t version = 0;
+    bool a_known = false;
+    bool b_known = false;
+    bool found = false;
+    std::string lca;                 // name, when found
+    uint32_t depth_a = 0;
+    uint32_t depth_b = 0;
+  };
+  util::Result<LcaResolved> TryLca(std::string_view a, std::string_view b,
+                                   size_t max_depth) const;
+
+  struct ScoredName {
+    std::string name;
+    double score = 0.0;
+    float tie = 0.0f;
+  };
+  struct RankedResolved {
+    uint64_t version = 0;
+    bool known = false;              // the query term resolved to a node
+    std::vector<ScoredName> results;
+  };
+  util::Result<RankedResolved> TrySimilar(std::string_view entity,
+                                          size_t k) const;
+  util::Result<RankedResolved> TryExpand(std::string_view concept_name,
+                                         size_t k) const;
+
+  struct UsageStats {
+    uint64_t isa_calls = 0;
+    uint64_t lca_calls = 0;
+    uint64_t similar_calls = 0;
+    uint64_t expand_calls = 0;
+    uint64_t total() const {
+      return isa_calls + lca_calls + similar_calls + expand_calls;
+    }
+  };
+  UsageStats usage() const;
+
+  const Limits& limits() const { return limits_; }
+
+ private:
+  taxonomy::ApiService* const api_;
+  const Limits limits_;
+
+  mutable std::atomic<uint64_t> isa_calls_{0};
+  mutable std::atomic<uint64_t> lca_calls_{0};
+  mutable std::atomic<uint64_t> similar_calls_{0};
+  mutable std::atomic<uint64_t> expand_calls_{0};
+
+  obs::Counter* const calls_isa_ =
+      obs::MetricsRegistry::Global().counter("reason.calls.isa");
+  obs::Counter* const calls_lca_ =
+      obs::MetricsRegistry::Global().counter("reason.calls.lca");
+  obs::Counter* const calls_similar_ =
+      obs::MetricsRegistry::Global().counter("reason.calls.similar");
+  obs::Counter* const calls_expand_ =
+      obs::MetricsRegistry::Global().counter("reason.calls.expand");
+  obs::BucketHistogram* const latency_isa_ =
+      obs::MetricsRegistry::Global().histogram("reason.latency.isa_seconds");
+  obs::BucketHistogram* const latency_lca_ =
+      obs::MetricsRegistry::Global().histogram("reason.latency.lca_seconds");
+  obs::BucketHistogram* const latency_similar_ =
+      obs::MetricsRegistry::Global().histogram(
+          "reason.latency.similar_seconds");
+  obs::BucketHistogram* const latency_expand_ =
+      obs::MetricsRegistry::Global().histogram(
+          "reason.latency.expand_seconds");
+};
+
+}  // namespace cnpb::reason
+
+#endif  // CNPROBASE_REASON_SERVICE_H_

@@ -697,18 +697,47 @@ HttpResponse Router::Handle(const HttpRequest& request) {
   const std::string& path = request.path;
   if (path == "/healthz") return Healthz();
   if (path == "/metrics") return Metrics();
-  if (path == "/v1/men2ent") {
+  if (path == "/v1/collections") return ForwardSingle(0, request);
+
+  // Multi-collection prefix (/v1/c/<name>/<endpoint>): the router sees the
+  // same endpoint table behind a collection prefix and routes by the same
+  // key parameter, forwarding the prefixed target verbatim so the backend's
+  // CollectionManager resolves the collection. Suffix-less forms (the
+  // collection info page) and endpoints with no routing key go to shard 0 —
+  // the backend owns the endpoint contract, the router only picks a shard.
+  std::string_view route = path;
+  bool prefixed = false;
+  if (util::StartsWith(path, "/v1/c/")) {
+    prefixed = true;
+    const std::string_view rest = std::string_view(path).substr(6);
+    const size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) return ForwardSingle(0, request);
+    route = rest.substr(slash);
+    if (route == "/" || route == "/healthz" || route == "/metrics") {
+      return ForwardSingle(0, request);
+    }
+  } else if (util::StartsWith(path, "/v1/")) {
+    route = std::string_view(path).substr(3);
+  } else {
+    return ErrorResponse(404, util::StatusCode::kNotFound,
+                         "no such endpoint: " + path);
+  }
+  if (route == "/men2ent") {
     return ForwardSingle(ShardForParam(request, "mention"), request);
   }
-  if (path == "/v1/getConcept") {
+  if (route == "/getConcept" || route == "/isa" || route == "/similar") {
     return ForwardSingle(ShardForParam(request, "entity"), request);
   }
-  if (path == "/v1/getEntity") {
+  if (route == "/getEntity" || route == "/expand") {
     return ForwardSingle(ShardForParam(request, "concept"), request);
   }
-  if (path == "/v1/men2ent_batch") return ForwardBatch(request, "mention");
-  if (path == "/v1/getConcept_batch") return ForwardBatch(request, "entity");
-  if (path == "/v1/getEntity_batch") return ForwardBatch(request, "concept");
+  if (route == "/lca") {
+    return ForwardSingle(ShardForParam(request, "a"), request);
+  }
+  if (route == "/men2ent_batch") return ForwardBatch(request, "mention");
+  if (route == "/getConcept_batch") return ForwardBatch(request, "entity");
+  if (route == "/getEntity_batch") return ForwardBatch(request, "concept");
+  if (prefixed) return ForwardSingle(0, request);
   return ErrorResponse(404, util::StatusCode::kNotFound,
                        "no such endpoint: " + path);
 }

@@ -45,6 +45,77 @@ bool ParseTransitive(const HttpRequest& request) {
   return raw == "1" || raw == "true";
 }
 
+// Reasoning knobs, strict like ParseLimit: max_depth in [1, 16], k in
+// [1, 100] (the ReasonService limits' ceilings).
+bool ParseMaxDepth(std::string_view raw, size_t* depth) {
+  uint64_t parsed = 0;
+  if (!util::ParseUint64(raw, &parsed) || parsed == 0 || parsed > 16) {
+    return false;
+  }
+  *depth = static_cast<size_t>(parsed);
+  return true;
+}
+
+bool ParseTopK(std::string_view raw, size_t* k) {
+  uint64_t parsed = 0;
+  if (!util::ParseUint64(raw, &parsed) || parsed == 0 || parsed > 100) {
+    return false;
+  }
+  *k = static_cast<size_t>(parsed);
+  return true;
+}
+
+// Length-prefixes a second query argument for use inside a cache-key
+// options string, so no two (arg2, trailing-options) pairs collide.
+std::string PackArg(std::string_view arg) {
+  return std::to_string(arg.size()) + ":" + std::string(arg);
+}
+
+// The shared per-item fragments (see ItemFragment in service.h): the inner
+// JSON array both the single-shot envelope and the batch item envelope
+// splice in, byte-identical between the two paths.
+std::string Men2EntFragment(
+    const std::vector<taxonomy::ApiService::ResolvedEntity>& entities) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& entity : entities) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"id\":" + JsonUInt(entity.id) +
+           ",\"name\":" + JsonString(entity.name) +
+           ",\"num_hypernyms\":" + JsonUInt(entity.num_hypernyms) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+std::string NamesFragment(const std::vector<std::string>& names) {
+  std::string out = "[";
+  bool first = true;
+  for (const std::string& name : names) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonString(name);
+  }
+  out += "]";
+  return out;
+}
+
+std::string ScoredNamesFragment(
+    const std::vector<cnpb::reason::ReasonService::ScoredName>& results) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& result : results) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":" + JsonString(result.name) +
+           ",\"score\":" + util::JsonNumber(result.score) +
+           ",\"tie\":" + util::JsonNumber(result.tie) + "}";
+  }
+  out += "]";
+  return out;
+}
+
 bool HasVersionHeader(const HttpResponse& response) {
   for (const auto& [name, value] : response.headers) {
     if (name == ApiEndpoints::kVersionHeader) return true;
@@ -60,11 +131,12 @@ void StampVersion(HttpResponse* response, uint64_t version) {
 }  // namespace
 
 ApiEndpoints::ApiEndpoints(taxonomy::ApiService* api)
-    : api_(api), started_(std::chrono::steady_clock::now()) {}
+    : api_(api), reason_(api), started_(std::chrono::steady_clock::now()) {}
 
 ApiEndpoints::ApiEndpoints(taxonomy::ApiService* api,
                            const ResultCache::Config& cache_config)
     : api_(api),
+      reason_(api),
       cache_(std::make_unique<ResultCache>(cache_config)),
       started_(std::chrono::steady_clock::now()) {}
 
@@ -142,6 +214,84 @@ HttpResponse ApiEndpoints::Cached(std::string_view endpoint,
   return response;
 }
 
+template <typename Resolve>
+ApiEndpoints::BatchOutcome ApiEndpoints::ResolveBatchCached(
+    const std::vector<std::string>& items, std::string_view endpoint,
+    std::string_view options, Resolve&& resolve) {
+  BatchOutcome out;
+  out.fragments.resize(items.size());
+  std::vector<char> have(items.size(), 0);
+  uint64_t hit_version = 0;
+  if (cache_ != nullptr) {
+    // One version read for the whole sweep: every hit carries exactly this
+    // version (Lookup only hits on equality), so the hits are mutually
+    // coherent by construction.
+    const uint64_t lookup_version = api_->version();
+    for (size_t i = 0; i < items.size(); ++i) {
+      ResultCache::CachedResponse hit;
+      if (cache_->Lookup(ResultCache::Key(endpoint, items[i], options),
+                         lookup_version, &hit)) {
+        out.fragments[i] = std::move(hit.body);
+        have[i] = 1;
+        ++out.hits;
+        hit_version = hit.version;
+      }
+    }
+  }
+  std::vector<std::string> misses;
+  std::vector<size_t> miss_index;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (have[i] == 0) {
+      misses.push_back(items[i]);
+      miss_index.push_back(i);
+    }
+  }
+  if (misses.empty()) {
+    out.version = hit_version;
+    return out;
+  }
+  auto result = resolve(misses);
+  if (!result.ok()) {
+    out.failed = true;
+    out.error = StatusResponse(result.status());
+    return out;
+  }
+  if (out.hits > 0 && result->first != hit_version) {
+    // A publish landed between the cache sweep and the resolve: the hits
+    // are stamped with the retired version, the misses with the new one.
+    // Re-resolve the whole batch against the current snapshot so the
+    // response keeps its single-version contract (rare — publish-frequency
+    // rare — so the double resolve does not matter).
+    auto redo = resolve(items);
+    if (!redo.ok()) {
+      out.failed = true;
+      out.error = StatusResponse(redo.status());
+      return out;
+    }
+    out.hits = 0;
+    out.version = redo->first;
+    for (size_t i = 0; i < items.size(); ++i) {
+      ItemFragment& item = redo->second[i];
+      if (cache_ != nullptr) {
+        cache_->Insert(ResultCache::Key(endpoint, items[i], options),
+                       out.version, item.status, item.fragment);
+      }
+      out.fragments[i] = std::move(item.fragment);
+    }
+    return out;
+  }
+  out.version = result->first;
+  for (size_t j = 0; j < miss_index.size(); ++j) {
+    ItemFragment& item = result->second[j];
+    if (cache_ != nullptr) {
+      cache_->Insert(ResultCache::Key(endpoint, misses[j], options),
+                     out.version, item.status, item.fragment);
+    }
+    out.fragments[miss_index[j]] = std::move(item.fragment);
+  }
+  return out;
+}
+
 HttpResponse ApiEndpoints::Handle(const HttpRequest& request) {
   const bool is_batch = request.path == "/v1/men2ent_batch" ||
                         request.path == "/v1/getConcept_batch" ||
@@ -184,6 +334,22 @@ HttpResponse ApiEndpoints::Handle(const HttpRequest& request) {
     req_get_entity_batch_->Increment();
     obs::ScopedTimer timer(SampleLatency() ? lat_get_entity_ : nullptr);
     response = GetEntityBatch(request);
+  } else if (request.path == "/v1/isa") {
+    req_isa_->Increment();
+    obs::ScopedTimer timer(SampleLatency() ? lat_reason_ : nullptr);
+    response = Isa(request);
+  } else if (request.path == "/v1/lca") {
+    req_lca_->Increment();
+    obs::ScopedTimer timer(SampleLatency() ? lat_reason_ : nullptr);
+    response = Lca(request);
+  } else if (request.path == "/v1/similar") {
+    req_similar_->Increment();
+    obs::ScopedTimer timer(SampleLatency() ? lat_reason_ : nullptr);
+    response = Similar(request);
+  } else if (request.path == "/v1/expand") {
+    req_expand_->Increment();
+    obs::ScopedTimer timer(SampleLatency() ? lat_reason_ : nullptr);
+    response = Expand(request);
   } else if (request.path == "/healthz") {
     req_healthz_->Increment();
     response = Healthz();
@@ -216,34 +382,47 @@ HttpResponse ApiEndpoints::Men2Ent(const HttpRequest& request) {
                          "missing required parameter: mention");
   }
   const std::string_view mention = request.Param("mention");
-  return Cached("men2ent", mention, {}, [&](uint64_t* resolved_version) {
-    const util::Result<taxonomy::ApiService::Men2EntResolved> result =
-        api_->TryMen2EntResolved(mention);
-    if (!result.ok()) return StatusResponse(result.status());
-    *resolved_version = result->version;
-    if (result->entities.empty()) {
+  // The cache entry is the per-item *fragment* (plus the single-shot
+  // status), not the whole body, so batch requests for the same mention at
+  // the same version hit this entry and vice versa.
+  const auto envelope = [&](uint64_t version, int status,
+                            const std::string& fragment) {
+    if (status == 404) {
       // Unlike getConcept/getEntity (where a known term can legitimately
       // have an empty answer), a mention resolving to nothing means the
       // mention itself is unknown. Still snapshot-derived, still cacheable.
       return ErrorResponse(404, util::StatusCode::kNotFound,
                            "unknown mention: " + std::string(mention));
     }
-    std::string body = "{\"mention\":" + JsonString(mention) +
-                       ",\"version\":" + JsonUInt(result->version) +
-                       ",\"entities\":[";
-    bool first = true;
-    for (const auto& entity : result->entities) {
-      if (!first) body += ',';
-      first = false;
-      body += "{\"id\":" + JsonUInt(entity.id) +
-              ",\"name\":" + JsonString(entity.name) +
-              ",\"num_hypernyms\":" + JsonUInt(entity.num_hypernyms) + "}";
-    }
-    body += "]}\n";
     HttpResponse response;
-    response.body = std::move(body);
+    response.body = "{\"mention\":" + JsonString(mention) +
+                    ",\"version\":" + JsonUInt(version) +
+                    ",\"entities\":" + fragment + "}\n";
     return response;
-  });
+  };
+  if (cache_ != nullptr) {
+    ResultCache::CachedResponse hit;
+    if (cache_->Lookup(ResultCache::Key("men2ent", mention, {}),
+                       api_->version(), &hit)) {
+      HttpResponse response = envelope(hit.version, hit.status, hit.body);
+      response.headers.emplace_back("X-Cache", "hit");
+      StampVersion(&response, hit.version);
+      return response;
+    }
+  }
+  const util::Result<taxonomy::ApiService::Men2EntResolved> result =
+      api_->TryMen2EntResolved(mention);
+  if (!result.ok()) return StatusResponse(result.status());
+  const int status = result->entities.empty() ? 404 : 200;
+  const std::string fragment = Men2EntFragment(result->entities);
+  if (cache_ != nullptr) {
+    cache_->Insert(ResultCache::Key("men2ent", mention, {}), result->version,
+                   status, fragment);
+  }
+  HttpResponse response = envelope(result->version, status, fragment);
+  if (cache_ != nullptr) response.headers.emplace_back("X-Cache", "miss");
+  StampVersion(&response, result->version);
+  return response;
 }
 
 HttpResponse ApiEndpoints::GetConcept(const HttpRequest& request) {
@@ -253,30 +432,41 @@ HttpResponse ApiEndpoints::GetConcept(const HttpRequest& request) {
   }
   const std::string_view entity = request.Param("entity");
   const bool transitive = ParseTransitive(request);
-  return Cached("getConcept", entity, transitive ? "|t1" : "|t0",
-                [&](uint64_t* resolved_version) {
-    const util::Result<taxonomy::ApiService::NamesResolved> result =
-        api_->TryGetConceptResolved(entity, transitive);
-    if (!result.ok()) return StatusResponse(result.status());
-    *resolved_version = result->version;
+  const std::string options = transitive ? "|t1" : "|t0";
+  const auto envelope = [&](uint64_t version, const std::string& fragment) {
+    HttpResponse response;
     // The stamp comes from the snapshot that resolved the names — reading
     // api_->version() here instead would race a concurrent publish and
     // claim a version this data was never resolved against.
-    std::string body = "{\"entity\":" + JsonString(entity) +
-                       ",\"version\":" + JsonUInt(result->version) +
-                       ",\"transitive\":" +
-                       (transitive ? "true" : "false") + ",\"concepts\":[";
-    bool first = true;
-    for (const std::string& name : result->names) {
-      if (!first) body += ',';
-      first = false;
-      body += JsonString(name);
-    }
-    body += "]}\n";
-    HttpResponse response;
-    response.body = std::move(body);
+    response.body = "{\"entity\":" + JsonString(entity) +
+                    ",\"version\":" + JsonUInt(version) +
+                    ",\"transitive\":" +
+                    std::string(transitive ? "true" : "false") +
+                    ",\"concepts\":" + fragment + "}\n";
     return response;
-  });
+  };
+  if (cache_ != nullptr) {
+    ResultCache::CachedResponse hit;
+    if (cache_->Lookup(ResultCache::Key("getConcept", entity, options),
+                       api_->version(), &hit)) {
+      HttpResponse response = envelope(hit.version, hit.body);
+      response.headers.emplace_back("X-Cache", "hit");
+      StampVersion(&response, hit.version);
+      return response;
+    }
+  }
+  const util::Result<taxonomy::ApiService::NamesResolved> result =
+      api_->TryGetConceptResolved(entity, transitive);
+  if (!result.ok()) return StatusResponse(result.status());
+  const std::string fragment = NamesFragment(result->names);
+  if (cache_ != nullptr) {
+    cache_->Insert(ResultCache::Key("getConcept", entity, options),
+                   result->version, 200, fragment);
+  }
+  HttpResponse response = envelope(result->version, fragment);
+  if (cache_ != nullptr) response.headers.emplace_back("X-Cache", "miss");
+  StampVersion(&response, result->version);
+  return response;
 }
 
 HttpResponse ApiEndpoints::GetEntity(const HttpRequest& request) {
@@ -291,26 +481,36 @@ HttpResponse ApiEndpoints::GetEntity(const HttpRequest& request) {
     return ErrorResponse(400, util::StatusCode::kInvalidArgument,
                          "limit must be an integer in [1, 100000]");
   }
-  return Cached("getEntity", concept_name, "|l" + std::to_string(limit),
-                [&](uint64_t* resolved_version) {
-    const util::Result<taxonomy::ApiService::NamesResolved> result =
-        api_->TryGetEntityResolved(concept_name, limit);
-    if (!result.ok()) return StatusResponse(result.status());
-    *resolved_version = result->version;
-    std::string body = "{\"concept\":" + JsonString(concept_name) +
-                       ",\"version\":" + JsonUInt(result->version) +
-                       ",\"entities\":[";
-    bool first = true;
-    for (const std::string& name : result->names) {
-      if (!first) body += ',';
-      first = false;
-      body += JsonString(name);
-    }
-    body += "]}\n";
+  const std::string options = "|l" + std::to_string(limit);
+  const auto envelope = [&](uint64_t version, const std::string& fragment) {
     HttpResponse response;
-    response.body = std::move(body);
+    response.body = "{\"concept\":" + JsonString(concept_name) +
+                    ",\"version\":" + JsonUInt(version) +
+                    ",\"entities\":" + fragment + "}\n";
     return response;
-  });
+  };
+  if (cache_ != nullptr) {
+    ResultCache::CachedResponse hit;
+    if (cache_->Lookup(ResultCache::Key("getEntity", concept_name, options),
+                       api_->version(), &hit)) {
+      HttpResponse response = envelope(hit.version, hit.body);
+      response.headers.emplace_back("X-Cache", "hit");
+      StampVersion(&response, hit.version);
+      return response;
+    }
+  }
+  const util::Result<taxonomy::ApiService::NamesResolved> result =
+      api_->TryGetEntityResolved(concept_name, limit);
+  if (!result.ok()) return StatusResponse(result.status());
+  const std::string fragment = NamesFragment(result->names);
+  if (cache_ != nullptr) {
+    cache_->Insert(ResultCache::Key("getEntity", concept_name, options),
+                   result->version, 200, fragment);
+  }
+  HttpResponse response = envelope(result->version, fragment);
+  if (cache_ != nullptr) response.headers.emplace_back("X-Cache", "miss");
+  StampVersion(&response, result->version);
+  return response;
 }
 
 bool ApiEndpoints::BatchItems(const HttpRequest& request,
@@ -351,29 +551,41 @@ HttpResponse ApiEndpoints::Men2EntBatch(const HttpRequest& request) {
   std::vector<std::string> mentions;
   HttpResponse error;
   if (!BatchItems(request, "mention", &mentions, &error)) return error;
-  const util::Result<taxonomy::ApiService::Men2EntBatchResolved> result =
-      api_->TryMen2EntBatchResolved(mentions);
-  if (!result.ok()) return StatusResponse(result.status());
-  std::string body = "{\"version\":" + JsonUInt(result->version) +
+  BatchOutcome outcome = ResolveBatchCached(
+      mentions, "men2ent", {},
+      [&](const std::vector<std::string>& subset)
+          -> util::Result<std::pair<uint64_t, std::vector<ItemFragment>>> {
+        const util::Result<taxonomy::ApiService::Men2EntBatchResolved>
+            result = api_->TryMen2EntBatchResolved(subset);
+        if (!result.ok()) return result.status();
+        std::vector<ItemFragment> fragments;
+        fragments.reserve(subset.size());
+        for (const auto& entities : result->results) {
+          // The single-shot form 404s an unknown mention; record that in
+          // the shared entry so it can serve that path too. The batch
+          // envelope ignores the status and splices the empty list.
+          fragments.push_back(
+              {entities.empty() ? 404 : 200, Men2EntFragment(entities)});
+        }
+        return std::make_pair(result->version, std::move(fragments));
+      });
+  if (outcome.failed) return outcome.error;
+  std::string body = "{\"version\":" + JsonUInt(outcome.version) +
                      ",\"count\":" + JsonUInt(mentions.size()) +
                      ",\"results\":[";
   for (size_t i = 0; i < mentions.size(); ++i) {
     if (i > 0) body += ',';
-    body += "{\"mention\":" + JsonString(mentions[i]) + ",\"entities\":[";
-    bool first = true;
-    for (const auto& entity : result->results[i]) {
-      if (!first) body += ',';
-      first = false;
-      body += "{\"id\":" + JsonUInt(entity.id) +
-              ",\"name\":" + JsonString(entity.name) +
-              ",\"num_hypernyms\":" + JsonUInt(entity.num_hypernyms) + "}";
-    }
-    body += "]}";
+    body += "{\"mention\":" + JsonString(mentions[i]) +
+            ",\"entities\":" + outcome.fragments[i] + "}";
   }
   body += "]}\n";
   HttpResponse response;
   response.body = std::move(body);
-  StampVersion(&response, result->version);
+  if (cache_ != nullptr) {
+    response.headers.emplace_back("X-Cache-Hits",
+                                  std::to_string(outcome.hits));
+  }
+  StampVersion(&response, outcome.version);
   return response;
 }
 
@@ -382,28 +594,38 @@ HttpResponse ApiEndpoints::GetConceptBatch(const HttpRequest& request) {
   HttpResponse error;
   if (!BatchItems(request, "entity", &entities, &error)) return error;
   const bool transitive = ParseTransitive(request);
-  const util::Result<taxonomy::ApiService::NamesBatchResolved> result =
-      api_->TryGetConceptBatchResolved(entities, transitive);
-  if (!result.ok()) return StatusResponse(result.status());
-  std::string body = "{\"version\":" + JsonUInt(result->version) +
+  BatchOutcome outcome = ResolveBatchCached(
+      entities, "getConcept", transitive ? "|t1" : "|t0",
+      [&](const std::vector<std::string>& subset)
+          -> util::Result<std::pair<uint64_t, std::vector<ItemFragment>>> {
+        const util::Result<taxonomy::ApiService::NamesBatchResolved> result =
+            api_->TryGetConceptBatchResolved(subset, transitive);
+        if (!result.ok()) return result.status();
+        std::vector<ItemFragment> fragments;
+        fragments.reserve(subset.size());
+        for (const auto& names : result->results) {
+          fragments.push_back({200, NamesFragment(names)});
+        }
+        return std::make_pair(result->version, std::move(fragments));
+      });
+  if (outcome.failed) return outcome.error;
+  std::string body = "{\"version\":" + JsonUInt(outcome.version) +
                      ",\"transitive\":" + (transitive ? "true" : "false") +
                      ",\"count\":" + JsonUInt(entities.size()) +
                      ",\"results\":[";
   for (size_t i = 0; i < entities.size(); ++i) {
     if (i > 0) body += ',';
-    body += "{\"entity\":" + JsonString(entities[i]) + ",\"concepts\":[";
-    bool first = true;
-    for (const std::string& name : result->results[i]) {
-      if (!first) body += ',';
-      first = false;
-      body += JsonString(name);
-    }
-    body += "]}";
+    body += "{\"entity\":" + JsonString(entities[i]) +
+            ",\"concepts\":" + outcome.fragments[i] + "}";
   }
   body += "]}\n";
   HttpResponse response;
   response.body = std::move(body);
-  StampVersion(&response, result->version);
+  if (cache_ != nullptr) {
+    response.headers.emplace_back("X-Cache-Hits",
+                                  std::to_string(outcome.hits));
+  }
+  StampVersion(&response, outcome.version);
   return response;
 }
 
@@ -417,29 +639,197 @@ HttpResponse ApiEndpoints::GetEntityBatch(const HttpRequest& request) {
     return ErrorResponse(400, util::StatusCode::kInvalidArgument,
                          "limit must be an integer in [1, 100000]");
   }
-  const util::Result<taxonomy::ApiService::NamesBatchResolved> result =
-      api_->TryGetEntityBatchResolved(concepts, limit);
-  if (!result.ok()) return StatusResponse(result.status());
-  std::string body = "{\"version\":" + JsonUInt(result->version) +
+  BatchOutcome outcome = ResolveBatchCached(
+      concepts, "getEntity", "|l" + std::to_string(limit),
+      [&](const std::vector<std::string>& subset)
+          -> util::Result<std::pair<uint64_t, std::vector<ItemFragment>>> {
+        const util::Result<taxonomy::ApiService::NamesBatchResolved> result =
+            api_->TryGetEntityBatchResolved(subset, limit);
+        if (!result.ok()) return result.status();
+        std::vector<ItemFragment> fragments;
+        fragments.reserve(subset.size());
+        for (const auto& names : result->results) {
+          fragments.push_back({200, NamesFragment(names)});
+        }
+        return std::make_pair(result->version, std::move(fragments));
+      });
+  if (outcome.failed) return outcome.error;
+  std::string body = "{\"version\":" + JsonUInt(outcome.version) +
                      ",\"limit\":" + JsonUInt(limit) +
                      ",\"count\":" + JsonUInt(concepts.size()) +
                      ",\"results\":[";
   for (size_t i = 0; i < concepts.size(); ++i) {
     if (i > 0) body += ',';
-    body += "{\"concept\":" + JsonString(concepts[i]) + ",\"entities\":[";
-    bool first = true;
-    for (const std::string& name : result->results[i]) {
-      if (!first) body += ',';
-      first = false;
-      body += JsonString(name);
-    }
-    body += "]}";
+    body += "{\"concept\":" + JsonString(concepts[i]) +
+            ",\"entities\":" + outcome.fragments[i] + "}";
   }
   body += "]}\n";
   HttpResponse response;
   response.body = std::move(body);
-  StampVersion(&response, result->version);
+  if (cache_ != nullptr) {
+    response.headers.emplace_back("X-Cache-Hits",
+                                  std::to_string(outcome.hits));
+  }
+  StampVersion(&response, outcome.version);
   return response;
+}
+
+HttpResponse ApiEndpoints::Isa(const HttpRequest& request) {
+  if (!request.HasParam("entity")) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "missing required parameter: entity");
+  }
+  if (!request.HasParam("concept")) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "missing required parameter: concept");
+  }
+  const std::string_view entity = request.Param("entity");
+  const std::string_view concept_name = request.Param("concept");
+  size_t max_depth = 4;
+  if (request.HasParam("max_depth") &&
+      !ParseMaxDepth(request.Param("max_depth"), &max_depth)) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "max_depth must be an integer in [1, 16]");
+  }
+  return Cached(
+      "isa", entity,
+      PackArg(concept_name) + "|d" + std::to_string(max_depth),
+      [&](uint64_t* resolved_version) {
+        const util::Result<reason::ReasonService::IsaResolved> result =
+            reason_.TryIsa(entity, concept_name, max_depth);
+        if (!result.ok()) return StatusResponse(result.status());
+        *resolved_version = result->version;
+        if (!result->entity_known) {
+          return ErrorResponse(404, util::StatusCode::kNotFound,
+                               "unknown entity: " + std::string(entity));
+        }
+        if (!result->concept_known) {
+          return ErrorResponse(
+              404, util::StatusCode::kNotFound,
+              "unknown concept: " + std::string(concept_name));
+        }
+        HttpResponse response;
+        response.body = "{\"entity\":" + JsonString(entity) +
+                        ",\"concept\":" + JsonString(concept_name) +
+                        ",\"version\":" + JsonUInt(result->version) +
+                        ",\"max_depth\":" + JsonUInt(max_depth) +
+                        ",\"isa\":" +
+                        std::string(result->isa ? "true" : "false") +
+                        ",\"depth\":" + std::to_string(result->depth) +
+                        ",\"path\":" + NamesFragment(result->path) + "}\n";
+        return response;
+      });
+}
+
+HttpResponse ApiEndpoints::Lca(const HttpRequest& request) {
+  if (!request.HasParam("a")) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "missing required parameter: a");
+  }
+  if (!request.HasParam("b")) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "missing required parameter: b");
+  }
+  const std::string_view a = request.Param("a");
+  const std::string_view b = request.Param("b");
+  size_t max_depth = 8;
+  if (request.HasParam("max_depth") &&
+      !ParseMaxDepth(request.Param("max_depth"), &max_depth)) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "max_depth must be an integer in [1, 16]");
+  }
+  return Cached(
+      "lca", a, PackArg(b) + "|d" + std::to_string(max_depth),
+      [&](uint64_t* resolved_version) {
+        const util::Result<reason::ReasonService::LcaResolved> result =
+            reason_.TryLca(a, b, max_depth);
+        if (!result.ok()) return StatusResponse(result.status());
+        *resolved_version = result->version;
+        if (!result->a_known || !result->b_known) {
+          return ErrorResponse(
+              404, util::StatusCode::kNotFound,
+              "unknown name: " +
+                  std::string(result->a_known ? b : a));
+        }
+        std::string body = "{\"a\":" + JsonString(a) +
+                           ",\"b\":" + JsonString(b) +
+                           ",\"version\":" + JsonUInt(result->version) +
+                           ",\"max_depth\":" + JsonUInt(max_depth) +
+                           ",\"found\":" +
+                           std::string(result->found ? "true" : "false");
+        if (result->found) {
+          body += ",\"lca\":" + JsonString(result->lca) +
+                  ",\"depth_a\":" + JsonUInt(result->depth_a) +
+                  ",\"depth_b\":" + JsonUInt(result->depth_b);
+        }
+        body += "}\n";
+        HttpResponse response;
+        response.body = std::move(body);
+        return response;
+      });
+}
+
+HttpResponse ApiEndpoints::Similar(const HttpRequest& request) {
+  if (!request.HasParam("entity")) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "missing required parameter: entity");
+  }
+  const std::string_view entity = request.Param("entity");
+  size_t k = 10;
+  if (request.HasParam("k") && !ParseTopK(request.Param("k"), &k)) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "k must be an integer in [1, 100]");
+  }
+  return Cached(
+      "similar", entity, "|k" + std::to_string(k),
+      [&](uint64_t* resolved_version) {
+        const util::Result<reason::ReasonService::RankedResolved> result =
+            reason_.TrySimilar(entity, k);
+        if (!result.ok()) return StatusResponse(result.status());
+        *resolved_version = result->version;
+        if (!result->known) {
+          return ErrorResponse(404, util::StatusCode::kNotFound,
+                               "unknown entity: " + std::string(entity));
+        }
+        HttpResponse response;
+        response.body = "{\"entity\":" + JsonString(entity) +
+                        ",\"version\":" + JsonUInt(result->version) +
+                        ",\"k\":" + JsonUInt(k) + ",\"results\":" +
+                        ScoredNamesFragment(result->results) + "}\n";
+        return response;
+      });
+}
+
+HttpResponse ApiEndpoints::Expand(const HttpRequest& request) {
+  if (!request.HasParam("concept")) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "missing required parameter: concept");
+  }
+  const std::string_view concept_name = request.Param("concept");
+  size_t k = 10;
+  if (request.HasParam("k") && !ParseTopK(request.Param("k"), &k)) {
+    return ErrorResponse(400, util::StatusCode::kInvalidArgument,
+                         "k must be an integer in [1, 100]");
+  }
+  return Cached(
+      "expand", concept_name, "|k" + std::to_string(k),
+      [&](uint64_t* resolved_version) {
+        const util::Result<reason::ReasonService::RankedResolved> result =
+            reason_.TryExpand(concept_name, k);
+        if (!result.ok()) return StatusResponse(result.status());
+        *resolved_version = result->version;
+        if (!result->known) {
+          return ErrorResponse(
+              404, util::StatusCode::kNotFound,
+              "unknown concept: " + std::string(concept_name));
+        }
+        HttpResponse response;
+        response.body = "{\"concept\":" + JsonString(concept_name) +
+                        ",\"version\":" + JsonUInt(result->version) +
+                        ",\"k\":" + JsonUInt(k) + ",\"children\":" +
+                        ScoredNamesFragment(result->results) + "}\n";
+        return response;
+      });
 }
 
 HttpResponse ApiEndpoints::Healthz() {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "reason/service.h"
 #include "server/http.h"
 #include "server/result_cache.h"
 #include "server/server.h"
@@ -28,6 +29,14 @@ namespace cnpb::server {
 //   GET/POST /v1/getEntity_batch             N concepts, one snapshot
 //   GET /healthz                             liveness + served version
 //   GET /metrics                             Prometheus text exposition
+//
+// plus the reasoning endpoints (DESIGN.md §14), served by the ReasonService
+// over the same pinned-snapshot contract:
+//
+//   GET /v1/isa?entity=E&concept=C[&max_depth=D]   bounded transitive isA
+//   GET /v1/lca?a=X&b=Y[&max_depth=D]              lowest common ancestor
+//   GET /v1/similar?entity=E[&k=K]                 shared-hypernym siblings
+//   GET /v1/expand?concept=C[&k=K]                 ranked candidate children
 //
 // Batch endpoints take their inputs either as repeated query parameters
 // (GET ?mention=a&mention=b) or as a POST body with one term per line, and
@@ -65,6 +74,14 @@ class ApiEndpoints {
   // keyed by (endpoint, argument) and stamped with the snapshot version; a
   // publish invalidates everything wholesale by bumping the version. Cached
   // responses carry "X-Cache: hit", freshly inserted ones "X-Cache: miss".
+  //
+  // The three paper endpoints cache per-item JSON *fragments* (the inner
+  // entities/concepts array) rather than whole bodies, and their batch
+  // forms consult and populate the very same entries under the batch's one
+  // pinned version — a hot mention warmed by single-shot traffic is a
+  // batch-item hit and vice versa. Batch responses report the per-item tally
+  // in an "X-Cache-Hits: N" header. Reasoning endpoints cache whole bodies
+  // (they have no batch form to share fragments with).
   ApiEndpoints(taxonomy::ApiService* api,
                const ResultCache::Config& cache_config);
 
@@ -82,6 +99,9 @@ class ApiEndpoints {
   // Translates a non-OK Status into the wire contract above.
   static int HttpStatusForCode(util::StatusCode code);
 
+  // The reasoning-side usage counters (for benches / examples).
+  const reason::ReasonService& reason_service() const { return reason_; }
+
  private:
   HttpResponse Men2Ent(const HttpRequest& request);
   HttpResponse GetConcept(const HttpRequest& request);
@@ -89,6 +109,10 @@ class ApiEndpoints {
   HttpResponse Men2EntBatch(const HttpRequest& request);
   HttpResponse GetConceptBatch(const HttpRequest& request);
   HttpResponse GetEntityBatch(const HttpRequest& request);
+  HttpResponse Isa(const HttpRequest& request);
+  HttpResponse Lca(const HttpRequest& request);
+  HttpResponse Similar(const HttpRequest& request);
+  HttpResponse Expand(const HttpRequest& request);
   HttpResponse Healthz();
   HttpResponse Metrics();
 
@@ -100,16 +124,46 @@ class ApiEndpoints {
 
   // Cache plumbing around a single-shot endpoint: Lookup at the current
   // version, else run `compute` and Insert the response at the version its
-  // data was resolved against (`*resolved_version`, set by compute).
+  // data was resolved against (`*resolved_version`, set by compute). Whole
+  // bodies; used by the reasoning endpoints.
   template <typename Compute>
   HttpResponse Cached(std::string_view endpoint, std::string_view arg,
                       std::string_view options, Compute&& compute);
+
+  // One cacheable per-item unit shared by the single-shot and batch forms
+  // of a paper endpoint: `status` is the single-shot HTTP status (200, or
+  // 404 for men2ent's unknown mention — batch forms ignore it and splice
+  // the empty list) and `fragment` the inner JSON array both envelopes
+  // splice in.
+  struct ItemFragment {
+    int status = 200;
+    std::string fragment;
+  };
+
+  // The cache-aware batch core: per-item Lookup under one version, one
+  // batch resolve for the misses via `resolve`, per-item Insert at the
+  // resolved version. If a publish lands between the cache sweep and the
+  // resolve (hit and miss versions disagree), the whole batch is re-resolved
+  // at the new snapshot so the response keeps its single-version contract.
+  struct BatchOutcome {
+    bool failed = false;
+    HttpResponse error;               // set when failed
+    uint64_t version = 0;
+    size_t hits = 0;                  // items served from the cache
+    std::vector<std::string> fragments;  // one per input item
+  };
+  template <typename Resolve>
+  BatchOutcome ResolveBatchCached(const std::vector<std::string>& items,
+                                  std::string_view endpoint,
+                                  std::string_view options,
+                                  Resolve&& resolve);
 
   static HttpResponse ErrorResponse(int status, util::StatusCode code,
                                     const std::string& message);
   static HttpResponse StatusResponse(const util::Status& status);
 
   taxonomy::ApiService* api_;
+  reason::ReasonService reason_;
   std::unique_ptr<ResultCache> cache_;
   const std::chrono::steady_clock::time_point started_;
 
@@ -129,6 +183,14 @@ class ApiEndpoints {
       .counter("http.requests.get_entity_batch");
   obs::Counter* const batch_items_ =
       obs::MetricsRegistry::Global().counter("http.batch.items");
+  obs::Counter* const req_isa_ =
+      obs::MetricsRegistry::Global().counter("http.requests.isa");
+  obs::Counter* const req_lca_ =
+      obs::MetricsRegistry::Global().counter("http.requests.lca");
+  obs::Counter* const req_similar_ =
+      obs::MetricsRegistry::Global().counter("http.requests.similar");
+  obs::Counter* const req_expand_ =
+      obs::MetricsRegistry::Global().counter("http.requests.expand");
   obs::Counter* const req_healthz_ =
       obs::MetricsRegistry::Global().counter("http.requests.healthz");
   obs::Counter* const req_metrics_ =
@@ -149,6 +211,8 @@ class ApiEndpoints {
       .histogram("http.latency.get_concept_seconds");
   obs::BucketHistogram* const lat_get_entity_ = obs::MetricsRegistry::Global()
       .histogram("http.latency.get_entity_seconds");
+  obs::BucketHistogram* const lat_reason_ = obs::MetricsRegistry::Global()
+      .histogram("http.latency.reason_seconds");
 };
 
 }  // namespace cnpb::server

@@ -284,6 +284,19 @@ util::Result<ApiService::Men2EntResolved> ApiService::TryMen2EntResolved(
   return out;
 }
 
+util::Status ApiService::TryQuery(
+    const char* api,
+    const std::function<util::Status(const ServingView&, uint64_t)>& fn)
+    const {
+  QueryGuard guard(*this);
+  CNPB_RETURN_IF_ERROR(guard.Admission(api));
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.query"));
+  const std::shared_ptr<const Version> snap = PinForQuery();
+  CNPB_RETURN_IF_ERROR(util::CheckFault("api.resolve"));
+  CNPB_RETURN_IF_ERROR(fn(*snap->view, snap->version));
+  return guard.Deadline(api);
+}
+
 std::vector<ApiService::ResolvedEntity> ApiService::ResolveMention(
     const Version& snap, std::string_view mention) const {
   const ServingView& view = *snap.view;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -192,6 +193,21 @@ class ApiService {
       std::string_view entity_name, bool transitive = false) const;
   util::Result<NamesResolved> TryGetEntityResolved(
       std::string_view concept_name, size_t limit = 100) const;
+
+  // Extension point for derived query engines (src/reason/): runs `fn`
+  // against one pinned snapshot under the same serving contract as the
+  // built-in queries — admission by the in-flight cap (ResourceExhausted),
+  // the api.query / api.resolve fault points, one query charged to the
+  // pinned version's totals, and the per-query deadline checked after `fn`
+  // returns (reasoning traversals are bounded, so a post-check suffices
+  // exactly as it does for the built-in resolvers). `fn` must answer
+  // entirely from the view it is handed; the paired version number is the
+  // only stamp its results may carry. `api` names the call in error
+  // messages. `fn` is not called when the query is shed.
+  util::Status TryQuery(
+      const char* api,
+      const std::function<util::Status(const ServingView& view,
+                                       uint64_t version)>& fn) const;
 
   // Batch variants: one admission slot, one snapshot pin, one version stamp
   // for the whole request; each item still counts as one logical call in

@@ -1,0 +1,223 @@
+// Heap-vs-mmap equivalence for the reasoning engine (ISSUE 10 satellite):
+// every reasoning API must return bit-identical results — nodes, depths,
+// witness paths, scores and order included — whether the ServingView is
+// the heap-backed Taxonomy or the snapshot round-tripped through disk and
+// mmapped back. The engine's determinism contract (canonical edge order +
+// totally-ordered rankings, engine.h) is what makes this a strict
+// equality, not an approximate one.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "reason/engine.h"
+#include "reason/service.h"
+#include "taxonomy/api_service.h"
+#include "taxonomy/snapshot.h"
+#include "taxonomy/taxonomy.h"
+#include "taxonomy/view.h"
+
+namespace cnpb::reason {
+namespace {
+
+using taxonomy::NodeId;
+using taxonomy::ServingView;
+using taxonomy::Source;
+using taxonomy::Taxonomy;
+
+// A moderately rich world: 36 entities fanned over 6 overlapping leaf
+// concepts plus 4 "extra" facets, a 3-level concept hierarchy, and a
+// deliberate cycle through the top — so the sweeps, rankings, and
+// tie-breaks all have real work to do on both backends.
+Taxonomy MakeWorld() {
+  Taxonomy t;
+  for (int i = 0; i < 36; ++i) {
+    const std::string entity = "ent" + std::to_string(i);
+    t.AddIsa(entity, "cat" + std::to_string(i % 6), Source::kTag,
+             0.30f + 0.015f * static_cast<float>(i));
+    if (i % 3 == 0) {
+      t.AddIsa(entity, "cat" + std::to_string((i + 1) % 6), Source::kTag,
+               0.55f + 0.01f * static_cast<float>(i % 7));
+    }
+    if (i % 5 == 0) {
+      t.AddIsa(entity, "extra" + std::to_string(i % 4), Source::kTag,
+               0.42f + 0.02f * static_cast<float>(i % 5));
+    }
+  }
+  for (int c = 0; c < 6; ++c) {
+    t.AddIsa("cat" + std::to_string(c), "mid" + std::to_string(c % 2),
+             Source::kTag, 0.7f);
+  }
+  t.AddIsa("extra0", "mid0", Source::kTag, 0.65f);
+  t.AddIsa("extra1", "mid1", Source::kTag, 0.6f);
+  t.AddIsa("mid0", "top", Source::kTag, 0.8f);
+  t.AddIsa("mid1", "top", Source::kTag, 0.8f);
+  // The cycle: top isA cat0 closes a loop through mid0 and back.
+  t.AddIsa("top", "cat0", Source::kTag, 0.5f);
+  return t;
+}
+
+class ReasonEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Taxonomy world = MakeWorld();
+    taxonomy::MentionIndex mentions;
+    mentions["e0"].push_back(world.Find("ent0"));
+    heap_ = new std::shared_ptr<const taxonomy::HeapServingView>(
+        std::make_shared<taxonomy::HeapServingView>(
+            Taxonomy::Freeze(std::move(world)), std::move(mentions)));
+    const std::string path =
+        ::testing::TempDir() + "/reason_equivalence_snapshot.bin";
+    std::remove(path.c_str());
+    ASSERT_TRUE(taxonomy::WriteSnapshot(**heap_, path).ok());
+    auto loaded = taxonomy::Snapshot::Load(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().message();
+    mmap_ = new std::shared_ptr<const taxonomy::Snapshot>(*loaded);
+  }
+
+  static void TearDownTestSuite() {
+    delete heap_;
+    delete mmap_;
+    heap_ = nullptr;
+    mmap_ = nullptr;
+  }
+
+  static const ServingView& Heap() { return **heap_; }
+  static const ServingView& Mmap() { return **mmap_; }
+
+  static std::shared_ptr<const taxonomy::HeapServingView>* heap_;
+  static std::shared_ptr<const taxonomy::Snapshot>* mmap_;
+};
+
+std::shared_ptr<const taxonomy::HeapServingView>*
+    ReasonEquivalenceTest::heap_ = nullptr;
+std::shared_ptr<const taxonomy::Snapshot>* ReasonEquivalenceTest::mmap_ =
+    nullptr;
+
+TEST_F(ReasonEquivalenceTest, NodeIdsAndNamesRoundTrip) {
+  ASSERT_EQ(Heap().num_nodes(), Mmap().num_nodes());
+  ASSERT_EQ(Heap().num_edges(), Mmap().num_edges());
+  for (NodeId id = 0; id < Heap().num_nodes(); ++id) {
+    EXPECT_EQ(Heap().Name(id), Mmap().Name(id));
+    EXPECT_EQ(Mmap().Find(Heap().Name(id)), id);
+  }
+}
+
+TEST_F(ReasonEquivalenceTest, IsaClosureIsIdenticalForAllPairs) {
+  const size_t n = Heap().num_nodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      const IsaResult h = IsaClosure(Heap(), a, b, 4);
+      const IsaResult m = IsaClosure(Mmap(), a, b, 4);
+      ASSERT_EQ(h.reached, m.reached) << "pair " << a << "," << b;
+      ASSERT_EQ(h.depth, m.depth) << "pair " << a << "," << b;
+      ASSERT_EQ(h.path, m.path) << "pair " << a << "," << b;
+    }
+  }
+}
+
+TEST_F(ReasonEquivalenceTest, AncestorsAreIdenticalForAllNodes) {
+  for (NodeId id = 0; id < Heap().num_nodes(); ++id) {
+    const std::vector<Ancestor> h = Ancestors(Heap(), id, 6);
+    const std::vector<Ancestor> m = Ancestors(Mmap(), id, 6);
+    ASSERT_EQ(h.size(), m.size()) << "node " << id;
+    for (size_t i = 0; i < h.size(); ++i) {
+      ASSERT_EQ(h[i].node, m[i].node) << "node " << id << " rank " << i;
+      ASSERT_EQ(h[i].depth, m[i].depth) << "node " << id << " rank " << i;
+    }
+  }
+}
+
+TEST_F(ReasonEquivalenceTest, LcaIsIdenticalForAllPairs) {
+  const size_t n = Heap().num_nodes();
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b = 0; b < n; ++b) {
+      const LcaResult h = LowestCommonAncestor(Heap(), a, b, 6);
+      const LcaResult m = LowestCommonAncestor(Mmap(), a, b, 6);
+      ASSERT_EQ(h.node, m.node) << "pair " << a << "," << b;
+      ASSERT_EQ(h.depth_a, m.depth_a) << "pair " << a << "," << b;
+      ASSERT_EQ(h.depth_b, m.depth_b) << "pair " << a << "," << b;
+    }
+  }
+}
+
+// Rankings must agree to the bit: same candidates, same double scores,
+// same float tie-breaks, same order and truncation.
+void ExpectSameRanking(const std::vector<Scored>& h,
+                       const std::vector<Scored>& m, NodeId id) {
+  ASSERT_EQ(h.size(), m.size()) << "node " << id;
+  for (size_t i = 0; i < h.size(); ++i) {
+    ASSERT_EQ(h[i].node, m[i].node) << "node " << id << " rank " << i;
+    ASSERT_EQ(h[i].score, m[i].score) << "node " << id << " rank " << i;
+    ASSERT_EQ(h[i].tie, m[i].tie) << "node " << id << " rank " << i;
+  }
+}
+
+TEST_F(ReasonEquivalenceTest, SimilarEntitiesRankIdentically) {
+  for (NodeId id = 0; id < Heap().num_nodes(); ++id) {
+    ExpectSameRanking(SimilarEntities(Heap(), id, 10),
+                      SimilarEntities(Mmap(), id, 10), id);
+    // Tight candidate caps truncate the same way on both backends.
+    ExpectSameRanking(SimilarEntities(Heap(), id, 10, 5),
+                      SimilarEntities(Mmap(), id, 10, 5), id);
+  }
+}
+
+TEST_F(ReasonEquivalenceTest, ExpandConceptRanksIdentically) {
+  for (NodeId id = 0; id < Heap().num_nodes(); ++id) {
+    ExpectSameRanking(ExpandConcept(Heap(), id, 10),
+                      ExpandConcept(Mmap(), id, 10), id);
+    ExpectSameRanking(ExpandConcept(Heap(), id, 10, 5),
+                      ExpandConcept(Mmap(), id, 10, 5), id);
+  }
+}
+
+// The service layer on top of both backends: same names, same versions
+// (both ApiServices publish their first version identically), same
+// resolved payloads.
+TEST_F(ReasonEquivalenceTest, ReasonServiceAgreesAcrossBackends) {
+  taxonomy::ApiService heap_api(*heap_);
+  taxonomy::ApiService mmap_api(*mmap_);
+  ReasonService heap_service(&heap_api);
+  ReasonService mmap_service(&mmap_api);
+
+  const auto h_isa = heap_service.TryIsa("ent0", "top", 4);
+  const auto m_isa = mmap_service.TryIsa("ent0", "top", 4);
+  ASSERT_TRUE(h_isa.ok());
+  ASSERT_TRUE(m_isa.ok());
+  EXPECT_EQ(h_isa->isa, m_isa->isa);
+  EXPECT_EQ(h_isa->depth, m_isa->depth);
+  EXPECT_EQ(h_isa->path, m_isa->path);
+
+  const auto h_lca = heap_service.TryLca("ent1", "ent2", 6);
+  const auto m_lca = mmap_service.TryLca("ent1", "ent2", 6);
+  ASSERT_TRUE(h_lca.ok());
+  ASSERT_TRUE(m_lca.ok());
+  EXPECT_EQ(h_lca->found, m_lca->found);
+  EXPECT_EQ(h_lca->lca, m_lca->lca);
+
+  const auto h_sim = heap_service.TrySimilar("ent0", 8);
+  const auto m_sim = mmap_service.TrySimilar("ent0", 8);
+  ASSERT_TRUE(h_sim.ok());
+  ASSERT_TRUE(m_sim.ok());
+  ASSERT_EQ(h_sim->results.size(), m_sim->results.size());
+  for (size_t i = 0; i < h_sim->results.size(); ++i) {
+    EXPECT_EQ(h_sim->results[i].name, m_sim->results[i].name);
+    EXPECT_EQ(h_sim->results[i].score, m_sim->results[i].score);
+  }
+
+  const auto h_exp = heap_service.TryExpand("cat0", 8);
+  const auto m_exp = mmap_service.TryExpand("cat0", 8);
+  ASSERT_TRUE(h_exp.ok());
+  ASSERT_TRUE(m_exp.ok());
+  ASSERT_EQ(h_exp->results.size(), m_exp->results.size());
+  for (size_t i = 0; i < h_exp->results.size(); ++i) {
+    EXPECT_EQ(h_exp->results[i].name, m_exp->results[i].name);
+    EXPECT_EQ(h_exp->results[i].score, m_exp->results[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace cnpb::reason

@@ -301,16 +301,44 @@ TEST_F(CachedServerTest, PublishInvalidatesWholesale) {
   EXPECT_NE(rewarmed->body.find("\"version\":2"), std::string::npos);
 }
 
-TEST_F(CachedServerTest, BatchResponsesBypassTheCache) {
+// Batch forms share the per-item fragment entries with their single-shot
+// endpoints (DESIGN.md §14): a batch populates per-item entries under its
+// pinned version, a repeat batch serves them (X-Cache-Hits counts them),
+// and single-shot traffic hits the very same entries — in both directions.
+TEST_F(CachedServerTest, BatchSharesPerItemEntriesWithSingleShot) {
   StartServer();
   HttpClient client = Connect();
-  for (int i = 0; i < 2; ++i) {
-    auto response =
-        client.Get("/v1/men2ent_batch?mention=" + PercentEncode("主公"));
-    ASSERT_TRUE(response.ok());
-    EXPECT_EQ(response->status, 200);
-    EXPECT_EQ(response->Header("X-Cache"), "");
-  }
+  const std::string batch = "/v1/men2ent_batch?mention=" +
+                            PercentEncode("主公") + "&mention=nobody";
+  auto first = client.Get(batch);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, 200);
+  EXPECT_EQ(first->Header("X-Cache-Hits"), "0");
+  auto second = client.Get(batch);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, 200);
+  EXPECT_EQ(second->Header("X-Cache-Hits"), "2");
+  EXPECT_EQ(second->body, first->body);
+
+  // Batch-warmed entries serve single-shot traffic — both the 200 and the
+  // unknown-mention 404 path (the entry records the single-shot status).
+  auto single = client.Get("/v1/men2ent?mention=" + PercentEncode("主公"));
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->status, 200);
+  EXPECT_EQ(single->Header("X-Cache"), "hit");
+  auto missing = client.Get("/v1/men2ent?mention=nobody");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+  EXPECT_EQ(missing->Header("X-Cache"), "hit");
+
+  // And the reverse: a single-shot warm is a batch-item hit.
+  auto warm = client.Get("/v1/getConcept?entity=" + PercentEncode("刘备"));
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->Header("X-Cache"), "miss");
+  auto concept_batch =
+      client.Get("/v1/getConcept_batch?entity=" + PercentEncode("刘备"));
+  ASSERT_TRUE(concept_batch.ok());
+  EXPECT_EQ(concept_batch->Header("X-Cache-Hits"), "1");
 }
 
 // Wire-level churn (the tsan-relevant half of the coherence story): clients
